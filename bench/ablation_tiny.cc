@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation study of the tiny-directory design choices called out in
+ * DESIGN.md Section 5, on a sharing-heavy workload subset:
+ *
+ *  - STRA counter width (paper: 6 bits, halved on saturation);
+ *  - gNRU generation quantum (paper: 4K cycles);
+ *  - DynSpill observation window (paper: 8K accesses/bank);
+ *  - DynSpill sampled no-spill sets (paper: 16/bank).
+ *
+ * Each sweep reports execution time normalized to the paper's setting
+ * so "0.98/1.02" reads as better/worse than the published choice.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+namespace
+{
+
+double
+averageExec(const SystemConfig &cfg, const BenchScale &scale)
+{
+    double sum = 0;
+    unsigned n = 0;
+    for (const auto *app : selectApps(scale)) {
+        RunOut o = runOne(cfg, *app, scale.accessesPerCore,
+                          scale.warmupPerCore);
+        sum += static_cast<double>(o.execCycles);
+        ++n;
+    }
+    return sum / n;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    if (scale.onlyApps.empty()) {
+        // Sharing-heavy subset: where the knobs actually matter.
+        scale.onlyApps = {"barnes", "TPC-C", "SPEC_Web-B", "SPEC_JBB"};
+    }
+    SystemConfig ref =
+        tinyCfg(scale, 1.0 / 64, TinyPolicy::DstraGnru, true);
+    const double base = averageExec(ref, scale);
+
+    std::cout << "# Ablations of the tiny 1/64x +DynSpill design "
+                 "(execution time normalized to paper settings)\n";
+
+    std::cout << "\nSTRA counter width (paper: 6 bits)\n";
+    for (unsigned bits : {2u, 4u, 6u, 8u}) {
+        SystemConfig cfg = ref;
+        cfg.straCounterBits = bits;
+        std::cout << "  " << bits << " bits: "
+                  << averageExec(cfg, scale) / base << '\n';
+    }
+
+    std::cout << "\ngNRU generation quantum (paper: 4096 cycles)\n";
+    for (unsigned q : {1024u, 4096u, 16384u, 65536u}) {
+        SystemConfig cfg = ref;
+        cfg.gnruQuantumCycles = q;
+        std::cout << "  " << q << " cycles: "
+                  << averageExec(cfg, scale) / base << '\n';
+    }
+
+    std::cout << "\nDynSpill observation window (scaled default: "
+              << ref.spillWindowAccesses << " accesses/bank)\n";
+    for (unsigned w : {256u, 1024u, 4096u, 8192u}) {
+        SystemConfig cfg = ref;
+        cfg.spillWindowAccesses = w;
+        std::cout << "  " << w << " accesses: "
+                  << averageExec(cfg, scale) / base << '\n';
+    }
+
+    std::cout << "\nDynSpill sampled no-spill sets (paper: 16/bank)\n";
+    for (unsigned s : {4u, 16u, 64u}) {
+        SystemConfig cfg = ref;
+        cfg.spillSampledSets = s;
+        std::cout << "  " << s << " sets: "
+                  << averageExec(cfg, scale) / base << '\n';
+    }
+
+    std::cout << "\nCoarse sharer vectors on the sparse 2x baseline "
+                 "(Section I-A: width reduction applies on top)\n";
+    {
+        SystemConfig full = sparseCfg(scale, 2.0);
+        const double fbase = averageExec(full, scale);
+        for (unsigned grain : {1u, 2u, 4u, 8u}) {
+            SystemConfig cfg = sparseCfg(scale, 2.0);
+            cfg.sharerGrain = grain;
+            std::cout << "  grain " << grain << " ("
+                      << cfg.numCores / grain << "-bit vector): "
+                      << averageExec(cfg, scale) / fbase << '\n';
+        }
+    }
+
+    std::cout << "\nSpilling on/off at 1/256x (robustness source)\n";
+    for (bool sp : {false, true}) {
+        SystemConfig cfg =
+            tinyCfg(scale, 1.0 / 256, TinyPolicy::DstraGnru, sp);
+        std::cout << "  spill " << (sp ? "on " : "off") << ": "
+                  << averageExec(cfg, scale) / base << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Shared helpers for the figure-regeneration bench binaries.
+ *
+ * Every bench accepts --full (paper scale: 128 cores), --quick,
+ * --cores=N, --accesses=N and --app=NAME, via
+ * tinydir::parseBenchScale. Default scale keeps all Table I ratios at
+ * 16 cores so the suite completes in minutes (DESIGN.md Section 4).
+ */
+
+#ifndef TINYDIR_BENCH_BENCH_UTIL_HH
+#define TINYDIR_BENCH_BENCH_UTIL_HH
+
+#include <functional>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace tinydir::bench
+{
+
+/** Metric extracted from one run. */
+using Metric = std::function<double(const RunOut &)>;
+
+/** A labeled scheme configuration. */
+struct Scheme
+{
+    std::string label;
+    SystemConfig cfg;
+};
+
+inline Metric
+execCyclesMetric()
+{
+    return [](const RunOut &o) {
+        return static_cast<double>(o.execCycles);
+    };
+}
+
+inline Metric
+statMetric(const std::string &name)
+{
+    return [name](const RunOut &o) { return o.stats.get(name); };
+}
+
+/**
+ * Run every selected app under every scheme and tabulate
+ * metric(run) — divided by metric(baseline run) when a baseline
+ * config is supplied.
+ */
+inline ResultTable
+runMatrix(const std::string &title, const BenchScale &scale,
+          const SystemConfig *baseline,
+          const std::vector<Scheme> &schemes, const Metric &metric,
+          const Metric &baseline_metric = {})
+{
+    std::vector<std::string> cols;
+    cols.reserve(schemes.size());
+    for (const auto &s : schemes)
+        cols.push_back(s.label);
+    ResultTable table(title, cols);
+    for (const auto *app : selectApps(scale)) {
+        double base = 1.0;
+        if (baseline) {
+            RunOut b = runOne(*baseline, *app, scale.accessesPerCore, scale.warmupPerCore);
+            base = (baseline_metric ? baseline_metric : metric)(b);
+            if (base == 0.0)
+                base = 1.0;
+        }
+        std::vector<double> row;
+        row.reserve(schemes.size());
+        for (const auto &s : schemes) {
+            RunOut o = runOne(s.cfg, *app, scale.accessesPerCore, scale.warmupPerCore);
+            row.push_back(metric(o) / (baseline ? base : 1.0));
+        }
+        table.addRow(app->name, std::move(row));
+    }
+    return table;
+}
+
+/** Convenience: a sparse directory config of a given size factor. */
+inline SystemConfig
+sparseCfg(const BenchScale &scale, double factor)
+{
+    SystemConfig cfg = baseConfig(scale);
+    cfg.tracker = TrackerKind::SparseDir;
+    cfg.dirSizeFactor = factor;
+    return cfg;
+}
+
+/** Convenience: a tiny-directory config. */
+inline SystemConfig
+tinyCfg(const BenchScale &scale, double factor, TinyPolicy policy,
+        bool spill)
+{
+    SystemConfig cfg = baseConfig(scale);
+    cfg.tracker = TrackerKind::TinyDir;
+    cfg.dirSizeFactor = factor;
+    cfg.tinyPolicy = policy;
+    cfg.tinySpill = spill;
+    return cfg;
+}
+
+/** Label helper for size factors: 1/32 -> "1/32x". */
+inline std::string
+sizeLabel(double factor)
+{
+    if (factor >= 1.0) {
+        const int v = static_cast<int>(factor + 0.5);
+        return std::to_string(v) + "x";
+    }
+    const int denom = static_cast<int>(1.0 / factor + 0.5);
+    return "1/" + std::to_string(denom) + "x";
+}
+
+} // namespace tinydir::bench
+
+#endif // TINYDIR_BENCH_BENCH_UTIL_HH

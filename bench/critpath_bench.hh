@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared driver for Figs. 14/15: percentage of LLC accesses that
+ * still suffer a lengthened critical path under a tiny directory of a
+ * given size, per policy.
+ */
+
+#ifndef TINYDIR_BENCH_CRITPATH_BENCH_HH
+#define TINYDIR_BENCH_CRITPATH_BENCH_HH
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+namespace tinydir::bench
+{
+
+inline int
+runCritpathFigure(int argc, char **argv, const char *figure,
+                  double factor)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    std::vector<Scheme> schemes{
+        {"DSTRA", tinyCfg(scale, factor, TinyPolicy::Dstra, false)},
+        {"DSTRA+gNRU",
+         tinyCfg(scale, factor, TinyPolicy::DstraGnru, false)},
+        {"+DynSpill",
+         tinyCfg(scale, factor, TinyPolicy::DstraGnru, true)},
+    };
+    auto metric = [](const RunOut &o) {
+        return 100.0 * o.stats.get("lengthened.frac");
+    };
+    auto table = runMatrix(
+        std::string(figure) +
+            ": % LLC accesses with lengthened critical path, tiny " +
+            sizeLabel(factor),
+        scale, nullptr, schemes, metric);
+    table.print(std::cout, 2);
+    return 0;
+}
+
+} // namespace tinydir::bench
+
+#endif // TINYDIR_BENCH_CRITPATH_BENCH_HH

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fig. 1: execution time with 1/4x, 1/8x, 1/16x sparse directories
+ * normalized to a 2x sparse directory.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig base = sparseCfg(scale, 2.0);
+    std::vector<Scheme> schemes;
+    for (double f : {0.25, 0.125, 1.0 / 16})
+        schemes.push_back({sizeLabel(f), sparseCfg(scale, f)});
+    auto table = runMatrix(
+        "Fig. 1: normalized execution time, sparse directory sizing",
+        scale, &base, schemes, execCyclesMetric());
+    table.print(std::cout);
+    return 0;
+}

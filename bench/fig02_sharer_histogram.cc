@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fig. 2: distribution of the maximum sharer count per allocated LLC
+ * block (percent of allocated blocks per bin), measured under the 2x
+ * sparse directory baseline.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig cfg = sparseCfg(scale, 2.0);
+    ResultTable table(
+        "Fig. 2: % of allocated LLC blocks by max sharer count",
+        {"[2,4]", "[5,8]", "[9,16]", "[17,C]", "shared total"});
+    for (const auto *app : selectApps(scale)) {
+        RunOut o = runOne(cfg, *app, scale.accessesPerCore, scale.warmupPerCore);
+        const double blocks =
+            std::max(1.0, o.stats.get("resid.blocks"));
+        std::vector<double> row;
+        for (unsigned b = 0; b < 4; ++b) {
+            row.push_back(100.0 *
+                          o.stats.get("resid.sharer_bin" +
+                                      std::to_string(b)) / blocks);
+        }
+        row.push_back(100.0 * o.stats.get("resid.shared_blocks") /
+                      blocks);
+        table.addRow(app->name, std::move(row));
+    }
+    table.print(std::cout, 2);
+    return 0;
+}

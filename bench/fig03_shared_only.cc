@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 3: execution time with sparse directories that track shared
+ * blocks only (1/16x .. 1/128x; non-shared tracking is free),
+ * normalized to a conventional 2x sparse directory. Includes the
+ * 4-way skew-associative (H3/ZCache) variants the paper reports for
+ * 1/16x .. 1/64x.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig base = sparseCfg(scale, 2.0);
+    std::vector<Scheme> schemes;
+    for (double f : {1.0 / 16, 1.0 / 32, 1.0 / 64, 1.0 / 128}) {
+        SystemConfig cfg = baseConfig(scale);
+        cfg.tracker = TrackerKind::SharedOnlyDir;
+        cfg.dirSizeFactor = f;
+        schemes.push_back({sizeLabel(f), cfg});
+    }
+    for (double f : {1.0 / 16, 1.0 / 32, 1.0 / 64}) {
+        SystemConfig cfg = baseConfig(scale);
+        cfg.tracker = TrackerKind::SharedOnlyDir;
+        cfg.dirSizeFactor = f;
+        cfg.dirSkewed = true;
+        cfg.dirAssoc = 4;
+        schemes.push_back({sizeLabel(f) + " skew", cfg});
+    }
+    auto table = runMatrix(
+        "Fig. 3: normalized execution time, shared-only directories",
+        scale, &base, schemes, execCyclesMetric());
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fig. 4: execution time of in-LLC coherence tracking normalized to a
+ * 2x sparse directory — the storage-heavy tag-extended variant vs the
+ * data-bits-borrowing variant of Section III.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig base = sparseCfg(scale, 2.0);
+    SystemConfig tag_ext = baseConfig(scale);
+    tag_ext.tracker = TrackerKind::InLlcTagExtended;
+    SystemConfig borrowed = baseConfig(scale);
+    borrowed.tracker = TrackerKind::InLlc;
+    auto table = runMatrix(
+        "Fig. 4: normalized execution time, in-LLC tracking",
+        scale, &base,
+        {{"tag extended", tag_ext}, {"data bits borrowed", borrowed}},
+        execCyclesMetric());
+    table.print(std::cout);
+    return 0;
+}

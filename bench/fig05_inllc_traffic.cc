@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig. 5: interconnect traffic (bytes) of in-LLC tracking split into
+ * processor / writeback / coherence classes, normalized to the total
+ * traffic of the 2x sparse directory baseline.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig base = sparseCfg(scale, 2.0);
+    SystemConfig illc = baseConfig(scale);
+    illc.tracker = TrackerKind::InLlc;
+
+    ResultTable table(
+        "Fig. 5: interconnect traffic by class, normalized to the "
+        "sparse 2x total",
+        {"base:proc", "base:wb", "base:coh", "inllc:proc", "inllc:wb",
+         "inllc:coh", "inllc:total"});
+    for (const auto *app : selectApps(scale)) {
+        RunOut b = runOne(base, *app, scale.accessesPerCore, scale.warmupPerCore);
+        RunOut o = runOne(illc, *app, scale.accessesPerCore, scale.warmupPerCore);
+        const double total =
+            std::max(1.0, b.stats.get("traffic.total.bytes"));
+        table.addRow(
+            app->name,
+            {b.stats.get("traffic.processor.bytes") / total,
+             b.stats.get("traffic.writeback.bytes") / total,
+             b.stats.get("traffic.coherence.bytes") / total,
+             o.stats.get("traffic.processor.bytes") / total,
+             o.stats.get("traffic.writeback.bytes") / total,
+             o.stats.get("traffic.coherence.bytes") / total,
+             o.stats.get("traffic.total.bytes") / total});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Fig. 6: percentage of LLC accesses whose critical path lengthens to
+ * three hops under in-LLC tracking, split into data and code reads.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig illc = baseConfig(scale);
+    illc.tracker = TrackerKind::InLlc;
+    ResultTable table(
+        "Fig. 6: % of LLC accesses with lengthened critical path",
+        {"data %", "code %", "total %"});
+    for (const auto *app : selectApps(scale)) {
+        RunOut o = runOne(illc, *app, scale.accessesPerCore, scale.warmupPerCore);
+        const double acc = std::max(1.0, o.stats.get("llc.accesses"));
+        const double code = o.stats.get("lengthened.code");
+        const double all = o.stats.get("lengthened.reads");
+        table.addRow(app->name,
+                     {100.0 * (all - code) / acc, 100.0 * code / acc,
+                      100.0 * all / acc});
+    }
+    table.print(std::cout, 2);
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fig. 7: percentage of allocated LLC blocks that experience at least
+ * one lengthened (three-hop shared read) access under in-LLC tracking.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig illc = baseConfig(scale);
+    illc.tracker = TrackerKind::InLlc;
+    ResultTable table(
+        "Fig. 7: % of allocated LLC blocks with lengthened accesses",
+        {"blocks %"});
+    for (const auto *app : selectApps(scale)) {
+        RunOut o = runOne(illc, *app, scale.accessesPerCore, scale.warmupPerCore);
+        const double blocks =
+            std::max(1.0, o.stats.get("resid.blocks"));
+        table.addRow(app->name,
+                     {100.0 * o.stats.get("resid.lengthened_blocks") /
+                      blocks});
+    }
+    table.print(std::cout, 2);
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 9: distribution of the offending (three-hop shared read) LLC
+ * accesses across the STRA category of the accessed block, under
+ * in-LLC tracking.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig illc = baseConfig(scale);
+    illc.tracker = TrackerKind::InLlc;
+    ResultTable table(
+        "Fig. 9: % of offending LLC accesses per block category",
+        {"C1", "C2", "C3", "C4", "C5", "C6", "C7"});
+    for (const auto *app : selectApps(scale)) {
+        RunOut o = runOne(illc, *app, scale.accessesPerCore, scale.warmupPerCore);
+        double total = 0;
+        for (unsigned c = 1; c <= 7; ++c) {
+            total += o.stats.get("stra.accesses.c" +
+                                 std::to_string(c));
+        }
+        total = std::max(1.0, total);
+        std::vector<double> row;
+        for (unsigned c = 1; c <= 7; ++c) {
+            row.push_back(100.0 *
+                          o.stats.get("stra.accesses.c" +
+                                      std::to_string(c)) / total);
+        }
+        table.addRow(app->name, std::move(row));
+    }
+    table.print(std::cout, 2);
+    return 0;
+}

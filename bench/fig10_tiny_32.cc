@@ -1,0 +1,10 @@
+/** @file Fig. 10: tiny 1/32x directory, three policies vs sparse 2x. */
+
+#include "tiny_size_bench.hh"
+
+int
+main(int argc, char **argv)
+{
+    return tinydir::bench::runTinySizeFigure(argc, argv, "Fig. 10",
+                                             1.0 / 32);
+}

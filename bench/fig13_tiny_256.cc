@@ -1,0 +1,10 @@
+/** @file Fig. 13: tiny 1/256x directory, three policies vs sparse 2x. */
+
+#include "tiny_size_bench.hh"
+
+int
+main(int argc, char **argv)
+{
+    return tinydir::bench::runTinySizeFigure(argc, argv, "Fig. 13",
+                                             1.0 / 256);
+}

@@ -1,0 +1,10 @@
+/** @file Fig. 14: lengthened-access share with a 1/32x tiny directory. */
+
+#include "critpath_bench.hh"
+
+int
+main(int argc, char **argv)
+{
+    return tinydir::bench::runCritpathFigure(argc, argv, "Fig. 14",
+                                             1.0 / 32);
+}

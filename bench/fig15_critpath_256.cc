@@ -1,0 +1,10 @@
+/** @file Fig. 15: lengthened-access share with a 1/256x tiny directory. */
+
+#include "critpath_bench.hh"
+
+int
+main(int argc, char **argv)
+{
+    return tinydir::bench::runCritpathFigure(argc, argv, "Fig. 15",
+                                             1.0 / 256);
+}

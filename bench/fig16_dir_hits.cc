@@ -1,0 +1,12 @@
+/** @file Fig. 16: tiny directory hits, DSTRA+gNRU normalized to DSTRA. */
+
+#include "gnru_ratio_bench.hh"
+
+int
+main(int argc, char **argv)
+{
+    return tinydir::bench::runGnruRatioFigure(
+        argc, argv,
+        "Fig. 16: tiny directory hits, DSTRA+gNRU / DSTRA",
+        "dir.hits");
+}

@@ -1,0 +1,12 @@
+/** @file Fig. 17: tiny directory allocations, DSTRA+gNRU / DSTRA. */
+
+#include "gnru_ratio_bench.hh"
+
+int
+main(int argc, char **argv)
+{
+    return tinydir::bench::runGnruRatioFigure(
+        argc, argv,
+        "Fig. 17: tiny directory allocations, DSTRA+gNRU / DSTRA",
+        "dir.allocs");
+}

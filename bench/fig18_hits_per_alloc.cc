@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fig. 18: hits per allocation in the tiny directory under the
+ * DSTRA+gNRU policy, for all four sizes.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    const std::vector<double> sizes{1.0 / 256, 1.0 / 128, 1.0 / 64,
+                                    1.0 / 32};
+    std::vector<std::string> cols;
+    for (double f : sizes)
+        cols.push_back(sizeLabel(f));
+    ResultTable table(
+        "Fig. 18: tiny directory hits per allocation (DSTRA+gNRU)",
+        cols);
+    for (const auto *app : selectApps(scale)) {
+        std::vector<double> row;
+        for (double f : sizes) {
+            RunOut o =
+                runOne(tinyCfg(scale, f, TinyPolicy::DstraGnru, false),
+                       *app, scale.accessesPerCore, scale.warmupPerCore);
+            row.push_back(o.stats.get("dir.hits") /
+                          std::max(1.0, o.stats.get("dir.allocs")));
+        }
+        table.addRow(app->name, std::move(row));
+    }
+    table.print(std::cout, 1);
+    return 0;
+}

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fig. 19: percentage of LLC accesses that avoid a lengthened
+ * critical path thanks to spilled directory entries
+ * (DSTRA+gNRU+DynSpill), for all four tiny sizes.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    const std::vector<double> sizes{1.0 / 256, 1.0 / 128, 1.0 / 64,
+                                    1.0 / 32};
+    std::vector<Scheme> schemes;
+    for (double f : sizes) {
+        schemes.push_back(
+            {sizeLabel(f),
+             tinyCfg(scale, f, TinyPolicy::DstraGnru, true)});
+    }
+    auto metric = [](const RunOut &o) {
+        return 100.0 * o.stats.get("spill.saved_frac");
+    };
+    auto table = runMatrix(
+        "Fig. 19: % LLC accesses saved by spilled entries",
+        scale, nullptr, schemes, metric);
+    table.print(std::cout, 2);
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 20: increase in LLC miss rate (percentage points) of
+ * DSTRA+gNRU+DynSpill relative to the 2x sparse directory, for all
+ * four tiny sizes. The paper's delta guarantee bounds these values.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig base = sparseCfg(scale, 2.0);
+    const std::vector<double> sizes{1.0 / 256, 1.0 / 128, 1.0 / 64,
+                                    1.0 / 32};
+    std::vector<std::string> cols;
+    for (double f : sizes)
+        cols.push_back(sizeLabel(f));
+    ResultTable table(
+        "Fig. 20: LLC miss-rate increase vs sparse 2x (% points)",
+        cols);
+    for (const auto *app : selectApps(scale)) {
+        RunOut b = runOne(base, *app, scale.accessesPerCore, scale.warmupPerCore);
+        const double mr_base = b.stats.get("llc.miss_rate");
+        std::vector<double> row;
+        for (double f : sizes) {
+            RunOut o =
+                runOne(tinyCfg(scale, f, TinyPolicy::DstraGnru, true),
+                       *app, scale.accessesPerCore, scale.warmupPerCore);
+            row.push_back(100.0 *
+                          (o.stats.get("llc.miss_rate") - mr_base));
+        }
+        table.addRow(app->name, std::move(row));
+    }
+    table.print(std::cout, 2);
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 21: execution cycles plus LLC+directory dynamic / leakage /
+ * total energy of baseline sparse directories (2x .. 1/16x) and the
+ * 1/128x tiny directory, everything normalized to the 1/256x tiny
+ * directory exercising DSTRA+gNRU+DynSpill. Values are averaged over
+ * the selected workloads, as in the paper.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+namespace
+{
+
+struct Sums
+{
+    double dyn = 0, leak = 0, total = 0, cycles = 0;
+};
+
+Sums
+average(const SystemConfig &cfg, const BenchScale &scale)
+{
+    Sums s;
+    unsigned n = 0;
+    for (const auto *app : selectApps(scale)) {
+        RunOut o = runOne(cfg, *app, scale.accessesPerCore, scale.warmupPerCore);
+        s.dyn += o.stats.get("energy.dynamic_j");
+        s.leak += o.stats.get("energy.leakage_j");
+        s.total += o.stats.get("energy.total_j");
+        s.cycles += static_cast<double>(o.execCycles);
+        ++n;
+    }
+    s.dyn /= n;
+    s.leak /= n;
+    s.total /= n;
+    s.cycles /= n;
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    const Sums ref = average(
+        tinyCfg(scale, 1.0 / 256, TinyPolicy::DstraGnru, true), scale);
+
+    ResultTable table(
+        "Fig. 21: energy and cycles normalized to the 1/256x tiny "
+        "directory (+DynSpill), workload average",
+        {"dynamic", "leakage", "total", "exec cycles"});
+    for (double f : {2.0, 1.0, 0.5, 0.25, 0.125, 1.0 / 16}) {
+        const Sums s = average(sparseCfg(scale, f), scale);
+        table.addRow("sparse " + sizeLabel(f),
+                     {s.dyn / ref.dyn, s.leak / ref.leak,
+                      s.total / ref.total, s.cycles / ref.cycles});
+    }
+    const Sums t128 = average(
+        tinyCfg(scale, 1.0 / 128, TinyPolicy::DstraGnru, true), scale);
+    table.addRow("tiny 1/128x",
+                 {t128.dyn / ref.dyn, t128.leak / ref.leak,
+                  t128.total / ref.total, t128.cycles / ref.cycles});
+    table.addRow("tiny 1/256x", {1.0, 1.0, 1.0, 1.0});
+    table.print(std::cout, 3, false);
+    return 0;
+}

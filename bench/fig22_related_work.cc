@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 22: execution time of the multi-grain directory (MgD, 1/8x ..
+ * 1/64x, skew-associative) and the Stash directory (1/32x),
+ * normalized to a 2x sparse directory.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig base = sparseCfg(scale, 2.0);
+    std::vector<Scheme> schemes;
+    for (double f : {0.125, 1.0 / 16, 1.0 / 32, 1.0 / 64}) {
+        SystemConfig cfg = baseConfig(scale);
+        cfg.tracker = TrackerKind::Mgd;
+        cfg.dirSizeFactor = f;
+        cfg.dirSkewed = true;
+        cfg.dirAssoc = 4;
+        schemes.push_back({"MgD " + sizeLabel(f), cfg});
+    }
+    {
+        SystemConfig cfg = baseConfig(scale);
+        cfg.tracker = TrackerKind::Stash;
+        cfg.dirSizeFactor = 1.0 / 32;
+        schemes.push_back({"Stash 1/32x", cfg});
+    }
+    // The paper's own design at the same size, for reference.
+    schemes.push_back(
+        {"tiny 1/32x",
+         tinyCfg(scale, 1.0 / 32, TinyPolicy::DstraGnru, true)});
+    auto table = runMatrix(
+        "Fig. 22: normalized execution time, related proposals",
+        scale, &base, schemes, execCyclesMetric());
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shared driver for Figs. 16/17: a tiny-directory statistic under the
+ * DSTRA+gNRU policy normalized to the same statistic under plain
+ * DSTRA, for all four tiny sizes.
+ */
+
+#ifndef TINYDIR_BENCH_GNRU_RATIO_BENCH_HH
+#define TINYDIR_BENCH_GNRU_RATIO_BENCH_HH
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+namespace tinydir::bench
+{
+
+inline int
+runGnruRatioFigure(int argc, char **argv, const std::string &title,
+                   const std::string &stat)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    const std::vector<double> sizes{1.0 / 256, 1.0 / 128, 1.0 / 64,
+                                    1.0 / 32};
+    std::vector<std::string> cols;
+    for (double f : sizes)
+        cols.push_back(sizeLabel(f));
+    ResultTable table(title, cols);
+    for (const auto *app : selectApps(scale)) {
+        std::vector<double> row;
+        for (double f : sizes) {
+            RunOut dstra =
+                runOne(tinyCfg(scale, f, TinyPolicy::Dstra, false),
+                       *app, scale.accessesPerCore, scale.warmupPerCore);
+            RunOut gnru =
+                runOne(tinyCfg(scale, f, TinyPolicy::DstraGnru, false),
+                       *app, scale.accessesPerCore, scale.warmupPerCore);
+            const double denom = std::max(1.0, dstra.stats.get(stat));
+            row.push_back(gnru.stats.get(stat) / denom);
+        }
+        table.addRow(app->name, std::move(row));
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace tinydir::bench
+
+#endif // TINYDIR_BENCH_GNRU_RATIO_BENCH_HH

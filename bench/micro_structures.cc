@@ -1,0 +1,121 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the core data structures:
+ * lookup/insert throughput of the cache arrays, the skew array, the
+ * sharer set, the STRA category computation, and whole-transaction
+ * throughput of the engine under each tracker. These bound the
+ * simulator's own speed and double as ablation probes for the
+ * structure choices in DESIGN.md Section 5.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "common/sharer_set.hh"
+#include "mem/cache_array.hh"
+#include "mem/skew_array.hh"
+#include "proto/mesi.hh"
+#include "sim/system.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+struct Entry
+{
+    Addr tag = 0;
+    bool valid = false;
+};
+
+void
+BM_CacheArrayLookup(benchmark::State &state)
+{
+    const unsigned assoc = static_cast<unsigned>(state.range(0));
+    CacheArray<Entry> arr(256, assoc, ReplPolicy::Lru);
+    Rng rng(1);
+    for (unsigned i = 0; i < 256 * assoc; ++i) {
+        const std::uint64_t set = rng.below(256);
+        const unsigned w = arr.victimWay(set);
+        arr.way(set, w) = {rng.below(1 << 20), true};
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            arr.find(rng.below(256), rng.below(1 << 20)));
+    }
+}
+BENCHMARK(BM_CacheArrayLookup)->Arg(4)->Arg(8)->Arg(16);
+
+void
+BM_SkewArrayInsert(benchmark::State &state)
+{
+    SkewArray<Entry> arr(256, 4);
+    Rng rng(2);
+    for (auto _ : state) {
+        auto ir = arr.insert(rng.below(1 << 22));
+        ir.slot->tag = 1;
+        ir.slot->valid = true;
+        benchmark::DoNotOptimize(ir.slot);
+    }
+}
+BENCHMARK(BM_SkewArrayInsert);
+
+void
+BM_SharerSetOps(benchmark::State &state)
+{
+    SharerSet s;
+    Rng rng(3);
+    for (auto _ : state) {
+        const CoreId c = static_cast<CoreId>(rng.below(128));
+        s.add(c);
+        benchmark::DoNotOptimize(s.count());
+        benchmark::DoNotOptimize(s.electNear(c, 128));
+        s.remove(c);
+    }
+}
+BENCHMARK(BM_SharerSetOps);
+
+void
+BM_StraCategory(benchmark::State &state)
+{
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(straCategory(rng.uniform()));
+}
+BENCHMARK(BM_StraCategory);
+
+void
+BM_EngineTransaction(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::scaled(16);
+    cfg.tracker = static_cast<TrackerKind>(state.range(0));
+    cfg.dirSizeFactor =
+        cfg.tracker == TrackerKind::SparseDir ? 2.0 : 1.0 / 32;
+    if (cfg.tracker == TrackerKind::Mgd) {
+        cfg.dirSkewed = true;
+        cfg.dirAssoc = 4;
+    }
+    if (cfg.tracker == TrackerKind::TinyDir)
+        cfg.tinySpill = true;
+    System sys(cfg);
+    Rng rng(5);
+    for (auto _ : state) {
+        const CoreId c = static_cast<CoreId>(rng.below(16));
+        TraceAccess a;
+        a.gap = 4;
+        a.type = rng.chance(0.3) ? AccessType::Store : AccessType::Load;
+        a.addr = rng.below(4096) << blockShift;
+        const Cycle issue = sys.cores[c].clock + a.gap;
+        sys.cores[c].clock = sys.executeAccess(c, a, issue);
+    }
+}
+BENCHMARK(BM_EngineTransaction)
+    ->Arg(static_cast<int>(TrackerKind::SparseDir))
+    ->Arg(static_cast<int>(TrackerKind::InLlc))
+    ->Arg(static_cast<int>(TrackerKind::TinyDir))
+    ->Arg(static_cast<int>(TrackerKind::Mgd))
+    ->Arg(static_cast<int>(TrackerKind::Stash));
+
+} // namespace
+
+BENCHMARK_MAIN();

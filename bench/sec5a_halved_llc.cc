@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Section V-A robustness check: the entire cache hierarchy halved
+ * (LLC capacity = N blocks instead of 2N). The 1/128x tiny directory
+ * with DSTRA+gNRU and with +DynSpill versus a 2x sparse directory of
+ * the same halved system.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig base = sparseCfg(scale, 2.0);
+    base.llcBlocksPerN = 1.0;
+    SystemConfig gnru =
+        tinyCfg(scale, 1.0 / 128, TinyPolicy::DstraGnru, false);
+    gnru.llcBlocksPerN = 1.0;
+    SystemConfig spill =
+        tinyCfg(scale, 1.0 / 128, TinyPolicy::DstraGnru, true);
+    spill.llcBlocksPerN = 1.0;
+    auto table = runMatrix(
+        "Sec. V-A: halved LLC, tiny 1/128x vs sparse 2x",
+        scale, &base,
+        {{"DSTRA+gNRU", gnru}, {"+DynSpill", spill}},
+        execCyclesMetric());
+    table.print(std::cout);
+    return 0;
+}

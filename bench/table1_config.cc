@@ -1,0 +1,56 @@
+/** @file Prints the resolved system configuration (paper Table I). */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "noc/traffic.hh"
+
+using namespace tinydir;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig cfg = baseConfig(scale);
+    cfg.validate();
+
+    std::cout << "# Table I: simulation environment ("
+              << (scale.full ? "paper scale" : "scaled") << ")\n";
+    std::cout << "cores                    " << cfg.numCores << "\n";
+    std::cout << "L1 I/D per core          " << cfg.l1Bytes / 1024
+              << " KB, " << cfg.l1Assoc << "-way, " << cfg.l1Latency
+              << " cycles\n";
+    std::cout << "L2 per core              " << cfg.l2Bytes / 1024
+              << " KB, " << cfg.l2Assoc << "-way, " << cfg.l2Latency
+              << " cycles\n";
+    std::cout << "shared LLC               "
+              << cfg.llcBlocksTotal() * blockBytes / (1024 * 1024)
+              << " MB, " << cfg.llcAssoc << "-way, " << cfg.llcBanks()
+              << " banks, tag " << cfg.llcTagLatency << " + data "
+              << cfg.llcDataLatency << " cycles\n";
+    std::cout << "block size               " << blockBytes << " B\n";
+    std::cout << "mesh                     " << cfg.meshWidth() << "x"
+              << cfg.meshHeight() << ", " << cfg.hopCycles
+              << " cycles/hop\n";
+    std::cout << "memory                   " << cfg.memChannels
+              << " channels, " << cfg.memBanksPerChannel
+              << " banks each, CAS/RCD/RP " << cfg.dramCas << "/"
+              << cfg.dramRcd << "/" << cfg.dramRp << " cycles\n";
+    std::cout << "aggregate L2 blocks (N)  " << cfg.aggregateL2Blocks()
+              << "\n";
+    std::cout << "directory sizes (entries/slice, associativity):\n";
+    for (double f : {2.0, 1.0, 0.5, 0.25, 0.125, 1.0 / 16, 1.0 / 32,
+                     1.0 / 64, 1.0 / 128, 1.0 / 256}) {
+        SystemConfig c = cfg;
+        c.dirSizeFactor = f;
+        std::cout << "  " << tinydir::bench::sizeLabel(f) << ": "
+                  << c.dirEntriesPerSlice() << " entries/slice, "
+                  << c.effectiveDirAssoc()
+                  << (c.dirEntriesPerSlice() <= 16
+                          ? "-way (fully assoc)\n" : "-way\n");
+    }
+    std::cout << "reconstruction payload   "
+              << reconstructBytes(cfg.numCores) << " B per E-state "
+              << "eviction notice\n";
+    return 0;
+}

@@ -1,0 +1,37 @@
+/** @file Prints the workload inventory (paper Table II analogue). */
+
+#include <iomanip>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "workload/profile.hh"
+
+using namespace tinydir;
+
+int
+main(int argc, char **argv)
+{
+    (void)parseBenchScale(argc, argv);
+    std::cout << "# Table II analogue: synthetic workload profiles\n";
+    std::cout << std::left << std::setw(14) << "name"
+              << std::right << std::setw(8) << "ifetch"
+              << std::setw(8) << "shared" << std::setw(8) << "stream"
+              << std::setw(10) << "priv/core" << std::setw(10)
+              << "shr/core" << std::setw(8) << "code"
+              << std::setw(26) << "degree mix [2-4,5-8,9-16,17+]"
+              << '\n';
+    for (const auto &p : allProfiles()) {
+        std::cout << std::left << std::setw(14) << p.name
+                  << std::right << std::fixed << std::setprecision(2)
+                  << std::setw(8) << p.ifetchFrac
+                  << std::setw(8) << p.sharedFrac
+                  << std::setw(8) << p.streamFrac
+                  << std::setw(10) << p.privBlocksPerCore
+                  << std::setw(10) << p.sharedBlocksPerCore
+                  << std::setw(8) << p.codeBlocks
+                  << "    [" << p.degreeMix[0] << ", "
+                  << p.degreeMix[1] << ", " << p.degreeMix[2] << ", "
+                  << p.degreeMix[3] << "]\n";
+    }
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Shared driver for Figs. 10-13: execution time of one tiny-directory
+ * size under the DSTRA, DSTRA+gNRU and DSTRA+gNRU+DynSpill policies,
+ * normalized to the 2x sparse directory.
+ */
+
+#ifndef TINYDIR_BENCH_TINY_SIZE_BENCH_HH
+#define TINYDIR_BENCH_TINY_SIZE_BENCH_HH
+
+#include <iostream>
+
+#include "bench_util.hh"
+
+namespace tinydir::bench
+{
+
+inline int
+runTinySizeFigure(int argc, char **argv, const char *figure,
+                  double factor)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    SystemConfig base = sparseCfg(scale, 2.0);
+    std::vector<Scheme> schemes{
+        {"DSTRA", tinyCfg(scale, factor, TinyPolicy::Dstra, false)},
+        {"DSTRA+gNRU",
+         tinyCfg(scale, factor, TinyPolicy::DstraGnru, false)},
+        {"+DynSpill",
+         tinyCfg(scale, factor, TinyPolicy::DstraGnru, true)},
+    };
+    auto table = runMatrix(
+        std::string(figure) + ": normalized execution time, tiny " +
+            sizeLabel(factor) + " directory",
+        scale, &base, schemes, execCyclesMetric());
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace tinydir::bench
+
+#endif // TINYDIR_BENCH_TINY_SIZE_BENCH_HH

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Section VI future-work exploration: tiny directories for
+ * inter-socket coherence tracking.
+ *
+ * The paper closes with: "The application of the tiny directory
+ * proposal to inter-socket coherence tracking in a multi-socket
+ * environment is the next natural step to explore."
+ *
+ * The library's abstractions map directly: model each *socket* as a
+ * "core" whose private hierarchy stands in for the socket-local cache
+ * hierarchy (MB-scale), the shared "LLC" as the memory-side snoop
+ * filter substrate, hop latency as the inter-socket link (~40 ns),
+ * and DRAM as the shared memory pool. The inter-socket directory is
+ * then exactly the coherence tracker under study, sized as a fraction
+ * of the aggregate socket-cache capacity.
+ *
+ * The study asks the paper's question one level up: how small can the
+ * inter-socket directory be before cross-socket shared reads suffer,
+ * and does DSTRA+gNRU+DynSpill still close the gap?
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "sim/driver.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "workload/generator.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+SystemConfig
+socketConfig(unsigned sockets)
+{
+    SystemConfig cfg;
+    cfg.numCores = sockets;        // one "core" = one socket
+    cfg.l1Bytes = 512 * 1024;      // socket-local L2 slice stand-in
+    cfg.l1Assoc = 8;
+    cfg.l1Latency = 12;
+    cfg.l2Bytes = 4 * 1024 * 1024; // socket LLC
+    cfg.l2Assoc = 16;
+    cfg.l2Latency = 30;
+    cfg.hopCycles = 80;            // ~40 ns inter-socket link at 2 GHz
+    cfg.llcAssoc = 16;
+    cfg.llcBlocksPerN = 2.0;       // memory-side buffer/filter substrate
+    cfg.memChannels = 4;
+    cfg.dramCas = 30;
+    cfg.dramRcd = 30;
+    cfg.dramRp = 30;
+    cfg.spillWindowAccesses = 1024;
+    return cfg;
+}
+
+double
+run(SystemConfig cfg, const WorkloadProfile &prof)
+{
+    cfg.validate();
+    RunOut o = runOne(cfg, prof, 30000, 15000);
+    return static_cast<double>(o.execCycles);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const unsigned sockets =
+        argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 8;
+    // A database-like profile with a large cross-socket shared set.
+    WorkloadProfile prof = profileByName("TPC-C");
+    prof.privBlocksPerCore = 40000;   // per-socket private footprint
+    prof.privHotBlocks = 4096;
+    prof.sharedBlocksPerCore = 16384; // cross-socket shared tables
+    prof.codeBlocks = 16384;
+
+    std::cout << "Inter-socket coherence tracking study (" << sockets
+              << " sockets, 4 MB socket LLCs, 40 ns links)\n\n";
+
+    SystemConfig base = socketConfig(sockets);
+    base.tracker = TrackerKind::SparseDir;
+    base.dirSizeFactor = 2.0;
+    const double ref = run(base, prof);
+    std::cout << "sparse 2x inter-socket directory (reference): 1.0\n";
+
+    for (double f : {1.0 / 4, 1.0 / 16, 1.0 / 64}) {
+        SystemConfig cfg = socketConfig(sockets);
+        cfg.tracker = TrackerKind::SparseDir;
+        cfg.dirSizeFactor = f;
+        std::cout << "sparse " << f << "x: " << run(cfg, prof) / ref
+                  << '\n';
+    }
+    {
+        SystemConfig cfg = socketConfig(sockets);
+        cfg.tracker = TrackerKind::InLlc;
+        std::cout << "in-memory-buffer tracking (no directory): "
+                  << run(cfg, prof) / ref << '\n';
+    }
+    for (bool spill : {false, true}) {
+        SystemConfig cfg = socketConfig(sockets);
+        cfg.tracker = TrackerKind::TinyDir;
+        cfg.dirSizeFactor = 1.0 / 64;
+        cfg.tinyPolicy = TinyPolicy::DstraGnru;
+        cfg.tinySpill = spill;
+        std::cout << "tiny 1/64x DSTRA+gNRU"
+                  << (spill ? "+DynSpill" : "") << ": "
+                  << run(cfg, prof) / ref << '\n';
+    }
+    std::cout << "\nInterpretation: with 40 ns links, every recovered"
+                 " two-hop read saves ~2 link crossings; the tiny\n"
+                 "directory tracks the cross-socket shared working set"
+                 " at a small fraction of the snoop-filter cost.\n";
+    return 0;
+}

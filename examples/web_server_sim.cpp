@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Domain example: a web-serving consolidation study.
+ *
+ * The paper's introduction motivates tiny directories with commercial
+ * server workloads (SPECWeb, TPC) whose shared code/data footprints
+ * overwhelm small directories. This example sweeps the directory size
+ * for the three SPECWeb-like profiles and reports where each scheme's
+ * execution time and interconnect traffic land, answering the
+ * capacity-planning question "how small a directory can a web tier
+ * tolerate?".
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "workload/profile.hh"
+
+using namespace tinydir;
+
+int
+main(int argc, char **argv)
+{
+    BenchScale scale = parseBenchScale(argc, argv);
+    const std::vector<const char *> apps{"SPEC_Web-B", "SPEC_Web-E",
+                                         "SPEC_Web-S"};
+    const std::vector<double> sizes{2.0, 1.0 / 16, 1.0 / 32,
+                                    1.0 / 64};
+
+    std::cout << "Web-tier directory sizing study (" << scale.cores
+              << " cores)\n";
+    for (const char *app : apps) {
+        const auto &prof = profileByName(app);
+
+        // Baseline sparse directories of decreasing size.
+        SystemConfig cfg = baseConfig(scale);
+        cfg.tracker = TrackerKind::SparseDir;
+        cfg.dirSizeFactor = 2.0;
+        RunOut base = runOne(cfg, prof, scale.accessesPerCore);
+
+        std::cout << "\n== " << app << " ==\n";
+        for (double size : sizes) {
+            SystemConfig c2 = baseConfig(scale);
+            c2.tracker = TrackerKind::SparseDir;
+            c2.dirSizeFactor = size;
+            RunOut o = runOne(c2, prof, scale.accessesPerCore);
+            std::cout << "  sparse " << size << "x: exec "
+                      << static_cast<double>(o.execCycles) /
+                             static_cast<double>(base.execCycles)
+                      << "  traffic "
+                      << o.stats.get("traffic.total.bytes") /
+                             base.stats.get("traffic.total.bytes")
+                      << '\n';
+        }
+        // The tiny directory alternative at 1/64x.
+        SystemConfig tiny = baseConfig(scale);
+        tiny.tracker = TrackerKind::TinyDir;
+        tiny.dirSizeFactor = 1.0 / 64;
+        tiny.tinySpill = true;
+        RunOut o = runOne(tiny, prof, scale.accessesPerCore);
+        std::cout << "  tiny 1/64x+DynSpill: exec "
+                  << static_cast<double>(o.execCycles) /
+                         static_cast<double>(base.execCycles)
+                  << "  traffic "
+                  << o.stats.get("traffic.total.bytes") /
+                         base.stats.get("traffic.total.bytes")
+                  << "  (spills " << o.stats.get("dir.spills")
+                  << ")\n";
+    }
+    return 0;
+}

@@ -1,0 +1,200 @@
+#include "cache/llc.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+void
+ResidencyHistograms::noteDeath(const ResidencyStats &rs)
+{
+    ++blocksAllocated;
+    if (rs.maxSharers >= 2) {
+        ++blocksShared;
+        unsigned bin;
+        if (rs.maxSharers <= 4)
+            bin = 0;
+        else if (rs.maxSharers <= 8)
+            bin = 1;
+        else if (rs.maxSharers <= 16)
+            bin = 2;
+        else
+            bin = 3;
+        sharerBins.sample(bin);
+    }
+    if (rs.lengthened > 0)
+        ++blocksLengthened;
+    const Counter total = rs.straReads + rs.otherAccesses;
+    if (total > 0 && rs.straReads > 0) {
+        const double ratio =
+            static_cast<double>(rs.straReads) / static_cast<double>(total);
+        const unsigned cat = straCategory(ratio);
+        straBlocks.sample(cat);
+        straAccesses.sample(cat, rs.straReads);
+    }
+}
+
+Llc::Llc(const SystemConfig &cfg)
+    : banks_(cfg.llcBanks()), sets(cfg.llcSetsPerBank()),
+      ways(cfg.llcAssoc)
+{
+    // Sampled no-spill sets: spillSampledSets per bank, evenly
+    // spread. Degenerate tiny LLCs (tests) sample at most every other
+    // set so spilling stays possible.
+    sampleStride = static_cast<unsigned>(
+        std::max<std::uint64_t>(2, sets / cfg.spillSampledSets));
+    arrays.reserve(banks_);
+    for (unsigned b = 0; b < banks_; ++b)
+        arrays.emplace_back(sets, ways, ReplPolicy::Lru, cfg.seed + b);
+    bankFree.assign(banks_, 0);
+}
+
+LlcEntry *
+Llc::findData(Addr block)
+{
+    auto &arr = arrays[bankOf(block)];
+    const std::uint64_t set = setOf(block);
+    for (unsigned w = 0; w < ways; ++w) {
+        LlcEntry &e = arr.way(set, w);
+        if (e.valid && e.tag == block && e.meta != LlcMeta::Spill)
+            return &e;
+    }
+    return nullptr;
+}
+
+LlcEntry *
+Llc::findSpill(Addr block)
+{
+    auto &arr = arrays[bankOf(block)];
+    const std::uint64_t set = setOf(block);
+    for (unsigned w = 0; w < ways; ++w) {
+        LlcEntry &e = arr.way(set, w);
+        if (e.valid && e.tag == block && e.meta == LlcMeta::Spill)
+            return &e;
+    }
+    return nullptr;
+}
+
+void
+Llc::touchData(Addr block)
+{
+    auto &arr = arrays[bankOf(block)];
+    const std::uint64_t set = setOf(block);
+    for (unsigned w = 0; w < ways; ++w) {
+        LlcEntry &e = arr.way(set, w);
+        if (e.valid && e.tag == block && e.meta != LlcMeta::Spill) {
+            arr.touch(set, w);
+            return;
+        }
+    }
+}
+
+void
+Llc::touchSpill(Addr block)
+{
+    auto &arr = arrays[bankOf(block)];
+    const std::uint64_t set = setOf(block);
+    for (unsigned w = 0; w < ways; ++w) {
+        LlcEntry &e = arr.way(set, w);
+        if (e.valid && e.tag == block && e.meta == LlcMeta::Spill) {
+            arr.touch(set, w);
+            return;
+        }
+    }
+}
+
+Llc::AllocResult
+Llc::allocate(Addr block)
+{
+    const unsigned bank = bankOf(block);
+    auto &arr = arrays[bank];
+    const std::uint64_t set = setOf(block);
+    // Pin any way already holding this tag (the companion entry).
+    std::vector<bool> pinned(ways, false);
+    for (unsigned w = 0; w < ways; ++w) {
+        const LlcEntry &e = arr.way(set, w);
+        if (e.valid && e.tag == block)
+            pinned[w] = true;
+    }
+    const unsigned w = arr.victimWay(set, &pinned);
+    LlcEntry &slot = arr.way(set, w);
+    AllocResult res{&slot, std::nullopt};
+    if (slot.valid)
+        res.victim = slot;
+    slot = LlcEntry{};
+    arr.touch(set, w);
+    return res;
+}
+
+void
+Llc::freeSpill(Addr block)
+{
+    auto &arr = arrays[bankOf(block)];
+    const std::uint64_t set = setOf(block);
+    for (unsigned w = 0; w < ways; ++w) {
+        LlcEntry &e = arr.way(set, w);
+        if (e.valid && e.tag == block && e.meta == LlcMeta::Spill) {
+            e = LlcEntry{};
+            arr.demote(set, w);
+            return;
+        }
+    }
+}
+
+void
+Llc::freeData(Addr block)
+{
+    auto &arr = arrays[bankOf(block)];
+    const std::uint64_t set = setOf(block);
+    for (unsigned w = 0; w < ways; ++w) {
+        LlcEntry &e = arr.way(set, w);
+        if (e.valid && e.tag == block && e.meta != LlcMeta::Spill) {
+            noteDeath(e);
+            e = LlcEntry{};
+            arr.demote(set, w);
+            return;
+        }
+    }
+}
+
+void
+Llc::noteDeath(const LlcEntry &e)
+{
+    if (e.valid && e.meta != LlcMeta::Spill)
+        hist.noteDeath(e.stats);
+}
+
+void
+Llc::flushResidency()
+{
+    for (unsigned b = 0; b < banks_; ++b) {
+        for (std::uint64_t s = 0; s < sets; ++s) {
+            for (unsigned w = 0; w < ways; ++w) {
+                const LlcEntry &e = arrays[b].way(s, w);
+                noteDeath(e);
+            }
+        }
+    }
+}
+
+void
+Llc::resetStats()
+{
+    hist.reset();
+    cohDataWrites.reset();
+    for (unsigned b = 0; b < banks_; ++b) {
+        for (std::uint64_t s = 0; s < sets; ++s) {
+            for (unsigned w = 0; w < ways; ++w)
+                arrays[b].way(s, w).stats = ResidencyStats{};
+        }
+    }
+}
+
+bool
+Llc::isSampledSet(Addr block) const
+{
+    return setOf(block) % sampleStride == 0;
+}
+
+} // namespace tinydir

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Shared banked last-level cache.
+ *
+ * Beyond a plain non-inclusive LLC (Table I: 128 banks, 16-way, LRU),
+ * this LLC carries the meta-states the paper's mechanisms need:
+ *
+ *  - CorruptExcl / CorruptShared: the block's data way holds the
+ *    in-LLC coherence encoding of Section III (V=0, D=1); the LLC
+ *    cannot supply data for this tag.
+ *  - Spill: the way holds a spilled coherence tracking entry E_B for a
+ *    block B resident in the same set (Section IV-B1).
+ *
+ * Per-residency measurement counters (max sharers, STRA reads,
+ * lengthened accesses) live in each entry and are flushed to the
+ * system histograms on eviction, feeding Figs. 2 and 6-9.
+ */
+
+#ifndef TINYDIR_CACHE_LLC_HH
+#define TINYDIR_CACHE_LLC_HH
+
+#include <optional>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/sharer_set.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache_array.hh"
+#include "proto/mesi.hh"
+
+namespace tinydir
+{
+
+/** Meta-state of an LLC way (paper Tables III/IV). */
+enum class LlcMeta : std::uint8_t
+{
+    Normal,        //!< plain data block (V=1)
+    CorruptExcl,   //!< V=0,D=1; b2=1: exclusively owned, data corrupt
+    CorruptShared, //!< V=0,D=1; b2=0: shared, data corrupt
+    Spill,         //!< spilled tracking entry E_B (V=0,D=1 + same tag)
+};
+
+/** Per-LLC-residency measurement counters (not policy state). */
+struct ResidencyStats
+{
+    unsigned maxSharers = 0;
+    Counter straReads = 0;      //!< reads that found the block shared
+    Counter otherAccesses = 0;  //!< all other non-writeback accesses
+    Counter lengthened = 0;     //!< reads actually served three-hop
+    Counter lengthenedCode = 0; //!< subset that were ifetches
+};
+
+/** One LLC way. */
+struct LlcEntry
+{
+    Addr tag = 0;       //!< block number
+    bool valid = false; //!< way in use (any meta-state)
+    bool dirty = false; //!< data dirty (Normal only)
+    LlcMeta meta = LlcMeta::Normal;
+
+    // Tracking payload, meaningful for Corrupt*/Spill ways.
+    CoreId owner = invalidCore;
+    SharerSet sharers;
+    /** 6-bit saturating STRAC / OAC policy counters (Section IV-A). */
+    std::uint8_t strac = 0;
+    std::uint8_t oac = 0;
+
+    ResidencyStats stats;
+
+    bool isData() const { return valid && meta != LlcMeta::Spill; }
+    bool
+    isCorrupt() const
+    {
+        return valid && (meta == LlcMeta::CorruptExcl ||
+                         meta == LlcMeta::CorruptShared);
+    }
+};
+
+/**
+ * Aggregated end-of-run residency histograms (Figs. 2, 7, 8, 9 raw
+ * material). Flushed into by the LLC whenever a data entry dies.
+ */
+struct ResidencyHistograms
+{
+    Counter blocksAllocated = 0;
+    /** blocks by max sharer count bin: [2,4],[5,8],[9,16],[17,128]. */
+    Histogram sharerBins{4};
+    Counter blocksShared = 0;     //!< max sharers >= 2
+    Counter blocksLengthened = 0; //!< suffered >=1 three-hop read
+    /** blocks with non-zero STRA ratio, by category C1..C7 (idx 1..7). */
+    Histogram straBlocks{numStraCategories};
+    /** three-hop (would-be) reads by block category. */
+    Histogram straAccesses{numStraCategories};
+
+    void noteDeath(const ResidencyStats &rs);
+
+    void
+    reset()
+    {
+        blocksAllocated = 0;
+        blocksShared = 0;
+        blocksLengthened = 0;
+        sharerBins.reset();
+        straBlocks.reset();
+        straAccesses.reset();
+    }
+};
+
+/** The shared banked last-level cache. */
+class Llc
+{
+  public:
+    explicit Llc(const SystemConfig &cfg);
+
+    unsigned numBanks() const { return banks_; }
+    std::uint64_t setsPerBank() const { return sets; }
+    unsigned assoc() const { return ways; }
+
+    /** Home bank of a block. */
+    unsigned bankOf(Addr block) const
+    {
+        return static_cast<unsigned>(block % banks_);
+    }
+
+    /** Set index of a block within its bank. */
+    std::uint64_t setOf(Addr block) const
+    {
+        return (block / banks_) & (sets - 1);
+    }
+
+    /** Find the data entry (Normal or Corrupt*) for a block. */
+    LlcEntry *findData(Addr block);
+
+    /** Find the spilled tracking entry for a block, if any. */
+    LlcEntry *findSpill(Addr block);
+
+    /**
+     * Promote to MRU. When the block also has a spilled entry the
+     * paper's ordering rule applies: E_B first, then B, so that E_B is
+     * always older than B and gets victimized first.
+     */
+    void touchData(Addr block);
+    void touchSpill(Addr block);
+
+    /**
+     * Allocate a way for a (data or spill) entry of @p block.
+     * Never victimizes a way whose tag equals @p block (the companion
+     * entry). The evicted entry, if any, is returned for the caller
+     * (engine/tracker) to handle. The new way is returned invalid;
+     * the caller fills it.
+     */
+    struct AllocResult
+    {
+        LlcEntry *slot;
+        std::optional<LlcEntry> victim;
+    };
+    AllocResult allocate(Addr block);
+
+    /** Remove the spill entry of @p block (after state transfer). */
+    void freeSpill(Addr block);
+
+    /** Remove the data entry of @p block, flushing residency stats. */
+    void freeData(Addr block);
+
+    /** Flush residency stats of a dying/reset entry into the histograms. */
+    void noteDeath(const LlcEntry &e);
+
+    /** Flush stats of every live data entry (end of simulation). */
+    void flushResidency();
+
+    /**
+     * Reset measurement state after a warmup phase: clears the
+     * histograms, the per-entry residency counters of live blocks,
+     * and the coherence-write counter. Cache contents are untouched.
+     */
+    void resetStats();
+
+    /** Per-bank service queue; engine uses this for queueing delay. */
+    Cycle bankFreeAt(unsigned bank) const { return bankFree[bank]; }
+    void setBankFreeAt(unsigned bank, Cycle c) { bankFree[bank] = c; }
+
+    ResidencyHistograms &residency() { return hist; }
+    const ResidencyHistograms &residency() const { return hist; }
+
+    /** Count of data-array writes for coherence-state updates. */
+    Scalar cohDataWrites;
+
+    /** Whether @p block maps to a sampled no-spill set (Section IV-B2). */
+    bool isSampledSet(Addr block) const;
+
+    /** Visit every valid way (any meta-state). */
+    template <typename F>
+    void
+    forEachEntry(F &&f)
+    {
+        for (unsigned b = 0; b < banks_; ++b) {
+            for (std::uint64_t s = 0; s < sets; ++s) {
+                for (unsigned w = 0; w < ways; ++w) {
+                    LlcEntry &e = arrays[b].way(s, w);
+                    if (e.valid)
+                        f(e);
+                }
+            }
+        }
+    }
+
+  private:
+    unsigned banks_;
+    std::uint64_t sets;
+    unsigned ways;
+    unsigned sampleStride;
+    std::vector<CacheArray<LlcEntry>> arrays;
+    std::vector<Cycle> bankFree;
+    ResidencyHistograms hist;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_CACHE_LLC_HH

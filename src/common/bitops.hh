@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Small integer/bit helpers used by cache indexing and tag accounting.
+ */
+
+#ifndef TINYDIR_COMMON_BITOPS_HH
+#define TINYDIR_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+/** True iff @p v is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2; @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceiling of log2; @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** Integer division rounding up. */
+constexpr std::uint64_t
+divCeil(std::uint64_t a, std::uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/**
+ * Mix the bits of a block number. Used to spread synthetic addresses
+ * across sets/banks; splitmix64 finalizer.
+ */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace tinydir
+
+#endif // TINYDIR_COMMON_BITOPS_HH

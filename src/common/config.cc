@@ -1,0 +1,135 @@
+#include "common/config.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+std::string
+toString(TrackerKind k)
+{
+    switch (k) {
+      case TrackerKind::SparseDir: return "sparse";
+      case TrackerKind::SharedOnlyDir: return "shared-only";
+      case TrackerKind::InLlcTagExtended: return "in-llc-tag-extended";
+      case TrackerKind::InLlc: return "in-llc";
+      case TrackerKind::TinyDir: return "tiny";
+      case TrackerKind::Mgd: return "mgd";
+      case TrackerKind::Stash: return "stash";
+    }
+    return "?";
+}
+
+std::string
+toString(TinyPolicy p)
+{
+    switch (p) {
+      case TinyPolicy::Dstra: return "DSTRA";
+      case TinyPolicy::DstraGnru: return "DSTRA+gNRU";
+    }
+    return "?";
+}
+
+std::uint64_t
+SystemConfig::aggregateL2Blocks() const
+{
+    return static_cast<std::uint64_t>(numCores) * (l2Bytes / blockBytes);
+}
+
+std::uint64_t
+SystemConfig::dirEntriesTotal() const
+{
+    auto entries = static_cast<std::uint64_t>(
+        std::llround(dirSizeFactor * static_cast<double>(
+            aggregateL2Blocks())));
+    // Never fewer than one entry per slice.
+    return std::max<std::uint64_t>(entries, llcBanks());
+}
+
+std::uint64_t
+SystemConfig::dirEntriesPerSlice() const
+{
+    return std::max<std::uint64_t>(1, dirEntriesTotal() / llcBanks());
+}
+
+std::uint64_t
+SystemConfig::llcBlocksTotal() const
+{
+    return static_cast<std::uint64_t>(std::llround(
+        llcBlocksPerN * static_cast<double>(aggregateL2Blocks())));
+}
+
+std::uint64_t
+SystemConfig::llcSetsPerBank() const
+{
+    return llcBlocksTotal() / llcBanks() / llcAssoc;
+}
+
+unsigned
+SystemConfig::effectiveDirAssoc() const
+{
+    auto per_slice = dirEntriesPerSlice();
+    if (per_slice <= 16)
+        return static_cast<unsigned>(per_slice); // fully associative
+    return dirAssoc;
+}
+
+unsigned
+SystemConfig::meshWidth() const
+{
+    // The wider power-of-two factorization: 128 -> 16x8, 64 -> 8x8.
+    unsigned log = ceilLog2(numCores);
+    return 1u << divCeil(log, 2);
+}
+
+unsigned
+SystemConfig::meshHeight() const
+{
+    return std::max(1u, numCores / meshWidth());
+}
+
+void
+SystemConfig::validate() const
+{
+    fatal_if(numCores == 0 || numCores > maxCores,
+             "numCores must be in [1, ", maxCores, "]");
+    fatal_if(!isPowerOfTwo(numCores), "numCores must be a power of two");
+    fatal_if(l1Bytes % (blockBytes * l1Assoc) != 0, "bad L1 geometry");
+    fatal_if(l2Bytes % (blockBytes * l2Assoc) != 0, "bad L2 geometry");
+    fatal_if(llcSetsPerBank() == 0, "LLC too small for bank/assoc split");
+    fatal_if(!isPowerOfTwo(llcSetsPerBank()),
+             "LLC sets per bank must be a power of two, got ",
+             llcSetsPerBank());
+    fatal_if(memChannels == 0 || !isPowerOfTwo(memChannels),
+             "memChannels must be a power of two");
+    auto assoc = effectiveDirAssoc();
+    fatal_if(assoc == 0, "directory slice has zero ways");
+    fatal_if(dirEntriesPerSlice() % assoc != 0,
+             "directory slice entries (", dirEntriesPerSlice(),
+             ") not divisible by associativity (", assoc, ")");
+    fatal_if(dirSkewed && dirAssoc != 4,
+             "skew-associative directories are modeled as 4-way ZCache");
+    fatal_if(straCounterBits == 0 || straCounterBits > 8,
+             "STRA counters must be 1..8 bits wide");
+    fatal_if(sharerGrain == 0 || !isPowerOfTwo(sharerGrain) ||
+                 sharerGrain > numCores,
+             "sharerGrain must be a power of two <= numCores");
+    fatal_if(sharerGrain > 1 && tracker != TrackerKind::SparseDir,
+             "coarse sharer vectors are supported for the sparse "
+             "directory only");
+}
+
+SystemConfig
+SystemConfig::scaled(unsigned cores)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    // Per-core cache sizes stay as in Table I; the LLC and directory
+    // scale through their N-relative definitions automatically.
+    return cfg;
+}
+
+} // namespace tinydir

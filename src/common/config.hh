@@ -1,0 +1,162 @@
+/**
+ * @file
+ * System configuration (paper Table I) and coherence-scheme selection.
+ *
+ * All sizing relationships from the paper are kept as invariants:
+ *  - N = aggregate private L2 capacity in blocks across all cores;
+ *  - a "k x" directory has k*N tracking entries;
+ *  - the LLC holds 2*N blocks (so a 2x directory can track every LLC
+ *    block, Fig. 2 setup);
+ *  - one LLC bank + one directory slice per core/mesh hop.
+ *
+ * scaled() produces smaller-core-count configurations that preserve all
+ * these ratios so bench runs stay fast while keeping scheme ordering.
+ */
+
+#ifndef TINYDIR_COMMON_CONFIG_HH
+#define TINYDIR_COMMON_CONFIG_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/** Which coherence-tracking organization the system uses. */
+enum class TrackerKind
+{
+    /** Conventional sparse directory (baseline, any size). */
+    SparseDir,
+    /** Idealized directory tracking only shared blocks (Fig. 3). */
+    SharedOnlyDir,
+    /** Storage-heavy in-LLC variant: every LLC tag extended (Fig. 4). */
+    InLlcTagExtended,
+    /** In-LLC tracking borrowing data-block bits (Section III). */
+    InLlc,
+    /** Tiny directory on top of in-LLC tracking (Section IV). */
+    TinyDir,
+    /** Multi-grain directory baseline (Fig. 22). */
+    Mgd,
+    /** Stash directory baseline (Fig. 22). */
+    Stash,
+};
+
+/** Allocation/eviction policy of the tiny directory (Section IV-A). */
+enum class TinyPolicy
+{
+    Dstra,     //!< Dynamic STRA allocation
+    DstraGnru, //!< DSTRA + generational NRU
+};
+
+/** Convert enum values to human-readable names. */
+std::string toString(TrackerKind k);
+std::string toString(TinyPolicy p);
+
+/** Full system configuration. Defaults reproduce Table I. */
+struct SystemConfig
+{
+    // -- cores and private hierarchy ------------------------------------
+    unsigned numCores = 128;
+    unsigned l1Bytes = 32 * 1024;   //!< per L1 (separate I and D)
+    unsigned l1Assoc = 8;
+    Cycle l1Latency = 2;
+    unsigned l2Bytes = 128 * 1024;  //!< unified private L2
+    unsigned l2Assoc = 8;
+    Cycle l2Latency = 3;
+
+    // -- shared LLC ------------------------------------------------------
+    unsigned llcAssoc = 16;
+    Cycle llcTagLatency = 4;
+    Cycle llcDataLatency = 2;
+    /**
+     * LLC capacity expressed as a multiple of N blocks (aggregate L2
+     * blocks). Table I: 32 MB for 128 cores = 2*N blocks. The Section
+     * V-A robustness experiment halves this to 1.
+     */
+    double llcBlocksPerN = 2.0;
+
+    // -- interconnect -----------------------------------------------------
+    Cycle hopCycles = 6;            //!< 3 ns per hop at 2 GHz
+
+    // -- DRAM --------------------------------------------------------------
+    unsigned memChannels = 8;
+    unsigned memBanksPerChannel = 8;
+    Cycle dramCas = 23;             //!< 11.25 ns at 2 GHz, rounded up
+    Cycle dramRcd = 23;
+    Cycle dramRp = 23;
+    Cycle dramBurst = 8;            //!< BL=8 on 64-bit channel
+    unsigned dramRowBytes = 8 * 1024;
+
+    // -- coherence tracking -------------------------------------------------
+    TrackerKind tracker = TrackerKind::SparseDir;
+    /** Directory entries as a multiple of N (2.0 = the 2x baseline). */
+    double dirSizeFactor = 2.0;
+    unsigned dirAssoc = 8;
+    /** Use a 4-way skew-associative (ZCache/H3) organization. */
+    bool dirSkewed = false;
+    TinyPolicy tinyPolicy = TinyPolicy::DstraGnru;
+    /** Enable dynamic spilling into the LLC (Section IV-B). */
+    bool tinySpill = false;
+    /**
+     * Cores per sharer-vector bit in the sparse directory (paper
+     * Section I-A: "any standard technique for limiting the width of
+     * the directory entry can be seamlessly applied on top"). Grain 1
+     * is the exact full map; larger grains store a conservative
+     * superset: invalidations also visit groupmates and entries may
+     * outlive their last sharer. Supported by TrackerKind::SparseDir.
+     */
+    unsigned sharerGrain = 1;
+
+    // -- tiny-directory / spill tunables (paper values) ---------------------
+    unsigned straCounterBits = 6;   //!< STRAC / OAC width
+    unsigned gnruQuantumCycles = 4096;    //!< T-counter tick
+    unsigned gnruTimerBits = 10;          //!< T counter width
+    unsigned spillSampledSets = 16;       //!< no-spill sets per bank
+    unsigned spillWindowAccesses = 8192;  //!< observation window per bank
+
+    // -- MgD / Stash tunables ------------------------------------------------
+    unsigned mgdRegionBytes = 1024; //!< private-region grain
+
+    // -- workload / driver ----------------------------------------------------
+    std::uint64_t seed = 12345;
+    /** Retry penalty when a request hits a busy (pending) block. */
+    Cycle nackRetryCycles = 20;
+
+    // -- derived quantities ------------------------------------------------
+    /** N: aggregate private L2 capacity in blocks. */
+    std::uint64_t aggregateL2Blocks() const;
+    /** Total directory entries implied by dirSizeFactor. */
+    std::uint64_t dirEntriesTotal() const;
+    /** Directory entries per slice (one slice per LLC bank). */
+    std::uint64_t dirEntriesPerSlice() const;
+    /** Number of LLC banks (one per core/mesh hop). */
+    unsigned llcBanks() const { return numCores; }
+    /** Total LLC capacity in blocks. */
+    std::uint64_t llcBlocksTotal() const;
+    /** LLC sets per bank. */
+    std::uint64_t llcSetsPerBank() const;
+    /**
+     * Effective per-slice directory associativity: the paper uses
+     * fully-associative slices once a slice has <= 16 entries.
+     */
+    unsigned effectiveDirAssoc() const;
+    /** Mesh width (power of two; 128 cores -> 16x8 mesh). */
+    unsigned meshWidth() const;
+    /** Mesh height (numCores / meshWidth()). */
+    unsigned meshHeight() const;
+
+    /** Check internal consistency; fatal() on bad combinations. */
+    void validate() const;
+
+    /**
+     * A configuration with @p cores cores preserving every Table I
+     * ratio (cache sizes per core, LLC blocks = llcBlocksPerN * N,
+     * banks = cores).
+     */
+    static SystemConfig scaled(unsigned cores);
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_COMMON_CONFIG_HH

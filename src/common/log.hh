@@ -1,0 +1,80 @@
+/**
+ * @file
+ * gem5-flavoured status and error reporting helpers.
+ *
+ * panic() is for internal invariant violations (library bugs): aborts.
+ * fatal() is for unusable user configuration: exits with an error code.
+ * warn()/inform() report conditions without stopping the simulation.
+ */
+
+#ifndef TINYDIR_COMMON_LOG_HH
+#define TINYDIR_COMMON_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace tinydir
+{
+
+namespace log_detail
+{
+
+/** Render a printf-like format lazily built from streamed arguments. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace log_detail
+
+/** Abort on an internal invariant violation (a library bug). */
+#define panic(...) \
+    ::tinydir::log_detail::panicImpl(__FILE__, __LINE__, \
+        ::tinydir::log_detail::concat(__VA_ARGS__))
+
+/** Exit cleanly on an unrecoverable user/configuration error. */
+#define fatal(...) \
+    ::tinydir::log_detail::fatalImpl(__FILE__, __LINE__, \
+        ::tinydir::log_detail::concat(__VA_ARGS__))
+
+/** Report a suspicious but survivable condition. */
+#define warn(...) \
+    ::tinydir::log_detail::warnImpl(::tinydir::log_detail::concat(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define inform(...) \
+    ::tinydir::log_detail::informImpl( \
+        ::tinydir::log_detail::concat(__VA_ARGS__))
+
+/** panic() unless the stated invariant holds. */
+#define panic_if(cond, ...) \
+    do { \
+        if (cond) { \
+            panic("assertion failure: ", #cond, ": ", \
+                  ::tinydir::log_detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+/** fatal() unless the stated configuration requirement holds. */
+#define fatal_if(cond, ...) \
+    do { \
+        if (cond) { \
+            fatal("configuration error: ", #cond, ": ", \
+                  ::tinydir::log_detail::concat(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+} // namespace tinydir
+
+#endif // TINYDIR_COMMON_LOG_HH

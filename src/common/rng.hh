@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Deterministic random number generation for workload synthesis.
+ *
+ * xoshiro256** by Blackman and Vigna; seeded through splitmix64 so that
+ * any 64-bit seed (including 0) produces a well-mixed state. Every
+ * workload stream owns an independent Rng so simulations are fully
+ * reproducible and insensitive to scheme-dependent consumption order.
+ */
+
+#ifndef TINYDIR_COMMON_RNG_HH
+#define TINYDIR_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+/** Deterministic 64-bit pseudo random number generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state) {
+            sm += 0x9e3779b97f4a7c15ull;
+            word = mix64(sm);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        panic_if(bound == 0, "Rng::below(0)");
+        // Lemire's multiply-shift rejection-free approximation is fine
+        // for simulation workloads (bias < 2^-64 * bound).
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Zipf-like rank selection over [0, n): rank r is chosen with
+     * probability proportional to 1/(r+1)^theta, approximated via
+     * inverse-power transform (cheap, adequate for locality skew).
+     */
+    std::uint64_t
+    zipf(std::uint64_t n, double theta)
+    {
+        if (n <= 1)
+            return 0;
+        if (theta <= 0.0)
+            return below(n);
+        const double u = uniform();
+        // Inverse-power transform maps u in [0,1) to a rank skewed
+        // toward 0 with skew controlled by theta.
+        const double exponent = 1.0 / (1.0 + theta);
+        double r = static_cast<double>(n) *
+            (1.0 - std::pow(u, exponent));
+        auto rank = static_cast<std::uint64_t>(r);
+        return rank >= n ? n - 1 : rank;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4];
+};
+
+/**
+ * Exact discrete Zipf sampler: rank r in [0, n) is drawn with
+ * probability proportional to 1/(r+1)^theta. The CDF is precomputed
+ * once (the workload generators reuse a sampler per region), sampling
+ * is a binary search. Rng::zipf remains as a cheap stateless
+ * approximation for callers that cannot hold state.
+ */
+class ZipfSampler
+{
+  public:
+    ZipfSampler(std::uint64_t n, double theta) : cdf(n)
+    {
+        panic_if(n == 0, "ZipfSampler over empty range");
+        double acc = 0.0;
+        for (std::uint64_t r = 0; r < n; ++r) {
+            acc += theta <= 0.0
+                ? 1.0
+                : std::pow(static_cast<double>(r + 1), -theta);
+            cdf[r] = acc;
+        }
+        for (auto &c : cdf)
+            c /= acc;
+    }
+
+    std::uint64_t
+    operator()(Rng &rng) const
+    {
+        const double u = rng.uniform();
+        std::uint64_t lo = 0, hi = cdf.size() - 1;
+        while (lo < hi) {
+            const std::uint64_t mid = (lo + hi) / 2;
+            if (cdf[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    std::uint64_t size() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_COMMON_RNG_HH

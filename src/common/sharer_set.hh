@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Fixed-width sharer bitvector.
+ *
+ * Every directory organization in the paper uses a full-map bitvector
+ * per tracking entry (Section I-A); this type provides that bitvector
+ * for up to maxCores (128) cores with cheap set algebra.
+ */
+
+#ifndef TINYDIR_COMMON_SHARER_SET_HH
+#define TINYDIR_COMMON_SHARER_SET_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/** Full-map sharer bitvector for up to maxCores cores. */
+class SharerSet
+{
+  public:
+    SharerSet() : words{0, 0} {}
+
+    /** Construct a singleton set. */
+    static SharerSet
+    single(CoreId c)
+    {
+        SharerSet s;
+        s.add(c);
+        return s;
+    }
+
+    void
+    add(CoreId c)
+    {
+        panic_if(c >= maxCores, "sharer id out of range: ", c);
+        words[c >> 6] |= 1ull << (c & 63);
+    }
+
+    void
+    remove(CoreId c)
+    {
+        panic_if(c >= maxCores, "sharer id out of range: ", c);
+        words[c >> 6] &= ~(1ull << (c & 63));
+    }
+
+    bool
+    contains(CoreId c) const
+    {
+        panic_if(c >= maxCores, "sharer id out of range: ", c);
+        return (words[c >> 6] >> (c & 63)) & 1;
+    }
+
+    void clear() { words = {0, 0}; }
+
+    bool empty() const { return (words[0] | words[1]) == 0; }
+
+    unsigned
+    count() const
+    {
+        return static_cast<unsigned>(std::popcount(words[0]) +
+                                     std::popcount(words[1]));
+    }
+
+    /**
+     * The lowest-numbered sharer, or invalidCore if empty. Used to
+     * elect a forwarding sharer for three-hop reads (Section III-B).
+     */
+    CoreId
+    first() const
+    {
+        if (words[0])
+            return static_cast<CoreId>(std::countr_zero(words[0]));
+        if (words[1])
+            return static_cast<CoreId>(64 + std::countr_zero(words[1]));
+        return invalidCore;
+    }
+
+    /**
+     * Elect the sharer closest to @p seed in id space (wrapping),
+     * approximating proximity-based election on the mesh.
+     */
+    CoreId
+    electNear(CoreId seed, unsigned num_cores) const
+    {
+        if (empty())
+            return invalidCore;
+        for (unsigned d = 0; d < num_cores; ++d) {
+            CoreId up = static_cast<CoreId>((seed + d) % num_cores);
+            if (contains(up))
+                return up;
+            CoreId down =
+                static_cast<CoreId>((seed + num_cores - d) % num_cores);
+            if (contains(down))
+                return down;
+        }
+        return invalidCore;
+    }
+
+    /** Visit every member in ascending order. */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (unsigned w = 0; w < 2; ++w) {
+            std::uint64_t bits = words[w];
+            while (bits) {
+                unsigned b = static_cast<unsigned>(std::countr_zero(bits));
+                f(static_cast<CoreId>(w * 64 + b));
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    bool
+    operator==(const SharerSet &o) const
+    {
+        return words == o.words;
+    }
+
+  private:
+    std::array<std::uint64_t, 2> words;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_COMMON_SHARER_SET_HH

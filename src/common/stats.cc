@@ -1,0 +1,39 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+void
+StatsDump::print(std::ostream &os) const
+{
+    for (const auto &[name, value] : entries) {
+        os << std::left << std::setw(48) << name << ' '
+           << std::setprecision(12) << value << '\n';
+    }
+}
+
+double
+StatsDump::get(const std::string &name) const
+{
+    for (const auto &[n, v] : entries) {
+        if (n == name)
+            return v;
+    }
+    panic("unknown stat: ", name);
+}
+
+bool
+StatsDump::has(const std::string &name) const
+{
+    for (const auto &[n, v] : entries) {
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+} // namespace tinydir

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Minimal statistics package: named scalar counters, histograms, and a
+ * registry that formats a stats dump. Modeled on the spirit of the gem5
+ * stats package but kept deliberately small.
+ */
+
+#ifndef TINYDIR_COMMON_STATS_HH
+#define TINYDIR_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/** A named scalar statistic. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++val; return *this; }
+    Scalar &operator+=(Counter v) { val += v; return *this; }
+    void reset() { val = 0; }
+    Counter value() const { return val; }
+
+  private:
+    Counter val = 0;
+};
+
+/** A fixed-bucket histogram statistic. */
+class Histogram
+{
+  public:
+    /** @param nbuckets Number of buckets (indices 0..nbuckets-1). */
+    explicit Histogram(unsigned nbuckets = 0) : buckets(nbuckets, 0) {}
+
+    void
+    sample(unsigned bucket, Counter weight = 1)
+    {
+        if (bucket >= buckets.size())
+            buckets.resize(bucket + 1, 0);
+        buckets[bucket] += weight;
+    }
+
+    Counter
+    bucket(unsigned b) const
+    {
+        return b < buckets.size() ? buckets[b] : 0;
+    }
+
+    unsigned size() const { return static_cast<unsigned>(buckets.size()); }
+
+    Counter
+    total() const
+    {
+        Counter t = 0;
+        for (auto b : buckets)
+            t += b;
+        return t;
+    }
+
+    void reset() { for (auto &b : buckets) b = 0; }
+
+  private:
+    std::vector<Counter> buckets;
+};
+
+/** Tracks a running mean without storing samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++n;
+    }
+
+    double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+    Counter samples() const { return n; }
+    void reset() { sum = 0.0; n = 0; }
+
+  private:
+    double sum = 0.0;
+    Counter n = 0;
+};
+
+/**
+ * A registry of named scalar values built up by the simulator at dump
+ * time; keeps reporting decoupled from where stats live.
+ */
+class StatsDump
+{
+  public:
+    void
+    add(const std::string &name, double value)
+    {
+        entries.emplace_back(name, value);
+    }
+
+    void print(std::ostream &os) const;
+
+    double get(const std::string &name) const;
+    bool has(const std::string &name) const;
+
+  private:
+    std::vector<std::pair<std::string, double>> entries;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_COMMON_STATS_HH

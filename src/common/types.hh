@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the tinydir library.
+ */
+
+#ifndef TINYDIR_COMMON_TYPES_HH
+#define TINYDIR_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace tinydir
+{
+
+/** Physical byte address. The paper assumes 48 physical address bits. */
+using Addr = std::uint64_t;
+
+/** Processor core identifier. */
+using CoreId = std::uint16_t;
+
+/** Simulated time, measured in core clock cycles (2 GHz in Table I). */
+using Cycle = std::uint64_t;
+
+/** Generic 64-bit counter used throughout the statistics machinery. */
+using Counter = std::uint64_t;
+
+/** Sentinel meaning "no core". */
+constexpr CoreId invalidCore = std::numeric_limits<CoreId>::max();
+
+/** Sentinel address (never produced by workloads: generators avoid ~0). */
+constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
+
+/** Maximum number of cores supported by the fixed-width sharer vector. */
+constexpr unsigned maxCores = 128;
+
+/** Cache block size in bytes (Table I). */
+constexpr unsigned blockBytes = 64;
+
+/** log2 of the block size. */
+constexpr unsigned blockShift = 6;
+
+/** Physical address width assumed for tag-size accounting (Section V). */
+constexpr unsigned physAddrBits = 48;
+
+/** Convert a byte address to a block address (block-aligned). */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(blockBytes - 1);
+}
+
+/** Extract the block number of a byte address. */
+constexpr Addr
+blockNumber(Addr a)
+{
+    return a >> blockShift;
+}
+
+} // namespace tinydir
+
+#endif // TINYDIR_COMMON_TYPES_HH

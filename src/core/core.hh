@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Trace-replay core model.
+ *
+ * Each core is blocking: it issues the next access `gap` cycles after
+ * the previous one completed, and a miss stalls it for the full round
+ * trip. The private hierarchies live in the System (the engine and
+ * the MgD tracker need the whole vector); a Core carries the clock and
+ * per-core counters. The paper simulates out-of-order cores; the
+ * normalized execution-time comparisons between tracking schemes are
+ * driven by the same memory-system effects either way (DESIGN.md
+ * Section 2).
+ */
+
+#ifndef TINYDIR_CORE_CORE_HH
+#define TINYDIR_CORE_CORE_HH
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/** Per-core replay state and statistics. */
+struct Core
+{
+    explicit Core(CoreId id) : id(id) {}
+
+    CoreId id;
+    Cycle clock = 0;
+
+    Scalar loads, stores, ifetches;
+    Scalar privHits; //!< accesses completed inside the hierarchy
+    Scalar upgrades; //!< store hits that needed an upgrade
+    Scalar misses;   //!< accesses that went to the home
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_CORE_CORE_HH

@@ -1,0 +1,200 @@
+#include "core/private_cache.hh"
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+namespace
+{
+
+constexpr int levelL1i = 0;
+constexpr int levelL1d = 1;
+constexpr int levelL2 = 2;
+
+std::uint64_t
+setsOf(unsigned bytes, unsigned assoc)
+{
+    return bytes / blockBytes / assoc;
+}
+
+} // namespace
+
+PrivateCache::PrivateCache(const SystemConfig &cfg, CoreId core)
+    : l1Lat(cfg.l1Latency), l2Lat(cfg.l2Latency),
+      l1i(setsOf(cfg.l1Bytes, cfg.l1Assoc), cfg.l1Assoc, ReplPolicy::Lru,
+          cfg.seed + 1000 + core),
+      l1d(setsOf(cfg.l1Bytes, cfg.l1Assoc), cfg.l1Assoc, ReplPolicy::Lru,
+          cfg.seed + 2000 + core),
+      l2(setsOf(cfg.l2Bytes, cfg.l2Assoc), cfg.l2Assoc, ReplPolicy::Lru,
+         cfg.seed + 3000 + core)
+{
+}
+
+MesiState
+PrivateCache::state(Addr block) const
+{
+    auto it = info.find(block);
+    return it == info.end() ? MesiState::I : it->second.state;
+}
+
+bool
+PrivateCache::present(Addr block) const
+{
+    return info.find(block) != info.end();
+}
+
+PrivateCache::AccessResult
+PrivateCache::access(Addr block, AccessType type)
+{
+    AccessResult res;
+    auto it = info.find(block);
+    if (it == info.end()) {
+        res.latency = l1Lat; // L1 lookup preceded the miss
+        return res;
+    }
+    Flags &fl = it->second;
+    res.present = true;
+    res.state = fl.state;
+
+    const bool inst = type == AccessType::Ifetch;
+    CacheArray<Entry> &l1 = inst ? l1i : l1d;
+    const bool in_l1 = inst ? fl.l1i : fl.l1d;
+    if (in_l1) {
+        const std::uint64_t set = block & (l1.numSets() - 1);
+        int w = l1.findWay(set, block);
+        panic_if(w < 0, "L1 flag/array mismatch for block ", block);
+        l1.touch(set, static_cast<unsigned>(w));
+        res.latency = l1Lat;
+    } else {
+        // L1 miss; block is in L2 (or the other L1, which we model as
+        // an L2-latency local transfer). Refill the missing L1.
+        res.latency = l1Lat + l2Lat;
+        if (fl.l2) {
+            const std::uint64_t set = block & (l2.numSets() - 1);
+            int w = l2.findWay(set, block);
+            panic_if(w < 0, "L2 flag/array mismatch for block ", block);
+            l2.touch(set, static_cast<unsigned>(w));
+        }
+        insert(l1, inst ? levelL1i : levelL1d, block, res.notices);
+    }
+    return res;
+}
+
+std::vector<EvictionNotice>
+PrivateCache::fill(Addr block, MesiState st, AccessType type)
+{
+    std::vector<EvictionNotice> notices;
+    panic_if(st == MesiState::I, "filling with invalid state");
+    Flags &fl = info[block];
+    fl.state = st;
+    const bool inst = type == AccessType::Ifetch;
+    if (inst) {
+        if (!fl.l1i)
+            insert(l1i, levelL1i, block, notices);
+    } else {
+        if (!fl.l1d)
+            insert(l1d, levelL1d, block, notices);
+    }
+    // fill on miss at each level: the L2 also allocates.
+    auto it = info.find(block);
+    panic_if(it == info.end(), "fill lost its own block");
+    if (!it->second.l2)
+        insert(l2, levelL2, block, notices);
+    return notices;
+}
+
+void
+PrivateCache::setState(Addr block, MesiState st)
+{
+    auto it = info.find(block);
+    panic_if(it == info.end(), "setState on absent block");
+    panic_if(st == MesiState::I, "setState(I); use invalidate()");
+    it->second.state = st;
+}
+
+PrivateCache::CoherenceResult
+PrivateCache::invalidate(Addr block)
+{
+    CoherenceResult res;
+    auto it = info.find(block);
+    if (it == info.end())
+        return res;
+    res.wasPresent = true;
+    res.wasDirty = it->second.state == MesiState::M;
+    if (it->second.l1i)
+        removeTag(l1i, block);
+    if (it->second.l1d)
+        removeTag(l1d, block);
+    if (it->second.l2)
+        removeTag(l2, block);
+    info.erase(it);
+    return res;
+}
+
+PrivateCache::CoherenceResult
+PrivateCache::downgrade(Addr block)
+{
+    CoherenceResult res;
+    auto it = info.find(block);
+    if (it == info.end())
+        return res;
+    res.wasPresent = true;
+    res.wasDirty = it->second.state == MesiState::M;
+    it->second.state = MesiState::S;
+    return res;
+}
+
+void
+PrivateCache::insert(CacheArray<Entry> &arr, int level, Addr block,
+                     std::vector<EvictionNotice> &notices)
+{
+    const std::uint64_t set = block & (arr.numSets() - 1);
+    const unsigned w = arr.victimWay(set);
+    Entry &e = arr.way(set, w);
+    if (e.valid)
+        clearFlag(level, e.tag, notices);
+    e.tag = block;
+    e.valid = true;
+    arr.touch(set, w);
+
+    auto it = info.find(block);
+    panic_if(it == info.end(), "insert of block without flags");
+    Flags &fl = it->second;
+    switch (level) {
+      case levelL1i: fl.l1i = true; break;
+      case levelL1d: fl.l1d = true; break;
+      default: fl.l2 = true; break;
+    }
+}
+
+void
+PrivateCache::clearFlag(int level, Addr block,
+                        std::vector<EvictionNotice> &notices)
+{
+    auto it = info.find(block);
+    panic_if(it == info.end(), "array victim without flags: ", block);
+    Flags &fl = it->second;
+    switch (level) {
+      case levelL1i: fl.l1i = false; break;
+      case levelL1d: fl.l1d = false; break;
+      default: fl.l2 = false; break;
+    }
+    if (!fl.anywhere()) {
+        notices.push_back({block, fl.state});
+        info.erase(it);
+    }
+}
+
+void
+PrivateCache::removeTag(CacheArray<Entry> &arr, Addr block)
+{
+    const std::uint64_t set = block & (arr.numSets() - 1);
+    int w = arr.findWay(set, block);
+    panic_if(w < 0, "removeTag: flag/array mismatch for block ", block);
+    arr.way(set, static_cast<unsigned>(w)) = Entry{};
+    arr.demote(set, static_cast<unsigned>(w));
+}
+
+} // namespace tinydir

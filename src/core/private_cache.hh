@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Per-core private cache hierarchy: L1I + L1D + unified L2.
+ *
+ * Table I geometry: 32 KB 8-way L1s (2 cycles), 128 KB 8-way L2
+ * (3 cycles), non-inclusive/non-exclusive, fill on miss, no
+ * back-invalidation on eviction. Coherence is kept at hierarchy
+ * granularity: a block is "privately cached" while it lives in any of
+ * the three arrays, and the eviction notice required by the protocol
+ * ([29], Section I footnote 2) is generated exactly when the block
+ * leaves the last array.
+ */
+
+#ifndef TINYDIR_CORE_PRIVATE_CACHE_HH
+#define TINYDIR_CORE_PRIVATE_CACHE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "mem/cache_array.hh"
+#include "proto/mesi.hh"
+
+namespace tinydir
+{
+
+/** Eviction notice emitted when a block leaves the hierarchy. */
+struct EvictionNotice
+{
+    Addr block;
+    MesiState state; //!< private state at eviction (PutS/PutE/PutM)
+};
+
+/** One core's private two-level cache hierarchy. */
+class PrivateCache
+{
+  public:
+    PrivateCache(const SystemConfig &cfg, CoreId core);
+
+    /** Coherence state of @p block in this hierarchy (I if absent). */
+    MesiState state(Addr block) const;
+
+    bool present(Addr block) const;
+
+    /** Result of a local lookup. */
+    struct AccessResult
+    {
+        bool present = false;     //!< block lives in the hierarchy
+        MesiState state = MesiState::I;
+        Cycle latency = 0;        //!< L1 or L1+L2 lookup cycles
+        std::vector<EvictionNotice> notices; //!< from L2->L1 refills
+    };
+
+    /**
+     * Look up @p block for @p type, updating recency and refilling the
+     * appropriate L1 from L2 when needed. Never changes the coherence
+     * state; the caller decides whether the access can complete
+     * locally (e.g. a store to an S block still needs an upgrade).
+     */
+    AccessResult access(Addr block, AccessType type);
+
+    /**
+     * Install @p block with state @p st after a miss response,
+     * filling the appropriate L1 and the L2 (fill on miss at each
+     * level). Returns eviction notices for blocks pushed out of the
+     * hierarchy.
+     */
+    std::vector<EvictionNotice> fill(Addr block, MesiState st,
+                                     AccessType type);
+
+    /** Change the state of a resident block (e.g. silent E->M). */
+    void setState(Addr block, MesiState st);
+
+    struct CoherenceResult
+    {
+        bool wasPresent = false;
+        bool wasDirty = false; //!< block was in M
+    };
+
+    /** Remove the block everywhere (home-initiated invalidation). */
+    CoherenceResult invalidate(Addr block);
+
+    /** Downgrade E/M -> S (forwarded GetS). */
+    CoherenceResult downgrade(Addr block);
+
+    /** Number of blocks currently in the hierarchy. */
+    std::size_t footprint() const { return info.size(); }
+
+    /** Visit (block, state) pairs; used by invariant checks. */
+    template <typename F>
+    void
+    forEachBlock(F &&f) const
+    {
+        for (const auto &[blk, bi] : info)
+            f(blk, bi.state);
+    }
+
+  private:
+    struct Flags
+    {
+        MesiState state = MesiState::I;
+        bool l1i = false;
+        bool l1d = false;
+        bool l2 = false;
+
+        bool anywhere() const { return l1i || l1d || l2; }
+    };
+
+    struct Entry
+    {
+        Addr tag = 0;
+        bool valid = false;
+    };
+
+    /** Insert into an array; handle the victim's flag bookkeeping. */
+    void insert(CacheArray<Entry> &arr, int level, Addr block,
+                std::vector<EvictionNotice> &notices);
+
+    /** Clear a block's flag for one level after an array eviction. */
+    void clearFlag(int level, Addr block,
+                   std::vector<EvictionNotice> &notices);
+
+    /** Remove the tag of @p block from one array if present. */
+    static void removeTag(CacheArray<Entry> &arr, Addr block);
+
+    Cycle l1Lat, l2Lat;
+    CacheArray<Entry> l1i, l1d, l2;
+    std::unordered_map<Addr, Flags> info;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_CORE_PRIVATE_CACHE_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Trace vocabulary: the memory-access records cores replay and the
+ * stream abstraction workload generators implement.
+ */
+
+#ifndef TINYDIR_CORE_TRACE_HH
+#define TINYDIR_CORE_TRACE_HH
+
+#include "common/types.hh"
+#include "proto/mesi.hh"
+
+namespace tinydir
+{
+
+/** One memory access of a core's instruction stream. */
+struct TraceAccess
+{
+    Cycle gap = 0;    //!< compute cycles since the previous access
+    AccessType type = AccessType::Load;
+    Addr addr = 0;    //!< byte address
+};
+
+/** A (possibly lazily generated) per-core access stream. */
+class AccessStream
+{
+  public:
+    virtual ~AccessStream() = default;
+
+    /** Produce the next access; false when the stream is exhausted. */
+    virtual bool next(TraceAccess &out) = 0;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_CORE_TRACE_HH

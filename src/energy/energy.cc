@@ -1,0 +1,62 @@
+#include "energy/energy.hh"
+
+#include <cmath>
+
+namespace tinydir
+{
+
+namespace
+{
+
+// Reference points, CACTI-class 22 nm ballparks:
+//  - a 2 Mbit (256 KB) bank read costs ~0.1 nJ;
+//  - SRAM leaks ~60 mW per MB.
+constexpr double refAccessJ = 0.1e-9;
+constexpr double refAccessBits = double(1ull << 21);
+constexpr double leakWPerBit = 60e-3 / (8.0 * 1024 * 1024);
+
+} // namespace
+
+EnergyModel::EnergyModel(const SystemConfig &cfg)
+    : clockHz(2.0e9), banks(cfg.llcBanks())
+{
+}
+
+double
+EnergyModel::accessEnergy(std::uint64_t bits)
+{
+    if (bits == 0)
+        return 0.0;
+    return refAccessJ * std::sqrt(static_cast<double>(bits) /
+                                  refAccessBits);
+}
+
+double
+EnergyModel::leakagePower(std::uint64_t bits)
+{
+    return leakWPerBit * static_cast<double>(bits);
+}
+
+EnergyResult
+EnergyModel::compute(const EnergyInput &in) const
+{
+    EnergyResult r;
+    // The LLC is banked: a single access activates one bank.
+    const std::uint64_t llc_bank_bits = in.llcBits / banks;
+    const std::uint64_t dir_slice_bits =
+        in.dirBits ? std::max<std::uint64_t>(1, in.dirBits / banks) : 0;
+    // Tags are roughly 1/10 of the data-array bits per access.
+    r.dynamicJ =
+        static_cast<double>(in.llcTagAccesses) *
+            accessEnergy(llc_bank_bits / 10) +
+        static_cast<double>(in.llcDataAccesses) *
+            accessEnergy(llc_bank_bits) +
+        static_cast<double>(in.dirAccesses) *
+            accessEnergy(dir_slice_bits);
+    const double seconds = static_cast<double>(in.cycles) / clockHz;
+    r.leakageJ =
+        (leakagePower(in.llcBits) + leakagePower(in.dirBits)) * seconds;
+    return r;
+}
+
+} // namespace tinydir

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Analytical LLC + directory energy model (Fig. 21).
+ *
+ * Stands in for the CACTI/McPAT 22 nm numbers of the paper. The model
+ * preserves the scaling trends Fig. 21 depends on: per-access dynamic
+ * energy grows roughly with the square root of array capacity (wider
+ * wordlines/longer bitlines), and leakage power is proportional to
+ * capacity. Coefficients are CACTI-class ballpark values; only
+ * relative comparisons between configurations are meaningful.
+ */
+
+#ifndef TINYDIR_ENERGY_ENERGY_HH
+#define TINYDIR_ENERGY_ENERGY_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/** Activity and capacity inputs to the energy model. */
+struct EnergyInput
+{
+    std::uint64_t llcTagAccesses = 0;
+    std::uint64_t llcDataAccesses = 0;
+    std::uint64_t dirAccesses = 0;
+    std::uint64_t dirBits = 0;
+    std::uint64_t llcBits = 0;
+    Cycle cycles = 0;
+};
+
+/** Joules, split the way Fig. 21 reports them. */
+struct EnergyResult
+{
+    double dynamicJ = 0.0;
+    double leakageJ = 0.0;
+
+    double totalJ() const { return dynamicJ + leakageJ; }
+};
+
+/** The analytical model. */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(const SystemConfig &cfg);
+
+    EnergyResult compute(const EnergyInput &in) const;
+
+    /** Per-access dynamic energy (J) of an array of @p bits bits. */
+    static double accessEnergy(std::uint64_t bits);
+
+    /** Leakage power (W) of an array of @p bits bits. */
+    static double leakagePower(std::uint64_t bits);
+
+  private:
+    double clockHz;
+    unsigned banks;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_ENERGY_ENERGY_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Generic set-associative tag array with pluggable replacement.
+ *
+ * EntryT must provide two public members:
+ *   Addr tag;    // block number stored in the way
+ *   bool valid;  // way holds a live entry
+ *
+ * The array owns replacement metadata (LRU stamps or NRU bits) beside
+ * the payload so that EntryT stays a plain value type. Callers compute
+ * their own set index (bank interleaving differs per structure) and use
+ * find/touch/victimWay.
+ */
+
+#ifndef TINYDIR_MEM_CACHE_ARRAY_HH
+#define TINYDIR_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "mem/replacement.hh"
+
+namespace tinydir
+{
+
+/** A set-associative array of EntryT with replacement bookkeeping. */
+template <typename EntryT>
+class CacheArray
+{
+  public:
+    CacheArray(std::uint64_t num_sets, unsigned assoc, ReplPolicy policy,
+               std::uint64_t seed = 7)
+        : sets(num_sets), ways(assoc), repl(policy),
+          entries(num_sets * assoc), stamps(num_sets * assoc, 0),
+          rng(seed)
+    {
+        panic_if(num_sets == 0 || assoc == 0, "degenerate cache array");
+    }
+
+    std::uint64_t numSets() const { return sets; }
+    unsigned assoc() const { return ways; }
+
+    /** Direct access to a way of a set. */
+    EntryT &
+    way(std::uint64_t set, unsigned w)
+    {
+        panic_if(set >= sets || w >= ways, "way() out of range");
+        return entries[set * ways + w];
+    }
+
+    const EntryT &
+    way(std::uint64_t set, unsigned w) const
+    {
+        panic_if(set >= sets || w >= ways, "way() out of range");
+        return entries[set * ways + w];
+    }
+
+    /** Find the way holding @p tag, or nullptr. Does not touch. */
+    EntryT *
+    find(std::uint64_t set, Addr tag)
+    {
+        int w = findWay(set, tag);
+        return w < 0 ? nullptr : &way(set, static_cast<unsigned>(w));
+    }
+
+    /** Way index of @p tag in @p set, or -1. */
+    int
+    findWay(std::uint64_t set, Addr tag) const
+    {
+        for (unsigned w = 0; w < ways; ++w) {
+            const EntryT &e = way(set, w);
+            if (e.valid && e.tag == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+
+    /** Record a use of a way (updates LRU stamp / clears NRU bit). */
+    void
+    touch(std::uint64_t set, unsigned w)
+    {
+        switch (repl) {
+          case ReplPolicy::Lru:
+            stamps[set * ways + w] = ++clock;
+            break;
+          case ReplPolicy::Nru:
+            stamps[set * ways + w] = 0;
+            break;
+          case ReplPolicy::Random:
+            break;
+        }
+    }
+
+    /** Force a way to be the next victim candidate. */
+    void
+    demote(std::uint64_t set, unsigned w)
+    {
+        switch (repl) {
+          case ReplPolicy::Lru:
+            stamps[set * ways + w] = 0;
+            break;
+          case ReplPolicy::Nru:
+            stamps[set * ways + w] = 1;
+            break;
+          case ReplPolicy::Random:
+            break;
+        }
+    }
+
+    /**
+     * Pick a victim way: an invalid way if one exists, otherwise per
+     * the replacement policy. @p pinned, when non-null, marks ways
+     * that must not be victimized (e.g. the data block a spilled
+     * tracking entry protects); pass a ways-sized bool span.
+     */
+    unsigned
+    victimWay(std::uint64_t set, const std::vector<bool> *pinned = nullptr)
+    {
+        for (unsigned w = 0; w < ways; ++w) {
+            if (!way(set, w).valid && !(pinned && (*pinned)[w]))
+                return w;
+        }
+        switch (repl) {
+          case ReplPolicy::Lru: {
+            unsigned victim = 0;
+            std::uint64_t best = ~0ull;
+            bool found = false;
+            for (unsigned w = 0; w < ways; ++w) {
+                if (pinned && (*pinned)[w])
+                    continue;
+                if (stamps[set * ways + w] <= best) {
+                    // <= so later ways win ties only when strictly older
+                    if (stamps[set * ways + w] < best || !found) {
+                        best = stamps[set * ways + w];
+                        victim = w;
+                        found = true;
+                    }
+                }
+            }
+            panic_if(!found, "all ways pinned in victimWay()");
+            return victim;
+          }
+          case ReplPolicy::Nru: {
+            // Two scans: first way with NRU bit set; if none, reset
+            // all bits and take way 0 (classic 1-bit NRU).
+            for (unsigned pass = 0; pass < 2; ++pass) {
+                for (unsigned w = 0; w < ways; ++w) {
+                    if (pinned && (*pinned)[w])
+                        continue;
+                    if (stamps[set * ways + w])
+                        return w;
+                }
+                for (unsigned w = 0; w < ways; ++w)
+                    stamps[set * ways + w] = 1;
+            }
+            panic_if(true, "all ways pinned in victimWay()");
+            return 0;
+          }
+          case ReplPolicy::Random: {
+            for (unsigned tries = 0; tries < 64; ++tries) {
+                auto w = static_cast<unsigned>(rng.below(ways));
+                if (!(pinned && (*pinned)[w]))
+                    return w;
+            }
+            panic_if(true, "all ways pinned in victimWay()");
+            return 0;
+          }
+        }
+        return 0;
+    }
+
+    /** Invalidate every way (e.g. between experiment phases). */
+    void
+    reset()
+    {
+        for (auto &e : entries)
+            e = EntryT{};
+        for (auto &s : stamps)
+            s = 0;
+        clock = 0;
+    }
+
+  private:
+    std::uint64_t sets;
+    unsigned ways;
+    ReplPolicy repl;
+    std::vector<EntryT> entries;
+    /** LRU stamp (Lru) or NRU bit (Nru) per way. */
+    std::vector<std::uint64_t> stamps;
+    std::uint64_t clock = 0;
+    Rng rng;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_MEM_CACHE_ARRAY_HH

@@ -1,0 +1,71 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+Dram::Dram(const SystemConfig &c)
+    : cfg(c), channels(c.memChannels)
+{
+    for (auto &ch : channels)
+        ch.banks.resize(cfg.memBanksPerChannel);
+}
+
+unsigned
+Dram::channelOf(Addr block) const
+{
+    return static_cast<unsigned>(block & (cfg.memChannels - 1));
+}
+
+Cycle
+Dram::access(Addr block, Cycle now)
+{
+    ++reqs;
+    const unsigned ch_idx = channelOf(block);
+    Channel &ch = channels[ch_idx];
+    const Addr in_channel = block >> __builtin_ctz(cfg.memChannels);
+    const unsigned bank_idx = static_cast<unsigned>(
+        in_channel % cfg.memBanksPerChannel);
+    Bank &bank = ch.banks[bank_idx];
+    const Addr row = in_channel / cfg.memBanksPerChannel /
+        (cfg.dramRowBytes / blockBytes);
+
+    Cycle start = std::max({now, bank.freeAt, ch.busFreeAt});
+    Cycle access_lat;
+    if (bank.openRow == row) {
+        ++hits;
+        access_lat = cfg.dramCas + cfg.dramBurst;
+    } else if (bank.openRow == invalidAddr) {
+        ++misses;
+        access_lat = cfg.dramRcd + cfg.dramCas + cfg.dramBurst;
+    } else {
+        ++misses;
+        access_lat = cfg.dramRp + cfg.dramRcd + cfg.dramCas +
+            cfg.dramBurst;
+    }
+    bank.openRow = row;
+    Cycle done = start + access_lat;
+    bank.freeAt = done;
+    // The shared channel bus is held for the burst transfer only;
+    // row activation/precharge overlap across banks.
+    ch.busFreeAt = start + cfg.dramBurst;
+    return done;
+}
+
+void
+Dram::reset()
+{
+    for (auto &ch : channels) {
+        ch.busFreeAt = 0;
+        for (auto &b : ch.banks)
+            b = Bank{};
+    }
+    hits.reset();
+    misses.reset();
+    reqs.reset();
+}
+
+} // namespace tinydir

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Compact DDR3 main-memory model.
+ *
+ * Stands in for the paper's DRAMSim2 configuration (Table I): eight
+ * single-channel DDR3-2133 controllers, 8 banks per rank, open-page
+ * policy, 12-12-12 timing. The model tracks one open row and a
+ * busy-until time per bank, plus data-bus occupancy per channel, which
+ * yields row-hit/closed/conflict latencies and queueing under load —
+ * the aggregate behaviour that matters for comparing directory
+ * schemes.
+ */
+
+#ifndef TINYDIR_MEM_DRAM_HH
+#define TINYDIR_MEM_DRAM_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/** Eight-channel open-page DDR3 timing model. */
+class Dram
+{
+  public:
+    explicit Dram(const SystemConfig &cfg);
+
+    /**
+     * Issue a block read or write.
+     *
+     * @param block Block number being accessed.
+     * @param now Request arrival time at the controller.
+     * @return Completion time (>= now).
+     */
+    Cycle access(Addr block, Cycle now);
+
+    /** Memory channel servicing @p block (for mesh routing). */
+    unsigned channelOf(Addr block) const;
+
+    /** Row-hit counters for diagnostics. */
+    Counter rowHits() const { return hits.value(); }
+    Counter rowMisses() const { return misses.value(); }
+    Counter accesses() const { return reqs.value(); }
+
+    void reset();
+
+    /** Reset the counters only (timing/row state untouched). */
+    void
+    resetCounters()
+    {
+        hits.reset();
+        misses.reset();
+        reqs.reset();
+    }
+
+  private:
+    struct Bank
+    {
+        Addr openRow = invalidAddr;
+        Cycle freeAt = 0;
+    };
+
+    struct Channel
+    {
+        std::vector<Bank> banks;
+        Cycle busFreeAt = 0;
+    };
+
+    const SystemConfig &cfg;
+    std::vector<Channel> channels;
+    Scalar hits, misses, reqs;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_MEM_DRAM_HH

@@ -1,0 +1,19 @@
+#include "mem/h3_hash.hh"
+
+#include "common/log.hh"
+#include "common/rng.hh"
+
+namespace tinydir
+{
+
+H3Hash::H3Hash(std::uint64_t seed, unsigned out_bits)
+    : bits(out_bits)
+{
+    panic_if(out_bits == 0 || out_bits > 63, "bad H3 output width");
+    mask = (1ull << out_bits) - 1;
+    Rng rng(seed ^ 0xc0ffee123ull);
+    for (auto &row : rows)
+        row = rng.next();
+}
+
+} // namespace tinydir

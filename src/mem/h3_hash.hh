@@ -1,0 +1,54 @@
+/**
+ * @file
+ * H3 universal hash family.
+ *
+ * The skew-associative directory variants in the paper (Fig. 3 and the
+ * MgD comparison) use an "H3 hash-based Z-cache organization" [36].
+ * H3 hashes an n-bit key by XOR-ing, for every set key bit, a fixed
+ * random row of a boolean matrix; different seeds give independent
+ * members of the family.
+ */
+
+#ifndef TINYDIR_MEM_H3_HASH_HH
+#define TINYDIR_MEM_H3_HASH_HH
+
+#include <array>
+#include <cstdint>
+
+namespace tinydir
+{
+
+/** One member of the H3 hash family mapping 64-bit keys to outBits. */
+class H3Hash
+{
+  public:
+    /**
+     * @param seed Selects the family member (the random matrix).
+     * @param out_bits Width of the hash output (1..63).
+     */
+    H3Hash(std::uint64_t seed, unsigned out_bits);
+
+    /** Hash @p key to [0, 2^outBits). */
+    std::uint64_t
+    operator()(std::uint64_t key) const
+    {
+        std::uint64_t h = 0;
+        while (key) {
+            unsigned bit = static_cast<unsigned>(__builtin_ctzll(key));
+            h ^= rows[bit];
+            key &= key - 1;
+        }
+        return h & mask;
+    }
+
+    unsigned outBits() const { return bits; }
+
+  private:
+    std::array<std::uint64_t, 64> rows;
+    std::uint64_t mask;
+    unsigned bits;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_MEM_H3_HASH_HH

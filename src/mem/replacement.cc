@@ -1,0 +1,17 @@
+#include "mem/replacement.hh"
+
+namespace tinydir
+{
+
+std::string
+toString(ReplPolicy p)
+{
+    switch (p) {
+      case ReplPolicy::Lru: return "LRU";
+      case ReplPolicy::Nru: return "NRU";
+      case ReplPolicy::Random: return "random";
+    }
+    return "?";
+}
+
+} // namespace tinydir

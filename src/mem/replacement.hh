@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Replacement policy selection for the generic cache arrays.
+ *
+ * The paper uses LRU in all caches, 1-bit NRU in sparse directory
+ * slices (Table I), and LRU stamps inside the skew-associative
+ * organizations. Random is provided for tests and ablations.
+ */
+
+#ifndef TINYDIR_MEM_REPLACEMENT_HH
+#define TINYDIR_MEM_REPLACEMENT_HH
+
+#include <string>
+
+namespace tinydir
+{
+
+/** Replacement policy identifier. */
+enum class ReplPolicy
+{
+    Lru,    //!< full LRU via 64-bit stamps
+    Nru,    //!< 1-bit not-recently-used
+    Random, //!< uniform random victim
+};
+
+/** Human-readable policy name. */
+std::string toString(ReplPolicy p);
+
+} // namespace tinydir
+
+#endif // TINYDIR_MEM_REPLACEMENT_HH

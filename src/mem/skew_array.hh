@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Skew-associative array with H3 hashing and single-level ZCache-style
+ * relocation.
+ *
+ * Each way has a private H3 hash mapping a tag to one row of that way.
+ * On insertion, if every candidate row is occupied, the array first
+ * tries to relocate one candidate to an empty alternative position in
+ * another way (a depth-1 ZCache walk); only if that fails is the LRU
+ * candidate evicted. This reproduces the conflict-miss reduction the
+ * paper attributes to the 4-way skew-associative Z-cache organization
+ * (Section I, Fig. 3; Section V-C for MgD).
+ */
+
+#ifndef TINYDIR_MEM_SKEW_ARRAY_HH
+#define TINYDIR_MEM_SKEW_ARRAY_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+#include "mem/h3_hash.hh"
+
+namespace tinydir
+{
+
+/**
+ * Skew-associative container of EntryT (requires members tag/valid,
+ * like CacheArray).
+ */
+template <typename EntryT>
+class SkewArray
+{
+  public:
+    SkewArray(std::uint64_t rows_per_way, unsigned num_ways,
+              std::uint64_t seed = 11)
+        : rows(rows_per_way), ways(num_ways)
+    {
+        panic_if(rows == 0 || ways == 0, "degenerate skew array");
+        panic_if((rows & (rows - 1)) != 0,
+                 "skew array rows must be a power of two");
+        unsigned bits = 0;
+        while ((1ull << bits) < rows)
+            ++bits;
+        // Degenerate single-row arrays still need a valid hash width;
+        // rowOf() masks the result back into range.
+        bits = std::max(bits, 1u);
+        for (unsigned w = 0; w < ways; ++w)
+            hashes.emplace_back(seed * 1315423911ull + w, bits);
+        entries.resize(rows * ways);
+        stamps.assign(rows * ways, 0);
+    }
+
+    std::uint64_t numRows() const { return rows; }
+    unsigned numWays() const { return ways; }
+
+    /** Row selected by way @p w for @p tag. */
+    std::uint64_t
+    rowOf(unsigned w, Addr tag) const
+    {
+        return hashes[w](tag) & (rows - 1);
+    }
+
+    EntryT &
+    at(unsigned w, std::uint64_t row)
+    {
+        return entries[row * ways + w];
+    }
+
+    /** Find the entry holding @p tag, or nullptr. */
+    EntryT *
+    find(Addr tag)
+    {
+        for (unsigned w = 0; w < ways; ++w) {
+            EntryT &e = at(w, rowOf(w, tag));
+            if (e.valid && e.tag == tag)
+                return &e;
+        }
+        return nullptr;
+    }
+
+    /** Record a use of the entry currently holding @p tag. */
+    void
+    touch(Addr tag)
+    {
+        for (unsigned w = 0; w < ways; ++w) {
+            std::uint64_t row = rowOf(w, tag);
+            EntryT &e = at(w, row);
+            if (e.valid && e.tag == tag) {
+                stamps[row * ways + w] = ++clock;
+                return;
+            }
+        }
+    }
+
+    /**
+     * Make room for @p tag and return a reference to the slot to fill
+     * plus (optionally) the entry that had to be evicted. The caller
+     * fills the returned slot and handles the victim's coherence
+     * side-effects.
+     */
+    struct InsertResult
+    {
+        EntryT *slot;
+        std::optional<EntryT> victim;
+    };
+
+    InsertResult
+    insert(Addr tag)
+    {
+        // 1. Any candidate row empty?
+        for (unsigned w = 0; w < ways; ++w) {
+            std::uint64_t row = rowOf(w, tag);
+            EntryT &e = at(w, row);
+            if (!e.valid) {
+                stamps[row * ways + w] = ++clock;
+                return {&e, std::nullopt};
+            }
+        }
+        // 2. Depth-1 ZCache walk: relocate one candidate to an empty
+        //    alternative position in a different way.
+        for (unsigned w = 0; w < ways; ++w) {
+            std::uint64_t row = rowOf(w, tag);
+            EntryT &cand = at(w, row);
+            for (unsigned aw = 0; aw < ways; ++aw) {
+                if (aw == w)
+                    continue;
+                std::uint64_t arow = rowOf(aw, cand.tag);
+                EntryT &alt = at(aw, arow);
+                if (!alt.valid) {
+                    alt = cand;
+                    stamps[arow * ways + aw] = stamps[row * ways + w];
+                    cand = EntryT{};
+                    stamps[row * ways + w] = ++clock;
+                    return {&cand, std::nullopt};
+                }
+            }
+        }
+        // 3. Evict the LRU candidate.
+        unsigned victim_way = 0;
+        std::uint64_t victim_row = rowOf(0, tag);
+        std::uint64_t best = ~0ull;
+        for (unsigned w = 0; w < ways; ++w) {
+            std::uint64_t row = rowOf(w, tag);
+            if (stamps[row * ways + w] < best) {
+                best = stamps[row * ways + w];
+                victim_way = w;
+                victim_row = row;
+            }
+        }
+        EntryT &slot = at(victim_way, victim_row);
+        std::optional<EntryT> victim = slot;
+        slot = EntryT{};
+        stamps[victim_row * ways + victim_way] = ++clock;
+        return {&slot, victim};
+    }
+
+    /** Invalidate everything. */
+    void
+    reset()
+    {
+        for (auto &e : entries)
+            e = EntryT{};
+        stamps.assign(rows * ways, 0);
+        clock = 0;
+    }
+
+    /** Visit every valid entry (diagnostics/invariant checks). */
+    template <typename F>
+    void
+    forEachValid(F &&f)
+    {
+        for (auto &e : entries) {
+            if (e.valid)
+                f(e);
+        }
+    }
+
+  private:
+    std::uint64_t rows;
+    unsigned ways;
+    std::vector<H3Hash> hashes;
+    std::vector<EntryT> entries;
+    std::vector<std::uint64_t> stamps;
+    std::uint64_t clock = 0;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_MEM_SKEW_ARRAY_HH

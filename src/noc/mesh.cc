@@ -1,0 +1,55 @@
+#include "noc/mesh.hh"
+
+#include <cstdlib>
+
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+Mesh::Mesh(const SystemConfig &cfg)
+    : w(cfg.meshWidth()), h(cfg.meshHeight()), hopCycles(cfg.hopCycles)
+{
+    panic_if(w * h < cfg.numCores, "mesh too small for core count");
+    // Spread memory controllers evenly across node ids.
+    const unsigned n = cfg.numCores;
+    for (unsigned ch = 0; ch < cfg.memChannels; ++ch)
+        memNodes.push_back((ch * n) / cfg.memChannels + n / (2 * cfg.memChannels));
+}
+
+unsigned
+Mesh::hops(unsigned node_a, unsigned node_b) const
+{
+    const int ax = static_cast<int>(node_a % w);
+    const int ay = static_cast<int>(node_a / w);
+    const int bx = static_cast<int>(node_b % w);
+    const int by = static_cast<int>(node_b / w);
+    return static_cast<unsigned>(std::abs(ax - bx) + std::abs(ay - by));
+}
+
+unsigned
+Mesh::memNode(unsigned ch) const
+{
+    panic_if(ch >= memNodes.size(), "bad memory channel");
+    return memNodes[ch];
+}
+
+Cycle
+Mesh::averageLatency() const
+{
+    const unsigned n = w * h;
+    std::uint64_t total = 0;
+    std::uint64_t pairs = 0;
+    for (unsigned a = 0; a < n; ++a) {
+        for (unsigned b = 0; b < n; ++b) {
+            if (a == b)
+                continue;
+            total += hops(a, b);
+            ++pairs;
+        }
+    }
+    return pairs ? static_cast<Cycle>(
+        total * hopCycles / pairs) : 0;
+}
+
+} // namespace tinydir

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * 2D mesh interconnect timing model.
+ *
+ * Table I: XY dimension-order routing, 3 ns per hop at 2 GHz
+ * (four-stage router pipeline + link), one core + one LLC bank + one
+ * directory slice per mesh node; eight memory controllers evenly
+ * distributed over the mesh. Links are modeled contention-free
+ * (DESIGN.md Section 2); bank and DRAM queueing is modeled where it
+ * matters.
+ */
+
+#ifndef TINYDIR_NOC_MESH_HH
+#define TINYDIR_NOC_MESH_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/** Hop-latency calculator for the on-die 2D mesh. */
+class Mesh
+{
+  public:
+    explicit Mesh(const SystemConfig &cfg);
+
+    /** Manhattan hop count between two mesh nodes. */
+    unsigned hops(unsigned node_a, unsigned node_b) const;
+
+    /** Latency in cycles of a one-way message between two nodes. */
+    Cycle
+    latency(unsigned node_a, unsigned node_b) const
+    {
+        return static_cast<Cycle>(hops(node_a, node_b)) * hopCycles;
+    }
+
+    /** Mesh node hosting memory channel @p ch. */
+    unsigned memNode(unsigned ch) const;
+
+    /** The average one-way latency between two distinct random nodes. */
+    Cycle averageLatency() const;
+
+    unsigned width() const { return w; }
+    unsigned height() const { return h; }
+
+  private:
+    unsigned w, h;
+    Cycle hopCycles;
+    std::vector<unsigned> memNodes;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_NOC_MESH_HH

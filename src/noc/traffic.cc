@@ -1,0 +1,17 @@
+#include "noc/traffic.hh"
+
+namespace tinydir
+{
+
+std::string
+toString(MsgClass c)
+{
+    switch (c) {
+      case MsgClass::Processor: return "processor";
+      case MsgClass::Writeback: return "writeback";
+      case MsgClass::Coherence: return "coherence";
+    }
+    return "?";
+}
+
+} // namespace tinydir

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Interconnect message taxonomy and byte accounting.
+ *
+ * Figure 5 of the paper splits interconnect traffic into three message
+ * classes:
+ *  - Processor: private-cache misses and their responses;
+ *  - Writeback: eviction notices from the cores and their acks;
+ *  - Coherence: requests forwarded by the home LLC bank, invalidations,
+ *    busy-clear notifications, NACK/retry messages.
+ *
+ * Sizes follow the usual convention of an 8-byte control header and a
+ * 64-byte data payload; in-LLC reconstruction payloads add the
+ * byte-rounded size of the borrowed bits (Section III-B).
+ */
+
+#ifndef TINYDIR_NOC_TRAFFIC_HH
+#define TINYDIR_NOC_TRAFFIC_HH
+
+#include <array>
+#include <string>
+
+#include "common/bitops.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/** Figure 5 message classes. */
+enum class MsgClass
+{
+    Processor,
+    Writeback,
+    Coherence,
+};
+
+constexpr unsigned numMsgClasses = 3;
+
+/** Human-readable class name. */
+std::string toString(MsgClass c);
+
+/** Bytes in a control (data-less) message. */
+constexpr unsigned ctrlBytes = 8;
+
+/** Bytes in a full data-carrying message. */
+constexpr unsigned dataBytes = ctrlBytes + blockBytes;
+
+/**
+ * Bytes of the in-LLC reconstruction payload for a C-core system in
+ * pointer format: 4 + ceil(log2 C) bits, rounded up to whole bytes
+ * (Section III-B: E-state eviction notices carry these bits).
+ */
+constexpr unsigned
+reconstructBytes(unsigned num_cores)
+{
+    return static_cast<unsigned>(
+        divCeil(4 + ceilLog2(num_cores), 8));
+}
+
+/** Byte counters per message class. */
+class TrafficStats
+{
+  public:
+    void
+    add(MsgClass c, unsigned bytes, Counter count = 1)
+    {
+        byteCount[static_cast<unsigned>(c)] += bytes * count;
+        msgCount[static_cast<unsigned>(c)] += count;
+    }
+
+    Counter
+    bytes(MsgClass c) const
+    {
+        return byteCount[static_cast<unsigned>(c)];
+    }
+
+    Counter
+    messages(MsgClass c) const
+    {
+        return msgCount[static_cast<unsigned>(c)];
+    }
+
+    Counter
+    totalBytes() const
+    {
+        Counter t = 0;
+        for (auto b : byteCount)
+            t += b;
+        return t;
+    }
+
+    void
+    reset()
+    {
+        byteCount.fill(0);
+        msgCount.fill(0);
+    }
+
+  private:
+    std::array<Counter, numMsgClasses> byteCount{};
+    std::array<Counter, numMsgClasses> msgCount{};
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_NOC_TRAFFIC_HH

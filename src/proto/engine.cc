@@ -1,0 +1,545 @@
+#include "proto/engine.hh"
+
+#include <algorithm>
+
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+Engine::Engine(const SystemConfig &c, Llc &l, Mesh &m, Dram &d,
+               std::vector<PrivateCache> &p)
+    : cfg(c), llc(l), mesh(m), dram(d), privs(p)
+{
+}
+
+Cycle
+Engine::bankService(unsigned bank, Cycle arrival, Cycle busy_cycles)
+{
+    const Cycle start = std::max(arrival, llc.bankFreeAt(bank));
+    llc.setBankFreeAt(bank, start + busy_cycles);
+    return start;
+}
+
+Cycle
+Engine::dramTrip(Addr block, unsigned home_node, Cycle miss_at)
+{
+    const unsigned ch = dram.channelOf(block);
+    const unsigned mn = mesh.memNode(ch);
+    const Cycle at_mem = miss_at + mesh.latency(home_node, mn);
+    stats.traffic.add(MsgClass::Processor, ctrlBytes); // read command
+    const Cycle mem_done = dram.access(block, at_mem);
+    stats.traffic.add(MsgClass::Processor, dataBytes); // data return
+    return mem_done + mesh.latency(mn, home_node);
+}
+
+void
+Engine::writebackToMemory(Addr block, Cycle t)
+{
+    const unsigned ch = dram.channelOf(block);
+    const unsigned mn = mesh.memNode(ch);
+    const unsigned home_node = llc.bankOf(block);
+    stats.traffic.add(MsgClass::Writeback, dataBytes);
+    dram.access(block, t + mesh.latency(home_node, mn));
+    ++stats.dirtyWritebacks;
+}
+
+LlcEntry *
+Engine::ensureLlcData(Addr block, Cycle t)
+{
+    if (LlcEntry *e = llc.findData(block))
+        return e;
+    auto ar = llc.allocate(block);
+    if (ar.victim)
+        processVictim(*ar.victim, t);
+    LlcEntry *e = ar.slot;
+    e->tag = block;
+    e->valid = true;
+    e->dirty = false;
+    e->meta = LlcMeta::Normal;
+    ++stats.llcFills;
+    return e;
+}
+
+void
+Engine::processVictim(const LlcEntry &victim, Cycle t)
+{
+    switch (victim.meta) {
+      case LlcMeta::Normal:
+        llc.noteDeath(victim);
+        if (victim.dirty)
+            writebackToMemory(victim.tag, t);
+        tracker->onLlcDataVictim(victim, *this);
+        break;
+      case LlcMeta::CorruptExcl:
+      case LlcMeta::CorruptShared:
+        llc.noteDeath(victim);
+        // Reconstruction and back-invalidation are the tracker's
+        // business; the pre-corruption dirtiness still needs to reach
+        // memory because the tag dies.
+        tracker->onLlcDataVictim(victim, *this);
+        if (victim.dirty)
+            writebackToMemory(victim.tag, t);
+        break;
+      case LlcMeta::Spill:
+        tracker->onLlcSpillVictim(victim, *this);
+        break;
+    }
+}
+
+void
+Engine::backInvalidate(Addr block, const TrackState &ts)
+{
+    backInvalidateTo(block, ts, DirtyDest::Llc);
+}
+
+void
+Engine::backInvalidateTo(Addr block, const TrackState &ts, DirtyDest dest)
+{
+    if (ts.invalid())
+        return;
+    ++stats.backInvals;
+    bool dirty = false;
+    auto inval_one = [&](CoreId s) {
+        auto r = privs[s].invalidate(block);
+        if (!r.wasPresent)
+            return;
+        dirty |= r.wasDirty;
+        stats.traffic.add(MsgClass::Coherence, ctrlBytes); // inval
+        stats.traffic.add(MsgClass::Coherence,
+                          r.wasDirty ? dataBytes : ctrlBytes); // ack
+        ++stats.invalidations;
+    };
+    if (ts.exclusive())
+        inval_one(ts.owner);
+    else
+        ts.sharers.forEach(inval_one);
+    if (dirty) {
+        switch (dest) {
+          case DirtyDest::Llc: {
+            LlcEntry *e = llc.findData(block);
+            if (e && !e->isCorrupt()) {
+                e->dirty = true;
+            } else {
+                // No (usable) LLC tag; send the data to memory rather
+                // than allocating mid-transaction.
+                writebackToMemory(block, curTime);
+            }
+            break;
+          }
+          case DirtyDest::Memory:
+            writebackToMemory(block, curTime);
+            break;
+          case DirtyDest::Discard:
+            break;
+        }
+    }
+}
+
+void
+Engine::reconstructTraffic(Addr block, const TrackState &ts)
+{
+    (void)block;
+    (void)ts;
+    stats.traffic.add(MsgClass::Coherence, ctrlBytes); // query
+    stats.traffic.add(MsgClass::Coherence,
+                      ctrlBytes + reconstructBytes(cfg.numCores));
+}
+
+void
+Engine::addTraffic(MsgClass cls, unsigned bytes, Counter count)
+{
+    stats.traffic.add(cls, bytes, count);
+}
+
+RequestResult
+Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
+{
+    panic_if(tracker == nullptr, "engine has no tracker");
+    curTime = std::max(curTime, t0);
+    tracker->tick(t0);
+
+    const unsigned home = llc.bankOf(block);
+    const unsigned home_node = home;
+    const unsigned req_node = nodeOfCore(c);
+    const Cycle req_hop = mesh.latency(req_node, home_node);
+    const Cycle tag_lat = cfg.llcTagLatency;
+    const Cycle data_lat = cfg.llcDataLatency;
+
+    // ---- NACK/retry on busy blocks ------------------------------------
+    Cycle t = t0;
+    Cycle arrival = t + req_hop;
+    {
+        auto bi = busyUntil.find(block);
+        while (bi != busyUntil.end() && bi->second > arrival) {
+            ++stats.nackRetries;
+            stats.traffic.add(MsgClass::Processor, ctrlBytes); // request
+            stats.traffic.add(MsgClass::Processor, ctrlBytes); // NACK
+            const Cycle nack_back = arrival + tag_lat +
+                mesh.latency(home_node, req_node) + cfg.nackRetryCycles;
+            t = std::max(nack_back, bi->second > req_hop ?
+                         bi->second - req_hop : bi->second);
+            arrival = t + req_hop;
+        }
+        if (bi != busyUntil.end() && bi->second <= arrival)
+            busyUntil.erase(bi);
+    }
+
+    stats.traffic.add(MsgClass::Processor, ctrlBytes); // the request
+    ++stats.llcAccesses;
+    if (type == ReqType::Upg)
+        ++stats.upgradeMisses;
+
+    TrackerView v = tracker->view(block);
+    if (v.ts.exclusive() && v.ts.owner == c) {
+        // Region-grain tracking (MgD) can name the requester itself as
+        // the owner of a block it does not cache; serve as untracked.
+        panic_if(!tracker->coarseGrain(),
+                 "exact tracker says requester owns the missing block");
+        v = TrackerView{};
+    }
+    LlcEntry *data = llc.findData(block);
+    LlcEntry *spill = llc.findSpill(block);
+    // LRU ordering rule of Section IV-B1: E_B to MRU, then B.
+    if (spill)
+        llc.touchSpill(block);
+    if (data)
+        llc.touchData(block);
+
+    const bool is_read = type == ReqType::GetS || type == ReqType::GetSI;
+    const bool stra_read = is_read && v.ts.shared();
+    if (data) {
+        if (stra_read)
+            ++data->stats.straReads;
+        else
+            ++data->stats.otherAccesses;
+    }
+
+    RequestResult res;
+    TrackState ns;
+    bool missed = false;
+
+    switch (v.ts.kind) {
+      case TrackState::Kind::Invalid: {
+        panic_if(type == ReqType::Upg, "upgrade of untracked block");
+        if (data) {
+            panic_if(data->isCorrupt(),
+                     "corrupt LLC entry with no tracking state");
+            const Cycle start =
+                bankService(home, arrival, tag_lat + data_lat);
+            res.done = start + tag_lat + data_lat +
+                mesh.latency(home_node, req_node);
+        } else {
+            missed = true;
+            ++stats.llcDataMisses;
+            const Cycle start = bankService(home, arrival, tag_lat);
+            const Cycle back =
+                dramTrip(block, home_node, start + tag_lat);
+            data = ensureLlcData(block, back);
+            ++data->stats.otherAccesses;
+            res.done = back + data_lat + mesh.latency(home_node, req_node);
+        }
+        stats.traffic.add(MsgClass::Processor, dataBytes); // response
+        if (type == ReqType::GetSI) {
+            res.grant = MesiState::S;
+            ns = TrackState::makeShared(SharerSet::single(c));
+        } else if (type == ReqType::GetS) {
+            res.grant = MesiState::E;
+            ns = TrackState::makeExclusive(c);
+        } else {
+            res.grant = MesiState::M;
+            ns = TrackState::makeExclusive(c);
+        }
+        break;
+      }
+
+      case TrackState::Kind::Exclusive: {
+        const CoreId o = v.ts.owner;
+        panic_if(o == c, "owner re-requesting block it owns");
+        panic_if(type == ReqType::Upg, "upgrade of exclusively owned "
+                 "block by another core");
+        const Cycle extra =
+            v.where == Residence::LlcCorrupt ? data_lat + 1 : 0;
+        Cycle bcast_extra = 0;
+        if (v.where == Residence::Broadcast) {
+            // Stash recovery: probe every core (Section V-C).
+            stats.traffic.add(MsgClass::Coherence, ctrlBytes,
+                              cfg.numCores - 1); // probes
+            stats.traffic.add(MsgClass::Coherence, ctrlBytes,
+                              cfg.numCores - 2); // miss acks
+            Cycle worst = 0;
+            for (unsigned n = 0; n < cfg.numCores; ++n)
+                worst = std::max(worst, mesh.latency(home_node, n));
+            bcast_extra = worst;
+        }
+        const Cycle start = bankService(home, arrival, tag_lat + extra);
+        const Cycle fwd_at = start + tag_lat + extra + bcast_extra;
+        ++stats.ownerForwards;
+        stats.traffic.add(MsgClass::Coherence, ctrlBytes); // forward
+
+        if (!privs[o].present(block)) {
+            // Region-grain false positive (MgD): the region owner does
+            // not actually cache this block; home supplies it.
+            stats.traffic.add(MsgClass::Coherence, ctrlBytes); // miss rep
+            const Cycle back = fwd_at + mesh.latency(home_node, o) +
+                cfg.l2Latency + mesh.latency(o, home_node);
+            if (data && !data->isCorrupt()) {
+                res.done = back + data_lat +
+                    mesh.latency(home_node, req_node);
+            } else {
+                missed = true;
+                ++stats.llcDataMisses;
+                const Cycle ret = dramTrip(block, home_node, back);
+                data = ensureLlcData(block, ret);
+                res.done = ret + data_lat +
+                    mesh.latency(home_node, req_node);
+            }
+            stats.traffic.add(MsgClass::Processor, dataBytes);
+            if (type == ReqType::GetSI) {
+                res.grant = MesiState::S;
+                ns = TrackState::makeShared(SharerSet::single(c));
+            } else if (type == ReqType::GetS) {
+                res.grant = MesiState::E;
+                ns = TrackState::makeExclusive(c);
+            } else {
+                res.grant = MesiState::M;
+                ns = TrackState::makeExclusive(c);
+            }
+            break;
+        }
+
+        const Cycle at_owner = fwd_at + mesh.latency(home_node, o) +
+            cfg.l2Latency;
+        res.done = at_owner + mesh.latency(nodeOfCore(o), req_node);
+        stats.traffic.add(MsgClass::Processor, dataBytes); // owner->req
+        stats.traffic.add(MsgClass::Coherence, ctrlBytes); // busy-clear
+        busyUntil[block] =
+            at_owner + mesh.latency(nodeOfCore(o), home_node);
+
+        if (is_read) {
+            auto d = privs[o].downgrade(block);
+            if (d.wasDirty) {
+                // Sharing writeback to the home LLC.
+                stats.traffic.add(MsgClass::Coherence, dataBytes);
+                LlcEntry *e = ensureLlcData(block, res.done);
+                e->dirty = true;
+                data = e;
+            }
+            SharerSet sh;
+            sh.add(o);
+            sh.add(c);
+            ns = TrackState::makeShared(sh);
+            res.grant = MesiState::S;
+        } else { // GetX
+            privs[o].invalidate(block);
+            ++stats.invalidations;
+            ns = TrackState::makeExclusive(c);
+            res.grant = MesiState::M;
+        }
+        break;
+      }
+
+      case TrackState::Kind::Shared: {
+        const SharerSet &sh = v.ts.sharers;
+        Cycle bcast_extra = 0;
+        if (v.where == Residence::Broadcast) {
+            stats.traffic.add(MsgClass::Coherence, ctrlBytes,
+                              cfg.numCores - 1);
+            stats.traffic.add(MsgClass::Coherence, ctrlBytes,
+                              cfg.numCores - 2);
+            Cycle worst = 0;
+            for (unsigned n = 0; n < cfg.numCores; ++n)
+                worst = std::max(worst, mesh.latency(home_node, n));
+            bcast_extra = worst;
+        }
+        if (is_read) {
+            // With exact tracking a sharer can never re-request; a
+            // coarse sharer vector may list the requester's
+            // groupmates conservatively, which is harmless on the
+            // two-hop path below.
+            panic_if(sh.contains(c) && cfg.sharerGrain == 1,
+                     "sharer re-requesting read");
+            if (v.where == Residence::LlcCorrupt) {
+                // The three-hop lengthened path (Section III-C).
+                const CoreId s = sh.electNear(c, cfg.numCores);
+                panic_if(s == invalidCore, "shared with no sharers");
+                const Cycle start =
+                    bankService(home, arrival, tag_lat + data_lat + 1);
+                const Cycle fwd_at = start + tag_lat + data_lat + 1;
+                const Cycle at_sharer = fwd_at +
+                    mesh.latency(home_node, nodeOfCore(s)) +
+                    cfg.l2Latency;
+                res.done = at_sharer +
+                    mesh.latency(nodeOfCore(s), req_node);
+                busyUntil[block] = at_sharer +
+                    mesh.latency(nodeOfCore(s), home_node);
+                stats.traffic.add(MsgClass::Coherence, ctrlBytes); // fwd
+                stats.traffic.add(MsgClass::Processor, dataBytes);
+                stats.traffic.add(MsgClass::Coherence, ctrlBytes); // clr
+                ++stats.lengthenedReads;
+                if (type == ReqType::GetSI)
+                    ++stats.lengthenedCode;
+                if (data) {
+                    ++data->stats.lengthened;
+                    if (type == ReqType::GetSI)
+                        ++data->stats.lengthenedCode;
+                }
+            } else {
+                if (v.where == Residence::LlcSpill)
+                    ++stats.savedBySpill;
+                // Two-hop: the LLC (or DRAM) supplies the data.
+                const Cycle occ = tag_lat + data_lat +
+                    (spill ? data_lat + 1 : 0);
+                if (data) {
+                    const Cycle start = bankService(home, arrival, occ);
+                    res.done = start + tag_lat + data_lat + bcast_extra +
+                        mesh.latency(home_node, req_node);
+                } else {
+                    missed = true;
+                    ++stats.llcDataMisses;
+                    const Cycle start =
+                        bankService(home, arrival, tag_lat);
+                    const Cycle back = dramTrip(block, home_node,
+                                                start + tag_lat +
+                                                bcast_extra);
+                    data = ensureLlcData(block, back);
+                    ++data->stats.straReads;
+                    res.done = back + data_lat +
+                        mesh.latency(home_node, req_node);
+                }
+                stats.traffic.add(MsgClass::Processor, dataBytes);
+            }
+            SharerSet nsh = sh;
+            nsh.add(c);
+            ns = TrackState::makeShared(nsh);
+            res.grant = MesiState::S;
+        } else {
+            // GetX or Upg: invalidate every other sharer; acks are
+            // collected at the requester (sequential consistency).
+            const bool upg = type == ReqType::Upg;
+            panic_if(upg && !sh.contains(c), "upgrade from non-sharer");
+            panic_if(!upg && sh.contains(c) && cfg.sharerGrain == 1,
+                     "GetX from current sharer (should be Upg)");
+            const bool corrupt_like =
+                v.where == Residence::LlcCorrupt ||
+                v.where == Residence::LlcSpill;
+            const Cycle extra = corrupt_like ? data_lat + 1 : 0;
+            const Cycle start = bankService(home, arrival,
+                                            tag_lat + extra +
+                                            (upg ? 0 : data_lat));
+            const Cycle ready = start + tag_lat + extra + bcast_extra;
+            CoreId data_sharer = invalidCore;
+            if (!upg && v.where == Residence::LlcCorrupt)
+                data_sharer = sh.electNear(c, cfg.numCores);
+            Cycle worst = 0;
+            unsigned count = 0;
+            sh.forEach([&](CoreId s) {
+                if (s == c)
+                    return;
+                privs[s].invalidate(block);
+                ++count;
+                stats.traffic.add(MsgClass::Coherence, ctrlBytes);
+                stats.traffic.add(MsgClass::Coherence,
+                                  s == data_sharer ? dataBytes
+                                                   : ctrlBytes);
+                const Cycle p =
+                    mesh.latency(home_node, nodeOfCore(s)) +
+                    cfg.l1Latency +
+                    mesh.latency(nodeOfCore(s), req_node);
+                worst = std::max(worst, p);
+            });
+            stats.invalidations += count;
+            Cycle data_path = 0;
+            if (!upg && data_sharer == invalidCore) {
+                if (data && !data->isCorrupt()) {
+                    data_path = data_lat +
+                        mesh.latency(home_node, req_node);
+                    stats.traffic.add(MsgClass::Processor, dataBytes);
+                } else {
+                    missed = true;
+                    ++stats.llcDataMisses;
+                    const Cycle back =
+                        dramTrip(block, home_node, ready);
+                    data = ensureLlcData(block, back);
+                    data_path = (back - ready) + data_lat +
+                        mesh.latency(home_node, req_node);
+                    stats.traffic.add(MsgClass::Processor, dataBytes);
+                }
+            } else if (upg) {
+                stats.traffic.add(MsgClass::Processor, ctrlBytes); // ack
+                data_path = mesh.latency(home_node, req_node);
+            }
+            res.done = ready + std::max(worst, data_path);
+            ns = TrackState::makeExclusive(c);
+            res.grant = MesiState::M;
+        }
+        break;
+      }
+    }
+
+    // Residency bookkeeping must precede tracker->update(): the update
+    // may reallocate LLC ways and stale this pointer.
+    if (data && ns.shared()) {
+        data->stats.maxSharers =
+            std::max(data->stats.maxSharers, ns.sharers.count());
+    }
+    data = nullptr;
+    spill = nullptr;
+
+    ReqCtx ctx{c, type, t0};
+    tracker->update(block, ns, ctx, *this);
+    tracker->onLlcAccess(block, missed, stra_read);
+    stats.recordLatency(res.done - t0);
+
+    curTime = std::max(curTime, res.done);
+    return res;
+}
+
+void
+Engine::evictionNotice(CoreId c, Addr block, MesiState st, Cycle t)
+{
+    panic_if(tracker == nullptr, "engine has no tracker");
+    panic_if(st == MesiState::I, "eviction notice with I state");
+    curTime = std::max(curTime, t);
+    tracker->tick(t);
+    ++stats.evictionNotices;
+
+    TrackerView v = tracker->view(block);
+    TrackState ns = v.ts;
+    switch (v.ts.kind) {
+      case TrackState::Kind::Exclusive:
+        panic_if(v.ts.owner != c, "eviction notice from non-owner");
+        ns = TrackState{};
+        break;
+      case TrackState::Kind::Shared:
+        panic_if(!v.ts.sharers.contains(c),
+                 "eviction notice from non-sharer");
+        panic_if(st != MesiState::S, "non-S eviction of shared block");
+        ns.sharers.remove(c);
+        if (ns.sharers.empty())
+            ns = TrackState{};
+        break;
+      case TrackState::Kind::Invalid:
+        // Region-grain (MgD) private blocks are not block-tracked;
+        // the tracker handles the notice below.
+        break;
+    }
+
+    const unsigned extra = tracker->evictionNoticeExtraBytes(st);
+    if (st == MesiState::M)
+        stats.traffic.add(MsgClass::Writeback, dataBytes);
+    else
+        stats.traffic.add(MsgClass::Writeback, ctrlBytes + extra);
+    stats.traffic.add(MsgClass::Writeback, ctrlBytes); // the ack
+
+    tracker->evictionUpdate(block, ns, st, *this);
+
+    if (st == MesiState::M) {
+        LlcEntry *e = ensureLlcData(block, t);
+        panic_if(e->isCorrupt(),
+                 "PutM left a corrupt LLC entry behind");
+        e->dirty = true;
+    }
+}
+
+} // namespace tinydir

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Home-side coherence engine.
+ *
+ * One MESI transaction flow serves every tracking scheme; the
+ * scheme-specific behaviour is confined to the CoherenceTracker it is
+ * configured with. The engine is responsible for:
+ *
+ *  - the critical-path timing of each transaction (hop latencies on
+ *    the mesh, LLC bank queueing, tag/data/decode serialization for
+ *    corrupted and spilled entries per Section IV-C, DRAM trips);
+ *  - message/byte accounting in the three Fig. 5 classes;
+ *  - busy windows for three-hop forwards with NACK/retry semantics;
+ *  - LLC fills, victim dispatch, and writebacks;
+ *  - the per-residency measurement counters feeding Figs. 2 and 6-9.
+ *
+ * Transactions are processed atomically in global time order
+ * (DESIGN.md Section 2); the protocol's transient states cannot race,
+ * but their latency and traffic costs are modeled.
+ */
+
+#ifndef TINYDIR_PROTO_ENGINE_HH
+#define TINYDIR_PROTO_ENGINE_HH
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/llc.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/private_cache.hh"
+#include "mem/dram.hh"
+#include "noc/mesh.hh"
+#include "noc/traffic.hh"
+#include "proto/tracker.hh"
+
+namespace tinydir
+{
+
+/** Engine-level statistics. */
+struct EngineStats
+{
+    Scalar llcAccesses;      //!< LLC accesses except writebacks
+    Scalar llcDataMisses;    //!< accesses that fetched from DRAM
+    Scalar llcFills;
+    Scalar lengthenedReads;  //!< three-hop shared reads (vs 2-hop base)
+    Scalar lengthenedCode;   //!< subset that were instruction reads
+    Scalar savedBySpill;     //!< 2-hop reads thanks to spilled entries
+    Scalar nackRetries;
+    Scalar ownerForwards;    //!< forwards to exclusive owners
+    Scalar invalidations;    //!< invalidation messages sent
+    Scalar backInvals;       //!< blocks back-invalidated
+    Scalar dirtyWritebacks;  //!< LLC -> DRAM writebacks
+    Scalar evictionNotices;
+    Scalar upgradeMisses;    //!< upgrade transactions
+    TrafficStats traffic;
+
+    /**
+     * Miss-latency distribution in 32-cycle buckets (bucket 31 is the
+     * overflow). Separates the 2-hop / 3-hop / DRAM populations for
+     * latency-shape analysis.
+     */
+    Histogram latency{32};
+
+    void
+    recordLatency(Cycle lat)
+    {
+        latency.sample(
+            static_cast<unsigned>(std::min<Cycle>(lat / 32, 31)));
+    }
+
+    void
+    reset()
+    {
+        llcAccesses.reset();
+        llcDataMisses.reset();
+        llcFills.reset();
+        lengthenedReads.reset();
+        lengthenedCode.reset();
+        savedBySpill.reset();
+        nackRetries.reset();
+        ownerForwards.reset();
+        invalidations.reset();
+        backInvals.reset();
+        dirtyWritebacks.reset();
+        evictionNotices.reset();
+        upgradeMisses.reset();
+        traffic.reset();
+        latency.reset();
+    }
+};
+
+/** Result of a home transaction. */
+struct RequestResult
+{
+    Cycle done = 0;        //!< absolute completion time at requester
+    MesiState grant = MesiState::I; //!< state granted to requester
+};
+
+/** Where retrieved dirty data goes on a back-invalidation. */
+enum class DirtyDest : std::uint8_t
+{
+    Llc,     //!< write into the LLC (directory-entry eviction)
+    Memory,  //!< write to DRAM (corrupted LLC victim)
+    Discard, //!< drop (tests only)
+};
+
+/** The shared home controller. */
+class Engine : public EngineOps
+{
+  public:
+    Engine(const SystemConfig &cfg, Llc &llc, Mesh &mesh, Dram &dram,
+           std::vector<PrivateCache> &privs);
+
+    /** Install the scheme. Must be called before any transaction. */
+    void setTracker(CoherenceTracker *t) { tracker = t; }
+    CoherenceTracker *getTracker() { return tracker; }
+
+    /** Process a private-hierarchy miss or upgrade. */
+    RequestResult request(CoreId c, Addr block, ReqType type, Cycle t0);
+
+    /** Process an eviction notice (PutS/PutE/PutM) from a core. */
+    void evictionNotice(CoreId c, Addr block, MesiState st, Cycle t);
+
+    // -- EngineOps ---------------------------------------------------------
+    void backInvalidate(Addr block, const TrackState &ts) override;
+    void reconstructTraffic(Addr block, const TrackState &ts) override;
+    void addTraffic(MsgClass cls, unsigned bytes,
+                    Counter count = 1) override;
+    Cycle now() const override { return curTime; }
+
+    /** backInvalidate with explicit dirty-data destination. */
+    void backInvalidateTo(Addr block, const TrackState &ts,
+                          DirtyDest dest);
+
+    EngineStats stats;
+
+    /** Mesh node of a core (1:1 core/bank/node mapping). */
+    unsigned nodeOfCore(CoreId c) const { return c; }
+
+  private:
+    /** Bank queueing: returns service start, advances bank occupancy. */
+    Cycle bankService(unsigned bank, Cycle arrival, Cycle busy_cycles);
+
+    /**
+     * Guarantee an LLC data entry for @p block (fill on miss),
+     * dispatching any victim. Fresh entries are Normal and clean.
+     */
+    LlcEntry *ensureLlcData(Addr block, Cycle t);
+
+    /** Handle an evicted LLC way per its meta-state. */
+    void processVictim(const LlcEntry &victim, Cycle t);
+
+    /** Writeback a dirty block to DRAM (traffic + DRAM occupancy). */
+    void writebackToMemory(Addr block, Cycle t);
+
+    /** DRAM round trip starting when the miss is detected at home. */
+    Cycle dramTrip(Addr block, unsigned home_node, Cycle miss_at);
+
+    const SystemConfig &cfg;
+    Llc &llc;
+    Mesh &mesh;
+    Dram &dram;
+    std::vector<PrivateCache> &privs;
+    CoherenceTracker *tracker = nullptr;
+
+    /** Blocks with an outstanding three-hop forward. */
+    std::unordered_map<Addr, Cycle> busyUntil;
+    Cycle curTime = 0;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_PROTO_ENGINE_HH

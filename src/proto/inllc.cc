@@ -1,0 +1,207 @@
+#include "proto/inllc.hh"
+
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+namespace inllc_detail
+{
+
+TrackState
+stateOf(const LlcEntry &e)
+{
+    TrackState ts;
+    switch (e.meta) {
+      case LlcMeta::CorruptExcl:
+        ts.kind = TrackState::Kind::Exclusive;
+        ts.owner = e.owner;
+        break;
+      case LlcMeta::CorruptShared:
+      case LlcMeta::Spill:
+        if (e.owner != invalidCore) {
+            ts.kind = TrackState::Kind::Exclusive;
+            ts.owner = e.owner;
+        } else {
+            ts.kind = TrackState::Kind::Shared;
+            ts.sharers = e.sharers;
+        }
+        break;
+      case LlcMeta::Normal:
+        if (e.owner != invalidCore) {
+            ts.kind = TrackState::Kind::Exclusive;
+            ts.owner = e.owner;
+        } else if (!e.sharers.empty()) {
+            ts.kind = TrackState::Kind::Shared;
+            ts.sharers = e.sharers;
+        }
+        break;
+    }
+    return ts;
+}
+
+void
+encode(LlcEntry &e, const TrackState &ts)
+{
+    if (ts.exclusive()) {
+        e.owner = ts.owner;
+        e.sharers.clear();
+    } else if (ts.shared()) {
+        e.owner = invalidCore;
+        e.sharers = ts.sharers;
+    } else {
+        e.owner = invalidCore;
+        e.sharers.clear();
+    }
+}
+
+} // namespace inllc_detail
+
+// ---------------------------------------------------------------------------
+// InLlcTracker
+// ---------------------------------------------------------------------------
+
+InLlcTracker::InLlcTracker(const SystemConfig &c, Llc &l)
+    : cfg(c), llc(l)
+{
+}
+
+TrackerView
+InLlcTracker::view(Addr block)
+{
+    LlcEntry *e = llc.findData(block);
+    if (!e || !e->isCorrupt())
+        return {};
+    return {inllc_detail::stateOf(*e), Residence::LlcCorrupt};
+}
+
+void
+InLlcTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
+                     EngineOps &ops)
+{
+    (void)ctx;
+    (void)ops;
+    LlcEntry *e = llc.findData(block);
+    panic_if(!e, "in-LLC tracking without an LLC tag for block ", block);
+    if (ns.invalid()) {
+        e->meta = LlcMeta::Normal;
+        inllc_detail::encode(*e, ns);
+        return;
+    }
+    e->meta = ns.exclusive() ? LlcMeta::CorruptExcl
+                             : LlcMeta::CorruptShared;
+    inllc_detail::encode(*e, ns);
+    ++llc.cohDataWrites;
+}
+
+void
+InLlcTracker::evictionUpdate(Addr block, const TrackState &ns,
+                             MesiState put, EngineOps &ops)
+{
+    LlcEntry *e = llc.findData(block);
+    panic_if(!e, "eviction notice for block without LLC tag: ", block);
+    panic_if(!e->isCorrupt(),
+             "eviction notice for a non-corrupt in-LLC block");
+    if (ns.invalid()) {
+        if (put == MesiState::S) {
+            // The LLC asks the last sharer for the borrowed bits
+            // (special eviction acknowledgement, Section III-B).
+            ops.addTraffic(MsgClass::Writeback,
+                           ctrlBytes + reconstructBytes(cfg.numCores));
+        }
+        // PutE carried the bits in the notice; PutM carries full data.
+        e->meta = LlcMeta::Normal;
+        inllc_detail::encode(*e, ns);
+        ++llc.cohDataWrites; // data-array write to restore the bits
+        return;
+    }
+    panic_if(!ns.shared(), "notice left in-LLC block exclusively owned");
+    e->meta = LlcMeta::CorruptShared;
+    inllc_detail::encode(*e, ns);
+    ++llc.cohDataWrites;
+}
+
+void
+InLlcTracker::onLlcDataVictim(const LlcEntry &victim, EngineOps &ops)
+{
+    if (!victim.isCorrupt())
+        return;
+    const TrackState ts = inllc_detail::stateOf(victim);
+    // Reconstruct the block by querying the owner / an elected sharer,
+    // then back-invalidate every private copy (Section III-B).
+    ops.reconstructTraffic(victim.tag, ts);
+    ops.backInvalidate(victim.tag, ts);
+}
+
+unsigned
+InLlcTracker::evictionNoticeExtraBytes(MesiState s) const
+{
+    // E-state eviction notices carry the first 4 + ceil(log2 C) bits
+    // of the block so the LLC can reconstruct it.
+    return s == MesiState::E ? reconstructBytes(cfg.numCores) : 0;
+}
+
+// ---------------------------------------------------------------------------
+// TagExtendedTracker
+// ---------------------------------------------------------------------------
+
+TagExtendedTracker::TagExtendedTracker(const SystemConfig &c, Llc &l)
+    : cfg(c), llc(l)
+{
+}
+
+TrackerView
+TagExtendedTracker::view(Addr block)
+{
+    LlcEntry *e = llc.findData(block);
+    if (!e)
+        return {};
+    panic_if(e->isCorrupt(), "corrupt entry in tag-extended scheme");
+    TrackState ts = inllc_detail::stateOf(*e);
+    if (ts.invalid())
+        return {};
+    return {ts, Residence::DirSram};
+}
+
+void
+TagExtendedTracker::store(Addr block, const TrackState &ns, EngineOps &ops)
+{
+    (void)ops;
+    LlcEntry *e = llc.findData(block);
+    panic_if(!e, "tag-extended tracking without LLC tag for ", block);
+    inllc_detail::encode(*e, ns);
+}
+
+void
+TagExtendedTracker::update(Addr block, const TrackState &ns,
+                           const ReqCtx &ctx, EngineOps &ops)
+{
+    (void)ctx;
+    store(block, ns, ops);
+}
+
+void
+TagExtendedTracker::evictionUpdate(Addr block, const TrackState &ns,
+                                   MesiState put, EngineOps &ops)
+{
+    (void)put;
+    store(block, ns, ops);
+}
+
+void
+TagExtendedTracker::onLlcDataVictim(const LlcEntry &victim, EngineOps &ops)
+{
+    const TrackState ts = inllc_detail::stateOf(victim);
+    if (!ts.invalid())
+        ops.backInvalidate(victim.tag, ts);
+}
+
+std::uint64_t
+TagExtendedTracker::trackerSramBits() const
+{
+    // Every LLC tag extended by a sharer vector plus two state bits.
+    return llc.numBanks() * llc.setsPerBank() * llc.assoc() *
+        (cfg.numCores + 2);
+}
+
+} // namespace tinydir

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * In-LLC coherence tracking (paper Section III).
+ *
+ * Two variants:
+ *
+ *  - InLlcTracker: no directory SRAM at all. A tracked block's LLC way
+ *    enters a corrupted state (V=0, D=1) and its first bits encode
+ *    owner/sharers (Tables III/IV). Reads of corrupted-shared blocks
+ *    become three-hop transactions; evictions need reconstruction.
+ *    Tracking is tag-inclusive: evicting a corrupted LLC way
+ *    back-invalidates the private copies.
+ *
+ *  - TagExtendedTracker: the storage-heavy strawman of Fig. 4 (left
+ *    bars): every LLC tag is extended with a full tracking entry. The
+ *    data way stays usable, so shared reads remain two-hop; tracking
+ *    is still tag-inclusive.
+ */
+
+#ifndef TINYDIR_PROTO_INLLC_HH
+#define TINYDIR_PROTO_INLLC_HH
+
+#include "cache/llc.hh"
+#include "common/config.hh"
+#include "proto/tracker.hh"
+
+namespace tinydir
+{
+
+/** Helpers shared by the in-LLC family (also used by TinyDirTracker). */
+namespace inllc_detail
+{
+
+/** Read the TrackState encoded in a corrupted or spilled LLC entry. */
+TrackState stateOf(const LlcEntry &e);
+
+/** Write @p ts into the entry's tracking payload (owner/sharers). */
+void encode(LlcEntry &e, const TrackState &ts);
+
+} // namespace inllc_detail
+
+/** Section III: tracking in borrowed LLC data-block bits. */
+class InLlcTracker : public CoherenceTracker
+{
+  public:
+    InLlcTracker(const SystemConfig &cfg, Llc &llc);
+
+    TrackerView view(Addr block) override;
+    void update(Addr block, const TrackState &ns, const ReqCtx &ctx,
+                EngineOps &ops) override;
+    void evictionUpdate(Addr block, const TrackState &ns, MesiState put,
+                        EngineOps &ops) override;
+    void onLlcDataVictim(const LlcEntry &victim, EngineOps &ops) override;
+    unsigned evictionNoticeExtraBytes(MesiState s) const override;
+    std::uint64_t trackerSramBits() const override { return 0; }
+    std::string name() const override { return "in-llc"; }
+
+  private:
+    const SystemConfig &cfg;
+    Llc &llc;
+};
+
+/** Fig. 4 strawman: every LLC tag extended with a tracking entry. */
+class TagExtendedTracker : public CoherenceTracker
+{
+  public:
+    TagExtendedTracker(const SystemConfig &cfg, Llc &llc);
+
+    TrackerView view(Addr block) override;
+    void update(Addr block, const TrackState &ns, const ReqCtx &ctx,
+                EngineOps &ops) override;
+    void evictionUpdate(Addr block, const TrackState &ns, MesiState put,
+                        EngineOps &ops) override;
+    void onLlcDataVictim(const LlcEntry &victim, EngineOps &ops) override;
+    std::uint64_t trackerSramBits() const override;
+    std::string name() const override { return "in-llc-tag-extended"; }
+
+  private:
+    void store(Addr block, const TrackState &ns, EngineOps &ops);
+
+    const SystemConfig &cfg;
+    Llc &llc;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_PROTO_INLLC_HH

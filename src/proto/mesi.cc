@@ -1,0 +1,55 @@
+#include "proto/mesi.hh"
+
+namespace tinydir
+{
+
+std::string
+toString(MesiState s)
+{
+    switch (s) {
+      case MesiState::I: return "I";
+      case MesiState::S: return "S";
+      case MesiState::E: return "E";
+      case MesiState::M: return "M";
+    }
+    return "?";
+}
+
+std::string
+toString(AccessType t)
+{
+    switch (t) {
+      case AccessType::Load: return "load";
+      case AccessType::Store: return "store";
+      case AccessType::Ifetch: return "ifetch";
+    }
+    return "?";
+}
+
+std::string
+toString(ReqType t)
+{
+    switch (t) {
+      case ReqType::GetS: return "GetS";
+      case ReqType::GetSI: return "GetSI";
+      case ReqType::GetX: return "GetX";
+      case ReqType::Upg: return "Upg";
+    }
+    return "?";
+}
+
+unsigned
+straCategory(double ratio)
+{
+    if (ratio <= 0.0)
+        return 0;
+    double bound = 0.5; // 1 - 1/2^i for i = 1
+    for (unsigned i = 1; i <= 6; ++i) {
+        if (ratio <= bound)
+            return i;
+        bound = 0.5 * (1.0 + bound); // 1 - 1/2^(i+1)
+    }
+    return 7;
+}
+
+} // namespace tinydir

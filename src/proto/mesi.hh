@@ -1,0 +1,103 @@
+/**
+ * @file
+ * MESI protocol vocabulary shared by the private hierarchy, the home
+ * controller (engine) and the coherence trackers.
+ *
+ * The baseline protocol is write-invalidate MESI (Table I) with:
+ *  - instruction reads always granted S (code-sharing acceleration);
+ *  - all private-hierarchy evictions notified to the home;
+ *  - sequential consistency (no eager-exclusive replies).
+ */
+
+#ifndef TINYDIR_PROTO_MESI_HH
+#define TINYDIR_PROTO_MESI_HH
+
+#include <string>
+
+#include "common/sharer_set.hh"
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/** Stable MESI state of a block inside one core's private hierarchy. */
+enum class MesiState : std::uint8_t
+{
+    I, //!< invalid / not present
+    S, //!< shared, clean
+    E, //!< exclusive, clean
+    M, //!< modified
+};
+
+/** Memory operation kinds issued by a core. */
+enum class AccessType : std::uint8_t
+{
+    Load,
+    Store,
+    Ifetch,
+};
+
+/** Request types seen by the home LLC bank. */
+enum class ReqType : std::uint8_t
+{
+    GetS,  //!< data read miss
+    GetSI, //!< instruction read miss (granted S)
+    GetX,  //!< write miss (read-exclusive)
+    Upg,   //!< upgrade: requester holds S, wants M
+};
+
+/** Home-side view of a block's global coherence state. */
+struct TrackState
+{
+    enum class Kind : std::uint8_t
+    {
+        Invalid,   //!< unowned / not privately cached
+        Exclusive, //!< exclusively owned (owner may be E or M)
+        Shared,    //!< one or more read-only sharers
+    };
+
+    Kind kind = Kind::Invalid;
+    CoreId owner = invalidCore;
+    SharerSet sharers;
+
+    bool invalid() const { return kind == Kind::Invalid; }
+    bool exclusive() const { return kind == Kind::Exclusive; }
+    bool shared() const { return kind == Kind::Shared; }
+
+    static TrackState
+    makeExclusive(CoreId c)
+    {
+        TrackState t;
+        t.kind = Kind::Exclusive;
+        t.owner = c;
+        return t;
+    }
+
+    static TrackState
+    makeShared(const SharerSet &s)
+    {
+        TrackState t;
+        t.kind = Kind::Shared;
+        t.sharers = s;
+        return t;
+    }
+};
+
+/** Human-readable names. */
+std::string toString(MesiState s);
+std::string toString(AccessType t);
+std::string toString(ReqType t);
+
+/**
+ * STRA category of a block given its (estimated or measured) STRA
+ * ratio (Section III-C): C0 = ratio 0; Ci (1<=i<=6) covers
+ * (1 - 1/2^(i-1), 1 - 1/2^i]; C7 covers (1 - 1/64, 1].
+ */
+unsigned straCategory(double ratio);
+
+/** Number of STRA categories (C0..C7). */
+constexpr unsigned numStraCategories = 8;
+
+} // namespace tinydir
+
+#endif // TINYDIR_PROTO_MESI_HH

@@ -1,0 +1,306 @@
+#include "proto/mgd.hh"
+
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+namespace
+{
+
+/** Region tags share the arrays with block tags; mark them apart. */
+constexpr Addr regionMark = 1ull << 60;
+
+Addr
+regionKey(Addr region)
+{
+    return region | regionMark;
+}
+
+} // namespace
+
+MgdTracker::MgdTracker(const SystemConfig &c,
+                       std::vector<PrivateCache> &p)
+    : cfg(c), privs(p), banks(c.llcBanks()),
+      regionBlocks(c.mgdRegionBytes / blockBytes), skewed(c.dirSkewed)
+{
+    ways = skewed ? 4 : c.effectiveDirAssoc();
+    const std::uint64_t per_slice = c.dirEntriesPerSlice();
+    rows = std::max<std::uint64_t>(1, per_slice / ways);
+    for (unsigned b = 0; b < banks; ++b) {
+        if (skewed)
+            skewSlices.emplace_back(rows, ways, c.seed + 70 + b);
+        else
+            slices.emplace_back(rows, ways, ReplPolicy::Nru,
+                                c.seed + 70 + b);
+    }
+}
+
+MgdTracker::MgdEntry *
+MgdTracker::findBlockEntry(Addr block)
+{
+    const unsigned slice = block % banks;
+    if (skewed) {
+        MgdEntry *e = skewSlices[slice].find(block);
+        return (e && !e->region) ? e : nullptr;
+    }
+    const std::uint64_t set = (block / banks) & (rows - 1);
+    MgdEntry *e = slices[slice].find(set, block);
+    return (e && !e->region) ? e : nullptr;
+}
+
+MgdTracker::MgdEntry *
+MgdTracker::findRegionEntry(Addr region)
+{
+    const Addr key = regionKey(region);
+    const unsigned slice = region % banks;
+    if (skewed) {
+        MgdEntry *e = skewSlices[slice].find(key);
+        return (e && e->region) ? e : nullptr;
+    }
+    const std::uint64_t set = (region / banks) & (rows - 1);
+    MgdEntry *e = slices[slice].find(set, key);
+    return (e && e->region) ? e : nullptr;
+}
+
+void
+MgdTracker::eraseBlockEntry(Addr block)
+{
+    const unsigned slice = block % banks;
+    MgdEntry *e = nullptr;
+    if (skewed) {
+        e = skewSlices[slice].find(block);
+    } else {
+        const std::uint64_t set = (block / banks) & (rows - 1);
+        e = slices[slice].find(set, block);
+    }
+    if (!e || e->region)
+        return;
+    const Addr region = regionOf(block);
+    auto it = blockEntries.find(region);
+    if (it != blockEntries.end() && --it->second == 0)
+        blockEntries.erase(it);
+    *e = MgdEntry{};
+}
+
+void
+MgdTracker::handleVictim(const MgdEntry &victim, EngineOps &ops)
+{
+    if (!victim.valid)
+        return;
+    if (victim.region) {
+        // Invalidate every block of the region the owner still caches.
+        const Addr region = victim.tag & ~regionMark;
+        const Addr base = region * regionBlocks;
+        for (unsigned i = 0; i < regionBlocks; ++i) {
+            const Addr b = base + i;
+            if (privs[victim.owner].present(b)) {
+                ops.backInvalidate(
+                    b, TrackState::makeExclusive(victim.owner));
+            }
+        }
+        return;
+    }
+    const Addr region = regionOf(victim.tag);
+    auto it = blockEntries.find(region);
+    if (it != blockEntries.end() && --it->second == 0)
+        blockEntries.erase(it);
+    ops.backInvalidate(victim.tag, victim.state());
+}
+
+void
+MgdTracker::storeBlock(Addr block, const TrackState &ns, EngineOps &ops)
+{
+    if (ns.invalid()) {
+        eraseBlockEntry(block);
+        return;
+    }
+    const unsigned slice = block % banks;
+    if (skewed) {
+        auto &arr = skewSlices[slice];
+        if (MgdEntry *e = arr.find(block)) {
+            panic_if(e->region, "block/region tag collision");
+            e->kind = ns.kind;
+            e->owner = ns.owner;
+            e->sharers = ns.sharers;
+            arr.touch(block);
+            return;
+        }
+        auto ir = arr.insert(block);
+        if (ir.victim)
+            handleVictim(*ir.victim, ops);
+        ir.slot->tag = block;
+        ir.slot->valid = true;
+        ir.slot->region = false;
+        ir.slot->kind = ns.kind;
+        ir.slot->owner = ns.owner;
+        ir.slot->sharers = ns.sharers;
+        ++allocs;
+        ++blockEntries[regionOf(block)];
+    } else {
+        auto &arr = slices[slice];
+        const std::uint64_t set = (block / banks) & (rows - 1);
+        int w = arr.findWay(set, block);
+        if (w < 0) {
+            const unsigned vw = arr.victimWay(set);
+            MgdEntry &v = arr.way(set, vw);
+            if (v.valid)
+                handleVictim(v, ops);
+            v = MgdEntry{};
+            v.tag = block;
+            v.valid = true;
+            w = static_cast<int>(vw);
+            ++allocs;
+            ++blockEntries[regionOf(block)];
+        }
+        MgdEntry &e = arr.way(set, static_cast<unsigned>(w));
+        panic_if(e.region, "block/region tag collision");
+        e.region = false;
+        e.kind = ns.kind;
+        e.owner = ns.owner;
+        e.sharers = ns.sharers;
+        arr.touch(set, static_cast<unsigned>(w));
+    }
+}
+
+void
+MgdTracker::splitRegion(Addr region, CoreId owner, Addr except,
+                        EngineOps &ops)
+{
+    ++splits;
+    // Remove the region entry first.
+    const Addr key = regionKey(region);
+    const unsigned slice = region % banks;
+    if (skewed) {
+        if (MgdEntry *e = skewSlices[slice].find(key))
+            *e = MgdEntry{};
+    } else {
+        const std::uint64_t set = (region / banks) & (rows - 1);
+        if (MgdEntry *e = slices[slice].find(set, key))
+            *e = MgdEntry{};
+    }
+    // Probe the owner for its cached blocks of the region: one probe,
+    // one presence-bitmap reply.
+    ops.addTraffic(MsgClass::Coherence, ctrlBytes);
+    ops.addTraffic(MsgClass::Coherence,
+                   ctrlBytes + divCeil(regionBlocks, 8));
+    const Addr base = region * regionBlocks;
+    for (unsigned i = 0; i < regionBlocks; ++i) {
+        const Addr b = base + i;
+        if (b == except || !privs[owner].present(b))
+            continue;
+        storeBlock(b, TrackState::makeExclusive(owner), ops);
+    }
+}
+
+TrackerView
+MgdTracker::view(Addr block)
+{
+    if (MgdEntry *e = findBlockEntry(block))
+        return {e->state(), Residence::DirSram};
+    if (MgdEntry *re = findRegionEntry(regionOf(block)))
+        return {TrackState::makeExclusive(re->owner), Residence::DirSram};
+    return {};
+}
+
+void
+MgdTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
+                   EngineOps &ops)
+{
+    (void)ctx;
+    if (findBlockEntry(block)) {
+        storeBlock(block, ns, ops);
+        return;
+    }
+    const Addr region = regionOf(block);
+    if (MgdEntry *re = findRegionEntry(region)) {
+        const CoreId ro = re->owner;
+        if (ns.exclusive() && ns.owner == ro) {
+            // Still private to the region owner.
+            if (skewed)
+                skewSlices[region % banks].touch(regionKey(region));
+            return;
+        }
+        // The region is no longer private: split to block grain.
+        splitRegion(region, ro, block, ops);
+        storeBlock(block, ns, ops);
+        return;
+    }
+    if (ns.exclusive() && blockEntries.find(region) == blockEntries.end()) {
+        // First touch of an untracked region: one region-grain entry.
+        const Addr key = regionKey(region);
+        const unsigned slice = region % banks;
+        if (skewed) {
+            auto ir = skewSlices[slice].insert(key);
+            if (ir.victim)
+                handleVictim(*ir.victim, ops);
+            ir.slot->tag = key;
+            ir.slot->valid = true;
+            ir.slot->region = true;
+            ir.slot->kind = TrackState::Kind::Exclusive;
+            ir.slot->owner = ns.owner;
+        } else {
+            auto &arr = slices[slice];
+            const std::uint64_t set = (region / banks) & (rows - 1);
+            const unsigned vw = arr.victimWay(set);
+            MgdEntry &v = arr.way(set, vw);
+            if (v.valid)
+                handleVictim(v, ops);
+            v = MgdEntry{};
+            v.tag = key;
+            v.valid = true;
+            v.region = true;
+            v.kind = TrackState::Kind::Exclusive;
+            v.owner = ns.owner;
+            arr.touch(set, vw);
+        }
+        ++allocs;
+        return;
+    }
+    storeBlock(block, ns, ops);
+}
+
+void
+MgdTracker::evictionUpdate(Addr block, const TrackState &ns,
+                           MesiState put, EngineOps &ops)
+{
+    (void)put;
+    if (findBlockEntry(block)) {
+        storeBlock(block, ns, ops);
+        return;
+    }
+    // Region-grain tracked block: the region entry persists; nothing
+    // block-level to update.
+}
+
+void
+MgdTracker::onLlcDataVictim(const LlcEntry &victim, EngineOps &ops)
+{
+    (void)victim;
+    (void)ops;
+}
+
+std::uint64_t
+MgdTracker::trackerSramBits() const
+{
+    const std::uint64_t total_sets = rows * banks;
+    const unsigned tag_bits = physAddrBits - blockShift -
+        ceilLog2(std::max<std::uint64_t>(2, total_sets));
+    // tag + grain bit + sharer vector + 2 state bits + repl bit
+    const std::uint64_t entry_bits = tag_bits + 1 + cfg.numCores + 3;
+    return entry_bits * rows * ways * banks;
+}
+
+std::string
+MgdTracker::name() const
+{
+    std::ostringstream os;
+    os << "mgd(" << cfg.dirSizeFactor << "x"
+       << (skewed ? ", skew" : "") << ")";
+    return os.str();
+}
+
+} // namespace tinydir

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Multi-grain directory (MgD) baseline [47], evaluated in Fig. 22.
+ *
+ * MgD invests a single directory entry for a privately accessed 1 KB
+ * region; blocks of shared regions are tracked at block grain with
+ * full-map entries. When a second core touches a privately owned
+ * region, the region entry is split: the owner is probed and a block
+ * entry is allocated for every region block it caches. Region-entry
+ * eviction invalidates the owner's cached blocks of that region.
+ * The organization is the 4-way skew-associative (H3) one the paper
+ * evaluates; a set-associative option exists for ablations.
+ */
+
+#ifndef TINYDIR_PROTO_MGD_HH
+#define TINYDIR_PROTO_MGD_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "core/private_cache.hh"
+#include "mem/cache_array.hh"
+#include "mem/skew_array.hh"
+#include "proto/tracker.hh"
+
+namespace tinydir
+{
+
+/** The multi-grain directory tracker. */
+class MgdTracker : public CoherenceTracker
+{
+  public:
+    /**
+     * @param privs The private hierarchies; region split/eviction
+     * consult them in lieu of the probe responses real hardware would
+     * collect (the probe traffic is still accounted).
+     */
+    MgdTracker(const SystemConfig &cfg,
+               std::vector<PrivateCache> &privs);
+
+    TrackerView view(Addr block) override;
+    void update(Addr block, const TrackState &ns, const ReqCtx &ctx,
+                EngineOps &ops) override;
+    void evictionUpdate(Addr block, const TrackState &ns, MesiState put,
+                        EngineOps &ops) override;
+    void onLlcDataVictim(const LlcEntry &victim, EngineOps &ops) override;
+    std::uint64_t trackerSramBits() const override;
+    std::string name() const override;
+    bool coarseGrain() const override { return true; }
+
+    Counter dirAllocs() const override { return allocs.value(); }
+    Counter regionSplits() const { return splits.value(); }
+
+    void
+    resetStats() override
+    {
+        allocs.reset();
+        splits.reset();
+    }
+
+  private:
+    /** Region or block entry. */
+    struct MgdEntry
+    {
+        Addr tag = 0; //!< block number, or region number for regions
+        bool valid = false;
+        bool region = false;
+        TrackState::Kind kind = TrackState::Kind::Invalid;
+        CoreId owner = invalidCore;
+        SharerSet sharers;
+
+        TrackState
+        state() const
+        {
+            TrackState ts;
+            ts.kind = kind;
+            ts.owner = owner;
+            ts.sharers = sharers;
+            return ts;
+        }
+    };
+
+    Addr regionOf(Addr block) const { return block / regionBlocks; }
+
+    MgdEntry *findBlockEntry(Addr block);
+    MgdEntry *findRegionEntry(Addr region);
+    void eraseBlockEntry(Addr block);
+    /** Allocate a block-grain entry; victims handled. */
+    void storeBlock(Addr block, const TrackState &ns, EngineOps &ops);
+    /** Handle an evicted entry (region or block). */
+    void handleVictim(const MgdEntry &victim, EngineOps &ops);
+    /** Split a region entry into block entries (probe the owner). */
+    void splitRegion(Addr region, CoreId owner, Addr except,
+                     EngineOps &ops);
+
+    const SystemConfig &cfg;
+    std::vector<PrivateCache> &privs;
+    unsigned banks;
+    unsigned regionBlocks;
+    std::uint64_t rows;
+    unsigned ways;
+    bool skewed;
+    std::vector<SkewArray<MgdEntry>> skewSlices;
+    std::vector<CacheArray<MgdEntry>> slices;
+    /** Count of live block entries per region (grain choice). */
+    std::unordered_map<Addr, unsigned> blockEntries;
+    Scalar allocs, splits;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_PROTO_MGD_HH

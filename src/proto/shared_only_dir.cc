@@ -1,0 +1,170 @@
+#include "proto/shared_only_dir.hh"
+
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+SharedOnlyDirTracker::SharedOnlyDirTracker(const SystemConfig &c)
+    : cfg(c), banks(c.llcBanks()), skewed(c.dirSkewed)
+{
+    ways = skewed ? 4 : c.effectiveDirAssoc();
+    const std::uint64_t per_slice = c.dirEntriesPerSlice();
+    sets = std::max<std::uint64_t>(1, per_slice / ways);
+    for (unsigned b = 0; b < banks; ++b) {
+        if (skewed)
+            skewSlices.emplace_back(sets, ways, c.seed + 90 + b);
+        else
+            slices.emplace_back(sets, ways, ReplPolicy::Nru,
+                                c.seed + 90 + b);
+    }
+}
+
+TrackerView
+SharedOnlyDirTracker::view(Addr block)
+{
+    const unsigned slice = block % banks;
+    SparseDirEntry *e = nullptr;
+    if (skewed) {
+        e = skewSlices[slice].find(block);
+    } else {
+        const std::uint64_t set = (block / banks) & (sets - 1);
+        e = slices[slice].find(set, block);
+    }
+    if (e)
+        return {e->state(), Residence::DirSram};
+    auto it = unbounded.find(block);
+    if (it != unbounded.end())
+        return {it->second, Residence::DirSram};
+    return {};
+}
+
+void
+SharedOnlyDirTracker::eraseDir(Addr block)
+{
+    const unsigned slice = block % banks;
+    if (skewed) {
+        if (SparseDirEntry *e = skewSlices[slice].find(block))
+            *e = SparseDirEntry{};
+        return;
+    }
+    const std::uint64_t set = (block / banks) & (sets - 1);
+    int w = slices[slice].findWay(set, block);
+    if (w >= 0) {
+        slices[slice].way(set, static_cast<unsigned>(w)) =
+            SparseDirEntry{};
+        slices[slice].demote(set, static_cast<unsigned>(w));
+    }
+}
+
+void
+SharedOnlyDirTracker::store(Addr block, const TrackState &ns,
+                            EngineOps &ops)
+{
+    if (ns.invalid()) {
+        eraseDir(block);
+        unbounded.erase(block);
+        return;
+    }
+    const unsigned slice0 = block % banks;
+    // A directory entry, once allocated, stays until eviction or the
+    // block reaches a state with no sharer or owner (Section I).
+    bool in_dir;
+    if (skewed) {
+        in_dir = skewSlices[slice0].find(block) != nullptr;
+    } else {
+        const std::uint64_t set0 = (block / banks) & (sets - 1);
+        in_dir = slices[slice0].findWay(set0, block) >= 0;
+    }
+    const bool widely_shared = ns.shared() && ns.sharers.count() >= 2;
+    if (!in_dir && !widely_shared) {
+        // Private, exclusively owned, or single-sharer blocks live in
+        // the unbounded structure until they become widely shared.
+        unbounded[block] = ns;
+        return;
+    }
+    unbounded.erase(block);
+    const unsigned slice = block % banks;
+    if (skewed) {
+        auto &arr = skewSlices[slice];
+        if (SparseDirEntry *e = arr.find(block)) {
+            e->setState(ns);
+            arr.touch(block);
+            return;
+        }
+        auto ir = arr.insert(block);
+        if (ir.victim && ir.victim->valid)
+            ops.backInvalidate(ir.victim->tag, ir.victim->state());
+        ir.slot->tag = block;
+        ir.slot->valid = true;
+        ir.slot->setState(ns);
+        ++allocs;
+        return;
+    }
+    auto &arr = slices[slice];
+    const std::uint64_t set = (block / banks) & (sets - 1);
+    int w = arr.findWay(set, block);
+    if (w < 0) {
+        const unsigned vw = arr.victimWay(set);
+        SparseDirEntry &e = arr.way(set, vw);
+        if (e.valid)
+            ops.backInvalidate(e.tag, e.state());
+        e = SparseDirEntry{};
+        e.tag = block;
+        e.valid = true;
+        ++allocs;
+        w = static_cast<int>(vw);
+    }
+    SparseDirEntry &e = arr.way(set, static_cast<unsigned>(w));
+    e.setState(ns);
+    arr.touch(set, static_cast<unsigned>(w));
+}
+
+void
+SharedOnlyDirTracker::update(Addr block, const TrackState &ns,
+                             const ReqCtx &ctx, EngineOps &ops)
+{
+    (void)ctx;
+    store(block, ns, ops);
+}
+
+void
+SharedOnlyDirTracker::evictionUpdate(Addr block, const TrackState &ns,
+                                     MesiState put, EngineOps &ops)
+{
+    (void)put;
+    store(block, ns, ops);
+}
+
+void
+SharedOnlyDirTracker::onLlcDataVictim(const LlcEntry &victim,
+                                      EngineOps &ops)
+{
+    (void)victim;
+    (void)ops;
+}
+
+std::uint64_t
+SharedOnlyDirTracker::trackerSramBits() const
+{
+    // Fig. 3 explicitly ignores the unbounded structure's overhead.
+    const std::uint64_t total_sets = sets * banks;
+    const unsigned tag_bits = physAddrBits - blockShift -
+        ceilLog2(std::max<std::uint64_t>(2, total_sets));
+    const std::uint64_t entry_bits = tag_bits + cfg.numCores + 3;
+    return entry_bits * sets * ways * banks;
+}
+
+std::string
+SharedOnlyDirTracker::name() const
+{
+    std::ostringstream os;
+    os << "shared-only(" << cfg.dirSizeFactor << "x"
+       << (skewed ? ", skew" : "") << ")";
+    return os.str();
+}
+
+} // namespace tinydir

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Idealized shared-only sparse directory (the Fig. 3 experiment).
+ *
+ * A block's entry is allocated in the sparse directory only when the
+ * block enters the shared state with two distinct sharers; blocks that
+ * are unowned, exclusively owned, or shared by a single core are
+ * tracked in a special unbounded structure whose overhead is ignored
+ * (paper Section I). Supports the 8-way set-associative organization
+ * and the 4-way skew-associative H3/ZCache variant.
+ */
+
+#ifndef TINYDIR_PROTO_SHARED_ONLY_DIR_HH
+#define TINYDIR_PROTO_SHARED_ONLY_DIR_HH
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/cache_array.hh"
+#include "mem/skew_array.hh"
+#include "proto/sparse_dir.hh"
+#include "proto/tracker.hh"
+
+namespace tinydir
+{
+
+/** Shared-only directory with an unbounded private-side table. */
+class SharedOnlyDirTracker : public CoherenceTracker
+{
+  public:
+    explicit SharedOnlyDirTracker(const SystemConfig &cfg);
+
+    TrackerView view(Addr block) override;
+    void update(Addr block, const TrackState &ns, const ReqCtx &ctx,
+                EngineOps &ops) override;
+    void evictionUpdate(Addr block, const TrackState &ns, MesiState put,
+                        EngineOps &ops) override;
+    void onLlcDataVictim(const LlcEntry &victim, EngineOps &ops) override;
+    std::uint64_t trackerSramBits() const override;
+    std::string name() const override;
+
+    Counter dirAllocs() const override { return allocs.value(); }
+    void resetStats() override { allocs.reset(); }
+
+  private:
+    void store(Addr block, const TrackState &ns, EngineOps &ops);
+    void eraseDir(Addr block);
+
+    const SystemConfig &cfg;
+    unsigned banks;
+    std::uint64_t sets;
+    unsigned ways;
+    bool skewed;
+    std::vector<CacheArray<SparseDirEntry>> slices;
+    std::vector<SkewArray<SparseDirEntry>> skewSlices;
+    /** Unbounded tracking for non-shared blocks (overhead ignored). */
+    std::unordered_map<Addr, TrackState> unbounded;
+    Scalar allocs;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_PROTO_SHARED_ONLY_DIR_HH

@@ -1,0 +1,127 @@
+#include "proto/sparse_dir.hh"
+
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+SparseDirTracker::SparseDirTracker(const SystemConfig &c)
+    : cfg(c), banks(c.llcBanks()), ways(c.effectiveDirAssoc())
+{
+    const std::uint64_t per_slice = c.dirEntriesPerSlice();
+    sets = per_slice / ways;
+    panic_if(sets == 0, "sparse directory slice with zero sets");
+    slices.reserve(banks);
+    for (unsigned b = 0; b < banks; ++b)
+        slices.emplace_back(sets, ways, ReplPolicy::Nru, c.seed + 50 + b);
+}
+
+TrackerView
+SparseDirTracker::view(Addr block)
+{
+    auto &arr = slices[block % banks];
+    const std::uint64_t set = (block / banks) & (sets - 1);
+    if (SparseDirEntry *e = arr.find(set, block))
+        return {e->state(), Residence::DirSram};
+    return {};
+}
+
+void
+SparseDirTracker::store(Addr block, const TrackState &ns, EngineOps &ops)
+{
+    auto &arr = slices[block % banks];
+    const std::uint64_t set = (block / banks) & (sets - 1);
+    int w = arr.findWay(set, block);
+    if (ns.invalid()) {
+        if (w >= 0) {
+            arr.way(set, static_cast<unsigned>(w)) = SparseDirEntry{};
+            arr.demote(set, static_cast<unsigned>(w));
+        }
+        return;
+    }
+    if (w < 0) {
+        const unsigned vw = arr.victimWay(set);
+        SparseDirEntry &e = arr.way(set, vw);
+        if (e.valid)
+            ops.backInvalidate(e.tag, e.state());
+        e = SparseDirEntry{};
+        e.tag = block;
+        e.valid = true;
+        ++allocs;
+        w = static_cast<int>(vw);
+    }
+    SparseDirEntry &e = arr.way(set, static_cast<unsigned>(w));
+    TrackState stored = ns;
+    if (cfg.sharerGrain > 1 && stored.shared())
+        stored.sharers = coarsen(stored.sharers);
+    e.setState(stored);
+    arr.touch(set, static_cast<unsigned>(w));
+}
+
+SharerSet
+SparseDirTracker::coarsen(const SharerSet &s) const
+{
+    // Conservative group expansion: a set bit stands for all cores of
+    // its group, exactly like a numCores/grain-bit coarse vector.
+    SharerSet out;
+    const unsigned grain = cfg.sharerGrain;
+    s.forEach([&](CoreId c) {
+        const unsigned g0 = (c / grain) * grain;
+        for (unsigned i = 0; i < grain; ++i) {
+            const unsigned core = g0 + i;
+            if (core < cfg.numCores)
+                out.add(static_cast<CoreId>(core));
+        }
+    });
+    return out;
+}
+
+void
+SparseDirTracker::update(Addr block, const TrackState &ns,
+                         const ReqCtx &ctx, EngineOps &ops)
+{
+    (void)ctx;
+    store(block, ns, ops);
+}
+
+void
+SparseDirTracker::evictionUpdate(Addr block, const TrackState &ns,
+                                 MesiState put, EngineOps &ops)
+{
+    (void)put;
+    store(block, ns, ops);
+}
+
+void
+SparseDirTracker::onLlcDataVictim(const LlcEntry &victim, EngineOps &ops)
+{
+    // Non-inclusive LLC: evicting a data block does not disturb the
+    // directory.
+    (void)victim;
+    (void)ops;
+}
+
+std::uint64_t
+SparseDirTracker::trackerSramBits() const
+{
+    const std::uint64_t total_sets = sets * banks;
+    const unsigned tag_bits = physAddrBits - blockShift -
+        ceilLog2(std::max<std::uint64_t>(2, total_sets));
+    // tag + (possibly coarse) sharer bitvector + 2 state bits + NRU
+    const std::uint64_t entry_bits =
+        tag_bits + cfg.numCores / cfg.sharerGrain + 3;
+    return entry_bits * sets * ways * banks;
+}
+
+std::string
+SparseDirTracker::name() const
+{
+    std::ostringstream os;
+    os << "sparse(" << cfg.dirSizeFactor << "x)";
+    return os.str();
+}
+
+} // namespace tinydir

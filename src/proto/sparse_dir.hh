@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Conventional sparse directory (the paper's baseline).
+ *
+ * One slice per LLC bank, 8-way set-associative with 1-bit NRU
+ * replacement (Table I), fully-associative once a slice drops to 16
+ * entries or fewer. Every privately cached block owns an entry; an
+ * entry eviction back-invalidates the block from all private caches.
+ */
+
+#ifndef TINYDIR_PROTO_SPARSE_DIR_HH
+#define TINYDIR_PROTO_SPARSE_DIR_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/cache_array.hh"
+#include "proto/tracker.hh"
+
+namespace tinydir
+{
+
+/** A full-map sparse directory entry. */
+struct SparseDirEntry
+{
+    Addr tag = 0;
+    bool valid = false;
+    TrackState::Kind kind = TrackState::Kind::Invalid;
+    CoreId owner = invalidCore;
+    SharerSet sharers;
+
+    TrackState
+    state() const
+    {
+        TrackState ts;
+        ts.kind = kind;
+        ts.owner = owner;
+        ts.sharers = sharers;
+        return ts;
+    }
+
+    void
+    setState(const TrackState &ts)
+    {
+        kind = ts.kind;
+        owner = ts.owner;
+        sharers = ts.sharers;
+    }
+};
+
+/** The conventional sparse directory tracker. */
+class SparseDirTracker : public CoherenceTracker
+{
+  public:
+    explicit SparseDirTracker(const SystemConfig &cfg);
+
+    TrackerView view(Addr block) override;
+    void update(Addr block, const TrackState &ns, const ReqCtx &ctx,
+                EngineOps &ops) override;
+    void evictionUpdate(Addr block, const TrackState &ns, MesiState put,
+                        EngineOps &ops) override;
+    void onLlcDataVictim(const LlcEntry &victim, EngineOps &ops) override;
+    std::uint64_t trackerSramBits() const override;
+    std::string name() const override;
+
+    Counter dirAllocs() const override { return allocs.value(); }
+    void resetStats() override { allocs.reset(); }
+
+  private:
+    /** Store @p ns, allocating (and possibly evicting) as needed. */
+    void store(Addr block, const TrackState &ns, EngineOps &ops);
+
+    /** Expand a sharer set to the configured coarse grain. */
+    SharerSet coarsen(const SharerSet &s) const;
+
+    const SystemConfig &cfg;
+    unsigned banks;
+    std::uint64_t sets;
+    unsigned ways;
+    std::vector<CacheArray<SparseDirEntry>> slices;
+    Scalar allocs;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_PROTO_SPARSE_DIR_HH

@@ -1,0 +1,75 @@
+#include "proto/spill.hh"
+
+namespace tinydir
+{
+
+SpillPolicy::SpillPolicy(const SystemConfig &c, unsigned num_banks)
+    : cfg(c), states(num_banks)
+{
+}
+
+void
+SpillPolicy::observe(unsigned bank, bool sampled_set, bool miss,
+                     bool stra_read)
+{
+    BankState &st = states[bank];
+    ++st.winAccesses;
+    if (sampled_set) {
+        ++st.sampAccesses;
+        if (miss)
+            ++st.sampMisses;
+    } else {
+        ++st.otherAccesses;
+        if (miss)
+            ++st.otherMisses;
+    }
+    if (miss)
+        ++st.misses;
+    if (stra_read)
+        ++st.straReads;
+    if (st.winAccesses >= cfg.spillWindowAccesses)
+        endWindow(st);
+}
+
+void
+SpillPolicy::endWindow(BankState &st)
+{
+    ++windows;
+    const double mr_nospill = st.sampAccesses
+        ? static_cast<double>(st.sampMisses) /
+              static_cast<double>(st.sampAccesses)
+        : 0.0;
+    const double mr_spill = st.otherAccesses
+        ? static_cast<double>(st.otherMisses) /
+              static_cast<double>(st.otherAccesses)
+        : 0.0;
+    if (mr_spill <= mr_nospill + st.delta) {
+        if (st.thresholdIdx > 0)
+            --st.thresholdIdx;
+    } else {
+        if (st.thresholdIdx < 7)
+            ++st.thresholdIdx;
+    }
+    // Choose delta for the next window from this window's profile.
+    const double mr = st.winAccesses
+        ? static_cast<double>(st.misses) /
+              static_cast<double>(st.winAccesses)
+        : 0.0;
+    const double stra = st.winAccesses
+        ? static_cast<double>(st.straReads) /
+              static_cast<double>(st.winAccesses)
+        : 0.0;
+    if (mr >= 0.10)
+        st.delta = stra >= 0.4 ? 1.0 / 4 : 1.0 / 32;
+    else
+        st.delta = stra >= 0.4 ? 1.0 / 16 : 1.0 / 32;
+    st.winAccesses = 0;
+    st.sampAccesses = 0;
+    st.sampMisses = 0;
+    st.otherAccesses = 0;
+    st.otherMisses = 0;
+    st.straReads = 0;
+    st.misses = 0;
+}
+
+} // namespace tinydir

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Dynamic Spill policy (paper Section IV-B2).
+ *
+ * Each LLC bank independently maintains a STRA spill threshold
+ * category index i: tracking entries of blocks with STRA category
+ * Cj, j >= i may spill into the LLC. Sixteen sampled sets per bank
+ * never admit spills and estimate MR_no-spill; every 8K non-writeback
+ * accesses the bank compares MR_spill against MR_no-spill + delta and
+ * walks i down (more spilling) or up (less). delta is re-chosen each
+ * window from the bank's miss rate and overall STRA ratio:
+ * (A) mr>=10%, stra>=0.4 -> 1/4; (B) mr>=10%, stra<0.4 -> 1/32;
+ * (C) mr<10%, stra>=0.4 -> 1/16; (D) otherwise -> 1/32.
+ */
+
+#ifndef TINYDIR_PROTO_SPILL_HH
+#define TINYDIR_PROTO_SPILL_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/** Per-bank dynamic spill threshold controller. */
+class SpillPolicy
+{
+  public:
+    SpillPolicy(const SystemConfig &cfg, unsigned num_banks);
+
+    /**
+     * May the tracking entry of a block with STRA category @p cat
+     * spill into bank @p bank? @p sampled_set marks the no-spill
+     * sampled sets.
+     */
+    bool
+    allows(unsigned bank, unsigned cat, bool sampled_set) const
+    {
+        if (sampled_set)
+            return false;
+        return cat >= states[bank].thresholdIdx;
+    }
+
+    /** Record an LLC access outcome; drives the observation windows. */
+    void observe(unsigned bank, bool sampled_set, bool miss,
+                 bool stra_read);
+
+    unsigned thresholdIdx(unsigned bank) const
+    {
+        return states[bank].thresholdIdx;
+    }
+
+    double delta(unsigned bank) const { return states[bank].delta; }
+
+    Counter windowsCompleted() const { return windows.value(); }
+
+  private:
+    struct BankState
+    {
+        /**
+         * STRA spill threshold category index. Starts permissive
+         * (0, everything spills); the window controller walks it up
+         * as soon as the sampled sets show spilling hurts the miss
+         * rate (the paper leaves the initial value unspecified; a
+         * permissive start converges fastest and is still bounded by
+         * delta within one window).
+         */
+        unsigned thresholdIdx = 0;
+        double delta = 1.0 / 32;
+        Counter winAccesses = 0;
+        Counter sampAccesses = 0;
+        Counter sampMisses = 0;
+        Counter otherAccesses = 0;
+        Counter otherMisses = 0;
+        Counter straReads = 0;
+        Counter misses = 0;
+    };
+
+    void endWindow(BankState &st);
+
+    const SystemConfig &cfg;
+    std::vector<BankState> states;
+    Scalar windows;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_PROTO_SPILL_HH

@@ -1,0 +1,124 @@
+#include "proto/stash.hh"
+
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+StashTracker::StashTracker(const SystemConfig &c)
+    : cfg(c), banks(c.llcBanks()), ways(c.effectiveDirAssoc())
+{
+    const std::uint64_t per_slice = c.dirEntriesPerSlice();
+    sets = std::max<std::uint64_t>(1, per_slice / ways);
+    for (unsigned b = 0; b < banks; ++b)
+        slices.emplace_back(sets, ways, ReplPolicy::Nru, c.seed + 60 + b);
+}
+
+TrackerView
+StashTracker::view(Addr block)
+{
+    auto &arr = slices[block % banks];
+    const std::uint64_t set = (block / banks) & (sets - 1);
+    if (SparseDirEntry *e = arr.find(set, block))
+        return {e->state(), Residence::DirSram};
+    auto it = stashed.find(block);
+    if (it != stashed.end())
+        return {it->second, Residence::Broadcast};
+    return {};
+}
+
+void
+StashTracker::store(Addr block, const TrackState &ns, EngineOps &ops)
+{
+    auto &arr = slices[block % banks];
+    const std::uint64_t set = (block / banks) & (sets - 1);
+    int w = arr.findWay(set, block);
+    if (ns.invalid()) {
+        if (w >= 0) {
+            arr.way(set, static_cast<unsigned>(w)) = SparseDirEntry{};
+            arr.demote(set, static_cast<unsigned>(w));
+        }
+        return;
+    }
+    if (w < 0) {
+        const unsigned vw = arr.victimWay(set);
+        SparseDirEntry &e = arr.way(set, vw);
+        if (e.valid) {
+            if (e.kind == TrackState::Kind::Exclusive) {
+                // The Stash trick: drop tracking, keep the block
+                // cached. A later request broadcasts to recover.
+                stashed[e.tag] = e.state();
+            } else {
+                ops.backInvalidate(e.tag, e.state());
+            }
+        }
+        e = SparseDirEntry{};
+        e.tag = block;
+        e.valid = true;
+        ++allocs;
+        w = static_cast<int>(vw);
+    }
+    SparseDirEntry &e = arr.way(set, static_cast<unsigned>(w));
+    e.setState(ns);
+    arr.touch(set, static_cast<unsigned>(w));
+}
+
+void
+StashTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
+                     EngineOps &ops)
+{
+    (void)ctx;
+    auto it = stashed.find(block);
+    if (it != stashed.end()) {
+        // The engine just performed the broadcast recovery.
+        ++bcasts;
+        stashed.erase(it);
+    }
+    store(block, ns, ops);
+}
+
+void
+StashTracker::evictionUpdate(Addr block, const TrackState &ns,
+                             MesiState put, EngineOps &ops)
+{
+    (void)put;
+    auto it = stashed.find(block);
+    if (it != stashed.end()) {
+        // Eviction notice from the hidden owner: the block is gone.
+        panic_if(!ns.invalid(),
+                 "stashed block notice left residual state");
+        stashed.erase(it);
+        return;
+    }
+    store(block, ns, ops);
+}
+
+void
+StashTracker::onLlcDataVictim(const LlcEntry &victim, EngineOps &ops)
+{
+    (void)victim;
+    (void)ops;
+}
+
+std::uint64_t
+StashTracker::trackerSramBits() const
+{
+    const std::uint64_t total_sets = sets * banks;
+    const unsigned tag_bits = physAddrBits - blockShift -
+        ceilLog2(std::max<std::uint64_t>(2, total_sets));
+    const std::uint64_t entry_bits = tag_bits + cfg.numCores + 3;
+    return entry_bits * sets * ways * banks;
+}
+
+std::string
+StashTracker::name() const
+{
+    std::ostringstream os;
+    os << "stash(" << cfg.dirSizeFactor << "x)";
+    return os.str();
+}
+
+} // namespace tinydir

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Stash directory baseline [14], evaluated in Fig. 22.
+ *
+ * A conventional sparse directory that, on entry eviction, does not
+ * invalidate private (exclusively owned) blocks: the block is
+ * "stashed" — cached but untracked. When a stashed block is requested
+ * again, the home resorts to a broadcast to locate the copy and
+ * rebuilds the entry. Shared victims are back-invalidated as usual.
+ * The model keeps the ground-truth state of stashed blocks in a side
+ * map standing in for what the broadcast would discover; the
+ * broadcast's traffic and latency are charged by the engine via the
+ * Residence::Broadcast marker.
+ */
+
+#ifndef TINYDIR_PROTO_STASH_HH
+#define TINYDIR_PROTO_STASH_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "mem/cache_array.hh"
+#include "proto/sparse_dir.hh"
+#include "proto/tracker.hh"
+
+namespace tinydir
+{
+
+/** The Stash directory tracker. */
+class StashTracker : public CoherenceTracker
+{
+  public:
+    explicit StashTracker(const SystemConfig &cfg);
+
+    TrackerView view(Addr block) override;
+    void update(Addr block, const TrackState &ns, const ReqCtx &ctx,
+                EngineOps &ops) override;
+    void evictionUpdate(Addr block, const TrackState &ns, MesiState put,
+                        EngineOps &ops) override;
+    void onLlcDataVictim(const LlcEntry &victim, EngineOps &ops) override;
+    std::uint64_t trackerSramBits() const override;
+    std::string name() const override;
+
+    Counter dirAllocs() const override { return allocs.value(); }
+    Counter broadcasts() const override { return bcasts.value(); }
+
+    void
+    resetStats() override
+    {
+        allocs.reset();
+        bcasts.reset();
+    }
+    Counter stashedNow() const { return stashed.size(); }
+    bool
+    isStashed(Addr block) const
+    {
+        return stashed.find(block) != stashed.end();
+    }
+
+  private:
+    void store(Addr block, const TrackState &ns, EngineOps &ops);
+
+    const SystemConfig &cfg;
+    unsigned banks;
+    std::uint64_t sets;
+    unsigned ways;
+    std::vector<CacheArray<SparseDirEntry>> slices;
+    /** Cached-but-untracked blocks (what a broadcast would find). */
+    std::unordered_map<Addr, TrackState> stashed;
+    Scalar allocs, bcasts;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_PROTO_STASH_HH

@@ -1,0 +1,522 @@
+#include "proto/tiny_dir.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+#include "proto/inllc.hh"
+
+namespace tinydir
+{
+
+namespace
+{
+
+/** Default generation length (quanta) before any reuse is measured. */
+constexpr std::uint64_t defaultGenQuanta = 64;
+
+} // namespace
+
+TinyDirTracker::TinyDirTracker(const SystemConfig &c, Llc &l)
+    : cfg(c), llc(l), banks(c.llcBanks()),
+      ways(c.effectiveDirAssoc()),
+      gnru(c.tinyPolicy == TinyPolicy::DstraGnru),
+      spillEnabled(c.tinySpill), spill(c, c.llcBanks())
+{
+    const std::uint64_t per_slice = c.dirEntriesPerSlice();
+    sets = std::max<std::uint64_t>(1, per_slice / ways);
+    slices.resize(banks);
+    for (auto &sl : slices) {
+        sl.entries.resize(sets * ways);
+        sl.genRemaining = defaultGenQuanta;
+    }
+}
+
+TinyDirTracker::TinyEntry *
+TinyDirTracker::findTiny(Addr block)
+{
+    Slice &sl = sliceOf(block);
+    const std::uint64_t base = setOf(block) * ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        TinyEntry &e = sl.entries[base + w];
+        if (e.valid && e.tag == block)
+            return &e;
+    }
+    return nullptr;
+}
+
+unsigned
+TinyDirTracker::catOf(std::uint8_t strac, std::uint8_t oac)
+{
+    const unsigned total = strac + oac;
+    if (total == 0 || strac == 0)
+        return 0;
+    return straCategory(static_cast<double>(strac) /
+                        static_cast<double>(total));
+}
+
+void
+TinyDirTracker::bumpCounters(std::uint8_t &strac, std::uint8_t &oac,
+                             bool stra_read) const
+{
+    // straCounterBits-wide saturating counters (6 in the paper),
+    // halved together when either saturates.
+    const std::uint8_t sat = static_cast<std::uint8_t>(
+        (1u << cfg.straCounterBits) - 1);
+    if (stra_read)
+        ++strac;
+    else
+        ++oac;
+    if (strac >= sat || oac >= sat) {
+        strac >>= 1;
+        oac >>= 1;
+    }
+}
+
+void
+TinyDirTracker::gnruTouch(Slice &sl, TinyEntry &e)
+{
+    e.rbit = true;
+    e.epbit = false;
+    if (!gnru)
+        return;
+    if (e.tlast < sl.tcounter) {
+        sl.accA += sl.tcounter - e.tlast;
+        ++sl.accB;
+        if (sl.accA >= (1ull << 20) || sl.accB >= (1ull << 14)) {
+            sl.accA >>= 1;
+            sl.accB >>= 1;
+        }
+    }
+    e.tlast = sl.tcounter;
+}
+
+void
+TinyDirTracker::endGeneration(Slice &sl)
+{
+    for (auto &e : sl.entries) {
+        if (!e.valid)
+            continue;
+        if (!e.rbit)
+            e.epbit = true;
+        e.rbit = false;
+    }
+    sl.genRemaining = sl.accB
+        ? std::max<std::uint64_t>(1, sl.accA / sl.accB)
+        : defaultGenQuanta;
+}
+
+void
+TinyDirTracker::tick(Cycle now)
+{
+    if (!gnru)
+        return;
+    const Cycle quantum = cfg.gnruQuantumCycles;
+    while (now >= lastQuantum + quantum) {
+        lastQuantum += quantum;
+        for (auto &sl : slices) {
+            if (++sl.tcounter >= (1u << cfg.gnruTimerBits))
+                sl.tcounter = 0; // T saturates and resets (Section IV-A2)
+            if (sl.genRemaining > 0)
+                --sl.genRemaining;
+            if (sl.genRemaining == 0)
+                endGeneration(sl);
+        }
+    }
+}
+
+int
+TinyDirTracker::selectVictim(Slice &sl, std::uint64_t set, unsigned j)
+{
+    const std::uint64_t base = set * ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        if (!sl.entries[base + w].valid)
+            return static_cast<int>(w);
+    }
+    unsigned min_cat = numStraCategories;
+    for (unsigned w = 0; w < ways; ++w) {
+        const TinyEntry &e = sl.entries[base + w];
+        min_cat = std::min(min_cat, catOf(e.strac, e.oac));
+    }
+    int best = -1;
+    if (gnru) {
+        // gNRU's purpose is to "quickly remove useless directory
+        // entries which the DSTRA policy would have retained for a
+        // long time" (Section V-A): an entry whose EP bit is set went
+        // a whole generation without reuse and is evictable
+        // regardless of its (stale, non-decaying) STRA category.
+        // Among EP ways prefer the lowest category, then way id.
+        unsigned best_cat = numStraCategories;
+        for (unsigned w = 0; w < ways; ++w) {
+            const TinyEntry &e = sl.entries[base + w];
+            if (!e.epbit)
+                continue;
+            const unsigned cat = catOf(e.strac, e.oac);
+            if (cat < best_cat) {
+                best_cat = cat;
+                best = static_cast<int>(w);
+            }
+        }
+        if (best >= 0)
+            return best;
+        // No stale entry: fall back to the DSTRA comparison.
+        for (unsigned w = 0; w < ways; ++w) {
+            const TinyEntry &e = sl.entries[base + w];
+            if (catOf(e.strac, e.oac) == min_cat) {
+                best = static_cast<int>(w);
+                break;
+            }
+        }
+        return min_cat < j ? best : -1;
+    }
+    for (unsigned w = 0; w < ways; ++w) {
+        const TinyEntry &e = sl.entries[base + w];
+        if (catOf(e.strac, e.oac) == min_cat) {
+            best = static_cast<int>(w);
+            break;
+        }
+    }
+    return min_cat < j ? best : -1;
+}
+
+void
+TinyDirTracker::reconstruct(Addr block, EngineOps &ops)
+{
+    LlcEntry *de = llc.findData(block);
+    panic_if(!de || !de->isCorrupt(), "reconstruct of non-corrupt block");
+    ops.reconstructTraffic(block, inllc_detail::stateOf(*de));
+    de->meta = LlcMeta::Normal;
+    de->owner = invalidCore;
+    de->sharers.clear();
+    de->strac = 0;
+    de->oac = 0;
+    ++llc.cohDataWrites;
+}
+
+void
+TinyDirTracker::transferOut(const TinyEntry &victim, EngineOps &ops)
+{
+    const TrackState ts = victim.state();
+    if (ts.invalid())
+        return;
+    // Section IV-B: a tiny entry evicted while its block is shared
+    // first consults the spill policy.
+    if (ts.shared() && spillEnabled &&
+        trySpill(victim.tag, ts, victim.strac, victim.oac, ops)) {
+        return;
+    }
+    LlcEntry *de = llc.findData(victim.tag);
+    if (de && de->meta == LlcMeta::Normal) {
+        de->meta = ts.exclusive() ? LlcMeta::CorruptExcl
+                                  : LlcMeta::CorruptShared;
+        inllc_detail::encode(*de, ts);
+        de->strac = victim.strac;
+        de->oac = victim.oac;
+        ++llc.cohDataWrites;
+        return;
+    }
+    // Rare: the data block is no longer in the LLC (Section IV).
+    ops.backInvalidate(victim.tag, ts);
+}
+
+bool
+TinyDirTracker::trySpill(Addr block, const TrackState &ns,
+                         std::uint8_t strac, std::uint8_t oac,
+                         EngineOps &ops)
+{
+    panic_if(!ns.shared(), "only shared blocks may spill");
+    const unsigned bank = llc.bankOf(block);
+    const unsigned cat = catOf(strac, oac);
+    if (!spill.allows(bank, cat, llc.isSampledSet(block)))
+        return false;
+    // The data block must be present and usable (V=1) for spilling to
+    // pay off; reconstruct it first if it is corrupted.
+    LlcEntry *de = llc.findData(block);
+    if (!de)
+        return false;
+    if (de->isCorrupt())
+        reconstruct(block, ops);
+    if (llc.findSpill(block))
+        panic("double spill for block ", block);
+    auto ar = llc.allocate(block);
+    if (ar.victim) {
+        // Dispatch through the same paths the engine uses.
+        const LlcEntry v = *ar.victim;
+        if (v.meta == LlcMeta::Spill) {
+            onLlcSpillVictim(v, ops);
+        } else {
+            llc.noteDeath(v);
+            if (v.isCorrupt()) {
+                onLlcDataVictim(v, ops);
+            }
+            // Dirty data of a Normal victim still needs to reach
+            // memory; account it as a writeback message. We cannot
+            // reach the DRAM model from here, so the engine-level
+            // traffic suffices (occupancy impact is negligible).
+            if (v.meta == LlcMeta::Normal && v.dirty)
+                ops.addTraffic(MsgClass::Writeback, dataBytes);
+            if (v.isCorrupt() && v.dirty)
+                ops.addTraffic(MsgClass::Writeback, dataBytes);
+        }
+    }
+    LlcEntry *eb = ar.slot;
+    eb->tag = block;
+    eb->valid = true;
+    eb->meta = LlcMeta::Spill;
+    inllc_detail::encode(*eb, ns);
+    eb->strac = strac;
+    eb->oac = oac;
+    ++llc.cohDataWrites;
+    // Ordering rule: E_B to MRU first, then B.
+    llc.touchSpill(block);
+    llc.touchData(block);
+    ++spills_;
+    return true;
+}
+
+bool
+TinyDirTracker::tryTinyAlloc(Addr block, const TrackState &ns,
+                             std::uint8_t strac, std::uint8_t oac,
+                             Residence where, EngineOps &ops)
+{
+    Slice &sl = sliceOf(block);
+    const std::uint64_t set = setOf(block);
+    const unsigned j = catOf(strac, oac);
+    const int w = selectVictim(sl, set, j);
+    if (w < 0)
+        return false;
+    TinyEntry &e = sl.entries[set * ways + static_cast<unsigned>(w)];
+    const TinyEntry victim = e;
+    // Install the new entry before transferring the victim out so a
+    // reentrant LLC allocation cannot disturb this block's tracking.
+    e = TinyEntry{};
+    e.tag = block;
+    e.valid = true;
+    e.setState(ns);
+    e.strac = strac;
+    e.oac = oac;
+    e.tlast = sl.tcounter;
+    gnruTouch(sl, e);
+    ++allocs_;
+    if (where == Residence::LlcCorrupt)
+        reconstruct(block, ops);
+    if (victim.valid)
+        transferOut(victim, ops);
+    return true;
+}
+
+TrackerView
+TinyDirTracker::view(Addr block)
+{
+    if (TinyEntry *te = findTiny(block))
+        return {te->state(), Residence::DirSram};
+    if (LlcEntry *sp = llc.findSpill(block))
+        return {inllc_detail::stateOf(*sp), Residence::LlcSpill};
+    LlcEntry *de = llc.findData(block);
+    if (de && de->isCorrupt())
+        return {inllc_detail::stateOf(*de), Residence::LlcCorrupt};
+    return {};
+}
+
+void
+TinyDirTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
+                       EngineOps &ops)
+{
+    panic_if(ns.invalid(), "request update with invalid state");
+    const bool is_read =
+        ctx.type == ReqType::GetS || ctx.type == ReqType::GetSI;
+
+    // Locate the current tracking entry and its policy counters.
+    TinyEntry *te = findTiny(block);
+    LlcEntry *sp = te ? nullptr : llc.findSpill(block);
+    LlcEntry *de = llc.findData(block);
+    std::uint8_t strac = 0;
+    std::uint8_t oac = 0;
+    Residence where = Residence::Untracked;
+    bool old_shared = false;
+    if (te) {
+        strac = te->strac;
+        oac = te->oac;
+        where = Residence::DirSram;
+        old_shared = te->kind == TrackState::Kind::Shared;
+    } else if (sp) {
+        strac = sp->strac;
+        oac = sp->oac;
+        where = Residence::LlcSpill;
+        old_shared = true;
+    } else if (de && de->isCorrupt()) {
+        strac = de->strac;
+        oac = de->oac;
+        where = Residence::LlcCorrupt;
+        old_shared = de->meta == LlcMeta::CorruptShared;
+    }
+    bumpCounters(strac, oac, is_read && old_shared);
+
+    if (te) {
+        // Already in the tiny directory: update in place.
+        ++hits_;
+        gnruTouch(sliceOf(block), *te);
+        te->setState(ns);
+        te->strac = strac;
+        te->oac = oac;
+        return;
+    }
+
+    if (sp) {
+        if (ns.shared()) {
+            inllc_detail::encode(*sp, ns);
+            sp->strac = strac;
+            sp->oac = oac;
+            ++llc.cohDataWrites;
+        } else {
+            // Read-exclusive/upgrade: E_B is invalidated and the state
+            // moves to B, which becomes corrupted exclusive (IV-B1).
+            llc.freeSpill(block);
+            de = llc.findData(block);
+            panic_if(!de, "spilled entry without its data block");
+            de->meta = LlcMeta::CorruptExcl;
+            inllc_detail::encode(*de, ns);
+            de->strac = strac;
+            de->oac = oac;
+            ++llc.cohDataWrites;
+        }
+        return;
+    }
+
+    // Allocation consideration points (Section IV):
+    //  (i) read request for a block in a corrupted state;
+    //  (ii) instruction read for an unowned block.
+    const bool consider =
+        (where == Residence::LlcCorrupt && is_read) ||
+        (where == Residence::Untracked && ctx.type == ReqType::GetSI);
+    if (consider) {
+        if (tryTinyAlloc(block, ns, strac, oac, where, ops))
+            return;
+        if (spillEnabled && ns.shared() &&
+            trySpill(block, ns, strac, oac, ops)) {
+            return;
+        }
+    }
+
+    // Fall back to the in-LLC corrupted representation.
+    de = llc.findData(block);
+    panic_if(!de, "tiny scheme: no LLC tag for corrupted tracking of ",
+             block);
+    de->meta = ns.exclusive() ? LlcMeta::CorruptExcl
+                              : LlcMeta::CorruptShared;
+    inllc_detail::encode(*de, ns);
+    de->strac = strac;
+    de->oac = oac;
+    ++llc.cohDataWrites;
+}
+
+void
+TinyDirTracker::evictionUpdate(Addr block, const TrackState &ns,
+                               MesiState put, EngineOps &ops)
+{
+    if (TinyEntry *te = findTiny(block)) {
+        if (ns.invalid()) {
+            // Block returns to unowned: entry freed, counters reset.
+            *te = TinyEntry{};
+        } else {
+            te->setState(ns);
+        }
+        return;
+    }
+    if (LlcEntry *sp = llc.findSpill(block)) {
+        if (ns.invalid()) {
+            llc.freeSpill(block);
+        } else {
+            panic_if(!ns.shared(), "spilled entry left non-shared");
+            inllc_detail::encode(*sp, ns);
+            ++llc.cohDataWrites;
+        }
+        return;
+    }
+    LlcEntry *de = llc.findData(block);
+    panic_if(!de || !de->isCorrupt(),
+             "eviction notice for untracked block ", block);
+    if (ns.invalid()) {
+        if (put == MesiState::S) {
+            ops.addTraffic(MsgClass::Writeback,
+                           ctrlBytes + reconstructBytes(cfg.numCores));
+        }
+        de->meta = LlcMeta::Normal;
+        de->owner = invalidCore;
+        de->sharers.clear();
+        de->strac = 0;
+        de->oac = 0;
+        ++llc.cohDataWrites;
+        return;
+    }
+    panic_if(!ns.shared(), "notice left corrupted block exclusive");
+    de->meta = LlcMeta::CorruptShared;
+    inllc_detail::encode(*de, ns);
+    ++llc.cohDataWrites;
+}
+
+void
+TinyDirTracker::onLlcDataVictim(const LlcEntry &victim, EngineOps &ops)
+{
+    if (!victim.isCorrupt())
+        return; // tiny-tracked blocks survive LLC eviction
+    const TrackState ts = inllc_detail::stateOf(victim);
+    ops.reconstructTraffic(victim.tag, ts);
+    ops.backInvalidate(victim.tag, ts);
+}
+
+void
+TinyDirTracker::onLlcSpillVictim(const LlcEntry &victim, EngineOps &ops)
+{
+    const TrackState ts = inllc_detail::stateOf(victim);
+    LlcEntry *de = llc.findData(victim.tag);
+    if (de && de->meta == LlcMeta::Normal) {
+        de->meta = LlcMeta::CorruptShared;
+        inllc_detail::encode(*de, ts);
+        de->strac = victim.strac;
+        de->oac = victim.oac;
+        ++llc.cohDataWrites;
+        return;
+    }
+    ops.backInvalidate(victim.tag, ts);
+}
+
+void
+TinyDirTracker::onLlcAccess(Addr block, bool miss, bool stra_read)
+{
+    if (!spillEnabled)
+        return;
+    spill.observe(llc.bankOf(block), llc.isSampledSet(block), miss,
+                  stra_read);
+}
+
+unsigned
+TinyDirTracker::evictionNoticeExtraBytes(MesiState s) const
+{
+    return s == MesiState::E ? reconstructBytes(cfg.numCores) : 0;
+}
+
+std::uint64_t
+TinyDirTracker::trackerSramBits() const
+{
+    const std::uint64_t total_sets = sets * banks;
+    const unsigned tag_bits = physAddrBits - blockShift -
+        ceilLog2(std::max<std::uint64_t>(2, total_sets));
+    // Paper Section V: 128-bit sharer vector, 2x6 counter bits, 10
+    // timestamp bits, 2 R/EP bits, 1 busy bit, 2 state bits = 155.
+    const std::uint64_t payload = cfg.numCores +
+        2 * cfg.straCounterBits + cfg.gnruTimerBits + 2 + 1 + 2;
+    return (payload + tag_bits) * sets * ways * banks;
+}
+
+std::string
+TinyDirTracker::name() const
+{
+    std::ostringstream os;
+    os << "tiny(" << cfg.dirSizeFactor << "x, " << toString(cfg.tinyPolicy)
+       << (spillEnabled ? "+DynSpill" : "") << ")";
+    return os.str();
+}
+
+} // namespace tinydir

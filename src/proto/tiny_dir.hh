@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The tiny directory (paper Section IV) — the central contribution.
+ *
+ * A very small sparse directory (1/32x .. 1/256x) augments the in-LLC
+ * tracking substrate of Section III. An allocation policy decides, at
+ * exactly two kinds of events, whether a block's tracking moves into
+ * the tiny directory:
+ *   (i)  a read request for a block in a corrupted state;
+ *   (ii) an instruction read for a block in unowned state.
+ *
+ * Policies:
+ *  - DSTRA: victimize the lowest-STRA-category way, only if strictly
+ *    below the candidate's category.
+ *  - DSTRA+gNRU: generational not-recently-used refinement; entries
+ *    unused for a full generation gain eviction priority (EP), letting
+ *    equal-category useless entries be replaced. The generation length
+ *    is the measured mean inter-reuse interval, maintained with the
+ *    paper's quantized T/A/B counter scheme.
+ *
+ * When the tiny directory declines (or evicts a shared entry), the
+ * Dynamic Spill policy (Section IV-B, proto/spill.hh) may place the
+ * tracking entry in an LLC way of the block's own set instead.
+ */
+
+#ifndef TINYDIR_PROTO_TINY_DIR_HH
+#define TINYDIR_PROTO_TINY_DIR_HH
+
+#include <vector>
+
+#include "cache/llc.hh"
+#include "common/config.hh"
+#include "proto/spill.hh"
+#include "proto/tracker.hh"
+
+namespace tinydir
+{
+
+/** Tiny directory + in-LLC substrate + optional dynamic spilling. */
+class TinyDirTracker : public CoherenceTracker
+{
+  public:
+    TinyDirTracker(const SystemConfig &cfg, Llc &llc);
+
+    TrackerView view(Addr block) override;
+    void update(Addr block, const TrackState &ns, const ReqCtx &ctx,
+                EngineOps &ops) override;
+    void evictionUpdate(Addr block, const TrackState &ns, MesiState put,
+                        EngineOps &ops) override;
+    void onLlcDataVictim(const LlcEntry &victim, EngineOps &ops) override;
+    void onLlcSpillVictim(const LlcEntry &victim, EngineOps &ops) override;
+    void onLlcAccess(Addr block, bool miss, bool stra_read) override;
+    void tick(Cycle now) override;
+    unsigned evictionNoticeExtraBytes(MesiState s) const override;
+    std::uint64_t trackerSramBits() const override;
+    std::string name() const override;
+
+    Counter dirHits() const override { return hits_.value(); }
+    Counter dirAllocs() const override { return allocs_.value(); }
+    Counter spills() const override { return spills_.value(); }
+
+    const SpillPolicy &spillPolicy() const { return spill; }
+
+    void
+    resetStats() override
+    {
+        hits_.reset();
+        allocs_.reset();
+        spills_.reset();
+    }
+
+  private:
+    /** One tiny directory entry (155 bits in the paper). */
+    struct TinyEntry
+    {
+        Addr tag = 0;
+        bool valid = false;
+        TrackState::Kind kind = TrackState::Kind::Invalid;
+        CoreId owner = invalidCore;
+        SharerSet sharers;
+        std::uint8_t strac = 0;
+        std::uint8_t oac = 0;
+        std::uint16_t tlast = 0; //!< last T value seen (gNRU)
+        bool rbit = false;       //!< reused this generation
+        bool epbit = false;      //!< eviction priority
+
+        TrackState
+        state() const
+        {
+            TrackState ts;
+            ts.kind = kind;
+            ts.owner = owner;
+            ts.sharers = sharers;
+            return ts;
+        }
+
+        void
+        setState(const TrackState &ts)
+        {
+            kind = ts.kind;
+            owner = ts.owner;
+            sharers = ts.sharers;
+        }
+    };
+
+    /** One per-bank tiny directory slice with its gNRU counters. */
+    struct Slice
+    {
+        std::vector<TinyEntry> entries;
+        std::uint16_t tcounter = 0;     //!< 10-bit T counter
+        std::uint64_t accA = 0;         //!< accumulated reuse gaps
+        std::uint64_t accB = 0;         //!< gap count
+        std::uint64_t genRemaining = 0; //!< quanta left in generation
+    };
+
+    TinyEntry *findTiny(Addr block);
+    Slice &sliceOf(Addr block) { return slices[block % banks]; }
+    std::uint64_t setOf(Addr block) const
+    {
+        return (block / banks) & (sets - 1);
+    }
+
+    /** STRA category implied by a STRAC/OAC pair. */
+    static unsigned catOf(std::uint8_t strac, std::uint8_t oac);
+
+    /** Apply the saturating counter update with halving. */
+    void bumpCounters(std::uint8_t &strac, std::uint8_t &oac,
+                      bool stra_read) const;
+
+    /** gNRU bookkeeping on a fill or access of an entry. */
+    void gnruTouch(Slice &sl, TinyEntry &e);
+
+    /** End-of-generation sweep for one slice. */
+    void endGeneration(Slice &sl);
+
+    /**
+     * DSTRA / DSTRA+gNRU victim selection in the target set for a
+     * candidate of category @p j. Returns the way index, or -1 when
+     * the policy declines.
+     */
+    int selectVictim(Slice &sl, std::uint64_t set, unsigned j);
+
+    /**
+     * Try to move @p block (new state @p ns, counters @p strac/@p oac,
+     * currently at @p where) into the tiny directory. Handles victim
+     * transfer and, for corrupted blocks, LLC reconstruction.
+     */
+    bool tryTinyAlloc(Addr block, const TrackState &ns,
+                      std::uint8_t strac, std::uint8_t oac,
+                      Residence where, EngineOps &ops);
+
+    /** Try to spill @p block's tracking entry into its LLC set. */
+    bool trySpill(Addr block, const TrackState &ns, std::uint8_t strac,
+                  std::uint8_t oac, EngineOps &ops);
+
+    /** Move an evicted tiny entry out (spill / corrupt / back-inval). */
+    void transferOut(const TinyEntry &victim, EngineOps &ops);
+
+    /** Restore a corrupted LLC entry to Normal (reconstruction). */
+    void reconstruct(Addr block, EngineOps &ops);
+
+    const SystemConfig &cfg;
+    Llc &llc;
+    unsigned banks;
+    std::uint64_t sets;
+    unsigned ways;
+    bool gnru;
+    bool spillEnabled;
+    SpillPolicy spill;
+    Cycle lastQuantum = 0;
+    std::vector<Slice> slices;
+    Scalar hits_, allocs_, spills_;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_PROTO_TINY_DIR_HH

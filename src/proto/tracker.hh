@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Coherence-tracker interface.
+ *
+ * The home-side MESI transaction flow lives in one place (the Engine,
+ * proto/engine.hh) for every scheme; a CoherenceTracker only decides
+ * *where and whether* a block's owner/sharers are recorded:
+ * conventional directory SRAM, the tiny directory, a spilled LLC
+ * entry, corrupted LLC data bits, or nowhere. The residence determines
+ * the engine's timing (2-hop vs 3-hop shared reads, extra serial LLC
+ * cycles) and the side effects (reconstructions, back-invalidations,
+ * broadcasts) which the tracker performs through EngineOps.
+ */
+
+#ifndef TINYDIR_PROTO_TRACKER_HH
+#define TINYDIR_PROTO_TRACKER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "noc/traffic.hh"
+#include "proto/mesi.hh"
+
+namespace tinydir
+{
+
+/** Where a block's coherence tracking currently resides. */
+enum class Residence : std::uint8_t
+{
+    Untracked,  //!< no live tracking state (unowned block)
+    DirSram,    //!< a directory SRAM entry (sparse/tiny/MgD/Stash)
+    LlcCorrupt, //!< borrowed bits of the block's LLC data way
+    LlcSpill,   //!< a spilled tracking entry in the block's LLC set
+    Broadcast,  //!< untracked but possibly cached (Stash recovery)
+};
+
+/** Tracker's answer to a home-side lookup. */
+struct TrackerView
+{
+    TrackState ts;
+    Residence where = Residence::Untracked;
+};
+
+/**
+ * Services the engine offers to trackers for their side effects.
+ * None of these add latency to the transaction being processed; they
+ * account traffic and mutate private-cache/LLC state (back-
+ * invalidations and reconstructions are off the critical path of the
+ * request that triggered them).
+ */
+class EngineOps
+{
+  public:
+    virtual ~EngineOps() = default;
+
+    /**
+     * Invalidate every private copy of @p block per @p ts, retrieving
+     * dirty data into the LLC. Used on directory-entry eviction and on
+     * corrupted-LLC-block eviction.
+     */
+    virtual void backInvalidate(Addr block, const TrackState &ts) = 0;
+
+    /**
+     * Account the messages needed to reconstruct a corrupted LLC data
+     * block by querying the owner or an elected sharer (Section
+     * III-B): a query and a reply carrying the borrowed bits.
+     */
+    virtual void reconstructTraffic(Addr block, const TrackState &ts) = 0;
+
+    /** Raw traffic hook for scheme-specific messages. */
+    virtual void addTraffic(MsgClass cls, unsigned bytes,
+                            Counter count = 1) = 0;
+
+    /** Current simulated time. */
+    virtual Cycle now() const = 0;
+};
+
+/** Request context passed to tracker updates. */
+struct ReqCtx
+{
+    CoreId core = invalidCore;
+    ReqType type = ReqType::GetS;
+    Cycle when = 0;
+};
+
+// Forward declaration: trackers handling LLC meta-states receive the
+// evicted entry.
+struct LlcEntry;
+
+/** Abstract coherence-tracking scheme. */
+class CoherenceTracker
+{
+  public:
+    virtual ~CoherenceTracker() = default;
+
+    /** Current tracking state + residence of @p block. */
+    virtual TrackerView view(Addr block) = 0;
+
+    /**
+     * Commit the post-transaction state @p ns of @p block. Called once
+     * per home transaction after the engine has computed the new
+     * global state; the tracker applies its allocation policy here
+     * (and may evict/spill/reconstruct through @p ops).
+     */
+    virtual void update(Addr block, const TrackState &ns,
+                        const ReqCtx &ctx, EngineOps &ops) = 0;
+
+    /**
+     * Commit the post-eviction-notice state @p ns of @p block after a
+     * core evicted it (PutS/PutE/PutM). @p put is the private state
+     * the block had at the evicting core.
+     */
+    virtual void evictionUpdate(Addr block, const TrackState &ns,
+                                MesiState put, EngineOps &ops) = 0;
+
+    /**
+     * The LLC evicted a data entry (Normal or Corrupt*). Trackers
+     * keeping state in the LLC must clean up (reconstruct + back-
+     * invalidate); the entry is already detached from the array.
+     */
+    virtual void onLlcDataVictim(const LlcEntry &victim,
+                                 EngineOps &ops) = 0;
+
+    /** The LLC evicted a spilled tracking entry. */
+    virtual void
+    onLlcSpillVictim(const LlcEntry &victim, EngineOps &ops)
+    {
+        (void)victim;
+        (void)ops;
+    }
+
+    /**
+     * Every LLC data access (except writebacks) with its outcome.
+     * Feeds windowed policies (DynSpill miss-rate observation).
+     */
+    virtual void
+    onLlcAccess(Addr block, bool miss, bool stra_read)
+    {
+        (void)block;
+        (void)miss;
+        (void)stra_read;
+    }
+
+    /** Advance policy clocks (gNRU generations). */
+    virtual void tick(Cycle now) { (void)now; }
+
+    /**
+     * Extra bytes an eviction notice of a block in state @p s must
+     * carry (in-LLC reconstruction bits, Section III-B).
+     */
+    virtual unsigned
+    evictionNoticeExtraBytes(MesiState s) const
+    {
+        (void)s;
+        return 0;
+    }
+
+    /** SRAM bits invested in tracking (energy model input). */
+    virtual std::uint64_t trackerSramBits() const = 0;
+
+    /** Scheme name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * True for coarse-grain trackers (MgD) whose Exclusive answers are
+     * region-grain approximations: the named owner may not cache the
+     * requested block, and may even be the requester itself.
+     */
+    virtual bool coarseGrain() const { return false; }
+
+    // -- scheme-specific statistics (zero where not applicable) --------
+    virtual Counter dirHits() const { return 0; }
+    virtual Counter dirAllocs() const { return 0; }
+    virtual Counter spills() const { return 0; }
+    virtual Counter broadcasts() const { return 0; }
+
+    /** Reset statistic counters after warmup (state untouched). */
+    virtual void resetStats() {}
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_PROTO_TRACKER_HH

@@ -1,0 +1,62 @@
+#include "sim/driver.hh"
+
+#include <queue>
+
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+namespace
+{
+
+struct Pending
+{
+    Cycle issue;
+    CoreId core;
+    TraceAccess acc;
+
+    bool
+    operator>(const Pending &o) const
+    {
+        return issue != o.issue ? issue > o.issue : core > o.core;
+    }
+};
+
+} // namespace
+
+RunResult
+Driver::run(System &sys,
+            std::vector<std::unique_ptr<AccessStream>> streams)
+{
+    panic_if(streams.size() != sys.cfg.numCores,
+             "stream count != core count");
+    std::priority_queue<Pending, std::vector<Pending>,
+                        std::greater<Pending>> heap;
+    for (CoreId c = 0; c < sys.cfg.numCores; ++c) {
+        TraceAccess acc;
+        if (streams[c] && streams[c]->next(acc))
+            heap.push({sys.cores[c].clock + acc.gap, c, acc});
+    }
+
+    RunResult res;
+    while (!heap.empty()) {
+        Pending p = heap.top();
+        heap.pop();
+        const Cycle done = sys.executeAccess(p.core, p.acc, p.issue);
+        sys.cores[p.core].clock = done;
+        ++res.accesses;
+        if (warmupAccesses && res.accesses == warmupAccesses)
+            sys.resetStats();
+        if (hook && hookPeriod && res.accesses % hookPeriod == 0)
+            hook(sys, res.accesses);
+        TraceAccess acc;
+        if (streams[p.core]->next(acc))
+            heap.push({done + acc.gap, p.core, acc});
+    }
+    sys.finalize();
+    res.execCycles = sys.execCycles();
+    return res;
+}
+
+} // namespace tinydir

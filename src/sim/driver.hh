@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Simulation driver: replays every core's access stream against a
+ * System in global issue-time order.
+ *
+ * Each core keeps its own clock; the driver picks the core with the
+ * earliest pending issue time (a binary heap), executes the access
+ * atomically, and advances that core's clock to the completion time.
+ * This keeps the inter-core interleaving consistent with the timing
+ * the memory system produces, which is what the tracking schemes
+ * differentiate on.
+ */
+
+#ifndef TINYDIR_SIM_DRIVER_HH
+#define TINYDIR_SIM_DRIVER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/trace.hh"
+#include "sim/system.hh"
+
+namespace tinydir
+{
+
+/** Outcome of a driven run. */
+struct RunResult
+{
+    Cycle execCycles = 0;
+    Counter accesses = 0;
+};
+
+/** Replays streams to completion. */
+class Driver
+{
+  public:
+    /**
+     * Optional periodic hook (e.g. invariant checks in tests): called
+     * every @p hookPeriod accesses with the running access count.
+     */
+    std::function<void(System &, Counter)> hook;
+    Counter hookPeriod = 0;
+
+    /**
+     * Total accesses (across all cores) to execute before resetting
+     * the statistics: the measured region then reflects steady state.
+     */
+    Counter warmupAccesses = 0;
+
+    RunResult run(System &sys,
+                  std::vector<std::unique_ptr<AccessStream>> streams);
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_SIM_DRIVER_HH

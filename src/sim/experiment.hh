@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Experiment harness: one-call runs of (configuration x workload)
+ * pairs, bench-scale selection, and figure-style table printing.
+ *
+ * Every bench binary under bench/ is a thin main() over these
+ * helpers: it builds the scheme list its figure compares, runs all 17
+ * workloads, and prints rows normalized against the figure's baseline.
+ */
+
+#ifndef TINYDIR_SIM_EXPERIMENT_HH
+#define TINYDIR_SIM_EXPERIMENT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "workload/profile.hh"
+
+namespace tinydir
+{
+
+/** Output of one simulated run. */
+struct RunOut
+{
+    Cycle execCycles = 0;
+    Counter accesses = 0;
+    StatsDump stats;
+};
+
+/**
+ * Run @p prof on a system configured by @p cfg. The first
+ * @p warmup_per_core accesses of each core warm the caches and
+ * policies; statistics cover only the remainder.
+ */
+RunOut runOne(const SystemConfig &cfg, const WorkloadProfile &prof,
+              std::uint64_t accesses_per_core,
+              std::uint64_t warmup_per_core = 0);
+
+/** Bench scale chosen from argv/environment. */
+struct BenchScale
+{
+    unsigned cores = 16;
+    std::uint64_t accessesPerCore = 20000;
+    std::uint64_t warmupPerCore = 10000;
+    bool full = false;    //!< paper-scale (128 cores, Table I sizes)
+    bool quick = false;   //!< CI-quick subset
+    std::vector<std::string> onlyApps; //!< restrict workload list
+};
+
+/**
+ * Parse --full / --quick / --cores=N / --accesses=N / --app=NAME
+ * (repeatable) plus the TINYDIR_FULL / TINYDIR_QUICK environment
+ * variables.
+ */
+BenchScale parseBenchScale(int argc, char **argv);
+
+/** The profiles selected by a scale (all 17 unless restricted). */
+std::vector<const WorkloadProfile *> selectApps(const BenchScale &s);
+
+/** Base system config for a scale (cores + seed; tracker unset). */
+SystemConfig baseConfig(const BenchScale &s);
+
+/** Figure-style table: rows = workloads, columns = schemes. */
+class ResultTable
+{
+  public:
+    ResultTable(std::string title, std::vector<std::string> columns);
+
+    void addRow(const std::string &name, std::vector<double> values);
+
+    /**
+     * Print all rows plus an arithmetic-mean Average row. Setting the
+     * TINYDIR_CSV=1 environment variable switches every bench to
+     * machine-readable CSV.
+     */
+    void print(std::ostream &os, int precision = 4,
+               bool with_average = true) const;
+
+    /** CSV form (also reachable via TINYDIR_CSV=1). */
+    void printCsv(std::ostream &os, bool with_average = true) const;
+
+    /** Arithmetic mean of one column over all rows. */
+    double columnAverage(unsigned col) const;
+
+  private:
+    std::string title;
+    std::vector<std::string> cols;
+    std::vector<std::pair<std::string, std::vector<double>>> rows;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_SIM_EXPERIMENT_HH

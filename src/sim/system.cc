@@ -1,0 +1,385 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/log.hh"
+#include "energy/energy.hh"
+#include "proto/inllc.hh"
+#include "proto/mgd.hh"
+#include "proto/shared_only_dir.hh"
+#include "proto/sparse_dir.hh"
+#include "proto/stash.hh"
+#include "proto/tiny_dir.hh"
+
+namespace tinydir
+{
+
+std::unique_ptr<CoherenceTracker>
+makeTracker(const SystemConfig &cfg, Llc &llc,
+            std::vector<PrivateCache> &privs)
+{
+    switch (cfg.tracker) {
+      case TrackerKind::SparseDir:
+        return std::make_unique<SparseDirTracker>(cfg);
+      case TrackerKind::SharedOnlyDir:
+        return std::make_unique<SharedOnlyDirTracker>(cfg);
+      case TrackerKind::InLlcTagExtended:
+        return std::make_unique<TagExtendedTracker>(cfg, llc);
+      case TrackerKind::InLlc:
+        return std::make_unique<InLlcTracker>(cfg, llc);
+      case TrackerKind::TinyDir:
+        return std::make_unique<TinyDirTracker>(cfg, llc);
+      case TrackerKind::Mgd:
+        return std::make_unique<MgdTracker>(cfg, privs);
+      case TrackerKind::Stash:
+        return std::make_unique<StashTracker>(cfg);
+    }
+    panic("unknown tracker kind");
+}
+
+System::System(const SystemConfig &c)
+    : cfg([&] {
+          c.validate();
+          return c;
+      }()),
+      mesh(cfg), dram(cfg), llc(cfg),
+      engine(cfg, llc, mesh, dram, privs)
+{
+    privs.reserve(cfg.numCores);
+    cores.reserve(cfg.numCores);
+    for (CoreId i = 0; i < cfg.numCores; ++i) {
+        privs.emplace_back(cfg, i);
+        cores.emplace_back(i);
+    }
+    tracker = makeTracker(cfg, llc, privs);
+    engine.setTracker(tracker.get());
+}
+
+void
+System::processNotices(CoreId c,
+                       const std::vector<EvictionNotice> &notices,
+                       Cycle t)
+{
+    for (const auto &n : notices)
+        engine.evictionNotice(c, n.block, n.state, t);
+}
+
+Cycle
+System::executeAccess(CoreId c, const TraceAccess &acc, Cycle issue)
+{
+    panic_if(c >= cfg.numCores, "bad core id");
+    const Addr block = blockNumber(acc.addr);
+    Core &core = cores[c];
+    switch (acc.type) {
+      case AccessType::Load: ++core.loads; break;
+      case AccessType::Store: ++core.stores; break;
+      case AccessType::Ifetch: ++core.ifetches; break;
+    }
+
+    auto ar = privs[c].access(block, acc.type);
+    if (!ar.notices.empty())
+        processNotices(c, ar.notices, issue);
+
+    if (ar.present) {
+        if (acc.type == AccessType::Store) {
+            switch (ar.state) {
+              case MesiState::M:
+                ++core.privHits;
+                return issue + ar.latency;
+              case MesiState::E:
+                // Silent E->M upgrade; the home keeps seeing
+                // "exclusively owned".
+                privs[c].setState(block, MesiState::M);
+                ++core.privHits;
+                return issue + ar.latency;
+              case MesiState::S: {
+                ++core.upgrades;
+                auto rr = engine.request(c, block, ReqType::Upg,
+                                         issue + ar.latency);
+                privs[c].setState(block, MesiState::M);
+                return rr.done;
+              }
+              default:
+                panic("present block in I state");
+            }
+        }
+        ++core.privHits;
+        return issue + ar.latency;
+    }
+
+    ++core.misses;
+    ReqType rt;
+    switch (acc.type) {
+      case AccessType::Load: rt = ReqType::GetS; break;
+      case AccessType::Store: rt = ReqType::GetX; break;
+      default: rt = ReqType::GetSI; break;
+    }
+    auto rr = engine.request(c, block, rt, issue + ar.latency);
+    auto notices = privs[c].fill(block, rr.grant, acc.type);
+    if (!notices.empty())
+        processNotices(c, notices, rr.done);
+    return rr.done;
+}
+
+void
+System::finalize()
+{
+    llc.flushResidency();
+}
+
+void
+System::resetStats()
+{
+    engine.stats.reset();
+    llc.resetStats();
+    // Re-seed the per-residency sharer counters from the live
+    // coherence state: a block that stays shared across the warmup
+    // boundary must still be reported shared (Fig. 2).
+    llc.forEachEntry([&](LlcEntry &e) {
+        if (e.meta == LlcMeta::Spill)
+            return;
+        TrackerView v = tracker->view(e.tag);
+        if (v.ts.shared())
+            e.stats.maxSharers = v.ts.sharers.count();
+    });
+    dram.resetCounters();
+    tracker->resetStats();
+    for (auto &core : cores) {
+        core.loads.reset();
+        core.stores.reset();
+        core.ifetches.reset();
+        core.privHits.reset();
+        core.upgrades.reset();
+        core.misses.reset();
+    }
+    statsBaseCycle = execCycles();
+}
+
+Cycle
+System::execCycles() const
+{
+    Cycle mx = 0;
+    for (const auto &core : cores)
+        mx = std::max(mx, core.clock);
+    return mx;
+}
+
+StatsDump
+System::dump() const
+{
+    StatsDump d;
+    const auto &es = engine.stats;
+    d.add("exec_cycles",
+          static_cast<double>(execCycles() - statsBaseCycle));
+
+    Counter loads = 0, stores = 0, ifetches = 0, hits = 0, misses = 0,
+            upgs = 0;
+    for (const auto &core : cores) {
+        loads += core.loads.value();
+        stores += core.stores.value();
+        ifetches += core.ifetches.value();
+        hits += core.privHits.value();
+        misses += core.misses.value();
+        upgs += core.upgrades.value();
+    }
+    d.add("core.loads", static_cast<double>(loads));
+    d.add("core.stores", static_cast<double>(stores));
+    d.add("core.ifetches", static_cast<double>(ifetches));
+    d.add("core.priv_hits", static_cast<double>(hits));
+    d.add("core.misses", static_cast<double>(misses));
+    d.add("core.upgrades", static_cast<double>(upgs));
+
+    d.add("llc.accesses", static_cast<double>(es.llcAccesses.value()));
+    d.add("llc.data_misses",
+          static_cast<double>(es.llcDataMisses.value()));
+    d.add("llc.fills", static_cast<double>(es.llcFills.value()));
+    const double llc_acc =
+        std::max<double>(1.0, static_cast<double>(es.llcAccesses.value()));
+    d.add("llc.miss_rate",
+          static_cast<double>(es.llcDataMisses.value()) / llc_acc);
+    d.add("llc.coh_data_writes",
+          static_cast<double>(llc.cohDataWrites.value()));
+
+    d.add("lengthened.reads",
+          static_cast<double>(es.lengthenedReads.value()));
+    d.add("lengthened.code",
+          static_cast<double>(es.lengthenedCode.value()));
+    d.add("lengthened.frac",
+          static_cast<double>(es.lengthenedReads.value()) / llc_acc);
+    d.add("spill.saved_accesses",
+          static_cast<double>(es.savedBySpill.value()));
+    d.add("spill.saved_frac",
+          static_cast<double>(es.savedBySpill.value()) / llc_acc);
+
+    d.add("nack.retries", static_cast<double>(es.nackRetries.value()));
+    d.add("fwd.owner", static_cast<double>(es.ownerForwards.value()));
+    d.add("inval.messages",
+          static_cast<double>(es.invalidations.value()));
+    d.add("inval.back", static_cast<double>(es.backInvals.value()));
+    d.add("wb.dirty", static_cast<double>(es.dirtyWritebacks.value()));
+    d.add("wb.notices",
+          static_cast<double>(es.evictionNotices.value()));
+
+    d.add("traffic.processor.bytes",
+          static_cast<double>(es.traffic.bytes(MsgClass::Processor)));
+    d.add("traffic.writeback.bytes",
+          static_cast<double>(es.traffic.bytes(MsgClass::Writeback)));
+    d.add("traffic.coherence.bytes",
+          static_cast<double>(es.traffic.bytes(MsgClass::Coherence)));
+    d.add("traffic.total.bytes",
+          static_cast<double>(es.traffic.totalBytes()));
+
+    const auto &rh = llc.residency();
+    d.add("resid.blocks", static_cast<double>(rh.blocksAllocated));
+    d.add("resid.shared_blocks", static_cast<double>(rh.blocksShared));
+    for (unsigned b = 0; b < 4; ++b) {
+        std::ostringstream name;
+        name << "resid.sharer_bin" << b;
+        d.add(name.str(), static_cast<double>(rh.sharerBins.bucket(b)));
+    }
+    d.add("resid.lengthened_blocks",
+          static_cast<double>(rh.blocksLengthened));
+    for (unsigned cat = 0; cat < numStraCategories; ++cat) {
+        std::ostringstream bn, an;
+        bn << "stra.blocks.c" << cat;
+        an << "stra.accesses.c" << cat;
+        d.add(bn.str(), static_cast<double>(rh.straBlocks.bucket(cat)));
+        d.add(an.str(),
+              static_cast<double>(rh.straAccesses.bucket(cat)));
+    }
+
+    d.add("dir.hits", static_cast<double>(tracker->dirHits()));
+    d.add("dir.allocs", static_cast<double>(tracker->dirAllocs()));
+    d.add("dir.spills", static_cast<double>(tracker->spills()));
+    d.add("dir.broadcasts",
+          static_cast<double>(tracker->broadcasts()));
+    d.add("dir.sram_bits",
+          static_cast<double>(tracker->trackerSramBits()));
+
+    d.add("dram.accesses", static_cast<double>(dram.accesses()));
+    d.add("dram.row_hits", static_cast<double>(dram.rowHits()));
+
+    // Miss-latency distribution: mean plus quartile-style markers.
+    {
+        const auto &hl = es.latency;
+        const Counter n = hl.total();
+        double sum = 0;
+        for (unsigned b = 0; b < hl.size(); ++b)
+            sum += (b * 32.0 + 16.0) * static_cast<double>(hl.bucket(b));
+        d.add("latency.samples", static_cast<double>(n));
+        d.add("latency.mean_cycles", n ? sum / n : 0.0);
+        auto quantile = [&](double q) {
+            Counter target = static_cast<Counter>(q * n), acc = 0;
+            for (unsigned b = 0; b < hl.size(); ++b) {
+                acc += hl.bucket(b);
+                if (acc >= target)
+                    return b * 32.0 + 16.0;
+            }
+            return 1024.0;
+        };
+        d.add("latency.p50_cycles", n ? quantile(0.50) : 0.0);
+        d.add("latency.p90_cycles", n ? quantile(0.90) : 0.0);
+    }
+
+    // Energy (Fig. 21 model).
+    EnergyModel em(cfg);
+    EnergyInput ei;
+    ei.llcTagAccesses = es.llcAccesses.value() +
+        es.evictionNotices.value() + es.llcFills.value();
+    ei.llcDataAccesses = es.llcAccesses.value() + es.llcFills.value() +
+        llc.cohDataWrites.value();
+    ei.dirAccesses = es.llcAccesses.value();
+    ei.dirBits = tracker->trackerSramBits();
+    ei.llcBits = static_cast<std::uint64_t>(llc.numBanks()) *
+        llc.setsPerBank() * llc.assoc() * blockBytes * 8;
+    ei.cycles = execCycles();
+    const EnergyResult er = em.compute(ei);
+    d.add("energy.dynamic_j", er.dynamicJ);
+    d.add("energy.leakage_j", er.leakageJ);
+    d.add("energy.total_j", er.totalJ());
+    return d;
+}
+
+bool
+System::verifyCoherence(std::string *msg)
+{
+    auto fail = [&](const std::string &m) {
+        if (msg)
+            *msg = m;
+        return false;
+    };
+    // Ground truth: who caches what, in which state.
+    struct Truth
+    {
+        SharerSet sharers;
+        CoreId owner = invalidCore;
+    };
+    std::map<Addr, Truth> truth;
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        bool bad = false;
+        std::ostringstream why;
+        privs[c].forEachBlock([&](Addr blk, MesiState st) {
+            Truth &t = truth[blk];
+            if (st == MesiState::S) {
+                t.sharers.add(c);
+            } else {
+                if (t.owner != invalidCore) {
+                    bad = true;
+                    why << "block " << blk << " has two owners";
+                }
+                t.owner = c;
+            }
+        });
+        if (bad)
+            return fail(why.str());
+    }
+    for (auto &[blk, t] : truth) {
+        const SharerSet &sharers = t.sharers;
+        const CoreId owner = t.owner;
+        if (owner != invalidCore && !sharers.empty()) {
+            std::ostringstream os;
+            os << "block " << blk << " owned by core " << owner
+               << " but also shared";
+            return fail(os.str());
+        }
+        TrackerView v = tracker->view(blk);
+        if (owner != invalidCore) {
+            if (!v.ts.exclusive() || v.ts.owner != owner) {
+                std::ostringstream os;
+                os << "block " << blk << " owner " << owner
+                   << " not tracked exclusively";
+                return fail(os.str());
+            }
+        } else {
+            if (!v.ts.shared()) {
+                std::ostringstream os;
+                os << "block " << blk << " shared by "
+                   << sharers.count() << " cores but tracked as "
+                   << (v.ts.invalid() ? "invalid" : "exclusive");
+                return fail(os.str());
+            }
+            if (cfg.sharerGrain > 1) {
+                // Coarse vectors track a conservative superset.
+                bool missing = false;
+                sharers.forEach([&](CoreId s) {
+                    missing |= !v.ts.sharers.contains(s);
+                });
+                if (missing) {
+                    std::ostringstream os;
+                    os << "block " << blk
+                       << " coarse sharer set misses a real sharer";
+                    return fail(os.str());
+                }
+            } else if (!(v.ts.sharers == sharers)) {
+                std::ostringstream os;
+                os << "block " << blk << " sharer set mismatch";
+                return fail(os.str());
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace tinydir

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Full-system assembly: cores + private hierarchies + mesh + LLC +
+ * DRAM + the configured coherence tracker, glued by the engine.
+ *
+ * This is the library's main entry point: construct a System from a
+ * SystemConfig, feed it accesses (directly or through sim/driver.hh),
+ * then read the statistics dump.
+ */
+
+#ifndef TINYDIR_SIM_SYSTEM_HH
+#define TINYDIR_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/llc.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "core/core.hh"
+#include "core/private_cache.hh"
+#include "core/trace.hh"
+#include "mem/dram.hh"
+#include "noc/mesh.hh"
+#include "proto/engine.hh"
+#include "proto/tracker.hh"
+
+namespace tinydir
+{
+
+/** A complete simulated chip-multiprocessor. */
+class System
+{
+  public:
+    explicit System(const SystemConfig &cfg);
+
+    /**
+     * Execute one memory access of core @p c issued at @p issue.
+     * @return absolute completion time (>= issue).
+     */
+    Cycle executeAccess(CoreId c, const TraceAccess &acc, Cycle issue);
+
+    /** Flush residual residency statistics (end of simulation). */
+    void finalize();
+
+    /**
+     * End-of-warmup reset: clear every measurement counter while
+     * keeping all cache/directory state, so the dump reflects steady
+     * state. Execution cycles reported afterwards are relative to the
+     * reset point.
+     */
+    void resetStats();
+
+    /** Full statistics dump (execution, traffic, residency, energy). */
+    StatsDump dump() const;
+
+    /**
+     * Verify global coherence invariants against the ground truth of
+     * the private hierarchies: single-owner for E/M, exact sharer
+     * sets, and no untracked cached blocks (modulo the coarse-grain
+     * and broadcast-recovery schemes, which are checked accordingly).
+     * @retval true when every invariant holds; otherwise @p msg (when
+     * non-null) describes the first violation.
+     */
+    bool verifyCoherence(std::string *msg = nullptr);
+
+    const SystemConfig cfg; //!< owning copy; components reference it
+    Mesh mesh;
+    Dram dram;
+    Llc llc;
+    std::vector<PrivateCache> privs;
+    std::vector<Core> cores;
+    Engine engine;
+    std::unique_ptr<CoherenceTracker> tracker;
+
+    /** Execution time so far: max core clock. */
+    Cycle execCycles() const;
+
+  private:
+    void processNotices(CoreId c,
+                        const std::vector<EvictionNotice> &notices,
+                        Cycle t);
+
+    /** Clock value at the last resetStats() (warmup boundary). */
+    Cycle statsBaseCycle = 0;
+};
+
+/** Factory for the tracker selected by @p cfg (used by System). */
+std::unique_ptr<CoherenceTracker>
+makeTracker(const SystemConfig &cfg, Llc &llc,
+            std::vector<PrivateCache> &privs);
+
+} // namespace tinydir
+
+#endif // TINYDIR_SIM_SYSTEM_HH

@@ -1,0 +1,358 @@
+#include "workload/generator.hh"
+
+#include <cmath>
+
+#include "common/bitops.hh"
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+namespace
+{
+
+// Disjoint block-number regions (48-bit physical space, block numbers
+// up to 2^42).
+constexpr Addr codeRegion = 1ull << 20;
+constexpr Addr sharedRegion = 1ull << 24;
+constexpr Addr migRegion = 1ull << 28;
+constexpr Addr privRegion = 1ull << 30;
+constexpr Addr streamRegion = 1ull << 36;
+
+/** Representative degree for each Fig. 2 sharer bin. */
+unsigned
+binDegree(unsigned bin, unsigned num_cores, Rng &rng)
+{
+    unsigned lo, hi;
+    switch (bin) {
+      case 0: lo = 2; hi = 4; break;
+      case 1: lo = 5; hi = 8; break;
+      case 2: lo = 9; hi = 16; break;
+      default: lo = 17; hi = num_cores; break;
+    }
+    lo = std::min(lo, num_cores);
+    hi = std::min(hi, num_cores);
+    if (hi <= lo)
+        return lo;
+    return lo + static_cast<unsigned>(rng.below(hi - lo + 1));
+}
+
+} // namespace
+
+SharedLayout::SharedLayout(const WorkloadProfile &p,
+                           const SystemConfig &cfg)
+    : prof(p), numCores(cfg.numCores)
+{
+    codeBase = codeRegion;
+    codeBlocks = std::max<std::uint64_t>(16, p.codeBlocks);
+    migBase = migRegion;
+    migBlocksTotal = p.migBlocksPerCore * numCores;
+    privBase = privRegion;
+    privSpan = std::max<std::uint64_t>(64, p.privBlocksPerCore);
+    privStride = privSpan + 37 * numCores + 3;
+    streamBase = streamRegion;
+    streamSpan = 1ull << 22; // plenty for any run length
+
+    // Partition the shared region into groups. Each group holds
+    // groupBlocks blocks and an affinity window of `degree` cores.
+    const std::uint64_t total_shared =
+        std::max<std::uint64_t>(64, p.sharedBlocksPerCore * numCores);
+    constexpr std::uint64_t groupBlocks = 32;
+    const std::uint64_t num_groups =
+        std::max<std::uint64_t>(4, total_shared / groupBlocks);
+    Rng rng(cfg.seed ^ 0x5eed5eedull);
+    groupsOfCore.resize(numCores);
+    double cum[4];
+    double acc = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+        acc += p.degreeMix[b];
+        cum[b] = acc;
+    }
+    Addr next_block = sharedRegion;
+    for (std::uint64_t g = 0; g < num_groups; ++g) {
+        const double u = rng.uniform() * acc;
+        unsigned bin = 0;
+        while (bin < 3 && u > cum[bin])
+            ++bin;
+        Group grp;
+        grp.firstBlock = next_block;
+        grp.numBlocks = groupBlocks;
+        grp.degree = binDegree(bin, numCores, rng);
+        grp.firstCore = static_cast<unsigned>(rng.below(numCores));
+        grp.readOnly = rng.chance(p.readOnlyShared);
+        next_block += groupBlocks;
+        const unsigned idx = static_cast<unsigned>(groups.size());
+        groups.push_back(grp);
+        for (unsigned d = 0; d < grp.degree; ++d)
+            groupsOfCore[(grp.firstCore + d) % numCores].push_back(idx);
+    }
+    // Guarantee every core belongs to at least one group.
+    for (unsigned c = 0; c < numCores; ++c) {
+        if (groupsOfCore[c].empty() && !groups.empty())
+            groupsOfCore[c].push_back(c % groups.size());
+    }
+}
+
+SyntheticStream::SyntheticStream(std::shared_ptr<const SharedLayout> l,
+                                 CoreId c, std::uint64_t n,
+                                 std::uint64_t seed, bool with_prologue)
+    : lay(std::move(l)), core(c), remaining(n),
+      rng(seed * 0x9e3779b9ull + c + 1),
+      streamCursor(lay->streamBase + c * lay->streamSpan),
+      prologue(with_prologue),
+      groupPick(std::max<std::uint64_t>(1,
+                    lay->groupsOfCore[c].size()),
+                lay->prof.zipfGroup),
+      inGroupPick(32, lay->prof.zipfShared),
+      codePick(lay->codeBlocks, lay->prof.zipfCode),
+      codeWinPick(std::max<std::uint64_t>(
+                      16, lay->codeBlocks / lay->prof.codeWindowDivisor),
+                  lay->prof.zipfCode),
+      privPick(lay->privSpan, lay->prof.zipfPriv)
+{
+}
+
+Addr
+SyntheticStream::pickCode()
+{
+    const WorkloadProfile &p = lay->prof;
+    if (p.sharedWindowFrac > 0 && rng.chance(p.sharedWindowFrac)) {
+        // The instruction working set phases like the shared data:
+        // different transaction types / program stages run different
+        // code. All cores slide through the same window.
+        const std::uint64_t w = codeWinPick.size();
+        const std::uint64_t phase = mainIssued / p.windowPhaseLen;
+        const std::uint64_t c0 =
+            (phase * (w / 2)) % lay->codeBlocks;
+        return lay->codeBase + (c0 + codeWinPick(rng)) % lay->codeBlocks;
+    }
+    return lay->codeBase + codePick(rng);
+}
+
+std::pair<Addr, bool>
+SyntheticStream::pickShared()
+{
+    const auto &mine = lay->groupsOfCore[core];
+    if (mine.empty())
+        return {lay->privBase + core * lay->privStride, false};
+    const WorkloadProfile &p = lay->prof;
+    const std::uint64_t n_groups = lay->groups.size();
+    if (p.sharedWindowFrac > 0 && rng.chance(p.sharedWindowFrac)) {
+        // Active-window access: the sliding window is defined on
+        // global group ids, so the members of a group visit it during
+        // the same phase (issued counts advance in lockstep).
+        const std::uint64_t w = std::max<std::uint64_t>(
+            4, n_groups / p.windowDivisor);
+        const std::uint64_t phase = mainIssued / p.windowPhaseLen;
+        const std::uint64_t g0 = (phase * (w / 2)) % n_groups;
+        // Candidates: this core's groups with id in [g0, g0+w) cyclic.
+        // `mine` is ascending in group id by construction.
+        auto in_window = [&](unsigned gid) {
+            const std::uint64_t rel = (gid + n_groups - g0) % n_groups;
+            return rel < w;
+        };
+        // Reservoir-free scan bounded by a random start: pick the
+        // k-th in-window member where k is random.
+        unsigned count = 0;
+        for (unsigned gid : mine)
+            count += in_window(gid);
+        if (count > 0) {
+            std::uint64_t k = rng.below(count);
+            for (unsigned gid : mine) {
+                if (in_window(gid) && k-- == 0) {
+                    const auto &grp = lay->groups[gid];
+                    std::uint64_t off = inGroupPick(rng);
+                    if (off >= grp.numBlocks)
+                        off = rng.below(grp.numBlocks);
+                    return {grp.firstBlock + off, grp.readOnly};
+                }
+            }
+        }
+        // No active group for this core: fall through to the static
+        // popularity path.
+    }
+    // Hot-group skew: group lists are in ascending group order, so
+    // the cores of an affinity set agree on which groups are hot.
+    const auto &grp = lay->groups[mine[groupPick(rng)]];
+    std::uint64_t off = inGroupPick(rng);
+    if (off >= grp.numBlocks)
+        off = rng.below(grp.numBlocks);
+    return {grp.firstBlock + off, grp.readOnly};
+}
+
+Addr
+SyntheticStream::pickMigratory()
+{
+    const std::uint64_t per_core = lay->prof.migBlocksPerCore;
+    if (per_core == 0 || lay->migBlocksTotal == 0)
+        return pickShared().first;
+    // Ownership of migratory chunks rotates across cores each phase:
+    // the chunk this core works on moves on, so the next owner finds
+    // the blocks exclusively cached elsewhere (E/M migration).
+    const std::uint64_t phase = mainIssued / lay->prof.migPhaseLen;
+    const std::uint64_t chunk = (core + phase) % lay->numCores;
+    const std::uint64_t off = rng.below(per_core);
+    return lay->migBase + chunk * per_core + off;
+}
+
+std::uint64_t
+SyntheticStream::prologueLen() const
+{
+    if (!prologue)
+        return 0;
+    std::uint64_t shared_blocks = 0;
+    for (unsigned g : lay->groupsOfCore[core])
+        shared_blocks += lay->groups[g].numBlocks;
+    return lay->privSpan + divCeil(lay->codeBlocks, lay->numCores) +
+        shared_blocks;
+}
+
+bool
+SyntheticStream::prologueNext(TraceAccess &out)
+{
+    out.gap = 1;
+    out.type = AccessType::Load;
+    std::uint64_t idx = prologueCursor++;
+    // 1. Private region sweep.
+    if (idx < lay->privSpan) {
+        out.addr = (lay->privBase + core * lay->privStride + idx)
+            << blockShift;
+        return true;
+    }
+    idx -= lay->privSpan;
+    // 2. This core's stripe of the code region.
+    const std::uint64_t code_slice =
+        divCeil(lay->codeBlocks, lay->numCores);
+    if (idx < code_slice) {
+        const std::uint64_t blk = idx * lay->numCores + core;
+        if (blk < lay->codeBlocks) {
+            out.type = AccessType::Ifetch;
+            out.addr = (lay->codeBase + blk) << blockShift;
+            return true;
+        }
+        // Past the ragged edge: substitute a private touch.
+        out.addr = (lay->privBase + core * lay->privStride) << blockShift;
+        return true;
+    }
+    idx -= code_slice;
+    // 3. Every block of the core's sharing groups.
+    for (unsigned g : lay->groupsOfCore[core]) {
+        const auto &grp = lay->groups[g];
+        if (idx < grp.numBlocks) {
+            out.addr = (grp.firstBlock + idx) << blockShift;
+            return true;
+        }
+        idx -= grp.numBlocks;
+    }
+    prologue = false; // done
+    return false;
+}
+
+bool
+SyntheticStream::next(TraceAccess &out)
+{
+    if (remaining == 0)
+        return false;
+    if (prologue && prologueNext(out)) {
+        --remaining;
+        ++issued;
+        return true;
+    }
+    --remaining;
+    ++issued;
+    ++mainIssued;
+    const WorkloadProfile &p = lay->prof;
+
+    // Compute gap: geometric-ish around meanGap.
+    const double u = rng.uniform();
+    out.gap = 1 + static_cast<Cycle>(-std::log(1.0 - u) * p.meanGap);
+    if (out.gap > 40ull * p.meanGap)
+        out.gap = 40ull * p.meanGap;
+
+    Addr block;
+    if (rng.chance(p.ifetchFrac)) {
+        out.type = AccessType::Ifetch;
+        block = pickCode();
+        out.addr = block << blockShift;
+        return true;
+    }
+    if (rng.chance(p.streamFrac)) {
+        // Never-reused streaming block.
+        block = streamCursor++;
+        out.type = rng.chance(p.writeFracPriv) ? AccessType::Store
+                                               : AccessType::Load;
+        out.addr = block << blockShift;
+        return true;
+    }
+    if (rng.chance(p.sharedFrac)) {
+        if (p.migratoryFrac > 0 && rng.chance(p.migratoryFrac)) {
+            block = pickMigratory();
+            // Migratory data is read-modify-write.
+            out.type = rng.chance(0.5) ? AccessType::Store
+                                       : AccessType::Load;
+        } else {
+            auto [blk, read_only] = pickShared();
+            block = blk;
+            out.type = (!read_only && rng.chance(p.writeFracShared))
+                ? AccessType::Store : AccessType::Load;
+        }
+        out.addr = block << blockShift;
+        return true;
+    }
+    block = lay->privBase + core * lay->privStride + pickPrivate();
+    out.type = rng.chance(p.writeFracPriv) ? AccessType::Store
+                                           : AccessType::Load;
+    out.addr = block << blockShift;
+    return true;
+}
+
+std::uint64_t
+SyntheticStream::pickPrivate()
+{
+    const WorkloadProfile &p = lay->prof;
+    const std::uint64_t hot =
+        std::min<std::uint64_t>(p.privHotBlocks, lay->privSpan);
+    if (hot >= lay->privSpan || rng.chance(p.privHotFrac))
+        return privPick(rng) % hot;
+    // Phased scratch: a sliding window over the rest of the region;
+    // blocks outside the current window are dead until the window
+    // wraps around.
+    const std::uint64_t scratch = lay->privSpan - hot;
+    const std::uint64_t w = std::max<std::uint64_t>(
+        32, scratch / p.windowDivisor);
+    const std::uint64_t phase = mainIssued / p.windowPhaseLen;
+    const std::uint64_t s0 = (phase * (w / 2)) % scratch;
+    return hot + (s0 + rng.below(w)) % scratch;
+}
+
+std::vector<std::unique_ptr<AccessStream>>
+makeStreams(std::shared_ptr<const SharedLayout> layout,
+            const SystemConfig &cfg, std::uint64_t accesses_per_core,
+            bool with_prologue)
+{
+    std::vector<std::unique_ptr<AccessStream>> streams;
+    streams.reserve(cfg.numCores);
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        streams.push_back(std::make_unique<SyntheticStream>(
+            layout, c, accesses_per_core, cfg.seed, with_prologue));
+    }
+    return streams;
+}
+
+std::uint64_t
+maxPrologueLen(const SharedLayout &layout)
+{
+    std::uint64_t mx = 0;
+    for (unsigned c = 0; c < layout.numCores; ++c) {
+        std::uint64_t shared_blocks = 0;
+        for (unsigned g : layout.groupsOfCore[c])
+            shared_blocks += layout.groups[g].numBlocks;
+        mx = std::max(mx, layout.privSpan +
+                              divCeil(layout.codeBlocks,
+                                      layout.numCores) +
+                              shared_blocks);
+    }
+    return mx;
+}
+
+} // namespace tinydir

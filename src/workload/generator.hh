@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Synthetic access-stream generator.
+ *
+ * A run builds one SharedLayout per (profile, system) pair: the block
+ * ranges of the code region, the shared region partitioned into
+ * sharing groups with affinity sets sized per the profile's
+ * degreeMix, the migratory region, and the per-core private and
+ * streaming regions. Every core then draws a deterministic access
+ * stream from its own RNG, so runs are reproducible and independent
+ * of the tracking scheme being simulated.
+ */
+
+#ifndef TINYDIR_WORKLOAD_GENERATOR_HH
+#define TINYDIR_WORKLOAD_GENERATOR_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "core/trace.hh"
+#include "workload/profile.hh"
+
+namespace tinydir
+{
+
+/** Run-wide address-space layout shared by all core streams. */
+struct SharedLayout
+{
+    /** One group of shared blocks with a fixed affinity set. */
+    struct Group
+    {
+        Addr firstBlock;
+        std::uint64_t numBlocks;
+        unsigned firstCore; //!< affinity set = firstCore..+degree (wrap)
+        unsigned degree;
+        bool readOnly;      //!< never stored to (read-mostly data)
+    };
+
+    SharedLayout(const WorkloadProfile &prof, const SystemConfig &cfg);
+
+    const WorkloadProfile &prof;
+    unsigned numCores;
+    std::vector<Group> groups;
+    /** Indices of groups whose affinity set contains each core. */
+    std::vector<std::vector<unsigned>> groupsOfCore;
+    Addr codeBase;
+    std::uint64_t codeBlocks;
+    Addr migBase;
+    std::uint64_t migBlocksTotal;
+    Addr privBase;
+    std::uint64_t privSpan;
+    /**
+     * Distance between consecutive cores' private regions. Strictly
+     * larger than privSpan and not a multiple of the directory/LLC
+     * set span, so the cores' hot sets do not collide in the same
+     * cache/directory sets (real address-space layouts are similarly
+     * decorrelated by the OS page allocator).
+     */
+    std::uint64_t privStride;
+    Addr streamBase; //!< per-core stride streamSpan
+    std::uint64_t streamSpan;
+};
+
+/** Lazily generated per-core access stream. */
+class SyntheticStream : public AccessStream
+{
+  public:
+    /**
+     * @param with_prologue Emit a deterministic warmup prologue first:
+     * one touch of every private-region block, the core's slice of the
+     * code region, and every block of the core's sharing groups. With
+     * the prologue inside the warmup window, the measured phase is
+     * free of compulsory misses (steady state, as the paper measures).
+     */
+    SyntheticStream(std::shared_ptr<const SharedLayout> layout,
+                    CoreId core, std::uint64_t num_accesses,
+                    std::uint64_t seed, bool with_prologue = false);
+
+    bool next(TraceAccess &out) override;
+
+    /** Prologue length of this core's stream (0 when disabled). */
+    std::uint64_t prologueLen() const;
+
+  private:
+    /** @return block number and whether the group is read-only. */
+    std::pair<Addr, bool> pickShared();
+    Addr pickMigratory();
+
+    /** Next prologue access, or false when the prologue is done. */
+    bool prologueNext(TraceAccess &out);
+
+    std::shared_ptr<const SharedLayout> lay;
+    CoreId core;
+    std::uint64_t remaining;
+    std::uint64_t issued = 0;
+    /** Post-prologue access count: cores align phases on this. */
+    std::uint64_t mainIssued = 0;
+    Rng rng;
+    Addr streamCursor;
+    bool prologue;
+    std::uint64_t prologueCursor = 0;
+    ZipfSampler groupPick;
+    ZipfSampler inGroupPick;
+    ZipfSampler codePick;
+    ZipfSampler codeWinPick;
+    ZipfSampler privPick;
+
+    /** Pick a code block (phased working set + static tail). */
+    Addr pickCode();
+
+    /** Pick a private-region offset (hot set + phased scratch). */
+    std::uint64_t pickPrivate();
+};
+
+/** Build the per-core streams for one run (with warmup prologue). */
+std::vector<std::unique_ptr<AccessStream>>
+makeStreams(std::shared_ptr<const SharedLayout> layout,
+            const SystemConfig &cfg, std::uint64_t accesses_per_core,
+            bool with_prologue = true);
+
+/** The longest per-core prologue implied by a layout. */
+std::uint64_t maxPrologueLen(const SharedLayout &layout);
+
+} // namespace tinydir
+
+#endif // TINYDIR_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,298 @@
+#include "workload/profile.hh"
+
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+namespace
+{
+
+std::vector<WorkloadProfile>
+buildProfiles()
+{
+    std::vector<WorkloadProfile> v;
+
+    // PARSEC ---------------------------------------------------------------
+    {
+        WorkloadProfile p;
+        p.name = "bodytrack";
+        p.ifetchFrac = 0.05;
+        p.sharedFrac = 0.28;
+        p.streamFrac = 0.004;
+        p.privBlocksPerCore = 2560;
+        p.sharedBlocksPerCore = 512;
+        p.codeBlocks = 1024;
+        p.degreeMix = {0.55, 0.25, 0.15, 0.05};
+        p.writeFracShared = 0.12;
+        p.zipfGroup = 1.3;
+        v.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "swaptions";
+        p.ifetchFrac = 0.04;
+        p.sharedFrac = 0.22;
+        p.streamFrac = 0.002;
+        p.privBlocksPerCore = 2048;
+        p.sharedBlocksPerCore = 384;
+        p.codeBlocks = 512;
+        p.degreeMix = {0.7, 0.2, 0.08, 0.02};
+        p.zipfGroup = 1.3;
+        v.push_back(p);
+    }
+
+    // SPLASH-2 ---------------------------------------------------------------
+    {
+        // Barnes: 78% of allocated LLC blocks suffer lengthened
+        // accesses under in-LLC tracking (Fig. 7) — a small, heavily
+        // shared tree touched by many cores.
+        WorkloadProfile p;
+        p.name = "barnes";
+        p.ifetchFrac = 0.03;
+        p.sharedFrac = 0.70;
+        p.streamFrac = 0.0;
+        p.privBlocksPerCore = 768;
+        p.sharedBlocksPerCore = 896;
+        p.codeBlocks = 384;
+        p.degreeMix = {0.40, 0.30, 0.20, 0.10};
+        p.zipfShared = 0.35;
+        p.zipfGroup = 1.5;
+        p.readOnlyShared = 0.65;
+        p.writeFracShared = 0.08;
+        v.push_back(p);
+    }
+    {
+        // Ocean: 35% LLC miss rate; mostly nearest-neighbour (2-way)
+        // sharing at subgrid boundaries; benefits from smaller
+        // directories in the paper (Fig. 1 outlier).
+        WorkloadProfile p;
+        p.name = "ocean_cp";
+        p.ifetchFrac = 0.02;
+        p.sharedFrac = 0.20;
+        p.streamFrac = 0.036;
+        p.privBlocksPerCore = 2560;
+        p.sharedBlocksPerCore = 512;
+        p.codeBlocks = 256;
+        p.degreeMix = {0.92, 0.06, 0.015, 0.005};
+        p.writeFracShared = 0.30;
+        p.zipfShared = 0.2;
+        v.push_back(p);
+    }
+
+    // SPEC OMP ---------------------------------------------------------------
+    {
+        // 314.mgrid: streaming stencil, 78% LLC miss rate.
+        WorkloadProfile p;
+        p.name = "314.mgrid";
+        p.ifetchFrac = 0.02;
+        p.sharedFrac = 0.06;
+        p.streamFrac = 0.095;
+        p.privBlocksPerCore = 2048;
+        p.sharedBlocksPerCore = 192;
+        p.codeBlocks = 192;
+        p.degreeMix = {0.85, 0.10, 0.04, 0.01};
+        v.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "316.applu";
+        p.ifetchFrac = 0.03;
+        p.sharedFrac = 0.26;
+        p.streamFrac = 0.005;
+        p.migratoryFrac = 0.15;
+        p.migBlocksPerCore = 32;
+        p.privBlocksPerCore = 2560;
+        p.sharedBlocksPerCore = 512;
+        p.codeBlocks = 256;
+        p.degreeMix = {0.75, 0.15, 0.08, 0.02};
+        v.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "324.apsi";
+        p.ifetchFrac = 0.03;
+        p.sharedFrac = 0.10;
+        p.streamFrac = 0.005;
+        p.privBlocksPerCore = 2048;
+        p.sharedBlocksPerCore = 256;
+        p.codeBlocks = 256;
+        p.degreeMix = {0.8, 0.12, 0.06, 0.02};
+        v.push_back(p);
+    }
+    {
+        // 330.art: 63% LLC miss rate.
+        WorkloadProfile p;
+        p.name = "330.art";
+        p.ifetchFrac = 0.02;
+        p.sharedFrac = 0.10;
+        p.streamFrac = 0.062;
+        p.privBlocksPerCore = 2048;
+        p.sharedBlocksPerCore = 256;
+        p.codeBlocks = 192;
+        p.degreeMix = {0.7, 0.2, 0.08, 0.02};
+        v.push_back(p);
+    }
+
+    // Commercial (PIN-trace applications in the paper) -----------------------
+    {
+        WorkloadProfile p;
+        p.name = "SPEC_JBB";
+        p.ifetchFrac = 0.15;
+        p.sharedFrac = 0.32;
+        p.streamFrac = 0.004;
+        p.privBlocksPerCore = 2560;
+        p.sharedBlocksPerCore = 768;
+        p.codeBlocks = 3072;
+        p.degreeMix = {0.35, 0.25, 0.25, 0.15};
+        p.writeFracShared = 0.10;
+        p.zipfGroup = 1.3;
+        p.zipfShared = 0.8;
+        p.zipfCode = 1.1;
+        v.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "SPEC_Web-B";
+        p.ifetchFrac = 0.20;
+        p.sharedFrac = 0.45;
+        p.streamFrac = 0.032;
+        p.privBlocksPerCore = 2560;
+        p.sharedBlocksPerCore = 1024;
+        p.codeBlocks = 4096;
+        p.degreeMix = {0.30, 0.25, 0.25, 0.20};
+        p.zipfGroup = 1.3;
+        p.zipfShared = 0.8;
+        p.zipfCode = 1.1;
+        v.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "SPEC_Web-E";
+        p.ifetchFrac = 0.20;
+        p.sharedFrac = 0.44;
+        p.streamFrac = 0.05;
+        p.privBlocksPerCore = 2560;
+        p.sharedBlocksPerCore = 1024;
+        p.codeBlocks = 4096;
+        p.degreeMix = {0.30, 0.25, 0.25, 0.20};
+        p.zipfGroup = 1.3;
+        p.zipfShared = 0.8;
+        p.zipfCode = 1.1;
+        v.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "SPEC_Web-S";
+        p.ifetchFrac = 0.20;
+        p.sharedFrac = 0.42;
+        p.streamFrac = 0.047;
+        p.privBlocksPerCore = 2560;
+        p.sharedBlocksPerCore = 896;
+        p.codeBlocks = 4096;
+        p.degreeMix = {0.32, 0.26, 0.24, 0.18};
+        p.zipfGroup = 1.3;
+        p.zipfShared = 0.8;
+        p.zipfCode = 1.1;
+        v.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "TPC-C";
+        p.ifetchFrac = 0.18;
+        p.sharedFrac = 0.50;
+        p.streamFrac = 0.004;
+        p.privBlocksPerCore = 2560;
+        p.sharedBlocksPerCore = 1024;
+        p.codeBlocks = 4096;
+        p.degreeMix = {0.30, 0.25, 0.25, 0.20};
+        p.writeFracShared = 0.05;
+        p.zipfGroup = 1.3;
+        p.zipfShared = 0.8;
+        p.zipfCode = 1.1;
+        p.readOnlyShared = 0.6;
+        v.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "TPC-E";
+        p.ifetchFrac = 0.18;
+        p.sharedFrac = 0.48;
+        p.streamFrac = 0.004;
+        p.privBlocksPerCore = 2560;
+        p.sharedBlocksPerCore = 1024;
+        p.codeBlocks = 4096;
+        p.degreeMix = {0.32, 0.26, 0.24, 0.18};
+        p.writeFracShared = 0.08;
+        p.zipfGroup = 1.3;
+        p.zipfShared = 0.8;
+        p.zipfCode = 1.1;
+        v.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "TPC-H";
+        p.ifetchFrac = 0.12;
+        p.sharedFrac = 0.45;
+        p.streamFrac = 0.005;
+        p.privBlocksPerCore = 2560;
+        p.sharedBlocksPerCore = 1024;
+        p.codeBlocks = 3072;
+        p.degreeMix = {0.28, 0.26, 0.26, 0.20};
+        p.writeFracShared = 0.02;
+        p.zipfGroup = 1.3;
+        p.zipfShared = 0.8;
+        p.zipfCode = 1.1;
+        v.push_back(p);
+    }
+
+    // SPECjvm -----------------------------------------------------------------
+    {
+        WorkloadProfile p;
+        p.name = "sunflow";
+        p.ifetchFrac = 0.10;
+        p.sharedFrac = 0.25;
+        p.streamFrac = 0.003;
+        p.privBlocksPerCore = 2560;
+        p.sharedBlocksPerCore = 512;
+        p.codeBlocks = 2048;
+        p.degreeMix = {0.55, 0.25, 0.15, 0.05};
+        p.zipfGroup = 1.3;
+        p.zipfCode = 1.1;
+        v.push_back(p);
+    }
+    {
+        WorkloadProfile p;
+        p.name = "compress";
+        p.ifetchFrac = 0.08;
+        p.sharedFrac = 0.06;
+        p.streamFrac = 0.0025;
+        p.privBlocksPerCore = 2048;
+        p.sharedBlocksPerCore = 128;
+        p.codeBlocks = 1024;
+        p.degreeMix = {0.7, 0.2, 0.08, 0.02};
+        v.push_back(p);
+    }
+    return v;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+allProfiles()
+{
+    static const std::vector<WorkloadProfile> profiles = buildProfiles();
+    return profiles;
+}
+
+const WorkloadProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &p : allProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown workload profile: ", name);
+}
+
+} // namespace tinydir

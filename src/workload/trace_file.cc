@@ -1,0 +1,149 @@
+#include "workload/trace_file.hh"
+
+#include <cstring>
+
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+namespace
+{
+
+constexpr char magic[4] = {'T', 'D', 'T', 'R'};
+constexpr std::uint32_t version = 1;
+constexpr std::size_t recordBytes = 8 + 4 + 1;
+
+std::uint64_t
+headerBytes(unsigned num_cores)
+{
+    return 4 + 4 + 4 + 8ull * num_cores;
+}
+
+void
+putU32(std::ostream &os, std::uint32_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), 4);
+}
+
+void
+putU64(std::ostream &os, std::uint64_t v)
+{
+    os.write(reinterpret_cast<const char *>(&v), 8);
+}
+
+std::uint32_t
+getU32(std::istream &is)
+{
+    std::uint32_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), 4);
+    return v;
+}
+
+std::uint64_t
+getU64(std::istream &is)
+{
+    std::uint64_t v = 0;
+    is.read(reinterpret_cast<char *>(&v), 8);
+    return v;
+}
+
+} // namespace
+
+std::vector<std::uint64_t>
+TraceFileWriter::write(const std::string &path,
+                       std::vector<std::unique_ptr<AccessStream>> streams)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    fatal_if(!os, "cannot open trace file for writing: ", path);
+    const auto num_cores = static_cast<unsigned>(streams.size());
+    // Header with per-core counts patched in afterwards.
+    os.write(magic, 4);
+    putU32(os, version);
+    putU32(os, num_cores);
+    std::vector<std::uint64_t> counts(num_cores, 0);
+    for (unsigned c = 0; c < num_cores; ++c)
+        putU64(os, 0);
+
+    TraceAccess a;
+    for (unsigned c = 0; c < num_cores; ++c) {
+        while (streams[c] && streams[c]->next(a)) {
+            putU64(os, a.addr);
+            putU32(os, static_cast<std::uint32_t>(
+                           std::min<Cycle>(a.gap, ~0u)));
+            const auto t = static_cast<char>(a.type);
+            os.write(&t, 1);
+            ++counts[c];
+        }
+    }
+    // Patch the counts.
+    os.seekp(12);
+    for (unsigned c = 0; c < num_cores; ++c)
+        putU64(os, counts[c]);
+    fatal_if(!os, "short write to trace file: ", path);
+    return counts;
+}
+
+TraceFileInfo
+traceFileInfo(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatal_if(!is, "cannot open trace file: ", path);
+    char m[4];
+    is.read(m, 4);
+    fatal_if(!is || std::memcmp(m, magic, 4) != 0,
+             "not a tinydir trace file: ", path);
+    const std::uint32_t v = getU32(is);
+    fatal_if(v != version, "unsupported trace version ", v, " in ",
+             path);
+    TraceFileInfo info;
+    info.numCores = getU32(is);
+    fatal_if(info.numCores == 0 || info.numCores > maxCores,
+             "implausible core count in trace: ", info.numCores);
+    info.accessesPerCore.resize(info.numCores);
+    for (auto &n : info.accessesPerCore)
+        n = getU64(is);
+    fatal_if(!is, "truncated trace header: ", path);
+    return info;
+}
+
+TraceFileStream::TraceFileStream(const std::string &path, unsigned core)
+    : in(path, std::ios::binary)
+{
+    fatal_if(!in, "cannot open trace file: ", path);
+    const TraceFileInfo info = traceFileInfo(path);
+    fatal_if(core >= info.numCores, "trace has no core ", core);
+    std::uint64_t offset = headerBytes(info.numCores);
+    for (unsigned c = 0; c < core; ++c)
+        offset += info.accessesPerCore[c] * recordBytes;
+    in.seekg(static_cast<std::streamoff>(offset));
+    remaining = info.accessesPerCore[core];
+}
+
+bool
+TraceFileStream::next(TraceAccess &out)
+{
+    if (remaining == 0)
+        return false;
+    --remaining;
+    out.addr = getU64(in);
+    out.gap = getU32(in);
+    char t = 0;
+    in.read(&t, 1);
+    fatal_if(!in, "truncated trace record");
+    out.type = static_cast<AccessType>(t);
+    return true;
+}
+
+std::vector<std::unique_ptr<AccessStream>>
+openTraceStreams(const std::string &path)
+{
+    const TraceFileInfo info = traceFileInfo(path);
+    std::vector<std::unique_ptr<AccessStream>> streams;
+    streams.reserve(info.numCores);
+    for (unsigned c = 0; c < info.numCores; ++c)
+        streams.push_back(std::make_unique<TraceFileStream>(path, c));
+    return streams;
+}
+
+} // namespace tinydir

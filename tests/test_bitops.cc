@@ -1,0 +1,65 @@
+/** @file Unit tests for common/bitops.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+
+using namespace tinydir;
+
+TEST(Bitops, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(Bitops, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(4), 2u);
+    EXPECT_EQ(floorLog2(1ull << 42), 42u);
+    EXPECT_EQ(floorLog2((1ull << 42) + 5), 42u);
+}
+
+TEST(Bitops, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(4), 2u);
+    EXPECT_EQ(ceilLog2(5), 3u);
+    EXPECT_EQ(ceilLog2(128), 7u);
+    EXPECT_EQ(ceilLog2(129), 8u);
+}
+
+TEST(Bitops, DivCeil)
+{
+    EXPECT_EQ(divCeil(0, 8), 0u);
+    EXPECT_EQ(divCeil(1, 8), 1u);
+    EXPECT_EQ(divCeil(8, 8), 1u);
+    EXPECT_EQ(divCeil(9, 8), 2u);
+    EXPECT_EQ(divCeil(11, 8), 2u);
+}
+
+TEST(Bitops, Mix64Deterministic)
+{
+    EXPECT_EQ(mix64(42), mix64(42));
+    EXPECT_NE(mix64(42), mix64(43));
+}
+
+TEST(Bitops, Mix64SpreadsLowBits)
+{
+    // Consecutive inputs should land in different low-bit buckets most
+    // of the time; this underpins synthetic address spreading.
+    unsigned same_bucket = 0;
+    for (std::uint64_t i = 0; i < 1024; ++i) {
+        if ((mix64(i) & 0xff) == (mix64(i + 1) & 0xff))
+            ++same_bucket;
+    }
+    EXPECT_LT(same_bucket, 32u);
+}

@@ -1,0 +1,149 @@
+/** @file Unit tests for the generic set-associative array. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/cache_array.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+struct Entry
+{
+    Addr tag = 0;
+    bool valid = false;
+};
+
+} // namespace
+
+TEST(CacheArray, FindMissOnEmpty)
+{
+    CacheArray<Entry> arr(4, 2, ReplPolicy::Lru);
+    EXPECT_EQ(arr.find(0, 42), nullptr);
+    EXPECT_EQ(arr.findWay(3, 42), -1);
+}
+
+TEST(CacheArray, InsertAndFind)
+{
+    CacheArray<Entry> arr(4, 2, ReplPolicy::Lru);
+    unsigned w = arr.victimWay(1);
+    arr.way(1, w) = {100, true};
+    arr.touch(1, w);
+    ASSERT_NE(arr.find(1, 100), nullptr);
+    EXPECT_EQ(arr.find(0, 100), nullptr); // wrong set
+}
+
+TEST(CacheArray, VictimPrefersInvalid)
+{
+    CacheArray<Entry> arr(1, 4, ReplPolicy::Lru);
+    for (unsigned w = 0; w < 3; ++w) {
+        arr.way(0, w) = {w + 10, true};
+        arr.touch(0, w);
+    }
+    EXPECT_EQ(arr.victimWay(0), 3u);
+}
+
+TEST(CacheArray, LruEvictsOldest)
+{
+    CacheArray<Entry> arr(1, 4, ReplPolicy::Lru);
+    for (unsigned w = 0; w < 4; ++w) {
+        arr.way(0, w) = {w + 10, true};
+        arr.touch(0, w);
+    }
+    // Refresh way 0; oldest is now way 1.
+    arr.touch(0, 0);
+    EXPECT_EQ(arr.victimWay(0), 1u);
+    arr.touch(0, 1);
+    EXPECT_EQ(arr.victimWay(0), 2u);
+}
+
+TEST(CacheArray, DemoteMakesVictim)
+{
+    CacheArray<Entry> arr(1, 4, ReplPolicy::Lru);
+    for (unsigned w = 0; w < 4; ++w) {
+        arr.way(0, w) = {w + 10, true};
+        arr.touch(0, w);
+    }
+    arr.demote(0, 3);
+    EXPECT_EQ(arr.victimWay(0), 3u);
+}
+
+TEST(CacheArray, NruTwoPassBehaviour)
+{
+    CacheArray<Entry> arr(1, 4, ReplPolicy::Nru);
+    for (unsigned w = 0; w < 4; ++w) {
+        arr.way(0, w) = {w + 10, true};
+        arr.touch(0, w); // all recently used
+    }
+    // All NRU bits clear: the array resets them and picks way 0.
+    EXPECT_EQ(arr.victimWay(0), 0u);
+    // After the reset pass every way is old; touching way 0 protects
+    // it, so the next victim is way 1.
+    arr.touch(0, 0);
+    EXPECT_EQ(arr.victimWay(0), 1u);
+}
+
+TEST(CacheArray, PinnedWaysAreNeverVictims)
+{
+    CacheArray<Entry> arr(1, 4, ReplPolicy::Lru);
+    for (unsigned w = 0; w < 4; ++w) {
+        arr.way(0, w) = {w + 10, true};
+        arr.touch(0, w);
+    }
+    std::vector<bool> pinned{true, true, false, false};
+    for (int i = 0; i < 16; ++i) {
+        unsigned v = arr.victimWay(0, &pinned);
+        EXPECT_GE(v, 2u);
+    }
+}
+
+TEST(CacheArray, RandomVictimRespectsPins)
+{
+    CacheArray<Entry> arr(1, 4, ReplPolicy::Random);
+    for (unsigned w = 0; w < 4; ++w)
+        arr.way(0, w) = {w + 10, true};
+    std::vector<bool> pinned{true, false, true, true};
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(arr.victimWay(0, &pinned), 1u);
+}
+
+TEST(CacheArray, ResetInvalidatesAll)
+{
+    CacheArray<Entry> arr(2, 2, ReplPolicy::Lru);
+    arr.way(0, 0) = {42, true};
+    arr.reset();
+    EXPECT_EQ(arr.find(0, 42), nullptr);
+}
+
+/** Parameterized sweep: fill-then-thrash keeps exactly assoc entries. */
+class CacheArrayAssoc : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheArrayAssoc, WorkingSetBoundedByAssoc)
+{
+    const unsigned assoc = GetParam();
+    CacheArray<Entry> arr(1, assoc, ReplPolicy::Lru);
+    for (Addr t = 0; t < 100; ++t) {
+        if (arr.findWay(0, t) < 0) {
+            unsigned w = arr.victimWay(0);
+            arr.way(0, w) = {t, true};
+        }
+        arr.touch(0, static_cast<unsigned>(arr.findWay(0, t)));
+    }
+    std::set<Addr> live;
+    for (unsigned w = 0; w < assoc; ++w) {
+        ASSERT_TRUE(arr.way(0, w).valid);
+        live.insert(arr.way(0, w).tag);
+    }
+    EXPECT_EQ(live.size(), assoc);
+    // With LRU the survivors are the last `assoc` tags.
+    for (Addr t = 100 - assoc; t < 100; ++t)
+        EXPECT_TRUE(live.count(t)) << "missing tag " << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Assocs, CacheArrayAssoc,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));

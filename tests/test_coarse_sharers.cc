@@ -1,0 +1,139 @@
+/** @file Tests of coarse sharer vectors on the sparse directory. */
+
+#include <gtest/gtest.h>
+
+#include "proto/engine.hh"
+#include "test_util.hh"
+
+using namespace tinydir;
+using tinydir::test::Harness;
+using tinydir::test::smallConfig;
+
+namespace
+{
+
+SystemConfig
+coarseCfg(unsigned grain)
+{
+    SystemConfig cfg = smallConfig(TrackerKind::SparseDir);
+    cfg.sharerGrain = grain;
+    return cfg;
+}
+
+} // namespace
+
+TEST(CoarseSharers, ConfigValidation)
+{
+    SystemConfig cfg = smallConfig(TrackerKind::TinyDir, 1.0 / 32);
+    cfg.sharerGrain = 2;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "sparse directory only");
+    SystemConfig bad = smallConfig(TrackerKind::SparseDir);
+    bad.sharerGrain = 3;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "power of two");
+}
+
+TEST(CoarseSharers, TrackedSetIsGroupSuperset)
+{
+    Harness h(coarseCfg(4));
+    h.load(0, 100);
+    h.load(1, 100); // sharers {0,1} -> coarse group {0,1,2,3}
+    auto v = h.sys.tracker->view(100);
+    ASSERT_TRUE(v.ts.shared());
+    for (CoreId c = 0; c < 4; ++c)
+        EXPECT_TRUE(v.ts.sharers.contains(c));
+    for (CoreId c = 4; c < 8; ++c)
+        EXPECT_FALSE(v.ts.sharers.contains(c));
+    h.expectCoherent();
+}
+
+TEST(CoarseSharers, GroupmateReadStaysTwoHop)
+{
+    Harness h(coarseCfg(4));
+    h.load(0, 100);
+    h.load(1, 100);
+    // Core 2 is in the tracked group but holds nothing; its read must
+    // complete normally (two-hop LLC hit).
+    const Counter lengthened =
+        h.sys.engine.stats.lengthenedReads.value();
+    h.load(2, 100);
+    EXPECT_EQ(h.stateAt(2, 100), MesiState::S);
+    EXPECT_EQ(h.sys.engine.stats.lengthenedReads.value(), lengthened);
+    h.expectCoherent();
+}
+
+TEST(CoarseSharers, InvalidationVisitsWholeGroup)
+{
+    Harness grain1(coarseCfg(1));
+    Harness grain4(coarseCfg(4));
+    for (auto *h : {&grain1, &grain4}) {
+        h->load(0, 100);
+        h->load(1, 100);
+        h->store(6, 100);
+        EXPECT_EQ(h->stateAt(0, 100), MesiState::I);
+        EXPECT_EQ(h->stateAt(1, 100), MesiState::I);
+        EXPECT_EQ(h->stateAt(6, 100), MesiState::M);
+        std::string msg;
+        EXPECT_TRUE(h->sys.verifyCoherence(&msg)) << msg;
+    }
+    // The coarse vector sends invalidations to the groupmates too.
+    EXPECT_GT(grain4.sys.engine.stats.invalidations.value(),
+              grain1.sys.engine.stats.invalidations.value());
+}
+
+TEST(CoarseSharers, SramBitsShrinkWithGrain)
+{
+    std::uint64_t prev = ~0ull;
+    for (unsigned grain : {1u, 2u, 4u, 8u}) {
+        SystemConfig cfg = coarseCfg(grain);
+        Harness h(cfg);
+        const std::uint64_t bits = h.sys.tracker->trackerSramBits();
+        EXPECT_LT(bits, prev);
+        prev = bits;
+    }
+}
+
+TEST(CoarseSharers, CoherentUnderStress)
+{
+    Harness h(coarseCfg(2));
+    Rng rng(77);
+    for (unsigned i = 0; i < 4000; ++i) {
+        const CoreId c = static_cast<CoreId>(rng.below(8));
+        TraceAccess a;
+        a.gap = 1 + rng.below(6);
+        a.type = rng.chance(0.35) ? AccessType::Store
+                                  : AccessType::Load;
+        a.addr = rng.below(96) << blockShift;
+        const Cycle issue = h.sys.cores[c].clock + a.gap;
+        h.sys.cores[c].clock = h.sys.executeAccess(c, a, issue);
+        if (i % 500 == 0)
+            h.expectCoherent();
+    }
+    h.expectCoherent();
+}
+
+TEST(CoarseSharers, PerformanceCloseToFullMap)
+{
+    // The paper's premise for entry-width reduction: coarse vectors
+    // barely change performance while shrinking storage.
+    double exact = 0, coarse = 0;
+    for (unsigned grain : {1u, 4u}) {
+        SystemConfig cfg = coarseCfg(grain);
+        Harness h(cfg);
+        Rng rng(5);
+        for (unsigned i = 0; i < 6000; ++i) {
+            const CoreId c = static_cast<CoreId>(rng.below(8));
+            TraceAccess a;
+            a.gap = 4;
+            a.type = rng.chance(0.2) ? AccessType::Store
+                                     : AccessType::Load;
+            a.addr = rng.below(256) << blockShift;
+            const Cycle issue = h.sys.cores[c].clock + a.gap;
+            h.sys.cores[c].clock = h.sys.executeAccess(c, a, issue);
+        }
+        (grain == 1 ? exact : coarse) =
+            static_cast<double>(h.sys.execCycles());
+    }
+    EXPECT_NEAR(coarse / exact, 1.0, 0.05);
+}

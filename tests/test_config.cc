@@ -1,0 +1,83 @@
+/** @file Tests of the Table I sizing invariants in SystemConfig. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+
+using namespace tinydir;
+
+TEST(Config, TableIDefaults)
+{
+    SystemConfig cfg;
+    cfg.validate();
+    // N = 128 cores x (128 KB / 64 B) = 256 K blocks.
+    EXPECT_EQ(cfg.aggregateL2Blocks(), 262144u);
+    // LLC holds 2N blocks = 512 K blocks = 32 MB.
+    EXPECT_EQ(cfg.llcBlocksTotal(), 524288u);
+    EXPECT_EQ(cfg.llcBanks(), 128u);
+    // 512 K blocks / 128 banks / 16 ways = 256 sets per bank.
+    EXPECT_EQ(cfg.llcSetsPerBank(), 256u);
+    // 2x directory: 512 K entries, 4 K per slice.
+    EXPECT_EQ(cfg.dirEntriesTotal(), 524288u);
+    EXPECT_EQ(cfg.dirEntriesPerSlice(), 4096u);
+    EXPECT_EQ(cfg.effectiveDirAssoc(), 8u);
+    // 128 cores -> 16x8 mesh.
+    EXPECT_EQ(cfg.meshWidth(), 16u);
+    EXPECT_EQ(cfg.meshHeight(), 8u);
+}
+
+TEST(Config, TinySizesMatchPaper)
+{
+    SystemConfig cfg;
+    // Paper Section V: per-slice entries are 64, 32, 16, 8 for
+    // 1/32x .. 1/256x; the last two are fully associative.
+    cfg.dirSizeFactor = 1.0 / 32;
+    EXPECT_EQ(cfg.dirEntriesPerSlice(), 64u);
+    EXPECT_EQ(cfg.effectiveDirAssoc(), 8u);
+    cfg.dirSizeFactor = 1.0 / 64;
+    EXPECT_EQ(cfg.dirEntriesPerSlice(), 32u);
+    EXPECT_EQ(cfg.effectiveDirAssoc(), 8u);
+    cfg.dirSizeFactor = 1.0 / 128;
+    EXPECT_EQ(cfg.dirEntriesPerSlice(), 16u);
+    EXPECT_EQ(cfg.effectiveDirAssoc(), 16u); // fully associative
+    cfg.dirSizeFactor = 1.0 / 256;
+    EXPECT_EQ(cfg.dirEntriesPerSlice(), 8u);
+    EXPECT_EQ(cfg.effectiveDirAssoc(), 8u); // fully associative
+}
+
+TEST(Config, ScaledPreservesRatios)
+{
+    for (unsigned cores : {8u, 16u, 32u, 64u}) {
+        SystemConfig cfg = SystemConfig::scaled(cores);
+        cfg.validate();
+        EXPECT_EQ(cfg.llcBlocksTotal(), 2 * cfg.aggregateL2Blocks());
+        EXPECT_EQ(cfg.llcBanks(), cores);
+        EXPECT_EQ(cfg.dirEntriesTotal(), 2 * cfg.aggregateL2Blocks());
+        EXPECT_GE(cfg.meshWidth() * cfg.meshHeight(), cores);
+    }
+}
+
+TEST(Config, HalvedLlcForSection5A)
+{
+    SystemConfig cfg;
+    cfg.llcBlocksPerN = 1.0; // 16 MB LLC
+    cfg.validate();
+    EXPECT_EQ(cfg.llcBlocksTotal(), 262144u);
+    EXPECT_EQ(cfg.llcSetsPerBank(), 128u);
+}
+
+TEST(Config, NamesRoundTrip)
+{
+    EXPECT_EQ(toString(TrackerKind::TinyDir), "tiny");
+    EXPECT_EQ(toString(TrackerKind::SparseDir), "sparse");
+    EXPECT_EQ(toString(TinyPolicy::Dstra), "DSTRA");
+    EXPECT_EQ(toString(TinyPolicy::DstraGnru), "DSTRA+gNRU");
+}
+
+TEST(ConfigDeath, RejectsBadGeometry)
+{
+    SystemConfig cfg;
+    cfg.numCores = 96; // not a power of two
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "power of two");
+}

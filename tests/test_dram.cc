@@ -1,0 +1,97 @@
+/** @file Unit tests for the DDR3 timing model. */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "mem/dram.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+SystemConfig
+smallCfg()
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    return cfg;
+}
+
+} // namespace
+
+TEST(Dram, FirstAccessPaysActivate)
+{
+    auto cfg = smallCfg();
+    Dram d(cfg);
+    Cycle done = d.access(0, 1000);
+    EXPECT_EQ(done, 1000 + cfg.dramRcd + cfg.dramCas + cfg.dramBurst);
+    EXPECT_EQ(d.rowMisses(), 1u);
+}
+
+TEST(Dram, RowHitIsFaster)
+{
+    auto cfg = smallCfg();
+    Dram d(cfg);
+    Cycle t1 = d.access(0, 0);
+    // Same block again after the bank freed: row hit.
+    Cycle t2 = d.access(0, t1 + 100);
+    EXPECT_EQ(t2 - (t1 + 100), cfg.dramCas + cfg.dramBurst);
+    EXPECT_EQ(d.rowHits(), 1u);
+}
+
+TEST(Dram, RowConflictPaysPrecharge)
+{
+    auto cfg = smallCfg();
+    Dram d(cfg);
+    Cycle t1 = d.access(0, 0);
+    // A block far away in the same bank (different row): channel 0,
+    // bank 0 requires block % channels == 0 and
+    // (block/channels) % banks == 0.
+    const Addr far = static_cast<Addr>(cfg.memChannels) *
+        cfg.memBanksPerChannel * (cfg.dramRowBytes / blockBytes) * 8;
+    Cycle t2 = d.access(far, t1 + 10);
+    EXPECT_EQ(t2 - (t1 + 10),
+              cfg.dramRp + cfg.dramRcd + cfg.dramCas + cfg.dramBurst);
+}
+
+TEST(Dram, BankQueueingSerializes)
+{
+    auto cfg = smallCfg();
+    Dram d(cfg);
+    Cycle t1 = d.access(0, 0);
+    // Request to the same bank while busy starts after it frees.
+    Cycle t2 = d.access(0, 1);
+    EXPECT_GE(t2, t1 + cfg.dramCas);
+}
+
+TEST(Dram, ChannelsAreIndependent)
+{
+    auto cfg = smallCfg();
+    Dram d(cfg);
+    Cycle t1 = d.access(0, 0);
+    Cycle t2 = d.access(1, 0); // different channel
+    // Both should complete with no mutual queueing.
+    EXPECT_EQ(t1, t2);
+}
+
+TEST(Dram, ChannelMapCoversAll)
+{
+    auto cfg = smallCfg();
+    Dram d(cfg);
+    std::vector<bool> seen(cfg.memChannels, false);
+    for (Addr b = 0; b < 64; ++b)
+        seen[d.channelOf(b)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Dram, ResetClearsState)
+{
+    auto cfg = smallCfg();
+    Dram d(cfg);
+    d.access(0, 0);
+    d.reset();
+    EXPECT_EQ(d.accesses(), 0u);
+    Cycle done = d.access(0, 0);
+    EXPECT_EQ(done, cfg.dramRcd + cfg.dramCas + cfg.dramBurst);
+}

@@ -1,0 +1,68 @@
+/** @file Tests of the analytical energy model. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy.hh"
+
+using namespace tinydir;
+
+TEST(Energy, AccessEnergyGrowsSublinearly)
+{
+    const double e1 = EnergyModel::accessEnergy(1ull << 20);
+    const double e4 = EnergyModel::accessEnergy(1ull << 22);
+    EXPECT_GT(e4, e1);
+    EXPECT_NEAR(e4 / e1, 2.0, 1e-9); // sqrt(4x) = 2x
+    EXPECT_EQ(EnergyModel::accessEnergy(0), 0.0);
+}
+
+TEST(Energy, LeakageProportionalToCapacity)
+{
+    const double p1 = EnergyModel::leakagePower(1ull << 20);
+    const double p2 = EnergyModel::leakagePower(1ull << 21);
+    EXPECT_NEAR(p2 / p1, 2.0, 1e-9);
+}
+
+TEST(Energy, SmallerDirectoryLeaksLess)
+{
+    SystemConfig cfg;
+    EnergyModel em(cfg);
+    EnergyInput big, tiny;
+    big.llcBits = tiny.llcBits = 32ull * 8 * 1024 * 1024;
+    big.dirBits = 64ull * 1024 * 1024; // ~8 MB 2x directory
+    tiny.dirBits = 187ull * 1024 * 8;  // 187 KB tiny directory
+    big.cycles = tiny.cycles = 1'000'000'000;
+    big.llcTagAccesses = tiny.llcTagAccesses = 1'000'000;
+    big.llcDataAccesses = tiny.llcDataAccesses = 1'000'000;
+    big.dirAccesses = tiny.dirAccesses = 1'000'000;
+    const auto rb = em.compute(big);
+    const auto rt = em.compute(tiny);
+    EXPECT_LT(rt.leakageJ, rb.leakageJ);
+    EXPECT_LT(rt.dynamicJ, rb.dynamicJ); // smaller array per access
+    EXPECT_LT(rt.totalJ(), rb.totalJ());
+}
+
+TEST(Energy, LongerRunsLeakMore)
+{
+    SystemConfig cfg;
+    EnergyModel em(cfg);
+    EnergyInput a;
+    a.llcBits = 1ull << 28;
+    a.dirBits = 1ull << 20;
+    a.cycles = 1'000'000;
+    EnergyInput b = a;
+    b.cycles = 2'000'000;
+    EXPECT_NEAR(em.compute(b).leakageJ / em.compute(a).leakageJ, 2.0,
+                1e-9);
+}
+
+TEST(Energy, ExtraCoherenceWritesCostDynamicEnergy)
+{
+    SystemConfig cfg;
+    EnergyModel em(cfg);
+    EnergyInput a;
+    a.llcBits = 1ull << 28;
+    a.llcDataAccesses = 1'000'000;
+    EnergyInput b = a;
+    b.llcDataAccesses = 2'000'000;
+    EXPECT_GT(em.compute(b).dynamicJ, em.compute(a).dynamicJ);
+}

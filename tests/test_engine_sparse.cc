@@ -1,0 +1,194 @@
+/** @file Protocol tests of the engine with the sparse-directory baseline. */
+
+#include <gtest/gtest.h>
+
+#include "proto/engine.hh"
+#include "test_util.hh"
+
+using namespace tinydir;
+using tinydir::test::Harness;
+using tinydir::test::smallConfig;
+
+TEST(EngineSparse, LoadMissGrantsExclusive)
+{
+    Harness h(smallConfig(TrackerKind::SparseDir));
+    h.load(0, 100);
+    EXPECT_EQ(h.stateAt(0, 100), MesiState::E);
+    auto v = h.sys.tracker->view(100);
+    EXPECT_TRUE(v.ts.exclusive());
+    EXPECT_EQ(v.ts.owner, 0);
+    h.expectCoherent();
+}
+
+TEST(EngineSparse, IfetchGrantsShared)
+{
+    Harness h(smallConfig(TrackerKind::SparseDir));
+    h.ifetch(0, 100);
+    EXPECT_EQ(h.stateAt(0, 100), MesiState::S);
+    auto v = h.sys.tracker->view(100);
+    EXPECT_TRUE(v.ts.shared());
+    h.expectCoherent();
+}
+
+TEST(EngineSparse, SecondReaderSharesAndDowngradesOwner)
+{
+    Harness h(smallConfig(TrackerKind::SparseDir));
+    h.load(0, 100);
+    h.load(1, 100);
+    EXPECT_EQ(h.stateAt(0, 100), MesiState::S);
+    EXPECT_EQ(h.stateAt(1, 100), MesiState::S);
+    auto v = h.sys.tracker->view(100);
+    ASSERT_TRUE(v.ts.shared());
+    EXPECT_EQ(v.ts.sharers.count(), 2u);
+    EXPECT_EQ(h.sys.engine.stats.ownerForwards.value(), 1u);
+    h.expectCoherent();
+}
+
+TEST(EngineSparse, DirtySharingWritesBackToLlc)
+{
+    Harness h(smallConfig(TrackerKind::SparseDir));
+    h.store(0, 100); // GetX -> M
+    EXPECT_EQ(h.stateAt(0, 100), MesiState::M);
+    h.load(1, 100);  // forward, owner downgrades, LLC gets dirty data
+    LlcEntry *e = h.sys.llc.findData(100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(e->dirty);
+    EXPECT_EQ(h.stateAt(0, 100), MesiState::S);
+    h.expectCoherent();
+}
+
+TEST(EngineSparse, StoreToSharedInvalidatesAll)
+{
+    Harness h(smallConfig(TrackerKind::SparseDir));
+    for (CoreId c = 0; c < 4; ++c)
+        h.load(c, 100);
+    h.expectCoherent();
+    h.store(5, 100); // GetX: all four sharers invalidated
+    for (CoreId c = 0; c < 4; ++c)
+        EXPECT_EQ(h.stateAt(c, 100), MesiState::I);
+    EXPECT_EQ(h.stateAt(5, 100), MesiState::M);
+    EXPECT_GE(h.sys.engine.stats.invalidations.value(), 4u);
+    h.expectCoherent();
+}
+
+TEST(EngineSparse, UpgradeFromSharer)
+{
+    Harness h(smallConfig(TrackerKind::SparseDir));
+    h.load(0, 100);
+    h.load(1, 100);
+    h.store(0, 100); // S -> Upg -> M
+    EXPECT_EQ(h.stateAt(0, 100), MesiState::M);
+    EXPECT_EQ(h.stateAt(1, 100), MesiState::I);
+    EXPECT_EQ(h.sys.engine.stats.upgradeMisses.value(), 1u);
+    h.expectCoherent();
+}
+
+TEST(EngineSparse, SilentEtoMUpgrade)
+{
+    Harness h(smallConfig(TrackerKind::SparseDir));
+    h.load(0, 100);  // E
+    h.store(0, 100); // silent E->M, no home transaction
+    EXPECT_EQ(h.stateAt(0, 100), MesiState::M);
+    EXPECT_EQ(h.sys.engine.stats.upgradeMisses.value(), 0u);
+    // Home still sees "exclusively owned".
+    auto v = h.sys.tracker->view(100);
+    EXPECT_TRUE(v.ts.exclusive());
+    h.expectCoherent();
+}
+
+TEST(EngineSparse, GetXToOwnerForwardInvalidates)
+{
+    Harness h(smallConfig(TrackerKind::SparseDir));
+    h.store(0, 100);
+    h.store(1, 100);
+    EXPECT_EQ(h.stateAt(0, 100), MesiState::I);
+    EXPECT_EQ(h.stateAt(1, 100), MesiState::M);
+    h.expectCoherent();
+}
+
+TEST(EngineSparse, TwoHopFasterThanThreeHop)
+{
+    Harness h(smallConfig(TrackerKind::SparseDir));
+    // Place the home bank away from both the owner and the readers so
+    // every leg of the three-hop path pays mesh latency.
+    const Addr blk = 803; // bank 3
+    h.load(0, blk);
+    // Let the busy window from the fill drain before each read.
+    const Cycle three_hop = h.step(1, AccessType::Load, blk, 500);
+    // Two-hop: read of an (LLC-resident) shared block by a third
+    // core, issued well after the forward's busy window drained.
+    const Cycle two_hop = h.step(2, AccessType::Load, blk, 5000);
+    EXPECT_LT(two_hop, three_hop);
+}
+
+TEST(EngineSparse, LengthenedReadsNeverHappenInBaseline)
+{
+    Harness h(smallConfig(TrackerKind::SparseDir));
+    for (CoreId c = 0; c < 8; ++c)
+        h.load(c, 4096 + c);
+    for (CoreId c = 1; c < 8; ++c)
+        h.load(c, 4096);
+    EXPECT_EQ(h.sys.engine.stats.lengthenedReads.value(), 0u);
+}
+
+TEST(EngineSparse, DirectoryEvictionBackInvalidates)
+{
+    // An extreme sparse directory on 8 cores: 8 entries total, one
+    // per slice. Two blocks of the same slice cannot coexist.
+    auto cfg = smallConfig(TrackerKind::SparseDir, 1.0 / 2048);
+    Harness h(cfg);
+    ASSERT_EQ(cfg.dirEntriesPerSlice(), 1u);
+    const Addr a = 8;  // bank 0
+    const Addr b = 16; // bank 0
+    h.load(0, a);
+    EXPECT_EQ(h.stateAt(0, a), MesiState::E);
+    h.load(1, b); // same slice: evicts a's entry, back-invalidates
+    EXPECT_EQ(h.stateAt(0, a), MesiState::I);
+    EXPECT_GE(h.sys.engine.stats.backInvals.value(), 1u);
+    h.expectCoherent();
+}
+
+TEST(EngineSparse, EvictionNoticesUpdateDirectory)
+{
+    auto cfg = smallConfig(TrackerKind::SparseDir);
+    // Tiny private caches so fills evict quickly.
+    cfg.l1Bytes = 4 * 2 * blockBytes;
+    cfg.l1Assoc = 2;
+    cfg.l2Bytes = 8 * 2 * blockBytes;
+    cfg.l2Assoc = 2;
+    Harness h(cfg);
+    for (Addr blk = 0; blk < 256; ++blk)
+        h.load(0, blk);
+    EXPECT_GT(h.sys.engine.stats.evictionNotices.value(), 0u);
+    h.expectCoherent();
+}
+
+TEST(EngineSparse, DramPathOnLlcMiss)
+{
+    Harness h(smallConfig(TrackerKind::SparseDir));
+    h.load(0, 12345);
+    EXPECT_EQ(h.sys.engine.stats.llcDataMisses.value(), 1u);
+    EXPECT_EQ(h.sys.dram.accesses(), 1u);
+    // Second access hits the LLC after the core drops it... it is
+    // still privately cached, so hit privately instead.
+    const Cycle lat = h.load(0, 12345);
+    EXPECT_EQ(lat, h.sys.cfg.l1Latency);
+}
+
+TEST(EngineSparse, TrafficAccumulatesInAllClasses)
+{
+    auto cfg = smallConfig(TrackerKind::SparseDir);
+    cfg.l1Bytes = 4 * 2 * blockBytes;
+    cfg.l1Assoc = 2;
+    cfg.l2Bytes = 8 * 2 * blockBytes;
+    cfg.l2Assoc = 2;
+    Harness h(cfg);
+    for (Addr blk = 0; blk < 128; ++blk)
+        h.load(0, blk);
+    h.load(1, 0);
+    h.store(2, 0);
+    const auto &t = h.sys.engine.stats.traffic;
+    EXPECT_GT(t.bytes(MsgClass::Processor), 0u);
+    EXPECT_GT(t.bytes(MsgClass::Writeback), 0u);
+    EXPECT_GT(t.bytes(MsgClass::Coherence), 0u);
+}

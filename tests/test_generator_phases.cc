@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Tests of the generator's steady-state machinery: warmup prologue,
+ * temporal windows, private hot/scratch split, and region
+ * decorrelation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/generator.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+std::shared_ptr<const SharedLayout>
+layoutFor(const char *app, unsigned cores = 16)
+{
+    SystemConfig cfg = SystemConfig::scaled(cores);
+    return std::make_shared<const SharedLayout>(profileByName(app),
+                                                cfg);
+}
+
+} // namespace
+
+TEST(Prologue, CoversPrivateCodeAndGroups)
+{
+    auto lay = layoutFor("TPC-C");
+    SystemConfig cfg = SystemConfig::scaled(16);
+    SyntheticStream s(lay, 2, 200000, cfg.seed, /*prologue=*/true);
+    const std::uint64_t plen = s.prologueLen();
+    ASSERT_GT(plen, lay->privSpan);
+    std::set<Addr> touched;
+    TraceAccess a;
+    for (std::uint64_t i = 0; i < plen; ++i) {
+        ASSERT_TRUE(s.next(a));
+        touched.insert(blockNumber(a.addr));
+    }
+    // The whole private region was touched.
+    const Addr priv_base = lay->privBase + 2 * lay->privStride;
+    for (std::uint64_t b = 0; b < lay->privSpan; ++b)
+        ASSERT_TRUE(touched.count(priv_base + b)) << b;
+    // Every block of every group of core 2 was touched.
+    for (unsigned g : lay->groupsOfCore[2]) {
+        const auto &grp = lay->groups[g];
+        for (std::uint64_t b = 0; b < grp.numBlocks; ++b)
+            ASSERT_TRUE(touched.count(grp.firstBlock + b));
+    }
+}
+
+TEST(Prologue, DisabledByDefaultInDirectConstruction)
+{
+    auto lay = layoutFor("barnes");
+    SystemConfig cfg = SystemConfig::scaled(16);
+    SyntheticStream s(lay, 0, 100, cfg.seed);
+    EXPECT_EQ(s.prologueLen(), 0u);
+}
+
+TEST(Prologue, MaxPrologueCoversEveryCore)
+{
+    auto lay = layoutFor("SPEC_Web-B");
+    SystemConfig cfg = SystemConfig::scaled(16);
+    const std::uint64_t mx = maxPrologueLen(*lay);
+    for (CoreId c = 0; c < 16; ++c) {
+        SyntheticStream s(lay, c, 1, cfg.seed, true);
+        EXPECT_LE(s.prologueLen(), mx);
+    }
+}
+
+TEST(Windows, SharedAccessesRotateOverTime)
+{
+    // The set of shared groups touched early differs from the set
+    // touched late (sliding window) while both stay within the shared
+    // region.
+    auto lay = layoutFor("TPC-C");
+    SystemConfig cfg = SystemConfig::scaled(16);
+    const auto &prof = profileByName("TPC-C");
+    SyntheticStream s(lay, 0, 4 * prof.windowPhaseLen, cfg.seed);
+    std::set<Addr> early, late;
+    TraceAccess a;
+    std::uint64_t i = 0;
+    const Addr shared_lo = lay->groups.front().firstBlock;
+    const Addr shared_hi = lay->groups.back().firstBlock +
+        lay->groups.back().numBlocks;
+    while (s.next(a)) {
+        const Addr b = blockNumber(a.addr);
+        if (b >= shared_lo && b < shared_hi) {
+            if (i < prof.windowPhaseLen)
+                early.insert(b);
+            else if (i >= 3 * prof.windowPhaseLen)
+                late.insert(b);
+        }
+        ++i;
+    }
+    ASSERT_FALSE(early.empty());
+    ASSERT_FALSE(late.empty());
+    unsigned overlap = 0;
+    for (Addr b : late)
+        overlap += early.count(b);
+    // The windows moved: late is not a subset of early.
+    EXPECT_LT(overlap, late.size());
+}
+
+TEST(Windows, PrivateRegionsAreDecorrelated)
+{
+    // Consecutive cores' private bases must not be congruent modulo
+    // the directory/LLC set span (the pathology that produced
+    // artificial set-conflict thrash).
+    auto lay = layoutFor("compress");
+    SystemConfig cfg = SystemConfig::scaled(16);
+    const std::uint64_t span = cfg.llcSetsPerBank() * cfg.llcBanks();
+    std::set<std::uint64_t> residues;
+    for (unsigned c = 0; c < 16; ++c)
+        residues.insert((lay->privBase + c * lay->privStride) % span);
+    EXPECT_GT(residues.size(), 8u);
+}
+
+TEST(Windows, PrivateHotSetIsSmallAndHot)
+{
+    auto lay = layoutFor("compress");
+    SystemConfig cfg = SystemConfig::scaled(16);
+    const auto &prof = profileByName("compress");
+    SyntheticStream s(lay, 1, 30000, cfg.seed);
+    std::map<Addr, unsigned> priv_counts;
+    TraceAccess a;
+    const Addr base = lay->privBase + 1 * lay->privStride;
+    while (s.next(a)) {
+        const Addr b = blockNumber(a.addr);
+        if (b >= base && b < base + lay->privSpan)
+            ++priv_counts[b - base];
+    }
+    // Hot-set offsets receive the majority of private traffic.
+    Counter hot = 0, total = 0;
+    for (const auto &[off, n] : priv_counts) {
+        total += n;
+        if (off < prof.privHotBlocks)
+            hot += n;
+    }
+    ASSERT_GT(total, 0u);
+    EXPECT_GT(static_cast<double>(hot) / total, 0.55);
+}
+
+TEST(Windows, ReadOnlyGroupsNeverWritten)
+{
+    auto lay = layoutFor("TPC-C");
+    SystemConfig cfg = SystemConfig::scaled(16);
+    // Collect read-only group ranges.
+    std::vector<std::pair<Addr, Addr>> ro;
+    for (const auto &g : lay->groups) {
+        if (g.readOnly)
+            ro.emplace_back(g.firstBlock, g.firstBlock + g.numBlocks);
+    }
+    ASSERT_FALSE(ro.empty());
+    for (CoreId c = 0; c < 4; ++c) {
+        SyntheticStream s(lay, c, 20000, cfg.seed);
+        TraceAccess a;
+        while (s.next(a)) {
+            if (a.type != AccessType::Store)
+                continue;
+            const Addr b = blockNumber(a.addr);
+            for (const auto &[lo, hi] : ro)
+                ASSERT_FALSE(b >= lo && b < hi)
+                    << "store to read-only block " << b;
+        }
+    }
+}

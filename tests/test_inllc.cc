@@ -1,0 +1,161 @@
+/** @file Protocol tests of in-LLC tracking (Section III). */
+
+#include <gtest/gtest.h>
+
+#include "proto/engine.hh"
+#include "test_util.hh"
+
+using namespace tinydir;
+using tinydir::test::Harness;
+using tinydir::test::smallConfig;
+
+TEST(InLlc, FillCorruptsLlcEntry)
+{
+    Harness h(smallConfig(TrackerKind::InLlc));
+    h.load(0, 100);
+    LlcEntry *e = h.sys.llc.findData(100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->meta, LlcMeta::CorruptExcl);
+    EXPECT_EQ(e->owner, 0);
+    h.expectCoherent();
+}
+
+TEST(InLlc, SharedReadIsThreeHopAndLengthened)
+{
+    Harness h(smallConfig(TrackerKind::InLlc));
+    h.load(0, 100);
+    h.load(1, 100); // E->S via owner forward: not lengthened
+    EXPECT_EQ(h.sys.engine.stats.lengthenedReads.value(), 0u);
+    LlcEntry *e = h.sys.llc.findData(100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->meta, LlcMeta::CorruptShared);
+    h.load(2, 100); // read of corrupted-shared block: lengthened
+    EXPECT_EQ(h.sys.engine.stats.lengthenedReads.value(), 1u);
+    EXPECT_EQ(e->stats.lengthened, 1u);
+    h.expectCoherent();
+}
+
+TEST(InLlc, LengthenedReadSlowerThanBaseline)
+{
+    Harness base(smallConfig(TrackerKind::SparseDir));
+    Harness illc(smallConfig(TrackerKind::InLlc));
+    for (auto *h : {&base, &illc}) {
+        h->load(0, 96);
+        h->load(1, 96);
+    }
+    // Third reader: 2-hop in baseline, 3-hop in in-LLC.
+    const Cycle lat_base = base.load(2, 96);
+    const Cycle lat_illc = illc.load(2, 96);
+    EXPECT_GT(lat_illc, lat_base);
+}
+
+TEST(InLlc, CodeLengthenedAccountedSeparately)
+{
+    Harness h(smallConfig(TrackerKind::InLlc));
+    h.ifetch(0, 100); // S with one sharer (corrupt shared)
+    h.ifetch(1, 100); // lengthened code read
+    EXPECT_EQ(h.sys.engine.stats.lengthenedReads.value(), 1u);
+    EXPECT_EQ(h.sys.engine.stats.lengthenedCode.value(), 1u);
+}
+
+TEST(InLlc, GetXOnCorruptSharedCollectsDataFromSharer)
+{
+    Harness h(smallConfig(TrackerKind::InLlc));
+    h.load(0, 100);
+    h.load(1, 100);
+    h.load(2, 100);
+    h.store(3, 100);
+    EXPECT_EQ(h.stateAt(3, 100), MesiState::M);
+    for (CoreId c = 0; c < 3; ++c)
+        EXPECT_EQ(h.stateAt(c, 100), MesiState::I);
+    LlcEntry *e = h.sys.llc.findData(100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->meta, LlcMeta::CorruptExcl);
+    EXPECT_EQ(e->owner, 3);
+    h.expectCoherent();
+}
+
+TEST(InLlc, PutMRestoresNormalDirty)
+{
+    auto cfg = smallConfig(TrackerKind::InLlc);
+    cfg.l1Bytes = 4 * 2 * blockBytes;
+    cfg.l1Assoc = 2;
+    cfg.l2Bytes = 8 * 2 * blockBytes;
+    cfg.l2Assoc = 2;
+    Harness h(cfg);
+    h.store(0, 16);
+    // Thrash core 0's private caches until block 16 is evicted (PutM).
+    for (Addr b = 1000; b < 1200; ++b)
+        h.load(0, b);
+    EXPECT_EQ(h.stateAt(0, 16), MesiState::I);
+    LlcEntry *e = h.sys.llc.findData(16);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->meta, LlcMeta::Normal);
+    EXPECT_TRUE(e->dirty);
+    h.expectCoherent();
+}
+
+TEST(InLlc, EvictionNoticeCarriesReconstructionBits)
+{
+    auto cfg = smallConfig(TrackerKind::InLlc);
+    Harness h(cfg);
+    EXPECT_EQ(h.sys.tracker->evictionNoticeExtraBytes(MesiState::E),
+              reconstructBytes(cfg.numCores));
+    EXPECT_EQ(h.sys.tracker->evictionNoticeExtraBytes(MesiState::M), 0u);
+    EXPECT_EQ(h.sys.tracker->evictionNoticeExtraBytes(MesiState::S), 0u);
+}
+
+TEST(InLlc, LlcEvictionBackInvalidatesCorruptBlock)
+{
+    Harness h(smallConfig(TrackerKind::InLlc));
+    const Addr b = 24;
+    h.load(0, b);
+    ASSERT_EQ(h.stateAt(0, b), MesiState::E);
+    // Stream conflicting blocks through b's LLC set until b's
+    // corrupted entry is evicted; core 0's copy must die with it.
+    const Addr stride = h.sys.llc.numBanks() * h.sys.llc.setsPerBank();
+    for (unsigned i = 1; i <= 2 * h.sys.llc.assoc(); ++i)
+        h.load(1, b + i * stride);
+    EXPECT_EQ(h.stateAt(0, b), MesiState::I);
+    EXPECT_GE(h.sys.engine.stats.backInvals.value(), 1u);
+    h.expectCoherent();
+}
+
+TEST(InLlc, TagExtendedKeepsTwoHopReads)
+{
+    Harness h(smallConfig(TrackerKind::InLlcTagExtended));
+    h.load(0, 100);
+    h.load(1, 100);
+    h.load(2, 100);
+    h.load(3, 100);
+    EXPECT_EQ(h.sys.engine.stats.lengthenedReads.value(), 0u);
+    LlcEntry *e = h.sys.llc.findData(100);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->meta, LlcMeta::Normal);
+    h.expectCoherent();
+}
+
+TEST(InLlc, TagExtendedEvictionBackInvalidates)
+{
+    Harness h(smallConfig(TrackerKind::InLlcTagExtended));
+    const Addr b = 32;
+    h.load(0, b);
+    const Addr stride = h.sys.llc.numBanks() * h.sys.llc.setsPerBank();
+    for (unsigned i = 1; i <= 2 * h.sys.llc.assoc(); ++i)
+        h.load(1, b + i * stride);
+    EXPECT_EQ(h.stateAt(0, b), MesiState::I);
+    h.expectCoherent();
+}
+
+TEST(InLlc, SharerElectionServesNearestAndKeepsSet)
+{
+    Harness h(smallConfig(TrackerKind::InLlc));
+    h.load(0, 100);
+    h.load(1, 100);
+    h.load(5, 100);
+    auto v = h.sys.tracker->view(100);
+    ASSERT_TRUE(v.ts.shared());
+    EXPECT_EQ(v.ts.sharers.count(), 3u);
+    for (CoreId c : {0, 1, 5})
+        EXPECT_TRUE(v.ts.sharers.contains(c));
+}

@@ -1,0 +1,206 @@
+/** @file Unit tests for the LLC meta-states and spill-aware LRU. */
+
+#include <gtest/gtest.h>
+
+#include "cache/llc.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+SystemConfig
+smallCfg()
+{
+    return SystemConfig::scaled(8); // 8 banks, 256 sets, 16 ways
+}
+
+/** Fill a slot returned by allocate() as a Normal data block. */
+LlcEntry *
+fillData(Llc &llc, Addr block, bool dirty = false)
+{
+    auto ar = llc.allocate(block);
+    ar.slot->tag = block;
+    ar.slot->valid = true;
+    ar.slot->dirty = dirty;
+    ar.slot->meta = LlcMeta::Normal;
+    return ar.slot;
+}
+
+/** Blocks of the same bank+set: stride = banks * sets. */
+Addr
+sameSet(const Llc &llc, Addr base, unsigned i)
+{
+    return base + static_cast<Addr>(i) * llc.numBanks() *
+        llc.setsPerBank();
+}
+
+} // namespace
+
+TEST(Llc, GeometryFromConfig)
+{
+    auto cfg = smallCfg();
+    Llc llc(cfg);
+    EXPECT_EQ(llc.numBanks(), 8u);
+    EXPECT_EQ(llc.setsPerBank(), 256u);
+    EXPECT_EQ(llc.assoc(), 16u);
+}
+
+TEST(Llc, BankAndSetMapping)
+{
+    auto cfg = smallCfg();
+    Llc llc(cfg);
+    EXPECT_EQ(llc.bankOf(0), 0u);
+    EXPECT_EQ(llc.bankOf(7), 7u);
+    EXPECT_EQ(llc.bankOf(8), 0u);
+    EXPECT_EQ(llc.setOf(0), 0u);
+    EXPECT_EQ(llc.setOf(8), 1u);
+}
+
+TEST(Llc, FindDataVsSpill)
+{
+    auto cfg = smallCfg();
+    Llc llc(cfg);
+    fillData(llc, 100);
+    ASSERT_NE(llc.findData(100), nullptr);
+    EXPECT_EQ(llc.findSpill(100), nullptr);
+    // Add a spill entry with the same tag in the same set.
+    auto ar = llc.allocate(100);
+    ar.slot->tag = 100;
+    ar.slot->valid = true;
+    ar.slot->meta = LlcMeta::Spill;
+    ASSERT_NE(llc.findSpill(100), nullptr);
+    ASSERT_NE(llc.findData(100), nullptr);
+    EXPECT_NE(llc.findData(100), llc.findSpill(100));
+}
+
+TEST(Llc, AllocateNeverEvictsCompanionTag)
+{
+    auto cfg = smallCfg();
+    Llc llc(cfg);
+    const Addr b = 40;
+    fillData(llc, b);
+    // Fill the whole set with other blocks.
+    for (unsigned i = 1; i < llc.assoc(); ++i)
+        fillData(llc, sameSet(llc, b, i));
+    // Allocate a spill entry for b: victim must never be b itself.
+    auto ar = llc.allocate(b);
+    ASSERT_TRUE(ar.victim.has_value());
+    EXPECT_NE(ar.victim->tag, b);
+    ar.slot->tag = b;
+    ar.slot->valid = true;
+    ar.slot->meta = LlcMeta::Spill;
+    EXPECT_NE(llc.findData(b), nullptr);
+    EXPECT_NE(llc.findSpill(b), nullptr);
+}
+
+TEST(Llc, SpillEvictedBeforeDataUnderLru)
+{
+    auto cfg = smallCfg();
+    Llc llc(cfg);
+    const Addr b = 16;
+    fillData(llc, b);
+    auto ar = llc.allocate(b);
+    ar.slot->tag = b;
+    ar.slot->valid = true;
+    ar.slot->meta = LlcMeta::Spill;
+    // Apply the ordering rule on every access: E_B then B.
+    llc.touchSpill(b);
+    llc.touchData(b);
+    // Now stream conflicting blocks through the set; the spill entry
+    // must die before the data block.
+    bool spill_died = false;
+    for (unsigned i = 1; i < 3 * llc.assoc(); ++i) {
+        auto ar2 = llc.allocate(sameSet(llc, b, i));
+        if (ar2.victim && ar2.victim->meta == LlcMeta::Spill &&
+            ar2.victim->tag == b) {
+            spill_died = true;
+        }
+        if (ar2.victim && ar2.victim->tag == b &&
+            ar2.victim->meta != LlcMeta::Spill) {
+            EXPECT_TRUE(spill_died)
+                << "data block died before its spilled entry";
+        }
+        ar2.slot->tag = sameSet(llc, b, i);
+        ar2.slot->valid = true;
+        ar2.slot->meta = LlcMeta::Normal;
+    }
+    EXPECT_TRUE(spill_died);
+}
+
+TEST(Llc, FreeSpillAndFreeData)
+{
+    auto cfg = smallCfg();
+    Llc llc(cfg);
+    fillData(llc, 9);
+    auto ar = llc.allocate(9);
+    ar.slot->tag = 9;
+    ar.slot->valid = true;
+    ar.slot->meta = LlcMeta::Spill;
+    llc.freeSpill(9);
+    EXPECT_EQ(llc.findSpill(9), nullptr);
+    EXPECT_NE(llc.findData(9), nullptr);
+    llc.freeData(9);
+    EXPECT_EQ(llc.findData(9), nullptr);
+    EXPECT_EQ(llc.residency().blocksAllocated, 1u);
+}
+
+TEST(Llc, ResidencyHistogramBins)
+{
+    ResidencyHistograms h;
+    ResidencyStats rs;
+    rs.maxSharers = 3;
+    h.noteDeath(rs);
+    rs.maxSharers = 6;
+    h.noteDeath(rs);
+    rs.maxSharers = 12;
+    h.noteDeath(rs);
+    rs.maxSharers = 100;
+    h.noteDeath(rs);
+    rs.maxSharers = 1; // private: not in any bin
+    h.noteDeath(rs);
+    EXPECT_EQ(h.blocksAllocated, 5u);
+    EXPECT_EQ(h.blocksShared, 4u);
+    EXPECT_EQ(h.sharerBins.bucket(0), 1u);
+    EXPECT_EQ(h.sharerBins.bucket(1), 1u);
+    EXPECT_EQ(h.sharerBins.bucket(2), 1u);
+    EXPECT_EQ(h.sharerBins.bucket(3), 1u);
+}
+
+TEST(Llc, StraCategoryAccounting)
+{
+    ResidencyHistograms h;
+    ResidencyStats rs;
+    rs.straReads = 127;
+    rs.otherAccesses = 1; // ratio 127/128 > 63/64 -> C7
+    h.noteDeath(rs);
+    EXPECT_EQ(h.straBlocks.bucket(7), 1u);
+    EXPECT_EQ(h.straAccesses.bucket(7), 127u);
+    ResidencyStats rs2;
+    rs2.straReads = 1;
+    rs2.otherAccesses = 9; // ratio 0.1 -> C1
+    h.noteDeath(rs2);
+    EXPECT_EQ(h.straBlocks.bucket(1), 1u);
+}
+
+TEST(Llc, SampledSetsAreSparse)
+{
+    auto cfg = smallCfg();
+    Llc llc(cfg);
+    unsigned sampled = 0;
+    for (Addr b = 0; b < llc.setsPerBank(); ++b) {
+        if (llc.isSampledSet(b * llc.numBanks()))
+            ++sampled;
+    }
+    EXPECT_EQ(sampled, cfg.spillSampledSets);
+}
+
+TEST(Llc, FlushResidencyCountsLiveBlocks)
+{
+    auto cfg = smallCfg();
+    Llc llc(cfg);
+    fillData(llc, 1);
+    fillData(llc, 2);
+    llc.flushResidency();
+    EXPECT_EQ(llc.residency().blocksAllocated, 2u);
+}

@@ -1,0 +1,74 @@
+/** @file Unit tests for the 2D mesh timing model. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/config.hh"
+#include "noc/mesh.hh"
+
+using namespace tinydir;
+
+TEST(Mesh, GeometryFor128Cores)
+{
+    SystemConfig cfg; // 128 cores
+    Mesh m(cfg);
+    EXPECT_EQ(m.width(), 16u);
+    EXPECT_EQ(m.height(), 8u);
+}
+
+TEST(Mesh, HopsAreManhattan)
+{
+    SystemConfig cfg = SystemConfig::scaled(16); // 4x4
+    Mesh m(cfg);
+    EXPECT_EQ(m.hops(0, 0), 0u);
+    EXPECT_EQ(m.hops(0, 3), 3u);  // same row
+    EXPECT_EQ(m.hops(0, 12), 3u); // same column
+    EXPECT_EQ(m.hops(0, 15), 6u); // opposite corner
+    EXPECT_EQ(m.hops(5, 10), m.hops(10, 5)); // symmetric
+}
+
+TEST(Mesh, LatencyScalesWithHopCycles)
+{
+    SystemConfig cfg = SystemConfig::scaled(16);
+    cfg.hopCycles = 6;
+    Mesh m(cfg);
+    EXPECT_EQ(m.latency(0, 15), 36u);
+    EXPECT_EQ(m.latency(7, 7), 0u);
+}
+
+TEST(Mesh, TriangleInequality)
+{
+    SystemConfig cfg = SystemConfig::scaled(32);
+    Mesh m(cfg);
+    for (unsigned a = 0; a < 32; a += 3) {
+        for (unsigned b = 1; b < 32; b += 5) {
+            for (unsigned c = 2; c < 32; c += 7) {
+                EXPECT_LE(m.hops(a, c), m.hops(a, b) + m.hops(b, c));
+            }
+        }
+    }
+}
+
+TEST(Mesh, MemNodesValidAndSpread)
+{
+    SystemConfig cfg; // 128 cores, 8 channels
+    Mesh m(cfg);
+    std::set<unsigned> nodes;
+    for (unsigned ch = 0; ch < cfg.memChannels; ++ch) {
+        unsigned n = m.memNode(ch);
+        EXPECT_LT(n, cfg.numCores);
+        nodes.insert(n);
+    }
+    EXPECT_EQ(nodes.size(), cfg.memChannels); // all distinct
+}
+
+TEST(Mesh, AverageLatencyReasonable)
+{
+    SystemConfig cfg = SystemConfig::scaled(16);
+    Mesh m(cfg);
+    Cycle avg = m.averageLatency();
+    // 4x4 mesh: average distinct-pair distance is 8/3 hops.
+    EXPECT_GE(avg, 2u * cfg.hopCycles);
+    EXPECT_LE(avg, 3u * cfg.hopCycles);
+}

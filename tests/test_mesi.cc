@@ -1,0 +1,58 @@
+/** @file Unit tests for MESI vocabulary and STRA categories. */
+
+#include <gtest/gtest.h>
+
+#include "proto/mesi.hh"
+
+using namespace tinydir;
+
+TEST(Mesi, TrackStateFactories)
+{
+    auto e = TrackState::makeExclusive(7);
+    EXPECT_TRUE(e.exclusive());
+    EXPECT_EQ(e.owner, 7);
+    auto s = TrackState::makeShared(SharerSet::single(3));
+    EXPECT_TRUE(s.shared());
+    EXPECT_TRUE(s.sharers.contains(3));
+    TrackState i;
+    EXPECT_TRUE(i.invalid());
+}
+
+TEST(Mesi, Names)
+{
+    EXPECT_EQ(toString(MesiState::M), "M");
+    EXPECT_EQ(toString(AccessType::Ifetch), "ifetch");
+    EXPECT_EQ(toString(ReqType::Upg), "Upg");
+}
+
+TEST(Mesi, StraCategoryBoundaries)
+{
+    EXPECT_EQ(straCategory(0.0), 0u);
+    EXPECT_EQ(straCategory(-1.0), 0u);
+    EXPECT_EQ(straCategory(0.01), 1u);
+    EXPECT_EQ(straCategory(0.5), 1u);    // C1 = (0, 1/2]
+    EXPECT_EQ(straCategory(0.51), 2u);   // C2 = (1/2, 3/4]
+    EXPECT_EQ(straCategory(0.75), 2u);
+    EXPECT_EQ(straCategory(0.76), 3u);
+    EXPECT_EQ(straCategory(0.875), 3u);  // C3 upper bound 7/8
+    EXPECT_EQ(straCategory(15.0 / 16), 4u);
+    EXPECT_EQ(straCategory(31.0 / 32), 5u);
+    EXPECT_EQ(straCategory(63.0 / 64), 6u);
+    EXPECT_EQ(straCategory(0.99), 7u);   // C7 = (63/64, 1]
+    EXPECT_EQ(straCategory(1.0), 7u);
+}
+
+/** Property sweep: categories are monotone in the ratio. */
+class StraMonotone : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StraMonotone, NonDecreasing)
+{
+    const double r1 = GetParam() / 1000.0;
+    const double r2 = r1 + 0.001;
+    EXPECT_LE(straCategory(r1), straCategory(r2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, StraMonotone,
+                         ::testing::Range(0, 999, 37));

@@ -1,0 +1,187 @@
+/** @file Tests of the MgD and Stash comparison baselines (Fig. 22). */
+
+#include <gtest/gtest.h>
+
+#include "proto/engine.hh"
+#include "proto/mgd.hh"
+#include "proto/stash.hh"
+#include "test_util.hh"
+
+using namespace tinydir;
+using tinydir::test::Harness;
+using tinydir::test::smallConfig;
+
+namespace
+{
+
+SystemConfig
+mgdCfg(double factor = 1.0 / 8)
+{
+    auto cfg = smallConfig(TrackerKind::Mgd, factor);
+    cfg.dirSkewed = true;
+    cfg.dirAssoc = 4;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Mgd, PrivateRegionUsesOneEntry)
+{
+    Harness h(mgdCfg());
+    auto *mgd = dynamic_cast<MgdTracker *>(h.sys.tracker.get());
+    ASSERT_NE(mgd, nullptr);
+    // 16 blocks of one 1 KB region, all private to core 0.
+    for (Addr b = 0; b < 16; ++b)
+        h.load(0, 1600 + b);
+    EXPECT_EQ(mgd->dirAllocs(), 1u); // a single region entry
+    EXPECT_EQ(mgd->regionSplits(), 0u);
+    auto v = h.sys.tracker->view(1600);
+    EXPECT_TRUE(v.ts.exclusive());
+    EXPECT_EQ(v.ts.owner, 0);
+    h.expectCoherent();
+}
+
+TEST(Mgd, RegionSplitsOnSharing)
+{
+    Harness h(mgdCfg());
+    auto *mgd = dynamic_cast<MgdTracker *>(h.sys.tracker.get());
+    for (Addr b = 0; b < 8; ++b)
+        h.load(0, 1600 + b);
+    h.load(1, 1600); // second core touches the region
+    EXPECT_EQ(mgd->regionSplits(), 1u);
+    // The touched block is now shared; the other 7 got block entries.
+    auto v = h.sys.tracker->view(1600);
+    EXPECT_TRUE(v.ts.shared());
+    EXPECT_EQ(v.ts.sharers.count(), 2u);
+    for (Addr b = 1; b < 8; ++b) {
+        auto vb = h.sys.tracker->view(1600 + b);
+        EXPECT_TRUE(vb.ts.exclusive());
+        EXPECT_EQ(vb.ts.owner, 0);
+    }
+    h.expectCoherent();
+}
+
+TEST(Mgd, OwnerRefetchInsideRegionStaysRegionGrain)
+{
+    auto cfg = mgdCfg();
+    // Tiny private caches: core 0 will evict blocks of its region.
+    cfg.l1Bytes = 4 * 2 * blockBytes;
+    cfg.l1Assoc = 2;
+    cfg.l2Bytes = 8 * 2 * blockBytes;
+    cfg.l2Assoc = 2;
+    Harness h(cfg);
+    auto *mgd = dynamic_cast<MgdTracker *>(h.sys.tracker.get());
+    for (Addr b = 0; b < 16; ++b)
+        h.load(0, 1600 + b);
+    // Thrash and refetch: still one region entry, no splits.
+    for (Addr b = 5000; b < 5100; ++b)
+        h.load(0, b);
+    for (Addr b = 0; b < 16; ++b)
+        h.load(0, 1600 + b);
+    EXPECT_EQ(mgd->regionSplits(), 0u);
+    h.expectCoherent();
+}
+
+TEST(Mgd, ProbeMissServedByHome)
+{
+    Harness h(mgdCfg());
+    // Core 0 owns the region but caches only block 1600.
+    h.load(0, 1600);
+    // Core 1 reads a different block of the region: the region entry
+    // names core 0, which does not hold it; the home supplies.
+    h.load(1, 1601);
+    EXPECT_EQ(h.stateAt(1, 1601), MesiState::E);
+    EXPECT_EQ(h.stateAt(0, 1601), MesiState::I);
+    h.expectCoherent();
+}
+
+TEST(Mgd, SharedBlocksAreBlockGrainExact)
+{
+    Harness h(mgdCfg());
+    h.ifetch(0, 3200);
+    h.ifetch(1, 3200);
+    h.ifetch(2, 3200);
+    auto v = h.sys.tracker->view(3200);
+    ASSERT_TRUE(v.ts.shared());
+    EXPECT_EQ(v.ts.sharers.count(), 3u);
+    h.expectCoherent();
+}
+
+TEST(Stash, EvictedPrivateEntryIsStashedNotInvalidated)
+{
+    auto cfg = smallConfig(TrackerKind::Stash, 1.0 / 2048);
+    Harness h(cfg);
+    auto *stash = dynamic_cast<StashTracker *>(h.sys.tracker.get());
+    ASSERT_NE(stash, nullptr);
+    const Addr a = 8, b = 16; // same slice, single entry
+    h.load(0, a);
+    h.load(1, b); // evicts a's entry -> stashed, block stays cached
+    EXPECT_EQ(h.stateAt(0, a), MesiState::E);
+    EXPECT_EQ(stash->stashedNow(), 1u);
+    EXPECT_EQ(h.sys.engine.stats.backInvals.value(), 0u);
+    h.expectCoherent();
+}
+
+TEST(Stash, BroadcastRecoversStashedBlock)
+{
+    auto cfg = smallConfig(TrackerKind::Stash, 1.0 / 2048);
+    Harness h(cfg);
+    auto *stash = dynamic_cast<StashTracker *>(h.sys.tracker.get());
+    const Addr a = 8, b = 16;
+    h.store(0, a); // M at core 0
+    h.load(1, b);  // stash a
+    ASSERT_EQ(stash->stashedNow(), 1u);
+    const auto coh_before =
+        h.sys.engine.stats.traffic.bytes(MsgClass::Coherence);
+    h.load(2, a); // broadcast recovery, data forwarded from core 0
+    EXPECT_EQ(stash->broadcasts(), 1u);
+    // a is tracked again (re-allocating its entry stashed b instead).
+    EXPECT_FALSE(stash->isStashed(a));
+    EXPECT_EQ(h.stateAt(2, a), MesiState::S);
+    EXPECT_EQ(h.stateAt(0, a), MesiState::S);
+    // Broadcast cost: at least C-1 probe messages.
+    const auto coh_after =
+        h.sys.engine.stats.traffic.bytes(MsgClass::Coherence);
+    EXPECT_GE(coh_after - coh_before,
+              (cfg.numCores - 1) * ctrlBytes);
+    h.expectCoherent();
+}
+
+TEST(Stash, NoticeClearsStashWithoutBroadcast)
+{
+    auto cfg = smallConfig(TrackerKind::Stash, 1.0 / 2048);
+    cfg.l1Bytes = 4 * 2 * blockBytes;
+    cfg.l1Assoc = 2;
+    cfg.l2Bytes = 8 * 2 * blockBytes;
+    cfg.l2Assoc = 2;
+    Harness h(cfg);
+    auto *stash = dynamic_cast<StashTracker *>(h.sys.tracker.get());
+    const Addr a = 8, b = 16;
+    h.load(0, a);
+    h.load(1, b); // stash a
+    ASSERT_TRUE(stash->isStashed(a));
+    // Evict a from core 0: the notice clears the stash silently.
+    for (Addr blk = 6000; blk < 6200; ++blk)
+        h.load(0, blk);
+    EXPECT_EQ(h.stateAt(0, a), MesiState::I);
+    EXPECT_FALSE(stash->isStashed(a));
+    // A later read of a needs no broadcast.
+    h.load(2, a);
+    EXPECT_EQ(stash->broadcasts(), 0u);
+    h.expectCoherent();
+}
+
+TEST(Stash, SharedVictimsAreBackInvalidated)
+{
+    auto cfg = smallConfig(TrackerKind::Stash, 1.0 / 2048);
+    Harness h(cfg);
+    const Addr a = 8, b = 16;
+    h.load(0, a);
+    h.load(1, a); // shared
+    h.load(2, b);
+    h.load(3, b); // evicts a's entry: shared -> back-invalidate
+    EXPECT_EQ(h.stateAt(0, a), MesiState::I);
+    EXPECT_EQ(h.stateAt(1, a), MesiState::I);
+    EXPECT_GE(h.sys.engine.stats.backInvals.value(), 1u);
+    h.expectCoherent();
+}

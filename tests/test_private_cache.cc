@@ -1,0 +1,157 @@
+/** @file Unit tests for the private L1I/L1D/L2 hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/private_cache.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+SystemConfig
+tinyCfg()
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    // Shrink the private caches so eviction paths are easy to hit:
+    // L1 = 8 sets x 2 ways, L2 = 16 sets x 2 ways.
+    cfg.l1Bytes = 8 * 2 * blockBytes;
+    cfg.l1Assoc = 2;
+    cfg.l2Bytes = 16 * 2 * blockBytes;
+    cfg.l2Assoc = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST(PrivateCache, MissThenFill)
+{
+    auto cfg = tinyCfg();
+    PrivateCache pc(cfg, 0);
+    auto ar = pc.access(100, AccessType::Load);
+    EXPECT_FALSE(ar.present);
+    EXPECT_EQ(ar.latency, cfg.l1Latency);
+    auto notices = pc.fill(100, MesiState::E, AccessType::Load);
+    EXPECT_TRUE(notices.empty());
+    EXPECT_EQ(pc.state(100), MesiState::E);
+    auto ar2 = pc.access(100, AccessType::Load);
+    EXPECT_TRUE(ar2.present);
+    EXPECT_EQ(ar2.latency, cfg.l1Latency); // L1 hit
+}
+
+TEST(PrivateCache, IfetchGoesToL1I)
+{
+    auto cfg = tinyCfg();
+    PrivateCache pc(cfg, 0);
+    pc.fill(7, MesiState::S, AccessType::Ifetch);
+    // A data load of the same block misses L1D but hits locally
+    // (L2/L1I) at L2 latency.
+    auto ar = pc.access(7, AccessType::Load);
+    EXPECT_TRUE(ar.present);
+    EXPECT_EQ(ar.latency, cfg.l1Latency + cfg.l2Latency);
+    // Second load is now an L1D hit.
+    auto ar2 = pc.access(7, AccessType::Load);
+    EXPECT_EQ(ar2.latency, cfg.l1Latency);
+}
+
+TEST(PrivateCache, EvictionNoticeWhenLeavingHierarchy)
+{
+    auto cfg = tinyCfg();
+    PrivateCache pc(cfg, 0);
+    // Fill many blocks mapping everywhere; eventually both L1 and L2
+    // evict and notices appear.
+    std::vector<EvictionNotice> all;
+    for (Addr b = 0; b < 200; ++b) {
+        auto n = pc.fill(b, MesiState::E, AccessType::Load);
+        all.insert(all.end(), n.begin(), n.end());
+    }
+    EXPECT_FALSE(all.empty());
+    for (const auto &n : all) {
+        EXPECT_EQ(n.state, MesiState::E);
+        EXPECT_FALSE(pc.present(n.block)) << "notice for live block";
+    }
+    // Footprint bounded by total capacity (L1I + L1D + L2 tags).
+    EXPECT_LE(pc.footprint(), std::size_t(16 + 16 + 32));
+}
+
+TEST(PrivateCache, NoNoticeWhileStillInOtherLevel)
+{
+    auto cfg = tinyCfg();
+    PrivateCache pc(cfg, 0);
+    pc.fill(1, MesiState::E, AccessType::Load);
+    // Thrash the L2 set of block 1 (L2 has 16 sets): blocks 1+16k map
+    // to the same L2 set but different L1 sets (L1 has 8 sets).
+    auto n1 = pc.fill(1 + 16, MesiState::E, AccessType::Load);
+    auto n2 = pc.fill(1 + 32, MesiState::E, AccessType::Load);
+    (void)n1;
+    (void)n2;
+    // Block 1 may have left L2, but while it is still in L1D it must
+    // still be present and no notice may have named it.
+    if (pc.present(1)) {
+        EXPECT_EQ(pc.state(1), MesiState::E);
+    }
+}
+
+TEST(PrivateCache, InvalidateRemovesEverywhere)
+{
+    auto cfg = tinyCfg();
+    PrivateCache pc(cfg, 0);
+    pc.fill(5, MesiState::M, AccessType::Store);
+    auto r = pc.invalidate(5);
+    EXPECT_TRUE(r.wasPresent);
+    EXPECT_TRUE(r.wasDirty);
+    EXPECT_FALSE(pc.present(5));
+    auto r2 = pc.invalidate(5);
+    EXPECT_FALSE(r2.wasPresent);
+}
+
+TEST(PrivateCache, DowngradeKeepsBlockShared)
+{
+    auto cfg = tinyCfg();
+    PrivateCache pc(cfg, 0);
+    pc.fill(9, MesiState::M, AccessType::Store);
+    auto r = pc.downgrade(9);
+    EXPECT_TRUE(r.wasPresent);
+    EXPECT_TRUE(r.wasDirty);
+    EXPECT_EQ(pc.state(9), MesiState::S);
+}
+
+TEST(PrivateCache, SetStateTransitions)
+{
+    auto cfg = tinyCfg();
+    PrivateCache pc(cfg, 0);
+    pc.fill(11, MesiState::E, AccessType::Load);
+    pc.setState(11, MesiState::M);
+    EXPECT_EQ(pc.state(11), MesiState::M);
+}
+
+TEST(PrivateCache, DirtyEvictionCarriesM)
+{
+    auto cfg = tinyCfg();
+    PrivateCache pc(cfg, 0);
+    // Fill a single L1/L2 set chain with dirty blocks until eviction.
+    std::vector<EvictionNotice> all;
+    for (Addr b = 0; b < 40; ++b) {
+        const Addr blk = b * 16; // all in L2 set 0
+        auto n = pc.fill(blk, MesiState::M, AccessType::Store);
+        all.insert(all.end(), n.begin(), n.end());
+    }
+    ASSERT_FALSE(all.empty());
+    for (const auto &n : all)
+        EXPECT_EQ(n.state, MesiState::M);
+}
+
+TEST(PrivateCache, ForEachBlockSeesAll)
+{
+    auto cfg = tinyCfg();
+    PrivateCache pc(cfg, 0);
+    pc.fill(1, MesiState::E, AccessType::Load);
+    pc.fill(2, MesiState::S, AccessType::Load);
+    std::set<Addr> seen;
+    pc.forEachBlock([&](Addr b, MesiState) { seen.insert(b); });
+    EXPECT_TRUE(seen.count(1));
+    EXPECT_TRUE(seen.count(2));
+    EXPECT_EQ(seen.size(), pc.footprint());
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Property-based sweeps: every tracking scheme must preserve the
+ * global coherence invariants under randomized, conflict-heavy access
+ * streams, and scheme-independent functional quantities must agree
+ * across schemes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "common/rng.hh"
+#include "sim/system.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+/** A deliberately nasty stream: tiny space, heavy write sharing. */
+struct Stress
+{
+    Rng rng;
+    explicit Stress(std::uint64_t seed) : rng(seed) {}
+
+    TraceAccess
+    next(unsigned num_cores)
+    {
+        (void)num_cores;
+        TraceAccess a;
+        a.gap = 1 + rng.below(8);
+        const double u = rng.uniform();
+        if (u < 0.1)
+            a.type = AccessType::Ifetch;
+        else if (u < 0.45)
+            a.type = AccessType::Store;
+        else
+            a.type = AccessType::Load;
+        // 128 hot blocks spanning all banks and a few sets.
+        a.addr = rng.below(128) << blockShift;
+        return a;
+    }
+};
+
+struct SchemeParam
+{
+    TrackerKind kind;
+    double factor;
+    bool spill;
+    const char *label;
+};
+
+class SchemeProperty : public ::testing::TestWithParam<SchemeParam>
+{
+};
+
+SystemConfig
+makeCfg(const SchemeParam &p, std::uint64_t seed)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    cfg.seed = seed;
+    cfg.tracker = p.kind;
+    cfg.dirSizeFactor = p.factor;
+    cfg.tinySpill = p.spill;
+    if (p.kind == TrackerKind::Mgd) {
+        cfg.dirSkewed = true;
+        cfg.dirAssoc = 4;
+    }
+    // Small private caches: force heavy eviction-notice traffic.
+    cfg.l1Bytes = 8 * 2 * blockBytes;
+    cfg.l1Assoc = 2;
+    cfg.l2Bytes = 16 * 2 * blockBytes;
+    cfg.l2Assoc = 2;
+    return cfg;
+}
+
+} // namespace
+
+TEST_P(SchemeProperty, InvariantsHoldUnderStress)
+{
+    const auto p = GetParam();
+    SystemConfig cfg = makeCfg(p, 99);
+    System sys(cfg);
+    Stress stress(42);
+    Rng pick(7);
+    for (unsigned i = 0; i < 6000; ++i) {
+        const CoreId c = static_cast<CoreId>(pick.below(cfg.numCores));
+        TraceAccess a = stress.next(cfg.numCores);
+        const Cycle issue = sys.cores[c].clock + a.gap;
+        sys.cores[c].clock = sys.executeAccess(c, a, issue);
+        if (i % 500 == 0) {
+            std::string msg;
+            ASSERT_TRUE(sys.verifyCoherence(&msg))
+                << p.label << " @" << i << ": " << msg;
+        }
+    }
+    std::string msg;
+    EXPECT_TRUE(sys.verifyCoherence(&msg)) << p.label << ": " << msg;
+}
+
+TEST_P(SchemeProperty, StoreVisibilityIsExclusive)
+{
+    // After any store completes, no other core may hold the block.
+    const auto p = GetParam();
+    SystemConfig cfg = makeCfg(p, 31);
+    System sys(cfg);
+    Rng rng(5);
+    for (unsigned i = 0; i < 2000; ++i) {
+        const CoreId c = static_cast<CoreId>(rng.below(cfg.numCores));
+        const Addr blk = rng.below(64);
+        TraceAccess a;
+        a.gap = 2;
+        a.type = rng.chance(0.5) ? AccessType::Store : AccessType::Load;
+        a.addr = blk << blockShift;
+        const Cycle issue = sys.cores[c].clock + a.gap;
+        sys.cores[c].clock = sys.executeAccess(c, a, issue);
+        if (a.type == AccessType::Store) {
+            ASSERT_EQ(sys.privs[c].state(blk), MesiState::M)
+                << p.label;
+            for (CoreId o = 0; o < cfg.numCores; ++o) {
+                if (o != c) {
+                    ASSERT_FALSE(sys.privs[o].present(blk))
+                        << p.label << ": core " << o
+                        << " still holds stored block " << blk;
+                }
+            }
+        }
+    }
+}
+
+TEST_P(SchemeProperty, FootprintNeverExceedsPrivateCapacity)
+{
+    const auto p = GetParam();
+    SystemConfig cfg = makeCfg(p, 77);
+    System sys(cfg);
+    Stress stress(11);
+    Rng pick(3);
+    const std::size_t capacity =
+        2 * (cfg.l1Bytes / blockBytes) + cfg.l2Bytes / blockBytes;
+    for (unsigned i = 0; i < 3000; ++i) {
+        const CoreId c = static_cast<CoreId>(pick.below(cfg.numCores));
+        TraceAccess a = stress.next(cfg.numCores);
+        const Cycle issue = sys.cores[c].clock + a.gap;
+        sys.cores[c].clock = sys.executeAccess(c, a, issue);
+        ASSERT_LE(sys.privs[c].footprint(), capacity) << p.label;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeProperty,
+    ::testing::Values(
+        SchemeParam{TrackerKind::SparseDir, 2.0, false, "sparse2x"},
+        SchemeParam{TrackerKind::SparseDir, 1.0 / 16, false,
+                    "sparse16th"},
+        SchemeParam{TrackerKind::SparseDir, 1.0 / 2048, false,
+                    "sparse1slot"},
+        SchemeParam{TrackerKind::SharedOnlyDir, 1.0 / 64, false,
+                    "sharedonly"},
+        SchemeParam{TrackerKind::InLlcTagExtended, 2.0, false,
+                    "tagext"},
+        SchemeParam{TrackerKind::InLlc, 2.0, false, "inllc"},
+        SchemeParam{TrackerKind::TinyDir, 1.0 / 32, false,
+                    "tiny32"},
+        SchemeParam{TrackerKind::TinyDir, 1.0 / 32, true,
+                    "tiny32spill"},
+        SchemeParam{TrackerKind::TinyDir, 1.0 / 256, true,
+                    "tiny256spill"},
+        SchemeParam{TrackerKind::Mgd, 1.0 / 8, false, "mgd"},
+        SchemeParam{TrackerKind::Stash, 1.0 / 32, false, "stash"}),
+    [](const ::testing::TestParamInfo<SchemeParam> &info) {
+        return std::string(info.param.label);
+    });
+
+/** Scheme-independent functional agreement across trackers. */
+TEST(Properties, AllSchemesSeeIdenticalAccessCounts)
+{
+    double ref_loads = -1, ref_stores = -1;
+    for (auto kind : {TrackerKind::SparseDir, TrackerKind::InLlc,
+                      TrackerKind::TinyDir}) {
+        SystemConfig cfg = SystemConfig::scaled(8);
+        cfg.tracker = kind;
+        cfg.dirSizeFactor = kind == TrackerKind::SparseDir
+            ? 2.0 : 1.0 / 32;
+        System sys(cfg);
+        Stress stress(123);
+        Rng pick(9);
+        for (unsigned i = 0; i < 4000; ++i) {
+            const CoreId c =
+                static_cast<CoreId>(pick.below(cfg.numCores));
+            TraceAccess a = stress.next(cfg.numCores);
+            const Cycle issue = sys.cores[c].clock + a.gap;
+            sys.cores[c].clock = sys.executeAccess(c, a, issue);
+        }
+        sys.finalize();
+        auto d = sys.dump();
+        const double loads = d.get("core.loads");
+        const double stores = d.get("core.stores");
+        if (ref_loads < 0) {
+            ref_loads = loads;
+            ref_stores = stores;
+        } else {
+            EXPECT_EQ(loads, ref_loads);
+            EXPECT_EQ(stores, ref_stores);
+        }
+    }
+}

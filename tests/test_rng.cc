@@ -1,0 +1,83 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+
+using namespace tinydir;
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(7), b(7), c(8);
+    for (int i = 0; i < 100; ++i) {
+        auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        EXPECT_NE(va, c.next()); // overwhelmingly likely
+    }
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(11);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng r(13);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += r.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfSkewsTowardZero)
+{
+    Rng r(17);
+    const std::uint64_t n = 100;
+    std::vector<unsigned> counts(n, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[r.zipf(n, 0.8)];
+    // Rank 0 must be much more popular than rank n-1.
+    EXPECT_GT(counts[0], counts[n - 1] * 4);
+    // All ranks reachable.
+    for (auto v : counts)
+        EXPECT_GE(v, 0u);
+}
+
+TEST(Rng, ZipfThetaZeroIsUniform)
+{
+    Rng r(19);
+    const std::uint64_t n = 16;
+    std::vector<unsigned> counts(n, 0);
+    for (int i = 0; i < 32000; ++i)
+        ++counts[r.zipf(n, 0.0)];
+    for (auto v : counts)
+        EXPECT_NEAR(static_cast<double>(v), 2000.0, 350.0);
+}
+
+TEST(Rng, ZipfDegenerateSizes)
+{
+    Rng r(23);
+    EXPECT_EQ(r.zipf(1, 0.9), 0u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_LT(r.zipf(2, 0.9), 2u);
+}

@@ -1,0 +1,120 @@
+/** @file Tests of the idealized shared-only directory (Fig. 3 design). */
+
+#include <gtest/gtest.h>
+
+#include "proto/engine.hh"
+#include "proto/shared_only_dir.hh"
+#include "test_util.hh"
+
+using namespace tinydir;
+using tinydir::test::Harness;
+using tinydir::test::smallConfig;
+
+TEST(SharedOnly, PrivateBlocksUseUnboundedStructure)
+{
+    // One directory entry per slice: private blocks must never
+    // allocate in it.
+    auto cfg = smallConfig(TrackerKind::SharedOnlyDir, 1.0 / 2048);
+    Harness h(cfg);
+    for (Addr b = 0; b < 64; ++b)
+        h.load(0, 1000 + b);
+    EXPECT_EQ(h.sys.tracker->dirAllocs(), 0u);
+    EXPECT_EQ(h.sys.engine.stats.backInvals.value(), 0u);
+    h.expectCoherent();
+}
+
+TEST(SharedOnly, SingleSharerStaysUnbounded)
+{
+    auto cfg = smallConfig(TrackerKind::SharedOnlyDir, 1.0 / 2048);
+    Harness h(cfg);
+    h.ifetch(0, 100); // S with one sharer
+    EXPECT_EQ(h.sys.tracker->dirAllocs(), 0u);
+    h.expectCoherent();
+}
+
+TEST(SharedOnly, TwoSharersAllocateEntry)
+{
+    auto cfg = smallConfig(TrackerKind::SharedOnlyDir, 1.0 / 2048);
+    Harness h(cfg);
+    h.load(0, 100);
+    EXPECT_EQ(h.sys.tracker->dirAllocs(), 0u);
+    h.load(1, 100); // two sharers -> sparse directory entry
+    EXPECT_EQ(h.sys.tracker->dirAllocs(), 1u);
+    h.expectCoherent();
+}
+
+TEST(SharedOnly, MigratorySharingNeverAllocates)
+{
+    // E->M->E movement across cores without a two-sharer episode must
+    // stay in the unbounded structure (paper Section I).
+    auto cfg = smallConfig(TrackerKind::SharedOnlyDir, 1.0 / 2048);
+    Harness h(cfg);
+    for (CoreId c = 0; c < 8; ++c)
+        h.store(c, 500);
+    EXPECT_EQ(h.sys.tracker->dirAllocs(), 0u);
+    EXPECT_EQ(h.stateAt(7, 500), MesiState::M);
+    h.expectCoherent();
+}
+
+TEST(SharedOnly, DirEvictionOnlyHitsSharedBlocks)
+{
+    auto cfg = smallConfig(TrackerKind::SharedOnlyDir, 1.0 / 2048);
+    Harness h(cfg);
+    // Two widely shared blocks in the same slice (bank 0) fight over
+    // the single entry.
+    const Addr a = 8, b = 16;
+    h.load(0, a);
+    h.load(1, a);
+    h.expectCoherent();
+    h.load(0, b);
+    h.load(1, b); // evicts a's entry: a's sharers back-invalidated
+    EXPECT_EQ(h.stateAt(0, a), MesiState::I);
+    EXPECT_EQ(h.stateAt(1, a), MesiState::I);
+    EXPECT_GE(h.sys.engine.stats.backInvals.value(), 1u);
+    h.expectCoherent();
+}
+
+TEST(SharedOnly, EntryPersistsAfterGetX)
+{
+    // Once allocated, the entry stays until eviction or no-owner
+    // state — a GetX does not move it back to the unbounded table.
+    auto cfg = smallConfig(TrackerKind::SharedOnlyDir, 2.0);
+    Harness h(cfg);
+    h.load(0, 100);
+    h.load(1, 100);
+    ASSERT_EQ(h.sys.tracker->dirAllocs(), 1u);
+    h.store(2, 100);
+    auto v = h.sys.tracker->view(100);
+    EXPECT_TRUE(v.ts.exclusive());
+    h.expectCoherent();
+}
+
+TEST(SharedOnly, SkewVariantTracksSharedBlocks)
+{
+    auto cfg = smallConfig(TrackerKind::SharedOnlyDir, 1.0 / 32);
+    cfg.dirSkewed = true;
+    cfg.dirAssoc = 4;
+    Harness h(cfg);
+    for (Addr b = 0; b < 32; ++b) {
+        h.load(0, 100 + b);
+        h.load(1, 100 + b);
+    }
+    EXPECT_GE(h.sys.tracker->dirAllocs(), 32u);
+    for (Addr b = 0; b < 32; ++b) {
+        auto v = h.sys.tracker->view(100 + b);
+        if (!v.ts.invalid()) {
+            EXPECT_TRUE(v.ts.shared());
+        }
+    }
+    h.expectCoherent();
+}
+
+TEST(SharedOnly, AlwaysTwoHopReads)
+{
+    auto cfg = smallConfig(TrackerKind::SharedOnlyDir, 1.0 / 2048);
+    Harness h(cfg);
+    h.load(0, 100);
+    h.load(1, 100);
+    h.load(2, 100);
+    EXPECT_EQ(h.sys.engine.stats.lengthenedReads.value(), 0u);
+}

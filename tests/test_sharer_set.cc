@@ -1,0 +1,100 @@
+/** @file Unit tests for the sharer bitvector. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/sharer_set.hh"
+
+using namespace tinydir;
+
+TEST(SharerSet, StartsEmpty)
+{
+    SharerSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.first(), invalidCore);
+}
+
+TEST(SharerSet, AddRemoveContains)
+{
+    SharerSet s;
+    s.add(5);
+    s.add(127);
+    s.add(64);
+    EXPECT_TRUE(s.contains(5));
+    EXPECT_TRUE(s.contains(64));
+    EXPECT_TRUE(s.contains(127));
+    EXPECT_FALSE(s.contains(6));
+    EXPECT_EQ(s.count(), 3u);
+    s.remove(64);
+    EXPECT_FALSE(s.contains(64));
+    EXPECT_EQ(s.count(), 2u);
+    s.remove(64); // idempotent
+    EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(SharerSet, FirstAcrossWords)
+{
+    SharerSet s;
+    s.add(100);
+    EXPECT_EQ(s.first(), 100);
+    s.add(3);
+    EXPECT_EQ(s.first(), 3);
+    s.remove(3);
+    EXPECT_EQ(s.first(), 100);
+}
+
+TEST(SharerSet, SingleFactory)
+{
+    auto s = SharerSet::single(42);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_TRUE(s.contains(42));
+}
+
+TEST(SharerSet, ForEachAscending)
+{
+    SharerSet s;
+    for (CoreId c : {1, 17, 63, 64, 90, 127})
+        s.add(c);
+    std::vector<CoreId> seen;
+    s.forEach([&](CoreId c) { seen.push_back(c); });
+    const std::vector<CoreId> want{1, 17, 63, 64, 90, 127};
+    EXPECT_EQ(seen, want);
+}
+
+TEST(SharerSet, ElectNearPrefersProximity)
+{
+    SharerSet s;
+    s.add(10);
+    s.add(100);
+    EXPECT_EQ(s.electNear(12, 128), 10);
+    EXPECT_EQ(s.electNear(98, 128), 100);
+    // Member itself wins.
+    EXPECT_EQ(s.electNear(100, 128), 100);
+}
+
+TEST(SharerSet, ElectNearEmpty)
+{
+    SharerSet s;
+    EXPECT_EQ(s.electNear(0, 128), invalidCore);
+}
+
+TEST(SharerSet, Equality)
+{
+    SharerSet a, b;
+    a.add(7);
+    b.add(7);
+    EXPECT_TRUE(a == b);
+    b.add(8);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(SharerSet, ClearEmpties)
+{
+    SharerSet s;
+    s.add(1);
+    s.add(2);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+}

@@ -1,0 +1,211 @@
+/** @file Tests of the Dynamic Spill policy and spilled-entry protocol. */
+
+#include <gtest/gtest.h>
+
+#include "proto/engine.hh"
+#include "proto/spill.hh"
+#include "proto/tiny_dir.hh"
+#include "test_util.hh"
+
+using namespace tinydir;
+using tinydir::test::Harness;
+using tinydir::test::smallConfig;
+
+namespace
+{
+
+SystemConfig
+spillCfg(double factor = 1.0 / 2048)
+{
+    SystemConfig cfg = smallConfig(TrackerKind::TinyDir, factor);
+    cfg.tinyPolicy = TinyPolicy::DstraGnru;
+    cfg.tinySpill = true;
+    return cfg;
+}
+
+} // namespace
+
+TEST(SpillPolicy, StaysPermissiveWhenHarmless)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    SpillPolicy sp(cfg, 1);
+    EXPECT_EQ(sp.thresholdIdx(0), 0u); // permissive start
+    // Windows with equal miss rates in sampled and spill-exercising
+    // sets: the threshold must stay at the permissive floor.
+    for (unsigned win = 0; win < 7; ++win) {
+        for (Counter i = 0; i < cfg.spillWindowAccesses; ++i) {
+            const bool sampled = i % 16 == 0;
+            const bool miss = i % 10 == 0;
+            sp.observe(0, sampled, miss, false);
+        }
+    }
+    EXPECT_EQ(sp.thresholdIdx(0), 0u);
+    EXPECT_EQ(sp.windowsCompleted(), 7u);
+}
+
+TEST(SpillPolicy, ThresholdRisesWhenMissesGrow)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    SpillPolicy sp(cfg, 1);
+    ASSERT_EQ(sp.thresholdIdx(0), 0u);
+    // Now the spill sets miss much more than the sampled sets.
+    for (unsigned win = 0; win < 3; ++win) {
+        for (Counter i = 0; i < cfg.spillWindowAccesses; ++i) {
+            const bool sampled = i % 16 == 0;
+            const bool miss = !sampled && i % 2 == 0; // 50% vs 0%
+            sp.observe(0, sampled, miss, false);
+        }
+    }
+    EXPECT_EQ(sp.thresholdIdx(0), 3u);
+}
+
+TEST(SpillPolicy, DeltaClassesFollowProfile)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    SpillPolicy sp(cfg, 1);
+    // Category A: miss rate >= 10%, STRA >= 0.4 -> delta = 1/4.
+    for (Counter i = 0; i < cfg.spillWindowAccesses; ++i)
+        sp.observe(0, i % 16 == 0, i % 5 == 0, i % 2 == 0);
+    EXPECT_DOUBLE_EQ(sp.delta(0), 0.25);
+    // Category D: low miss rate, low STRA -> delta = 1/32.
+    for (Counter i = 0; i < cfg.spillWindowAccesses; ++i)
+        sp.observe(0, i % 16 == 0, false, false);
+    EXPECT_DOUBLE_EQ(sp.delta(0), 1.0 / 32);
+    // Category C: low miss rate, high STRA -> delta = 1/16.
+    for (Counter i = 0; i < cfg.spillWindowAccesses; ++i)
+        sp.observe(0, i % 16 == 0, false, i % 2 == 0);
+    EXPECT_DOUBLE_EQ(sp.delta(0), 1.0 / 16);
+}
+
+TEST(SpillPolicy, SampledSetsNeverSpill)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    SpillPolicy sp(cfg, 1);
+    EXPECT_FALSE(sp.allows(0, 7, true));
+    EXPECT_TRUE(sp.allows(0, 7, false));
+}
+
+TEST(Spill, DecliningTinyDirSpillsSharedEntry)
+{
+    // One tiny entry per slice and a permissive spill threshold: the
+    // spill path must engage for shared blocks the tiny directory
+    // cannot hold.
+    auto cfg = spillCfg();
+    Harness h(cfg);
+    auto *tracker = dynamic_cast<TinyDirTracker *>(h.sys.tracker.get());
+    ASSERT_NE(tracker, nullptr);
+    // Drive the per-bank thresholds to 0 by feeding harmless windows.
+    for (unsigned bank = 0; bank < cfg.numCores; ++bank) {
+        for (unsigned win = 0; win < 7; ++win) {
+            for (Counter i = 0; i < cfg.spillWindowAccesses; ++i) {
+                h.sys.tracker->onLlcAccess(bank + 8 * (i % 64),
+                                           false, false);
+            }
+        }
+    }
+    // Occupy the single tiny entry of bank 0's slice with block a.
+    const Addr a = 8, b = 16, c = 24; // all bank 0, different sets
+    (void)c;
+    h.ifetch(0, a);
+    ASSERT_EQ(h.sys.tracker->view(a).where, Residence::DirSram);
+    // Now make b shared and hot; the tiny directory declines (equal
+    // category C0 initially, occupied slice) and must spill instead.
+    h.ifetch(1, b);
+    auto vb = h.sys.tracker->view(b);
+    EXPECT_EQ(vb.where, Residence::LlcSpill);
+    EXPECT_GE(tracker->spills(), 1u);
+    ASSERT_NE(h.sys.llc.findSpill(b), nullptr);
+    h.expectCoherent();
+}
+
+TEST(Spill, SpilledReadsAreTwoHopAndCounted)
+{
+    auto cfg = spillCfg();
+    Harness h(cfg);
+    for (unsigned bank = 0; bank < cfg.numCores; ++bank) {
+        for (unsigned win = 0; win < 7; ++win) {
+            for (Counter i = 0; i < cfg.spillWindowAccesses; ++i) {
+                h.sys.tracker->onLlcAccess(bank + 8 * (i % 64),
+                                           false, false);
+            }
+        }
+    }
+    const Addr a = 8, b = 16;
+    h.ifetch(0, a); // occupies the tiny slice
+    h.ifetch(1, b); // spilled
+    ASSERT_EQ(h.sys.tracker->view(b).where, Residence::LlcSpill);
+    const Counter before = h.sys.engine.stats.lengthenedReads.value();
+    h.ifetch(2, b); // read of a spilled shared block: 2-hop
+    EXPECT_EQ(h.sys.engine.stats.lengthenedReads.value(), before);
+    EXPECT_GE(h.sys.engine.stats.savedBySpill.value(), 1u);
+    h.expectCoherent();
+}
+
+TEST(Spill, GetXCollapsesSpillToCorruptExclusive)
+{
+    auto cfg = spillCfg();
+    Harness h(cfg);
+    for (unsigned bank = 0; bank < cfg.numCores; ++bank) {
+        for (unsigned win = 0; win < 7; ++win) {
+            for (Counter i = 0; i < cfg.spillWindowAccesses; ++i) {
+                h.sys.tracker->onLlcAccess(bank + 8 * (i % 64),
+                                           false, false);
+            }
+        }
+    }
+    const Addr a = 8, b = 16;
+    h.ifetch(0, a);
+    h.ifetch(1, b);
+    ASSERT_EQ(h.sys.tracker->view(b).where, Residence::LlcSpill);
+    h.store(2, b);
+    EXPECT_EQ(h.sys.llc.findSpill(b), nullptr);
+    auto vb = h.sys.tracker->view(b);
+    EXPECT_TRUE(vb.ts.exclusive());
+    EXPECT_EQ(vb.where, Residence::LlcCorrupt);
+    EXPECT_EQ(h.stateAt(1, b), MesiState::I);
+    h.expectCoherent();
+}
+
+TEST(Spill, LastSharerNoticeFreesSpillEntry)
+{
+    auto cfg = spillCfg();
+    cfg.l1Bytes = 4 * 2 * blockBytes;
+    cfg.l1Assoc = 2;
+    cfg.l2Bytes = 8 * 2 * blockBytes;
+    cfg.l2Assoc = 2;
+    Harness h(cfg);
+    for (unsigned bank = 0; bank < cfg.numCores; ++bank) {
+        for (unsigned win = 0; win < 7; ++win) {
+            for (Counter i = 0; i < cfg.spillWindowAccesses; ++i) {
+                h.sys.tracker->onLlcAccess(bank + 8 * (i % 64),
+                                           false, false);
+            }
+        }
+    }
+    // This shrunken LLC has two sets per bank; set 0 is sampled
+    // (no-spill), so use blocks mapping to set 1.
+    const Addr a = 8, b = 24;
+    h.ifetch(0, a);
+    h.ifetch(1, b);
+    ASSERT_EQ(h.sys.tracker->view(b).where, Residence::LlcSpill);
+    // Evict b from core 1's hierarchy; the last-sharer notice must
+    // free the spilled entry.
+    for (Addr blk = 3000; blk < 3200; ++blk)
+        h.ifetch(1, blk);
+    EXPECT_EQ(h.stateAt(1, b), MesiState::I);
+    EXPECT_EQ(h.sys.llc.findSpill(b), nullptr);
+    EXPECT_TRUE(h.sys.tracker->view(b).ts.invalid());
+    h.expectCoherent();
+}
+
+TEST(Spill, DisabledWhenConfiguredOff)
+{
+    auto cfg = spillCfg();
+    cfg.tinySpill = false;
+    Harness h(cfg);
+    const Addr a = 8, b = 16;
+    h.ifetch(0, a);
+    h.ifetch(1, b);
+    EXPECT_EQ(h.sys.llc.findSpill(b), nullptr);
+    EXPECT_EQ(h.sys.tracker->spills(), 0u);
+}

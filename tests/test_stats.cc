@@ -1,0 +1,59 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/stats.hh"
+
+using namespace tinydir;
+
+TEST(Stats, ScalarBasics)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0u);
+    ++s;
+    s += 10;
+    EXPECT_EQ(s.value(), 11u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(Stats, HistogramGrowsOnDemand)
+{
+    Histogram h(2);
+    h.sample(0);
+    h.sample(1, 5);
+    h.sample(7); // beyond initial size
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 5u);
+    EXPECT_EQ(h.bucket(7), 1u);
+    EXPECT_EQ(h.bucket(100), 0u);
+    EXPECT_EQ(h.total(), 7u);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Stats, AverageTracksMean)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(2.0);
+    a.sample(4.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.samples(), 2u);
+}
+
+TEST(Stats, DumpRoundTrip)
+{
+    StatsDump d;
+    d.add("a.b", 1.5);
+    d.add("c", 2.0);
+    EXPECT_TRUE(d.has("a.b"));
+    EXPECT_FALSE(d.has("zzz"));
+    EXPECT_DOUBLE_EQ(d.get("a.b"), 1.5);
+    EXPECT_DOUBLE_EQ(d.get("c"), 2.0);
+    std::ostringstream os;
+    d.print(os);
+    EXPECT_NE(os.str().find("a.b"), std::string::npos);
+}

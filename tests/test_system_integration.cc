@@ -1,0 +1,173 @@
+/** @file End-to-end integration tests across whole-system runs. */
+
+#include <gtest/gtest.h>
+
+#include "sim/driver.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "workload/generator.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+SystemConfig
+cfgFor(TrackerKind kind, double factor)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    cfg.tracker = kind;
+    cfg.dirSizeFactor = factor;
+    if (kind == TrackerKind::TinyDir) {
+        cfg.tinyPolicy = TinyPolicy::DstraGnru;
+        cfg.tinySpill = true;
+    }
+    return cfg;
+}
+
+RunOut
+runApp(const SystemConfig &cfg, const char *app, std::uint64_t n = 3000)
+{
+    // Warm the caches/policies; measure steady state like the benches.
+    return runOne(cfg, profileByName(app), n, n / 2);
+}
+
+} // namespace
+
+TEST(Integration, SparseBaselineRunsClean)
+{
+    auto out = runApp(cfgFor(TrackerKind::SparseDir, 2.0), "barnes");
+    // Measured accesses plus the warmup prologue.
+    EXPECT_GE(out.accesses, 8u * 3000u);
+    EXPECT_GT(out.execCycles, 0u);
+    EXPECT_GT(out.stats.get("llc.accesses"), 0.0);
+    EXPECT_EQ(out.stats.get("lengthened.reads"), 0.0);
+}
+
+TEST(Integration, CoherenceHoldsUnderLoadForAllSchemes)
+{
+    for (TrackerKind kind :
+         {TrackerKind::SparseDir, TrackerKind::SharedOnlyDir,
+          TrackerKind::InLlcTagExtended, TrackerKind::InLlc,
+          TrackerKind::TinyDir, TrackerKind::Mgd, TrackerKind::Stash}) {
+        SystemConfig cfg = cfgFor(kind, kind == TrackerKind::SparseDir
+                                            ? 2.0 : 1.0 / 32);
+        if (kind == TrackerKind::Mgd) {
+            cfg.dirSkewed = true;
+            cfg.dirAssoc = 4;
+        }
+        auto layout = std::make_shared<const SharedLayout>(
+            profileByName("TPC-C"), cfg);
+        auto streams = makeStreams(layout, cfg, 2000);
+        System sys(cfg);
+        Driver driver;
+        driver.hookPeriod = 4000;
+        driver.hook = [&](System &s, Counter) {
+            std::string msg;
+            ASSERT_TRUE(s.verifyCoherence(&msg))
+                << toString(kind) << ": " << msg;
+        };
+        driver.run(sys, std::move(streams));
+        std::string msg;
+        EXPECT_TRUE(sys.verifyCoherence(&msg))
+            << toString(kind) << ": " << msg;
+    }
+}
+
+TEST(Integration, InLlcSuffersLengthenedReadsTinyRecoversThem)
+{
+    const char *app = "barnes";
+    auto inllc = runApp(cfgFor(TrackerKind::InLlc, 2.0), app);
+    auto tiny = runApp(cfgFor(TrackerKind::TinyDir, 1.0 / 32), app);
+    auto sparse = runApp(cfgFor(TrackerKind::SparseDir, 2.0), app);
+    const double f_inllc = inllc.stats.get("lengthened.frac");
+    const double f_tiny = tiny.stats.get("lengthened.frac");
+    EXPECT_GT(f_inllc, 0.01);
+    EXPECT_LT(f_tiny, f_inllc);
+    EXPECT_EQ(sparse.stats.get("lengthened.frac"), 0.0);
+}
+
+TEST(Integration, InLlcSlowerThanTagExtended)
+{
+    const char *app = "barnes";
+    auto data_bits = runApp(cfgFor(TrackerKind::InLlc, 2.0), app);
+    auto tag_ext =
+        runApp(cfgFor(TrackerKind::InLlcTagExtended, 2.0), app);
+    EXPECT_GT(data_bits.execCycles, tag_ext.execCycles);
+}
+
+TEST(Integration, UndersizedSparseSlowerThanBaseline)
+{
+    const char *app = "TPC-C";
+    auto big = runApp(cfgFor(TrackerKind::SparseDir, 2.0), app);
+    auto small = runApp(cfgFor(TrackerKind::SparseDir, 1.0 / 16), app);
+    EXPECT_GT(static_cast<double>(small.execCycles),
+              static_cast<double>(big.execCycles));
+    EXPECT_GT(small.stats.get("inval.back"),
+              big.stats.get("inval.back"));
+}
+
+TEST(Integration, TinyWithSpillTracksBaselineClosely)
+{
+    const char *app = "TPC-C";
+    auto base = runApp(cfgFor(TrackerKind::SparseDir, 2.0), app, 4000);
+    auto tiny =
+        runApp(cfgFor(TrackerKind::TinyDir, 1.0 / 32), app, 4000);
+    const double ratio = static_cast<double>(tiny.execCycles) /
+        static_cast<double>(base.execCycles);
+    // Scaled-down run: allow slack, but the scheme must stay in the
+    // baseline's neighbourhood, far from the in-LLC degradation.
+    EXPECT_LT(ratio, 1.10);
+    EXPECT_GT(ratio, 0.90);
+}
+
+TEST(Integration, SharedFractionMatchesCharacterization)
+{
+    // Fig. 2: commercial workloads have much larger shared block
+    // populations than compress.
+    auto tpcc = runApp(cfgFor(TrackerKind::SparseDir, 2.0), "TPC-C");
+    auto comp = runApp(cfgFor(TrackerKind::SparseDir, 2.0), "compress");
+    const double shared_tpcc = tpcc.stats.get("resid.shared_blocks") /
+        std::max(1.0, tpcc.stats.get("resid.blocks"));
+    const double shared_comp = comp.stats.get("resid.shared_blocks") /
+        std::max(1.0, comp.stats.get("resid.blocks"));
+    EXPECT_GT(shared_tpcc, 1.2 * shared_comp);
+}
+
+TEST(Integration, StreamingAppHasHighMissRate)
+{
+    auto mgrid = runApp(cfgFor(TrackerKind::SparseDir, 2.0),
+                        "314.mgrid");
+    auto barnes = runApp(cfgFor(TrackerKind::SparseDir, 2.0), "barnes");
+    EXPECT_GT(mgrid.stats.get("llc.miss_rate"), 0.4);
+    EXPECT_LT(barnes.stats.get("llc.miss_rate"),
+              mgrid.stats.get("llc.miss_rate"));
+}
+
+TEST(Integration, StashBroadcastsUnderPressure)
+{
+    auto out = runApp(cfgFor(TrackerKind::Stash, 1.0 / 32), "TPC-C");
+    EXPECT_GT(out.stats.get("dir.broadcasts"), 0.0);
+}
+
+TEST(Integration, EnergyReportedAndPositive)
+{
+    auto out = runApp(cfgFor(TrackerKind::TinyDir, 1.0 / 256), "barnes");
+    EXPECT_GT(out.stats.get("energy.dynamic_j"), 0.0);
+    EXPECT_GT(out.stats.get("energy.leakage_j"), 0.0);
+    EXPECT_GT(out.stats.get("energy.total_j"),
+              out.stats.get("energy.dynamic_j"));
+}
+
+TEST(Integration, DumpContainsAllKeySeries)
+{
+    auto out = runApp(cfgFor(TrackerKind::TinyDir, 1.0 / 64), "barnes");
+    for (const char *key :
+         {"exec_cycles", "llc.accesses", "llc.miss_rate",
+          "lengthened.frac", "traffic.processor.bytes",
+          "traffic.writeback.bytes", "traffic.coherence.bytes",
+          "resid.sharer_bin0", "stra.blocks.c7", "dir.hits",
+          "dir.allocs", "dir.spills", "energy.total_j"}) {
+        EXPECT_TRUE(out.stats.has(key)) << key;
+    }
+}

@@ -1,0 +1,119 @@
+/** @file Tests of the binary trace file reader/writer. */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "sim/driver.hh"
+#include "sim/system.hh"
+#include "workload/generator.hh"
+#include "workload/trace_file.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path = (std::filesystem::temp_directory_path() /
+                ("tinydir_trace_test_" +
+                 std::to_string(::getpid()) + ".bin"))
+                   .string();
+    }
+
+    void TearDown() override { std::remove(path.c_str()); }
+
+    std::string path;
+};
+
+} // namespace
+
+TEST_F(TraceFileTest, RoundTripPreservesEveryRecord)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    auto lay = std::make_shared<const SharedLayout>(
+        profileByName("bodytrack"), cfg);
+    auto counts =
+        TraceFileWriter::write(path, makeStreams(lay, cfg, 500, false));
+    ASSERT_EQ(counts.size(), 8u);
+    for (auto n : counts)
+        EXPECT_EQ(n, 500u);
+
+    auto info = traceFileInfo(path);
+    EXPECT_EQ(info.numCores, 8u);
+
+    // Replay and compare against a freshly generated stream.
+    for (CoreId c : {CoreId(0), CoreId(3), CoreId(7)}) {
+        SyntheticStream ref(lay, c, 500, cfg.seed, false);
+        TraceFileStream replay(path, c);
+        TraceAccess a, b;
+        for (int i = 0; i < 500; ++i) {
+            ASSERT_TRUE(ref.next(a));
+            ASSERT_TRUE(replay.next(b));
+            EXPECT_EQ(a.addr, b.addr);
+            EXPECT_EQ(a.gap, b.gap);
+            EXPECT_EQ(static_cast<int>(a.type),
+                      static_cast<int>(b.type));
+        }
+        EXPECT_FALSE(replay.next(b));
+    }
+}
+
+TEST_F(TraceFileTest, ReplayThroughSimulatorMatchesDirect)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    cfg.tracker = TrackerKind::TinyDir;
+    cfg.dirSizeFactor = 1.0 / 32;
+    auto lay = std::make_shared<const SharedLayout>(
+        profileByName("barnes"), cfg);
+    TraceFileWriter::write(path, makeStreams(lay, cfg, 1500, false));
+
+    // Direct run.
+    System direct(cfg);
+    Driver d1;
+    auto r1 = d1.run(direct, makeStreams(lay, cfg, 1500, false));
+    // Replayed run.
+    System replay(cfg);
+    Driver d2;
+    auto r2 = d2.run(replay, openTraceStreams(path));
+
+    EXPECT_EQ(r1.accesses, r2.accesses);
+    EXPECT_EQ(r1.execCycles, r2.execCycles);
+    EXPECT_EQ(direct.dump().get("llc.accesses"),
+              replay.dump().get("llc.accesses"));
+    EXPECT_EQ(direct.dump().get("lengthened.reads"),
+              replay.dump().get("lengthened.reads"));
+}
+
+TEST_F(TraceFileTest, RejectsGarbage)
+{
+    std::ofstream os(path, std::ios::binary);
+    os << "this is not a trace";
+    os.close();
+    EXPECT_EXIT(traceFileInfo(path), ::testing::ExitedWithCode(1),
+                "not a tinydir trace");
+}
+
+TEST_F(TraceFileTest, RejectsMissingFile)
+{
+    EXPECT_EXIT(traceFileInfo("/nonexistent/trace.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(TraceFileTest, RejectsBadCoreIndex)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    auto lay = std::make_shared<const SharedLayout>(
+        profileByName("compress"), cfg);
+    TraceFileWriter::write(path, makeStreams(lay, cfg, 10, false));
+    EXPECT_EXIT(TraceFileStream(path, 8),
+                ::testing::ExitedWithCode(1), "no core");
+}

@@ -1,0 +1,45 @@
+/** @file Unit tests for message classes and byte accounting. */
+
+#include <gtest/gtest.h>
+
+#include "noc/traffic.hh"
+
+using namespace tinydir;
+
+TEST(Traffic, MessageSizes)
+{
+    EXPECT_EQ(ctrlBytes, 8u);
+    EXPECT_EQ(dataBytes, 72u);
+}
+
+TEST(Traffic, ReconstructBytesMatchesPaper)
+{
+    // 128 cores: 4 + ceil(log2 128) = 11 bits -> 2 bytes.
+    EXPECT_EQ(reconstructBytes(128), 2u);
+    // 16 cores: 4 + 4 = 8 bits -> 1 byte.
+    EXPECT_EQ(reconstructBytes(16), 1u);
+    // 2 cores: 4 + 1 = 5 bits -> 1 byte.
+    EXPECT_EQ(reconstructBytes(2), 1u);
+}
+
+TEST(Traffic, AccumulatesPerClass)
+{
+    TrafficStats t;
+    t.add(MsgClass::Processor, dataBytes);
+    t.add(MsgClass::Processor, ctrlBytes, 3);
+    t.add(MsgClass::Coherence, ctrlBytes);
+    EXPECT_EQ(t.bytes(MsgClass::Processor), dataBytes + 3 * ctrlBytes);
+    EXPECT_EQ(t.messages(MsgClass::Processor), 4u);
+    EXPECT_EQ(t.bytes(MsgClass::Coherence), ctrlBytes);
+    EXPECT_EQ(t.bytes(MsgClass::Writeback), 0u);
+    EXPECT_EQ(t.totalBytes(), dataBytes + 4 * ctrlBytes);
+    t.reset();
+    EXPECT_EQ(t.totalBytes(), 0u);
+}
+
+TEST(Traffic, ClassNames)
+{
+    EXPECT_EQ(toString(MsgClass::Processor), "processor");
+    EXPECT_EQ(toString(MsgClass::Writeback), "writeback");
+    EXPECT_EQ(toString(MsgClass::Coherence), "coherence");
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for protocol-level tests: a small System wrapper with
+ * explicit access stepping and invariant assertion.
+ */
+
+#ifndef TINYDIR_TESTS_TEST_UTIL_HH
+#define TINYDIR_TESTS_TEST_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/system.hh"
+
+namespace tinydir::test
+{
+
+/** An 8-core system scaled down for directed protocol tests. */
+inline SystemConfig
+smallConfig(TrackerKind kind, double dir_factor = 2.0)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    cfg.tracker = kind;
+    cfg.dirSizeFactor = dir_factor;
+    return cfg;
+}
+
+/** Drives a System with per-core clocks like the Driver would. */
+class Harness
+{
+  public:
+    explicit Harness(const SystemConfig &cfg) : sys(cfg) {}
+
+    /** Execute one access on core @p c; returns its latency. */
+    Cycle
+    step(CoreId c, AccessType type, Addr block, Cycle gap = 10)
+    {
+        TraceAccess acc;
+        acc.gap = gap;
+        acc.type = type;
+        acc.addr = block << blockShift;
+        const Cycle issue = sys.cores[c].clock + gap;
+        const Cycle done = sys.executeAccess(c, acc, issue);
+        sys.cores[c].clock = done;
+        return done - issue;
+    }
+
+    Cycle load(CoreId c, Addr b) { return step(c, AccessType::Load, b); }
+    Cycle store(CoreId c, Addr b)
+    {
+        return step(c, AccessType::Store, b);
+    }
+    Cycle ifetch(CoreId c, Addr b)
+    {
+        return step(c, AccessType::Ifetch, b);
+    }
+
+    MesiState
+    stateAt(CoreId c, Addr b) const
+    {
+        return sys.privs[c].state(b);
+    }
+
+    void
+    expectCoherent()
+    {
+        std::string msg;
+        EXPECT_TRUE(sys.verifyCoherence(&msg)) << msg;
+    }
+
+    System sys;
+};
+
+} // namespace tinydir::test
+
+#endif // TINYDIR_TESTS_TEST_UTIL_HH

@@ -1,0 +1,153 @@
+/** @file Tests of the synthetic workload profiles and generator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace tinydir;
+
+TEST(Workload, SeventeenProfiles)
+{
+    EXPECT_EQ(allProfiles().size(), 17u);
+    std::set<std::string> names;
+    for (const auto &p : allProfiles())
+        names.insert(p.name);
+    EXPECT_EQ(names.size(), 17u); // unique
+    EXPECT_TRUE(names.count("barnes"));
+    EXPECT_TRUE(names.count("TPC-C"));
+    EXPECT_TRUE(names.count("SPEC_Web-B"));
+}
+
+TEST(Workload, LookupByName)
+{
+    EXPECT_EQ(profileByName("barnes").name, "barnes");
+    EXPECT_EXIT(profileByName("nonexistent"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(Workload, ProfileParametersSane)
+{
+    for (const auto &p : allProfiles()) {
+        EXPECT_GE(p.ifetchFrac, 0.0) << p.name;
+        EXPECT_LE(p.ifetchFrac + p.streamFrac, 1.0) << p.name;
+        EXPECT_GT(p.privBlocksPerCore, 0u) << p.name;
+        EXPECT_GT(p.sharedBlocksPerCore, 0u) << p.name;
+        double mix = 0;
+        for (double d : p.degreeMix)
+            mix += d;
+        EXPECT_NEAR(mix, 1.0, 1e-6) << p.name;
+    }
+}
+
+TEST(Workload, LayoutCoversAllCores)
+{
+    SystemConfig cfg = SystemConfig::scaled(16);
+    SharedLayout lay(profileByName("barnes"), cfg);
+    ASSERT_EQ(lay.groupsOfCore.size(), 16u);
+    for (const auto &g : lay.groupsOfCore)
+        EXPECT_FALSE(g.empty());
+    // Degrees respect the bins.
+    for (const auto &grp : lay.groups) {
+        EXPECT_GE(grp.degree, 2u);
+        EXPECT_LE(grp.degree, cfg.numCores);
+    }
+}
+
+TEST(Workload, StreamsAreDeterministic)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    auto lay = std::make_shared<const SharedLayout>(
+        profileByName("bodytrack"), cfg);
+    SyntheticStream s1(lay, 3, 1000, cfg.seed);
+    SyntheticStream s2(lay, 3, 1000, cfg.seed);
+    TraceAccess a1, a2;
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(s1.next(a1));
+        ASSERT_TRUE(s2.next(a2));
+        EXPECT_EQ(a1.addr, a2.addr);
+        EXPECT_EQ(a1.gap, a2.gap);
+        EXPECT_EQ(static_cast<int>(a1.type), static_cast<int>(a2.type));
+    }
+    EXPECT_FALSE(s1.next(a1)); // exhausted
+}
+
+TEST(Workload, MixRoughlyMatchesProfile)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    const auto &prof = profileByName("TPC-C");
+    auto lay = std::make_shared<const SharedLayout>(prof, cfg);
+    SyntheticStream s(lay, 0, 50000, cfg.seed);
+    TraceAccess a;
+    unsigned ifetches = 0, total = 0;
+    while (s.next(a)) {
+        ++total;
+        if (a.type == AccessType::Ifetch)
+            ++ifetches;
+        EXPECT_EQ(a.addr % blockBytes, 0u); // block aligned
+        EXPECT_GE(a.gap, 1u);
+    }
+    EXPECT_EQ(total, 50000u);
+    EXPECT_NEAR(ifetches / 50000.0, prof.ifetchFrac, 0.02);
+}
+
+TEST(Workload, StreamingBlocksNeverRepeat)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    const auto &prof = profileByName("314.mgrid"); // 72% streaming
+    auto lay = std::make_shared<const SharedLayout>(prof, cfg);
+    SyntheticStream s(lay, 1, 20000, cfg.seed);
+    TraceAccess a;
+    std::map<Addr, unsigned> counts;
+    while (s.next(a))
+        ++counts[blockNumber(a.addr)];
+    // Streaming blocks live in their own region and appear once each.
+    unsigned streaming_blocks = 0;
+    for (const auto &[blk, n] : counts) {
+        if (blk >= lay->streamBase) {
+            EXPECT_EQ(n, 1u);
+            ++streaming_blocks;
+        }
+    }
+    EXPECT_NEAR(streaming_blocks / 20000.0, prof.streamFrac, 0.03);
+}
+
+TEST(Workload, CoresShareOnlyGroupAndCodeBlocks)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    const auto &prof = profileByName("compress");
+    auto lay = std::make_shared<const SharedLayout>(prof, cfg);
+    // Collect private-region addresses of two cores; they must be
+    // disjoint.
+    std::set<Addr> c0, c1;
+    SyntheticStream s0(lay, 0, 5000, cfg.seed);
+    SyntheticStream s1(lay, 1, 5000, cfg.seed);
+    TraceAccess a;
+    while (s0.next(a)) {
+        Addr b = blockNumber(a.addr);
+        if (b >= lay->privBase && b < lay->streamBase)
+            c0.insert(b);
+    }
+    while (s1.next(a)) {
+        Addr b = blockNumber(a.addr);
+        if (b >= lay->privBase && b < lay->streamBase)
+            c1.insert(b);
+    }
+    for (Addr b : c0)
+        EXPECT_FALSE(c1.count(b));
+}
+
+TEST(Workload, MakeStreamsOnePerCore)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    auto lay = std::make_shared<const SharedLayout>(
+        profileByName("sunflow"), cfg);
+    auto streams = makeStreams(lay, cfg, 10);
+    EXPECT_EQ(streams.size(), 8u);
+    TraceAccess a;
+    for (auto &s : streams)
+        EXPECT_TRUE(s->next(a));
+}

@@ -1,0 +1,76 @@
+/** @file Unit tests for the exact discrete Zipf sampler. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+
+using namespace tinydir;
+
+TEST(ZipfSampler, UniformWhenThetaZero)
+{
+    Rng rng(5);
+    ZipfSampler z(8, 0.0);
+    std::vector<unsigned> counts(8, 0);
+    for (int i = 0; i < 16000; ++i)
+        ++counts[z(rng)];
+    for (auto c : counts)
+        EXPECT_NEAR(static_cast<double>(c), 2000.0, 300.0);
+}
+
+TEST(ZipfSampler, MatchesAnalyticHeadMass)
+{
+    // theta = 1: P(rank 0) = 1 / H(n). For n = 100, H(100) ~ 5.187.
+    Rng rng(7);
+    ZipfSampler z(100, 1.0);
+    unsigned zeros = 0;
+    const int draws = 50000;
+    for (int i = 0; i < draws; ++i)
+        zeros += z(rng) == 0;
+    EXPECT_NEAR(zeros / double(draws), 1.0 / 5.187, 0.01);
+}
+
+TEST(ZipfSampler, HeavierThetaConcentratesMore)
+{
+    Rng r1(9), r2(9);
+    ZipfSampler weak(256, 0.6), strong(256, 1.4);
+    unsigned weak_head = 0, strong_head = 0;
+    for (int i = 0; i < 20000; ++i) {
+        weak_head += weak(r1) < 16;
+        strong_head += strong(r2) < 16;
+    }
+    EXPECT_GT(strong_head, weak_head + 2000);
+}
+
+TEST(ZipfSampler, AllRanksReachable)
+{
+    Rng rng(11);
+    ZipfSampler z(16, 0.9);
+    std::vector<bool> seen(16, false);
+    for (int i = 0; i < 20000; ++i)
+        seen[z(rng)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(ZipfSampler, SingleElement)
+{
+    Rng rng(13);
+    ZipfSampler z(1, 1.2);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(z(rng), 0u);
+}
+
+TEST(ZipfSampler, MonotoneNonIncreasingFrequencies)
+{
+    Rng rng(17);
+    ZipfSampler z(32, 1.1);
+    std::vector<unsigned> counts(32, 0);
+    for (int i = 0; i < 200000; ++i)
+        ++counts[z(rng)];
+    // Allow small statistical noise between adjacent ranks, but the
+    // decade trend must be monotone.
+    EXPECT_GT(counts[0], counts[7]);
+    EXPECT_GT(counts[7], counts[31]);
+}

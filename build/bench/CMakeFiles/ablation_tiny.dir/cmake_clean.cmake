@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tiny.dir/ablation_tiny.cc.o"
+  "CMakeFiles/ablation_tiny.dir/ablation_tiny.cc.o.d"
+  "ablation_tiny"
+  "ablation_tiny.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tiny.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_sparse_scaling.dir/fig01_sparse_scaling.cc.o"
+  "CMakeFiles/fig01_sparse_scaling.dir/fig01_sparse_scaling.cc.o.d"
+  "fig01_sparse_scaling"
+  "fig01_sparse_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_sparse_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_sharer_histogram.dir/fig02_sharer_histogram.cc.o"
+  "CMakeFiles/fig02_sharer_histogram.dir/fig02_sharer_histogram.cc.o.d"
+  "fig02_sharer_histogram"
+  "fig02_sharer_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_sharer_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_shared_only.dir/fig03_shared_only.cc.o"
+  "CMakeFiles/fig03_shared_only.dir/fig03_shared_only.cc.o.d"
+  "fig03_shared_only"
+  "fig03_shared_only.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_shared_only.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

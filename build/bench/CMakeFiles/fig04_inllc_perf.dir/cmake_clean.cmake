@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_inllc_perf.dir/fig04_inllc_perf.cc.o"
+  "CMakeFiles/fig04_inllc_perf.dir/fig04_inllc_perf.cc.o.d"
+  "fig04_inllc_perf"
+  "fig04_inllc_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_inllc_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_inllc_traffic.dir/fig05_inllc_traffic.cc.o"
+  "CMakeFiles/fig05_inllc_traffic.dir/fig05_inllc_traffic.cc.o.d"
+  "fig05_inllc_traffic"
+  "fig05_inllc_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_inllc_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

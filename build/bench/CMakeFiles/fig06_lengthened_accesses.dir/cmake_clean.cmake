@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_lengthened_accesses.dir/fig06_lengthened_accesses.cc.o"
+  "CMakeFiles/fig06_lengthened_accesses.dir/fig06_lengthened_accesses.cc.o.d"
+  "fig06_lengthened_accesses"
+  "fig06_lengthened_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_lengthened_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_lengthened_blocks.dir/fig07_lengthened_blocks.cc.o"
+  "CMakeFiles/fig07_lengthened_blocks.dir/fig07_lengthened_blocks.cc.o.d"
+  "fig07_lengthened_blocks"
+  "fig07_lengthened_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_lengthened_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

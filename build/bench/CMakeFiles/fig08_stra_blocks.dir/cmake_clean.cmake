@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_stra_blocks.dir/fig08_stra_blocks.cc.o"
+  "CMakeFiles/fig08_stra_blocks.dir/fig08_stra_blocks.cc.o.d"
+  "fig08_stra_blocks"
+  "fig08_stra_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_stra_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_stra_accesses.dir/fig09_stra_accesses.cc.o"
+  "CMakeFiles/fig09_stra_accesses.dir/fig09_stra_accesses.cc.o.d"
+  "fig09_stra_accesses"
+  "fig09_stra_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_stra_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

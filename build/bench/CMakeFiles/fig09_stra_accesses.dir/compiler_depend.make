@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_stra_accesses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tiny_32.dir/fig10_tiny_32.cc.o"
+  "CMakeFiles/fig10_tiny_32.dir/fig10_tiny_32.cc.o.d"
+  "fig10_tiny_32"
+  "fig10_tiny_32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tiny_32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_tiny_64.dir/fig11_tiny_64.cc.o"
+  "CMakeFiles/fig11_tiny_64.dir/fig11_tiny_64.cc.o.d"
+  "fig11_tiny_64"
+  "fig11_tiny_64.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_tiny_64.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_tiny_128.dir/fig12_tiny_128.cc.o"
+  "CMakeFiles/fig12_tiny_128.dir/fig12_tiny_128.cc.o.d"
+  "fig12_tiny_128"
+  "fig12_tiny_128.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tiny_128.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_tiny_128.
+# This may be replaced when dependencies are built.

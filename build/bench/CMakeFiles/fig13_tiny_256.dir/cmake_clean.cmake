@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tiny_256.dir/fig13_tiny_256.cc.o"
+  "CMakeFiles/fig13_tiny_256.dir/fig13_tiny_256.cc.o.d"
+  "fig13_tiny_256"
+  "fig13_tiny_256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tiny_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

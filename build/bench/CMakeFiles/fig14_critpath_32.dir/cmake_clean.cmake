@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_critpath_32.dir/fig14_critpath_32.cc.o"
+  "CMakeFiles/fig14_critpath_32.dir/fig14_critpath_32.cc.o.d"
+  "fig14_critpath_32"
+  "fig14_critpath_32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_critpath_32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_critpath_32.
+# This may be replaced when dependencies are built.

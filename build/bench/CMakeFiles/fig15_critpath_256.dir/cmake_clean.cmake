@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_critpath_256.dir/fig15_critpath_256.cc.o"
+  "CMakeFiles/fig15_critpath_256.dir/fig15_critpath_256.cc.o.d"
+  "fig15_critpath_256"
+  "fig15_critpath_256.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_critpath_256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

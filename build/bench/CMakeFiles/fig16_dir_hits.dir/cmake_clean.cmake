@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_dir_hits.dir/fig16_dir_hits.cc.o"
+  "CMakeFiles/fig16_dir_hits.dir/fig16_dir_hits.cc.o.d"
+  "fig16_dir_hits"
+  "fig16_dir_hits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_dir_hits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

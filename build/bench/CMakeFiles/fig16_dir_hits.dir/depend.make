@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_dir_hits.
+# This may be replaced when dependencies are built.

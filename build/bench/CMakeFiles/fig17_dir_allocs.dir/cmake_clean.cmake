@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_dir_allocs.dir/fig17_dir_allocs.cc.o"
+  "CMakeFiles/fig17_dir_allocs.dir/fig17_dir_allocs.cc.o.d"
+  "fig17_dir_allocs"
+  "fig17_dir_allocs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_dir_allocs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_hits_per_alloc.dir/fig18_hits_per_alloc.cc.o"
+  "CMakeFiles/fig18_hits_per_alloc.dir/fig18_hits_per_alloc.cc.o.d"
+  "fig18_hits_per_alloc"
+  "fig18_hits_per_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_hits_per_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

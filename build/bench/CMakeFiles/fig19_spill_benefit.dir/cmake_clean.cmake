@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_spill_benefit.dir/fig19_spill_benefit.cc.o"
+  "CMakeFiles/fig19_spill_benefit.dir/fig19_spill_benefit.cc.o.d"
+  "fig19_spill_benefit"
+  "fig19_spill_benefit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_spill_benefit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

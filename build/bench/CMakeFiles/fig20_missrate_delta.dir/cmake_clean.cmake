@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_missrate_delta.dir/fig20_missrate_delta.cc.o"
+  "CMakeFiles/fig20_missrate_delta.dir/fig20_missrate_delta.cc.o.d"
+  "fig20_missrate_delta"
+  "fig20_missrate_delta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_missrate_delta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

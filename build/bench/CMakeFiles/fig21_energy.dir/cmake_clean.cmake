@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_energy.dir/fig21_energy.cc.o"
+  "CMakeFiles/fig21_energy.dir/fig21_energy.cc.o.d"
+  "fig21_energy"
+  "fig21_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

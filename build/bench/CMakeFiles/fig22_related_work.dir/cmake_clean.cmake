@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_related_work.dir/fig22_related_work.cc.o"
+  "CMakeFiles/fig22_related_work.dir/fig22_related_work.cc.o.d"
+  "fig22_related_work"
+  "fig22_related_work.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_related_work.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

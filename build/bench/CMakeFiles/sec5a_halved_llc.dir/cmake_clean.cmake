@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5a_halved_llc.dir/sec5a_halved_llc.cc.o"
+  "CMakeFiles/sec5a_halved_llc.dir/sec5a_halved_llc.cc.o.d"
+  "sec5a_halved_llc"
+  "sec5a_halved_llc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5a_halved_llc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

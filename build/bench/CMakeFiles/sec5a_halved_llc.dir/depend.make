@@ -1,0 +1,2 @@
+# Empty dependencies file for sec5a_halved_llc.
+# This may be replaced when dependencies are built.

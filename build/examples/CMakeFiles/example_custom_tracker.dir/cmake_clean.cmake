@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_tracker.dir/custom_tracker.cpp.o"
+  "CMakeFiles/example_custom_tracker.dir/custom_tracker.cpp.o.d"
+  "example_custom_tracker"
+  "example_custom_tracker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_tracker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multisocket_study.dir/multisocket_study.cpp.o"
+  "CMakeFiles/example_multisocket_study.dir/multisocket_study.cpp.o.d"
+  "example_multisocket_study"
+  "example_multisocket_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multisocket_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

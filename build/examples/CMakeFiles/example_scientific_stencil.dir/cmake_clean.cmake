@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_scientific_stencil.dir/scientific_stencil.cpp.o"
+  "CMakeFiles/example_scientific_stencil.dir/scientific_stencil.cpp.o.d"
+  "example_scientific_stencil"
+  "example_scientific_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_scientific_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

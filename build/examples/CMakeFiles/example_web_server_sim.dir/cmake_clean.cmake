@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_web_server_sim.dir/web_server_sim.cpp.o"
+  "CMakeFiles/example_web_server_sim.dir/web_server_sim.cpp.o.d"
+  "example_web_server_sim"
+  "example_web_server_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_web_server_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/llc.cc" "src/CMakeFiles/tinydir.dir/cache/llc.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/cache/llc.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/tinydir.dir/common/config.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/common/config.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/tinydir.dir/common/log.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/common/log.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/tinydir.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/common/stats.cc.o.d"
+  "/root/repo/src/core/private_cache.cc" "src/CMakeFiles/tinydir.dir/core/private_cache.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/core/private_cache.cc.o.d"
+  "/root/repo/src/energy/energy.cc" "src/CMakeFiles/tinydir.dir/energy/energy.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/energy/energy.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/tinydir.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/h3_hash.cc" "src/CMakeFiles/tinydir.dir/mem/h3_hash.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/mem/h3_hash.cc.o.d"
+  "/root/repo/src/mem/replacement.cc" "src/CMakeFiles/tinydir.dir/mem/replacement.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/mem/replacement.cc.o.d"
+  "/root/repo/src/noc/mesh.cc" "src/CMakeFiles/tinydir.dir/noc/mesh.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/noc/mesh.cc.o.d"
+  "/root/repo/src/noc/traffic.cc" "src/CMakeFiles/tinydir.dir/noc/traffic.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/noc/traffic.cc.o.d"
+  "/root/repo/src/proto/engine.cc" "src/CMakeFiles/tinydir.dir/proto/engine.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/proto/engine.cc.o.d"
+  "/root/repo/src/proto/inllc.cc" "src/CMakeFiles/tinydir.dir/proto/inllc.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/proto/inllc.cc.o.d"
+  "/root/repo/src/proto/mesi.cc" "src/CMakeFiles/tinydir.dir/proto/mesi.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/proto/mesi.cc.o.d"
+  "/root/repo/src/proto/mgd.cc" "src/CMakeFiles/tinydir.dir/proto/mgd.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/proto/mgd.cc.o.d"
+  "/root/repo/src/proto/shared_only_dir.cc" "src/CMakeFiles/tinydir.dir/proto/shared_only_dir.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/proto/shared_only_dir.cc.o.d"
+  "/root/repo/src/proto/sparse_dir.cc" "src/CMakeFiles/tinydir.dir/proto/sparse_dir.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/proto/sparse_dir.cc.o.d"
+  "/root/repo/src/proto/spill.cc" "src/CMakeFiles/tinydir.dir/proto/spill.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/proto/spill.cc.o.d"
+  "/root/repo/src/proto/stash.cc" "src/CMakeFiles/tinydir.dir/proto/stash.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/proto/stash.cc.o.d"
+  "/root/repo/src/proto/tiny_dir.cc" "src/CMakeFiles/tinydir.dir/proto/tiny_dir.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/proto/tiny_dir.cc.o.d"
+  "/root/repo/src/sim/driver.cc" "src/CMakeFiles/tinydir.dir/sim/driver.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/sim/driver.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/tinydir.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/tinydir.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/sim/system.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/tinydir.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/tinydir.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/trace_file.cc" "src/CMakeFiles/tinydir.dir/workload/trace_file.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/workload/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bitops.cc" "tests/CMakeFiles/tinydir_tests.dir/test_bitops.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_bitops.cc.o.d"
+  "/root/repo/tests/test_cache_array.cc" "tests/CMakeFiles/tinydir_tests.dir/test_cache_array.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_cache_array.cc.o.d"
+  "/root/repo/tests/test_coarse_sharers.cc" "tests/CMakeFiles/tinydir_tests.dir/test_coarse_sharers.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_coarse_sharers.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/tinydir_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/tinydir_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_energy.cc" "tests/CMakeFiles/tinydir_tests.dir/test_energy.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_energy.cc.o.d"
+  "/root/repo/tests/test_engine_edges.cc" "tests/CMakeFiles/tinydir_tests.dir/test_engine_edges.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_engine_edges.cc.o.d"
+  "/root/repo/tests/test_engine_sparse.cc" "tests/CMakeFiles/tinydir_tests.dir/test_engine_sparse.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_engine_sparse.cc.o.d"
+  "/root/repo/tests/test_generator_phases.cc" "tests/CMakeFiles/tinydir_tests.dir/test_generator_phases.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_generator_phases.cc.o.d"
+  "/root/repo/tests/test_inllc.cc" "tests/CMakeFiles/tinydir_tests.dir/test_inllc.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_inllc.cc.o.d"
+  "/root/repo/tests/test_llc.cc" "tests/CMakeFiles/tinydir_tests.dir/test_llc.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_llc.cc.o.d"
+  "/root/repo/tests/test_mesh.cc" "tests/CMakeFiles/tinydir_tests.dir/test_mesh.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_mesh.cc.o.d"
+  "/root/repo/tests/test_mesi.cc" "tests/CMakeFiles/tinydir_tests.dir/test_mesi.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_mesi.cc.o.d"
+  "/root/repo/tests/test_mgd_stash.cc" "tests/CMakeFiles/tinydir_tests.dir/test_mgd_stash.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_mgd_stash.cc.o.d"
+  "/root/repo/tests/test_private_cache.cc" "tests/CMakeFiles/tinydir_tests.dir/test_private_cache.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_private_cache.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/tinydir_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/tinydir_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_rng.cc.o.d"
+  "/root/repo/tests/test_shared_only.cc" "tests/CMakeFiles/tinydir_tests.dir/test_shared_only.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_shared_only.cc.o.d"
+  "/root/repo/tests/test_sharer_set.cc" "tests/CMakeFiles/tinydir_tests.dir/test_sharer_set.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_sharer_set.cc.o.d"
+  "/root/repo/tests/test_skew_array.cc" "tests/CMakeFiles/tinydir_tests.dir/test_skew_array.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_skew_array.cc.o.d"
+  "/root/repo/tests/test_spill.cc" "tests/CMakeFiles/tinydir_tests.dir/test_spill.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_spill.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/tinydir_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_system_integration.cc" "tests/CMakeFiles/tinydir_tests.dir/test_system_integration.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_system_integration.cc.o.d"
+  "/root/repo/tests/test_tiny_dir.cc" "tests/CMakeFiles/tinydir_tests.dir/test_tiny_dir.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_tiny_dir.cc.o.d"
+  "/root/repo/tests/test_tiny_edges.cc" "tests/CMakeFiles/tinydir_tests.dir/test_tiny_edges.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_tiny_edges.cc.o.d"
+  "/root/repo/tests/test_trace_file.cc" "tests/CMakeFiles/tinydir_tests.dir/test_trace_file.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_trace_file.cc.o.d"
+  "/root/repo/tests/test_traffic.cc" "tests/CMakeFiles/tinydir_tests.dir/test_traffic.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_traffic.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/tinydir_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_workload.cc.o.d"
+  "/root/repo/tests/test_zipf.cc" "tests/CMakeFiles/tinydir_tests.dir/test_zipf.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tinydir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

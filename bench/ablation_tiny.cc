@@ -19,28 +19,10 @@
 using namespace tinydir;
 using namespace tinydir::bench;
 
-namespace
-{
-
-double
-averageExec(const SystemConfig &cfg, const BenchScale &scale)
-{
-    double sum = 0;
-    unsigned n = 0;
-    for (const auto *app : selectApps(scale)) {
-        RunOut o = runOne(cfg, *app, scale.accessesPerCore,
-                          scale.warmupPerCore);
-        sum += static_cast<double>(o.execCycles);
-        ++n;
-    }
-    return sum / n;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     BenchScale scale = parseBenchScale(argc, argv);
     if (scale.onlyApps.empty()) {
         // Sharing-heavy subset: where the knobs actually matter.
@@ -48,64 +30,130 @@ main(int argc, char **argv)
     }
     SystemConfig ref =
         tinyCfg(scale, 1.0 / 64, TinyPolicy::DstraGnru, true);
-    const double base = averageExec(ref, scale);
+
+    // Every sweep point goes into one job list so the worker pool
+    // covers the whole ablation and the memoizer collapses the sweep
+    // points that equal the paper-setting reference.
+    std::vector<SystemConfig> cfgs;
+    auto add = [&](const SystemConfig &cfg) {
+        cfgs.push_back(cfg);
+        return cfgs.size() - 1;
+    };
+    const std::size_t ref_i = add(ref);
+
+    const std::vector<unsigned> stra_bits{2, 4, 6, 8};
+    std::vector<std::size_t> stra_i;
+    for (unsigned bits : stra_bits) {
+        SystemConfig cfg = ref;
+        cfg.straCounterBits = bits;
+        stra_i.push_back(add(cfg));
+    }
+
+    const std::vector<unsigned> quanta{1024, 4096, 16384, 65536};
+    std::vector<std::size_t> quanta_i;
+    for (unsigned q : quanta) {
+        SystemConfig cfg = ref;
+        cfg.gnruQuantumCycles = q;
+        quanta_i.push_back(add(cfg));
+    }
+
+    const std::vector<unsigned> windows{256, 1024, 4096, 8192};
+    std::vector<std::size_t> windows_i;
+    for (unsigned w : windows) {
+        SystemConfig cfg = ref;
+        cfg.spillWindowAccesses = w;
+        windows_i.push_back(add(cfg));
+    }
+
+    const std::vector<unsigned> sampled{4, 16, 64};
+    std::vector<std::size_t> sampled_i;
+    for (unsigned s : sampled) {
+        SystemConfig cfg = ref;
+        cfg.spillSampledSets = s;
+        sampled_i.push_back(add(cfg));
+    }
+
+    const std::size_t full_i = add(sparseCfg(scale, 2.0));
+    const std::vector<unsigned> grains{1, 2, 4, 8};
+    std::vector<std::size_t> grains_i;
+    for (unsigned grain : grains) {
+        SystemConfig cfg = sparseCfg(scale, 2.0);
+        cfg.sharerGrain = grain;
+        grains_i.push_back(add(cfg));
+    }
+
+    std::vector<std::size_t> spill_i;
+    for (bool sp : {false, true}) {
+        spill_i.push_back(add(
+            tinyCfg(scale, 1.0 / 256, TinyPolicy::DstraGnru, sp)));
+    }
+
+    const auto grid = runGrid(cfgs, scale);
+
+    // Machine-readable record of the whole sweep: one row per config,
+    // workload-average post-warmup execution cycles.
+    {
+        ResultTable rec("Ablations: tiny 1/64x +DynSpill design knobs",
+                        {"avg exec cycles"});
+        for (std::size_t c = 0; c < cfgs.size(); ++c) {
+            double sum = 0;
+            for (const auto &row : grid)
+                sum += static_cast<double>(row[c].out.execCycles);
+            rec.addRow("cfg" + std::to_string(c),
+                       {sum / static_cast<double>(grid.size())});
+        }
+        recordGridResults(rec, scale, grid, t0);
+    }
+
+    auto avgExec = [&](std::size_t cfg_idx) {
+        double sum = 0;
+        for (const auto &row : grid)
+            sum += static_cast<double>(row[cfg_idx].out.execCycles);
+        return sum / static_cast<double>(grid.size());
+    };
+    const double base = avgExec(ref_i);
 
     std::cout << "# Ablations of the tiny 1/64x +DynSpill design "
                  "(execution time normalized to paper settings)\n";
 
     std::cout << "\nSTRA counter width (paper: 6 bits)\n";
-    for (unsigned bits : {2u, 4u, 6u, 8u}) {
-        SystemConfig cfg = ref;
-        cfg.straCounterBits = bits;
-        std::cout << "  " << bits << " bits: "
-                  << averageExec(cfg, scale) / base << '\n';
+    for (std::size_t i = 0; i < stra_bits.size(); ++i) {
+        std::cout << "  " << stra_bits[i] << " bits: "
+                  << avgExec(stra_i[i]) / base << '\n';
     }
 
     std::cout << "\ngNRU generation quantum (paper: 4096 cycles)\n";
-    for (unsigned q : {1024u, 4096u, 16384u, 65536u}) {
-        SystemConfig cfg = ref;
-        cfg.gnruQuantumCycles = q;
-        std::cout << "  " << q << " cycles: "
-                  << averageExec(cfg, scale) / base << '\n';
+    for (std::size_t i = 0; i < quanta.size(); ++i) {
+        std::cout << "  " << quanta[i] << " cycles: "
+                  << avgExec(quanta_i[i]) / base << '\n';
     }
 
     std::cout << "\nDynSpill observation window (scaled default: "
               << ref.spillWindowAccesses << " accesses/bank)\n";
-    for (unsigned w : {256u, 1024u, 4096u, 8192u}) {
-        SystemConfig cfg = ref;
-        cfg.spillWindowAccesses = w;
-        std::cout << "  " << w << " accesses: "
-                  << averageExec(cfg, scale) / base << '\n';
+    for (std::size_t i = 0; i < windows.size(); ++i) {
+        std::cout << "  " << windows[i] << " accesses: "
+                  << avgExec(windows_i[i]) / base << '\n';
     }
 
     std::cout << "\nDynSpill sampled no-spill sets (paper: 16/bank)\n";
-    for (unsigned s : {4u, 16u, 64u}) {
-        SystemConfig cfg = ref;
-        cfg.spillSampledSets = s;
-        std::cout << "  " << s << " sets: "
-                  << averageExec(cfg, scale) / base << '\n';
+    for (std::size_t i = 0; i < sampled.size(); ++i) {
+        std::cout << "  " << sampled[i] << " sets: "
+                  << avgExec(sampled_i[i]) / base << '\n';
     }
 
     std::cout << "\nCoarse sharer vectors on the sparse 2x baseline "
                  "(Section I-A: width reduction applies on top)\n";
     {
-        SystemConfig full = sparseCfg(scale, 2.0);
-        const double fbase = averageExec(full, scale);
-        for (unsigned grain : {1u, 2u, 4u, 8u}) {
-            SystemConfig cfg = sparseCfg(scale, 2.0);
-            cfg.sharerGrain = grain;
-            std::cout << "  grain " << grain << " ("
-                      << cfg.numCores / grain << "-bit vector): "
-                      << averageExec(cfg, scale) / fbase << '\n';
+        const double fbase = avgExec(full_i);
+        for (std::size_t i = 0; i < grains.size(); ++i) {
+            std::cout << "  grain " << grains[i] << " ("
+                      << scale.cores / grains[i] << "-bit vector): "
+                      << avgExec(grains_i[i]) / fbase << '\n';
         }
     }
 
     std::cout << "\nSpilling on/off at 1/256x (robustness source)\n";
-    for (bool sp : {false, true}) {
-        SystemConfig cfg =
-            tinyCfg(scale, 1.0 / 256, TinyPolicy::DstraGnru, sp);
-        std::cout << "  spill " << (sp ? "on " : "off") << ": "
-                  << averageExec(cfg, scale) / base << '\n';
-    }
+    std::cout << "  spill off: " << avgExec(spill_i[0]) / base << '\n';
+    std::cout << "  spill on : " << avgExec(spill_i[1]) / base << '\n';
     return 0;
 }

@@ -11,6 +11,7 @@
 #ifndef TINYDIR_BENCH_BENCH_UTIL_HH
 #define TINYDIR_BENCH_BENCH_UTIL_HH
 
+#include <chrono>
 #include <functional>
 #include <iostream>
 #include <string>
@@ -18,6 +19,7 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 
 namespace tinydir::bench
 {
@@ -32,11 +34,26 @@ struct Scheme
     SystemConfig cfg;
 };
 
+/**
+ * Execution time of the measured region. This is the post-warmup
+ * cycle count (the exec_cycles stat): the warmup half of every trace
+ * is identical across schemes and would dilute the scheme-vs-scheme
+ * ratios the figures compare.
+ */
 inline Metric
 execCyclesMetric()
 {
     return [](const RunOut &o) {
         return static_cast<double>(o.execCycles);
+    };
+}
+
+/** Raw run length including warmup (the historical metric). */
+inline Metric
+totalCyclesMetric()
+{
+    return [](const RunOut &o) {
+        return static_cast<double>(o.totalCycles);
     };
 }
 
@@ -47,9 +64,91 @@ statMetric(const std::string &name)
 }
 
 /**
+ * Record an experiment's timing: emit a wall-time summary on stderr
+ * (stdout stays a clean table for CSV consumers) and, when
+ * TINYDIR_JSON names a file, append the machine-readable record.
+ */
+inline void
+recordBenchResults(const ResultTable &table, const BenchScale &scale,
+                   const std::vector<SimResult> &results,
+                   std::chrono::steady_clock::time_point t0)
+{
+    BenchTiming timing;
+    timing.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    timing.jobs = scale.jobs ? scale.jobs : defaultJobCount();
+    for (const auto &r : results) {
+        if (r.memoized) {
+            ++timing.simsMemoized;
+        } else {
+            ++timing.simsRun;
+            timing.simSeconds += r.wallSeconds;
+        }
+    }
+    std::cerr << "# " << table.tableTitle() << ": " << timing.simsRun
+              << " sims (" << timing.simsMemoized << " memoized), "
+              << timing.jobs << " jobs, wall " << timing.wallSeconds
+              << " s, sim " << timing.simSeconds << " s\n";
+    const std::string path = jsonResultsPath();
+    if (!path.empty())
+        appendJsonResults(path, table, scale, timing);
+}
+
+/**
+ * Run every selected app under every config on the worker pool;
+ * result[a][c] pairs selectApps(scale)[a] with cfgs[c]. For figure
+ * binaries whose columns are not one-metric-per-scheme (sharer
+ * histograms, traffic breakdowns, ...) and so cannot go through
+ * runMatrix. Finish with recordGridResults().
+ */
+inline std::vector<std::vector<SimResult>>
+runGrid(const std::vector<SystemConfig> &cfgs, const BenchScale &scale)
+{
+    const auto apps = selectApps(scale);
+    std::vector<SimJob> jobs;
+    jobs.reserve(apps.size() * cfgs.size());
+    for (const auto *app : apps) {
+        for (const auto &cfg : cfgs) {
+            jobs.push_back({cfg, app, scale.accessesPerCore,
+                            scale.warmupPerCore});
+        }
+    }
+    auto flat = runMany(jobs, scale.jobs);
+    std::vector<std::vector<SimResult>> grid(apps.size());
+    std::size_t k = 0;
+    for (auto &row : grid) {
+        row.reserve(cfgs.size());
+        for (std::size_t c = 0; c < cfgs.size(); ++c)
+            row.push_back(std::move(flat[k++]));
+    }
+    return grid;
+}
+
+/** recordBenchResults() over a runGrid() result. */
+inline void
+recordGridResults(const ResultTable &table, const BenchScale &scale,
+                  const std::vector<std::vector<SimResult>> &grid,
+                  std::chrono::steady_clock::time_point t0)
+{
+    std::vector<SimResult> flat;
+    for (const auto &row : grid) {
+        for (const auto &r : row)
+            flat.push_back(r);
+    }
+    recordBenchResults(table, scale, flat, t0);
+}
+
+/**
  * Run every selected app under every scheme and tabulate
  * metric(run) — divided by metric(baseline run) when a baseline
  * config is supplied.
+ *
+ * The full scheme x app matrix (baseline included) is enqueued up
+ * front and executed by runMany()'s worker pool, so every figure
+ * binary scales with --jobs / TINYDIR_JOBS; a baseline that is also
+ * one of the schemes is simulated only once.
  */
 inline ResultTable
 runMatrix(const std::string &title, const BenchScale &scale,
@@ -57,27 +156,46 @@ runMatrix(const std::string &title, const BenchScale &scale,
           const std::vector<Scheme> &schemes, const Metric &metric,
           const Metric &baseline_metric = {})
 {
+    const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::string> cols;
     cols.reserve(schemes.size());
     for (const auto &s : schemes)
         cols.push_back(s.label);
     ResultTable table(title, cols);
-    for (const auto *app : selectApps(scale)) {
+
+    const auto apps = selectApps(scale);
+    std::vector<SimJob> jobs;
+    jobs.reserve(apps.size() * (schemes.size() + (baseline ? 1 : 0)));
+    for (const auto *app : apps) {
+        if (baseline) {
+            jobs.push_back({*baseline, app, scale.accessesPerCore,
+                            scale.warmupPerCore});
+        }
+        for (const auto &s : schemes) {
+            jobs.push_back({s.cfg, app, scale.accessesPerCore,
+                            scale.warmupPerCore});
+        }
+    }
+    const auto results = runMany(jobs, scale.jobs);
+
+    std::size_t k = 0;
+    for (const auto *app : apps) {
         double base = 1.0;
         if (baseline) {
-            RunOut b = runOne(*baseline, *app, scale.accessesPerCore, scale.warmupPerCore);
+            const RunOut &b = results[k++].out;
             base = (baseline_metric ? baseline_metric : metric)(b);
             if (base == 0.0)
                 base = 1.0;
         }
         std::vector<double> row;
         row.reserve(schemes.size());
-        for (const auto &s : schemes) {
-            RunOut o = runOne(s.cfg, *app, scale.accessesPerCore, scale.warmupPerCore);
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const RunOut &o = results[k++].out;
             row.push_back(metric(o) / (baseline ? base : 1.0));
         }
         table.addRow(app->name, std::move(row));
     }
+    recordBenchResults(table, scale, results, t0);
     return table;
 }
 

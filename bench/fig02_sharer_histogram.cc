@@ -15,13 +15,16 @@ using namespace tinydir::bench;
 int
 main(int argc, char **argv)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     BenchScale scale = parseBenchScale(argc, argv);
     SystemConfig cfg = sparseCfg(scale, 2.0);
     ResultTable table(
         "Fig. 2: % of allocated LLC blocks by max sharer count",
         {"[2,4]", "[5,8]", "[9,16]", "[17,C]", "shared total"});
-    for (const auto *app : selectApps(scale)) {
-        RunOut o = runOne(cfg, *app, scale.accessesPerCore, scale.warmupPerCore);
+    const auto apps = selectApps(scale);
+    const auto grid = runGrid({cfg}, scale);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const RunOut &o = grid[a][0].out;
         const double blocks =
             std::max(1.0, o.stats.get("resid.blocks"));
         std::vector<double> row;
@@ -32,8 +35,9 @@ main(int argc, char **argv)
         }
         row.push_back(100.0 * o.stats.get("resid.shared_blocks") /
                       blocks);
-        table.addRow(app->name, std::move(row));
+        table.addRow(apps[a]->name, std::move(row));
     }
+    recordGridResults(table, scale, grid, t0);
     table.print(std::cout, 2);
     return 0;
 }

@@ -15,6 +15,7 @@ using namespace tinydir::bench;
 int
 main(int argc, char **argv)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     BenchScale scale = parseBenchScale(argc, argv);
     SystemConfig base = sparseCfg(scale, 2.0);
     SystemConfig illc = baseConfig(scale);
@@ -25,13 +26,15 @@ main(int argc, char **argv)
         "sparse 2x total",
         {"base:proc", "base:wb", "base:coh", "inllc:proc", "inllc:wb",
          "inllc:coh", "inllc:total"});
-    for (const auto *app : selectApps(scale)) {
-        RunOut b = runOne(base, *app, scale.accessesPerCore, scale.warmupPerCore);
-        RunOut o = runOne(illc, *app, scale.accessesPerCore, scale.warmupPerCore);
+    const auto apps = selectApps(scale);
+    const auto grid = runGrid({base, illc}, scale);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const RunOut &b = grid[a][0].out;
+        const RunOut &o = grid[a][1].out;
         const double total =
             std::max(1.0, b.stats.get("traffic.total.bytes"));
         table.addRow(
-            app->name,
+            apps[a]->name,
             {b.stats.get("traffic.processor.bytes") / total,
              b.stats.get("traffic.writeback.bytes") / total,
              b.stats.get("traffic.coherence.bytes") / total,
@@ -40,6 +43,7 @@ main(int argc, char **argv)
              o.stats.get("traffic.coherence.bytes") / total,
              o.stats.get("traffic.total.bytes") / total});
     }
+    recordGridResults(table, scale, grid, t0);
     table.print(std::cout);
     return 0;
 }

@@ -14,20 +14,24 @@ using namespace tinydir::bench;
 int
 main(int argc, char **argv)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     BenchScale scale = parseBenchScale(argc, argv);
     SystemConfig illc = baseConfig(scale);
     illc.tracker = TrackerKind::InLlc;
     ResultTable table(
         "Fig. 7: % of allocated LLC blocks with lengthened accesses",
         {"blocks %"});
-    for (const auto *app : selectApps(scale)) {
-        RunOut o = runOne(illc, *app, scale.accessesPerCore, scale.warmupPerCore);
+    const auto apps = selectApps(scale);
+    const auto grid = runGrid({illc}, scale);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const RunOut &o = grid[a][0].out;
         const double blocks =
             std::max(1.0, o.stats.get("resid.blocks"));
-        table.addRow(app->name,
+        table.addRow(apps[a]->name,
                      {100.0 * o.stats.get("resid.lengthened_blocks") /
                       blocks});
     }
+    recordGridResults(table, scale, grid, t0);
     table.print(std::cout, 2);
     return 0;
 }

@@ -15,14 +15,17 @@ using namespace tinydir::bench;
 int
 main(int argc, char **argv)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     BenchScale scale = parseBenchScale(argc, argv);
     SystemConfig illc = baseConfig(scale);
     illc.tracker = TrackerKind::InLlc;
     ResultTable table(
         "Fig. 8: % of non-zero-STRA LLC blocks per category",
         {"C1", "C2", "C3", "C4", "C5", "C6", "C7"});
-    for (const auto *app : selectApps(scale)) {
-        RunOut o = runOne(illc, *app, scale.accessesPerCore, scale.warmupPerCore);
+    const auto apps = selectApps(scale);
+    const auto grid = runGrid({illc}, scale);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const RunOut &o = grid[a][0].out;
         double total = 0;
         for (unsigned c = 1; c <= 7; ++c) {
             total += o.stats.get("stra.blocks.c" +
@@ -35,8 +38,9 @@ main(int argc, char **argv)
                           o.stats.get("stra.blocks.c" +
                                       std::to_string(c)) / total);
         }
-        table.addRow(app->name, std::move(row));
+        table.addRow(apps[a]->name, std::move(row));
     }
+    recordGridResults(table, scale, grid, t0);
     table.print(std::cout, 2);
     return 0;
 }

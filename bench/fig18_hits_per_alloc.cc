@@ -14,26 +14,31 @@ using namespace tinydir::bench;
 int
 main(int argc, char **argv)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     BenchScale scale = parseBenchScale(argc, argv);
     const std::vector<double> sizes{1.0 / 256, 1.0 / 128, 1.0 / 64,
                                     1.0 / 32};
     std::vector<std::string> cols;
-    for (double f : sizes)
+    std::vector<SystemConfig> cfgs;
+    for (double f : sizes) {
         cols.push_back(sizeLabel(f));
+        cfgs.push_back(tinyCfg(scale, f, TinyPolicy::DstraGnru, false));
+    }
     ResultTable table(
         "Fig. 18: tiny directory hits per allocation (DSTRA+gNRU)",
         cols);
-    for (const auto *app : selectApps(scale)) {
+    const auto apps = selectApps(scale);
+    const auto grid = runGrid(cfgs, scale);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
         std::vector<double> row;
-        for (double f : sizes) {
-            RunOut o =
-                runOne(tinyCfg(scale, f, TinyPolicy::DstraGnru, false),
-                       *app, scale.accessesPerCore, scale.warmupPerCore);
+        for (std::size_t c = 0; c < cfgs.size(); ++c) {
+            const RunOut &o = grid[a][c].out;
             row.push_back(o.stats.get("dir.hits") /
                           std::max(1.0, o.stats.get("dir.allocs")));
         }
-        table.addRow(app->name, std::move(row));
+        table.addRow(apps[a]->name, std::move(row));
     }
+    recordGridResults(table, scale, grid, t0);
     table.print(std::cout, 1);
     return 0;
 }

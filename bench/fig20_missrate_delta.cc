@@ -15,29 +15,32 @@ using namespace tinydir::bench;
 int
 main(int argc, char **argv)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     BenchScale scale = parseBenchScale(argc, argv);
-    SystemConfig base = sparseCfg(scale, 2.0);
     const std::vector<double> sizes{1.0 / 256, 1.0 / 128, 1.0 / 64,
                                     1.0 / 32};
     std::vector<std::string> cols;
-    for (double f : sizes)
+    std::vector<SystemConfig> cfgs{sparseCfg(scale, 2.0)};
+    for (double f : sizes) {
         cols.push_back(sizeLabel(f));
+        cfgs.push_back(tinyCfg(scale, f, TinyPolicy::DstraGnru, true));
+    }
     ResultTable table(
         "Fig. 20: LLC miss-rate increase vs sparse 2x (% points)",
         cols);
-    for (const auto *app : selectApps(scale)) {
-        RunOut b = runOne(base, *app, scale.accessesPerCore, scale.warmupPerCore);
-        const double mr_base = b.stats.get("llc.miss_rate");
+    const auto apps = selectApps(scale);
+    const auto grid = runGrid(cfgs, scale);
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+        const double mr_base = grid[a][0].out.stats.get("llc.miss_rate");
         std::vector<double> row;
-        for (double f : sizes) {
-            RunOut o =
-                runOne(tinyCfg(scale, f, TinyPolicy::DstraGnru, true),
-                       *app, scale.accessesPerCore, scale.warmupPerCore);
+        for (std::size_t c = 1; c < cfgs.size(); ++c) {
+            const RunOut &o = grid[a][c].out;
             row.push_back(100.0 *
                           (o.stats.get("llc.miss_rate") - mr_base));
         }
-        table.addRow(app->name, std::move(row));
+        table.addRow(apps[a]->name, std::move(row));
     }
+    recordGridResults(table, scale, grid, t0);
     table.print(std::cout, 2);
     return 0;
 }

@@ -22,19 +22,20 @@ struct Sums
     double dyn = 0, leak = 0, total = 0, cycles = 0;
 };
 
+/** Workload average of one config's column of a runGrid() result. */
 Sums
-average(const SystemConfig &cfg, const BenchScale &scale)
+average(const std::vector<std::vector<SimResult>> &grid,
+        std::size_t cfg_idx)
 {
     Sums s;
-    unsigned n = 0;
-    for (const auto *app : selectApps(scale)) {
-        RunOut o = runOne(cfg, *app, scale.accessesPerCore, scale.warmupPerCore);
+    for (const auto &row : grid) {
+        const RunOut &o = row[cfg_idx].out;
         s.dyn += o.stats.get("energy.dynamic_j");
         s.leak += o.stats.get("energy.leakage_j");
         s.total += o.stats.get("energy.total_j");
         s.cycles += static_cast<double>(o.execCycles);
-        ++n;
     }
+    const auto n = static_cast<double>(grid.size());
     s.dyn /= n;
     s.leak /= n;
     s.total /= n;
@@ -47,26 +48,36 @@ average(const SystemConfig &cfg, const BenchScale &scale)
 int
 main(int argc, char **argv)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     BenchScale scale = parseBenchScale(argc, argv);
-    const Sums ref = average(
-        tinyCfg(scale, 1.0 / 256, TinyPolicy::DstraGnru, true), scale);
+
+    const std::vector<double> sparse_sizes{2.0, 1.0, 0.5, 0.25, 0.125,
+                                           1.0 / 16};
+    std::vector<SystemConfig> cfgs{
+        tinyCfg(scale, 1.0 / 256, TinyPolicy::DstraGnru, true)};
+    for (double f : sparse_sizes)
+        cfgs.push_back(sparseCfg(scale, f));
+    cfgs.push_back(tinyCfg(scale, 1.0 / 128, TinyPolicy::DstraGnru,
+                           true));
+    const auto grid = runGrid(cfgs, scale);
+    const Sums ref = average(grid, 0);
 
     ResultTable table(
         "Fig. 21: energy and cycles normalized to the 1/256x tiny "
         "directory (+DynSpill), workload average",
         {"dynamic", "leakage", "total", "exec cycles"});
-    for (double f : {2.0, 1.0, 0.5, 0.25, 0.125, 1.0 / 16}) {
-        const Sums s = average(sparseCfg(scale, f), scale);
-        table.addRow("sparse " + sizeLabel(f),
+    for (std::size_t i = 0; i < sparse_sizes.size(); ++i) {
+        const Sums s = average(grid, 1 + i);
+        table.addRow("sparse " + sizeLabel(sparse_sizes[i]),
                      {s.dyn / ref.dyn, s.leak / ref.leak,
                       s.total / ref.total, s.cycles / ref.cycles});
     }
-    const Sums t128 = average(
-        tinyCfg(scale, 1.0 / 128, TinyPolicy::DstraGnru, true), scale);
+    const Sums t128 = average(grid, cfgs.size() - 1);
     table.addRow("tiny 1/128x",
                  {t128.dyn / ref.dyn, t128.leak / ref.leak,
                   t128.total / ref.total, t128.cycles / ref.cycles});
     table.addRow("tiny 1/256x", {1.0, 1.0, 1.0, 1.0});
+    recordGridResults(table, scale, grid, t0);
     table.print(std::cout, 3, false);
     return 0;
 }

@@ -19,6 +19,7 @@ inline int
 runGnruRatioFigure(int argc, char **argv, const std::string &title,
                    const std::string &stat)
 {
+    const auto t0 = std::chrono::steady_clock::now();
     BenchScale scale = parseBenchScale(argc, argv);
     const std::vector<double> sizes{1.0 / 256, 1.0 / 128, 1.0 / 64,
                                     1.0 / 32};
@@ -26,20 +27,36 @@ runGnruRatioFigure(int argc, char **argv, const std::string &title,
     for (double f : sizes)
         cols.push_back(sizeLabel(f));
     ResultTable table(title, cols);
-    for (const auto *app : selectApps(scale)) {
-        std::vector<double> row;
+
+    // Enqueue the whole app x size matrix (a DSTRA and a DSTRA+gNRU
+    // run per cell) for the worker pool.
+    const auto apps = selectApps(scale);
+    std::vector<SimJob> jobs;
+    jobs.reserve(apps.size() * sizes.size() * 2);
+    for (const auto *app : apps) {
         for (double f : sizes) {
-            RunOut dstra =
-                runOne(tinyCfg(scale, f, TinyPolicy::Dstra, false),
-                       *app, scale.accessesPerCore, scale.warmupPerCore);
-            RunOut gnru =
-                runOne(tinyCfg(scale, f, TinyPolicy::DstraGnru, false),
-                       *app, scale.accessesPerCore, scale.warmupPerCore);
+            jobs.push_back({tinyCfg(scale, f, TinyPolicy::Dstra, false),
+                            app, scale.accessesPerCore,
+                            scale.warmupPerCore});
+            jobs.push_back(
+                {tinyCfg(scale, f, TinyPolicy::DstraGnru, false), app,
+                 scale.accessesPerCore, scale.warmupPerCore});
+        }
+    }
+    const auto results = runMany(jobs, scale.jobs);
+
+    std::size_t k = 0;
+    for (const auto *app : apps) {
+        std::vector<double> row;
+        for (std::size_t i = 0; i < sizes.size(); ++i) {
+            const RunOut &dstra = results[k++].out;
+            const RunOut &gnru = results[k++].out;
             const double denom = std::max(1.0, dstra.stats.get(stat));
             row.push_back(gnru.stats.get(stat) / denom);
         }
         table.addRow(app->name, std::move(row));
     }
+    recordBenchResults(table, scale, results, t0);
     table.print(std::cout);
     return 0;
 }

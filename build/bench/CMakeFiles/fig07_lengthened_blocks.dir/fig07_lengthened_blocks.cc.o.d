@@ -154,6 +154,10 @@ bench/CMakeFiles/fig07_lengthened_blocks.dir/fig07_lengthened_blocks.cc.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_util.hh \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /usr/include/c++/12/functional /usr/include/c++/12/tuple \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
@@ -176,8 +180,7 @@ bench/CMakeFiles/fig07_lengthened_blocks.dir/fig07_lengthened_blocks.cc.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/experiment.hh \
  /root/repo/src/common/config.hh /root/repo/src/common/types.hh \
- /usr/include/c++/12/limits /root/repo/src/common/stats.hh \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/common/stats.hh /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/workload/profile.hh
+ /root/repo/src/workload/profile.hh /root/repo/src/sim/parallel.hh

@@ -30,6 +30,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/proto/tiny_dir.cc" "src/CMakeFiles/tinydir.dir/proto/tiny_dir.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/proto/tiny_dir.cc.o.d"
   "/root/repo/src/sim/driver.cc" "src/CMakeFiles/tinydir.dir/sim/driver.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/sim/driver.cc.o.d"
   "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/tinydir.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/parallel.cc" "src/CMakeFiles/tinydir.dir/sim/parallel.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/sim/parallel.cc.o.d"
   "/root/repo/src/sim/system.cc" "src/CMakeFiles/tinydir.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/sim/system.cc.o.d"
   "/root/repo/src/workload/generator.cc" "src/CMakeFiles/tinydir.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/workload/generator.cc.o.d"
   "/root/repo/src/workload/profile.cc" "src/CMakeFiles/tinydir.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/tinydir.dir/workload/profile.cc.o.d"

@@ -225,4 +225,12 @@ src/CMakeFiles/tinydir.dir/workload/generator.cc.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/trace.hh \
  /root/repo/src/proto/mesi.hh /root/repo/src/common/sharer_set.hh \
- /usr/include/c++/12/array /root/repo/src/workload/profile.hh
+ /usr/include/c++/12/array /root/repo/src/workload/profile.hh \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -22,6 +22,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/test_mesh.cc" "tests/CMakeFiles/tinydir_tests.dir/test_mesh.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_mesh.cc.o.d"
   "/root/repo/tests/test_mesi.cc" "tests/CMakeFiles/tinydir_tests.dir/test_mesi.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_mesi.cc.o.d"
   "/root/repo/tests/test_mgd_stash.cc" "tests/CMakeFiles/tinydir_tests.dir/test_mgd_stash.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_mgd_stash.cc.o.d"
+  "/root/repo/tests/test_parallel_runner.cc" "tests/CMakeFiles/tinydir_tests.dir/test_parallel_runner.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_parallel_runner.cc.o.d"
   "/root/repo/tests/test_private_cache.cc" "tests/CMakeFiles/tinydir_tests.dir/test_private_cache.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_private_cache.cc.o.d"
   "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/tinydir_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_properties.cc.o.d"
   "/root/repo/tests/test_rng.cc" "tests/CMakeFiles/tinydir_tests.dir/test_rng.cc.o" "gcc" "tests/CMakeFiles/tinydir_tests.dir/test_rng.cc.o.d"

@@ -2,35 +2,64 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace tinydir
 {
 namespace log_detail
 {
 
+namespace
+{
+
+/**
+ * Serializes the sinks: parallel simulation workers warn() and
+ * inform() concurrently, and interleaved partial lines would make the
+ * output useless. Each message is rendered before the lock is taken
+ * and emitted with a single stdio call.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+} // namespace
+
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> guard(sinkMutex());
+        std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> guard(sinkMutex());
+        std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
+                     line);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> guard(sinkMutex());
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> guard(sinkMutex());
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

@@ -1,11 +1,33 @@
 #include "common/stats.hh"
 
+#include <cmath>
 #include <iomanip>
 
 #include "common/log.hh"
 
 namespace tinydir
 {
+
+int
+histQuantileBucket(const Histogram &h, double q)
+{
+    const Counter n = h.total();
+    if (n == 0)
+        return -1;
+    auto target = static_cast<Counter>(
+        std::ceil(q * static_cast<double>(n)));
+    if (target == 0)
+        target = 1;
+    if (target > n)
+        target = n;
+    Counter acc = 0;
+    for (unsigned b = 0; b < h.size(); ++b) {
+        acc += h.bucket(b);
+        if (acc >= target)
+            return static_cast<int>(b);
+    }
+    return static_cast<int>(h.size()) - 1;
+}
 
 void
 StatsDump::print(std::ostream &os) const

@@ -72,6 +72,15 @@ class Histogram
     std::vector<Counter> buckets;
 };
 
+/**
+ * Index of the bucket holding the @p q quantile of @p h, or -1 when
+ * the histogram is empty. The target rank is ceil(q * total) clamped
+ * to [1, total]: a truncated target of 0 would be "reached" at bucket
+ * 0 even when that bucket is empty, which used to misreport p50/p90
+ * of small samples as the first bucket's midpoint.
+ */
+int histQuantileBucket(const Histogram &h, double q);
+
 /** Tracks a running mean without storing samples. */
 class Average
 {
@@ -109,6 +118,13 @@ class StatsDump
 
     double get(const std::string &name) const;
     bool has(const std::string &name) const;
+
+    /** All entries in dump order (e.g. for whole-dump comparison). */
+    const std::vector<std::pair<std::string, double>> &
+    items() const
+    {
+        return entries;
+    }
 
   private:
     std::vector<std::pair<std::string, double>> entries;

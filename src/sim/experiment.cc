@@ -1,7 +1,9 @@
 #include "sim/experiment.hh"
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iomanip>
 #include <memory>
 #include <ostream>
@@ -19,7 +21,7 @@ runOne(const SystemConfig &cfg, const WorkloadProfile &prof,
        std::uint64_t accesses_per_core,
        std::uint64_t warmup_per_core)
 {
-    auto layout = std::make_shared<const SharedLayout>(prof, cfg);
+    auto layout = layoutFor(prof, cfg);
     // Warmup must cover the deterministic prologue (one touch of the
     // reused footprint) plus some steady-state settling.
     std::uint64_t warmup = warmup_per_core;
@@ -34,17 +36,42 @@ runOne(const SystemConfig &cfg, const WorkloadProfile &prof,
     driver.warmupAccesses = warmup * cfg.numCores;
     const RunResult rr = driver.run(sys, std::move(streams));
     RunOut out;
-    out.execCycles = rr.execCycles;
+    out.totalCycles = rr.execCycles;
     out.accesses = rr.accesses;
     out.stats = sys.dump();
+    out.execCycles =
+        static_cast<Cycle>(out.stats.get("exec_cycles"));
     return out;
 }
+
+namespace
+{
+
+/**
+ * Parse the value of a --flag=N bench argument. Rejects garbage,
+ * trailing junk and zero: silently atoi-ing those to 0 used to turn
+ * a typo into a 0-core simulation.
+ */
+std::uint64_t
+parsePositiveFlag(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value, &end, 10);
+    fatal_if(value[0] == '\0' || end == nullptr || *end != '\0' ||
+                 v == 0,
+             flag, " expects a positive integer, got \"", value, "\"");
+    return static_cast<std::uint64_t>(v);
+}
+
+} // namespace
 
 BenchScale
 parseBenchScale(int argc, char **argv)
 {
     BenchScale s;
     s.accessesPerCore = 20000;
+    bool explicit_cores = false;
+    bool explicit_accesses = false;
     bool explicit_warmup = false;
     const char *envf = std::getenv("TINYDIR_FULL");
     if (envf && envf[0] == '1')
@@ -59,27 +86,42 @@ parseBenchScale(int argc, char **argv)
         } else if (std::strcmp(a, "--quick") == 0) {
             s.quick = true;
         } else if (std::strncmp(a, "--cores=", 8) == 0) {
-            s.cores = static_cast<unsigned>(std::atoi(a + 8));
+            s.cores = static_cast<unsigned>(
+                parsePositiveFlag("--cores", a + 8));
+            explicit_cores = true;
         } else if (std::strncmp(a, "--accesses=", 11) == 0) {
-            s.accessesPerCore =
-                static_cast<std::uint64_t>(std::atoll(a + 11));
+            s.accessesPerCore = parsePositiveFlag("--accesses", a + 11);
+            explicit_accesses = true;
         } else if (std::strncmp(a, "--warmup=", 9) == 0) {
-            s.warmupPerCore =
-                static_cast<std::uint64_t>(std::atoll(a + 9));
+            s.warmupPerCore = parsePositiveFlag("--warmup", a + 9);
             explicit_warmup = true;
+        } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+            s.jobs = static_cast<unsigned>(
+                parsePositiveFlag("--jobs", a + 7));
         } else if (std::strncmp(a, "--app=", 6) == 0) {
             s.onlyApps.emplace_back(a + 6);
         } else {
             warn("ignoring unknown bench argument: ", a);
         }
     }
+    if (s.full && s.quick) {
+        warn("--full and --quick both requested; keeping --full");
+        s.quick = false;
+    }
+    // Presets fill in whatever was not given explicitly: an explicit
+    // --cores/--accesses always wins over --full/--quick.
     if (s.full) {
-        s.cores = 128;
-        s.accessesPerCore = std::max<std::uint64_t>(
-            s.accessesPerCore, 20000);
+        if (!explicit_cores)
+            s.cores = 128;
+        if (!explicit_accesses) {
+            s.accessesPerCore = std::max<std::uint64_t>(
+                s.accessesPerCore, 20000);
+        }
     } else if (s.quick) {
-        s.cores = 8;
-        s.accessesPerCore = 2000;
+        if (!explicit_cores)
+            s.cores = 8;
+        if (!explicit_accesses)
+            s.accessesPerCore = 2000;
     }
     if (!explicit_warmup)
         s.warmupPerCore = s.accessesPerCore / 2;
@@ -199,6 +241,92 @@ ResultTable::printCsv(std::ostream &os, bool with_average) const
             avg[i] = columnAverage(i);
         row_out("Average", avg);
     }
+}
+
+std::string
+jsonResultsPath()
+{
+    const char *p = std::getenv("TINYDIR_JSON");
+    return p ? std::string(p) : std::string();
+}
+
+namespace
+{
+
+void
+jsonString(std::ostream &os, const std::string &s)
+{
+    os << '"';
+    for (char ch : s) {
+        switch (ch) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default: os << ch;
+        }
+    }
+    os << '"';
+}
+
+void
+jsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    os << std::setprecision(17) << v;
+}
+
+} // namespace
+
+void
+appendJsonResults(const std::string &path, const ResultTable &table,
+                  const BenchScale &scale, const BenchTiming &timing)
+{
+    std::ofstream os(path, std::ios::app);
+    if (!os) {
+        warn("cannot open TINYDIR_JSON file for append: ", path);
+        return;
+    }
+    os << "{\"title\":";
+    jsonString(os, table.tableTitle());
+    os << ",\"cores\":" << scale.cores
+       << ",\"accesses_per_core\":" << scale.accessesPerCore
+       << ",\"warmup_per_core\":" << scale.warmupPerCore
+       << ",\"full\":" << (scale.full ? "true" : "false")
+       << ",\"quick\":" << (scale.quick ? "true" : "false")
+       << ",\"jobs\":" << timing.jobs
+       << ",\"sims_run\":" << timing.simsRun
+       << ",\"sims_memoized\":" << timing.simsMemoized
+       << ",\"wall_seconds\":";
+    jsonNumber(os, timing.wallSeconds);
+    os << ",\"sim_seconds\":";
+    jsonNumber(os, timing.simSeconds);
+    os << ",\"columns\":[";
+    const auto &cols = table.columns();
+    for (std::size_t i = 0; i < cols.size(); ++i) {
+        if (i)
+            os << ',';
+        jsonString(os, cols[i]);
+    }
+    os << "],\"rows\":[";
+    const auto &rows = table.rowData();
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        if (r)
+            os << ',';
+        os << "{\"workload\":";
+        jsonString(os, rows[r].first);
+        os << ",\"values\":[";
+        for (std::size_t c = 0; c < rows[r].second.size(); ++c) {
+            if (c)
+                os << ',';
+            jsonNumber(os, rows[r].second[c]);
+        }
+        os << "]}";
+    }
+    os << "]}\n";
 }
 
 } // namespace tinydir

@@ -25,7 +25,15 @@ namespace tinydir
 /** Output of one simulated run. */
 struct RunOut
 {
+    /**
+     * Cycles of the measured (post-warmup) region — identical to the
+     * exec_cycles stat. Scheme-vs-scheme execution-time ratios must
+     * use this, not totalCycles: the warmup half of the trace would
+     * otherwise dilute them.
+     */
     Cycle execCycles = 0;
+    /** Raw run length including the warmup phase. */
+    Cycle totalCycles = 0;
     Counter accesses = 0;
     StatsDump stats;
 };
@@ -45,15 +53,21 @@ struct BenchScale
     unsigned cores = 16;
     std::uint64_t accessesPerCore = 20000;
     std::uint64_t warmupPerCore = 10000;
+    /** Simulation worker threads (0 = TINYDIR_JOBS, else hardware). */
+    unsigned jobs = 0;
     bool full = false;    //!< paper-scale (128 cores, Table I sizes)
     bool quick = false;   //!< CI-quick subset
     std::vector<std::string> onlyApps; //!< restrict workload list
 };
 
 /**
- * Parse --full / --quick / --cores=N / --accesses=N / --app=NAME
- * (repeatable) plus the TINYDIR_FULL / TINYDIR_QUICK environment
- * variables.
+ * Parse --full / --quick / --cores=N / --accesses=N / --warmup=N /
+ * --jobs=N / --app=NAME (repeatable) plus the TINYDIR_FULL /
+ * TINYDIR_QUICK / TINYDIR_JOBS environment variables.
+ *
+ * Explicit flags win over the --full/--quick presets; combining
+ * --full with --quick warns and keeps --full. Numeric flags must be
+ * positive integers: garbage or zero is rejected with fatal().
  */
 BenchScale parseBenchScale(int argc, char **argv);
 
@@ -85,11 +99,41 @@ class ResultTable
     /** Arithmetic mean of one column over all rows. */
     double columnAverage(unsigned col) const;
 
+    const std::string &tableTitle() const { return title; }
+    const std::vector<std::string> &columns() const { return cols; }
+    const std::vector<std::pair<std::string, std::vector<double>>> &
+    rowData() const
+    {
+        return rows;
+    }
+
   private:
     std::string title;
     std::vector<std::string> cols;
     std::vector<std::pair<std::string, std::vector<double>>> rows;
 };
+
+/** Wall-time accounting for one tabulated experiment. */
+struct BenchTiming
+{
+    double wallSeconds = 0.0; //!< end-to-end matrix wall time
+    double simSeconds = 0.0;  //!< summed per-simulation wall time
+    unsigned jobs = 1;        //!< worker threads used
+    unsigned simsRun = 0;     //!< simulations actually executed
+    unsigned simsMemoized = 0; //!< cells served from identical jobs
+};
+
+/** Path of the machine-readable results dump (TINYDIR_JSON), or "". */
+std::string jsonResultsPath();
+
+/**
+ * Append one JSON-lines record (title, scale, per-cell values, wall
+ * time) for @p table to @p path. Benches call this automatically when
+ * TINYDIR_JSON is set, so a whole suite run can share one file.
+ */
+void appendJsonResults(const std::string &path, const ResultTable &table,
+                       const BenchScale &scale,
+                       const BenchTiming &timing);
 
 } // namespace tinydir
 

@@ -1,0 +1,136 @@
+#include "sim/parallel.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <ios>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+std::string
+jobFingerprint(const SimJob &job)
+{
+    panic_if(!job.prof, "SimJob without a workload profile");
+    std::ostringstream os;
+    // Hexfloat keeps the double-valued fields exact.
+    os << std::hexfloat;
+    os << job.prof << '|' << job.prof->name << '|'
+       << job.accessesPerCore << '|' << job.warmupPerCore;
+    const SystemConfig &c = job.cfg;
+    os << '|' << c.numCores << '|' << c.l1Bytes << '|' << c.l1Assoc
+       << '|' << c.l1Latency << '|' << c.l2Bytes << '|' << c.l2Assoc
+       << '|' << c.l2Latency << '|' << c.llcAssoc << '|'
+       << c.llcTagLatency << '|' << c.llcDataLatency << '|'
+       << c.llcBlocksPerN << '|' << c.hopCycles << '|' << c.memChannels
+       << '|' << c.memBanksPerChannel << '|' << c.dramCas << '|'
+       << c.dramRcd << '|' << c.dramRp << '|' << c.dramBurst << '|'
+       << c.dramRowBytes << '|' << static_cast<int>(c.tracker) << '|'
+       << c.dirSizeFactor << '|' << c.dirAssoc << '|' << c.dirSkewed
+       << '|' << static_cast<int>(c.tinyPolicy) << '|' << c.tinySpill
+       << '|' << c.sharerGrain << '|' << c.straCounterBits << '|'
+       << c.gnruQuantumCycles << '|' << c.gnruTimerBits << '|'
+       << c.spillSampledSets << '|' << c.spillWindowAccesses << '|'
+       << c.mgdRegionBytes << '|' << c.seed << '|'
+       << c.nackRetryCycles;
+    return os.str();
+}
+
+unsigned
+defaultJobCount()
+{
+    const char *env = std::getenv("TINYDIR_JOBS");
+    if (env && env[0] != '\0') {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+        warn("TINYDIR_JOBS must be a positive integer, ignoring: ",
+             env);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+namespace
+{
+
+SimResult
+runTimed(const SimJob &job)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    SimResult r;
+    r.out = runOne(job.cfg, *job.prof, job.accessesPerCore,
+                   job.warmupPerCore);
+    r.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return r;
+}
+
+} // namespace
+
+std::vector<SimResult>
+runMany(const std::vector<SimJob> &jobs, unsigned workers)
+{
+    std::vector<SimResult> results(jobs.size());
+    if (jobs.empty())
+        return results;
+
+    // Deduplicate: the first job with a given fingerprint simulates;
+    // later duplicates share its result.
+    std::unordered_map<std::string, std::size_t> seen;
+    std::vector<std::size_t> uniqueIdx;  // job index of each unique job
+    std::vector<std::size_t> sourceOf(jobs.size()); // -> uniqueIdx slot
+    uniqueIdx.reserve(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const auto [it, inserted] =
+            seen.emplace(jobFingerprint(jobs[i]), uniqueIdx.size());
+        if (inserted)
+            uniqueIdx.push_back(i);
+        sourceOf[i] = it->second;
+    }
+
+    if (workers == 0)
+        workers = defaultJobCount();
+    workers = static_cast<unsigned>(std::min<std::size_t>(
+        workers, uniqueIdx.size()));
+
+    std::vector<SimResult> unique(uniqueIdx.size());
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+        for (;;) {
+            const std::size_t u = next.fetch_add(1);
+            if (u >= uniqueIdx.size())
+                return;
+            unique[u] = runTimed(jobs[uniqueIdx[u]]);
+        }
+    };
+    if (workers <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(work);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        results[i] = unique[sourceOf[i]];
+        if (uniqueIdx[sourceOf[i]] != i) {
+            results[i].memoized = true;
+            results[i].wallSeconds = 0.0;
+        }
+    }
+    return results;
+}
+
+} // namespace tinydir

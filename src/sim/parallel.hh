@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Parallel experiment runner: executes independent (configuration x
+ * workload) simulations on a worker pool.
+ *
+ * Every System is self-contained and every SyntheticStream draws from
+ * its own RNG, so simulations are embarrassingly parallel; the only
+ * shared infrastructure the workers touch (the log sinks, the
+ * workload layout registry) is thread-safe. Results are returned in
+ * submission order and are bit-identical to serial execution
+ * regardless of the worker count.
+ *
+ * Duplicate jobs are memoized through a config+app fingerprint: when
+ * a figure's baseline configuration also appears among its schemes,
+ * or the same cell is requested twice, the simulation runs once and
+ * the result is shared.
+ */
+
+#ifndef TINYDIR_SIM_PARALLEL_HH
+#define TINYDIR_SIM_PARALLEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/experiment.hh"
+#include "workload/profile.hh"
+
+namespace tinydir
+{
+
+/** One independent simulation request. */
+struct SimJob
+{
+    SystemConfig cfg;
+    const WorkloadProfile *prof = nullptr;
+    std::uint64_t accessesPerCore = 0;
+    std::uint64_t warmupPerCore = 0;
+};
+
+/** Outcome of one job, with wall-time accounting. */
+struct SimResult
+{
+    RunOut out;
+    /** Seconds spent simulating this job (0 for memoized copies). */
+    double wallSeconds = 0.0;
+    /** True when the result was shared from an identical earlier job. */
+    bool memoized = false;
+};
+
+/**
+ * Canonical fingerprint of a job: every SystemConfig field, the
+ * workload identity, and the run lengths. Two jobs with equal
+ * fingerprints produce bit-identical results, so runMany() simulates
+ * only one of them.
+ */
+std::string jobFingerprint(const SimJob &job);
+
+/**
+ * Worker count used when the caller passes 0: the TINYDIR_JOBS
+ * environment variable when set (a positive integer), otherwise the
+ * hardware concurrency (at least 1).
+ */
+unsigned defaultJobCount();
+
+/**
+ * Run @p jobs on @p workers threads (0 = defaultJobCount()) and
+ * return the results in submission order. With one worker (or one
+ * unique job) everything runs on the calling thread.
+ */
+std::vector<SimResult> runMany(const std::vector<SimJob> &jobs,
+                               unsigned workers = 0);
+
+} // namespace tinydir
+
+#endif // TINYDIR_SIM_PARALLEL_HH

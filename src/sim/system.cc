@@ -271,16 +271,11 @@ System::dump() const
         d.add("latency.samples", static_cast<double>(n));
         d.add("latency.mean_cycles", n ? sum / n : 0.0);
         auto quantile = [&](double q) {
-            Counter target = static_cast<Counter>(q * n), acc = 0;
-            for (unsigned b = 0; b < hl.size(); ++b) {
-                acc += hl.bucket(b);
-                if (acc >= target)
-                    return b * 32.0 + 16.0;
-            }
-            return 1024.0;
+            const int b = histQuantileBucket(hl, q);
+            return b < 0 ? 0.0 : b * 32.0 + 16.0;
         };
-        d.add("latency.p50_cycles", n ? quantile(0.50) : 0.0);
-        d.add("latency.p90_cycles", n ? quantile(0.90) : 0.0);
+        d.add("latency.p50_cycles", quantile(0.50));
+        d.add("latency.p90_cycles", quantile(0.90));
     }
 
     // Energy (Fig. 21 model).

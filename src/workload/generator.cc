@@ -1,6 +1,9 @@
 #include "workload/generator.hh"
 
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <tuple>
 
 #include "common/bitops.hh"
 #include "common/log.hh"
@@ -323,6 +326,40 @@ SyntheticStream::pickPrivate()
     const std::uint64_t phase = mainIssued / p.windowPhaseLen;
     const std::uint64_t s0 = (phase * (w / 2)) % scratch;
     return hot + (s0 + rng.below(w)) % scratch;
+}
+
+std::shared_ptr<const SharedLayout>
+layoutFor(const WorkloadProfile &prof, const SystemConfig &cfg)
+{
+    // Only the registered Table II profiles are cached: they are
+    // immortal, so keying by address is safe. A caller-owned profile
+    // could be destroyed and another allocated at the same address,
+    // which would alias cache entries.
+    bool registered = false;
+    for (const auto &p : allProfiles()) {
+        if (&p == &prof) {
+            registered = true;
+            break;
+        }
+    }
+    if (!registered)
+        return std::make_shared<const SharedLayout>(prof, cfg);
+
+    // SharedLayout only reads numCores and seed from the config.
+    using Key = std::tuple<const WorkloadProfile *, unsigned,
+                           std::uint64_t>;
+    static std::mutex mu;
+    static std::map<Key, std::shared_ptr<const SharedLayout>> cache;
+    const Key key{&prof, cfg.numCores, cfg.seed};
+    std::lock_guard<std::mutex> guard(mu);
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(key,
+                          std::make_shared<const SharedLayout>(prof, cfg))
+                 .first;
+    }
+    return it->second;
 }
 
 std::vector<std::unique_ptr<AccessStream>>

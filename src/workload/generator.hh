@@ -114,6 +114,19 @@ class SyntheticStream : public AccessStream
     std::uint64_t pickPrivate();
 };
 
+/**
+ * Layout registry: the SharedLayout for (@p prof, @p cfg). Layout
+ * construction is deterministic in the profile, the core count and
+ * the seed, and the result is immutable, so layouts of the built-in
+ * profiles (allProfiles()) are cached and shared across concurrent
+ * runs — re-simulating a workload under another scheme reuses the
+ * layout instead of rebuilding it. Ad-hoc profiles (e.g. test-local
+ * ones, whose lifetime the registry cannot rely on) get a fresh
+ * layout each call. Thread-safe.
+ */
+std::shared_ptr<const SharedLayout>
+layoutFor(const WorkloadProfile &prof, const SystemConfig &cfg);
+
 /** Build the per-core streams for one run (with warmup prologue). */
 std::vector<std::unique_ptr<AccessStream>>
 makeStreams(std::shared_ptr<const SharedLayout> layout,

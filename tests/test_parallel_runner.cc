@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: parallel execution must
+ * be bit-identical to serial execution, duplicate jobs must be
+ * memoized, and the satellite metric fixes (post-warmup exec cycles,
+ * histogram quantiles) must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/parallel.hh"
+#include "workload/profile.hh"
+
+namespace tinydir
+{
+namespace
+{
+
+SystemConfig
+schemeConfig(TrackerKind kind, double factor)
+{
+    SystemConfig cfg = SystemConfig::scaled(4);
+    cfg.tracker = kind;
+    cfg.dirSizeFactor = factor;
+    return cfg;
+}
+
+/** 2 schemes x 2 apps at quick scale. */
+std::vector<SimJob>
+matrixJobs(std::uint64_t accesses, std::uint64_t warmup)
+{
+    std::vector<SimJob> jobs;
+    for (const char *app : {"compress", "swaptions"}) {
+        const WorkloadProfile *prof = &profileByName(app);
+        jobs.push_back({schemeConfig(TrackerKind::SparseDir, 2.0), prof,
+                        accesses, warmup});
+        jobs.push_back({schemeConfig(TrackerKind::TinyDir, 1.0 / 32),
+                        prof, accesses, warmup});
+    }
+    return jobs;
+}
+
+void
+expectSameRun(const RunOut &a, const RunOut &b)
+{
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.accesses, b.accesses);
+    const auto &ia = a.stats.items();
+    const auto &ib = b.stats.items();
+    ASSERT_EQ(ia.size(), ib.size());
+    for (std::size_t i = 0; i < ia.size(); ++i) {
+        EXPECT_EQ(ia[i].first, ib[i].first);
+        EXPECT_EQ(ia[i].second, ib[i].second)
+            << "stat " << ia[i].first << " differs";
+    }
+}
+
+TEST(ParallelRunner, ParallelMatchesSerialBitExactly)
+{
+    const auto jobs = matrixJobs(500, 250);
+    const auto serial = runMany(jobs, 1);
+    const auto parallel = runMany(jobs, 4);
+    ASSERT_EQ(serial.size(), jobs.size());
+    ASSERT_EQ(parallel.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        expectSameRun(serial[i].out, parallel[i].out);
+}
+
+TEST(ParallelRunner, MemoizesDuplicateJobs)
+{
+    auto jobs = matrixJobs(300, 0);
+    // Re-submit the first job (the "baseline also a scheme" case).
+    jobs.push_back(jobs.front());
+    const auto res = runMany(jobs, 2);
+    ASSERT_EQ(res.size(), jobs.size());
+    EXPECT_FALSE(res.front().memoized);
+    EXPECT_GT(res.front().wallSeconds, 0.0);
+    EXPECT_TRUE(res.back().memoized);
+    EXPECT_EQ(res.back().wallSeconds, 0.0);
+    expectSameRun(res.front().out, res.back().out);
+}
+
+TEST(ParallelRunner, FingerprintSeparatesConfigsAndApps)
+{
+    const auto jobs = matrixJobs(300, 0);
+    EXPECT_EQ(jobFingerprint(jobs[0]), jobFingerprint(jobs[0]));
+    // Different scheme, same app.
+    EXPECT_NE(jobFingerprint(jobs[0]), jobFingerprint(jobs[1]));
+    // Same scheme, different app.
+    EXPECT_NE(jobFingerprint(jobs[0]), jobFingerprint(jobs[2]));
+    SimJob tweaked = jobs[0];
+    tweaked.cfg.seed ^= 1;
+    EXPECT_NE(jobFingerprint(jobs[0]), jobFingerprint(tweaked));
+    tweaked = jobs[0];
+    tweaked.warmupPerCore += 1;
+    EXPECT_NE(jobFingerprint(jobs[0]), jobFingerprint(tweaked));
+}
+
+TEST(PostWarmupMetric, ExecCyclesExcludesWarmup)
+{
+    SystemConfig cfg = schemeConfig(TrackerKind::SparseDir, 2.0);
+    const WorkloadProfile &prof = profileByName("compress");
+    const RunOut out = runOne(cfg, prof, 800, 400);
+    EXPECT_GT(out.execCycles, 0u);
+    // The measured region excludes the warmup phase ...
+    EXPECT_LT(out.execCycles, out.totalCycles);
+    // ... and matches the post-warmup stat exactly.
+    EXPECT_EQ(static_cast<double>(out.execCycles),
+              out.stats.get("exec_cycles"));
+
+    // Without warmup the two agree.
+    const RunOut raw = runOne(cfg, prof, 800, 0);
+    EXPECT_EQ(raw.execCycles, raw.totalCycles);
+}
+
+TEST(HistQuantile, CeilingTargetSkipsEmptyLeadingBuckets)
+{
+    // A single sample in bucket 3: every quantile lives there. The
+    // old truncated target (q * n = 0) reported empty bucket 0.
+    Histogram h(8);
+    h.sample(3);
+    EXPECT_EQ(histQuantileBucket(h, 0.50), 3);
+    EXPECT_EQ(histQuantileBucket(h, 0.90), 3);
+
+    Histogram h2(8);
+    h2.sample(1, 5);
+    h2.sample(3, 5);
+    EXPECT_EQ(histQuantileBucket(h2, 0.50), 1); // rank ceil(5.0) = 5
+    EXPECT_EQ(histQuantileBucket(h2, 0.90), 3); // rank ceil(9.0) = 9
+
+    Histogram empty(4);
+    EXPECT_EQ(histQuantileBucket(empty, 0.50), -1);
+}
+
+} // namespace
+} // namespace tinydir

@@ -12,12 +12,15 @@
 #define TINYDIR_BENCH_BENCH_UTIL_HH
 
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <functional>
 #include <iostream>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/sim_error.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
 
@@ -63,10 +66,37 @@ statMetric(const std::string &name)
     return [name](const RunOut &o) { return o.stats.get(name); };
 }
 
+/** Per-job controls: the scale's controls labeled with the cell. */
+inline RunControls
+cellControls(const BenchScale &scale, const std::string &scheme,
+             const std::string &app)
+{
+    RunControls ctl = scale.controls;
+    ctl.label = scheme.empty() ? app : scheme + " / " + app;
+    return ctl;
+}
+
+/**
+ * runMany() with CLI-grade strict handling: in strict mode the first
+ * failed cell is reported on stderr and the bench exits with status 1
+ * instead of letting the SimError escape main().
+ */
+inline std::vector<SimResult>
+runManyCli(const std::vector<SimJob> &jobs, const BenchScale &scale)
+{
+    try {
+        return runMany(jobs, scale.jobs, scale.strict);
+    } catch (const SimError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        std::exit(1);
+    }
+}
+
 /**
  * Record an experiment's timing: emit a wall-time summary on stderr
- * (stdout stays a clean table for CSV consumers) and, when
- * TINYDIR_JSON names a file, append the machine-readable record.
+ * (stdout stays a clean table for CSV consumers), report every failed
+ * cell, and, when TINYDIR_JSON names a file, append the
+ * machine-readable record (failures included).
  */
 inline void
 recordBenchResults(const ResultTable &table, const BenchScale &scale,
@@ -86,11 +116,23 @@ recordBenchResults(const ResultTable &table, const BenchScale &scale,
             ++timing.simsRun;
             timing.simSeconds += r.wallSeconds;
         }
+        if (r.failed && !r.memoized)
+            timing.failures.push_back({r.error, r.dumpPath, r.timedOut});
     }
     std::cerr << "# " << table.tableTitle() << ": " << timing.simsRun
               << " sims (" << timing.simsMemoized << " memoized), "
               << timing.jobs << " jobs, wall " << timing.wallSeconds
               << " s, sim " << timing.simSeconds << " s\n";
+    if (!timing.failures.empty()) {
+        std::cerr << "# " << timing.failures.size()
+                  << " cell(s) FAILED; table shows nan for them:\n";
+        for (const auto &f : timing.failures) {
+            std::cerr << "#   " << f.error;
+            if (!f.dumpPath.empty())
+                std::cerr << " [dump: " << f.dumpPath << "]";
+            std::cerr << "\n";
+        }
+    }
     const std::string path = jsonResultsPath();
     if (!path.empty())
         appendJsonResults(path, table, scale, timing);
@@ -112,10 +154,12 @@ runGrid(const std::vector<SystemConfig> &cfgs, const BenchScale &scale)
     for (const auto *app : apps) {
         for (const auto &cfg : cfgs) {
             jobs.push_back({cfg, app, scale.accessesPerCore,
-                            scale.warmupPerCore});
+                            scale.warmupPerCore,
+                            cellControls(scale, toString(cfg.tracker),
+                                         app->name)});
         }
     }
-    auto flat = runMany(jobs, scale.jobs);
+    auto flat = runManyCli(jobs, scale);
     std::vector<std::vector<SimResult>> grid(apps.size());
     std::size_t k = 0;
     for (auto &row : grid) {
@@ -169,29 +213,41 @@ runMatrix(const std::string &title, const BenchScale &scale,
     for (const auto *app : apps) {
         if (baseline) {
             jobs.push_back({*baseline, app, scale.accessesPerCore,
-                            scale.warmupPerCore});
+                            scale.warmupPerCore,
+                            cellControls(scale, "baseline",
+                                         app->name)});
         }
         for (const auto &s : schemes) {
             jobs.push_back({s.cfg, app, scale.accessesPerCore,
-                            scale.warmupPerCore});
+                            scale.warmupPerCore,
+                            cellControls(scale, s.label, app->name)});
         }
     }
-    const auto results = runMany(jobs, scale.jobs);
+    const auto results = runManyCli(jobs, scale);
 
     std::size_t k = 0;
     for (const auto *app : apps) {
         double base = 1.0;
+        bool base_failed = false;
         if (baseline) {
-            const RunOut &b = results[k++].out;
-            base = (baseline_metric ? baseline_metric : metric)(b);
+            const SimResult &b = results[k++];
+            base_failed = b.failed;
+            base = (baseline_metric ? baseline_metric : metric)(b.out);
             if (base == 0.0)
                 base = 1.0;
         }
         std::vector<double> row;
         row.reserve(schemes.size());
         for (std::size_t s = 0; s < schemes.size(); ++s) {
-            const RunOut &o = results[k++].out;
-            row.push_back(metric(o) / (baseline ? base : 1.0));
+            const SimResult &r = results[k++];
+            // A failed cell (or a cell whose baseline failed) has no
+            // meaningful value; NaN keeps the rest of the table alive
+            // and columnAverage() skips it.
+            if (r.failed || base_failed) {
+                row.push_back(std::nan(""));
+                continue;
+            }
+            row.push_back(metric(r.out) / (baseline ? base : 1.0));
         }
         table.addRow(app->name, std::move(row));
     }

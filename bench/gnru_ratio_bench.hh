@@ -37,22 +37,31 @@ runGnruRatioFigure(int argc, char **argv, const std::string &title,
         for (double f : sizes) {
             jobs.push_back({tinyCfg(scale, f, TinyPolicy::Dstra, false),
                             app, scale.accessesPerCore,
-                            scale.warmupPerCore});
+                            scale.warmupPerCore,
+                            cellControls(scale, "dstra " + sizeLabel(f),
+                                         app->name)});
             jobs.push_back(
                 {tinyCfg(scale, f, TinyPolicy::DstraGnru, false), app,
-                 scale.accessesPerCore, scale.warmupPerCore});
+                 scale.accessesPerCore, scale.warmupPerCore,
+                 cellControls(scale, "dstra+gnru " + sizeLabel(f),
+                              app->name)});
         }
     }
-    const auto results = runMany(jobs, scale.jobs);
+    const auto results = runManyCli(jobs, scale);
 
     std::size_t k = 0;
     for (const auto *app : apps) {
         std::vector<double> row;
         for (std::size_t i = 0; i < sizes.size(); ++i) {
-            const RunOut &dstra = results[k++].out;
-            const RunOut &gnru = results[k++].out;
-            const double denom = std::max(1.0, dstra.stats.get(stat));
-            row.push_back(gnru.stats.get(stat) / denom);
+            const SimResult &dstra = results[k++];
+            const SimResult &gnru = results[k++];
+            if (dstra.failed || gnru.failed) {
+                row.push_back(std::nan(""));
+                continue;
+            }
+            const double denom =
+                std::max(1.0, dstra.out.stats.get(stat));
+            row.push_back(gnru.out.stats.get(stat) / denom);
         }
         table.addRow(app->name, std::move(row));
     }

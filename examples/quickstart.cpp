@@ -14,6 +14,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/sim_error.hh"
 #include "sim/experiment.hh"
 #include "workload/profile.hh"
 
@@ -21,7 +22,7 @@ using namespace tinydir;
 
 int
 main(int argc, char **argv)
-{
+try {
     const std::string app = argc > 1 ? argv[1] : "barnes";
     const unsigned cores = argc > 2
         ? static_cast<unsigned>(std::atoi(argv[2])) : 16;
@@ -62,4 +63,8 @@ main(int argc, char **argv)
                      static_cast<double>(ref.execCycles)
               << '\n';
     return 0;
+} catch (const SimError &e) {
+    // Unknown workload name, impossible geometry, ...
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
 }

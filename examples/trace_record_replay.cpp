@@ -18,6 +18,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/sim_error.hh"
 #include "sim/driver.hh"
 #include "sim/system.hh"
 #include "workload/generator.hh"
@@ -77,7 +78,7 @@ replay(const std::string &path, const std::string &scheme)
 
 int
 main(int argc, char **argv)
-{
+try {
     if (argc >= 3 && std::strcmp(argv[1], "record") == 0) {
         return record(argv[2], argc > 3 ? argv[3] : "TPC-C",
                       argc > 4 ? static_cast<unsigned>(
@@ -88,5 +89,9 @@ main(int argc, char **argv)
     std::cerr << "usage:\n  " << argv[0]
               << " record <file> [workload] [cores]\n  " << argv[0]
               << " replay <file> [sparse|tiny]\n";
+    return 1;
+} catch (const SimError &e) {
+    // Unknown workload, unreadable or malformed trace file, ...
+    std::cerr << "error: " << e.what() << '\n';
     return 1;
 }

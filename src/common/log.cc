@@ -1,8 +1,10 @@
 #include "common/log.hh"
 
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
+#include <sstream>
+
+#include "common/sim_error.hh"
 
 namespace tinydir
 {
@@ -35,7 +37,9 @@ panicImpl(const char *file, int line, const std::string &msg)
         std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
                      line);
     }
-    std::abort();
+    std::ostringstream os;
+    os << msg << " (" << file << ':' << line << ')';
+    throw InternalError(os.str());
 }
 
 void
@@ -46,7 +50,9 @@ fatalImpl(const char *file, int line, const std::string &msg)
         std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
                      line);
     }
-    std::exit(1);
+    std::ostringstream os;
+    os << msg << " (" << file << ':' << line << ')';
+    throw ConfigError(os.str());
 }
 
 void

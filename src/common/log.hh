@@ -2,8 +2,14 @@
  * @file
  * gem5-flavoured status and error reporting helpers.
  *
- * panic() is for internal invariant violations (library bugs): aborts.
- * fatal() is for unusable user configuration: exits with an error code.
+ * panic() is for internal invariant violations (library bugs): logs
+ * the message and throws InternalError.
+ * fatal() is for unusable user configuration: logs and throws
+ * ConfigError.
+ * Neither kills the process: the parallel experiment runner catches
+ * per-job errors so one broken cell cannot take a whole bench grid
+ * down (common/sim_error.hh). An error that reaches main() uncaught
+ * still terminates, with the message already on stderr.
  * warn()/inform() report conditions without stopping the simulation.
  */
 
@@ -38,12 +44,12 @@ void informImpl(const std::string &msg);
 
 } // namespace log_detail
 
-/** Abort on an internal invariant violation (a library bug). */
+/** Throw InternalError on an internal invariant violation (a bug). */
 #define panic(...) \
     ::tinydir::log_detail::panicImpl(__FILE__, __LINE__, \
         ::tinydir::log_detail::concat(__VA_ARGS__))
 
-/** Exit cleanly on an unrecoverable user/configuration error. */
+/** Throw ConfigError on an unrecoverable user/configuration error. */
 #define fatal(...) \
     ::tinydir::log_detail::fatalImpl(__FILE__, __LINE__, \
         ::tinydir::log_detail::concat(__VA_ARGS__))

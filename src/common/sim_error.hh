@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Exception hierarchy for recoverable simulation errors.
+ *
+ * Library code must never kill the process: a tracker bug or a bad
+ * per-job configuration inside a 17-workload bench grid would take
+ * every other cell down with it. panic() and fatal() therefore throw
+ * these types, and the layers that own a recovery boundary (the
+ * parallel runner's per-job worker, bench main()s, gtest) catch them:
+ *
+ *   SimError                 base; carries the formatted message
+ *   +-- InternalError        invariant violation in library code (panic)
+ *   +-- ConfigError          unusable user configuration (fatal)
+ *   +-- InvariantViolation   coherence invariant broken (verify/);
+ *   |                        carries the block and the JSON dump path
+ *   +-- SimTimeout           per-job wall-clock watchdog expired
+ */
+
+#ifndef TINYDIR_COMMON_SIM_ERROR_HH
+#define TINYDIR_COMMON_SIM_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/** Base of every recoverable simulation error. */
+class SimError : public std::runtime_error
+{
+  public:
+    explicit SimError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** An internal invariant violation (a library bug); thrown by panic(). */
+class InternalError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/** An unusable user/bench configuration; thrown by fatal(). */
+class ConfigError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/**
+ * A coherence invariant failed at runtime (verify/verifier.hh). The
+ * violating block and the path of the JSON state dump (empty when
+ * dumping was disabled) ride along for failure reports.
+ */
+class InvariantViolation : public SimError
+{
+  public:
+    InvariantViolation(const std::string &msg, Addr blk,
+                       std::string dump)
+        : SimError(msg), block(blk), dumpPath(std::move(dump))
+    {
+    }
+
+    Addr block = invalidAddr;
+    std::string dumpPath;
+};
+
+/** The per-job wall-clock watchdog expired (sim/driver.hh). */
+class SimTimeout : public SimError
+{
+  public:
+    SimTimeout(const std::string &msg, double limit)
+        : SimError(msg), limitSeconds(limit)
+    {
+    }
+
+    double limitSeconds = 0.0;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_COMMON_SIM_ERROR_HH

@@ -23,17 +23,20 @@ SharedOnlyDirTracker::SharedOnlyDirTracker(const SystemConfig &c)
     }
 }
 
+SparseDirEntry *
+SharedOnlyDirTracker::findDir(Addr block)
+{
+    const unsigned slice = block % banks;
+    if (skewed)
+        return skewSlices[slice].find(block);
+    const std::uint64_t set = (block / banks) & (sets - 1);
+    return slices[slice].find(set, block);
+}
+
 TrackerView
 SharedOnlyDirTracker::view(Addr block)
 {
-    const unsigned slice = block % banks;
-    SparseDirEntry *e = nullptr;
-    if (skewed) {
-        e = skewSlices[slice].find(block);
-    } else {
-        const std::uint64_t set = (block / banks) & (sets - 1);
-        e = slices[slice].find(set, block);
-    }
+    SparseDirEntry *e = findDir(block);
     if (e)
         return {e->state(), Residence::DirSram};
     auto it = unbounded.find(block);
@@ -145,6 +148,37 @@ SharedOnlyDirTracker::onLlcDataVictim(const LlcEntry &victim,
 {
     (void)victim;
     (void)ops;
+}
+
+bool
+SharedOnlyDirTracker::debugHasDirEntry(Addr block)
+{
+    return findDir(block) != nullptr;
+}
+
+bool
+SharedOnlyDirTracker::debugForgeState(Addr block, const TrackState &ts)
+{
+    if (SparseDirEntry *e = findDir(block)) {
+        e->setState(ts);
+        return true;
+    }
+    auto it = unbounded.find(block);
+    if (it != unbounded.end()) {
+        it->second = ts;
+        return true;
+    }
+    return false;
+}
+
+bool
+SharedOnlyDirTracker::debugDropEntry(Addr block)
+{
+    if (SparseDirEntry *e = findDir(block)) {
+        *e = SparseDirEntry{};
+        return true;
+    }
+    return unbounded.erase(block) > 0;
 }
 
 std::uint64_t

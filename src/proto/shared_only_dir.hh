@@ -44,7 +44,12 @@ class SharedOnlyDirTracker : public CoherenceTracker
     Counter dirAllocs() const override { return allocs.value(); }
     void resetStats() override { allocs.reset(); }
 
+    bool debugHasDirEntry(Addr block) override;
+    bool debugForgeState(Addr block, const TrackState &ts) override;
+    bool debugDropEntry(Addr block) override;
+
   private:
+    SparseDirEntry *findDir(Addr block);
     void store(Addr block, const TrackState &ns, EngineOps &ops);
     void eraseDir(Addr block);
 

@@ -116,6 +116,36 @@ SparseDirTracker::trackerSramBits() const
     return entry_bits * sets * ways * banks;
 }
 
+bool
+SparseDirTracker::debugHasDirEntry(Addr block)
+{
+    auto &arr = slices[block % banks];
+    return arr.findWay((block / banks) & (sets - 1), block) >= 0;
+}
+
+bool
+SparseDirTracker::debugForgeState(Addr block, const TrackState &ts)
+{
+    auto &arr = slices[block % banks];
+    SparseDirEntry *e = arr.find((block / banks) & (sets - 1), block);
+    if (!e)
+        return false;
+    e->setState(ts);
+    return true;
+}
+
+bool
+SparseDirTracker::debugDropEntry(Addr block)
+{
+    auto &arr = slices[block % banks];
+    const std::uint64_t set = (block / banks) & (sets - 1);
+    const int w = arr.findWay(set, block);
+    if (w < 0)
+        return false;
+    arr.way(set, static_cast<unsigned>(w)) = SparseDirEntry{};
+    return true;
+}
+
 std::string
 SparseDirTracker::name() const
 {

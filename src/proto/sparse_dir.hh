@@ -66,6 +66,10 @@ class SparseDirTracker : public CoherenceTracker
     Counter dirAllocs() const override { return allocs.value(); }
     void resetStats() override { allocs.reset(); }
 
+    bool debugHasDirEntry(Addr block) override;
+    bool debugForgeState(Addr block, const TrackState &ts) override;
+    bool debugDropEntry(Addr block) override;
+
   private:
     /** Store @p ns, allocating (and possibly evicting) as needed. */
     void store(Addr block, const TrackState &ns, EngineOps &ops);

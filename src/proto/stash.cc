@@ -103,6 +103,43 @@ StashTracker::onLlcDataVictim(const LlcEntry &victim, EngineOps &ops)
     (void)ops;
 }
 
+bool
+StashTracker::debugHasDirEntry(Addr block)
+{
+    auto &arr = slices[block % banks];
+    return arr.findWay((block / banks) & (sets - 1), block) >= 0;
+}
+
+bool
+StashTracker::debugForgeState(Addr block, const TrackState &ts)
+{
+    auto &arr = slices[block % banks];
+    if (SparseDirEntry *e = arr.find((block / banks) & (sets - 1),
+                                     block)) {
+        e->setState(ts);
+        return true;
+    }
+    auto it = stashed.find(block);
+    if (it != stashed.end()) {
+        it->second = ts;
+        return true;
+    }
+    return false;
+}
+
+bool
+StashTracker::debugDropEntry(Addr block)
+{
+    auto &arr = slices[block % banks];
+    const std::uint64_t set = (block / banks) & (sets - 1);
+    const int w = arr.findWay(set, block);
+    if (w >= 0) {
+        arr.way(set, static_cast<unsigned>(w)) = SparseDirEntry{};
+        return true;
+    }
+    return stashed.erase(block) > 0;
+}
+
 std::uint64_t
 StashTracker::trackerSramBits() const
 {

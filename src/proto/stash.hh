@@ -52,6 +52,10 @@ class StashTracker : public CoherenceTracker
         bcasts.reset();
     }
     Counter stashedNow() const { return stashed.size(); }
+
+    bool debugHasDirEntry(Addr block) override;
+    bool debugForgeState(Addr block, const TrackState &ts) override;
+    bool debugDropEntry(Addr block) override;
     bool
     isStashed(Addr block) const
     {

@@ -510,6 +510,42 @@ TinyDirTracker::trackerSramBits() const
     return (payload + tag_bits) * sets * ways * banks;
 }
 
+bool
+TinyDirTracker::debugHasDirEntry(Addr block)
+{
+    return findTiny(block) != nullptr;
+}
+
+bool
+TinyDirTracker::debugForgeState(Addr block, const TrackState &ts)
+{
+    if (TinyEntry *te = findTiny(block)) {
+        te->setState(ts);
+        return true;
+    }
+    return false;
+}
+
+bool
+TinyDirTracker::debugDropEntry(Addr block)
+{
+    if (TinyEntry *te = findTiny(block)) {
+        *te = TinyEntry{};
+        return true;
+    }
+    if (llc.findSpill(block)) {
+        llc.freeSpill(block);
+        return true;
+    }
+    if (LlcEntry *de = llc.findData(block); de && de->isCorrupt()) {
+        de->meta = LlcMeta::Normal;
+        de->owner = invalidCore;
+        de->sharers.clear();
+        return true;
+    }
+    return false;
+}
+
 std::string
 TinyDirTracker::name() const
 {

@@ -61,6 +61,10 @@ class TinyDirTracker : public CoherenceTracker
 
     const SpillPolicy &spillPolicy() const { return spill; }
 
+    bool debugHasDirEntry(Addr block) override;
+    bool debugForgeState(Addr block, const TrackState &ts) override;
+    bool debugDropEntry(Addr block) override;
+
     void
     resetStats() override
     {

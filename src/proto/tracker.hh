@@ -169,6 +169,35 @@ class CoherenceTracker
      */
     virtual bool coarseGrain() const { return false; }
 
+    // -- verification / fault-injection hooks (debug only) --------------
+    // Used by verify/verifier.hh (residence mutual-exclusion checks)
+    // and verify/fault_inject.hh (deliberate state corruption). None of
+    // these model hardware behaviour: no traffic, no side effects, no
+    // replacement updates.
+
+    /** Does the tracker's directory SRAM hold a live entry for @p block? */
+    virtual bool debugHasDirEntry(Addr block) { (void)block; return false; }
+
+    /**
+     * Fault injection: overwrite the tracked state of @p block in
+     * place. @return false when the tracker holds no mutable entry for
+     * the block (the injector then corrupts LLC-resident state instead).
+     */
+    virtual bool
+    debugForgeState(Addr block, const TrackState &ts)
+    {
+        (void)block;
+        (void)ts;
+        return false;
+    }
+
+    /**
+     * Fault injection: silently drop any tracking entry of @p block —
+     * no back-invalidation, no spill, no reconstruction. The block
+     * becomes cached-but-untracked, which the verifier must flag.
+     */
+    virtual bool debugDropEntry(Addr block) { (void)block; return false; }
+
     // -- scheme-specific statistics (zero where not applicable) --------
     virtual Counter dirHits() const { return 0; }
     virtual Counter dirAllocs() const { return 0; }

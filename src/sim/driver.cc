@@ -1,8 +1,11 @@
 #include "sim/driver.hh"
 
+#include <chrono>
 #include <queue>
+#include <sstream>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace tinydir
 {
@@ -39,6 +42,9 @@ Driver::run(System &sys,
             heap.push({sys.cores[c].clock + acc.gap, c, acc});
     }
 
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point started = Clock::now();
+
     RunResult res;
     while (!heap.empty()) {
         Pending p = heap.top();
@@ -50,6 +56,18 @@ Driver::run(System &sys,
             sys.resetStats();
         if (hook && hookPeriod && res.accesses % hookPeriod == 0)
             hook(sys, res.accesses);
+        if (timeoutSeconds > 0.0 &&
+            res.accesses % timeoutCheckPeriod == 0) {
+            const std::chrono::duration<double> elapsed =
+                Clock::now() - started;
+            if (elapsed.count() > timeoutSeconds) {
+                std::ostringstream os;
+                os << "simulation exceeded the " << timeoutSeconds
+                   << " s wall-clock limit after " << res.accesses
+                   << " accesses";
+                throw SimTimeout(os.str(), timeoutSeconds);
+            }
+        }
         TraceAccess acc;
         if (streams[p.core]->next(acc))
             heap.push({done + acc.gap, p.core, acc});

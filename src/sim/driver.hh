@@ -48,6 +48,17 @@ class Driver
      */
     Counter warmupAccesses = 0;
 
+    /**
+     * Wall-clock watchdog: when positive, run() throws SimTimeout once
+     * the run has taken this many real seconds. Checked cooperatively
+     * every timeoutCheckPeriod accesses, so a hung run is detected
+     * promptly while the deadline check stays off the hot path.
+     */
+    double timeoutSeconds = 0.0;
+
+    /** How often (in accesses) the wall-clock deadline is polled. */
+    static constexpr Counter timeoutCheckPeriod = 4096;
+
     RunResult run(System &sys,
                   std::vector<std::unique_ptr<AccessStream>> streams);
 };

@@ -5,12 +5,14 @@
 #include <cstring>
 #include <fstream>
 #include <iomanip>
+#include <iostream>
 #include <memory>
 #include <ostream>
 
 #include "common/log.hh"
 #include "sim/driver.hh"
 #include "sim/system.hh"
+#include "verify/verifier.hh"
 #include "workload/generator.hh"
 
 namespace tinydir
@@ -19,7 +21,7 @@ namespace tinydir
 RunOut
 runOne(const SystemConfig &cfg, const WorkloadProfile &prof,
        std::uint64_t accesses_per_core,
-       std::uint64_t warmup_per_core)
+       std::uint64_t warmup_per_core, const RunControls &ctl)
 {
     auto layout = layoutFor(prof, cfg);
     // Warmup must cover the deterministic prologue (one touch of the
@@ -34,7 +36,18 @@ runOne(const SystemConfig &cfg, const WorkloadProfile &prof,
     System sys(cfg);
     Driver driver;
     driver.warmupAccesses = warmup * cfg.numCores;
+    driver.timeoutSeconds = ctl.timeoutSeconds;
+    Verifier::Options vo;
+    vo.dumpDir = ctl.dumpDir;
+    vo.label = ctl.label;
+    Verifier verifier(std::move(vo));
+    if (ctl.verifyPeriod > 0)
+        verifier.attach(driver, ctl.verifyPeriod);
     const RunResult rr = driver.run(sys, std::move(streams));
+    // Final pass so corruption in the tail (after the last periodic
+    // hook firing) cannot slip through.
+    if (ctl.verifyPeriod > 0)
+        verifier.enforce(sys, rr.accesses);
     RunOut out;
     out.totalCycles = rr.execCycles;
     out.accesses = rr.accesses;
@@ -63,13 +76,64 @@ parsePositiveFlag(const char *flag, const char *value)
     return static_cast<std::uint64_t>(v);
 }
 
+/** Parse a positive decimal number of seconds. */
+double
+parseSecondsFlag(const char *flag, const char *value)
+{
+    char *end = nullptr;
+    const double v = std::strtod(value, &end);
+    fatal_if(value[0] == '\0' || end == nullptr || *end != '\0' ||
+                 !(v > 0.0),
+             flag, " expects a positive number of seconds, got \"",
+             value, "\"");
+    return v;
+}
+
 } // namespace
+
+RunControls
+envRunControls()
+{
+    RunControls ctl;
+    if (const char *env = std::getenv("TINYDIR_VERIFY")) {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(env, &end, 10);
+        if (env[0] != '\0' && end && *end == '\0' && v > 0)
+            ctl.verifyPeriod = static_cast<Counter>(v);
+        else
+            warn("TINYDIR_VERIFY must be a positive access count, "
+                 "ignoring: ", env);
+    }
+    if (const char *env = std::getenv("TINYDIR_TIMEOUT")) {
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (env[0] != '\0' && end && *end == '\0' && v > 0.0)
+            ctl.timeoutSeconds = v;
+        else
+            warn("TINYDIR_TIMEOUT must be a positive number of "
+                 "seconds, ignoring: ", env);
+    }
+    return ctl;
+}
+
+/**
+ * parseBenchScale/selectApps are the CLI boundary of the bench
+ * binaries: a bad flag or workload name must exit the process (the
+ * "fatal:" line is already on stderr), not escape main() as an
+ * exception.
+ */
+[[noreturn]] static void
+cliFatal(const ConfigError &)
+{
+    std::exit(1);
+}
 
 BenchScale
 parseBenchScale(int argc, char **argv)
-{
+try {
     BenchScale s;
     s.accessesPerCore = 20000;
+    s.controls = envRunControls();
     bool explicit_cores = false;
     bool explicit_accesses = false;
     bool explicit_warmup = false;
@@ -79,12 +143,23 @@ parseBenchScale(int argc, char **argv)
     const char *envq = std::getenv("TINYDIR_QUICK");
     if (envq && envq[0] == '1')
         s.quick = true;
+    const char *envs = std::getenv("TINYDIR_STRICT");
+    if (envs && envs[0] == '1')
+        s.strict = true;
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
         if (std::strcmp(a, "--full") == 0) {
             s.full = true;
         } else if (std::strcmp(a, "--quick") == 0) {
             s.quick = true;
+        } else if (std::strcmp(a, "--strict") == 0) {
+            s.strict = true;
+        } else if (std::strncmp(a, "--verify=", 9) == 0) {
+            s.controls.verifyPeriod =
+                parsePositiveFlag("--verify", a + 9);
+        } else if (std::strncmp(a, "--timeout=", 10) == 0) {
+            s.controls.timeoutSeconds =
+                parseSecondsFlag("--timeout", a + 10);
         } else if (std::strncmp(a, "--cores=", 8) == 0) {
             s.cores = static_cast<unsigned>(
                 parsePositiveFlag("--cores", a + 8));
@@ -126,11 +201,13 @@ parseBenchScale(int argc, char **argv)
     if (!explicit_warmup)
         s.warmupPerCore = s.accessesPerCore / 2;
     return s;
+} catch (const ConfigError &e) {
+    cliFatal(e);
 }
 
 std::vector<const WorkloadProfile *>
 selectApps(const BenchScale &s)
-{
+try {
     std::vector<const WorkloadProfile *> apps;
     if (!s.onlyApps.empty()) {
         for (const auto &name : s.onlyApps)
@@ -145,6 +222,8 @@ selectApps(const BenchScale &s)
     for (const auto &p : allProfiles())
         apps.push_back(&p);
     return apps;
+} catch (const ConfigError &e) {
+    cliFatal(e);
 }
 
 SystemConfig
@@ -176,12 +255,18 @@ ResultTable::addRow(const std::string &name, std::vector<double> values)
 double
 ResultTable::columnAverage(unsigned col) const
 {
-    if (rows.empty())
-        return 0.0;
+    // Failed cells are recorded as NaN; the average covers the cells
+    // that did produce a value, so one failed run does not poison the
+    // whole column.
     double sum = 0.0;
-    for (const auto &[name, vals] : rows)
+    std::size_t n = 0;
+    for (const auto &[name, vals] : rows) {
+        if (!std::isfinite(vals[col]))
+            continue;
         sum += vals[col];
-    return sum / static_cast<double>(rows.size());
+        ++n;
+    }
+    return n ? sum / static_cast<double>(n) : 0.0;
 }
 
 void
@@ -300,7 +385,20 @@ appendJsonResults(const std::string &path, const ResultTable &table,
        << ",\"jobs\":" << timing.jobs
        << ",\"sims_run\":" << timing.simsRun
        << ",\"sims_memoized\":" << timing.simsMemoized
-       << ",\"wall_seconds\":";
+       << ",\"sims_failed\":" << timing.failures.size()
+       << ",\"failures\":[";
+    for (std::size_t i = 0; i < timing.failures.size(); ++i) {
+        const BenchFailure &f = timing.failures[i];
+        if (i)
+            os << ',';
+        os << "{\"error\":";
+        jsonString(os, f.error);
+        os << ",\"dump\":";
+        jsonString(os, f.dumpPath);
+        os << ",\"timed_out\":" << (f.timedOut ? "true" : "false")
+           << "}";
+    }
+    os << "],\"wall_seconds\":";
     jsonNumber(os, timing.wallSeconds);
     os << ",\"sim_seconds\":";
     jsonNumber(os, timing.simSeconds);

@@ -39,13 +39,44 @@ struct RunOut
 };
 
 /**
+ * Robustness controls for one simulated run: periodic invariant
+ * verification (verify/verifier.hh) and a wall-clock watchdog. Shared
+ * by runOne() and the parallel runner (sim/parallel.hh), which turns
+ * the resulting InvariantViolation / SimTimeout into failed cells.
+ */
+struct RunControls
+{
+    /** Verify coherence invariants every N accesses (0 = off). */
+    Counter verifyPeriod = 0;
+    /** Per-run wall-clock limit in seconds (0 = unlimited). */
+    double timeoutSeconds = 0.0;
+    /** Violation-dump directory ("" = $TINYDIR_DUMP_DIR, else cwd). */
+    std::string dumpDir;
+    /** Scheme/workload context for error messages and dump names. */
+    std::string label;
+
+    bool any() const { return verifyPeriod > 0 || timeoutSeconds > 0; }
+};
+
+/**
+ * Controls taken from the environment: TINYDIR_VERIFY (verification
+ * period in accesses) and TINYDIR_TIMEOUT (wall-clock seconds).
+ * Malformed values warn and are ignored.
+ */
+RunControls envRunControls();
+
+/**
  * Run @p prof on a system configured by @p cfg. The first
  * @p warmup_per_core accesses of each core warm the caches and
- * policies; statistics cover only the remainder.
+ * policies; statistics cover only the remainder. With non-default
+ * @p ctl the run verifies invariants periodically (throwing
+ * InvariantViolation on corruption) and enforces the wall-clock
+ * watchdog (throwing SimTimeout).
  */
 RunOut runOne(const SystemConfig &cfg, const WorkloadProfile &prof,
               std::uint64_t accesses_per_core,
-              std::uint64_t warmup_per_core = 0);
+              std::uint64_t warmup_per_core = 0,
+              const RunControls &ctl = {});
 
 /** Bench scale chosen from argv/environment. */
 struct BenchScale
@@ -57,13 +88,19 @@ struct BenchScale
     unsigned jobs = 0;
     bool full = false;    //!< paper-scale (128 cores, Table I sizes)
     bool quick = false;   //!< CI-quick subset
+    /** Fail fast: abort the whole grid on the first failed cell. */
+    bool strict = false;
     std::vector<std::string> onlyApps; //!< restrict workload list
+    /** Per-cell verification/watchdog controls (label set per job). */
+    RunControls controls;
 };
 
 /**
  * Parse --full / --quick / --cores=N / --accesses=N / --warmup=N /
- * --jobs=N / --app=NAME (repeatable) plus the TINYDIR_FULL /
- * TINYDIR_QUICK / TINYDIR_JOBS environment variables.
+ * --jobs=N / --app=NAME (repeatable) / --strict / --verify=N /
+ * --timeout=N plus the TINYDIR_FULL / TINYDIR_QUICK / TINYDIR_JOBS /
+ * TINYDIR_STRICT / TINYDIR_VERIFY / TINYDIR_TIMEOUT environment
+ * variables.
  *
  * Explicit flags win over the --full/--quick presets; combining
  * --full with --quick warns and keeps --full. Numeric flags must be
@@ -113,6 +150,14 @@ class ResultTable
     std::vector<std::pair<std::string, std::vector<double>>> rows;
 };
 
+/** One failed grid cell, for reports and the JSON dump. */
+struct BenchFailure
+{
+    std::string error;    //!< scheme/workload identity + what happened
+    std::string dumpPath; //!< violation dump, when one was written
+    bool timedOut = false;
+};
+
 /** Wall-time accounting for one tabulated experiment. */
 struct BenchTiming
 {
@@ -121,6 +166,7 @@ struct BenchTiming
     unsigned jobs = 1;        //!< worker threads used
     unsigned simsRun = 0;     //!< simulations actually executed
     unsigned simsMemoized = 0; //!< cells served from identical jobs
+    std::vector<BenchFailure> failures; //!< failed cells (partial run)
 };
 
 /** Path of the machine-readable results dump (TINYDIR_JSON), or "". */

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/log.hh"
+#include "common/sim_error.hh"
 
 namespace tinydir
 {
@@ -38,6 +39,20 @@ jobFingerprint(const SimJob &job)
        << c.spillSampledSets << '|' << c.spillWindowAccesses << '|'
        << c.mgdRegionBytes << '|' << c.seed << '|'
        << c.nackRetryCycles;
+    // Controls that can abort a run are part of the identity; the
+    // label and dump directory only shape failure reporting and are
+    // deliberately excluded so labeled duplicates still memoize.
+    os << '|' << job.controls.verifyPeriod << '|'
+       << job.controls.timeoutSeconds;
+    return os.str();
+}
+
+std::string
+describeJob(const SimJob &job)
+{
+    std::ostringstream os;
+    os << "scheme '" << toString(job.cfg.tracker) << "' / workload '"
+       << (job.prof ? job.prof->name : std::string("?")) << "'";
     return os.str();
 }
 
@@ -65,8 +80,24 @@ runTimed(const SimJob &job)
 {
     const auto t0 = std::chrono::steady_clock::now();
     SimResult r;
-    r.out = runOne(job.cfg, *job.prof, job.accessesPerCore,
-                   job.warmupPerCore);
+    try {
+        r.out = runOne(job.cfg, *job.prof, job.accessesPerCore,
+                       job.warmupPerCore, job.controls);
+    } catch (const InvariantViolation &e) {
+        r.failed = true;
+        r.dumpPath = e.dumpPath;
+        r.error = describeJob(job) + ": " + e.what();
+    } catch (const SimTimeout &e) {
+        r.failed = true;
+        r.timedOut = true;
+        r.error = describeJob(job) + ": " + e.what();
+    } catch (const SimError &e) {
+        r.failed = true;
+        r.error = describeJob(job) + ": " + e.what();
+    } catch (const std::exception &e) {
+        r.failed = true;
+        r.error = describeJob(job) + ": unexpected error: " + e.what();
+    }
     r.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t0)
@@ -77,7 +108,7 @@ runTimed(const SimJob &job)
 } // namespace
 
 std::vector<SimResult>
-runMany(const std::vector<SimJob> &jobs, unsigned workers)
+runMany(const std::vector<SimJob> &jobs, unsigned workers, bool strict)
 {
     std::vector<SimResult> results(jobs.size());
     if (jobs.empty())
@@ -104,12 +135,17 @@ runMany(const std::vector<SimJob> &jobs, unsigned workers)
 
     std::vector<SimResult> unique(uniqueIdx.size());
     std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
     auto work = [&]() {
         for (;;) {
+            if (strict && abort.load(std::memory_order_relaxed))
+                return;
             const std::size_t u = next.fetch_add(1);
             if (u >= uniqueIdx.size())
                 return;
             unique[u] = runTimed(jobs[uniqueIdx[u]]);
+            if (unique[u].failed)
+                abort.store(true, std::memory_order_relaxed);
         }
     };
     if (workers <= 1) {
@@ -121,6 +157,13 @@ runMany(const std::vector<SimJob> &jobs, unsigned workers)
             pool.emplace_back(work);
         for (auto &t : pool)
             t.join();
+    }
+
+    if (strict) {
+        for (const SimResult &r : unique) {
+            if (r.failed)
+                throw SimError("strict mode: " + r.error);
+        }
     }
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {

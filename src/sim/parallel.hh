@@ -14,6 +14,13 @@
  * a figure's baseline configuration also appears among its schemes,
  * or the same cell is requested twice, the simulation runs once and
  * the result is shared.
+ *
+ * Execution is fault-isolated: a job that throws (invariant
+ * violation, watchdog timeout, bad configuration) is recorded as a
+ * failed SimResult — carrying the scheme + workload identity and any
+ * violation-dump path — while the rest of the grid completes. Strict
+ * mode (--strict / TINYDIR_STRICT=1 in the benches) turns the first
+ * failure into a fail-fast SimError instead.
  */
 
 #ifndef TINYDIR_SIM_PARALLEL_HH
@@ -37,7 +44,12 @@ struct SimJob
     const WorkloadProfile *prof = nullptr;
     std::uint64_t accessesPerCore = 0;
     std::uint64_t warmupPerCore = 0;
+    /** Verification / watchdog controls (label names the cell). */
+    RunControls controls;
 };
+
+/** "scheme 'X' / workload 'Y'": the identity of a job in reports. */
+std::string describeJob(const SimJob &job);
 
 /** Outcome of one job, with wall-time accounting. */
 struct SimResult
@@ -47,6 +59,18 @@ struct SimResult
     double wallSeconds = 0.0;
     /** True when the result was shared from an identical earlier job. */
     bool memoized = false;
+    /**
+     * True when the simulation raised instead of completing; out is
+     * then default-constructed and error carries the job identity
+     * (scheme + workload) plus what went wrong. The rest of the grid
+     * still runs (unless strict mode aborted it).
+     */
+    bool failed = false;
+    /** The failure was the wall-clock watchdog (SimTimeout). */
+    bool timedOut = false;
+    std::string error;
+    /** Invariant-violation state dump path, when one was written. */
+    std::string dumpPath;
 };
 
 /**
@@ -68,9 +92,17 @@ unsigned defaultJobCount();
  * Run @p jobs on @p workers threads (0 = defaultJobCount()) and
  * return the results in submission order. With one worker (or one
  * unique job) everything runs on the calling thread.
+ *
+ * Failures are isolated: a job that throws (invariant violation,
+ * watchdog timeout, bad configuration) becomes a failed SimResult
+ * carrying the job's scheme + workload identity while every other
+ * job still runs. With @p strict set, the first failure instead stops
+ * workers from picking up further jobs and is rethrown as SimError
+ * once the in-flight jobs have drained.
  */
 std::vector<SimResult> runMany(const std::vector<SimJob> &jobs,
-                               unsigned workers = 0);
+                               unsigned workers = 0,
+                               bool strict = false);
 
 } // namespace tinydir
 

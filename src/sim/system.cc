@@ -1,7 +1,6 @@
 #include "sim/system.hh"
 
 #include <algorithm>
-#include <map>
 #include <sstream>
 
 #include "common/log.hh"
@@ -12,6 +11,7 @@
 #include "proto/sparse_dir.hh"
 #include "proto/stash.hh"
 #include "proto/tiny_dir.hh"
+#include "verify/verifier.hh"
 
 namespace tinydir
 {
@@ -58,12 +58,34 @@ System::System(const SystemConfig &c)
 }
 
 void
+System::noteTxn(const TxnRecord &r)
+{
+    txnLog[txnNext] = r;
+    txnNext = (txnNext + 1) % txnLogSize;
+    ++txnCount;
+}
+
+std::vector<TxnRecord>
+System::recentTxns() const
+{
+    std::vector<TxnRecord> out;
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<Counter>(txnCount, txnLogSize));
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(txnLog[(txnNext + txnLogSize - n + i) % txnLogSize]);
+    return out;
+}
+
+void
 System::processNotices(CoreId c,
                        const std::vector<EvictionNotice> &notices,
                        Cycle t)
 {
-    for (const auto &n : notices)
+    for (const auto &n : notices) {
+        noteTxn({t, c, n.block, ReqType::GetS, true, n.state});
         engine.evictionNotice(c, n.block, n.state, t);
+    }
 }
 
 Cycle
@@ -96,6 +118,8 @@ System::executeAccess(CoreId c, const TraceAccess &acc, Cycle issue)
                 return issue + ar.latency;
               case MesiState::S: {
                 ++core.upgrades;
+                noteTxn({issue + ar.latency, c, block, ReqType::Upg,
+                         false, MesiState::I});
                 auto rr = engine.request(c, block, ReqType::Upg,
                                          issue + ar.latency);
                 privs[c].setState(block, MesiState::M);
@@ -116,6 +140,7 @@ System::executeAccess(CoreId c, const TraceAccess &acc, Cycle issue)
       case AccessType::Store: rt = ReqType::GetX; break;
       default: rt = ReqType::GetSI; break;
     }
+    noteTxn({issue + ar.latency, c, block, rt, false, MesiState::I});
     auto rr = engine.request(c, block, rt, issue + ar.latency);
     auto notices = privs[c].fill(block, rr.grant, acc.type);
     if (!notices.empty())
@@ -300,81 +325,21 @@ System::dump() const
 bool
 System::verifyCoherence(std::string *msg)
 {
-    auto fail = [&](const std::string &m) {
-        if (msg)
-            *msg = m;
-        return false;
-    };
-    // Ground truth: who caches what, in which state.
-    struct Truth
-    {
-        SharerSet sharers;
-        CoreId owner = invalidCore;
-    };
-    std::map<Addr, Truth> truth;
-    for (CoreId c = 0; c < cfg.numCores; ++c) {
-        bool bad = false;
-        std::ostringstream why;
-        privs[c].forEachBlock([&](Addr blk, MesiState st) {
-            Truth &t = truth[blk];
-            if (st == MesiState::S) {
-                t.sharers.add(c);
-            } else {
-                if (t.owner != invalidCore) {
-                    bad = true;
-                    why << "block " << blk << " has two owners";
-                }
-                t.owner = c;
-            }
-        });
-        if (bad)
-            return fail(why.str());
+    // The full rule set lives in the Verifier (verify/verifier.hh);
+    // this remains the lightweight non-throwing entry point.
+    Verifier::Options o;
+    o.dumpOnViolation = false;
+    Verifier v(std::move(o));
+    const VerifyReport rep = v.check(*this);
+    if (rep.ok())
+        return true;
+    if (msg) {
+        std::ostringstream os;
+        os << "block " << rep.violations.front().block << ": "
+           << rep.summary();
+        *msg = os.str();
     }
-    for (auto &[blk, t] : truth) {
-        const SharerSet &sharers = t.sharers;
-        const CoreId owner = t.owner;
-        if (owner != invalidCore && !sharers.empty()) {
-            std::ostringstream os;
-            os << "block " << blk << " owned by core " << owner
-               << " but also shared";
-            return fail(os.str());
-        }
-        TrackerView v = tracker->view(blk);
-        if (owner != invalidCore) {
-            if (!v.ts.exclusive() || v.ts.owner != owner) {
-                std::ostringstream os;
-                os << "block " << blk << " owner " << owner
-                   << " not tracked exclusively";
-                return fail(os.str());
-            }
-        } else {
-            if (!v.ts.shared()) {
-                std::ostringstream os;
-                os << "block " << blk << " shared by "
-                   << sharers.count() << " cores but tracked as "
-                   << (v.ts.invalid() ? "invalid" : "exclusive");
-                return fail(os.str());
-            }
-            if (cfg.sharerGrain > 1) {
-                // Coarse vectors track a conservative superset.
-                bool missing = false;
-                sharers.forEach([&](CoreId s) {
-                    missing |= !v.ts.sharers.contains(s);
-                });
-                if (missing) {
-                    std::ostringstream os;
-                    os << "block " << blk
-                       << " coarse sharer set misses a real sharer";
-                    return fail(os.str());
-                }
-            } else if (!(v.ts.sharers == sharers)) {
-                std::ostringstream os;
-                os << "block " << blk << " sharer set mismatch";
-                return fail(os.str());
-            }
-        }
-    }
-    return true;
+    return false;
 }
 
 } // namespace tinydir

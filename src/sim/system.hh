@@ -11,6 +11,8 @@
 #ifndef TINYDIR_SIM_SYSTEM_HH
 #define TINYDIR_SIM_SYSTEM_HH
 
+#include <array>
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +30,22 @@
 
 namespace tinydir
 {
+
+/**
+ * One recently processed home transaction (request or eviction
+ * notice), kept in a small ring buffer for invariant-violation dumps:
+ * when the verifier trips, the last few transactions are the context
+ * a debugger needs to replay the corruption.
+ */
+struct TxnRecord
+{
+    Cycle when = 0;
+    CoreId core = invalidCore;
+    Addr block = 0;
+    ReqType type = ReqType::GetS;
+    bool isNotice = false;       //!< eviction notice, not a request
+    MesiState put = MesiState::I; //!< private state put back (notices)
+};
 
 /** A complete simulated chip-multiprocessor. */
 class System
@@ -77,13 +95,26 @@ class System
     /** Execution time so far: max core clock. */
     Cycle execCycles() const;
 
+    /**
+     * The most recent home transactions, oldest first (at most
+     * txnLogSize). Feeds the verifier's violation dumps.
+     */
+    std::vector<TxnRecord> recentTxns() const;
+
   private:
     void processNotices(CoreId c,
                         const std::vector<EvictionNotice> &notices,
                         Cycle t);
 
+    void noteTxn(const TxnRecord &r);
+
     /** Clock value at the last resetStats() (warmup boundary). */
     Cycle statsBaseCycle = 0;
+
+    static constexpr std::size_t txnLogSize = 16;
+    std::array<TxnRecord, txnLogSize> txnLog{};
+    std::size_t txnNext = 0;
+    Counter txnCount = 0;
 };
 
 /** Factory for the tracker selected by @p cfg (used by System). */

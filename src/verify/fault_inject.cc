@@ -1,0 +1,210 @@
+#include "verify/fault_inject.hh"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "proto/inllc.hh"
+
+namespace tinydir
+{
+
+namespace
+{
+
+/** Blocks cached by at least one core, with the ground-truth holders. */
+struct Holders
+{
+    SharerSet sharers;
+    CoreId owner = invalidCore;
+};
+
+std::map<Addr, Holders>
+groundTruth(System &sys)
+{
+    std::map<Addr, Holders> truth;
+    for (CoreId c = 0; c < sys.cfg.numCores; ++c) {
+        sys.privs[c].forEachBlock([&](Addr blk, MesiState st) {
+            Holders &h = truth[blk];
+            if (st == MesiState::S)
+                h.sharers.add(c);
+            else
+                h.owner = c;
+        });
+    }
+    return truth;
+}
+
+/**
+ * Overwrite the tracked state of @p block with @p forged, wherever it
+ * lives: tracker SRAM (debug hook), a spilled entry, a corrupted way,
+ * or a tag-extended payload. @return false if no mutable tracking
+ * entry exists for the block.
+ */
+bool
+forgeAnywhere(System &sys, Addr block, const TrackState &forged)
+{
+    if (sys.tracker->debugForgeState(block, forged))
+        return true;
+    if (LlcEntry *sp = sys.llc.findSpill(block)) {
+        inllc_detail::encode(*sp, forged);
+        return true;
+    }
+    LlcEntry *de = sys.llc.findData(block);
+    if (de && de->isCorrupt()) {
+        de->meta = forged.exclusive() ? LlcMeta::CorruptExcl
+                                      : LlcMeta::CorruptShared;
+        inllc_detail::encode(*de, forged);
+        return true;
+    }
+    if (de && (de->owner != invalidCore || !de->sharers.empty())) {
+        // Tag-extended payload in a Normal way.
+        inllc_detail::encode(*de, forged);
+        return true;
+    }
+    return false;
+}
+
+FaultReport
+flipSharerBit(System &sys)
+{
+    for (const auto &[blk, h] : groundTruth(sys)) {
+        if (h.owner != invalidCore || h.sharers.empty())
+            continue;
+        const TrackerView v = sys.tracker->view(blk);
+        if (!v.ts.shared() || v.ts.sharers.empty())
+            continue;
+        // Drop a *real* sharer: caught by both the exact-equality and
+        // the coarse-superset tracker checks.
+        CoreId victim = invalidCore;
+        h.sharers.forEach([&](CoreId s) {
+            if (victim == invalidCore && v.ts.sharers.contains(s))
+                victim = s;
+        });
+        if (victim == invalidCore)
+            continue;
+        TrackState forged = v.ts;
+        forged.sharers.remove(victim);
+        if (!forgeAnywhere(sys, blk, forged))
+            continue;
+        std::ostringstream os;
+        os << "removed sharer " << static_cast<unsigned>(victim)
+           << " from the tracked sharer set of block " << blk;
+        return {true, blk, os.str()};
+    }
+    return {false, invalidAddr, "no tracked shared block to corrupt"};
+}
+
+FaultReport
+dropTrackerEntry(System &sys)
+{
+    for (const auto &[blk, h] : groundTruth(sys)) {
+        (void)h;
+        const TrackerView v = sys.tracker->view(blk);
+        if (v.ts.invalid())
+            continue;
+        if (sys.tracker->debugDropEntry(blk)) {
+            std::ostringstream os;
+            os << "silently dropped the tracking entry of block " << blk;
+            return {true, blk, os.str()};
+        }
+        // LLC-resident tracking: erase it in place.
+        if (sys.llc.findSpill(blk)) {
+            sys.llc.freeSpill(blk);
+            std::ostringstream os;
+            os << "silently dropped the spilled entry of block " << blk;
+            return {true, blk, os.str()};
+        }
+        LlcEntry *de = sys.llc.findData(blk);
+        if (de && (de->isCorrupt() || de->owner != invalidCore ||
+                   !de->sharers.empty())) {
+            de->meta = LlcMeta::Normal;
+            de->owner = invalidCore;
+            de->sharers.clear();
+            std::ostringstream os;
+            os << "silently cleared the LLC-resident tracking of block "
+               << blk;
+            return {true, blk, os.str()};
+        }
+    }
+    return {false, invalidAddr, "no tracked cached block to corrupt"};
+}
+
+FaultReport
+desyncSpilledEntry(System &sys)
+{
+    // Find any spilled tracking entry E_B and remove its companion
+    // data block B, breaking the pairing invariant of Section IV-B1.
+    Addr target = invalidAddr;
+    sys.llc.forEachEntry([&](LlcEntry &e) {
+        if (target == invalidAddr && e.meta == LlcMeta::Spill &&
+            sys.llc.findData(e.tag))
+            target = e.tag;
+    });
+    if (target == invalidAddr)
+        return {false, invalidAddr,
+                "no spilled entry present (scheme may never spill)"};
+    sys.llc.freeData(target);
+    std::ostringstream os;
+    os << "removed data block " << target
+       << " while its spilled entry survives";
+    return {true, target, os.str()};
+}
+
+FaultReport
+forgeOwner(System &sys)
+{
+    for (const auto &[blk, h] : groundTruth(sys)) {
+        if (h.owner == invalidCore)
+            continue;
+        const TrackerView v = sys.tracker->view(blk);
+        if (!v.ts.exclusive())
+            continue;
+        // Name an owner that does not cache the block at all.
+        CoreId bogus = invalidCore;
+        for (CoreId c = 0; c < sys.cfg.numCores; ++c) {
+            if (sys.privs[c].state(blk) == MesiState::I) {
+                bogus = c;
+                break;
+            }
+        }
+        if (bogus == invalidCore)
+            continue;
+        if (!forgeAnywhere(sys, blk, TrackState::makeExclusive(bogus)))
+            continue;
+        std::ostringstream os;
+        os << "forged core " << static_cast<unsigned>(bogus)
+           << " as exclusive owner of block " << blk << " owned by core "
+           << static_cast<unsigned>(h.owner);
+        return {true, blk, os.str()};
+    }
+    return {false, invalidAddr, "no tracked owned block to corrupt"};
+}
+
+} // namespace
+
+std::string
+toString(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::FlipSharerBit: return "flip-sharer-bit";
+      case FaultKind::DropTrackerEntry: return "drop-tracker-entry";
+      case FaultKind::DesyncSpilledEntry: return "desync-spilled-entry";
+      case FaultKind::ForgeOwner: return "forge-owner";
+    }
+    return "?";
+}
+
+FaultReport
+injectFault(System &sys, FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::FlipSharerBit: return flipSharerBit(sys);
+      case FaultKind::DropTrackerEntry: return dropTrackerEntry(sys);
+      case FaultKind::DesyncSpilledEntry: return desyncSpilledEntry(sys);
+      case FaultKind::ForgeOwner: return forgeOwner(sys);
+    }
+    return {false, invalidAddr, "unknown fault kind"};
+}
+
+} // namespace tinydir

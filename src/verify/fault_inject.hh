@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deliberate coherence-state corruption, used to prove the invariant
+ * verifier (verify/verifier.hh) catches real tracking bugs.
+ *
+ * Each FaultKind models one class of tracking-layer defect:
+ *
+ *  - FlipSharerBit: silently remove a real sharer from the tracked
+ *    sharer vector (a lost-invalidation / dropped-bit bug). Caught by
+ *    tracker.sharers-mismatch / tracker.sharers-not-superset.
+ *  - DropTrackerEntry: silently destroy the block's tracking entry —
+ *    no back-invalidation, no spill — leaving the block cached but
+ *    untracked. Caught by tracker.owner-mismatch /
+ *    tracker.sharers-untracked.
+ *  - DesyncSpilledEntry: remove the data block B while its spilled
+ *    tracking entry E_B survives, breaking the Section IV-B1 pairing.
+ *    Caught by llc.spill-orphan. Only injectable on schemes that
+ *    spill (the tiny directory).
+ *  - ForgeOwner: rewrite the tracked state to name an exclusive owner
+ *    that does not cache the block. Caught by tracker.owner-mismatch
+ *    and llc.stale-owner.
+ *
+ * Injection mutates tracker SRAM through the CoherenceTracker debug
+ * hooks, or LLC-resident tracking (corrupted/spilled ways, tag-
+ * extended payloads) directly — never through the protocol engine, so
+ * no traffic or latency is accounted and no side effects fire; the
+ * corruption is exactly as silent as a hardware bug would be.
+ */
+
+#ifndef TINYDIR_VERIFY_FAULT_INJECT_HH
+#define TINYDIR_VERIFY_FAULT_INJECT_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "sim/system.hh"
+
+namespace tinydir
+{
+
+/** Classes of tracking-state corruption the verifier must catch. */
+enum class FaultKind
+{
+    FlipSharerBit,
+    DropTrackerEntry,
+    DesyncSpilledEntry,
+    ForgeOwner,
+};
+
+std::string toString(FaultKind k);
+
+/** Outcome of one injection attempt. */
+struct FaultReport
+{
+    bool injected = false;      //!< a fault was actually planted
+    Addr block = invalidAddr;   //!< the corrupted block
+    std::string description;    //!< what was done (or why nothing was)
+};
+
+/**
+ * Plant one fault of kind @p kind into @p sys, picking the first
+ * block whose current state supports that corruption class. Run some
+ * accesses through the system first so there is shared/tracked state
+ * to corrupt; a report with injected=false means no eligible block
+ * was found (e.g. DesyncSpilledEntry on a scheme that never spills).
+ */
+FaultReport injectFault(System &sys, FaultKind kind);
+
+} // namespace tinydir
+
+#endif // TINYDIR_VERIFY_FAULT_INJECT_HH

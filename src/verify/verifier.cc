@@ -1,0 +1,472 @@
+#include "verify/verifier.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/log.hh"
+#include "proto/inllc.hh"
+
+namespace tinydir
+{
+
+namespace
+{
+
+const char *
+residenceName(Residence r)
+{
+    switch (r) {
+      case Residence::Untracked: return "Untracked";
+      case Residence::DirSram: return "DirSram";
+      case Residence::LlcCorrupt: return "LlcCorrupt";
+      case Residence::LlcSpill: return "LlcSpill";
+      case Residence::Broadcast: return "Broadcast";
+    }
+    return "?";
+}
+
+const char *
+metaName(LlcMeta m)
+{
+    switch (m) {
+      case LlcMeta::Normal: return "Normal";
+      case LlcMeta::CorruptExcl: return "CorruptExcl";
+      case LlcMeta::CorruptShared: return "CorruptShared";
+      case LlcMeta::Spill: return "Spill";
+    }
+    return "?";
+}
+
+const char *
+kindName(TrackState::Kind k)
+{
+    switch (k) {
+      case TrackState::Kind::Invalid: return "Invalid";
+      case TrackState::Kind::Exclusive: return "Exclusive";
+      case TrackState::Kind::Shared: return "Shared";
+    }
+    return "?";
+}
+
+std::string
+sharerList(const SharerSet &s)
+{
+    std::ostringstream os;
+    os << "{";
+    bool first = true;
+    s.forEach([&](CoreId c) {
+        os << (first ? "" : ",") << static_cast<unsigned>(c);
+        first = false;
+    });
+    os << "}";
+    return os.str();
+}
+
+/** Ground truth for one block, rebuilt from the private hierarchies. */
+struct Truth
+{
+    SharerSet sharers;
+    CoreId owner = invalidCore;
+};
+
+// -- JSON helpers ----------------------------------------------------------
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream os;
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << ' ';
+            else
+                os << c;
+        }
+    }
+    return os.str();
+}
+
+void
+jsonSharers(std::ostream &os, const SharerSet &s)
+{
+    os << "[";
+    bool first = true;
+    s.forEach([&](CoreId c) {
+        os << (first ? "" : ",") << static_cast<unsigned>(c);
+        first = false;
+    });
+    os << "]";
+}
+
+void
+jsonTrackState(std::ostream &os, const TrackState &ts)
+{
+    os << "{\"kind\":\"" << kindName(ts.kind) << "\",\"owner\":";
+    if (ts.owner == invalidCore)
+        os << "null";
+    else
+        os << static_cast<unsigned>(ts.owner);
+    os << ",\"sharers\":";
+    jsonSharers(os, ts.sharers);
+    os << "}";
+}
+
+void
+jsonLlcEntry(std::ostream &os, const LlcEntry &e)
+{
+    os << "{\"meta\":\"" << metaName(e.meta) << "\",\"dirty\":"
+       << (e.dirty ? "true" : "false") << ",\"owner\":";
+    if (e.owner == invalidCore)
+        os << "null";
+    else
+        os << static_cast<unsigned>(e.owner);
+    os << ",\"sharers\":";
+    jsonSharers(os, e.sharers);
+    os << ",\"strac\":" << static_cast<unsigned>(e.strac)
+       << ",\"oac\":" << static_cast<unsigned>(e.oac) << "}";
+}
+
+/** Full diagnostic context of one violating block. */
+void
+jsonBlockContext(std::ostream &os, System &sys, Addr blk)
+{
+    os << "{\"block\":" << blk << ",\"coreStates\":[";
+    bool first = true;
+    for (CoreId c = 0; c < sys.cfg.numCores; ++c) {
+        const MesiState st = sys.privs[c].state(blk);
+        if (st == MesiState::I)
+            continue;
+        os << (first ? "" : ",") << "{\"core\":"
+           << static_cast<unsigned>(c) << ",\"state\":\""
+           << toString(st) << "\"}";
+        first = false;
+    }
+    os << "],\"tracker\":";
+    const TrackerView v = sys.tracker->view(blk);
+    os << "{\"residence\":\"" << residenceName(v.where) << "\",\"state\":";
+    jsonTrackState(os, v.ts);
+    os << "},\"inDirSram\":"
+       << (sys.tracker->debugHasDirEntry(blk) ? "true" : "false")
+       << ",\"llcData\":";
+    if (const LlcEntry *de = sys.llc.findData(blk))
+        jsonLlcEntry(os, *de);
+    else
+        os << "null";
+    os << ",\"llcSpill\":";
+    if (const LlcEntry *sp = sys.llc.findSpill(blk))
+        jsonLlcEntry(os, *sp);
+    else
+        os << "null";
+    os << "}";
+}
+
+} // namespace
+
+std::string
+VerifyReport::summary() const
+{
+    if (ok())
+        return "ok";
+    std::ostringstream os;
+    const Violation &v = violations.front();
+    os << v.rule << ": " << v.detail;
+    if (violations.size() > 1)
+        os << " (+" << violations.size() - 1 << " more)";
+    return os.str();
+}
+
+VerifyReport
+Verifier::check(System &sys)
+{
+    VerifyReport rep;
+    auto add = [&](const char *rule, Addr blk, const std::string &detail) {
+        if (rep.violations.size() < opts.maxViolations)
+            rep.violations.push_back({rule, blk, detail});
+    };
+
+    const SystemConfig &cfg = sys.cfg;
+    CoherenceTracker &trk = *sys.tracker;
+    const bool coarse = trk.coarseGrain();
+    const bool exact = cfg.sharerGrain == 1;
+
+    // Ground truth: who actually caches what, in which state.
+    std::map<Addr, Truth> truth;
+    for (CoreId c = 0; c < cfg.numCores; ++c) {
+        sys.privs[c].forEachBlock([&](Addr blk, MesiState st) {
+            Truth &t = truth[blk];
+            if (st == MesiState::S) {
+                t.sharers.add(c);
+            } else {
+                if (t.owner != invalidCore) {
+                    std::ostringstream os;
+                    os << "cores " << static_cast<unsigned>(t.owner)
+                       << " and " << static_cast<unsigned>(c)
+                       << " both hold the block in E/M";
+                    add("swmr.two-owners", blk, os.str());
+                }
+                t.owner = c;
+            }
+        });
+    }
+
+    for (auto &[blk, t] : truth) {
+        ++rep.blocksChecked;
+
+        // SWMR: an E/M owner excludes concurrent read sharers.
+        if (t.owner != invalidCore && !t.sharers.empty()) {
+            std::ostringstream os;
+            os << "owned in E/M by core "
+               << static_cast<unsigned>(t.owner) << " but also shared by "
+               << sharerList(t.sharers);
+            add("swmr.owner-and-sharers", blk, os.str());
+        }
+
+        // Tracker view vs ground truth.
+        const TrackerView v = trk.view(blk);
+        if (t.owner != invalidCore) {
+            if (!v.ts.exclusive() || v.ts.owner != t.owner) {
+                std::ostringstream os;
+                os << "owner core " << static_cast<unsigned>(t.owner)
+                   << " but tracked as " << kindName(v.ts.kind)
+                   << " (residence " << residenceName(v.where);
+                if (v.ts.exclusive())
+                    os << ", owner " << static_cast<unsigned>(v.ts.owner);
+                os << ")";
+                add("tracker.owner-mismatch", blk, os.str());
+            }
+        } else if (!t.sharers.empty()) {
+            if (!v.ts.shared()) {
+                std::ostringstream os;
+                os << "shared by " << t.sharers.count()
+                   << " cores " << sharerList(t.sharers)
+                   << " but tracked as " << kindName(v.ts.kind)
+                   << " (residence " << residenceName(v.where) << ")";
+                add("tracker.sharers-untracked", blk, os.str());
+            } else if (!exact || coarse) {
+                // Coarse vectors track a conservative superset.
+                bool missing = false;
+                t.sharers.forEach([&](CoreId s) {
+                    missing |= !v.ts.sharers.contains(s);
+                });
+                if (missing) {
+                    std::ostringstream os;
+                    os << "coarse sharer set "
+                       << sharerList(v.ts.sharers)
+                       << " misses a real sharer of "
+                       << sharerList(t.sharers);
+                    add("tracker.sharers-not-superset", blk, os.str());
+                }
+            } else if (!(v.ts.sharers == t.sharers)) {
+                std::ostringstream os;
+                os << "tracked sharers " << sharerList(v.ts.sharers)
+                   << " != actual sharers " << sharerList(t.sharers);
+                add("tracker.sharers-mismatch", blk, os.str());
+            }
+        }
+
+        // Residence mutual exclusion: tracking for a block lives in at
+        // most one of directory SRAM, a corrupted LLC way, or a
+        // spilled entry.
+        const bool inDir = trk.debugHasDirEntry(blk);
+        const LlcEntry *de = sys.llc.findData(blk);
+        const bool corrupt = de && de->isCorrupt();
+        const bool spilled = sys.llc.findSpill(blk) != nullptr;
+        if (static_cast<int>(inDir) + static_cast<int>(corrupt) +
+                static_cast<int>(spilled) > 1) {
+            std::ostringstream os;
+            os << "tracking resident in multiple places:"
+               << (inDir ? " dir-sram" : "")
+               << (corrupt ? " llc-corrupt" : "")
+               << (spilled ? " llc-spill" : "");
+            add("residence.multiple", blk, os.str());
+        }
+    }
+
+    // LLC meta-state consistency (the V=0,D=1 encodings of Sections
+    // III/IV) plus the reverse direction for LLC-resident tracking:
+    // entries must describe cores that really cache the block.
+    sys.llc.forEachEntry([&](LlcEntry &e) {
+        if (e.meta == LlcMeta::Normal)
+            return;
+        const Addr blk = e.tag;
+        if (e.owner != invalidCore && e.owner >= cfg.numCores) {
+            std::ostringstream os;
+            os << metaName(e.meta) << " way names out-of-range owner "
+               << static_cast<unsigned>(e.owner);
+            add("llc.bad-owner", blk, os.str());
+            return; // owner unusable for the checks below
+        }
+        const TrackState ts = inllc_detail::stateOf(e);
+        if (e.meta == LlcMeta::CorruptExcl && !ts.exclusive()) {
+            add("llc.corrupt-excl-unowned", blk,
+                "CorruptExcl way encodes no owner");
+        }
+        if (ts.invalid()) {
+            std::ostringstream os;
+            os << metaName(e.meta) << " way encodes an empty state";
+            add("llc.corrupt-empty", blk, os.str());
+        }
+        if (e.meta == LlcMeta::Spill && !sys.llc.findData(blk)) {
+            add("llc.spill-orphan", blk,
+                "spilled tracking entry without its data block");
+        }
+        // Reverse check (exact-grain schemes only): every core named
+        // by the entry actually caches the block as described.
+        if (exact && !coarse) {
+            if (ts.exclusive() && ts.owner < cfg.numCores) {
+                const MesiState st = sys.privs[ts.owner].state(blk);
+                if (st != MesiState::E && st != MesiState::M) {
+                    std::ostringstream os;
+                    os << metaName(e.meta) << " way names owner "
+                       << static_cast<unsigned>(ts.owner)
+                       << " whose private state is " << toString(st);
+                    add("llc.stale-owner", blk, os.str());
+                }
+            } else if (ts.shared()) {
+                ts.sharers.forEach([&](CoreId s) {
+                    if (s < cfg.numCores &&
+                        sys.privs[s].state(blk) == MesiState::S)
+                        return;
+                    std::ostringstream os;
+                    os << metaName(e.meta) << " way lists sharer "
+                       << static_cast<unsigned>(s)
+                       << " that does not cache the block in S";
+                    add("llc.stale-sharer", blk, os.str());
+                });
+            }
+        }
+    });
+
+    return rep;
+}
+
+void
+Verifier::enforce(System &sys, Counter accessCount)
+{
+    VerifyReport rep = check(sys);
+    if (rep.ok())
+        return;
+    lastDump.clear();
+    if (opts.dumpOnViolation)
+        lastDump = writeViolationDump(sys, rep, opts, accessCount);
+    const Violation &v = rep.violations.front();
+    std::ostringstream os;
+    os << "coherence invariant violated";
+    if (!opts.label.empty())
+        os << " [" << opts.label << "]";
+    os << ": block " << v.block << ": " << rep.summary();
+    if (!lastDump.empty())
+        os << "; state dump: " << lastDump;
+    throw InvariantViolation(os.str(), v.block, lastDump);
+}
+
+void
+Verifier::attach(Driver &driver, Counter period)
+{
+    driver.hookPeriod = period;
+    driver.hook = [this](System &sys, Counter n) { enforce(sys, n); };
+}
+
+std::string
+writeViolationDump(System &sys, const VerifyReport &report,
+                   const Verifier::Options &opts, Counter accessCount)
+{
+    namespace fs = std::filesystem;
+
+    std::string dir = opts.dumpDir;
+    if (dir.empty()) {
+        if (const char *env = std::getenv("TINYDIR_DUMP_DIR"))
+            dir = env;
+    }
+    if (dir.empty())
+        dir = ".";
+
+    static std::atomic<unsigned> seq{0};
+    std::ostringstream name;
+    name << "tinydir-violation-" << ::getpid() << "-"
+         << seq.fetch_add(1, std::memory_order_relaxed);
+    if (!opts.label.empty()) {
+        name << "-";
+        for (char c : opts.label)
+            name << (std::isalnum(static_cast<unsigned char>(c)) ? c : '-');
+    }
+    name << ".json";
+
+    std::error_code ec;
+    fs::create_directories(dir, ec); // best effort; open() reports failure
+    const std::string path = (fs::path(dir) / name.str()).string();
+
+    std::ofstream out(path);
+    if (!out) {
+        warn("cannot write violation dump to ", path);
+        return "";
+    }
+
+    out << "{\n  \"kind\": \"tinydir-invariant-violation\",\n";
+    out << "  \"label\": \"" << jsonEscape(opts.label) << "\",\n";
+    out << "  \"scheme\": \"" << jsonEscape(sys.tracker->name())
+        << "\",\n";
+    out << "  \"numCores\": " << sys.cfg.numCores << ",\n";
+    out << "  \"accessCount\": " << accessCount << ",\n";
+    out << "  \"execCycles\": " << sys.execCycles() << ",\n";
+
+    out << "  \"violations\": [\n";
+    for (std::size_t i = 0; i < report.violations.size(); ++i) {
+        const Violation &v = report.violations[i];
+        out << "    {\"rule\": \"" << jsonEscape(v.rule)
+            << "\", \"block\": " << v.block << ", \"detail\": \""
+            << jsonEscape(v.detail) << "\"}"
+            << (i + 1 < report.violations.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+
+    // Per-block diagnostic context, deduplicated.
+    out << "  \"blocks\": [\n";
+    std::vector<Addr> blocks;
+    for (const Violation &v : report.violations) {
+        if (v.block == invalidAddr)
+            continue;
+        bool seen = false;
+        for (Addr b : blocks)
+            seen |= b == v.block;
+        if (!seen)
+            blocks.push_back(v.block);
+    }
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+        out << "    ";
+        jsonBlockContext(out, sys, blocks[i]);
+        out << (i + 1 < blocks.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n";
+
+    // Last few home transactions: the context needed to replay the
+    // corruption.
+    out << "  \"recentTxns\": [\n";
+    const std::vector<TxnRecord> txns = sys.recentTxns();
+    for (std::size_t i = 0; i < txns.size(); ++i) {
+        const TxnRecord &t = txns[i];
+        out << "    {\"when\": " << t.when << ", \"core\": "
+            << static_cast<unsigned>(t.core) << ", \"block\": "
+            << t.block << ", \"type\": \"" << toString(t.type)
+            << "\", \"notice\": " << (t.isNotice ? "true" : "false")
+            << ", \"put\": \"" << toString(t.put) << "\"}"
+            << (i + 1 < txns.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return path;
+}
+
+} // namespace tinydir

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Runtime coherence-invariant verifier.
+ *
+ * Walks the entire system state — private cache hierarchies, LLC
+ * meta-states, the active tracker and spilled entries — and checks the
+ * invariants every tracking scheme must preserve while moving state
+ * between the directory SRAM, corrupted LLC ways and spilled entries
+ * (paper Sections III-IV):
+ *
+ *   swmr.*       at most one E/M owner per block, never concurrent
+ *                with read sharers (single-writer/multiple-reader);
+ *   tracker.*    the tracker's view matches the ground truth of the
+ *                private hierarchies: the exact owner for exclusive
+ *                blocks, and a sharer set equal to (grain 1) or a
+ *                superset of (coarse grains) the real sharers;
+ *   residence.*  a block's tracking lives in at most one place:
+ *                directory SRAM, a corrupted LLC way, or a spilled
+ *                entry — never two at once;
+ *   llc.*        meta-state consistency of the V=0,D=1 encodings:
+ *                CorruptExcl must name a real in-range owner,
+ *                CorruptShared/Spill must encode a non-empty state, a
+ *                spilled entry must have its companion data block, and
+ *                (exact-grain schemes) every core named by an
+ *                LLC-resident entry must actually cache the block.
+ *
+ * check() collects violations; enforce() additionally writes a
+ * structured JSON state dump (block, per-core states, tracker entry,
+ * recent-transaction context) and throws InvariantViolation. attach()
+ * installs enforce() as a periodic Driver hook, which is how runOne()
+ * wires it up when RunControls::verifyPeriod (or TINYDIR_VERIFY) is
+ * set. The fault-injection harness (verify/fault_inject.hh) validates
+ * that each corruption class trips the corresponding rule.
+ */
+
+#ifndef TINYDIR_VERIFY_VERIFIER_HH
+#define TINYDIR_VERIFY_VERIFIER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "common/types.hh"
+#include "sim/driver.hh"
+#include "sim/system.hh"
+
+namespace tinydir
+{
+
+/** One broken invariant. */
+struct Violation
+{
+    std::string rule;   //!< stable rule id, e.g. "swmr.two-owners"
+    Addr block = invalidAddr;
+    std::string detail; //!< human-readable description
+};
+
+/** Outcome of one full-state verification pass. */
+struct VerifyReport
+{
+    std::vector<Violation> violations;
+    Counter blocksChecked = 0;
+
+    bool ok() const { return violations.empty(); }
+
+    /** "ok" or the first violation, for log lines. */
+    std::string summary() const;
+};
+
+/** Full-system coherence invariant checker. */
+class Verifier
+{
+  public:
+    struct Options
+    {
+        /** Write a JSON state dump when enforce() finds a violation. */
+        bool dumpOnViolation = true;
+        /** Dump directory ("" = $TINYDIR_DUMP_DIR, else cwd). */
+        std::string dumpDir;
+        /** Scheme/workload context for dump naming and error text. */
+        std::string label;
+        /** Stop collecting after this many violations. */
+        std::size_t maxViolations = 16;
+    };
+
+    Verifier() = default;
+    explicit Verifier(Options o) : opts(std::move(o)) {}
+
+    /** Walk the whole system state and collect violations (no throw). */
+    VerifyReport check(System &sys);
+
+    /**
+     * check(); on violation write the dump (per Options) and throw
+     * InvariantViolation carrying the first violating block and the
+     * dump path. @p accessCount stamps the dump with simulation
+     * progress (pass the Driver hook's running access count).
+     */
+    void enforce(System &sys, Counter accessCount = 0);
+
+    /** Path of the last dump written by enforce(), or "". */
+    const std::string &lastDumpPath() const { return lastDump; }
+
+    /**
+     * Install enforce() as @p driver's periodic hook, firing every
+     * @p period accesses. The Verifier must outlive the driven run.
+     */
+    void attach(Driver &driver, Counter period);
+
+    const Options &options() const { return opts; }
+
+  private:
+    Options opts;
+    std::string lastDump;
+};
+
+/**
+ * Write the structured JSON dump for @p report: the violations, the
+ * per-core / tracker / LLC state of each violating block, and the
+ * system's recent-transaction ring. @return the file path, or "" when
+ * the file could not be written (reported with warn()).
+ */
+std::string writeViolationDump(System &sys, const VerifyReport &report,
+                               const Verifier::Options &opts,
+                               Counter accessCount);
+
+} // namespace tinydir
+
+#endif // TINYDIR_VERIFY_VERIFIER_HH

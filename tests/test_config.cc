@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/config.hh"
+#include "common/sim_error.hh"
 
 using namespace tinydir;
 
@@ -74,10 +77,16 @@ TEST(Config, NamesRoundTrip)
     EXPECT_EQ(toString(TinyPolicy::DstraGnru), "DSTRA+gNRU");
 }
 
-TEST(ConfigDeath, RejectsBadGeometry)
+TEST(ConfigValidate, RejectsBadGeometry)
 {
     SystemConfig cfg;
     cfg.numCores = 96; // not a power of two
-    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
-                "power of two");
+    try {
+        cfg.validate();
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("power of two"),
+                  std::string::npos)
+            << e.what();
+    }
 }

@@ -36,9 +36,9 @@ matrixJobs(std::uint64_t accesses, std::uint64_t warmup)
     for (const char *app : {"compress", "swaptions"}) {
         const WorkloadProfile *prof = &profileByName(app);
         jobs.push_back({schemeConfig(TrackerKind::SparseDir, 2.0), prof,
-                        accesses, warmup});
+                        accesses, warmup, {}});
         jobs.push_back({schemeConfig(TrackerKind::TinyDir, 1.0 / 32),
-                        prof, accesses, warmup});
+                        prof, accesses, warmup, {}});
     }
     return jobs;
 }

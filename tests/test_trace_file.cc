@@ -6,7 +6,9 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <string>
 
+#include "common/sim_error.hh"
 #include "sim/driver.hh"
 #include "sim/system.hh"
 #include "workload/generator.hh"
@@ -93,19 +95,38 @@ TEST_F(TraceFileTest, ReplayThroughSimulatorMatchesDirect)
               replay.dump().get("lengthened.reads"));
 }
 
+namespace
+{
+
+/** The call must throw ConfigError whose message contains @p substr. */
+template <typename Fn>
+void
+expectConfigError(Fn &&fn, const char *substr)
+{
+    try {
+        fn();
+        FAIL() << "expected ConfigError mentioning " << substr;
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find(substr), std::string::npos)
+            << e.what();
+    }
+}
+
+} // namespace
+
 TEST_F(TraceFileTest, RejectsGarbage)
 {
     std::ofstream os(path, std::ios::binary);
     os << "this is not a trace";
     os.close();
-    EXPECT_EXIT(traceFileInfo(path), ::testing::ExitedWithCode(1),
-                "not a tinydir trace");
+    expectConfigError([&] { traceFileInfo(path); },
+                      "not a tinydir trace");
 }
 
 TEST_F(TraceFileTest, RejectsMissingFile)
 {
-    EXPECT_EXIT(traceFileInfo("/nonexistent/trace.bin"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    expectConfigError([&] { traceFileInfo("/nonexistent/trace.bin"); },
+                      "cannot open");
 }
 
 TEST_F(TraceFileTest, RejectsBadCoreIndex)
@@ -114,6 +135,5 @@ TEST_F(TraceFileTest, RejectsBadCoreIndex)
     auto lay = std::make_shared<const SharedLayout>(
         profileByName("compress"), cfg);
     TraceFileWriter::write(path, makeStreams(lay, cfg, 10, false));
-    EXPECT_EXIT(TraceFileStream(path, 8),
-                ::testing::ExitedWithCode(1), "no core");
+    expectConfigError([&] { TraceFileStream(path, 8); }, "no core");
 }

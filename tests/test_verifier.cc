@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests of the runtime coherence-invariant verifier, the
+ * fault-injection harness that proves it catches real corruption, and
+ * the fault-isolated parallel grid execution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/sim_error.hh"
+#include "sim/driver.hh"
+#include "sim/experiment.hh"
+#include "sim/parallel.hh"
+#include "sim/system.hh"
+#include "verify/fault_inject.hh"
+#include "verify/verifier.hh"
+#include "workload/generator.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+SystemConfig
+cfgFor(TrackerKind kind, double factor)
+{
+    SystemConfig cfg = SystemConfig::scaled(8);
+    cfg.tracker = kind;
+    cfg.dirSizeFactor = factor;
+    if (kind == TrackerKind::TinyDir) {
+        cfg.tinyPolicy = TinyPolicy::DstraGnru;
+        cfg.tinySpill = true;
+    }
+    if (kind == TrackerKind::Mgd) {
+        cfg.dirSkewed = true;
+        cfg.dirAssoc = 4;
+    }
+    return cfg;
+}
+
+/** Drive a short TPC-C run on @p sys (via @p driver when given). */
+void
+runSome(System &sys, Driver &driver, std::uint64_t per_core = 2000)
+{
+    auto layout = std::make_shared<const SharedLayout>(
+        profileByName("TPC-C"), sys.cfg);
+    auto streams = makeStreams(layout, sys.cfg, per_core);
+    driver.run(sys, std::move(streams));
+}
+
+bool
+anyRuleStartsWith(const VerifyReport &rep, const std::string &prefix)
+{
+    for (const Violation &v : rep.violations) {
+        if (v.rule.rfind(prefix, 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+const TrackerKind allKinds[] = {
+    TrackerKind::SparseDir,    TrackerKind::SharedOnlyDir,
+    TrackerKind::InLlcTagExtended, TrackerKind::InLlc,
+    TrackerKind::TinyDir,      TrackerKind::Mgd,
+    TrackerKind::Stash,
+};
+
+} // namespace
+
+TEST(Verifier, AllSchemesCleanUnderPeriodicHook)
+{
+    for (TrackerKind kind : allKinds) {
+        SystemConfig cfg = cfgFor(
+            kind, kind == TrackerKind::SparseDir ? 2.0 : 1.0 / 32);
+        System sys(cfg);
+        Driver driver;
+        Verifier verifier;
+        verifier.attach(driver, 1000);
+        EXPECT_NO_THROW(runSome(sys, driver)) << toString(kind);
+        const VerifyReport rep = Verifier().check(sys);
+        EXPECT_TRUE(rep.ok()) << toString(kind) << ": "
+                              << rep.summary();
+        EXPECT_GT(rep.blocksChecked, 0u) << toString(kind);
+    }
+}
+
+TEST(Verifier, RunOneHonoursVerifyPeriodControl)
+{
+    RunControls ctl;
+    ctl.verifyPeriod = 500;
+    ctl.label = "tiny / TPC-C";
+    const RunOut out =
+        runOne(cfgFor(TrackerKind::TinyDir, 1.0 / 32),
+               profileByName("TPC-C"), 1500, 500, ctl);
+    EXPECT_GT(out.accesses, 0u);
+    EXPECT_GT(out.execCycles, 0u);
+}
+
+// One fault-injection case per corruption class: the injected fault
+// must be detected, with the expected rule family among the findings.
+struct FaultCase
+{
+    FaultKind kind;
+    TrackerKind scheme;
+    double factor;
+    const char *expectRulePrefix;
+};
+
+class FaultInjection : public ::testing::TestWithParam<FaultCase>
+{
+};
+
+TEST_P(FaultInjection, VerifierCatchesInjectedFault)
+{
+    const FaultCase &fc = GetParam();
+    SystemConfig cfg = cfgFor(fc.scheme, fc.factor);
+    System sys(cfg);
+    Driver driver;
+    runSome(sys, driver, 3000);
+    ASSERT_TRUE(Verifier().check(sys).ok())
+        << "system corrupt before injection";
+
+    const FaultReport fr = injectFault(sys, fc.kind);
+    ASSERT_TRUE(fr.injected)
+        << toString(fc.kind) << " found nothing to corrupt on "
+        << toString(fc.scheme);
+    EXPECT_NE(fr.block, invalidAddr);
+
+    const VerifyReport rep = Verifier().check(sys);
+    EXPECT_FALSE(rep.ok())
+        << toString(fc.kind) << " went undetected on "
+        << toString(fc.scheme) << " (" << fr.description << ")";
+    EXPECT_TRUE(anyRuleStartsWith(rep, fc.expectRulePrefix))
+        << "expected a " << fc.expectRulePrefix
+        << "* violation, got: " << rep.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, FaultInjection,
+    ::testing::Values(
+        FaultCase{FaultKind::FlipSharerBit, TrackerKind::SparseDir,
+                  2.0, "tracker.sharers"},
+        FaultCase{FaultKind::FlipSharerBit, TrackerKind::InLlc, 2.0,
+                  "tracker.sharers"},
+        FaultCase{FaultKind::DropTrackerEntry, TrackerKind::TinyDir,
+                  1.0 / 32, "tracker."},
+        FaultCase{FaultKind::DropTrackerEntry, TrackerKind::SparseDir,
+                  2.0, "tracker."},
+        FaultCase{FaultKind::DesyncSpilledEntry, TrackerKind::TinyDir,
+                  1.0 / 256, "llc.spill-orphan"},
+        FaultCase{FaultKind::ForgeOwner, TrackerKind::SparseDir, 2.0,
+                  "tracker.owner-mismatch"},
+        FaultCase{FaultKind::ForgeOwner, TrackerKind::InLlc, 2.0,
+                  "tracker.owner-mismatch"}),
+    [](const ::testing::TestParamInfo<FaultCase> &info) {
+        std::string name = toString(info.param.kind) + "_on_" +
+            toString(info.param.scheme);
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Verifier, EnforceWritesStructuredDumpAndThrows)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = fs::temp_directory_path() /
+        ("tinydir_verifier_test_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+
+    SystemConfig cfg = cfgFor(TrackerKind::SparseDir, 2.0);
+    System sys(cfg);
+    Driver driver;
+    runSome(sys, driver, 3000);
+    const FaultReport fr = injectFault(sys, FaultKind::ForgeOwner);
+    ASSERT_TRUE(fr.injected) << fr.description;
+
+    Verifier::Options o;
+    o.dumpDir = dir.string();
+    o.label = "sparse / TPC-C";
+    Verifier verifier(o);
+    try {
+        verifier.enforce(sys, 1234);
+        FAIL() << "expected InvariantViolation";
+    } catch (const InvariantViolation &e) {
+        EXPECT_EQ(e.block, fr.block);
+        EXPECT_EQ(e.dumpPath, verifier.lastDumpPath());
+        ASSERT_FALSE(e.dumpPath.empty());
+        ASSERT_TRUE(fs::exists(e.dumpPath)) << e.dumpPath;
+        EXPECT_NE(std::string(e.what()).find("state dump"),
+                  std::string::npos)
+            << e.what();
+
+        std::ifstream in(e.dumpPath);
+        std::stringstream ss;
+        ss << in.rdbuf();
+        const std::string dump = ss.str();
+        for (const char *needle :
+             {"tinydir-invariant-violation", "sparse / TPC-C",
+              "\"violations\"", "\"coreStates\"", "\"tracker\"",
+              "\"recentTxns\"", "\"accessCount\": 1234"}) {
+            EXPECT_NE(dump.find(needle), std::string::npos)
+                << "dump missing: " << needle;
+        }
+        std::ostringstream blk;
+        blk << "\"block\": " << fr.block;
+        EXPECT_NE(dump.find(blk.str()), std::string::npos)
+            << "dump does not name the corrupted block";
+    }
+    fs::remove_all(dir);
+}
+
+TEST(ParallelRunner, FailedCellIsIsolatedAndIdentified)
+{
+    SystemConfig good = cfgFor(TrackerKind::SparseDir, 2.0);
+    SystemConfig bad = good;
+    bad.numCores = 96; // rejected by SystemConfig::validate()
+
+    std::vector<SimJob> jobs;
+    jobs.push_back({good, &profileByName("barnes"), 500, 0, {}});
+    jobs.push_back({bad, &profileByName("TPC-C"), 500, 0, {}});
+    jobs.push_back({good, &profileByName("TPC-C"), 500, 0, {}});
+
+    const auto results = runMany(jobs, 2);
+    ASSERT_EQ(results.size(), 3u);
+
+    EXPECT_FALSE(results[0].failed);
+    EXPECT_GT(results[0].out.accesses, 0u);
+    EXPECT_FALSE(results[2].failed);
+    EXPECT_GT(results[2].out.accesses, 0u);
+
+    EXPECT_TRUE(results[1].failed);
+    EXPECT_FALSE(results[1].timedOut);
+    // The error must identify the failing cell: scheme and workload.
+    EXPECT_NE(results[1].error.find("sparse"), std::string::npos)
+        << results[1].error;
+    EXPECT_NE(results[1].error.find("TPC-C"), std::string::npos)
+        << results[1].error;
+    EXPECT_NE(results[1].error.find("power of two"), std::string::npos)
+        << results[1].error;
+}
+
+TEST(ParallelRunner, StrictModeRethrowsFirstFailure)
+{
+    SystemConfig bad = cfgFor(TrackerKind::SparseDir, 2.0);
+    bad.numCores = 96;
+    std::vector<SimJob> jobs;
+    jobs.push_back({bad, &profileByName("TPC-C"), 500, 0, {}});
+    EXPECT_THROW(runMany(jobs, 1, true), SimError);
+}
+
+TEST(ParallelRunner, WatchdogTimeoutBecomesFailedCell)
+{
+    SimJob job;
+    job.cfg = cfgFor(TrackerKind::SparseDir, 2.0);
+    job.prof = &profileByName("TPC-C");
+    job.accessesPerCore = 20000;
+    job.controls.timeoutSeconds = 1e-6;
+
+    const auto results = runMany({job}, 1);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].failed);
+    EXPECT_TRUE(results[0].timedOut);
+    EXPECT_NE(results[0].error.find("wall-clock"), std::string::npos)
+        << results[0].error;
+    EXPECT_NE(results[0].error.find("TPC-C"), std::string::npos)
+        << results[0].error;
+}

@@ -4,7 +4,9 @@
 
 #include <map>
 #include <set>
+#include <string>
 
+#include "common/sim_error.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
 
@@ -25,8 +27,14 @@ TEST(Workload, SeventeenProfiles)
 TEST(Workload, LookupByName)
 {
     EXPECT_EQ(profileByName("barnes").name, "barnes");
-    EXPECT_EXIT(profileByName("nonexistent"),
-                ::testing::ExitedWithCode(1), "unknown workload");
+    try {
+        profileByName("nonexistent");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown workload"),
+                  std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(Workload, ProfileParametersSane)

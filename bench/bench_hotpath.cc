@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Hot-path throughput baseline + regression guard.
+ *
+ * Two modes:
+ *
+ *  - default: measure the hot-path data structures (FlatMap vs
+ *    std::unordered_map, InlineVec vs heap std::vector, SkewArray
+ *    lookup) and the end-to-end quick-grid simulated-accesses/sec,
+ *    then write the record to --out=FILE (default BENCH_hotpath.json,
+ *    truncated) using the same JSON-lines format as TINYDIR_JSON.
+ *
+ *  - --guard=BASELINE.json: re-measure the quick-grid accesses/sec
+ *    (best of three) and exit 1 if it regressed more than
+ *    TINYDIR_PERF_TOL (default 0.20, i.e. 20%) below the committed
+ *    baseline. This is the bench_perf_smoke ctest.
+ *
+ * Structure numbers are Mops (million operations per host second);
+ * the end-to-end row is simulated accesses per host second inside
+ * Driver::run. All numbers are machine-dependent: regenerate the
+ * baseline with this tool when moving to new hardware.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/flat_map.hh"
+#include "common/inline_vec.hh"
+#include "common/rng.hh"
+#include "mem/skew_array.hh"
+
+namespace
+{
+
+using namespace tinydir;
+using namespace tinydir::bench;
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/** Million ops per second of @p ops operations taking @p sec. */
+double
+mops(std::uint64_t ops, double sec)
+{
+    return sec > 0.0 ? static_cast<double>(ops) / sec / 1e6 : 0.0;
+}
+
+constexpr std::uint64_t mapKeys = 1u << 16;
+constexpr std::uint64_t mapOps = 4u << 20;
+
+double
+flatMapLookupMops()
+{
+    FlatMap<std::uint32_t> m;
+    Rng rng(11);
+    for (std::uint64_t i = 0; i < mapKeys; ++i)
+        m[rng.below(1u << 20)] = static_cast<std::uint32_t>(i);
+    Rng probe(12);
+    std::uint64_t sum = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < mapOps; ++i) {
+        const auto *v = m.find(probe.below(1u << 20));
+        if (v)
+            sum += *v;
+    }
+    const double sec = secondsSince(t0);
+    if (sum == 0xdeadbeef)
+        std::cerr << "";
+    return mops(mapOps, sec);
+}
+
+double
+unorderedMapLookupMops()
+{
+    std::unordered_map<Addr, std::uint32_t> m;
+    Rng rng(11);
+    for (std::uint64_t i = 0; i < mapKeys; ++i)
+        m[rng.below(1u << 20)] = static_cast<std::uint32_t>(i);
+    Rng probe(12);
+    std::uint64_t sum = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < mapOps; ++i) {
+        const auto it = m.find(probe.below(1u << 20));
+        if (it != m.end())
+            sum += it->second;
+    }
+    const double sec = secondsSince(t0);
+    if (sum == 0xdeadbeef)
+        std::cerr << "";
+    return mops(mapOps, sec);
+}
+
+double
+flatMapChurnMops()
+{
+    FlatMap<std::uint32_t> m;
+    Rng rng(13);
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < mapOps; ++i) {
+        const Addr k = rng.below(mapKeys);
+        if (rng.chance(0.5))
+            m[k] = static_cast<std::uint32_t>(i);
+        else
+            m.erase(k);
+    }
+    const double sec = secondsSince(t0);
+    return mops(mapOps, sec);
+}
+
+double
+unorderedMapChurnMops()
+{
+    std::unordered_map<Addr, std::uint32_t> m;
+    Rng rng(13);
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < mapOps; ++i) {
+        const Addr k = rng.below(mapKeys);
+        if (rng.chance(0.5))
+            m[k] = static_cast<std::uint32_t>(i);
+        else
+            m.erase(k);
+    }
+    const double sec = secondsSince(t0);
+    return mops(mapOps, sec);
+}
+
+constexpr std::uint64_t vecRounds = 8u << 20;
+
+/** Keep @p v live so the loop body cannot be folded away. */
+inline void
+sinkValue(std::uint64_t &v)
+{
+    asm volatile("" : "+r"(v));
+}
+
+double
+inlineVecFillMops()
+{
+    // The chained accumulator makes each round data-dependent on the
+    // previous one; without it the compiler folds the whole loop.
+    std::uint64_t x = 1;
+    InlineVec<std::uint64_t, 4> v;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < vecRounds; ++i) {
+        v.clear();
+        v.push_back(x);
+        v.push_back(x ^ 0x9E3779B9ull);
+        x = v[0] + v[1] + (x << 1);
+        sinkValue(x);
+    }
+    const double sec = secondsSince(t0);
+    sinkValue(x);
+    return mops(vecRounds, sec);
+}
+
+double
+heapVectorFillMops()
+{
+    std::uint64_t x = 1;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < vecRounds; ++i) {
+        std::vector<std::uint64_t> v;
+        v.push_back(x);
+        v.push_back(x ^ 0x9E3779B9ull);
+        x = v[0] + v[1] + (x << 1);
+        sinkValue(x);
+    }
+    const double sec = secondsSince(t0);
+    sinkValue(x);
+    return mops(vecRounds, sec);
+}
+
+struct SkewEntry
+{
+    Addr tag = 0;
+    bool valid = false;
+};
+
+double
+skewLookupMops()
+{
+    SkewArray<SkewEntry> arr(1u << 10, 4);
+    Rng rng(14);
+    for (std::uint64_t i = 0; i < 3u << 10; ++i) {
+        const Addr t = rng.below(1u << 22);
+        auto ir = arr.insert(t);
+        ir.slot->tag = t;
+        ir.slot->valid = true;
+    }
+    Rng probe(15);
+    std::uint64_t hits = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < mapOps; ++i) {
+        if (arr.find(probe.below(1u << 22)))
+            ++hits;
+    }
+    const double sec = secondsSince(t0);
+    if (hits == 0xdeadbeef)
+        std::cerr << "";
+    return mops(mapOps, sec);
+}
+
+/** The fig10-style quick grid, timed. Returns accesses per second. */
+double
+quickGridAccessesPerSec()
+{
+    BenchScale scale;
+    scale.quick = true;
+    scale.cores = 8;
+    scale.accessesPerCore = 2000;
+    scale.warmupPerCore = 1000;
+    scale.jobs = 1;
+    SystemConfig base = sparseCfg(scale, 2.0);
+    std::vector<Scheme> schemes{
+        {"DSTRA", tinyCfg(scale, 1.0 / 32, TinyPolicy::Dstra, false)},
+        {"DSTRA+gNRU",
+         tinyCfg(scale, 1.0 / 32, TinyPolicy::DstraGnru, false)},
+        {"+DynSpill",
+         tinyCfg(scale, 1.0 / 32, TinyPolicy::DstraGnru, true)},
+    };
+    const auto apps = selectApps(scale);
+    std::vector<SimJob> jobs;
+    jobs.reserve(apps.size() * (schemes.size() + 1));
+    for (const auto *app : apps) {
+        jobs.push_back({base, app, scale.accessesPerCore,
+                        scale.warmupPerCore,
+                        cellControls(scale, "baseline", app->name)});
+        for (const auto &s : schemes) {
+            jobs.push_back({s.cfg, app, scale.accessesPerCore,
+                            scale.warmupPerCore,
+                            cellControls(scale, s.label, app->name)});
+        }
+    }
+    const auto results = runMany(jobs, 1, false);
+    Counter accesses = 0;
+    double runSec = 0.0;
+    for (const auto &r : results) {
+        if (r.memoized || r.failed)
+            continue;
+        accesses += r.out.accesses;
+        runSec += r.out.wallSeconds;
+    }
+    return runSec > 0.0 ? static_cast<double>(accesses) / runSec : 0.0;
+}
+
+/** Best of @p n timed quick grids (noise floor on loaded machines). */
+double
+bestQuickGrid(unsigned n)
+{
+    double best = 0.0;
+    for (unsigned i = 0; i < n; ++i) {
+        const double aps = quickGridAccessesPerSec();
+        std::cerr << "# quick grid pass " << (i + 1) << "/" << n << ": "
+                  << static_cast<std::uint64_t>(aps) << " accesses/s\n";
+        best = std::max(best, aps);
+    }
+    return best;
+}
+
+constexpr const char *e2eRow = "quick_grid_accesses_per_sec";
+
+/**
+ * Pull the quick-grid accesses/sec out of a BENCH_hotpath.json
+ * baseline. Minimal parse: the file is our own appendJsonResults
+ * output, so the row is "{\"workload\":\"<e2eRow>\",\"values\":[N]}".
+ */
+double
+baselineAccessesPerSec(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is) {
+        std::cerr << "error: cannot read baseline " << path << "\n";
+        std::exit(2);
+    }
+    std::stringstream ss;
+    ss << is.rdbuf();
+    const std::string text = ss.str();
+    const std::string needle =
+        std::string("\"workload\":\"") + e2eRow + "\",\"values\":[";
+    const auto pos = text.find(needle);
+    if (pos == std::string::npos) {
+        std::cerr << "error: no " << e2eRow << " row in " << path
+                  << "\n";
+        std::exit(2);
+    }
+    return std::strtod(text.c_str() + pos + needle.size(), nullptr);
+}
+
+double
+perfTolerance()
+{
+    if (const char *env = std::getenv("TINYDIR_PERF_TOL")) {
+        char *end = nullptr;
+        const double v = std::strtod(env, &end);
+        if (env[0] != '\0' && end && *end == '\0' && v > 0.0 && v < 1.0)
+            return v;
+        std::cerr << "warn: TINYDIR_PERF_TOL must be in (0,1), "
+                     "ignoring: "
+                  << env << "\n";
+    }
+    return 0.20;
+}
+
+int
+guardMode(const std::string &baselinePath)
+{
+    const double base = baselineAccessesPerSec(baselinePath);
+    const double tol = perfTolerance();
+    const double now = bestQuickGrid(3);
+    const double floor = base * (1.0 - tol);
+    std::cout << "baseline " << static_cast<std::uint64_t>(base)
+              << " accesses/s, current "
+              << static_cast<std::uint64_t>(now) << " accesses/s, floor "
+              << static_cast<std::uint64_t>(floor) << " (tol "
+              << tol * 100 << "%)\n";
+    if (now < floor) {
+        std::cerr << "error: quick-grid throughput regressed more than "
+                  << tol * 100 << "% below the committed baseline ("
+                  << baselinePath
+                  << "); if the machine legitimately changed, "
+                     "regenerate with bench_hotpath, or raise "
+                     "TINYDIR_PERF_TOL\n";
+        return 1;
+    }
+    return 0;
+}
+
+int
+writeMode(const std::string &outPath)
+{
+    ResultTable table("hotpath: structure Mops + quick-grid accesses/s",
+                      {"value"});
+    struct NamedBench
+    {
+        const char *name;
+        double (*fn)();
+    };
+    const NamedBench structureBenches[] = {
+        {"flat_map_lookup_mops", flatMapLookupMops},
+        {"unordered_map_lookup_mops", unorderedMapLookupMops},
+        {"flat_map_churn_mops", flatMapChurnMops},
+        {"unordered_map_churn_mops", unorderedMapChurnMops},
+        {"inline_vec_fill_mops", inlineVecFillMops},
+        {"heap_vector_fill_mops", heapVectorFillMops},
+        {"skew_lookup_mops", skewLookupMops},
+    };
+    const auto t0 = Clock::now();
+    for (const auto &b : structureBenches) {
+        const double v = b.fn();
+        std::cerr << "# " << b.name << ": " << v << "\n";
+        table.addRow(b.name, {v});
+    }
+    const double aps = bestQuickGrid(3);
+    table.addRow(e2eRow, {aps});
+
+    BenchScale scale;
+    scale.quick = true;
+    scale.cores = 8;
+    scale.accessesPerCore = 2000;
+    scale.warmupPerCore = 1000;
+    scale.jobs = 1;
+    BenchTiming timing;
+    timing.wallSeconds = secondsSince(t0);
+    timing.jobs = 1;
+    timing.simsRun = 1;
+
+    // Fresh baseline: truncate, then reuse the TINYDIR_JSON writer.
+    {
+        std::ofstream os(outPath, std::ios::trunc);
+        if (!os) {
+            std::cerr << "error: cannot write " << outPath << "\n";
+            return 2;
+        }
+    }
+    appendJsonResults(outPath, table, scale, timing);
+    table.print(std::cout, 4, /*with_average=*/false);
+    std::cout << "wrote " << outPath << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string out = "BENCH_hotpath.json";
+    std::string guard;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--out=", 6) == 0) {
+            out = a + 6;
+        } else if (std::strncmp(a, "--guard=", 8) == 0) {
+            guard = a + 8;
+        } else {
+            std::cerr << "usage: bench_hotpath [--out=FILE | "
+                         "--guard=BASELINE.json]\n";
+            return 2;
+        }
+    }
+    if (!guard.empty())
+        return guardMode(guard);
+    return writeMode(out);
+}

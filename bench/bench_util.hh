@@ -115,6 +115,8 @@ recordBenchResults(const ResultTable &table, const BenchScale &scale,
         } else {
             ++timing.simsRun;
             timing.simSeconds += r.wallSeconds;
+            timing.simAccesses += r.out.accesses;
+            timing.runSeconds += r.out.wallSeconds;
         }
         if (r.failed && !r.memoized)
             timing.failures.push_back({r.error, r.dumpPath, r.timedOut});
@@ -122,7 +124,10 @@ recordBenchResults(const ResultTable &table, const BenchScale &scale,
     std::cerr << "# " << table.tableTitle() << ": " << timing.simsRun
               << " sims (" << timing.simsMemoized << " memoized), "
               << timing.jobs << " jobs, wall " << timing.wallSeconds
-              << " s, sim " << timing.simSeconds << " s\n";
+              << " s, sim " << timing.simSeconds << " s, "
+              << timing.simAccesses << " accesses ("
+              << static_cast<std::uint64_t>(timing.accessesPerSec())
+              << "/s)\n";
     if (!timing.failures.empty()) {
         std::cerr << "# " << timing.failures.size()
                   << " cell(s) FAILED; table shows nan for them:\n";

@@ -2,14 +2,30 @@
  * @file
  * google-benchmark microbenchmarks of the core data structures:
  * lookup/insert throughput of the cache arrays, the skew array, the
- * sharer set, the STRA category computation, and whole-transaction
+ * hot-path FlatMap/InlineVec (vs their std counterparts), the sharer
+ * set, the STRA category computation, and whole-transaction
  * throughput of the engine under each tracker. These bound the
  * simulator's own speed and double as ablation probes for the
  * structure choices in DESIGN.md Section 5.
+ *
+ * Besides the google-benchmark console table, setting TINYDIR_JSON
+ * appends one machine-readable record (benchmark name -> ns/op) to
+ * that file through the same appendJsonResults writer the figure
+ * benches use.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+#include "common/flat_map.hh"
+#include "common/inline_vec.hh"
 #include "common/rng.hh"
 #include "common/sharer_set.hh"
 #include "mem/cache_array.hh"
@@ -59,6 +75,80 @@ BM_SkewArrayInsert(benchmark::State &state)
     }
 }
 BENCHMARK(BM_SkewArrayInsert);
+
+/**
+ * FlatMap vs std::unordered_map on the busyUntil/PrivateCache::info
+ * access pattern: lookup-heavy with steady insert/erase churn.
+ */
+void
+BM_FlatMapChurn(benchmark::State &state)
+{
+    FlatMap<std::uint32_t> m;
+    m.reserve(1u << 12);
+    Rng rng(7);
+    for (auto _ : state) {
+        const Addr k = rng.below(1u << 12);
+        if (rng.chance(0.25))
+            m[k] = 1;
+        else if (rng.chance(0.1))
+            m.erase(k);
+        else
+            benchmark::DoNotOptimize(m.find(k));
+    }
+}
+BENCHMARK(BM_FlatMapChurn);
+
+void
+BM_UnorderedMapChurn(benchmark::State &state)
+{
+    std::unordered_map<Addr, std::uint32_t> m;
+    m.reserve(1u << 12);
+    Rng rng(7);
+    for (auto _ : state) {
+        const Addr k = rng.below(1u << 12);
+        if (rng.chance(0.25))
+            m[k] = 1;
+        else if (rng.chance(0.1))
+            m.erase(k);
+        else
+            benchmark::DoNotOptimize(m.count(k));
+    }
+}
+BENCHMARK(BM_UnorderedMapChurn);
+
+/**
+ * InlineVec vs a freshly heap-allocated std::vector as the eviction
+ * notice scratch buffer: the per-access cost the zero-allocation
+ * access path removed.
+ */
+void
+BM_InlineVecScratch(benchmark::State &state)
+{
+    Rng rng(8);
+    InlineVec<std::uint64_t, 4> v;
+    for (auto _ : state) {
+        v.clear();
+        v.push_back(rng.below(1u << 20));
+        if (rng.chance(0.3))
+            v.push_back(1);
+        benchmark::DoNotOptimize(v.size());
+    }
+}
+BENCHMARK(BM_InlineVecScratch);
+
+void
+BM_HeapVectorScratch(benchmark::State &state)
+{
+    Rng rng(8);
+    for (auto _ : state) {
+        std::vector<std::uint64_t> v;
+        v.push_back(rng.below(1u << 20));
+        if (rng.chance(0.3))
+            v.push_back(1);
+        benchmark::DoNotOptimize(v.size());
+    }
+}
+BENCHMARK(BM_HeapVectorScratch);
 
 void
 BM_SharerSetOps(benchmark::State &state)
@@ -116,6 +206,53 @@ BENCHMARK(BM_EngineTransaction)
     ->Arg(static_cast<int>(TrackerKind::Mgd))
     ->Arg(static_cast<int>(TrackerKind::Stash));
 
+/**
+ * Console reporter that also collects (name, ns/op) rows so the run
+ * can be appended to the TINYDIR_JSON dump.
+ */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    std::vector<std::pair<std::string, double>> collected;
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &r : reports) {
+            if (!r.error_occurred) {
+                collected.emplace_back(r.benchmark_name(),
+                                       r.GetAdjustedRealTime());
+            }
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    const auto t0 = std::chrono::steady_clock::now();
+    CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    const std::string path = jsonResultsPath();
+    if (!path.empty()) {
+        ResultTable table("micro_structures: data-structure ns/op",
+                          {"ns_per_op"});
+        for (const auto &[name, ns] : reporter.collected)
+            table.addRow(name, {ns});
+        BenchScale scale;
+        BenchTiming timing;
+        timing.wallSeconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+        timing.simsRun =
+            static_cast<unsigned>(reporter.collected.size());
+        appendJsonResults(path, table, scale, timing);
+    }
+    return 0;
+}

@@ -25,7 +25,8 @@ ResidencyHistograms::noteDeath(const ResidencyStats &rs)
     }
     if (rs.lengthened > 0)
         ++blocksLengthened;
-    const Counter total = rs.straReads + rs.otherAccesses;
+    const Counter total =
+        static_cast<Counter>(rs.straReads) + rs.otherAccesses;
     if (total > 0 && rs.straReads > 0) {
         const double ratio =
             static_cast<double>(rs.straReads) / static_cast<double>(total);
@@ -39,6 +40,7 @@ Llc::Llc(const SystemConfig &cfg)
     : banks_(cfg.llcBanks()), sets(cfg.llcSetsPerBank()),
       ways(cfg.llcAssoc)
 {
+    panic_if(ways > 64, "LLC associativity > 64 (pinned mask width)");
     // Sampled no-spill sets: spillSampledSets per bank, evenly
     // spread. Degenerate tiny LLCs (tests) sample at most every other
     // set so spilling stays possible.
@@ -51,12 +53,11 @@ Llc::Llc(const SystemConfig &cfg)
 }
 
 LlcEntry *
-Llc::findData(Addr block)
+Llc::findData(Loc loc, Addr block)
 {
-    auto &arr = arrays[bankOf(block)];
-    const std::uint64_t set = setOf(block);
+    LlcEntry *base = arrays[loc.bank].setBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        LlcEntry &e = arr.way(set, w);
+        LlcEntry &e = base[w];
         if (e.valid && e.tag == block && e.meta != LlcMeta::Spill)
             return &e;
     }
@@ -64,95 +65,119 @@ Llc::findData(Addr block)
 }
 
 LlcEntry *
-Llc::findSpill(Addr block)
+Llc::findSpill(Loc loc, Addr block)
 {
-    auto &arr = arrays[bankOf(block)];
-    const std::uint64_t set = setOf(block);
+    LlcEntry *base = arrays[loc.bank].setBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        LlcEntry &e = arr.way(set, w);
+        LlcEntry &e = base[w];
         if (e.valid && e.tag == block && e.meta == LlcMeta::Spill)
             return &e;
     }
     return nullptr;
 }
 
-void
-Llc::touchData(Addr block)
+Llc::Pair
+Llc::findBoth(Loc loc, Addr block)
 {
-    auto &arr = arrays[bankOf(block)];
-    const std::uint64_t set = setOf(block);
+    LlcEntry *base = arrays[loc.bank].setBase(loc.set);
+    Pair p;
     for (unsigned w = 0; w < ways; ++w) {
-        LlcEntry &e = arr.way(set, w);
+        LlcEntry &e = base[w];
+        if (!e.valid || e.tag != block)
+            continue;
+        if (e.meta == LlcMeta::Spill)
+            p.spill = &e;
+        else
+            p.data = &e;
+    }
+    return p;
+}
+
+void
+Llc::touchData(Loc loc, Addr block)
+{
+    auto &arr = arrays[loc.bank];
+    const LlcEntry *base = arr.setBase(loc.set);
+    for (unsigned w = 0; w < ways; ++w) {
+        const LlcEntry &e = base[w];
         if (e.valid && e.tag == block && e.meta != LlcMeta::Spill) {
-            arr.touch(set, w);
+            arr.touch(loc.set, w);
             return;
         }
     }
 }
 
 void
-Llc::touchSpill(Addr block)
+Llc::touchSpill(Loc loc, Addr block)
 {
-    auto &arr = arrays[bankOf(block)];
-    const std::uint64_t set = setOf(block);
+    auto &arr = arrays[loc.bank];
+    const LlcEntry *base = arr.setBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        LlcEntry &e = arr.way(set, w);
+        const LlcEntry &e = base[w];
         if (e.valid && e.tag == block && e.meta == LlcMeta::Spill) {
-            arr.touch(set, w);
+            arr.touch(loc.set, w);
             return;
         }
     }
+}
+
+void
+Llc::touchEntry(Loc loc, const LlcEntry *e)
+{
+    auto &arr = arrays[loc.bank];
+    const unsigned w = static_cast<unsigned>(e - arr.setBase(loc.set));
+    panic_if(w >= ways, "touchEntry pointer outside its set");
+    arr.touch(loc.set, w);
 }
 
 Llc::AllocResult
-Llc::allocate(Addr block)
+Llc::allocate(Loc loc, Addr block)
 {
-    const unsigned bank = bankOf(block);
-    auto &arr = arrays[bank];
-    const std::uint64_t set = setOf(block);
+    auto &arr = arrays[loc.bank];
     // Pin any way already holding this tag (the companion entry).
-    std::vector<bool> pinned(ways, false);
+    std::uint64_t pinned = 0;
+    const LlcEntry *base = arr.setBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        const LlcEntry &e = arr.way(set, w);
+        const LlcEntry &e = base[w];
         if (e.valid && e.tag == block)
-            pinned[w] = true;
+            pinned |= 1ull << w;
     }
-    const unsigned w = arr.victimWay(set, &pinned);
-    LlcEntry &slot = arr.way(set, w);
+    const unsigned w = arr.victimWay(loc.set, pinned);
+    LlcEntry &slot = arr.way(loc.set, w);
     AllocResult res{&slot, std::nullopt};
     if (slot.valid)
         res.victim = slot;
     slot = LlcEntry{};
-    arr.touch(set, w);
+    arr.touch(loc.set, w);
     return res;
 }
 
 void
-Llc::freeSpill(Addr block)
+Llc::freeSpill(Loc loc, Addr block)
 {
-    auto &arr = arrays[bankOf(block)];
-    const std::uint64_t set = setOf(block);
+    auto &arr = arrays[loc.bank];
+    LlcEntry *base = arr.setBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        LlcEntry &e = arr.way(set, w);
+        LlcEntry &e = base[w];
         if (e.valid && e.tag == block && e.meta == LlcMeta::Spill) {
             e = LlcEntry{};
-            arr.demote(set, w);
+            arr.demote(loc.set, w);
             return;
         }
     }
 }
 
 void
-Llc::freeData(Addr block)
+Llc::freeData(Loc loc, Addr block)
 {
-    auto &arr = arrays[bankOf(block)];
-    const std::uint64_t set = setOf(block);
+    auto &arr = arrays[loc.bank];
+    LlcEntry *base = arr.setBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        LlcEntry &e = arr.way(set, w);
+        LlcEntry &e = base[w];
         if (e.valid && e.tag == block && e.meta != LlcMeta::Spill) {
             noteDeath(e);
             e = LlcEntry{};
-            arr.demote(set, w);
+            arr.demote(loc.set, w);
             return;
         }
     }

@@ -41,14 +41,20 @@ enum class LlcMeta : std::uint8_t
     Spill,         //!< spilled tracking entry E_B (V=0,D=1 + same tag)
 };
 
-/** Per-LLC-residency measurement counters (not policy state). */
+/**
+ * Per-LLC-residency measurement counters (not policy state). 32-bit
+ * on purpose: they count events within one residency of one block
+ * (far below 2^32 even at paper scale), and they sit inside every
+ * LlcEntry, where slimmer entries directly shorten the per-access
+ * set scans.
+ */
 struct ResidencyStats
 {
-    unsigned maxSharers = 0;
-    Counter straReads = 0;      //!< reads that found the block shared
-    Counter otherAccesses = 0;  //!< all other non-writeback accesses
-    Counter lengthened = 0;     //!< reads actually served three-hop
-    Counter lengthenedCode = 0; //!< subset that were ifetches
+    std::uint32_t maxSharers = 0;
+    std::uint32_t straReads = 0;      //!< reads finding the block shared
+    std::uint32_t otherAccesses = 0;  //!< other non-writeback accesses
+    std::uint32_t lengthened = 0;     //!< reads actually served three-hop
+    std::uint32_t lengthenedCode = 0; //!< subset that were ifetches
 };
 
 /** One LLC way. */
@@ -129,19 +135,51 @@ class Llc
         return (block / banks_) & (sets - 1);
     }
 
+    /**
+     * Decomposed LLC address of a block: computed once per access and
+     * passed down so bank/set are not re-derived (div/mod) on every
+     * lookup the transaction makes.
+     */
+    struct Loc
+    {
+        unsigned bank;
+        std::uint64_t set;
+    };
+
+    Loc locate(Addr block) const { return {bankOf(block), setOf(block)}; }
+
     /** Find the data entry (Normal or Corrupt*) for a block. */
-    LlcEntry *findData(Addr block);
+    LlcEntry *findData(Addr block) { return findData(locate(block), block); }
+    LlcEntry *findData(Loc loc, Addr block);
 
     /** Find the spilled tracking entry for a block, if any. */
-    LlcEntry *findSpill(Addr block);
+    LlcEntry *findSpill(Addr block) { return findSpill(locate(block), block); }
+    LlcEntry *findSpill(Loc loc, Addr block);
+
+    /** Data and spill entries of a block in one set scan. */
+    struct Pair
+    {
+        LlcEntry *data = nullptr;
+        LlcEntry *spill = nullptr;
+    };
+    Pair findBoth(Loc loc, Addr block);
 
     /**
      * Promote to MRU. When the block also has a spilled entry the
      * paper's ordering rule applies: E_B first, then B, so that E_B is
      * always older than B and gets victimized first.
      */
-    void touchData(Addr block);
-    void touchSpill(Addr block);
+    void touchData(Addr block) { touchData(locate(block), block); }
+    void touchSpill(Addr block) { touchSpill(locate(block), block); }
+    void touchData(Loc loc, Addr block);
+    void touchSpill(Loc loc, Addr block);
+
+    /**
+     * Promote an entry already located (e.g. by findBoth) to MRU; the
+     * way index comes from pointer arithmetic instead of rescanning
+     * the set.
+     */
+    void touchEntry(Loc loc, const LlcEntry *e);
 
     /**
      * Allocate a way for a (data or spill) entry of @p block.
@@ -155,13 +193,16 @@ class Llc
         LlcEntry *slot;
         std::optional<LlcEntry> victim;
     };
-    AllocResult allocate(Addr block);
+    AllocResult allocate(Addr block) { return allocate(locate(block), block); }
+    AllocResult allocate(Loc loc, Addr block);
 
     /** Remove the spill entry of @p block (after state transfer). */
-    void freeSpill(Addr block);
+    void freeSpill(Addr block) { freeSpill(locate(block), block); }
+    void freeSpill(Loc loc, Addr block);
 
     /** Remove the data entry of @p block, flushing residency stats. */
-    void freeData(Addr block);
+    void freeData(Addr block) { freeData(locate(block), block); }
+    void freeData(Loc loc, Addr block);
 
     /** Flush residency stats of a dying/reset entry into the histograms. */
     void noteDeath(const LlcEntry &e);
@@ -188,6 +229,7 @@ class Llc
 
     /** Whether @p block maps to a sampled no-spill set (Section IV-B2). */
     bool isSampledSet(Addr block) const;
+    bool isSampledSet(Loc loc) const { return loc.set % sampleStride == 0; }
 
     /** Visit every valid way (any meta-state). */
     template <typename F>

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Open-addressing hash map keyed by Addr for the simulation hot path.
+ *
+ * A robin-hood / linear-probe map with power-of-two capacity and
+ * tombstone-free backward-shift erase. Compared to std::unordered_map
+ * it stores entries contiguously (one cache line covers several
+ * probes, no per-node allocation) and, once reserve()d to the
+ * structure's known maximum footprint, never allocates again — the
+ * property the per-access simulation core relies on (DESIGN.md,
+ * "Performance engineering").
+ *
+ * Iteration order is unspecified and changes across rehashes; no
+ * simulation-visible decision may depend on it. All current users
+ * iterate only for invariant checks, stats flushes, or pruning of
+ * entries whose effect is already spent, which keeps behaviour
+ * bit-identical to the std::unordered_map implementation it replaced.
+ */
+
+#ifndef TINYDIR_COMMON_FLAT_MAP_HH
+#define TINYDIR_COMMON_FLAT_MAP_HH
+
+#include <cstdint>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/** Robin-hood open-addressing map from Addr to V. */
+template <typename V>
+class FlatMap
+{
+  public:
+    /** One slot: dist 0 = empty, else 1 + probe distance from home. */
+    struct Slot
+    {
+        Addr key = 0;
+        V value{};
+        std::uint8_t dist = 0;
+    };
+
+    FlatMap() = default;
+
+    /** Value of @p key, or nullptr. Stable until the next mutation. */
+    V *
+    find(Addr key)
+    {
+        if (count == 0)
+            return nullptr;
+        std::size_t idx = homeOf(key);
+        std::uint8_t dist = 1;
+        for (;;) {
+            Slot &s = slots[idx];
+            // Robin-hood invariant: once the resident entry is closer
+            // to its home than we are to ours, the key cannot appear
+            // further down the probe chain.
+            if (s.dist < dist)
+                return nullptr;
+            if (s.key == key)
+                return &s.value;
+            idx = (idx + 1) & mask();
+            ++dist;
+        }
+    }
+
+    const V *
+    find(Addr key) const
+    {
+        return const_cast<FlatMap *>(this)->find(key);
+    }
+
+    bool contains(Addr key) const { return find(key) != nullptr; }
+
+    /** Value of @p key, default-constructed and inserted if absent. */
+    V &
+    operator[](Addr key)
+    {
+        if (V *v = find(key))
+            return *v;
+        return *insertNew(key, V{});
+    }
+
+    /**
+     * Insert (@p key, @p value), overwriting any existing entry.
+     * @return pointer to the stored value (stable until next mutation).
+     */
+    V *
+    insert(Addr key, V value)
+    {
+        if (V *v = find(key)) {
+            *v = std::move(value);
+            return v;
+        }
+        return insertNew(key, std::move(value));
+    }
+
+    /** Remove @p key. @return true when an entry was erased. */
+    bool
+    erase(Addr key)
+    {
+        if (count == 0)
+            return false;
+        std::size_t idx = homeOf(key);
+        std::uint8_t dist = 1;
+        for (;;) {
+            Slot &s = slots[idx];
+            if (s.dist < dist)
+                return false;
+            if (s.key == key)
+                break;
+            idx = (idx + 1) & mask();
+            ++dist;
+        }
+        eraseAt(idx);
+        return true;
+    }
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /** Slot-array capacity (always zero or a power of two). */
+    std::size_t capacity() const { return slots.size(); }
+
+    void
+    clear()
+    {
+        for (Slot &s : slots)
+            s = Slot{};
+        count = 0;
+    }
+
+    /**
+     * Pre-size so that @p n entries fit without rehashing. Sizing to a
+     * structure's known maximum footprint up front is what makes the
+     * map allocation-free in steady state.
+     */
+    void
+    reserve(std::size_t n)
+    {
+        std::size_t cap = minCapacity;
+        // Grow while n exceeds the maxLoad fraction of cap.
+        while (n * loadDen > cap * loadNum)
+            cap <<= 1;
+        if (cap > slots.size())
+            rehash(cap);
+    }
+
+    /** Visit every (key, value) pair; order is unspecified. */
+    template <typename F>
+    void
+    forEach(F &&f) const
+    {
+        for (const Slot &s : slots) {
+            if (s.dist)
+                f(s.key, s.value);
+        }
+    }
+
+    /**
+     * Erase every entry for which @p pred(key, value) holds. Because
+     * backward-shift erase moves entries across the wrap-around
+     * boundary, an entry relocated during the sweep may be visited
+     * twice or not at all: @p pred must be idempotent and pruning-like
+     * (a survivor skipped this sweep is simply caught by the next).
+     */
+    template <typename F>
+    void
+    eraseIf(F &&pred)
+    {
+        for (std::size_t i = 0; i < slots.size(); ++i) {
+            while (slots[i].dist && pred(slots[i].key, slots[i].value))
+                eraseAt(i); // the successor shifts into i; re-test it
+        }
+    }
+
+  private:
+    static constexpr std::size_t minCapacity = 16;
+    // Maximum load factor 13/16 (~0.81): probe chains stay short while
+    // pre-sized tables don't over-allocate.
+    static constexpr std::size_t loadNum = 13;
+    static constexpr std::size_t loadDen = 16;
+
+    std::size_t mask() const { return slots.size() - 1; }
+
+    std::size_t
+    homeOf(Addr key) const
+    {
+        // Fibonacci hashing: the golden-ratio multiplier mixes the low
+        // block-number bits into the high bits the mask keeps.
+        return static_cast<std::size_t>(
+            (key * 0x9E3779B97F4A7C15ull) >> shift);
+    }
+
+    V *
+    insertNew(Addr key, V value)
+    {
+        if (slots.empty() ||
+            (count + 1) * loadDen > slots.size() * loadNum) {
+            rehash(slots.empty() ? minCapacity : slots.size() * 2);
+        }
+        V *placed = nullptr;
+        Slot cur;
+        cur.key = key;
+        cur.value = std::move(value);
+        cur.dist = 1;
+        std::size_t idx = homeOf(key);
+        for (;;) {
+            Slot &s = slots[idx];
+            if (s.dist == 0) {
+                s = std::move(cur);
+                ++count;
+                return placed ? placed : &s.value;
+            }
+            if (s.dist < cur.dist) {
+                // Rich entry found: displace it (robin hood) and keep
+                // walking with the displaced entry.
+                std::swap(s, cur);
+                if (!placed)
+                    placed = &s.value;
+            }
+            idx = (idx + 1) & mask();
+            panic_if(++cur.dist == 0, "FlatMap probe length overflow");
+        }
+    }
+
+    /** Backward-shift erase of the (occupied) slot at @p idx. */
+    void
+    eraseAt(std::size_t idx)
+    {
+        for (;;) {
+            const std::size_t nxt = (idx + 1) & mask();
+            Slot &n = slots[nxt];
+            if (n.dist <= 1)
+                break; // empty or already home: chain ends here
+            slots[idx] = std::move(n);
+            --slots[idx].dist;
+            idx = nxt;
+        }
+        slots[idx] = Slot{};
+        --count;
+    }
+
+    void
+    rehash(std::size_t new_cap)
+    {
+        panic_if((new_cap & (new_cap - 1)) != 0,
+                 "FlatMap capacity must be a power of two");
+        std::vector<Slot> old = std::move(slots);
+        slots.assign(new_cap, Slot{});
+        shift = 64;
+        for (std::size_t c = new_cap; c > 1; c >>= 1)
+            --shift;
+        count = 0;
+        for (Slot &s : old) {
+            if (s.dist)
+                insertNew(s.key, std::move(s.value));
+        }
+    }
+
+    std::vector<Slot> slots;
+    std::size_t count = 0;
+    /** 64 - log2(capacity); used by the fibonacci hash. */
+    unsigned shift = 64;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_COMMON_FLAT_MAP_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-capacity inline vector for hot-path scratch buffers.
+ *
+ * The per-access simulation core must not heap-allocate in steady
+ * state (DESIGN.md, "Performance engineering"): transient results
+ * whose size is bounded by construction — e.g. the eviction notices
+ * one private-cache access can emit — live in an InlineVec owned by
+ * the caller and reused across accesses. Exceeding the compile-time
+ * capacity is an internal invariant violation, not a reallocation.
+ */
+
+#ifndef TINYDIR_COMMON_INLINE_VEC_HH
+#define TINYDIR_COMMON_INLINE_VEC_HH
+
+#include <array>
+#include <cstddef>
+
+#include "common/log.hh"
+
+namespace tinydir
+{
+
+/** A vector of at most N elements stored inline (no heap). */
+template <typename T, std::size_t N>
+class InlineVec
+{
+  public:
+    using value_type = T;
+
+    void
+    push_back(const T &v)
+    {
+        panic_if(n >= N, "InlineVec overflow (capacity ", N, ")");
+        buf[n++] = v;
+    }
+
+    void clear() { n = 0; }
+
+    std::size_t size() const { return n; }
+    bool empty() const { return n == 0; }
+    static constexpr std::size_t capacity() { return N; }
+
+    T &
+    operator[](std::size_t i)
+    {
+        panic_if(i >= n, "InlineVec index out of range");
+        return buf[i];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        panic_if(i >= n, "InlineVec index out of range");
+        return buf[i];
+    }
+
+    T *begin() { return buf.data(); }
+    T *end() { return buf.data() + n; }
+    const T *begin() const { return buf.data(); }
+    const T *end() const { return buf.data() + n; }
+
+  private:
+    std::array<T, N> buf{};
+    std::size_t n = 0;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_COMMON_INLINE_VEC_HH

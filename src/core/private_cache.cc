@@ -30,37 +30,42 @@ PrivateCache::PrivateCache(const SystemConfig &cfg, CoreId core)
       l2(setsOf(cfg.l2Bytes, cfg.l2Assoc), cfg.l2Assoc, ReplPolicy::Lru,
          cfg.seed + 3000 + core)
 {
+    // Pre-size to the maximum possible footprint (every way of every
+    // array holding a distinct block) so steady-state accesses never
+    // rehash. Non-inclusive hierarchy: the three arrays are disjoint
+    // in the worst case.
+    info.reserve(2 * (cfg.l1Bytes / blockBytes) +
+                 cfg.l2Bytes / blockBytes);
 }
 
 MesiState
 PrivateCache::state(Addr block) const
 {
-    auto it = info.find(block);
-    return it == info.end() ? MesiState::I : it->second.state;
+    const Flags *fl = info.find(block);
+    return fl ? fl->state : MesiState::I;
 }
 
 bool
 PrivateCache::present(Addr block) const
 {
-    return info.find(block) != info.end();
+    return info.contains(block);
 }
 
 PrivateCache::AccessResult
-PrivateCache::access(Addr block, AccessType type)
+PrivateCache::access(Addr block, AccessType type, NoticeVec &notices)
 {
     AccessResult res;
-    auto it = info.find(block);
-    if (it == info.end()) {
+    Flags *fl = info.find(block);
+    if (!fl) {
         res.latency = l1Lat; // L1 lookup preceded the miss
         return res;
     }
-    Flags &fl = it->second;
     res.present = true;
-    res.state = fl.state;
+    res.state = fl->state;
 
     const bool inst = type == AccessType::Ifetch;
     CacheArray<Entry> &l1 = inst ? l1i : l1d;
-    const bool in_l1 = inst ? fl.l1i : fl.l1d;
+    const bool in_l1 = inst ? fl->l1i : fl->l1d;
     if (in_l1) {
         const std::uint64_t set = block & (l1.numSets() - 1);
         int w = l1.findWay(set, block);
@@ -71,65 +76,67 @@ PrivateCache::access(Addr block, AccessType type)
         // L1 miss; block is in L2 (or the other L1, which we model as
         // an L2-latency local transfer). Refill the missing L1.
         res.latency = l1Lat + l2Lat;
-        if (fl.l2) {
+        if (fl->l2) {
             const std::uint64_t set = block & (l2.numSets() - 1);
             int w = l2.findWay(set, block);
             panic_if(w < 0, "L2 flag/array mismatch for block ", block);
             l2.touch(set, static_cast<unsigned>(w));
         }
-        insert(l1, inst ? levelL1i : levelL1d, block, res.notices);
+        // insert() may erase other info entries, relocating slots; fl
+        // is dead past this point.
+        insert(l1, inst ? levelL1i : levelL1d, block, notices);
     }
     return res;
 }
 
-std::vector<EvictionNotice>
-PrivateCache::fill(Addr block, MesiState st, AccessType type)
+void
+PrivateCache::fill(Addr block, MesiState st, AccessType type,
+                   NoticeVec &notices)
 {
-    std::vector<EvictionNotice> notices;
     panic_if(st == MesiState::I, "filling with invalid state");
     Flags &fl = info[block];
     fl.state = st;
     const bool inst = type == AccessType::Ifetch;
-    if (inst) {
-        if (!fl.l1i)
-            insert(l1i, levelL1i, block, notices);
-    } else {
-        if (!fl.l1d)
-            insert(l1d, levelL1d, block, notices);
+    const bool have_l1 = inst ? fl.l1i : fl.l1d;
+    // insert() below may erase other info entries, relocating slots;
+    // fl is dead once the first insert runs. Re-find before the L2
+    // check for the same reason.
+    if (!have_l1) {
+        insert(inst ? l1i : l1d, inst ? levelL1i : levelL1d, block,
+               notices);
     }
     // fill on miss at each level: the L2 also allocates.
-    auto it = info.find(block);
-    panic_if(it == info.end(), "fill lost its own block");
-    if (!it->second.l2)
+    Flags *fl2 = info.find(block);
+    panic_if(!fl2, "fill lost its own block");
+    if (!fl2->l2)
         insert(l2, levelL2, block, notices);
-    return notices;
 }
 
 void
 PrivateCache::setState(Addr block, MesiState st)
 {
-    auto it = info.find(block);
-    panic_if(it == info.end(), "setState on absent block");
+    Flags *fl = info.find(block);
+    panic_if(!fl, "setState on absent block");
     panic_if(st == MesiState::I, "setState(I); use invalidate()");
-    it->second.state = st;
+    fl->state = st;
 }
 
 PrivateCache::CoherenceResult
 PrivateCache::invalidate(Addr block)
 {
     CoherenceResult res;
-    auto it = info.find(block);
-    if (it == info.end())
+    Flags *fl = info.find(block);
+    if (!fl)
         return res;
     res.wasPresent = true;
-    res.wasDirty = it->second.state == MesiState::M;
-    if (it->second.l1i)
+    res.wasDirty = fl->state == MesiState::M;
+    if (fl->l1i)
         removeTag(l1i, block);
-    if (it->second.l1d)
+    if (fl->l1d)
         removeTag(l1d, block);
-    if (it->second.l2)
+    if (fl->l2)
         removeTag(l2, block);
-    info.erase(it);
+    info.erase(block);
     return res;
 }
 
@@ -137,18 +144,18 @@ PrivateCache::CoherenceResult
 PrivateCache::downgrade(Addr block)
 {
     CoherenceResult res;
-    auto it = info.find(block);
-    if (it == info.end())
+    Flags *fl = info.find(block);
+    if (!fl)
         return res;
     res.wasPresent = true;
-    res.wasDirty = it->second.state == MesiState::M;
-    it->second.state = MesiState::S;
+    res.wasDirty = fl->state == MesiState::M;
+    fl->state = MesiState::S;
     return res;
 }
 
 void
 PrivateCache::insert(CacheArray<Entry> &arr, int level, Addr block,
-                     std::vector<EvictionNotice> &notices)
+                     NoticeVec &notices)
 {
     const std::uint64_t set = block & (arr.numSets() - 1);
     const unsigned w = arr.victimWay(set);
@@ -159,31 +166,30 @@ PrivateCache::insert(CacheArray<Entry> &arr, int level, Addr block,
     e.valid = true;
     arr.touch(set, w);
 
-    auto it = info.find(block);
-    panic_if(it == info.end(), "insert of block without flags");
-    Flags &fl = it->second;
+    // Re-find: clearFlag() above may have erased an entry and shifted
+    // this block's slot.
+    Flags *fl = info.find(block);
+    panic_if(!fl, "insert of block without flags");
     switch (level) {
-      case levelL1i: fl.l1i = true; break;
-      case levelL1d: fl.l1d = true; break;
-      default: fl.l2 = true; break;
+      case levelL1i: fl->l1i = true; break;
+      case levelL1d: fl->l1d = true; break;
+      default: fl->l2 = true; break;
     }
 }
 
 void
-PrivateCache::clearFlag(int level, Addr block,
-                        std::vector<EvictionNotice> &notices)
+PrivateCache::clearFlag(int level, Addr block, NoticeVec &notices)
 {
-    auto it = info.find(block);
-    panic_if(it == info.end(), "array victim without flags: ", block);
-    Flags &fl = it->second;
+    Flags *fl = info.find(block);
+    panic_if(!fl, "array victim without flags: ", block);
     switch (level) {
-      case levelL1i: fl.l1i = false; break;
-      case levelL1d: fl.l1d = false; break;
-      default: fl.l2 = false; break;
+      case levelL1i: fl->l1i = false; break;
+      case levelL1d: fl->l1d = false; break;
+      default: fl->l2 = false; break;
     }
-    if (!fl.anywhere()) {
-        notices.push_back({block, fl.state});
-        info.erase(it);
+    if (!fl->anywhere()) {
+        notices.push_back({block, fl->state});
+        info.erase(block);
     }
 }
 

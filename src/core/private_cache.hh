@@ -14,10 +14,9 @@
 #ifndef TINYDIR_CORE_PRIVATE_CACHE_HH
 #define TINYDIR_CORE_PRIVATE_CACHE_HH
 
-#include <unordered_map>
-#include <vector>
-
 #include "common/config.hh"
+#include "common/flat_map.hh"
+#include "common/inline_vec.hh"
 #include "common/types.hh"
 #include "mem/cache_array.hh"
 #include "proto/mesi.hh"
@@ -31,6 +30,14 @@ struct EvictionNotice
     Addr block;
     MesiState state; //!< private state at eviction (PutS/PutE/PutM)
 };
+
+/**
+ * Caller-provided scratch buffer for eviction notices. One access()
+ * evicts at most one block (a single L1 refill); one fill() evicts at
+ * most two (L1 + L2 allocation); capacity 4 leaves headroom without
+ * leaving the stack.
+ */
+using NoticeVec = InlineVec<EvictionNotice, 4>;
 
 /** One core's private two-level cache hierarchy. */
 class PrivateCache
@@ -49,7 +56,6 @@ class PrivateCache
         bool present = false;     //!< block lives in the hierarchy
         MesiState state = MesiState::I;
         Cycle latency = 0;        //!< L1 or L1+L2 lookup cycles
-        std::vector<EvictionNotice> notices; //!< from L2->L1 refills
     };
 
     /**
@@ -57,17 +63,19 @@ class PrivateCache
      * appropriate L1 from L2 when needed. Never changes the coherence
      * state; the caller decides whether the access can complete
      * locally (e.g. a store to an S block still needs an upgrade).
+     * Eviction notices from L2->L1 refills are appended to @p notices
+     * (a caller-owned scratch buffer; not cleared here).
      */
-    AccessResult access(Addr block, AccessType type);
+    AccessResult access(Addr block, AccessType type, NoticeVec &notices);
 
     /**
      * Install @p block with state @p st after a miss response,
      * filling the appropriate L1 and the L2 (fill on miss at each
-     * level). Returns eviction notices for blocks pushed out of the
-     * hierarchy.
+     * level). Eviction notices for blocks pushed out of the hierarchy
+     * are appended to @p notices.
      */
-    std::vector<EvictionNotice> fill(Addr block, MesiState st,
-                                     AccessType type);
+    void fill(Addr block, MesiState st, AccessType type,
+              NoticeVec &notices);
 
     /** Change the state of a resident block (e.g. silent E->M). */
     void setState(Addr block, MesiState st);
@@ -92,8 +100,7 @@ class PrivateCache
     void
     forEachBlock(F &&f) const
     {
-        for (const auto &[blk, bi] : info)
-            f(blk, bi.state);
+        info.forEach([&](Addr blk, const Flags &bi) { f(blk, bi.state); });
     }
 
   private:
@@ -115,18 +122,22 @@ class PrivateCache
 
     /** Insert into an array; handle the victim's flag bookkeeping. */
     void insert(CacheArray<Entry> &arr, int level, Addr block,
-                std::vector<EvictionNotice> &notices);
+                NoticeVec &notices);
 
     /** Clear a block's flag for one level after an array eviction. */
-    void clearFlag(int level, Addr block,
-                   std::vector<EvictionNotice> &notices);
+    void clearFlag(int level, Addr block, NoticeVec &notices);
 
     /** Remove the tag of @p block from one array if present. */
     static void removeTag(CacheArray<Entry> &arr, Addr block);
 
     Cycle l1Lat, l2Lat;
     CacheArray<Entry> l1i, l1d, l2;
-    std::unordered_map<Addr, Flags> info;
+    /**
+     * Per-block hierarchy state, pre-sized in the constructor to the
+     * maximum possible footprint (sum of the three arrays' capacities)
+     * so steady-state accesses never rehash or allocate.
+     */
+    FlatMap<Flags> info;
 };
 
 } // namespace tinydir

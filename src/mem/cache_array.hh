@@ -38,6 +38,7 @@ class CacheArray
           rng(seed)
     {
         panic_if(num_sets == 0 || assoc == 0, "degenerate cache array");
+        panic_if(assoc > 64, "associativity > 64 (pinned mask width)");
     }
 
     std::uint64_t numSets() const { return sets; }
@@ -70,12 +71,30 @@ class CacheArray
     int
     findWay(std::uint64_t set, Addr tag) const
     {
+        const EntryT *base = setBase(set);
         for (unsigned w = 0; w < ways; ++w) {
-            const EntryT &e = way(set, w);
-            if (e.valid && e.tag == tag)
+            if (base[w].valid && base[w].tag == tag)
                 return static_cast<int>(w);
         }
         return -1;
+    }
+
+    /**
+     * First way of @p set, bounds-checked once: scan loops index
+     * base[w] instead of paying way()'s range check per way.
+     */
+    EntryT *
+    setBase(std::uint64_t set)
+    {
+        panic_if(set >= sets, "setBase() out of range");
+        return &entries[set * ways];
+    }
+
+    const EntryT *
+    setBase(std::uint64_t set) const
+    {
+        panic_if(set >= sets, "setBase() out of range");
+        return &entries[set * ways];
     }
 
     /** Record a use of a way (updates LRU stamp / clears NRU bit). */
@@ -112,32 +131,39 @@ class CacheArray
 
     /**
      * Pick a victim way: an invalid way if one exists, otherwise per
-     * the replacement policy. @p pinned, when non-null, marks ways
-     * that must not be victimized (e.g. the data block a spilled
-     * tracking entry protects); pass a ways-sized bool span.
+     * the replacement policy. Bit w of @p pinned marks a way that must
+     * not be victimized (e.g. the data block a spilled tracking entry
+     * protects); the bitmask caps associativity at 64 ways.
      */
     unsigned
-    victimWay(std::uint64_t set, const std::vector<bool> *pinned = nullptr)
+    victimWay(std::uint64_t set, std::uint64_t pinned = 0)
     {
-        for (unsigned w = 0; w < ways; ++w) {
-            if (!way(set, w).valid && !(pinned && (*pinned)[w]))
-                return w;
+        const EntryT *base = setBase(set);
+        if (repl != ReplPolicy::Lru) {
+            for (unsigned w = 0; w < ways; ++w) {
+                if (!base[w].valid && !((pinned >> w) & 1))
+                    return w;
+            }
         }
         switch (repl) {
           case ReplPolicy::Lru: {
+            // One fused pass: the first unpinned invalid way wins
+            // outright; otherwise the first way with the minimal LRU
+            // stamp — the same victim the separate invalid-then-LRU
+            // scans picked.
+            const std::uint64_t *st = &stamps[set * ways];
             unsigned victim = 0;
             std::uint64_t best = ~0ull;
             bool found = false;
             for (unsigned w = 0; w < ways; ++w) {
-                if (pinned && (*pinned)[w])
+                if ((pinned >> w) & 1)
                     continue;
-                if (stamps[set * ways + w] <= best) {
-                    // <= so later ways win ties only when strictly older
-                    if (stamps[set * ways + w] < best || !found) {
-                        best = stamps[set * ways + w];
-                        victim = w;
-                        found = true;
-                    }
+                if (!base[w].valid)
+                    return w;
+                if (st[w] < best || !found) {
+                    best = st[w];
+                    victim = w;
+                    found = true;
                 }
             }
             panic_if(!found, "all ways pinned in victimWay()");
@@ -148,7 +174,7 @@ class CacheArray
             // all bits and take way 0 (classic 1-bit NRU).
             for (unsigned pass = 0; pass < 2; ++pass) {
                 for (unsigned w = 0; w < ways; ++w) {
-                    if (pinned && (*pinned)[w])
+                    if ((pinned >> w) & 1)
                         continue;
                     if (stamps[set * ways + w])
                         return w;
@@ -162,7 +188,7 @@ class CacheArray
           case ReplPolicy::Random: {
             for (unsigned tries = 0; tries < 64; ++tries) {
                 auto w = static_cast<unsigned>(rng.below(ways));
-                if (!(pinned && (*pinned)[w]))
+                if (!((pinned >> w) & 1))
                     return w;
             }
             panic_if(true, "all ways pinned in victimWay()");

@@ -43,6 +43,17 @@ class H3Hash
 
     unsigned outBits() const { return bits; }
 
+    /**
+     * Matrix row XOR-ed in when key bit @p bit is set. Lets callers
+     * that evaluate several family members on the same key (e.g. the
+     * skew array's per-way hashes) transpose the matrices and scan the
+     * key's set bits once instead of once per member.
+     */
+    std::uint64_t row(unsigned bit) const { return rows[bit]; }
+
+    /** Output mask (2^outBits - 1). */
+    std::uint64_t outMask() const { return mask; }
+
   private:
     std::array<std::uint64_t, 64> rows;
     std::uint64_t mask;

@@ -48,10 +48,43 @@ class SkewArray
         // Degenerate single-row arrays still need a valid hash width;
         // rowOf() masks the result back into range.
         bits = std::max(bits, 1u);
+        panic_if(ways > maxWays, "skew array ways > %u", maxWays);
         for (unsigned w = 0; w < ways; ++w)
             hashes.emplace_back(seed * 1315423911ull + w, bits);
+        // Transpose the per-way H3 matrices so rowsOf() can scan the
+        // tag's set bits once, XOR-ing all ways' rows per bit, instead
+        // of re-scanning the tag for every way.
+        xposed.resize(64 * ways);
+        for (unsigned bit = 0; bit < 64; ++bit)
+            for (unsigned w = 0; w < ways; ++w)
+                xposed[bit * ways + w] = hashes[w].row(bit);
         entries.resize(rows * ways);
         stamps.assign(rows * ways, 0);
+    }
+
+    /** Upper bound on ways (rowsOf scratch is stack-allocated). */
+    static constexpr unsigned maxWays = 8;
+
+    /** Candidate rows of @p tag in every way, one bit scan of the tag. */
+    void
+    rowsOf(Addr tag, std::uint64_t (&out)[maxWays]) const
+    {
+        for (unsigned w = 0; w < maxWays; ++w)
+            out[w] = 0;
+        std::uint64_t key = tag;
+        while (key) {
+            const unsigned bit =
+                static_cast<unsigned>(__builtin_ctzll(key));
+            const std::uint64_t *r = &xposed[bit * ways];
+            for (unsigned w = 0; w < ways; ++w)
+                out[w] ^= r[w];
+            key &= key - 1;
+        }
+        // H3 masks to outBits, rowOf() then to rows-1; since the hash
+        // width is chosen so 2^bits == rows (or 1 row, mask 0), the
+        // single rows-1 mask here matches rowOf() bit for bit.
+        for (unsigned w = 0; w < ways; ++w)
+            out[w] &= rows - 1;
     }
 
     std::uint64_t numRows() const { return rows; }
@@ -74,8 +107,10 @@ class SkewArray
     EntryT *
     find(Addr tag)
     {
+        std::uint64_t cand[maxWays];
+        rowsOf(tag, cand);
         for (unsigned w = 0; w < ways; ++w) {
-            EntryT &e = at(w, rowOf(w, tag));
+            EntryT &e = at(w, cand[w]);
             if (e.valid && e.tag == tag)
                 return &e;
         }
@@ -86,8 +121,10 @@ class SkewArray
     void
     touch(Addr tag)
     {
+        std::uint64_t cand[maxWays];
+        rowsOf(tag, cand);
         for (unsigned w = 0; w < ways; ++w) {
-            std::uint64_t row = rowOf(w, tag);
+            std::uint64_t row = cand[w];
             EntryT &e = at(w, row);
             if (e.valid && e.tag == tag) {
                 stamps[row * ways + w] = ++clock;
@@ -111,9 +148,11 @@ class SkewArray
     InsertResult
     insert(Addr tag)
     {
+        std::uint64_t candRows[maxWays];
+        rowsOf(tag, candRows);
         // 1. Any candidate row empty?
         for (unsigned w = 0; w < ways; ++w) {
-            std::uint64_t row = rowOf(w, tag);
+            std::uint64_t row = candRows[w];
             EntryT &e = at(w, row);
             if (!e.valid) {
                 stamps[row * ways + w] = ++clock;
@@ -121,9 +160,11 @@ class SkewArray
             }
         }
         // 2. Depth-1 ZCache walk: relocate one candidate to an empty
-        //    alternative position in a different way.
+        //    alternative position in a different way. The relocated
+        //    candidate's tag differs per way, so its alternative rows
+        //    still need per-way rowOf().
         for (unsigned w = 0; w < ways; ++w) {
-            std::uint64_t row = rowOf(w, tag);
+            std::uint64_t row = candRows[w];
             EntryT &cand = at(w, row);
             for (unsigned aw = 0; aw < ways; ++aw) {
                 if (aw == w)
@@ -141,10 +182,10 @@ class SkewArray
         }
         // 3. Evict the LRU candidate.
         unsigned victim_way = 0;
-        std::uint64_t victim_row = rowOf(0, tag);
+        std::uint64_t victim_row = candRows[0];
         std::uint64_t best = ~0ull;
         for (unsigned w = 0; w < ways; ++w) {
-            std::uint64_t row = rowOf(w, tag);
+            std::uint64_t row = candRows[w];
             if (stamps[row * ways + w] < best) {
                 best = stamps[row * ways + w];
                 victim_way = w;
@@ -183,6 +224,8 @@ class SkewArray
     std::uint64_t rows;
     unsigned ways;
     std::vector<H3Hash> hashes;
+    //! Transposed matrices: xposed[bit * ways + w] == hashes[w].row(bit).
+    std::vector<std::uint64_t> xposed;
     std::vector<EntryT> entries;
     std::vector<std::uint64_t> stamps;
     std::uint64_t clock = 0;

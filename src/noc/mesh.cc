@@ -1,5 +1,6 @@
 #include "noc/mesh.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "common/log.hh"
@@ -8,13 +9,28 @@ namespace tinydir
 {
 
 Mesh::Mesh(const SystemConfig &cfg)
-    : w(cfg.meshWidth()), h(cfg.meshHeight()), hopCycles(cfg.hopCycles)
+    : w(cfg.meshWidth()), h(cfg.meshHeight()), nodes(w * h),
+      hopCycles(cfg.hopCycles)
 {
-    panic_if(w * h < cfg.numCores, "mesh too small for core count");
+    panic_if(nodes < cfg.numCores, "mesh too small for core count");
     // Spread memory controllers evenly across node ids.
     const unsigned n = cfg.numCores;
+    memNodes.reserve(cfg.memChannels);
     for (unsigned ch = 0; ch < cfg.memChannels; ++ch)
         memNodes.push_back((ch * n) / cfg.memChannels + n / (2 * cfg.memChannels));
+
+    // Precompute all pairwise latencies and, per node, the worst-case
+    // latency to any core node (cores occupy node ids [0, numCores)).
+    lat.resize(static_cast<std::size_t>(nodes) * nodes);
+    maxLat.assign(nodes, 0);
+    for (unsigned a = 0; a < nodes; ++a) {
+        for (unsigned b = 0; b < nodes; ++b) {
+            const Cycle l = static_cast<Cycle>(hops(a, b)) * hopCycles;
+            lat[static_cast<std::size_t>(a) * nodes + b] = l;
+            if (b < cfg.numCores)
+                maxLat[a] = std::max(maxLat[a], l);
+        }
+    }
 }
 
 unsigned

@@ -30,12 +30,23 @@ class Mesh
     /** Manhattan hop count between two mesh nodes. */
     unsigned hops(unsigned node_a, unsigned node_b) const;
 
-    /** Latency in cycles of a one-way message between two nodes. */
+    /**
+     * Latency in cycles of a one-way message between two nodes.
+     * Served from a table precomputed at construction; the XY
+     * div/mod decomposition never runs on the access path.
+     */
     Cycle
     latency(unsigned node_a, unsigned node_b) const
     {
-        return static_cast<Cycle>(hops(node_a, node_b)) * hopCycles;
+        return lat[node_a * nodes + node_b];
     }
+
+    /**
+     * Worst-case one-way latency from @p node to any core node;
+     * precomputed for the broadcast probe paths (Stash recovery) so
+     * they do not loop over every core per transaction.
+     */
+    Cycle maxLatencyFrom(unsigned node) const { return maxLat[node]; }
 
     /** Mesh node hosting memory channel @p ch. */
     unsigned memNode(unsigned ch) const;
@@ -48,8 +59,13 @@ class Mesh
 
   private:
     unsigned w, h;
+    unsigned nodes;
     Cycle hopCycles;
     std::vector<unsigned> memNodes;
+    /** nodes x nodes one-way latency table. */
+    std::vector<Cycle> lat;
+    /** Per-node worst-case latency to any core node. */
+    std::vector<Cycle> maxLat;
 };
 
 } // namespace tinydir

@@ -11,6 +11,10 @@ Engine::Engine(const SystemConfig &c, Llc &l, Mesh &m, Dram &d,
                std::vector<PrivateCache> &p)
     : cfg(c), llc(l), mesh(m), dram(d), privs(p)
 {
+    // Pre-size the busy-window map past the prune threshold so steady
+    // state never rehashes (the prune keeps the footprint near the
+    // live-window count, far below this).
+    busyUntil.reserve(256);
 }
 
 Cycle
@@ -45,11 +49,11 @@ Engine::writebackToMemory(Addr block, Cycle t)
 }
 
 LlcEntry *
-Engine::ensureLlcData(Addr block, Cycle t)
+Engine::ensureLlcData(Llc::Loc loc, Addr block, Cycle t)
 {
-    if (LlcEntry *e = llc.findData(block))
+    if (LlcEntry *e = llc.findData(loc, block))
         return e;
-    auto ar = llc.allocate(block);
+    auto ar = llc.allocate(loc, block);
     if (ar.victim)
         processVictim(*ar.victim, t);
     LlcEntry *e = ar.slot;
@@ -159,7 +163,19 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
     curTime = std::max(curTime, t0);
     tracker->tick(t0);
 
-    const unsigned home = llc.bankOf(block);
+    // Prune stale busy windows. Requests arrive in global time order,
+    // so any window ending at or before this request's issue time can
+    // only ever hit the lazy-erase path below — dropping it early is
+    // behaviour-preserving. Threshold doubling keeps the sweep
+    // amortized-O(1) and the trigger deterministic.
+    if (busyUntil.size() >= nextPrune) {
+        busyUntil.eraseIf(
+            [&](Addr, Cycle cyc) { return cyc <= t0; });
+        nextPrune = std::max<std::size_t>(64, busyUntil.size() * 2);
+    }
+
+    const Llc::Loc loc = llc.locate(block);
+    const unsigned home = loc.bank;
     const unsigned home_node = home;
     const unsigned req_node = nodeOfCore(c);
     const Cycle req_hop = mesh.latency(req_node, home_node);
@@ -169,20 +185,18 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
     // ---- NACK/retry on busy blocks ------------------------------------
     Cycle t = t0;
     Cycle arrival = t + req_hop;
-    {
-        auto bi = busyUntil.find(block);
-        while (bi != busyUntil.end() && bi->second > arrival) {
+    if (const Cycle *busy = busyUntil.find(block)) {
+        while (*busy > arrival) {
             ++stats.nackRetries;
             stats.traffic.add(MsgClass::Processor, ctrlBytes); // request
             stats.traffic.add(MsgClass::Processor, ctrlBytes); // NACK
             const Cycle nack_back = arrival + tag_lat +
                 mesh.latency(home_node, req_node) + cfg.nackRetryCycles;
-            t = std::max(nack_back, bi->second > req_hop ?
-                         bi->second - req_hop : bi->second);
+            t = std::max(nack_back, *busy > req_hop ?
+                         *busy - req_hop : *busy);
             arrival = t + req_hop;
         }
-        if (bi != busyUntil.end() && bi->second <= arrival)
-            busyUntil.erase(bi);
+        busyUntil.erase(block);
     }
 
     stats.traffic.add(MsgClass::Processor, ctrlBytes); // the request
@@ -198,13 +212,12 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                  "exact tracker says requester owns the missing block");
         v = TrackerView{};
     }
-    LlcEntry *data = llc.findData(block);
-    LlcEntry *spill = llc.findSpill(block);
+    auto [data, spill] = llc.findBoth(loc, block);
     // LRU ordering rule of Section IV-B1: E_B to MRU, then B.
     if (spill)
-        llc.touchSpill(block);
+        llc.touchEntry(loc, spill);
     if (data)
-        llc.touchData(block);
+        llc.touchEntry(loc, data);
 
     const bool is_read = type == ReqType::GetS || type == ReqType::GetSI;
     const bool stra_read = is_read && v.ts.shared();
@@ -235,7 +248,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
             const Cycle start = bankService(home, arrival, tag_lat);
             const Cycle back =
                 dramTrip(block, home_node, start + tag_lat);
-            data = ensureLlcData(block, back);
+            data = ensureLlcData(loc, block, back);
             ++data->stats.otherAccesses;
             res.done = back + data_lat + mesh.latency(home_node, req_node);
         }
@@ -267,10 +280,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                               cfg.numCores - 1); // probes
             stats.traffic.add(MsgClass::Coherence, ctrlBytes,
                               cfg.numCores - 2); // miss acks
-            Cycle worst = 0;
-            for (unsigned n = 0; n < cfg.numCores; ++n)
-                worst = std::max(worst, mesh.latency(home_node, n));
-            bcast_extra = worst;
+            bcast_extra = mesh.maxLatencyFrom(home_node);
         }
         const Cycle start = bankService(home, arrival, tag_lat + extra);
         const Cycle fwd_at = start + tag_lat + extra + bcast_extra;
@@ -290,7 +300,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                 missed = true;
                 ++stats.llcDataMisses;
                 const Cycle ret = dramTrip(block, home_node, back);
-                data = ensureLlcData(block, ret);
+                data = ensureLlcData(loc, block, ret);
                 res.done = ret + data_lat +
                     mesh.latency(home_node, req_node);
             }
@@ -321,7 +331,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
             if (d.wasDirty) {
                 // Sharing writeback to the home LLC.
                 stats.traffic.add(MsgClass::Coherence, dataBytes);
-                LlcEntry *e = ensureLlcData(block, res.done);
+                LlcEntry *e = ensureLlcData(loc, block, res.done);
                 e->dirty = true;
                 data = e;
             }
@@ -347,10 +357,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                               cfg.numCores - 1);
             stats.traffic.add(MsgClass::Coherence, ctrlBytes,
                               cfg.numCores - 2);
-            Cycle worst = 0;
-            for (unsigned n = 0; n < cfg.numCores; ++n)
-                worst = std::max(worst, mesh.latency(home_node, n));
-            bcast_extra = worst;
+            bcast_extra = mesh.maxLatencyFrom(home_node);
         }
         if (is_read) {
             // With exact tracking a sharer can never re-request; a
@@ -402,7 +409,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                     const Cycle back = dramTrip(block, home_node,
                                                 start + tag_lat +
                                                 bcast_extra);
-                    data = ensureLlcData(block, back);
+                    data = ensureLlcData(loc, block, back);
                     ++data->stats.straReads;
                     res.done = back + data_lat +
                         mesh.latency(home_node, req_node);
@@ -460,7 +467,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                     ++stats.llcDataMisses;
                     const Cycle back =
                         dramTrip(block, home_node, ready);
-                    data = ensureLlcData(block, back);
+                    data = ensureLlcData(loc, block, back);
                     data_path = (back - ready) + data_lat +
                         mesh.latency(home_node, req_node);
                     stats.traffic.add(MsgClass::Processor, dataBytes);

@@ -23,10 +23,10 @@
 #define TINYDIR_PROTO_ENGINE_HH
 
 #include <algorithm>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/llc.hh"
+#include "common/flat_map.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "core/private_cache.hh"
@@ -139,6 +139,9 @@ class Engine : public EngineOps
     /** Mesh node of a core (1:1 core/bank/node mapping). */
     unsigned nodeOfCore(CoreId c) const { return c; }
 
+    /** Live busy-window entries (tests assert this stays bounded). */
+    std::size_t busyFootprint() const { return busyUntil.size(); }
+
   private:
     /** Bank queueing: returns service start, advances bank occupancy. */
     Cycle bankService(unsigned bank, Cycle arrival, Cycle busy_cycles);
@@ -147,7 +150,11 @@ class Engine : public EngineOps
      * Guarantee an LLC data entry for @p block (fill on miss),
      * dispatching any victim. Fresh entries are Normal and clean.
      */
-    LlcEntry *ensureLlcData(Addr block, Cycle t);
+    LlcEntry *ensureLlcData(Addr block, Cycle t)
+    {
+        return ensureLlcData(llc.locate(block), block, t);
+    }
+    LlcEntry *ensureLlcData(Llc::Loc loc, Addr block, Cycle t);
 
     /** Handle an evicted LLC way per its meta-state. */
     void processVictim(const LlcEntry &victim, Cycle t);
@@ -165,8 +172,15 @@ class Engine : public EngineOps
     std::vector<PrivateCache> &privs;
     CoherenceTracker *tracker = nullptr;
 
-    /** Blocks with an outstanding three-hop forward. */
-    std::unordered_map<Addr, Cycle> busyUntil;
+    /**
+     * Blocks with an outstanding three-hop forward. Entries are
+     * normally consumed by the next request to the block; blocks never
+     * touched again are pruned once their window can no longer matter
+     * (see request()), so the map stays bounded on long runs.
+     */
+    FlatMap<Cycle> busyUntil;
+    /** Prune busyUntil when it reaches this size (doubles as needed). */
+    std::size_t nextPrune = 64;
     Cycle curTime = 0;
 };
 

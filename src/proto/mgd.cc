@@ -30,6 +30,10 @@ MgdTracker::MgdTracker(const SystemConfig &c,
     ways = skewed ? 4 : c.effectiveDirAssoc();
     const std::uint64_t per_slice = c.dirEntriesPerSlice();
     rows = std::max<std::uint64_t>(1, per_slice / ways);
+    if (skewed)
+        skewSlices.reserve(banks);
+    else
+        slices.reserve(banks);
     for (unsigned b = 0; b < banks; ++b) {
         if (skewed)
             skewSlices.emplace_back(rows, ways, c.seed + 70 + b);
@@ -80,9 +84,10 @@ MgdTracker::eraseBlockEntry(Addr block)
     if (!e || e->region)
         return;
     const Addr region = regionOf(block);
-    auto it = blockEntries.find(region);
-    if (it != blockEntries.end() && --it->second == 0)
-        blockEntries.erase(it);
+    if (unsigned *cnt = blockEntries.find(region)) {
+        if (--*cnt == 0)
+            blockEntries.erase(region);
+    }
     *e = MgdEntry{};
 }
 
@@ -105,9 +110,10 @@ MgdTracker::handleVictim(const MgdEntry &victim, EngineOps &ops)
         return;
     }
     const Addr region = regionOf(victim.tag);
-    auto it = blockEntries.find(region);
-    if (it != blockEntries.end() && --it->second == 0)
-        blockEntries.erase(it);
+    if (unsigned *cnt = blockEntries.find(region)) {
+        if (--*cnt == 0)
+            blockEntries.erase(region);
+    }
     ops.backInvalidate(victim.tag, victim.state());
 }
 
@@ -229,7 +235,7 @@ MgdTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
         storeBlock(block, ns, ops);
         return;
     }
-    if (ns.exclusive() && blockEntries.find(region) == blockEntries.end()) {
+    if (ns.exclusive() && !blockEntries.contains(region)) {
         // First touch of an untracked region: one region-grain entry.
         const Addr key = regionKey(region);
         const unsigned slice = region % banks;

@@ -15,10 +15,10 @@
 #ifndef TINYDIR_PROTO_MGD_HH
 #define TINYDIR_PROTO_MGD_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "core/private_cache.hh"
 #include "mem/cache_array.hh"
 #include "mem/skew_array.hh"
@@ -104,7 +104,7 @@ class MgdTracker : public CoherenceTracker
     std::vector<SkewArray<MgdEntry>> skewSlices;
     std::vector<CacheArray<MgdEntry>> slices;
     /** Count of live block entries per region (grain choice). */
-    std::unordered_map<Addr, unsigned> blockEntries;
+    FlatMap<unsigned> blockEntries;
     Scalar allocs, splits;
 };
 

@@ -14,6 +14,10 @@ SharedOnlyDirTracker::SharedOnlyDirTracker(const SystemConfig &c)
     ways = skewed ? 4 : c.effectiveDirAssoc();
     const std::uint64_t per_slice = c.dirEntriesPerSlice();
     sets = std::max<std::uint64_t>(1, per_slice / ways);
+    if (skewed)
+        skewSlices.reserve(banks);
+    else
+        slices.reserve(banks);
     for (unsigned b = 0; b < banks; ++b) {
         if (skewed)
             skewSlices.emplace_back(sets, ways, c.seed + 90 + b);
@@ -39,9 +43,8 @@ SharedOnlyDirTracker::view(Addr block)
     SparseDirEntry *e = findDir(block);
     if (e)
         return {e->state(), Residence::DirSram};
-    auto it = unbounded.find(block);
-    if (it != unbounded.end())
-        return {it->second, Residence::DirSram};
+    if (const TrackState *ts = unbounded.find(block))
+        return {*ts, Residence::DirSram};
     return {};
 }
 
@@ -163,9 +166,8 @@ SharedOnlyDirTracker::debugForgeState(Addr block, const TrackState &ts)
         e->setState(ts);
         return true;
     }
-    auto it = unbounded.find(block);
-    if (it != unbounded.end()) {
-        it->second = ts;
+    if (TrackState *st = unbounded.find(block)) {
+        *st = ts;
         return true;
     }
     return false;
@@ -178,7 +180,7 @@ SharedOnlyDirTracker::debugDropEntry(Addr block)
         *e = SparseDirEntry{};
         return true;
     }
-    return unbounded.erase(block) > 0;
+    return unbounded.erase(block);
 }
 
 std::uint64_t

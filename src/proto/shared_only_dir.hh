@@ -14,10 +14,10 @@
 #define TINYDIR_PROTO_SHARED_ONLY_DIR_HH
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "mem/cache_array.hh"
 #include "mem/skew_array.hh"
 #include "proto/sparse_dir.hh"
@@ -61,7 +61,7 @@ class SharedOnlyDirTracker : public CoherenceTracker
     std::vector<CacheArray<SparseDirEntry>> slices;
     std::vector<SkewArray<SparseDirEntry>> skewSlices;
     /** Unbounded tracking for non-shared blocks (overhead ignored). */
-    std::unordered_map<Addr, TrackState> unbounded;
+    FlatMap<TrackState> unbounded;
     Scalar allocs;
 };
 

@@ -13,6 +13,7 @@ StashTracker::StashTracker(const SystemConfig &c)
 {
     const std::uint64_t per_slice = c.dirEntriesPerSlice();
     sets = std::max<std::uint64_t>(1, per_slice / ways);
+    slices.reserve(banks);
     for (unsigned b = 0; b < banks; ++b)
         slices.emplace_back(sets, ways, ReplPolicy::Nru, c.seed + 60 + b);
 }
@@ -24,9 +25,8 @@ StashTracker::view(Addr block)
     const std::uint64_t set = (block / banks) & (sets - 1);
     if (SparseDirEntry *e = arr.find(set, block))
         return {e->state(), Residence::DirSram};
-    auto it = stashed.find(block);
-    if (it != stashed.end())
-        return {it->second, Residence::Broadcast};
+    if (const TrackState *ts = stashed.find(block))
+        return {*ts, Residence::Broadcast};
     return {};
 }
 
@@ -71,11 +71,9 @@ StashTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
                      EngineOps &ops)
 {
     (void)ctx;
-    auto it = stashed.find(block);
-    if (it != stashed.end()) {
+    if (stashed.erase(block)) {
         // The engine just performed the broadcast recovery.
         ++bcasts;
-        stashed.erase(it);
     }
     store(block, ns, ops);
 }
@@ -85,12 +83,11 @@ StashTracker::evictionUpdate(Addr block, const TrackState &ns,
                              MesiState put, EngineOps &ops)
 {
     (void)put;
-    auto it = stashed.find(block);
-    if (it != stashed.end()) {
+    if (stashed.contains(block)) {
         // Eviction notice from the hidden owner: the block is gone.
         panic_if(!ns.invalid(),
                  "stashed block notice left residual state");
-        stashed.erase(it);
+        stashed.erase(block);
         return;
     }
     store(block, ns, ops);
@@ -119,9 +116,8 @@ StashTracker::debugForgeState(Addr block, const TrackState &ts)
         e->setState(ts);
         return true;
     }
-    auto it = stashed.find(block);
-    if (it != stashed.end()) {
-        it->second = ts;
+    if (TrackState *st = stashed.find(block)) {
+        *st = ts;
         return true;
     }
     return false;
@@ -137,7 +133,7 @@ StashTracker::debugDropEntry(Addr block)
         arr.way(set, static_cast<unsigned>(w)) = SparseDirEntry{};
         return true;
     }
-    return stashed.erase(block) > 0;
+    return stashed.erase(block);
 }
 
 std::uint64_t

@@ -16,10 +16,10 @@
 #ifndef TINYDIR_PROTO_STASH_HH
 #define TINYDIR_PROTO_STASH_HH
 
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "mem/cache_array.hh"
 #include "proto/sparse_dir.hh"
 #include "proto/tracker.hh"
@@ -56,11 +56,7 @@ class StashTracker : public CoherenceTracker
     bool debugHasDirEntry(Addr block) override;
     bool debugForgeState(Addr block, const TrackState &ts) override;
     bool debugDropEntry(Addr block) override;
-    bool
-    isStashed(Addr block) const
-    {
-        return stashed.find(block) != stashed.end();
-    }
+    bool isStashed(Addr block) const { return stashed.contains(block); }
 
   private:
     void store(Addr block, const TrackState &ns, EngineOps &ops);
@@ -71,7 +67,7 @@ class StashTracker : public CoherenceTracker
     unsigned ways;
     std::vector<CacheArray<SparseDirEntry>> slices;
     /** Cached-but-untracked blocks (what a broadcast would find). */
-    std::unordered_map<Addr, TrackState> stashed;
+    FlatMap<TrackState> stashed;
     Scalar allocs, bcasts;
 };
 

@@ -206,7 +206,7 @@ TinyDirTracker::transferOut(const TinyEntry &victim, EngineOps &ops)
         trySpill(victim.tag, ts, victim.strac, victim.oac, ops)) {
         return;
     }
-    LlcEntry *de = llc.findData(victim.tag);
+    LlcEntry *de = llc.findData(llc.locate(victim.tag), victim.tag);
     if (de && de->meta == LlcMeta::Normal) {
         de->meta = ts.exclusive() ? LlcMeta::CorruptExcl
                                   : LlcMeta::CorruptShared;
@@ -226,20 +226,20 @@ TinyDirTracker::trySpill(Addr block, const TrackState &ns,
                          EngineOps &ops)
 {
     panic_if(!ns.shared(), "only shared blocks may spill");
-    const unsigned bank = llc.bankOf(block);
+    const Llc::Loc loc = llc.locate(block);
     const unsigned cat = catOf(strac, oac);
-    if (!spill.allows(bank, cat, llc.isSampledSet(block)))
+    if (!spill.allows(loc.bank, cat, llc.isSampledSet(loc)))
         return false;
     // The data block must be present and usable (V=1) for spilling to
     // pay off; reconstruct it first if it is corrupted.
-    LlcEntry *de = llc.findData(block);
+    LlcEntry *de = llc.findData(loc, block);
     if (!de)
         return false;
     if (de->isCorrupt())
         reconstruct(block, ops);
-    if (llc.findSpill(block))
+    if (llc.findSpill(loc, block))
         panic("double spill for block ", block);
-    auto ar = llc.allocate(block);
+    auto ar = llc.allocate(loc, block);
     if (ar.victim) {
         // Dispatch through the same paths the engine uses.
         const LlcEntry v = *ar.victim;
@@ -269,8 +269,8 @@ TinyDirTracker::trySpill(Addr block, const TrackState &ns,
     eb->oac = oac;
     ++llc.cohDataWrites;
     // Ordering rule: E_B to MRU first, then B.
-    llc.touchSpill(block);
-    llc.touchData(block);
+    llc.touchEntry(loc, eb);
+    llc.touchEntry(loc, de);
     ++spills_;
     return true;
 }
@@ -311,9 +311,9 @@ TinyDirTracker::view(Addr block)
 {
     if (TinyEntry *te = findTiny(block))
         return {te->state(), Residence::DirSram};
-    if (LlcEntry *sp = llc.findSpill(block))
+    auto [de, sp] = llc.findBoth(llc.locate(block), block);
+    if (sp)
         return {inllc_detail::stateOf(*sp), Residence::LlcSpill};
-    LlcEntry *de = llc.findData(block);
     if (de && de->isCorrupt())
         return {inllc_detail::stateOf(*de), Residence::LlcCorrupt};
     return {};
@@ -328,9 +328,11 @@ TinyDirTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
         ctx.type == ReqType::GetS || ctx.type == ReqType::GetSI;
 
     // Locate the current tracking entry and its policy counters.
+    const Llc::Loc loc = llc.locate(block);
     TinyEntry *te = findTiny(block);
-    LlcEntry *sp = te ? nullptr : llc.findSpill(block);
-    LlcEntry *de = llc.findData(block);
+    auto both = llc.findBoth(loc, block);
+    LlcEntry *sp = te ? nullptr : both.spill;
+    LlcEntry *de = both.data;
     std::uint8_t strac = 0;
     std::uint8_t oac = 0;
     Residence where = Residence::Untracked;
@@ -372,8 +374,8 @@ TinyDirTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
         } else {
             // Read-exclusive/upgrade: E_B is invalidated and the state
             // moves to B, which becomes corrupted exclusive (IV-B1).
-            llc.freeSpill(block);
-            de = llc.findData(block);
+            llc.freeSpill(loc, block);
+            de = llc.findData(loc, block);
             panic_if(!de, "spilled entry without its data block");
             de->meta = LlcMeta::CorruptExcl;
             inllc_detail::encode(*de, ns);
@@ -400,7 +402,7 @@ TinyDirTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
     }
 
     // Fall back to the in-LLC corrupted representation.
-    de = llc.findData(block);
+    de = llc.findData(loc, block);
     panic_if(!de, "tiny scheme: no LLC tag for corrupted tracking of ",
              block);
     de->meta = ns.exclusive() ? LlcMeta::CorruptExcl
@@ -424,9 +426,11 @@ TinyDirTracker::evictionUpdate(Addr block, const TrackState &ns,
         }
         return;
     }
-    if (LlcEntry *sp = llc.findSpill(block)) {
+    const Llc::Loc loc = llc.locate(block);
+    auto [de, sp] = llc.findBoth(loc, block);
+    if (sp) {
         if (ns.invalid()) {
-            llc.freeSpill(block);
+            llc.freeSpill(loc, block);
         } else {
             panic_if(!ns.shared(), "spilled entry left non-shared");
             inllc_detail::encode(*sp, ns);
@@ -434,7 +438,6 @@ TinyDirTracker::evictionUpdate(Addr block, const TrackState &ns,
         }
         return;
     }
-    LlcEntry *de = llc.findData(block);
     panic_if(!de || !de->isCorrupt(),
              "eviction notice for untracked block ", block);
     if (ns.invalid()) {
@@ -470,7 +473,7 @@ void
 TinyDirTracker::onLlcSpillVictim(const LlcEntry &victim, EngineOps &ops)
 {
     const TrackState ts = inllc_detail::stateOf(victim);
-    LlcEntry *de = llc.findData(victim.tag);
+    LlcEntry *de = llc.findData(llc.locate(victim.tag), victim.tag);
     if (de && de->meta == LlcMeta::Normal) {
         de->meta = LlcMeta::CorruptShared;
         inllc_detail::encode(*de, ts);
@@ -487,8 +490,8 @@ TinyDirTracker::onLlcAccess(Addr block, bool miss, bool stra_read)
 {
     if (!spillEnabled)
         return;
-    spill.observe(llc.bankOf(block), llc.isSampledSet(block), miss,
-                  stra_read);
+    const Llc::Loc loc = llc.locate(block);
+    spill.observe(loc.bank, llc.isSampledSet(loc), miss, stra_read);
 }
 
 unsigned

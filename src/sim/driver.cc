@@ -1,8 +1,8 @@
 #include "sim/driver.hh"
 
 #include <chrono>
-#include <queue>
 #include <sstream>
+#include <vector>
 
 #include "common/log.hh"
 #include "common/sim_error.hh"
@@ -13,18 +13,8 @@ namespace tinydir
 namespace
 {
 
-struct Pending
-{
-    Cycle issue;
-    CoreId core;
-    TraceAccess acc;
-
-    bool
-    operator>(const Pending &o) const
-    {
-        return issue != o.issue ? issue > o.issue : core > o.core;
-    }
-};
+/** Sentinel issue time of an exhausted stream. */
+constexpr Cycle idle = ~Cycle(0);
 
 } // namespace
 
@@ -34,23 +24,42 @@ Driver::run(System &sys,
 {
     panic_if(streams.size() != sys.cfg.numCores,
              "stream count != core count");
-    std::priority_queue<Pending, std::vector<Pending>,
-                        std::greater<Pending>> heap;
+    // One pending access per core, selected by linear min-scan. The
+    // scan takes the smallest issue time and breaks ties on the lower
+    // core id — the same total order the previous binary heap used —
+    // and replaces heap push/pop churn with a branch-predictable pass
+    // over a tiny contiguous array (numCores <= 128). Issue times are
+    // kept apart from the access payloads so the scan touches only
+    // 8 bytes per core.
+    std::vector<Cycle> issues(sys.cfg.numCores, idle);
+    std::vector<TraceAccess> pending(sys.cfg.numCores);
+    unsigned live = 0;
     for (CoreId c = 0; c < sys.cfg.numCores; ++c) {
         TraceAccess acc;
-        if (streams[c] && streams[c]->next(acc))
-            heap.push({sys.cores[c].clock + acc.gap, c, acc});
+        if (streams[c] && streams[c]->next(acc)) {
+            issues[c] = sys.cores[c].clock + acc.gap;
+            pending[c] = acc;
+            ++live;
+        }
     }
 
     using Clock = std::chrono::steady_clock;
     const Clock::time_point started = Clock::now();
 
     RunResult res;
-    while (!heap.empty()) {
-        Pending p = heap.top();
-        heap.pop();
-        const Cycle done = sys.executeAccess(p.core, p.acc, p.issue);
-        sys.cores[p.core].clock = done;
+    const unsigned n = sys.cfg.numCores;
+    while (live > 0) {
+        CoreId best = 0;
+        Cycle best_issue = idle;
+        for (CoreId c = 0; c < n; ++c) {
+            if (issues[c] < best_issue) {
+                best_issue = issues[c];
+                best = c;
+            }
+        }
+        const Cycle done =
+            sys.executeAccess(best, pending[best], best_issue);
+        sys.cores[best].clock = done;
         ++res.accesses;
         if (warmupAccesses && res.accesses == warmupAccesses)
             sys.resetStats();
@@ -69,8 +78,13 @@ Driver::run(System &sys,
             }
         }
         TraceAccess acc;
-        if (streams[p.core]->next(acc))
-            heap.push({done + acc.gap, p.core, acc});
+        if (streams[best]->next(acc)) {
+            issues[best] = done + acc.gap;
+            pending[best] = acc;
+        } else {
+            issues[best] = idle;
+            --live;
+        }
     }
     sys.finalize();
     res.execCycles = sys.execCycles();

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -43,7 +44,12 @@ runOne(const SystemConfig &cfg, const WorkloadProfile &prof,
     Verifier verifier(std::move(vo));
     if (ctl.verifyPeriod > 0)
         verifier.attach(driver, ctl.verifyPeriod);
+    const auto simStart = std::chrono::steady_clock::now();
     const RunResult rr = driver.run(sys, std::move(streams));
+    const double simWall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      simStart)
+            .count();
     // Final pass so corruption in the tail (after the last periodic
     // hook firing) cannot slip through.
     if (ctl.verifyPeriod > 0)
@@ -51,6 +57,9 @@ runOne(const SystemConfig &cfg, const WorkloadProfile &prof,
     RunOut out;
     out.totalCycles = rr.execCycles;
     out.accesses = rr.accesses;
+    out.wallSeconds = simWall;
+    if (simWall > 0.0)
+        out.accessesPerSec = static_cast<double>(rr.accesses) / simWall;
     out.stats = sys.dump();
     out.execCycles =
         static_cast<Cycle>(out.stats.get("exec_cycles"));
@@ -402,6 +411,9 @@ appendJsonResults(const std::string &path, const ResultTable &table,
     jsonNumber(os, timing.wallSeconds);
     os << ",\"sim_seconds\":";
     jsonNumber(os, timing.simSeconds);
+    os << ",\"sim_accesses\":" << timing.simAccesses
+       << ",\"accesses_per_sec\":";
+    jsonNumber(os, timing.accessesPerSec());
     os << ",\"columns\":[";
     const auto &cols = table.columns();
     for (std::size_t i = 0; i < cols.size(); ++i) {

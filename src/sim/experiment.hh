@@ -35,6 +35,15 @@ struct RunOut
     /** Raw run length including the warmup phase. */
     Cycle totalCycles = 0;
     Counter accesses = 0;
+    /** Host wall time spent inside Driver::run (setup excluded). */
+    double wallSeconds = 0.0;
+    /**
+     * Simulated accesses per host-second for this run: the simulator
+     * throughput metric the perf regression guard (bench_hotpath)
+     * tracks. Derived from accesses / wallSeconds; 0 when the run was
+     * too fast for the clock to resolve.
+     */
+    double accessesPerSec = 0.0;
     StatsDump stats;
 };
 
@@ -166,7 +175,20 @@ struct BenchTiming
     unsigned jobs = 1;        //!< worker threads used
     unsigned simsRun = 0;     //!< simulations actually executed
     unsigned simsMemoized = 0; //!< cells served from identical jobs
+    /** Simulated accesses summed over the executed (non-memoized) sims. */
+    Counter simAccesses = 0;
+    /** Summed time inside Driver::run (per-sim setup excluded). */
+    double runSeconds = 0.0;
     std::vector<BenchFailure> failures; //!< failed cells (partial run)
+
+    /** Aggregate throughput: simulated accesses per Driver::run second. */
+    double
+    accessesPerSec() const
+    {
+        return runSeconds > 0.0
+                   ? static_cast<double>(simAccesses) / runSeconds
+                   : 0.0;
+    }
 };
 
 /** Path of the machine-readable results dump (TINYDIR_JSON), or "". */

@@ -78,9 +78,7 @@ System::recentTxns() const
 }
 
 void
-System::processNotices(CoreId c,
-                       const std::vector<EvictionNotice> &notices,
-                       Cycle t)
+System::processNotices(CoreId c, const NoticeVec &notices, Cycle t)
 {
     for (const auto &n : notices) {
         noteTxn({t, c, n.block, ReqType::GetS, true, n.state});
@@ -100,9 +98,10 @@ System::executeAccess(CoreId c, const TraceAccess &acc, Cycle issue)
       case AccessType::Ifetch: ++core.ifetches; break;
     }
 
-    auto ar = privs[c].access(block, acc.type);
-    if (!ar.notices.empty())
-        processNotices(c, ar.notices, issue);
+    noticeScratch.clear();
+    auto ar = privs[c].access(block, acc.type, noticeScratch);
+    if (!noticeScratch.empty())
+        processNotices(c, noticeScratch, issue);
 
     if (ar.present) {
         if (acc.type == AccessType::Store) {
@@ -142,9 +141,10 @@ System::executeAccess(CoreId c, const TraceAccess &acc, Cycle issue)
     }
     noteTxn({issue + ar.latency, c, block, rt, false, MesiState::I});
     auto rr = engine.request(c, block, rt, issue + ar.latency);
-    auto notices = privs[c].fill(block, rr.grant, acc.type);
-    if (!notices.empty())
-        processNotices(c, notices, rr.done);
+    noticeScratch.clear();
+    privs[c].fill(block, rr.grant, acc.type, noticeScratch);
+    if (!noticeScratch.empty())
+        processNotices(c, noticeScratch, rr.done);
     return rr.done;
 }
 

@@ -102,11 +102,12 @@ class System
     std::vector<TxnRecord> recentTxns() const;
 
   private:
-    void processNotices(CoreId c,
-                        const std::vector<EvictionNotice> &notices,
-                        Cycle t);
+    void processNotices(CoreId c, const NoticeVec &notices, Cycle t);
 
     void noteTxn(const TxnRecord &r);
+
+    /** Reusable eviction-notice scratch; keeps accesses heap-free. */
+    NoticeVec noticeScratch;
 
     /** Clock value at the last resetStats() (warmup boundary). */
     Cycle statsBaseCycle = 0;

@@ -72,6 +72,7 @@ SharedLayout::SharedLayout(const WorkloadProfile &p,
         cum[b] = acc;
     }
     Addr next_block = sharedRegion;
+    groups.reserve(num_groups);
     for (std::uint64_t g = 0; g < num_groups; ++g) {
         const double u = rng.uniform() * acc;
         unsigned bin = 0;
@@ -113,6 +114,7 @@ SyntheticStream::SyntheticStream(std::shared_ptr<const SharedLayout> l,
                   lay->prof.zipfCode),
       privPick(lay->privSpan, lay->prof.zipfPriv)
 {
+    winMembers.reserve(lay->groupsOfCore[c].size());
 }
 
 Addr
@@ -147,29 +149,29 @@ SyntheticStream::pickShared()
         const std::uint64_t w = std::max<std::uint64_t>(
             4, n_groups / p.windowDivisor);
         const std::uint64_t phase = mainIssued / p.windowPhaseLen;
-        const std::uint64_t g0 = (phase * (w / 2)) % n_groups;
         // Candidates: this core's groups with id in [g0, g0+w) cyclic.
-        // `mine` is ascending in group id by construction.
-        auto in_window = [&](unsigned gid) {
-            const std::uint64_t rel = (gid + n_groups - g0) % n_groups;
-            return rel < w;
-        };
-        // Reservoir-free scan bounded by a random start: pick the
-        // k-th in-window member where k is random.
-        unsigned count = 0;
-        for (unsigned gid : mine)
-            count += in_window(gid);
-        if (count > 0) {
-            std::uint64_t k = rng.below(count);
+        // `mine` is ascending in group id by construction. The window
+        // only moves when the phase does, so the membership scan is
+        // cached per phase; no RNG is drawn here, so the stream is
+        // identical to rescanning every access.
+        if (phase != winPhase) {
+            winPhase = phase;
+            const std::uint64_t g0 = (phase * (w / 2)) % n_groups;
+            winMembers.clear();
             for (unsigned gid : mine) {
-                if (in_window(gid) && k-- == 0) {
-                    const auto &grp = lay->groups[gid];
-                    std::uint64_t off = inGroupPick(rng);
-                    if (off >= grp.numBlocks)
-                        off = rng.below(grp.numBlocks);
-                    return {grp.firstBlock + off, grp.readOnly};
-                }
+                const std::uint64_t rel =
+                    (gid + n_groups - g0) % n_groups;
+                if (rel < w)
+                    winMembers.push_back(gid);
             }
+        }
+        if (!winMembers.empty()) {
+            const std::uint64_t k = rng.below(winMembers.size());
+            const auto &grp = lay->groups[winMembers[k]];
+            std::uint64_t off = inGroupPick(rng);
+            if (off >= grp.numBlocks)
+                off = rng.below(grp.numBlocks);
+            return {grp.firstBlock + off, grp.readOnly};
         }
         // No active group for this core: fall through to the static
         // popularity path.
@@ -238,14 +240,19 @@ SyntheticStream::prologueNext(TraceAccess &out)
         return true;
     }
     idx -= code_slice;
-    // 3. Every block of the core's sharing groups.
-    for (unsigned g : lay->groupsOfCore[core]) {
-        const auto &grp = lay->groups[g];
-        if (idx < grp.numBlocks) {
-            out.addr = (grp.firstBlock + idx) << blockShift;
+    // 3. Every block of the core's sharing groups. The cursor is
+    //    monotonic, so resume the walk from the cached group instead
+    //    of re-scanning the list (which made the prologue quadratic).
+    const auto &mine = lay->groupsOfCore[core];
+    while (proGroup < mine.size()) {
+        const auto &grp = lay->groups[mine[proGroup]];
+        if (idx < proGroupBase + grp.numBlocks) {
+            out.addr = (grp.firstBlock + (idx - proGroupBase))
+                << blockShift;
             return true;
         }
-        idx -= grp.numBlocks;
+        proGroupBase += grp.numBlocks;
+        ++proGroup;
     }
     prologue = false; // done
     return false;

@@ -107,6 +107,26 @@ class SyntheticStream : public AccessStream
     ZipfSampler codeWinPick;
     ZipfSampler privPick;
 
+    /**
+     * Cache of this core's in-window group ids for the sliding-window
+     * shared path. The window is a pure function of the phase, so the
+     * membership scan only needs to run when the phase advances, not
+     * on every access; the draw order (and thus the stream) does not
+     * change. ~0 marks the cache as empty.
+     */
+    std::uint64_t winPhase = ~0ull;
+    std::vector<unsigned> winMembers;
+
+    /**
+     * Prologue progress through the core's sharing groups: index into
+     * groupsOfCore[core] and the cumulative block count of the groups
+     * before it. The cursor only moves forward, so the group walk
+     * resumes where the previous access left off instead of
+     * re-walking the list from the start every call.
+     */
+    std::size_t proGroup = 0;
+    std::uint64_t proGroupBase = 0;
+
     /** Pick a code block (phased working set + static tail). */
     Addr pickCode();
 

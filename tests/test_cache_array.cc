@@ -93,9 +93,9 @@ TEST(CacheArray, PinnedWaysAreNeverVictims)
         arr.way(0, w) = {w + 10, true};
         arr.touch(0, w);
     }
-    std::vector<bool> pinned{true, true, false, false};
+    const std::uint64_t pinned = 0b0011; // ways 0 and 1
     for (int i = 0; i < 16; ++i) {
-        unsigned v = arr.victimWay(0, &pinned);
+        unsigned v = arr.victimWay(0, pinned);
         EXPECT_GE(v, 2u);
     }
 }
@@ -105,9 +105,9 @@ TEST(CacheArray, RandomVictimRespectsPins)
     CacheArray<Entry> arr(1, 4, ReplPolicy::Random);
     for (unsigned w = 0; w < 4; ++w)
         arr.way(0, w) = {w + 10, true};
-    std::vector<bool> pinned{true, false, true, true};
+    const std::uint64_t pinned = 0b1101; // all but way 1
     for (int i = 0; i < 32; ++i)
-        EXPECT_EQ(arr.victimWay(0, &pinned), 1u);
+        EXPECT_EQ(arr.victimWay(0, pinned), 1u);
 }
 
 TEST(CacheArray, ResetInvalidatesAll)

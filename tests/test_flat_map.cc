@@ -1,0 +1,204 @@
+/**
+ * @file
+ * FlatMap (common/flat_map.hh) unit tests: std::unordered_map
+ * equivalence under churn, backward-shift erase on forced collision
+ * chains, power-of-two growth, reserve() allocation behaviour, and
+ * the eraseIf pruning sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "common/rng.hh"
+
+using namespace tinydir;
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.find(7), nullptr);
+    EXPECT_FALSE(m.erase(7));
+
+    m.insert(7, 70);
+    m.insert(9, 90);
+    ASSERT_NE(m.find(7), nullptr);
+    EXPECT_EQ(*m.find(7), 70);
+    EXPECT_EQ(*m.find(9), 90);
+    EXPECT_EQ(m.size(), 2u);
+
+    // Overwrite keeps the size.
+    m.insert(7, 71);
+    EXPECT_EQ(*m.find(7), 71);
+    EXPECT_EQ(m.size(), 2u);
+
+    EXPECT_TRUE(m.erase(7));
+    EXPECT_EQ(m.find(7), nullptr);
+    EXPECT_EQ(*m.find(9), 90);
+    EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, OperatorBracketInsertsDefault)
+{
+    FlatMap<std::uint32_t> m;
+    EXPECT_EQ(m[42], 0u);
+    m[42] = 5;
+    EXPECT_EQ(m[42], 5u);
+    EXPECT_EQ(m.size(), 1u);
+    EXPECT_TRUE(m.contains(42));
+    EXPECT_FALSE(m.contains(43));
+}
+
+/**
+ * Randomized churn against a std::unordered_map model: every lookup,
+ * size, and the final contents must agree. This is the operational
+ * equivalence the busyUntil / PrivateCache::info migration relies on.
+ */
+TEST(FlatMap, ChurnMatchesStdMap)
+{
+    FlatMap<std::uint64_t> m;
+    std::unordered_map<Addr, std::uint64_t> model;
+    Rng rng(1234);
+    for (std::uint64_t i = 0; i < 200000; ++i) {
+        const Addr k = rng.below(512);
+        const double roll = rng.uniform();
+        if (roll < 0.45) {
+            m.insert(k, i);
+            model[k] = i;
+        } else if (roll < 0.70) {
+            EXPECT_EQ(m.erase(k), model.erase(k) == 1) << "key " << k;
+        } else {
+            const auto *v = m.find(k);
+            const auto it = model.find(k);
+            ASSERT_EQ(v != nullptr, it != model.end()) << "key " << k;
+            if (v) {
+                EXPECT_EQ(*v, it->second) << "key " << k;
+            }
+        }
+        ASSERT_EQ(m.size(), model.size());
+    }
+    // Full-content comparison via forEach.
+    std::unordered_map<Addr, std::uint64_t> seen;
+    m.forEach([&](Addr k, std::uint64_t v) { seen.emplace(k, v); });
+    EXPECT_EQ(seen.size(), model.size());
+    EXPECT_TRUE(seen == model);
+}
+
+namespace
+{
+
+/** The map's fibonacci hash, for crafting collision chains. */
+std::size_t
+homeOf(Addr key, std::size_t capacity)
+{
+    unsigned shift = 64;
+    for (std::size_t c = capacity; c > 1; c >>= 1)
+        --shift;
+    return static_cast<std::size_t>(
+        (key * 0x9E3779B97F4A7C15ull) >> shift);
+}
+
+} // namespace
+
+/**
+ * Backward-shift erase on a forced collision chain: keys hashing to
+ * the same home slot probe linearly, so erasing an early chain member
+ * must shift the rest back without losing anyone.
+ */
+TEST(FlatMap, BackwardShiftKeepsCollisionChain)
+{
+    FlatMap<int> m;
+    m.reserve(8);
+    const std::size_t cap = m.capacity();
+    ASSERT_NE(cap, 0u);
+
+    // Find four distinct keys sharing one home slot.
+    std::vector<Addr> chain;
+    const std::size_t home = homeOf(1, cap);
+    for (Addr k = 1; chain.size() < 4 && k < 2000000; ++k) {
+        if (homeOf(k, cap) == home)
+            chain.push_back(k);
+    }
+    ASSERT_EQ(chain.size(), 4u);
+
+    for (std::size_t i = 0; i < chain.size(); ++i)
+        m.insert(chain[i], static_cast<int>(i));
+    ASSERT_EQ(m.capacity(), cap) << "reserve(8) must cover 4 entries";
+
+    // Erase the second chain member; the rest must survive.
+    EXPECT_TRUE(m.erase(chain[1]));
+    EXPECT_EQ(m.find(chain[1]), nullptr);
+    for (std::size_t i : {std::size_t(0), std::size_t(2), std::size_t(3)}) {
+        ASSERT_NE(m.find(chain[i]), nullptr) << "chain member " << i;
+        EXPECT_EQ(*m.find(chain[i]), static_cast<int>(i));
+    }
+
+    // Erase the head, then everything.
+    EXPECT_TRUE(m.erase(chain[0]));
+    ASSERT_NE(m.find(chain[2]), nullptr);
+    ASSERT_NE(m.find(chain[3]), nullptr);
+    EXPECT_TRUE(m.erase(chain[3]));
+    EXPECT_TRUE(m.erase(chain[2]));
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap, GrowthIsPowerOfTwoAndLossless)
+{
+    FlatMap<std::uint64_t> m;
+    std::size_t lastCap = m.capacity();
+    EXPECT_EQ(lastCap, 0u);
+    for (std::uint64_t i = 0; i < 5000; ++i) {
+        m.insert(i * 977 + 3, i);
+        const std::size_t cap = m.capacity();
+        ASSERT_EQ(cap & (cap - 1), 0u) << "capacity " << cap;
+        if (cap != lastCap) {
+            // A rehash happened: everything inserted so far survives.
+            for (std::uint64_t j = 0; j <= i; ++j) {
+                ASSERT_NE(m.find(j * 977 + 3), nullptr)
+                    << "lost key after growth to " << cap;
+            }
+            lastCap = cap;
+        }
+    }
+    EXPECT_GE(lastCap, 5000u);
+    EXPECT_EQ(m.size(), 5000u);
+}
+
+TEST(FlatMap, ReservePreventsRehash)
+{
+    FlatMap<int> m;
+    m.reserve(1000);
+    const std::size_t cap = m.capacity();
+    ASSERT_GE(cap, 1024u);
+    for (Addr k = 0; k < 1000; ++k)
+        m.insert(k * 131, 1);
+    EXPECT_EQ(m.capacity(), cap)
+        << "inserting within reserve() must not rehash";
+}
+
+TEST(FlatMap, EraseIfPrunes)
+{
+    FlatMap<std::uint64_t> m;
+    for (Addr k = 0; k < 1000; ++k)
+        m.insert(k, k);
+    m.eraseIf([](Addr, std::uint64_t v) { return v % 2 == 0; });
+    EXPECT_EQ(m.size(), 500u);
+    for (Addr k = 0; k < 1000; ++k)
+        EXPECT_EQ(m.contains(k), k % 2 == 1) << "key " << k;
+
+    // Clearing predicate empties the map.
+    m.eraseIf([](Addr, std::uint64_t) { return true; });
+    EXPECT_TRUE(m.empty());
+
+    // clear() resets without shrinking.
+    m.insert(5, 5);
+    const std::size_t cap = m.capacity();
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.capacity(), cap);
+    EXPECT_EQ(m.find(5), nullptr);
+}

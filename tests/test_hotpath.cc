@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Hot-path guarantees of the per-access simulation core:
+ *
+ *  - determinism: identical configs and seeds produce bit-identical
+ *    stats dumps run-to-run (the data-structure swap must not leak
+ *    iteration order into simulated behaviour);
+ *  - bounded tracking state: Engine::busyUntil is pruned, so its
+ *    footprint stays small even when a run streams over far more
+ *    distinct blocks than are ever live;
+ *  - zero heap allocations per access in steady state, counted by a
+ *    replaced global operator new.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "sim/driver.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "workload/generator.hh"
+
+using namespace tinydir;
+
+// --- Global allocation counter -------------------------------------
+//
+// Replacing the global allocation functions lets the steady-state
+// test count every heap allocation in the process. The counter is
+// atomic because other tests in this binary (the parallel runner)
+// allocate from worker threads.
+
+namespace
+{
+
+std::atomic<std::uint64_t> g_heapAllocs{0};
+
+void *
+countedAlloc(std::size_t n)
+{
+    ++g_heapAllocs;
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+} // namespace
+
+void *operator new(std::size_t n) { return countedAlloc(n); }
+void *operator new[](std::size_t n) { return countedAlloc(n); }
+void *
+operator new(std::size_t n, const std::nothrow_t &) noexcept
+{
+    ++g_heapAllocs;
+    return std::malloc(n ? n : 1);
+}
+void *
+operator new[](std::size_t n, const std::nothrow_t &) noexcept
+{
+    ++g_heapAllocs;
+    return std::malloc(n ? n : 1);
+}
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+void
+operator delete(void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+void
+operator delete[](void *p, const std::nothrow_t &) noexcept
+{
+    std::free(p);
+}
+
+// -------------------------------------------------------------------
+
+namespace
+{
+
+SystemConfig
+tinyCfg(unsigned cores)
+{
+    SystemConfig cfg = SystemConfig::scaled(cores);
+    cfg.tracker = TrackerKind::TinyDir;
+    cfg.dirSizeFactor = 1.0 / 32;
+    cfg.tinyPolicy = TinyPolicy::DstraGnru;
+    cfg.tinySpill = true;
+    return cfg;
+}
+
+} // namespace
+
+TEST(HotPath, StatsDumpsAreDeterministic)
+{
+    // One quick scheme/workload pair, simulated twice from scratch:
+    // every counter in the dump must match exactly. Hash-map iteration
+    // order, pruning, or pointer-derived decisions would break this.
+    const SystemConfig cfg = tinyCfg(8);
+    const WorkloadProfile &prof = profileByName("barnes");
+    const RunOut a = runOne(cfg, prof, 2000, 1000);
+    const RunOut b = runOne(cfg, prof, 2000, 1000);
+
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.accesses, b.accesses);
+    const auto &ia = a.stats.items();
+    const auto &ib = b.stats.items();
+    ASSERT_EQ(ia.size(), ib.size());
+    for (std::size_t i = 0; i < ia.size(); ++i) {
+        EXPECT_EQ(ia[i].first, ib[i].first) << "stat order differs";
+        EXPECT_EQ(ia[i].second, ib[i].second)
+            << "stat " << ia[i].first << " differs between runs";
+    }
+}
+
+TEST(HotPath, BusyWindowFootprintStaysBounded)
+{
+    // Stream over far more distinct blocks than are ever concurrently
+    // busy. Without pruning busyUntil would end at ~numBlocks entries;
+    // with pruning it stays near the live window count.
+    SystemConfig cfg = tinyCfg(8);
+    System sys(cfg);
+    constexpr std::uint64_t numBlocks = 200000;
+    for (std::uint64_t i = 0; i < numBlocks; ++i) {
+        const CoreId c = static_cast<CoreId>(i % cfg.numCores);
+        TraceAccess a;
+        a.gap = 1;
+        a.type = (i % 3) ? AccessType::Load : AccessType::Store;
+        a.addr = i << blockShift;
+        const Cycle issue = sys.cores[c].clock + a.gap;
+        sys.cores[c].clock = sys.executeAccess(c, a, issue);
+    }
+    EXPECT_LE(sys.engine.busyFootprint(), 4096u)
+        << "busyUntil grew with the block count; pruning is broken";
+}
+
+TEST(HotPath, SteadyStateAccessesDoNotAllocate)
+{
+    SystemConfig cfg = tinyCfg(8);
+    System sys(cfg);
+    Rng rng(42);
+    constexpr std::uint64_t blocks = 4096;
+    auto oneAccess = [&](std::uint64_t i) {
+        const CoreId c = static_cast<CoreId>(rng.below(cfg.numCores));
+        TraceAccess a;
+        a.gap = 2;
+        a.type =
+            rng.chance(0.3) ? AccessType::Store : AccessType::Load;
+        a.addr = rng.below(blocks) << blockShift;
+        (void)i;
+        const Cycle issue = sys.cores[c].clock + a.gap;
+        sys.cores[c].clock = sys.executeAccess(c, a, issue);
+    };
+    // Warm every structure to its steady-state footprint: private
+    // caches fill, tracker reaches capacity, FlatMaps finish growing.
+    for (std::uint64_t i = 0; i < 50000; ++i)
+        oneAccess(i);
+
+    const std::uint64_t before =
+        g_heapAllocs.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < 5000; ++i)
+        oneAccess(i);
+    const std::uint64_t after =
+        g_heapAllocs.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << "the steady-state access path heap-allocated "
+        << (after - before) << " times in 5000 accesses";
+}

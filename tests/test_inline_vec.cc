@@ -1,0 +1,76 @@
+/**
+ * @file
+ * InlineVec (common/inline_vec.hh) unit tests: fixed-capacity
+ * semantics, clear-and-reuse (the hot-path scratch pattern), and the
+ * overflow / out-of-range invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/inline_vec.hh"
+#include "common/sim_error.hh"
+
+using namespace tinydir;
+
+TEST(InlineVec, PushIndexIterate)
+{
+    InlineVec<int, 4> v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.size(), 0u);
+    EXPECT_EQ(v.capacity(), 4u);
+    EXPECT_EQ(v.begin(), v.end());
+
+    v.push_back(10);
+    v.push_back(20);
+    v.push_back(30);
+    EXPECT_FALSE(v.empty());
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], 10);
+    EXPECT_EQ(v[1], 20);
+    EXPECT_EQ(v[2], 30);
+    EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 60);
+
+    v[1] = 21;
+    EXPECT_EQ(v[1], 21);
+}
+
+TEST(InlineVec, ClearAndReuse)
+{
+    // The engine reuses one scratch buffer across accesses; clear()
+    // must reset the size without touching capacity.
+    InlineVec<int, 2> v;
+    for (int round = 0; round < 100; ++round) {
+        v.clear();
+        EXPECT_TRUE(v.empty());
+        v.push_back(round);
+        v.push_back(round + 1);
+        ASSERT_EQ(v.size(), 2u);
+        EXPECT_EQ(v[0], round);
+        EXPECT_EQ(v[1], round + 1);
+    }
+}
+
+TEST(InlineVec, OverflowIsInvariantViolation)
+{
+    InlineVec<int, 2> v;
+    v.push_back(1);
+    v.push_back(2);
+    EXPECT_THROW(v.push_back(3), InternalError);
+    // The failed push must not corrupt the contents.
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], 1);
+    EXPECT_EQ(v[1], 2);
+}
+
+TEST(InlineVec, OutOfRangeIndexThrows)
+{
+    InlineVec<int, 4> v;
+    v.push_back(1);
+    EXPECT_THROW(v[1], InternalError);
+    EXPECT_THROW(v[4], InternalError);
+    const InlineVec<int, 4> &cv = v;
+    EXPECT_EQ(cv[0], 1);
+    EXPECT_THROW(cv[1], InternalError);
+}

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "core/private_cache.hh"
 
@@ -30,13 +31,14 @@ TEST(PrivateCache, MissThenFill)
 {
     auto cfg = tinyCfg();
     PrivateCache pc(cfg, 0);
-    auto ar = pc.access(100, AccessType::Load);
+    NoticeVec notices;
+    auto ar = pc.access(100, AccessType::Load, notices);
     EXPECT_FALSE(ar.present);
     EXPECT_EQ(ar.latency, cfg.l1Latency);
-    auto notices = pc.fill(100, MesiState::E, AccessType::Load);
+    pc.fill(100, MesiState::E, AccessType::Load, notices);
     EXPECT_TRUE(notices.empty());
     EXPECT_EQ(pc.state(100), MesiState::E);
-    auto ar2 = pc.access(100, AccessType::Load);
+    auto ar2 = pc.access(100, AccessType::Load, notices);
     EXPECT_TRUE(ar2.present);
     EXPECT_EQ(ar2.latency, cfg.l1Latency); // L1 hit
 }
@@ -45,14 +47,15 @@ TEST(PrivateCache, IfetchGoesToL1I)
 {
     auto cfg = tinyCfg();
     PrivateCache pc(cfg, 0);
-    pc.fill(7, MesiState::S, AccessType::Ifetch);
+    NoticeVec notices;
+    pc.fill(7, MesiState::S, AccessType::Ifetch, notices);
     // A data load of the same block misses L1D but hits locally
     // (L2/L1I) at L2 latency.
-    auto ar = pc.access(7, AccessType::Load);
+    auto ar = pc.access(7, AccessType::Load, notices);
     EXPECT_TRUE(ar.present);
     EXPECT_EQ(ar.latency, cfg.l1Latency + cfg.l2Latency);
     // Second load is now an L1D hit.
-    auto ar2 = pc.access(7, AccessType::Load);
+    auto ar2 = pc.access(7, AccessType::Load, notices);
     EXPECT_EQ(ar2.latency, cfg.l1Latency);
 }
 
@@ -64,7 +67,8 @@ TEST(PrivateCache, EvictionNoticeWhenLeavingHierarchy)
     // evict and notices appear.
     std::vector<EvictionNotice> all;
     for (Addr b = 0; b < 200; ++b) {
-        auto n = pc.fill(b, MesiState::E, AccessType::Load);
+        NoticeVec n;
+        pc.fill(b, MesiState::E, AccessType::Load, n);
         all.insert(all.end(), n.begin(), n.end());
     }
     EXPECT_FALSE(all.empty());
@@ -80,13 +84,12 @@ TEST(PrivateCache, NoNoticeWhileStillInOtherLevel)
 {
     auto cfg = tinyCfg();
     PrivateCache pc(cfg, 0);
-    pc.fill(1, MesiState::E, AccessType::Load);
+    NoticeVec notices;
+    pc.fill(1, MesiState::E, AccessType::Load, notices);
     // Thrash the L2 set of block 1 (L2 has 16 sets): blocks 1+16k map
     // to the same L2 set but different L1 sets (L1 has 8 sets).
-    auto n1 = pc.fill(1 + 16, MesiState::E, AccessType::Load);
-    auto n2 = pc.fill(1 + 32, MesiState::E, AccessType::Load);
-    (void)n1;
-    (void)n2;
+    pc.fill(1 + 16, MesiState::E, AccessType::Load, notices);
+    pc.fill(1 + 32, MesiState::E, AccessType::Load, notices);
     // Block 1 may have left L2, but while it is still in L1D it must
     // still be present and no notice may have named it.
     if (pc.present(1)) {
@@ -98,7 +101,8 @@ TEST(PrivateCache, InvalidateRemovesEverywhere)
 {
     auto cfg = tinyCfg();
     PrivateCache pc(cfg, 0);
-    pc.fill(5, MesiState::M, AccessType::Store);
+    NoticeVec notices;
+    pc.fill(5, MesiState::M, AccessType::Store, notices);
     auto r = pc.invalidate(5);
     EXPECT_TRUE(r.wasPresent);
     EXPECT_TRUE(r.wasDirty);
@@ -111,7 +115,8 @@ TEST(PrivateCache, DowngradeKeepsBlockShared)
 {
     auto cfg = tinyCfg();
     PrivateCache pc(cfg, 0);
-    pc.fill(9, MesiState::M, AccessType::Store);
+    NoticeVec notices;
+    pc.fill(9, MesiState::M, AccessType::Store, notices);
     auto r = pc.downgrade(9);
     EXPECT_TRUE(r.wasPresent);
     EXPECT_TRUE(r.wasDirty);
@@ -122,7 +127,8 @@ TEST(PrivateCache, SetStateTransitions)
 {
     auto cfg = tinyCfg();
     PrivateCache pc(cfg, 0);
-    pc.fill(11, MesiState::E, AccessType::Load);
+    NoticeVec notices;
+    pc.fill(11, MesiState::E, AccessType::Load, notices);
     pc.setState(11, MesiState::M);
     EXPECT_EQ(pc.state(11), MesiState::M);
 }
@@ -135,7 +141,8 @@ TEST(PrivateCache, DirtyEvictionCarriesM)
     std::vector<EvictionNotice> all;
     for (Addr b = 0; b < 40; ++b) {
         const Addr blk = b * 16; // all in L2 set 0
-        auto n = pc.fill(blk, MesiState::M, AccessType::Store);
+        NoticeVec n;
+        pc.fill(blk, MesiState::M, AccessType::Store, n);
         all.insert(all.end(), n.begin(), n.end());
     }
     ASSERT_FALSE(all.empty());
@@ -147,8 +154,9 @@ TEST(PrivateCache, ForEachBlockSeesAll)
 {
     auto cfg = tinyCfg();
     PrivateCache pc(cfg, 0);
-    pc.fill(1, MesiState::E, AccessType::Load);
-    pc.fill(2, MesiState::S, AccessType::Load);
+    NoticeVec notices;
+    pc.fill(1, MesiState::E, AccessType::Load, notices);
+    pc.fill(2, MesiState::S, AccessType::Load, notices);
     std::set<Addr> seen;
     pc.forEachBlock([&](Addr b, MesiState) { seen.insert(b); });
     EXPECT_TRUE(seen.count(1));

@@ -1,0 +1,218 @@
+#include "oracle/corpus.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+
+#include "common/log.hh"
+#include "workload/trace_file.hh"
+
+namespace tinydir
+{
+
+namespace
+{
+
+/** AccessStream over an in-memory vector (for TraceFileWriter). */
+class VectorStream : public AccessStream
+{
+  public:
+    explicit VectorStream(std::vector<TraceAccess> v) : accs(std::move(v)) {}
+
+    bool
+    next(TraceAccess &out) override
+    {
+        if (pos >= accs.size())
+            return false;
+        out = accs[pos++];
+        return true;
+    }
+
+  private:
+    std::vector<TraceAccess> accs;
+    std::size_t pos = 0;
+};
+
+TrackerKind
+parseTracker(const std::string &s)
+{
+    for (auto k : {TrackerKind::SparseDir, TrackerKind::SharedOnlyDir,
+                   TrackerKind::InLlcTagExtended, TrackerKind::InLlc,
+                   TrackerKind::TinyDir, TrackerKind::Mgd,
+                   TrackerKind::Stash}) {
+        if (toString(k) == s)
+            return k;
+    }
+    fatal("corpus: unknown tracker '", s, "'");
+}
+
+TinyPolicy
+parsePolicy(const std::string &s)
+{
+    for (auto p : {TinyPolicy::Dstra, TinyPolicy::DstraGnru})
+        if (toString(p) == s)
+            return p;
+    fatal("corpus: unknown tinyPolicy '", s, "'");
+}
+
+FaultKind
+parseFault(const std::string &s)
+{
+    for (auto k : {FaultKind::FlipSharerBit, FaultKind::DropTrackerEntry,
+                   FaultKind::DesyncSpilledEntry, FaultKind::ForgeOwner})
+        if (toString(k) == s)
+            return k;
+    fatal("corpus: unknown fault kind '", s, "'");
+}
+
+} // namespace
+
+std::string
+toString(CorpusExpect e)
+{
+    return e == CorpusExpect::Clean ? "clean" : "detected";
+}
+
+void
+saveCorpusCase(const std::string &basePath, const CorpusCase &c)
+{
+    const SystemConfig &cfg = c.spec.cfg;
+
+    std::vector<std::unique_ptr<AccessStream>> streams;
+    for (const auto &s : c.spec.streams)
+        streams.push_back(std::make_unique<VectorStream>(s));
+    TraceFileWriter::write(basePath + ".tdtr", std::move(streams));
+
+    std::ofstream meta(basePath + ".meta");
+    fatal_if(!meta, "corpus: cannot write ", basePath, ".meta");
+    meta << "# tinydir oracle corpus case (see src/oracle/corpus.hh)\n";
+    meta << "trace = " <<
+        std::filesystem::path(basePath + ".tdtr").filename().string() << "\n";
+    meta << "expect = " << toString(c.expect) << "\n";
+    if (!c.rule.empty())
+        meta << "rule = " << c.rule << "\n";
+    meta << "inject = "
+         << (c.spec.inject ? toString(*c.spec.inject) : std::string("none"))
+         << "\n";
+    meta << "checkPeriod = " << c.spec.checkPeriod << "\n";
+    meta << "numCores = " << cfg.numCores << "\n";
+    meta << "l1Bytes = " << cfg.l1Bytes << "\n";
+    meta << "l1Assoc = " << cfg.l1Assoc << "\n";
+    meta << "l2Bytes = " << cfg.l2Bytes << "\n";
+    meta << "l2Assoc = " << cfg.l2Assoc << "\n";
+    meta << "llcAssoc = " << cfg.llcAssoc << "\n";
+    meta << "llcBlocksPerN = " << cfg.llcBlocksPerN << "\n";
+    meta << "tracker = " << toString(cfg.tracker) << "\n";
+    meta << "dirSizeFactor = " << cfg.dirSizeFactor << "\n";
+    meta << "dirAssoc = " << cfg.dirAssoc << "\n";
+    meta << "dirSkewed = " << (cfg.dirSkewed ? 1 : 0) << "\n";
+    meta << "tinyPolicy = " << toString(cfg.tinyPolicy) << "\n";
+    meta << "tinySpill = " << (cfg.tinySpill ? 1 : 0) << "\n";
+    meta << "sharerGrain = " << cfg.sharerGrain << "\n";
+    meta << "mgdRegionBytes = " << cfg.mgdRegionBytes << "\n";
+    meta << "seed = " << cfg.seed << "\n";
+}
+
+CorpusCase
+loadCorpusCase(const std::string &metaPath)
+{
+    std::ifstream in(metaPath);
+    fatal_if(!in, "corpus: cannot read ", metaPath);
+
+    std::map<std::string, std::string> kv;
+    std::string line;
+    while (std::getline(in, line)) {
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            continue;
+        auto trim = [](std::string s) {
+            const auto b = s.find_first_not_of(" \t\r");
+            const auto e = s.find_last_not_of(" \t\r");
+            return b == std::string::npos ? std::string()
+                                          : s.substr(b, e - b + 1);
+        };
+        kv[trim(line.substr(0, eq))] = trim(line.substr(eq + 1));
+    }
+
+    auto get = [&](const char *key) -> const std::string & {
+        auto it = kv.find(key);
+        fatal_if(it == kv.end(), "corpus: ", metaPath, " missing key '", key,
+                 "'");
+        return it->second;
+    };
+    auto getU = [&](const char *key) {
+        return static_cast<unsigned>(std::stoul(get(key)));
+    };
+
+    CorpusCase c;
+    const std::filesystem::path mp(metaPath);
+    c.name = mp.stem().string();
+
+    SystemConfig &cfg = c.spec.cfg;
+    cfg.numCores = getU("numCores");
+    cfg.l1Bytes = getU("l1Bytes");
+    cfg.l1Assoc = getU("l1Assoc");
+    cfg.l2Bytes = getU("l2Bytes");
+    cfg.l2Assoc = getU("l2Assoc");
+    cfg.llcAssoc = getU("llcAssoc");
+    cfg.llcBlocksPerN = std::stod(get("llcBlocksPerN"));
+    cfg.tracker = parseTracker(get("tracker"));
+    cfg.dirSizeFactor = std::stod(get("dirSizeFactor"));
+    cfg.dirAssoc = getU("dirAssoc");
+    cfg.dirSkewed = getU("dirSkewed") != 0;
+    cfg.tinyPolicy = parsePolicy(get("tinyPolicy"));
+    cfg.tinySpill = getU("tinySpill") != 0;
+    cfg.sharerGrain = getU("sharerGrain");
+    cfg.mgdRegionBytes = getU("mgdRegionBytes");
+    cfg.seed = std::stoull(get("seed"));
+
+    c.spec.checkPeriod = std::stoull(get("checkPeriod"));
+    const std::string &inj = get("inject");
+    if (inj != "none")
+        c.spec.inject = parseFault(inj);
+
+    const std::string &expect = get("expect");
+    if (expect == "clean")
+        c.expect = CorpusExpect::Clean;
+    else if (expect == "detected")
+        c.expect = CorpusExpect::Detected;
+    else
+        fatal("corpus: bad expect '", expect, "' in ", metaPath);
+    if (auto it = kv.find("rule"); it != kv.end())
+        c.rule = it->second;
+
+    const std::string tracePath =
+        (mp.parent_path() / get("trace")).string();
+    const TraceFileInfo info = traceFileInfo(tracePath);
+    fatal_if(info.numCores != cfg.numCores, "corpus: ", tracePath, " has ",
+             info.numCores, " cores, meta says ", cfg.numCores);
+    auto streams = openTraceStreams(tracePath);
+    c.spec.streams.resize(info.numCores);
+    for (unsigned core = 0; core < info.numCores; ++core) {
+        TraceAccess a;
+        while (streams[core]->next(a))
+            c.spec.streams[core].push_back(a);
+    }
+    return c;
+}
+
+std::vector<std::string>
+listCorpusCases(const std::string &dir)
+{
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (const auto &e : std::filesystem::directory_iterator(dir, ec)) {
+        if (e.is_regular_file() && e.path().extension() == ".meta")
+            out.push_back(e.path().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace tinydir

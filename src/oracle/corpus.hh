@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Corpus case I/O: a minimized failing (or regression) trace stored as
+ * a standard workload/trace_file.hh binary plus a human-readable
+ * `.meta` sidecar carrying the configuration it must replay under and
+ * the expected outcome. Cases live in tests/corpus/ and are replayed
+ * verbatim by tests/test_corpus_replay.cc and `fuzz_traces --replay`.
+ *
+ * Sidecar format: one `key = value` per line, `#` comments. Only
+ * configuration fields that the corpus cases actually vary are
+ * serialized; everything else keeps SystemConfig defaults so cases
+ * stay valid as unrelated defaults evolve.
+ */
+
+#ifndef TINYDIR_ORACLE_CORPUS_HH
+#define TINYDIR_ORACLE_CORPUS_HH
+
+#include <string>
+
+#include "oracle/replay.hh"
+
+namespace tinydir
+{
+
+/** Expected outcome of replaying a corpus case. */
+enum class CorpusExpect
+{
+    Clean,    //!< must replay with the oracle fully satisfied
+    Detected, //!< oracle must catch a divergence (fault-injection repro)
+};
+
+std::string toString(CorpusExpect e);
+
+/** One on-disk corpus case. */
+struct CorpusCase
+{
+    std::string name;    //!< base name (meta path minus directory/ext)
+    ReplaySpec spec;     //!< config + streams + injection, ready to run
+    CorpusExpect expect = CorpusExpect::Clean;
+    std::string rule;    //!< for Detected: divergence rule (advisory)
+};
+
+/**
+ * Write @p c as @p basePath.meta + @p basePath.tdtr.
+ * @p basePath has no extension; directories must already exist.
+ */
+void saveCorpusCase(const std::string &basePath, const CorpusCase &c);
+
+/** Load the case described by @p metaPath (fatal() on malformed input). */
+CorpusCase loadCorpusCase(const std::string &metaPath);
+
+/** All `.meta` files directly inside @p dir, sorted by name. */
+std::vector<std::string> listCorpusCases(const std::string &dir);
+
+} // namespace tinydir
+
+#endif // TINYDIR_ORACLE_CORPUS_HH

@@ -1,0 +1,220 @@
+#include "oracle/diff.hh"
+
+#include <sstream>
+
+#include "core/private_cache.hh"
+#include "sim/system.hh"
+
+namespace tinydir
+{
+
+std::string
+DivergenceReport::describe() const
+{
+    if (!diverged)
+        return "no divergence";
+    std::ostringstream os;
+    os << "oracle divergence [" << rule << "] after " << accessIndex
+       << " accesses: " << detail << "\n";
+    if (!context.empty()) {
+        os << "recent events (oldest first):\n";
+        for (const auto &e : context)
+            os << "  " << e << "\n";
+    }
+    return os.str();
+}
+
+void
+OracleDiff::latch(const OracleDivergence &d)
+{
+    if (report_.diverged)
+        return;
+    report_.diverged = true;
+    report_.accessIndex = accesses_;
+    report_.rule = d.rule;
+    report_.detail = d.detail;
+    // Unroll the ring oldest-first.
+    const std::size_t n =
+        ringCount_ < contextSize ? static_cast<std::size_t>(ringCount_)
+                                 : contextSize;
+    const std::size_t start = (ringNext_ + contextSize - n) % contextSize;
+    for (std::size_t i = 0; i < n; ++i)
+        report_.context.push_back(ring_[(start + i) % contextSize]);
+}
+
+void
+OracleDiff::remember(std::string event)
+{
+    ring_[ringNext_] = std::move(event);
+    ringNext_ = (ringNext_ + 1) % contextSize;
+    ++ringCount_;
+}
+
+void
+OracleDiff::onAccess(const AccessObservation &o)
+{
+    if (report_.diverged)
+        return;
+    std::ostringstream os;
+    os << "access #" << accesses_ << ": core " << o.core << " "
+       << toString(o.type) << " 0x" << std::hex << o.block << std::dec;
+    if (o.requested)
+        os << " " << toString(o.req) << "->" << toString(o.grant);
+    else
+        os << " hit " << toString(o.privState);
+    remember(os.str());
+
+    if (auto d = model_.onAccess(o))
+        latch(*d);
+    ++accesses_;
+}
+
+void
+OracleDiff::onNotice(CoreId core, Addr block, MesiState put)
+{
+    if (report_.diverged)
+        return;
+    std::ostringstream os;
+    os << "notice: core " << core << " Put" << toString(put) << " 0x"
+       << std::hex << block << std::dec;
+    remember(os.str());
+
+    if (auto d = model_.onNotice(core, block, put))
+        latch(*d);
+}
+
+void
+OracleDiff::onBackInval(Addr block, const TrackState &ts)
+{
+    if (report_.diverged)
+        return;
+    std::ostringstream os;
+    os << "back-inval: 0x" << std::hex << block << std::dec << " "
+       << (ts.exclusive() ? "exclusive" : ts.shared() ? "shared" : "invalid");
+    remember(os.str());
+
+    model_.onBackInval(block, ts);
+}
+
+void
+OracleDiff::onLlcFill(Addr block)
+{
+    if (report_.diverged)
+        return;
+    std::ostringstream os;
+    os << "llc-fill: 0x" << std::hex << block << std::dec;
+    remember(os.str());
+
+    if (auto d = model_.onLlcFill(block))
+        latch(*d);
+}
+
+void
+OracleDiff::onLlcEvict(Addr block)
+{
+    if (report_.diverged)
+        return;
+    std::ostringstream os;
+    os << "llc-evict: 0x" << std::hex << block << std::dec;
+    remember(os.str());
+
+    if (auto d = model_.onLlcEvict(block))
+        latch(*d);
+}
+
+bool
+OracleDiff::crossCheck(const System &sys)
+{
+    if (report_.diverged)
+        return false;
+
+    // Direction 1: every block cached in a real private hierarchy must
+    // be held in the same state by the model.
+    for (CoreId c = 0; c < static_cast<CoreId>(sys.privs.size()); ++c) {
+        std::optional<OracleDivergence> found;
+        sys.privs[c].forEachBlock([&](Addr b, MesiState st) {
+            if (found)
+                return;
+            const MesiState want = model_.holderState(c, b);
+            if (st != want) {
+                std::ostringstream os;
+                os << "core " << c << " caches 0x" << std::hex << b
+                   << std::dec << " in " << toString(st) << ", model says "
+                   << toString(want);
+                found = OracleDivergence{"crosscheck.priv", os.str()};
+            }
+        });
+        if (found) {
+            latch(*found);
+            return false;
+        }
+    }
+
+    // Direction 2: every model holder must exist in the real hierarchy.
+    std::optional<OracleDivergence> found;
+    model_.forEachHolder([&](Addr b, CoreId c, MesiState st) {
+        if (found)
+            return;
+        const MesiState real = sys.privs[c].state(b);
+        if (real != st) {
+            std::ostringstream os;
+            os << "model holds 0x" << std::hex << b << std::dec << " at core "
+               << c << " in " << toString(st) << ", hierarchy says "
+               << toString(real);
+            found = OracleDivergence{"crosscheck.model", os.str()};
+        }
+    });
+    if (found) {
+        latch(*found);
+        return false;
+    }
+
+    if (auto d = model_.selfCheck()) {
+        latch(*d);
+        return false;
+    }
+    return true;
+}
+
+bool
+OracleDiff::checkTotals(const StatsDump &d)
+{
+    if (report_.diverged)
+        return false;
+
+    const OracleTotals &t = model_.totals();
+    auto match = [&](const char *key, Counter want) -> bool {
+        const Counter got = static_cast<Counter>(d.get(key));
+        if (got == want)
+            return true;
+        std::ostringstream os;
+        os << key << ": system reports " << got << ", model computed "
+           << want;
+        latch({"totals", os.str()});
+        return false;
+    };
+
+    if (!match("core.loads", t.loads) || !match("core.stores", t.stores) ||
+        !match("core.ifetches", t.ifetches) ||
+        !match("core.priv_hits", t.privHits) ||
+        !match("core.misses", t.misses) ||
+        !match("core.upgrades", t.upgrades) ||
+        !match("wb.notices", t.notices)) {
+        return false;
+    }
+
+    // MgD region entries make the home forward through a phantom owner
+    // for blocks nobody holds exclusively, so the real count is only
+    // bounded below by the model's.
+    const Counter fwd = static_cast<Counter>(d.get("fwd.owner"));
+    if (model_.coarseOwner() ? fwd < t.mustForward : fwd != t.mustForward) {
+        std::ostringstream os;
+        os << "fwd.owner: system reports " << fwd << ", model computed "
+           << t.mustForward << (model_.coarseOwner() ? " (lower bound)" : "");
+        latch({"totals", os.str()});
+        return false;
+    }
+    return true;
+}
+
+} // namespace tinydir

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Differential comparison between a live System and the reference
+ * model: OracleDiff implements AccessObserver, feeds every event to
+ * RefModel, and latches the first divergence with enough surrounding
+ * context (a ring of recent events) to make the report actionable.
+ *
+ * Two stronger checks are available on demand:
+ *  - crossCheck() walks the real private hierarchies and compares them
+ *    block-by-block against the model in both directions, catching
+ *    corruptions whose symptom has not yet reached the event stream;
+ *  - checkTotals() compares the system's cumulative counters against
+ *    the model's scheme-independent totals (warmup-free runs only).
+ */
+
+#ifndef TINYDIR_ORACLE_DIFF_HH
+#define TINYDIR_ORACLE_DIFF_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "common/stats.hh"
+#include "oracle/ref_model.hh"
+#include "proto/observe.hh"
+
+namespace tinydir
+{
+
+class System;
+
+/** First divergence found by the oracle, with recent-event context. */
+struct DivergenceReport
+{
+    bool diverged = false;
+    Counter accessIndex = 0; //!< accesses completed when it tripped
+    std::string rule;
+    std::string detail;
+    std::vector<std::string> context; //!< recent events, oldest first
+
+    /** Multi-line human-readable rendering. */
+    std::string describe() const;
+};
+
+/** AccessObserver that diffs the engine against the reference model. */
+class OracleDiff : public AccessObserver
+{
+  public:
+    explicit OracleDiff(const SystemConfig &cfg) : model_(cfg) {}
+
+    void onAccess(const AccessObservation &obs) override;
+    void onNotice(CoreId core, Addr block, MesiState put) override;
+    void onBackInval(Addr block, const TrackState &ts) override;
+    void onLlcFill(Addr block) override;
+    void onLlcEvict(Addr block) override;
+
+    /**
+     * Compare the real private hierarchies against the model in both
+     * directions (and run the model's own SWMR check). Latches a
+     * divergence like the event checks do.
+     * @retval true when everything matches.
+     */
+    bool crossCheck(const System &sys);
+
+    /**
+     * Compare cumulative counters against the model totals. Only valid
+     * when the run had no warmup (resetStats() never called).
+     * @retval true when all totals match.
+     */
+    bool checkTotals(const StatsDump &d);
+
+    bool diverged() const { return report_.diverged; }
+    const DivergenceReport &report() const { return report_; }
+    const RefModel &model() const { return model_; }
+    Counter accessesSeen() const { return accesses_; }
+
+  private:
+    void latch(const OracleDivergence &d);
+    void remember(std::string event);
+
+    RefModel model_;
+    DivergenceReport report_;
+    Counter accesses_ = 0;
+
+    static constexpr std::size_t contextSize = 12;
+    std::array<std::string, contextSize> ring_{};
+    std::size_t ringNext_ = 0;
+    Counter ringCount_ = 0;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_ORACLE_DIFF_HH

@@ -1,0 +1,209 @@
+#include "oracle/patterns.hh"
+
+#include <algorithm>
+
+namespace tinydir
+{
+
+namespace
+{
+
+TraceAccess
+acc(AccessType t, Addr addr, Cycle gap)
+{
+    TraceAccess a;
+    a.gap = gap;
+    a.type = t;
+    a.addr = addr;
+    return a;
+}
+
+/** Base address keeping patterns apart in the address space. */
+constexpr Addr patternBase = 1ull << 22;
+
+} // namespace
+
+TraceStreams
+falseSharing(const PatternParams &p)
+{
+    Rng rng(p.seed);
+    TraceStreams out(p.numCores);
+    // A handful of hot blocks; each core owns a distinct word in each,
+    // mostly writing it — every write ping-pongs the whole block.
+    const unsigned hotBlocks = 4;
+    for (unsigned c = 0; c < p.numCores; ++c) {
+        auto &s = out[c];
+        s.reserve(p.accessesPerCore);
+        for (Counter i = 0; i < p.accessesPerCore; ++i) {
+            const Addr block = patternBase +
+                static_cast<Addr>(rng.below(hotBlocks)) * blockBytes;
+            const Addr word = block + (c % (blockBytes / 8)) * 8;
+            const auto t =
+                rng.chance(0.6) ? AccessType::Store : AccessType::Load;
+            s.push_back(acc(t, word, rng.below(p.maxGap + 1)));
+        }
+    }
+    return out;
+}
+
+TraceStreams
+migratory(const PatternParams &p)
+{
+    Rng rng(p.seed);
+    TraceStreams out(p.numCores);
+    // Each core performs load-then-store bursts on a small pool of
+    // blocks touched by everyone: classic migratory read-modify-write.
+    const unsigned pool = 8;
+    for (unsigned c = 0; c < p.numCores; ++c) {
+        auto &s = out[c];
+        s.reserve(p.accessesPerCore);
+        Counter i = 0;
+        while (i < p.accessesPerCore) {
+            const Addr addr = patternBase + (1ull << 16) +
+                static_cast<Addr>(rng.below(pool)) * blockBytes;
+            s.push_back(acc(AccessType::Load, addr, rng.below(p.maxGap + 1)));
+            ++i;
+            if (i < p.accessesPerCore) {
+                s.push_back(acc(AccessType::Store, addr, 1));
+                ++i;
+            }
+        }
+    }
+    return out;
+}
+
+TraceStreams
+producerConsumer(const PatternParams &p)
+{
+    Rng rng(p.seed);
+    TraceStreams out(p.numCores);
+    // Core (b mod numCores) produces block b; everyone else consumes.
+    const unsigned blocks = 2 * p.numCores;
+    for (unsigned c = 0; c < p.numCores; ++c) {
+        auto &s = out[c];
+        s.reserve(p.accessesPerCore);
+        for (Counter i = 0; i < p.accessesPerCore; ++i) {
+            const unsigned b = static_cast<unsigned>(rng.below(blocks));
+            const Addr addr = patternBase + (1ull << 17) +
+                static_cast<Addr>(b) * blockBytes;
+            const bool producer = b % p.numCores == c;
+            const auto t = producer && rng.chance(0.8) ? AccessType::Store
+                                                       : AccessType::Load;
+            s.push_back(acc(t, addr, rng.below(p.maxGap + 1)));
+        }
+    }
+    return out;
+}
+
+TraceStreams
+setConflict(const PatternParams &p)
+{
+    Rng rng(p.seed);
+    TraceStreams out(p.numCores);
+    // Many tags folded onto a few low set indices: large strides with
+    // identical low bits stress one LLC/directory set, forcing evictions
+    // and back-invalidations.
+    const unsigned tags = 64;
+    const Addr stride = 1ull << 18; // clears any realistic index width
+    for (unsigned c = 0; c < p.numCores; ++c) {
+        auto &s = out[c];
+        s.reserve(p.accessesPerCore);
+        for (Counter i = 0; i < p.accessesPerCore; ++i) {
+            const Addr addr = patternBase + (1ull << 21) +
+                static_cast<Addr>(rng.zipf(tags, 0.8)) * stride;
+            const auto t =
+                rng.chance(0.3) ? AccessType::Store : AccessType::Load;
+            s.push_back(acc(t, addr, rng.below(p.maxGap + 1)));
+        }
+    }
+    return out;
+}
+
+TraceStreams
+spillPressure(const PatternParams &p)
+{
+    Rng rng(p.seed);
+    TraceStreams out(p.numCores);
+    // All cores read over a wide common footprint: far more
+    // concurrently-shared blocks than a tiny directory can track, so
+    // shared entries get evicted continuously — the case DynSpill
+    // exists for (only shared victims may spill). A trickle of stores
+    // and a private store range keep exclusive entries in play too.
+    const unsigned sharedFootprint = 2048;
+    const unsigned privFootprint = 64;
+    for (unsigned c = 0; c < p.numCores; ++c) {
+        auto &s = out[c];
+        s.reserve(p.accessesPerCore);
+        const Addr privBase =
+            patternBase + (2ull << 21) + static_cast<Addr>(c) * (1ull << 16);
+        for (Counter i = 0; i < p.accessesPerCore; ++i) {
+            if (rng.chance(0.85)) {
+                const Addr addr = patternBase + (4ull << 21) +
+                    static_cast<Addr>(rng.zipf(sharedFootprint, 0.4)) *
+                        blockBytes;
+                const auto t = rng.chance(0.03) ? AccessType::Store
+                                                : AccessType::Load;
+                s.push_back(acc(t, addr, rng.below(p.maxGap + 1)));
+            } else {
+                const Addr addr = privBase +
+                    static_cast<Addr>(rng.below(privFootprint)) * blockBytes;
+                s.push_back(
+                    acc(AccessType::Store, addr, rng.below(p.maxGap + 1)));
+            }
+        }
+    }
+    return out;
+}
+
+TraceStreams
+randomMix(const PatternParams &p)
+{
+    Rng rng(p.seed);
+    // Concatenate random slices of each pattern (re-seeded per slice)
+    // and sprinkle uniform noise, including some ifetches.
+    TraceStreams out(p.numCores);
+    const auto &pats = allPatterns();
+    Counter produced = 0;
+    while (produced < p.accessesPerCore) {
+        PatternParams sub = p;
+        sub.seed = rng.next();
+        sub.accessesPerCore =
+            std::min<Counter>(p.accessesPerCore - produced,
+                              64 + rng.below(192));
+        // allPatterns() ends with randomMix itself; never recurse.
+        const auto &np = pats[rng.below(pats.size() - 1)];
+        TraceStreams slice = np.fn(sub);
+        for (unsigned c = 0; c < p.numCores; ++c)
+            out[c].insert(out[c].end(), slice[c].begin(), slice[c].end());
+        produced += sub.accessesPerCore;
+    }
+    // Noise: replace a fraction with uniform accesses / ifetches.
+    for (unsigned c = 0; c < p.numCores; ++c) {
+        for (auto &a : out[c]) {
+            if (rng.chance(0.1)) {
+                a.addr = patternBase + (3ull << 21) +
+                    rng.below(1024) * blockBytes;
+                a.type = rng.chance(0.3) ? AccessType::Ifetch
+                       : rng.chance(0.5) ? AccessType::Store
+                                         : AccessType::Load;
+            }
+        }
+    }
+    return out;
+}
+
+const std::vector<NamedPattern> &
+allPatterns()
+{
+    static const std::vector<NamedPattern> pats = {
+        {"false_sharing", &falseSharing},
+        {"migratory", &migratory},
+        {"producer_consumer", &producerConsumer},
+        {"set_conflict", &setConflict},
+        {"spill_pressure", &spillPressure},
+        {"random_mix", &randomMix}, // must stay last (randomMix skips it)
+    };
+    return pats;
+}
+
+} // namespace tinydir

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Coverage-oriented sharing-pattern generators for the fuzzer and the
+ * randomized property tests.
+ *
+ * Each generator produces complete per-core access streams exercising
+ * one class of coherence behavior that historically breaks trackers:
+ * false sharing (invalidation ping-pong), migratory data (E/M handoff
+ * chains), producer-consumer (owner forwards + downgrades), set
+ * conflicts (directory/LLC set pressure and back-invalidations), and
+ * spill pressure (footprints overflowing a tiny directory). randomMix
+ * interleaves slices of all of them plus uniform noise.
+ */
+
+#ifndef TINYDIR_ORACLE_PATTERNS_HH
+#define TINYDIR_ORACLE_PATTERNS_HH
+
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "core/trace.hh"
+
+namespace tinydir
+{
+
+/** Per-core access streams, outer index = core id. */
+using TraceStreams = std::vector<std::vector<TraceAccess>>;
+
+/** Shape parameters common to all pattern generators. */
+struct PatternParams
+{
+    unsigned numCores = 4;
+    Counter accessesPerCore = 1000;
+    std::uint64_t seed = 1;
+    Cycle maxGap = 8;
+};
+
+/** Cores hammering distinct words that map to shared hot blocks. */
+TraceStreams falseSharing(const PatternParams &p);
+
+/** Read-modify-write chains handing blocks from core to core. */
+TraceStreams migratory(const PatternParams &p);
+
+/** One writer per block group, the other cores polling it. */
+TraceStreams producerConsumer(const PatternParams &p);
+
+/** Addresses folded onto few cache/directory sets (conflict storms). */
+TraceStreams setConflict(const PatternParams &p);
+
+/** Wide footprint of exclusively owned blocks (directory overflow). */
+TraceStreams spillPressure(const PatternParams &p);
+
+/** Random interleaving of slices of all patterns plus uniform noise. */
+TraceStreams randomMix(const PatternParams &p);
+
+/** All generators, for iteration. */
+using PatternFn = TraceStreams (*)(const PatternParams &);
+struct NamedPattern
+{
+    const char *name;
+    PatternFn fn;
+};
+const std::vector<NamedPattern> &allPatterns();
+
+} // namespace tinydir
+
+#endif // TINYDIR_ORACLE_PATTERNS_HH

@@ -1,0 +1,279 @@
+#include "oracle/ref_model.hh"
+
+#include <sstream>
+
+namespace tinydir
+{
+
+namespace
+{
+
+std::string
+describeAccess(const AccessObservation &o)
+{
+    std::ostringstream os;
+    os << "core " << o.core << " " << toString(o.type) << " block 0x"
+       << std::hex << o.block << std::dec;
+    if (o.requested)
+        os << " [" << toString(o.req) << " -> " << toString(o.grant) << "]";
+    else
+        os << " [hit " << toString(o.privState) << "]";
+    return os.str();
+}
+
+} // namespace
+
+RefModel::RefModel(const SystemConfig &cfg)
+    : numCores(cfg.numCores), relaxGrant(cfg.sharerGrain > 1),
+      coarse(cfg.tracker == TrackerKind::Mgd)
+{
+}
+
+MesiState
+RefModel::holderState(CoreId core, Addr block) const
+{
+    auto li = lines.find(block);
+    if (li == lines.end())
+        return MesiState::I;
+    auto hi = li->second.holders.find(core);
+    return hi == li->second.holders.end() ? MesiState::I : hi->second;
+}
+
+bool
+RefModel::llcResident(Addr block) const
+{
+    auto li = lines.find(block);
+    return li != lines.end() && li->second.resident;
+}
+
+std::optional<OracleDivergence>
+RefModel::onAccess(const AccessObservation &o)
+{
+    Line &line = lineOf(o.block);
+    const MesiState st = holderState(o.core, o.block);
+
+    // Residency the engine saw at lookup: if this access's own
+    // fills/evictions already touched the block, use the journalled
+    // pre-event value instead of the current one.
+    auto ji = journal.find(o.block);
+    const bool residentAtLookup =
+        ji != journal.end() ? ji->second : line.resident;
+    journal.clear();
+
+    auto fail = [&](const char *rule, const std::string &why) {
+        return OracleDivergence{rule, why + " during " + describeAccess(o)};
+    };
+
+    ++tot.accesses;
+    switch (o.type) {
+      case AccessType::Load: ++tot.loads; break;
+      case AccessType::Store: ++tot.stores; break;
+      case AccessType::Ifetch: ++tot.ifetches; break;
+    }
+
+    // 1. Private-hierarchy presence and state must match the model.
+    if (o.privPresent != (st != MesiState::I))
+        return fail("priv.presence",
+                    "model holds " + toString(st) + ", engine saw " +
+                        (o.privPresent ? "a hit" : "a miss"));
+    if (o.privPresent && o.privState != st)
+        return fail("priv.state", "model holds " + toString(st) +
+                                      ", private hierarchy reported " +
+                                      toString(o.privState));
+
+    // 2. A home transaction must run exactly on miss or S-store.
+    const bool expectReq =
+        !o.privPresent || (o.type == AccessType::Store && st == MesiState::S);
+    if (o.requested != expectReq)
+        return fail(expectReq ? "req.missing" : "req.spurious",
+                    std::string("a home request was ") +
+                        (expectReq ? "required" : "not allowed"));
+
+    if (!o.requested) {
+        ++tot.privHits;
+        // Silent E->M on a store hit.
+        if (o.type == AccessType::Store && st == MesiState::E)
+            line.holders[o.core] = MesiState::M;
+        return std::nullopt;
+    }
+
+    // 3. The request type is determined by the local state + op.
+    ReqType want = ReqType::GetS;
+    if (o.privPresent)
+        want = ReqType::Upg;
+    else if (o.type == AccessType::Store)
+        want = ReqType::GetX;
+    else if (o.type == AccessType::Ifetch)
+        want = ReqType::GetSI;
+    if (o.req != want)
+        return fail("req.type", "expected " + toString(want) + ", engine sent " +
+                                    toString(o.req));
+
+    // 4. LLC residency at lookup time must agree with the model.
+    const bool sawEntry = o.pre != PreEntry::None;
+    if (sawEntry && !residentAtLookup)
+        return fail("llc.phantom-entry",
+                    "engine found an LLC data way the model evicted");
+    if (!sawEntry && residentAtLookup)
+        return fail("llc.lost-entry",
+                    "model expects a live LLC data way, engine found none");
+
+    // 5. The granted state must be coherent with the other holders.
+    unsigned others = 0;
+    bool otherExcl = false;
+    for (const auto &[c, hs] : line.holders) {
+        if (c == o.core)
+            continue;
+        ++others;
+        if (hs == MesiState::E || hs == MesiState::M)
+            otherExcl = true;
+    }
+
+    switch (o.req) {
+      case ReqType::Upg:
+      case ReqType::GetX:
+        if (o.grant != MesiState::M)
+            return fail("grant.store",
+                        "store must be granted M, got " + toString(o.grant));
+        break;
+      case ReqType::GetSI:
+        if (o.grant != MesiState::S)
+            return fail("grant.ifetch",
+                        "ifetch must be granted S, got " + toString(o.grant));
+        break;
+      case ReqType::GetS:
+        if (others == 0) {
+            // Unheld: exact tracking must grant E; coarse sharer
+            // vectors may conservatively believe sharers exist and
+            // grant S instead.
+            const bool ok = o.grant == MesiState::E ||
+                            (relaxGrant && o.grant == MesiState::S);
+            if (!ok)
+                return fail("grant.read",
+                            "read of an unheld block granted " +
+                                toString(o.grant));
+        } else {
+            if (o.grant != MesiState::S)
+                return fail("grant.read", "read of a held block granted " +
+                                              toString(o.grant) + " with " +
+                                              std::to_string(others) +
+                                              " other holder(s)");
+        }
+        break;
+    }
+
+    // 6. Counters.
+    if (o.req != ReqType::Upg && otherExcl)
+        ++tot.mustForward;
+    if (o.privPresent)
+        ++tot.upgrades;
+    else
+        ++tot.misses;
+
+    // 7. Apply the transaction to the model.
+    if (o.req == ReqType::Upg || o.req == ReqType::GetX) {
+        line.holders.clear();
+        line.holders[o.core] = MesiState::M;
+    } else if (o.grant == MesiState::S) {
+        // Any exclusive holder was downgraded by the forward.
+        for (auto &[c, hs] : line.holders)
+            if (hs == MesiState::E || hs == MesiState::M)
+                hs = MesiState::S;
+        line.holders[o.core] = MesiState::S;
+    } else {
+        line.holders[o.core] = o.grant;
+    }
+
+    return std::nullopt;
+}
+
+std::optional<OracleDivergence>
+RefModel::onNotice(CoreId core, Addr block, MesiState put)
+{
+    std::ostringstream os;
+    os << "core " << core << " Put" << toString(put) << " block 0x" << std::hex
+       << block << std::dec;
+
+    auto li = lines.find(block);
+    const MesiState st =
+        li == lines.end() ? MesiState::I : holderState(core, block);
+    if (st == MesiState::I)
+        return OracleDivergence{"notice.untracked",
+                                "eviction notice for a block the model does "
+                                "not hold: " +
+                                    os.str()};
+    if (st != put)
+        return OracleDivergence{"notice.state", "model holds " + toString(st) +
+                                                    ": " + os.str()};
+    li->second.holders.erase(core);
+    ++tot.notices;
+    return std::nullopt;
+}
+
+void
+RefModel::onBackInval(Addr block, const TrackState &ts)
+{
+    // Which cores the home believes it must invalidate is a policy
+    // decision (and, for coarse schemes, a superset); the model just
+    // applies it. Stale private copies that survive a wrong
+    // invalidation set are caught later by priv.presence / crossCheck.
+    auto li = lines.find(block);
+    if (li == lines.end())
+        return;
+    if (ts.exclusive()) {
+        li->second.holders.erase(ts.owner);
+    } else if (ts.shared()) {
+        ts.sharers.forEach([&](CoreId c) { li->second.holders.erase(c); });
+    }
+}
+
+std::optional<OracleDivergence>
+RefModel::onLlcFill(Addr block)
+{
+    Line &line = lineOf(block);
+    journal.emplace(block, line.resident); // keep first (pre-access) value
+    if (line.resident) {
+        std::ostringstream os;
+        os << "LLC fill of already-resident block 0x" << std::hex << block;
+        return OracleDivergence{"llc.double-fill", os.str()};
+    }
+    line.resident = true;
+    return std::nullopt;
+}
+
+std::optional<OracleDivergence>
+RefModel::onLlcEvict(Addr block)
+{
+    Line &line = lineOf(block);
+    journal.emplace(block, line.resident);
+    if (!line.resident) {
+        std::ostringstream os;
+        os << "LLC eviction of non-resident block 0x" << std::hex << block;
+        return OracleDivergence{"llc.evict-untracked", os.str()};
+    }
+    line.resident = false;
+    return std::nullopt;
+}
+
+std::optional<OracleDivergence>
+RefModel::selfCheck() const
+{
+    for (const auto &[block, line] : lines) {
+        unsigned excl = 0, shared = 0;
+        for (const auto &[c, st] : line.holders) {
+            if (st == MesiState::E || st == MesiState::M)
+                ++excl;
+            else if (st == MesiState::S)
+                ++shared;
+        }
+        if (excl > 1 || (excl > 0 && shared > 0)) {
+            std::ostringstream os;
+            os << "block 0x" << std::hex << block << std::dec << " has "
+               << excl << " exclusive and " << shared << " shared holders";
+            return OracleDivergence{"swmr", os.str()};
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace tinydir

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Scheme-independent reference model for differential testing.
+ *
+ * RefModel consumes the per-access event stream of proto/observe.hh
+ * and maintains its own copy of the protocol-mandated ground truth:
+ * the MESI state of every block in every core's private hierarchy and
+ * the set of blocks with a live LLC data way. It is deliberately
+ * simple — std::map of std::map, no banks, no sets, no replacement —
+ * so it shares no data structure or optimization with the engine and
+ * trackers it cross-checks (the whole point after the PR 3 hot-path
+ * rewrite).
+ *
+ * What is checked versus what is merely mirrored:
+ *
+ *  - Checked (protocol-mandated, scheme-independent): private-cache
+ *    hit/miss against the model's holder states; which request type a
+ *    miss/upgrade must issue; legality of the granted MESI state
+ *    (SWMR); eviction notices carrying the holder's true state; LLC
+ *    residency consistency (an access must see a data way exactly when
+ *    the model believes one is live); single-writer in the model's own
+ *    state (selfCheck); cumulative access/miss/upgrade/notice totals.
+ *
+ *  - Mirrored as nondeterministic inputs (timing/policy-dependent,
+ *    so no "expected" value exists): which blocks get capacity-evicted
+ *    (eviction notices), which blocks the schemes back-invalidate, and
+ *    which LLC ways are filled or evicted. The model applies them and
+ *    checks their *consequences* instead.
+ *
+ * Strictness is derived from the configuration: with sharerGrain > 1
+ * the sparse directory tracks a conservative superset of sharers, so
+ * a read of an unheld block may legally be granted S instead of E;
+ * MgD's region-grain entries produce phantom owner forwards, so the
+ * forward count is only a lower bound there.
+ */
+
+#ifndef TINYDIR_ORACLE_REF_MODEL_HH
+#define TINYDIR_ORACLE_REF_MODEL_HH
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "proto/mesi.hh"
+#include "proto/observe.hh"
+
+namespace tinydir
+{
+
+/** One rule violation found by the reference model. */
+struct OracleDivergence
+{
+    std::string rule;   //!< short dotted identifier, e.g. "grant.read"
+    std::string detail; //!< human-readable context
+};
+
+/** Cumulative scheme-independent totals (valid for warmup-free runs). */
+struct OracleTotals
+{
+    Counter accesses = 0;
+    Counter loads = 0;
+    Counter stores = 0;
+    Counter ifetches = 0;
+    Counter privHits = 0;
+    Counter misses = 0;
+    Counter upgrades = 0;
+    Counter notices = 0;
+    /** Requests that had to forward from an exclusive owner. */
+    Counter mustForward = 0;
+};
+
+/** The map-based reference simulator. */
+class RefModel
+{
+  public:
+    explicit RefModel(const SystemConfig &cfg);
+
+    // -- event intake (mirrors AccessObserver, returning violations) ----
+    std::optional<OracleDivergence> onAccess(const AccessObservation &o);
+    std::optional<OracleDivergence> onNotice(CoreId core, Addr block,
+                                             MesiState put);
+    void onBackInval(Addr block, const TrackState &ts);
+    std::optional<OracleDivergence> onLlcFill(Addr block);
+    std::optional<OracleDivergence> onLlcEvict(Addr block);
+
+    /** SWMR over the model's own holder map. */
+    std::optional<OracleDivergence> selfCheck() const;
+
+    /** Model's MESI state of @p block at @p core (I when absent). */
+    MesiState holderState(CoreId core, Addr block) const;
+
+    /** Whether the model believes @p block has a live LLC data way. */
+    bool llcResident(Addr block) const;
+
+    /** Visit every (block, core, state) holder triple. */
+    template <typename F>
+    void
+    forEachHolder(F &&f) const
+    {
+        for (const auto &[block, line] : lines)
+            for (const auto &[core, st] : line.holders)
+                f(block, core, st);
+    }
+
+    const OracleTotals &totals() const { return tot; }
+
+    /** Reads of unheld blocks may be granted S (coarse sharer grain). */
+    bool relaxedGrant() const { return relaxGrant; }
+    /** Owner-forward totals are a lower bound only (MgD phantoms). */
+    bool coarseOwner() const { return coarse; }
+
+  private:
+    struct Line
+    {
+        std::map<CoreId, MesiState> holders; //!< non-I states only
+        bool resident = false;               //!< live LLC data way
+    };
+
+    Line &lineOf(Addr block) { return lines[block]; }
+
+    std::map<Addr, Line> lines;
+
+    /**
+     * LLC residency before the first fill/evict of the in-flight
+     * access touched each block: the engine captures its PreEntry
+     * snapshot at lookup time, before its own fills/evictions, so the
+     * comparison must also use pre-access residency. Cleared by each
+     * onAccess.
+     */
+    std::map<Addr, bool> journal;
+
+    OracleTotals tot;
+    unsigned numCores;
+    bool relaxGrant;
+    bool coarse;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_ORACLE_REF_MODEL_HH

@@ -1,0 +1,131 @@
+#include "oracle/replay.hh"
+
+#include "common/sim_error.hh"
+#include "sim/system.hh"
+
+namespace tinydir
+{
+
+std::string
+toString(ReplayStatus s)
+{
+    switch (s) {
+      case ReplayStatus::Clean: return "clean";
+      case ReplayStatus::Diverged: return "diverged";
+      case ReplayStatus::EngineHalt: return "engine-halt";
+    }
+    return "?";
+}
+
+ReplayResult
+replayWithOracle(const ReplaySpec &spec)
+{
+    ReplayResult res;
+
+    System sys(spec.cfg);
+    OracleDiff diff(spec.cfg);
+    sys.setObserver(&diff);
+
+    const unsigned n = static_cast<unsigned>(spec.streams.size());
+    std::vector<std::size_t> idx(n, 0);
+
+    // A freshly planted fault is only guaranteed observable while the
+    // state it corrupted still exists (a dropped sharer can later
+    // evict its copy, silently healing the corruption). So the moment
+    // injection succeeds, probe the faulted block from every core —
+    // loads then stores, cross-checking after each — which forces any
+    // corruption of its tracking state to surface as a divergence or
+    // an engine panic.
+    auto probeFault = [&](Addr block) {
+        const Addr probeAddr = block << blockShift;
+        for (const AccessType t : {AccessType::Load, AccessType::Store}) {
+            for (CoreId c = 0; c < static_cast<CoreId>(n); ++c) {
+                TraceAccess a;
+                a.gap = 1;
+                a.type = t;
+                a.addr = probeAddr;
+                const Cycle issue = sys.cores[c].clock + a.gap;
+                sys.cores[c].clock = sys.executeAccess(c, a, issue);
+                ++res.accessesRun;
+                if (diff.diverged() || !diff.crossCheck(sys))
+                    return true;
+            }
+        }
+        return false;
+    };
+
+    Counter sinceCheck = 0;
+    try {
+        while (true) {
+            // Next access: smallest issue time, ties to the lower core
+            // (same rule as sim/driver.hh, so runs are reproducible).
+            CoreId pick = invalidCore;
+            Cycle best = 0;
+            for (CoreId c = 0; c < static_cast<CoreId>(n); ++c) {
+                if (idx[c] >= spec.streams[c].size())
+                    continue;
+                const Cycle issue =
+                    sys.cores[c].clock + spec.streams[c][idx[c]].gap;
+                if (pick == invalidCore || issue < best) {
+                    pick = c;
+                    best = issue;
+                }
+            }
+            if (pick == invalidCore)
+                break;
+
+            const TraceAccess &a = spec.streams[pick][idx[pick]++];
+            sys.cores[pick].clock = sys.executeAccess(pick, a, best);
+            ++res.accessesRun;
+
+            if (spec.inject && !res.injected) {
+                const FaultReport r = injectFault(sys, *spec.inject);
+                if (r.injected) {
+                    res.injected = true;
+                    res.faultBlock = r.block;
+                    res.faultNote = r.description;
+                    if (probeFault(r.block)) {
+                        res.status = ReplayStatus::Diverged;
+                        res.report = diff.report();
+                        return res;
+                    }
+                }
+            }
+
+            if (diff.diverged()) {
+                res.status = ReplayStatus::Diverged;
+                res.report = diff.report();
+                return res;
+            }
+
+            ++sinceCheck;
+            const bool due = res.injected ||
+                (spec.checkPeriod > 0 && sinceCheck >= spec.checkPeriod);
+            if (due) {
+                sinceCheck = 0;
+                if (!diff.crossCheck(sys)) {
+                    res.status = ReplayStatus::Diverged;
+                    res.report = diff.report();
+                    return res;
+                }
+            }
+        }
+
+        // End of trace: final cross-check, then (warmup-free replay)
+        // the cumulative counters.
+        if (!diff.crossCheck(sys) || !diff.checkTotals(sys.dump())) {
+            res.status = ReplayStatus::Diverged;
+            res.report = diff.report();
+            return res;
+        }
+    } catch (const SimError &e) {
+        res.status = ReplayStatus::EngineHalt;
+        res.haltMessage = e.what();
+        return res;
+    }
+
+    res.status = ReplayStatus::Clean;
+    return res;
+}
+
+} // namespace tinydir

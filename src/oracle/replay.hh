@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Trace replay under the differential oracle: run per-core access
+ * streams through a real System with an OracleDiff observer attached,
+ * optionally planting a verify/fault_inject.hh corruption mid-run, and
+ * report how the run ended. This is the single execution harness the
+ * fuzzer, the shrinker and the corpus-replay tests all share, so a
+ * minimized trace reproduces under exactly the machinery that found it.
+ */
+
+#ifndef TINYDIR_ORACLE_REPLAY_HH
+#define TINYDIR_ORACLE_REPLAY_HH
+
+#include <optional>
+#include <string>
+
+#include "common/config.hh"
+#include "oracle/diff.hh"
+#include "oracle/patterns.hh"
+#include "verify/fault_inject.hh"
+
+namespace tinydir
+{
+
+/** One oracle-checked replay job. */
+struct ReplaySpec
+{
+    SystemConfig cfg;
+    TraceStreams streams;
+
+    /**
+     * Cross-check the private hierarchies against the model every this
+     * many accesses (0 = only at the end). After a fault injects, the
+     * cadence drops to every access so detection is as early as
+     * possible.
+     */
+    Counter checkPeriod = 256;
+
+    /**
+     * Corruption to plant: after each access, injection is attempted
+     * until a block eligible for this fault class exists. Keeping the
+     * attempt-every-access rule makes injection stable under trace
+     * minimization (the shrinker never has to hit an exact index).
+     */
+    std::optional<FaultKind> inject;
+};
+
+/** How an oracle-checked replay ended. */
+enum class ReplayStatus
+{
+    Clean,      //!< ran to completion, oracle fully satisfied
+    Diverged,   //!< the oracle caught a divergence
+    EngineHalt, //!< the engine itself panicked (SimError)
+};
+
+std::string toString(ReplayStatus s);
+
+/** Outcome of replayWithOracle(). */
+struct ReplayResult
+{
+    ReplayStatus status = ReplayStatus::Clean;
+    DivergenceReport report;  //!< populated when status == Diverged
+    std::string haltMessage;  //!< populated when status == EngineHalt
+    bool injected = false;    //!< a requested fault was actually planted
+    Addr faultBlock = invalidAddr;
+    std::string faultNote;    //!< injector's description
+    Counter accessesRun = 0;
+
+    /** Replay failed (by divergence or halt). */
+    bool failed() const { return status != ReplayStatus::Clean; }
+};
+
+/** Execute @p spec and return how it ended. */
+ReplayResult replayWithOracle(const ReplaySpec &spec);
+
+} // namespace tinydir
+
+#endif // TINYDIR_ORACLE_REPLAY_HH

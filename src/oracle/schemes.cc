@@ -1,0 +1,64 @@
+#include "oracle/schemes.hh"
+
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+const std::vector<FuzzScheme> &
+fuzzSchemes()
+{
+    static const std::vector<FuzzScheme> schemes = {
+        {"sparse2x", TrackerKind::SparseDir, 2.0},
+        {"sparse2x_skew", TrackerKind::SparseDir, 2.0, false, true},
+        {"sparse2x_grain4", TrackerKind::SparseDir, 2.0, false, false, 4},
+        {"sparse16th", TrackerKind::SparseDir, 1.0 / 16},
+        {"sharedonly", TrackerKind::SharedOnlyDir, 1.0 / 64},
+        {"tagext", TrackerKind::InLlcTagExtended, 2.0},
+        {"inllc", TrackerKind::InLlc, 2.0},
+        {"tiny32", TrackerKind::TinyDir, 1.0 / 32},
+        {"tiny32spill", TrackerKind::TinyDir, 1.0 / 32, true},
+        {"tiny64skew", TrackerKind::TinyDir, 1.0 / 64, false, true},
+        {"tiny256spill", TrackerKind::TinyDir, 1.0 / 256, true},
+        {"mgd", TrackerKind::Mgd, 1.0 / 8, false, true},
+        {"stash", TrackerKind::Stash, 1.0 / 32},
+    };
+    return schemes;
+}
+
+const FuzzScheme *
+findFuzzScheme(const std::string &label)
+{
+    for (const auto &s : fuzzSchemes())
+        if (label == s.label)
+            return &s;
+    return nullptr;
+}
+
+SystemConfig
+makeFuzzConfig(const FuzzScheme &s, unsigned cores, std::uint64_t seed,
+               bool tinyCaches)
+{
+    SystemConfig cfg = SystemConfig::scaled(cores);
+    cfg.seed = seed;
+    cfg.tracker = s.kind;
+    cfg.dirSizeFactor = s.factor;
+    cfg.tinySpill = s.spill;
+    cfg.dirSkewed = s.skew || s.kind == TrackerKind::Mgd;
+    // A grain wider than the machine is rejected by validate(); clamp
+    // so the coarse-grain scheme stays usable at 2-core fuzz configs.
+    cfg.sharerGrain = s.grain > cores ? cores : s.grain;
+    // Skew-associative slices are modeled as a 4-way ZCache (and MgD
+    // always uses that organization) — config.cc enforces the pairing.
+    if (cfg.dirSkewed)
+        cfg.dirAssoc = 4;
+    if (tinyCaches) {
+        cfg.l1Bytes = 8 * 2 * blockBytes;
+        cfg.l1Assoc = 2;
+        cfg.l2Bytes = 16 * 2 * blockBytes;
+        cfg.l2Assoc = 2;
+    }
+    return cfg;
+}
+
+} // namespace tinydir

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The scheme/configuration matrix the differential-testing harness
+ * sweeps: every tracker kind at representative sizes (tiny 1/32x to
+ * 1/256x), spill on/off, skewed on/off, and a coarse sharer grain —
+ * shared by the fuzzer (tools/fuzz_traces.cc), the randomized property
+ * tests and the corpus generator so they all speak the same labels.
+ */
+
+#ifndef TINYDIR_ORACLE_SCHEMES_HH
+#define TINYDIR_ORACLE_SCHEMES_HH
+
+#include <vector>
+
+#include "common/config.hh"
+
+namespace tinydir
+{
+
+/** One fuzzable tracking configuration. */
+struct FuzzScheme
+{
+    const char *label;
+    TrackerKind kind;
+    double factor;      //!< dirSizeFactor
+    bool spill = false;
+    bool skew = false;
+    unsigned grain = 1; //!< sharerGrain
+};
+
+/** The whole matrix (labels are unique). */
+const std::vector<FuzzScheme> &fuzzSchemes();
+
+/** Find a scheme by label; nullptr when unknown. */
+const FuzzScheme *findFuzzScheme(const std::string &label);
+
+/**
+ * Materialize @p s for @p cores cores. @p tinyCaches shrinks the
+ * private hierarchy to a few dozen blocks so eviction notices and
+ * directory pressure appear within short fuzz traces.
+ */
+SystemConfig makeFuzzConfig(const FuzzScheme &s, unsigned cores,
+                            std::uint64_t seed, bool tinyCaches = true);
+
+} // namespace tinydir
+
+#endif // TINYDIR_ORACLE_SCHEMES_HH

@@ -1,0 +1,107 @@
+#include "oracle/shrink.hh"
+
+#include <algorithm>
+
+namespace tinydir
+{
+
+FlatTrace
+flattenStreams(const TraceStreams &streams)
+{
+    FlatTrace flat;
+    std::size_t total = 0;
+    for (const auto &s : streams)
+        total += s.size();
+    flat.reserve(total);
+
+    std::vector<std::size_t> idx(streams.size(), 0);
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (CoreId c = 0; c < static_cast<CoreId>(streams.size()); ++c) {
+            if (idx[c] < streams[c].size()) {
+                flat.emplace_back(c, streams[c][idx[c]++]);
+                progressed = true;
+            }
+        }
+    }
+    return flat;
+}
+
+TraceStreams
+unflattenTrace(const FlatTrace &flat, unsigned numCores)
+{
+    TraceStreams streams(numCores);
+    for (const auto &[c, a] : flat)
+        streams[c].push_back(a);
+    return streams;
+}
+
+ShrinkResult
+shrinkTrace(const TraceStreams &streams, unsigned numCores,
+            const std::function<bool(const TraceStreams &)> &failsOn,
+            Counter maxRuns)
+{
+    FlatTrace current = flattenStreams(streams);
+
+    ShrinkResult res;
+    res.originalAccesses = current.size();
+
+    auto stillFails = [&](const FlatTrace &cand) {
+        ++res.predicateRuns;
+        return failsOn(unflattenTrace(cand, numCores));
+    };
+
+    // Classic ddmin: partition into n chunks; try each chunk's
+    // complement (drop one chunk). On success restart with the smaller
+    // trace; otherwise refine the partition. Done when chunks are
+    // single accesses and none can be dropped.
+    std::size_t chunks = 2;
+    while (current.size() >= 2 && chunks <= current.size()) {
+        if (res.predicateRuns >= maxRuns) {
+            res.exhausted = true;
+            break;
+        }
+
+        const std::size_t len = current.size();
+        const std::size_t chunkLen = (len + chunks - 1) / chunks;
+        bool reduced = false;
+
+        for (std::size_t start = 0; start < len; start += chunkLen) {
+            if (res.predicateRuns >= maxRuns) {
+                res.exhausted = true;
+                break;
+            }
+            const std::size_t end = std::min(start + chunkLen, len);
+
+            FlatTrace cand;
+            cand.reserve(len - (end - start));
+            cand.insert(cand.end(), current.begin(),
+                        current.begin() + static_cast<std::ptrdiff_t>(start));
+            cand.insert(cand.end(),
+                        current.begin() + static_cast<std::ptrdiff_t>(end),
+                        current.end());
+
+            if (!cand.empty() && stillFails(cand)) {
+                current = std::move(cand);
+                chunks = std::max<std::size_t>(2, chunks - 1);
+                reduced = true;
+                break;
+            }
+        }
+
+        if (res.exhausted)
+            break;
+        if (!reduced) {
+            if (chunks >= current.size())
+                break; // 1-minimal
+            chunks = std::min(current.size(), chunks * 2);
+        }
+    }
+
+    res.finalAccesses = current.size();
+    res.streams = unflattenTrace(current, numCores);
+    return res;
+}
+
+} // namespace tinydir

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Failing-trace minimization by delta debugging.
+ *
+ * The shrinker flattens per-core streams into one (core, access) list
+ * that preserves each core's program order, then runs classic ddmin
+ * (Zeller & Hildebrandt): try removing chunks of decreasing size,
+ * keeping any removal under which the caller's predicate still fails,
+ * until removing any single access makes the failure disappear. The
+ * result is a 1-minimal trace — usually a handful of accesses that
+ * tell the whole story of the bug.
+ *
+ * The predicate is opaque (typically "replayWithOracle() still
+ * reports the same divergence rule"), so the same shrinker serves
+ * fuzzer counterexamples and injected-fault repros alike.
+ */
+
+#ifndef TINYDIR_ORACLE_SHRINK_HH
+#define TINYDIR_ORACLE_SHRINK_HH
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "core/trace.hh"
+#include "oracle/patterns.hh"
+
+namespace tinydir
+{
+
+/** Interleaved trace: per-core order is preserved, cores round-robin. */
+using FlatTrace = std::vector<std::pair<CoreId, TraceAccess>>;
+
+/** Flatten per-core streams round-robin (stable per-core order). */
+FlatTrace flattenStreams(const TraceStreams &streams);
+
+/** Rebuild per-core streams (always @p numCores entries). */
+TraceStreams unflattenTrace(const FlatTrace &flat, unsigned numCores);
+
+/** Minimization outcome. */
+struct ShrinkResult
+{
+    TraceStreams streams;     //!< smallest failing trace found
+    Counter originalAccesses = 0;
+    Counter finalAccesses = 0;
+    Counter predicateRuns = 0;
+    bool exhausted = false;   //!< stopped because maxRuns was hit
+};
+
+/**
+ * Minimize @p streams with ddmin.
+ * @param failsOn must return true when the candidate trace still
+ *        exhibits the failure being chased. It is assumed to hold for
+ *        @p streams itself (callers check before shrinking).
+ * @param maxRuns hard cap on predicate evaluations (each one replays
+ *        a whole system); the best trace so far is returned when hit.
+ */
+ShrinkResult
+shrinkTrace(const TraceStreams &streams, unsigned numCores,
+            const std::function<bool(const TraceStreams &)> &failsOn,
+            Counter maxRuns = 2000);
+
+} // namespace tinydir
+
+#endif // TINYDIR_ORACLE_SHRINK_HH

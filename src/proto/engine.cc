@@ -62,6 +62,8 @@ Engine::ensureLlcData(Llc::Loc loc, Addr block, Cycle t)
     e->dirty = false;
     e->meta = LlcMeta::Normal;
     ++stats.llcFills;
+    if (observer)
+        observer->onLlcFill(block);
     return e;
 }
 
@@ -71,6 +73,7 @@ Engine::processVictim(const LlcEntry &victim, Cycle t)
     switch (victim.meta) {
       case LlcMeta::Normal:
         llc.noteDeath(victim);
+        noteLlcDataDeath(victim.tag);
         if (victim.dirty)
             writebackToMemory(victim.tag, t);
         tracker->onLlcDataVictim(victim, *this);
@@ -78,6 +81,7 @@ Engine::processVictim(const LlcEntry &victim, Cycle t)
       case LlcMeta::CorruptExcl:
       case LlcMeta::CorruptShared:
         llc.noteDeath(victim);
+        noteLlcDataDeath(victim.tag);
         // Reconstruction and back-invalidation are the tracker's
         // business; the pre-corruption dirtiness still needs to reach
         // memory because the tag dies.
@@ -102,6 +106,8 @@ Engine::backInvalidateTo(Addr block, const TrackState &ts, DirtyDest dest)
 {
     if (ts.invalid())
         return;
+    if (observer)
+        observer->onBackInval(block, ts);
     ++stats.backInvals;
     bool dirty = false;
     auto inval_one = [&](CoreId s) {
@@ -229,6 +235,8 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
     }
 
     RequestResult res;
+    res.pre = !data ? PreEntry::None
+        : data->isCorrupt() ? PreEntry::Corrupt : PreEntry::Normal;
     TrackState ns;
     bool missed = false;
 
@@ -242,6 +250,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                 bankService(home, arrival, tag_lat + data_lat);
             res.done = start + tag_lat + data_lat +
                 mesh.latency(home_node, req_node);
+            res.src = DataSource::Llc;
         } else {
             missed = true;
             ++stats.llcDataMisses;
@@ -251,6 +260,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
             data = ensureLlcData(loc, block, back);
             ++data->stats.otherAccesses;
             res.done = back + data_lat + mesh.latency(home_node, req_node);
+            res.src = DataSource::Dram;
         }
         stats.traffic.add(MsgClass::Processor, dataBytes); // response
         if (type == ReqType::GetSI) {
@@ -296,6 +306,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
             if (data && !data->isCorrupt()) {
                 res.done = back + data_lat +
                     mesh.latency(home_node, req_node);
+                res.src = DataSource::Llc;
             } else {
                 missed = true;
                 ++stats.llcDataMisses;
@@ -303,6 +314,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                 data = ensureLlcData(loc, block, ret);
                 res.done = ret + data_lat +
                     mesh.latency(home_node, req_node);
+                res.src = DataSource::Dram;
             }
             stats.traffic.add(MsgClass::Processor, dataBytes);
             if (type == ReqType::GetSI) {
@@ -321,6 +333,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
         const Cycle at_owner = fwd_at + mesh.latency(home_node, o) +
             cfg.l2Latency;
         res.done = at_owner + mesh.latency(nodeOfCore(o), req_node);
+        res.src = DataSource::Owner;
         stats.traffic.add(MsgClass::Processor, dataBytes); // owner->req
         stats.traffic.add(MsgClass::Coherence, ctrlBytes); // busy-clear
         busyUntil[block] =
@@ -378,6 +391,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                     cfg.l2Latency;
                 res.done = at_sharer +
                     mesh.latency(nodeOfCore(s), req_node);
+                res.src = DataSource::Sharer;
                 busyUntil[block] = at_sharer +
                     mesh.latency(nodeOfCore(s), home_node);
                 stats.traffic.add(MsgClass::Coherence, ctrlBytes); // fwd
@@ -401,6 +415,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                     const Cycle start = bankService(home, arrival, occ);
                     res.done = start + tag_lat + data_lat + bcast_extra +
                         mesh.latency(home_node, req_node);
+                    res.src = DataSource::Llc;
                 } else {
                     missed = true;
                     ++stats.llcDataMisses;
@@ -413,6 +428,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                     ++data->stats.straReads;
                     res.done = back + data_lat +
                         mesh.latency(home_node, req_node);
+                    res.src = DataSource::Dram;
                 }
                 stats.traffic.add(MsgClass::Processor, dataBytes);
             }
@@ -457,11 +473,14 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
             });
             stats.invalidations += count;
             Cycle data_path = 0;
+            if (data_sharer != invalidCore)
+                res.src = DataSource::Sharer;
             if (!upg && data_sharer == invalidCore) {
                 if (data && !data->isCorrupt()) {
                     data_path = data_lat +
                         mesh.latency(home_node, req_node);
                     stats.traffic.add(MsgClass::Processor, dataBytes);
+                    res.src = DataSource::Llc;
                 } else {
                     missed = true;
                     ++stats.llcDataMisses;
@@ -471,6 +490,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                     data_path = (back - ready) + data_lat +
                         mesh.latency(home_node, req_node);
                     stats.traffic.add(MsgClass::Processor, dataBytes);
+                    res.src = DataSource::Dram;
                 }
             } else if (upg) {
                 stats.traffic.add(MsgClass::Processor, ctrlBytes); // ack

@@ -33,6 +33,7 @@
 #include "mem/dram.hh"
 #include "noc/mesh.hh"
 #include "noc/traffic.hh"
+#include "proto/observe.hh"
 #include "proto/tracker.hh"
 
 namespace tinydir
@@ -96,6 +97,8 @@ struct RequestResult
 {
     Cycle done = 0;        //!< absolute completion time at requester
     MesiState grant = MesiState::I; //!< state granted to requester
+    DataSource src = DataSource::None; //!< who supplied the data
+    PreEntry pre = PreEntry::None; //!< LLC data-way status at lookup
 };
 
 /** Where retrieved dirty data goes on a back-invalidation. */
@@ -117,6 +120,13 @@ class Engine : public EngineOps
     void setTracker(CoherenceTracker *t) { tracker = t; }
     CoherenceTracker *getTracker() { return tracker; }
 
+    /**
+     * Install (or remove, with nullptr) the per-access observer fed by
+     * LLC fill/evict and back-invalidation events. System::setObserver
+     * wires this together with the access-level events.
+     */
+    void setObserver(AccessObserver *o) { observer = o; }
+
     /** Process a private-hierarchy miss or upgrade. */
     RequestResult request(CoreId c, Addr block, ReqType type, Cycle t0);
 
@@ -129,6 +139,13 @@ class Engine : public EngineOps
     void addTraffic(MsgClass cls, unsigned bytes,
                     Counter count = 1) override;
     Cycle now() const override { return curTime; }
+
+    void
+    noteLlcDataDeath(Addr block) override
+    {
+        if (observer)
+            observer->onLlcEvict(block);
+    }
 
     /** backInvalidate with explicit dirty-data destination. */
     void backInvalidateTo(Addr block, const TrackState &ts,
@@ -171,6 +188,7 @@ class Engine : public EngineOps
     Dram &dram;
     std::vector<PrivateCache> &privs;
     CoherenceTracker *tracker = nullptr;
+    AccessObserver *observer = nullptr;
 
     /**
      * Blocks with an outstanding three-hop forward. Entries are

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Per-access observation interface for differential testing.
+ *
+ * The engine and system expose the externally visible outcome of
+ * every transaction — priv-cache hit state, request type, granted
+ * MESI state, where the data came from, eviction notices, back-
+ * invalidations, LLC data fills/evictions — through an optional
+ * AccessObserver. The reference model (src/oracle) consumes exactly
+ * this event stream and nothing else, so it stays independent of the
+ * tracking schemes' data structures.
+ *
+ * All hooks are null-checked at the emission sites: with no observer
+ * installed the per-access cost is a handful of predictable branches,
+ * keeping the PR 3 hot path intact (bench_perf_smoke guards this).
+ */
+
+#ifndef TINYDIR_PROTO_OBSERVE_HH
+#define TINYDIR_PROTO_OBSERVE_HH
+
+#include "common/types.hh"
+#include "proto/mesi.hh"
+
+namespace tinydir
+{
+
+/** Who supplied the data (or acks) for a home transaction. */
+enum class DataSource : std::uint8_t
+{
+    None,   //!< no data movement (pure upgrade)
+    Llc,    //!< served from a usable LLC data way
+    Dram,   //!< fetched from memory
+    Owner,  //!< forwarded by the exclusive owner
+    Sharer, //!< forwarded by an elected sharer (lengthened path)
+};
+
+/** LLC data-way status for the block when the transaction started. */
+enum class PreEntry : std::uint8_t
+{
+    None,    //!< no data way for the tag
+    Normal,  //!< usable data way (V=1)
+    Corrupt, //!< data way borrowed for coherence bits (V=0,D=1)
+};
+
+/** Externally visible outcome of one core access. */
+struct AccessObservation
+{
+    CoreId core = invalidCore;
+    Addr block = 0;
+    AccessType type = AccessType::Load;
+
+    bool privPresent = false;          //!< hit in the private hierarchy
+    MesiState privState = MesiState::I; //!< private state at lookup
+
+    bool requested = false;            //!< a home transaction ran
+    ReqType req = ReqType::GetS;
+    MesiState grant = MesiState::I;    //!< state granted (when requested)
+    DataSource src = DataSource::None;
+    PreEntry pre = PreEntry::None;
+
+    Cycle issue = 0;
+    Cycle done = 0;
+};
+
+/**
+ * Receiver of the per-access event stream. Events arrive in execution
+ * order; the hooks fired during one executeAccess (notices, fills,
+ * evictions, back-invalidations) all precede its final onAccess.
+ */
+class AccessObserver
+{
+  public:
+    virtual ~AccessObserver() = default;
+
+    /** One core access completed (summary of the whole transaction). */
+    virtual void onAccess(const AccessObservation &obs) = 0;
+
+    /** A core evicted @p block, sending Put@p put to the home. */
+    virtual void onNotice(CoreId core, Addr block, MesiState put) = 0;
+
+    /** The home back-invalidated @p block per tracked state @p ts. */
+    virtual void onBackInval(Addr block, const TrackState &ts) = 0;
+
+    /** A usable LLC data way was allocated for @p block. */
+    virtual void onLlcFill(Addr block) = 0;
+
+    /** The LLC data way of @p block died (Normal or Corrupt victim). */
+    virtual void onLlcEvict(Addr block) = 0;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_PROTO_OBSERVE_HH

@@ -247,6 +247,7 @@ TinyDirTracker::trySpill(Addr block, const TrackState &ns,
             onLlcSpillVictim(v, ops);
         } else {
             llc.noteDeath(v);
+            ops.noteLlcDataDeath(v.tag);
             if (v.isCorrupt()) {
                 onLlcDataVictim(v, ops);
             }

@@ -74,6 +74,14 @@ class EngineOps
 
     /** Current simulated time. */
     virtual Cycle now() const = 0;
+
+    /**
+     * A tracker dispatched an LLC data victim itself (spill-allocation
+     * evictions, which bypass the engine's processVictim). The engine
+     * relays this to the installed AccessObserver so the differential
+     * oracle's LLC residency model sees every data-entry death.
+     */
+    virtual void noteLlcDataDeath(Addr block) { (void)block; }
 };
 
 /** Request context passed to tracker updates. */

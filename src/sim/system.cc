@@ -82,6 +82,8 @@ System::processNotices(CoreId c, const NoticeVec &notices, Cycle t)
 {
     for (const auto &n : notices) {
         noteTxn({t, c, n.block, ReqType::GetS, true, n.state});
+        if (observer)
+            observer->onNotice(c, n.block, n.state);
         engine.evictionNotice(c, n.block, n.state, t);
     }
 }
@@ -103,17 +105,53 @@ System::executeAccess(CoreId c, const TraceAccess &acc, Cycle issue)
     if (!noticeScratch.empty())
         processNotices(c, noticeScratch, issue);
 
+    // Observer emissions: completions of purely local accesses and of
+    // home transactions. Cold lambdas; with no observer installed the
+    // only cost on the access path is the null checks below.
+    auto emitLocal = [&](MesiState st, Cycle done) {
+        AccessObservation o;
+        o.core = c;
+        o.block = block;
+        o.type = acc.type;
+        o.privPresent = true;
+        o.privState = st;
+        o.issue = issue;
+        o.done = done;
+        observer->onAccess(o);
+    };
+    auto emitReq = [&](bool present, MesiState st, ReqType rt,
+                       const RequestResult &rr) {
+        AccessObservation o;
+        o.core = c;
+        o.block = block;
+        o.type = acc.type;
+        o.privPresent = present;
+        o.privState = st;
+        o.requested = true;
+        o.req = rt;
+        o.grant = rr.grant;
+        o.src = rr.src;
+        o.pre = rr.pre;
+        o.issue = issue;
+        o.done = rr.done;
+        observer->onAccess(o);
+    };
+
     if (ar.present) {
         if (acc.type == AccessType::Store) {
             switch (ar.state) {
               case MesiState::M:
                 ++core.privHits;
+                if (observer)
+                    emitLocal(MesiState::M, issue + ar.latency);
                 return issue + ar.latency;
               case MesiState::E:
                 // Silent E->M upgrade; the home keeps seeing
                 // "exclusively owned".
                 privs[c].setState(block, MesiState::M);
                 ++core.privHits;
+                if (observer)
+                    emitLocal(MesiState::E, issue + ar.latency);
                 return issue + ar.latency;
               case MesiState::S: {
                 ++core.upgrades;
@@ -122,6 +160,8 @@ System::executeAccess(CoreId c, const TraceAccess &acc, Cycle issue)
                 auto rr = engine.request(c, block, ReqType::Upg,
                                          issue + ar.latency);
                 privs[c].setState(block, MesiState::M);
+                if (observer)
+                    emitReq(true, MesiState::S, ReqType::Upg, rr);
                 return rr.done;
               }
               default:
@@ -129,6 +169,8 @@ System::executeAccess(CoreId c, const TraceAccess &acc, Cycle issue)
             }
         }
         ++core.privHits;
+        if (observer)
+            emitLocal(ar.state, issue + ar.latency);
         return issue + ar.latency;
     }
 
@@ -145,6 +187,8 @@ System::executeAccess(CoreId c, const TraceAccess &acc, Cycle issue)
     privs[c].fill(block, rr.grant, acc.type, noticeScratch);
     if (!noticeScratch.empty())
         processNotices(c, noticeScratch, rr.done);
+    if (observer)
+        emitReq(false, MesiState::I, rt, rr);
     return rr.done;
 }
 

@@ -74,6 +74,19 @@ class System
     StatsDump dump() const;
 
     /**
+     * Install (or remove, with nullptr) a per-access observer fed with
+     * every externally visible protocol event (proto/observe.hh). The
+     * differential oracle (src/oracle) attaches here; with no observer
+     * the access path is unchanged.
+     */
+    void
+    setObserver(AccessObserver *o)
+    {
+        observer = o;
+        engine.setObserver(o);
+    }
+
+    /**
      * Verify global coherence invariants against the ground truth of
      * the private hierarchies: single-owner for E/M, exact sharer
      * sets, and no untracked cached blocks (modulo the coarse-grain
@@ -108,6 +121,9 @@ class System
 
     /** Reusable eviction-notice scratch; keeps accesses heap-free. */
     NoticeVec noticeScratch;
+
+    /** Optional per-access event sink (null on the plain hot path). */
+    AccessObserver *observer = nullptr;
 
     /** Clock value at the last resetStats() (warmup boundary). */
     Cycle statsBaseCycle = 0;

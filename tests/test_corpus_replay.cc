@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Replays every checked-in corpus case (tests/corpus/*.meta) under the
+ * differential oracle and verifies its recorded expectation: `clean`
+ * cases must pass the oracle end to end, `detected` cases (minimized
+ * fault-injection repros) must still be caught. The corpus directory
+ * is baked in as TINYDIR_CORPUS_DIR by tests/CMakeLists.txt.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "oracle/corpus.hh"
+#include "oracle/replay.hh"
+
+using namespace tinydir;
+
+#ifndef TINYDIR_CORPUS_DIR
+#error "TINYDIR_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace
+{
+
+std::vector<std::string>
+corpusMetas()
+{
+    return listCorpusCases(TINYDIR_CORPUS_DIR);
+}
+
+class CorpusReplay : public ::testing::TestWithParam<std::string>
+{
+};
+
+} // namespace
+
+TEST(CorpusReplayList, CorpusIsNotEmpty)
+{
+    // An empty list would make the parameterized suite vacuously pass;
+    // the seed corpus (committed by tools/fuzz_traces
+    // --emit-seed-corpus) must contain both case flavors.
+    const auto metas = corpusMetas();
+    ASSERT_FALSE(metas.empty())
+        << "no .meta files in " << TINYDIR_CORPUS_DIR;
+    bool anyClean = false, anyDetected = false;
+    for (const auto &m : metas) {
+        const CorpusCase c = loadCorpusCase(m);
+        anyClean |= c.expect == CorpusExpect::Clean;
+        anyDetected |= c.expect == CorpusExpect::Detected;
+    }
+    EXPECT_TRUE(anyClean);
+    EXPECT_TRUE(anyDetected);
+}
+
+TEST_P(CorpusReplay, CaseMatchesRecordedExpectation)
+{
+    const CorpusCase c = loadCorpusCase(GetParam());
+    const ReplayResult r = replayWithOracle(c.spec);
+
+    if (c.expect == CorpusExpect::Clean) {
+        EXPECT_EQ(r.status, ReplayStatus::Clean)
+            << c.name << ":\n" << r.report.describe() << r.haltMessage;
+    } else {
+        if (c.spec.inject) {
+            ASSERT_TRUE(r.injected)
+                << c.name << ": recorded fault no longer injectable";
+        }
+        EXPECT_TRUE(r.failed())
+            << c.name << ": previously detected divergence now silent"
+            << " (rule was " << c.rule << ")";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCases, CorpusReplay, ::testing::ValuesIn(corpusMetas()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = loadCorpusCase(info.param).name;
+        for (char &ch : name) {
+            if (!(std::isalnum(static_cast<unsigned char>(ch))))
+                ch = '_';
+        }
+        return name;
+    });

@@ -1,0 +1,409 @@
+/**
+ * @file
+ * Tests of the differential oracle (src/oracle): reference-model unit
+ * checks on scripted event streams, clean engine-vs-oracle agreement
+ * on every sharing pattern and scheme, oracle detection of every
+ * fault_inject corruption class, and the ddmin trace shrinker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "oracle/corpus.hh"
+#include "oracle/patterns.hh"
+#include "oracle/ref_model.hh"
+#include "oracle/replay.hh"
+#include "oracle/schemes.hh"
+#include "oracle/shrink.hh"
+#include "test_util.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+SystemConfig
+refCfg()
+{
+    return makeFuzzConfig(*findFuzzScheme("sparse2x"), 4, 1);
+}
+
+AccessObservation
+obs(CoreId core, Addr block, AccessType type)
+{
+    AccessObservation o;
+    o.core = core;
+    o.block = block;
+    o.type = type;
+    return o;
+}
+
+/** A load miss of an unheld block: GetS granted E from DRAM. */
+AccessObservation
+coldLoad(CoreId core, Addr block)
+{
+    AccessObservation o = obs(core, block, AccessType::Load);
+    o.requested = true;
+    o.req = ReqType::GetS;
+    o.grant = MesiState::E;
+    o.src = DataSource::Dram;
+    return o;
+}
+
+} // namespace
+
+TEST(RefModel, AcceptsLegalColdMissAndHit)
+{
+    RefModel m(refCfg());
+    EXPECT_FALSE(m.onLlcFill(5).has_value());
+    EXPECT_FALSE(m.onAccess(coldLoad(0, 5)).has_value());
+    EXPECT_EQ(m.holderState(0, 5), MesiState::E);
+    EXPECT_TRUE(m.llcResident(5));
+
+    AccessObservation hit = obs(0, 5, AccessType::Load);
+    hit.privPresent = true;
+    hit.privState = MesiState::E;
+    EXPECT_FALSE(m.onAccess(hit).has_value());
+    EXPECT_EQ(m.totals().privHits, 1u);
+    EXPECT_EQ(m.totals().misses, 1u);
+}
+
+TEST(RefModel, SilentUpgradeOnStoreHitToExclusive)
+{
+    RefModel m(refCfg());
+    ASSERT_FALSE(m.onAccess(coldLoad(0, 5)).has_value());
+
+    AccessObservation st = obs(0, 5, AccessType::Store);
+    st.privPresent = true;
+    st.privState = MesiState::E;
+    EXPECT_FALSE(m.onAccess(st).has_value());
+    EXPECT_EQ(m.holderState(0, 5), MesiState::M);
+}
+
+TEST(RefModel, FlagsPhantomHit)
+{
+    RefModel m(refCfg());
+    AccessObservation hit = obs(0, 5, AccessType::Load);
+    hit.privPresent = true;
+    hit.privState = MesiState::S;
+    const auto d = m.onAccess(hit);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->rule, "priv.presence");
+}
+
+TEST(RefModel, FlagsIllegalExclusiveGrantWhileShared)
+{
+    RefModel m(refCfg());
+    ASSERT_FALSE(m.onAccess(coldLoad(0, 5)).has_value());
+
+    // Core 1 reads the same block but is (illegally) granted E.
+    AccessObservation bad = coldLoad(1, 5);
+    const auto d = m.onAccess(bad);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->rule, "grant.read");
+}
+
+TEST(RefModel, RelaxedGrainAcceptsConservativeSharedGrant)
+{
+    SystemConfig cfg = makeFuzzConfig(*findFuzzScheme("sparse2x_grain4"),
+                                      4, 1);
+    RefModel m(cfg);
+    ASSERT_TRUE(m.relaxedGrant());
+    AccessObservation o = coldLoad(0, 5);
+    o.grant = MesiState::S; // coarse grain may believe sharers exist
+    EXPECT_FALSE(m.onAccess(o).has_value());
+
+    RefModel strict(refCfg());
+    const auto d = strict.onAccess(o);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->rule, "grant.read");
+}
+
+TEST(RefModel, FlagsWrongRequestType)
+{
+    RefModel m(refCfg());
+    AccessObservation o = coldLoad(0, 5);
+    o.type = AccessType::Store; // store miss must be GetX, not GetS
+    const auto d = m.onAccess(o);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->rule, "req.type");
+}
+
+TEST(RefModel, FlagsNoticeWithWrongState)
+{
+    RefModel m(refCfg());
+    ASSERT_FALSE(m.onAccess(coldLoad(0, 5)).has_value());
+    const auto d = m.onNotice(0, 5, MesiState::M); // holder is E
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->rule, "notice.state");
+    EXPECT_FALSE(m.onNotice(0, 5, MesiState::E).has_value());
+    const auto d2 = m.onNotice(0, 5, MesiState::E); // now untracked
+    ASSERT_TRUE(d2.has_value());
+    EXPECT_EQ(d2->rule, "notice.untracked");
+}
+
+TEST(RefModel, FlagsLlcResidencyDesync)
+{
+    RefModel m(refCfg());
+    ASSERT_FALSE(m.onLlcFill(5).has_value());
+    const auto dup = m.onLlcFill(5);
+    ASSERT_TRUE(dup.has_value());
+    EXPECT_EQ(dup->rule, "llc.double-fill");
+
+    // A later access that claims no LLC entry exists diverges.
+    RefModel m2(refCfg());
+    ASSERT_FALSE(m2.onLlcFill(7).has_value());
+    ASSERT_FALSE(m2.onAccess(coldLoad(0, 7)).has_value()); // clears journal
+    AccessObservation o = coldLoad(1, 7);
+    o.grant = MesiState::S;
+    o.pre = PreEntry::None; // engine lost the entry
+    const auto d = m2.onAccess(o);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->rule, "llc.lost-entry");
+}
+
+TEST(RefModel, SelfCheckStaysCleanOnLegalStreams)
+{
+    // The grant checks run before state application, so a legal event
+    // stream can never violate SWMR inside the model; selfCheck is the
+    // backstop for holes in those checks and must stay silent here.
+    RefModel m(refCfg());
+    ASSERT_FALSE(m.onAccess(coldLoad(0, 5)).has_value());
+    EXPECT_FALSE(m.selfCheck().has_value());
+
+    AccessObservation rd = coldLoad(1, 5);
+    rd.grant = MesiState::S; // held by core 0 -> S, owner downgrades
+    ASSERT_FALSE(m.onAccess(rd).has_value());
+    EXPECT_EQ(m.holderState(0, 5), MesiState::S);
+    EXPECT_EQ(m.holderState(1, 5), MesiState::S);
+    EXPECT_FALSE(m.selfCheck().has_value());
+    EXPECT_EQ(m.totals().mustForward, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Engine-vs-oracle: every pattern on representative schemes is clean.
+// ---------------------------------------------------------------------
+
+TEST(OracleDiff, EnginesAgreeOnAllPatternsAndSchemes)
+{
+    const std::uint64_t seed = test::testSeed(2024);
+    for (const char *label : {"sparse2x", "tiny32spill", "mgd", "stash"}) {
+        for (const auto &p : allPatterns()) {
+            PatternParams pp;
+            pp.numCores = 4;
+            pp.accessesPerCore = 300;
+            pp.seed = seed;
+
+            ReplaySpec spec;
+            spec.cfg = makeFuzzConfig(*findFuzzScheme(label), pp.numCores,
+                                      seed);
+            spec.streams = p.fn(pp);
+            spec.checkPeriod = 128;
+
+            const ReplayResult r = replayWithOracle(spec);
+            EXPECT_EQ(r.status, ReplayStatus::Clean)
+                << label << "/" << p.name << " seed=" << seed << "\n"
+                << r.report.describe() << r.haltMessage;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault detection: every fault_inject corruption class must be caught
+// by the oracle diff (same scheme eligibility as test_verifier.cc).
+// ---------------------------------------------------------------------
+
+struct OracleFaultCase
+{
+    FaultKind kind;
+    const char *scheme;
+    const char *label;
+};
+
+class OracleFault : public ::testing::TestWithParam<OracleFaultCase>
+{
+};
+
+TEST_P(OracleFault, DiffDetectsInjectedFault)
+{
+    const auto &fc = GetParam();
+    const std::uint64_t seed = test::testSeed(77);
+
+    PatternParams pp;
+    pp.numCores = 8;
+    pp.accessesPerCore = 1500;
+    pp.seed = seed;
+
+    ReplaySpec spec;
+    spec.cfg = makeFuzzConfig(*findFuzzScheme(fc.scheme), pp.numCores, seed,
+                              /*tinyCaches=*/false);
+    spec.streams = fc.kind == FaultKind::DesyncSpilledEntry
+        ? spillPressure(pp)
+        : falseSharing(pp);
+    spec.checkPeriod = 1;
+    spec.inject = fc.kind;
+
+    const ReplayResult r = replayWithOracle(spec);
+    ASSERT_TRUE(r.injected)
+        << toString(fc.kind) << " found nothing to corrupt on "
+        << fc.scheme << " seed=" << seed;
+    EXPECT_TRUE(r.failed())
+        << toString(fc.kind) << " went undetected by the oracle on "
+        << fc.scheme << " seed=" << seed << " (" << r.faultNote << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClasses, OracleFault,
+    ::testing::Values(
+        OracleFaultCase{FaultKind::FlipSharerBit, "sparse2x",
+                        "flip_on_sparse"},
+        OracleFaultCase{FaultKind::FlipSharerBit, "inllc",
+                        "flip_on_inllc"},
+        OracleFaultCase{FaultKind::DropTrackerEntry, "tiny32",
+                        "drop_on_tiny"},
+        OracleFaultCase{FaultKind::DropTrackerEntry, "sparse2x",
+                        "drop_on_sparse"},
+        OracleFaultCase{FaultKind::DesyncSpilledEntry, "tiny256spill",
+                        "desync_on_tiny_spill"},
+        OracleFaultCase{FaultKind::ForgeOwner, "sparse2x",
+                        "forge_on_sparse"},
+        OracleFaultCase{FaultKind::ForgeOwner, "inllc",
+                        "forge_on_inllc"}),
+    [](const ::testing::TestParamInfo<OracleFaultCase> &info) {
+        return std::string(info.param.label);
+    });
+
+// ---------------------------------------------------------------------
+// Shrinker.
+// ---------------------------------------------------------------------
+
+TEST(Shrink, FlattenRoundTripsPerCoreOrder)
+{
+    PatternParams pp;
+    pp.numCores = 3;
+    pp.accessesPerCore = 50;
+    pp.seed = 9;
+    const TraceStreams streams = migratory(pp);
+    const TraceStreams back =
+        unflattenTrace(flattenStreams(streams), pp.numCores);
+    ASSERT_EQ(back.size(), streams.size());
+    for (unsigned c = 0; c < pp.numCores; ++c) {
+        ASSERT_EQ(back[c].size(), streams[c].size()) << c;
+        for (std::size_t i = 0; i < streams[c].size(); ++i) {
+            EXPECT_EQ(back[c][i].addr, streams[c][i].addr);
+            EXPECT_EQ(back[c][i].type, streams[c][i].type);
+        }
+    }
+}
+
+TEST(Shrink, DdminFindsMinimalCulpritSet)
+{
+    // Synthetic predicate: fails iff the trace still contains both a
+    // store to block A by core 0 and a load of block A by core 1.
+    PatternParams pp;
+    pp.numCores = 2;
+    pp.accessesPerCore = 200;
+    pp.seed = 4;
+    TraceStreams streams = randomMix(pp);
+    const Addr culprit = 0xABCD00;
+    streams[0][57] = {1, AccessType::Store, culprit};
+    streams[1][131] = {1, AccessType::Load, culprit};
+
+    auto fails = [&](const TraceStreams &s) {
+        bool st = false, ld = false;
+        for (const auto &a : s[0])
+            st |= a.type == AccessType::Store && a.addr == culprit;
+        for (const auto &a : s[1])
+            ld |= a.type == AccessType::Load && a.addr == culprit;
+        return st && ld;
+    };
+    ASSERT_TRUE(fails(streams));
+
+    const ShrinkResult sh = shrinkTrace(streams, pp.numCores, fails);
+    EXPECT_FALSE(sh.exhausted);
+    EXPECT_EQ(sh.finalAccesses, 2u)
+        << "ddmin should isolate exactly the two culprit accesses";
+    EXPECT_TRUE(fails(sh.streams));
+}
+
+TEST(Shrink, MinimizesInjectedFaultToTinyTrace)
+{
+    const std::uint64_t seed = test::testSeed(55);
+    PatternParams pp;
+    pp.numCores = 4;
+    pp.accessesPerCore = 600;
+    pp.seed = seed;
+
+    ReplaySpec spec;
+    spec.cfg = makeFuzzConfig(*findFuzzScheme("tiny32"), pp.numCores, seed);
+    spec.streams = falseSharing(pp);
+    spec.checkPeriod = 1;
+    spec.inject = FaultKind::DropTrackerEntry;
+
+    const ReplayResult orig = replayWithOracle(spec);
+    ASSERT_TRUE(orig.injected) << "seed=" << seed;
+    ASSERT_TRUE(orig.failed()) << "seed=" << seed;
+
+    const ShrinkResult sh = shrinkTrace(
+        spec.streams, pp.numCores,
+        [&](const TraceStreams &s) {
+            ReplaySpec cand = spec;
+            cand.streams = s;
+            const ReplayResult r = replayWithOracle(cand);
+            return r.injected && r.failed();
+        },
+        400);
+    EXPECT_LT(sh.finalAccesses, 100u)
+        << "minimized repro must stay under 100 accesses (seed=" << seed
+        << ")";
+    EXPECT_LE(sh.finalAccesses, sh.originalAccesses);
+}
+
+// ---------------------------------------------------------------------
+// Corpus round trip.
+// ---------------------------------------------------------------------
+
+TEST(Corpus, SaveLoadRoundTrip)
+{
+    PatternParams pp;
+    pp.numCores = 2;
+    pp.accessesPerCore = 40;
+    pp.seed = 3;
+
+    CorpusCase c;
+    c.spec.cfg = makeFuzzConfig(*findFuzzScheme("tiny32spill"), pp.numCores,
+                                3);
+    c.spec.streams = producerConsumer(pp);
+    c.spec.checkPeriod = 64;
+    c.spec.inject = FaultKind::DropTrackerEntry;
+    c.expect = CorpusExpect::Detected;
+    c.rule = "priv.presence";
+
+    const std::string base =
+        ::testing::TempDir() + "tinydir_corpus_roundtrip";
+    saveCorpusCase(base, c);
+    const CorpusCase back = loadCorpusCase(base + ".meta");
+
+    EXPECT_EQ(back.spec.cfg.tracker, TrackerKind::TinyDir);
+    EXPECT_TRUE(back.spec.cfg.tinySpill);
+    EXPECT_EQ(back.spec.cfg.numCores, 2u);
+    EXPECT_EQ(back.spec.checkPeriod, 64u);
+    ASSERT_TRUE(back.spec.inject.has_value());
+    EXPECT_EQ(*back.spec.inject, FaultKind::DropTrackerEntry);
+    EXPECT_EQ(back.expect, CorpusExpect::Detected);
+    EXPECT_EQ(back.rule, "priv.presence");
+    ASSERT_EQ(back.spec.streams.size(), c.spec.streams.size());
+    for (unsigned core = 0; core < pp.numCores; ++core) {
+        ASSERT_EQ(back.spec.streams[core].size(),
+                  c.spec.streams[core].size());
+        for (std::size_t i = 0; i < c.spec.streams[core].size(); ++i) {
+            EXPECT_EQ(back.spec.streams[core][i].addr,
+                      c.spec.streams[core][i].addr);
+            EXPECT_EQ(back.spec.streams[core][i].gap,
+                      c.spec.streams[core][i].gap);
+            EXPECT_EQ(back.spec.streams[core][i].type,
+                      c.spec.streams[core][i].type);
+        }
+    }
+}

@@ -12,7 +12,11 @@
 #include <tuple>
 
 #include "common/rng.hh"
+#include "oracle/patterns.hh"
+#include "oracle/replay.hh"
+#include "oracle/schemes.hh"
 #include "sim/system.hh"
+#include "test_util.hh"
 
 using namespace tinydir;
 
@@ -170,6 +174,90 @@ INSTANTIATE_TEST_SUITE_P(
         SchemeParam{TrackerKind::Mgd, 1.0 / 8, false, "mgd"},
         SchemeParam{TrackerKind::Stash, 1.0 / 32, false, "stash"}),
     [](const ::testing::TestParamInfo<SchemeParam> &info) {
+        return std::string(info.param.label);
+    });
+
+// ---------------------------------------------------------------------
+// Differential-oracle properties: every scheme in the fuzz matrix must
+// agree with the scheme-independent reference model (src/oracle) on
+// randomized mixed-pattern traces, across multiple seeds.
+// ---------------------------------------------------------------------
+
+class OracleProperty : public ::testing::TestWithParam<FuzzScheme>
+{
+};
+
+TEST_P(OracleProperty, EngineMatchesReferenceModel)
+{
+    const FuzzScheme &s = GetParam();
+    const std::uint64_t base = test::testSeed(4242);
+    for (std::uint64_t round = 0; round < 3; ++round) {
+        const std::uint64_t seed = base + round;
+        PatternParams pp;
+        pp.numCores = 4;
+        pp.accessesPerCore = 2500; // ~1e4 accesses per round
+        pp.seed = seed;
+
+        ReplaySpec spec;
+        spec.cfg = makeFuzzConfig(s, pp.numCores, seed);
+        spec.streams = randomMix(pp);
+        spec.checkPeriod = 512;
+
+        const ReplayResult r = replayWithOracle(spec);
+        ASSERT_EQ(r.status, ReplayStatus::Clean)
+            << s.label << " seed=" << seed << "\n"
+            << r.report.describe() << r.haltMessage;
+        ASSERT_EQ(r.accessesRun,
+                  static_cast<Counter>(pp.numCores) * pp.accessesPerCore)
+            << s.label << " seed=" << seed;
+    }
+}
+
+TEST_P(OracleProperty, OracleTotalsAreSelfConsistent)
+{
+    // The model's own counters must add up regardless of scheme:
+    // accesses = hits + misses + upgrades, and every access is exactly
+    // one of load/store/ifetch.
+    const FuzzScheme &s = GetParam();
+    const std::uint64_t seed = test::testSeed(1717);
+    PatternParams pp;
+    pp.numCores = 4;
+    pp.accessesPerCore = 2000;
+    pp.seed = seed;
+
+    ReplaySpec spec;
+    spec.cfg = makeFuzzConfig(s, pp.numCores, seed);
+    spec.streams = randomMix(pp);
+    spec.checkPeriod = 0; // totals + final cross-check only
+
+    System sys(spec.cfg);
+    OracleDiff diff(spec.cfg);
+    sys.setObserver(&diff);
+    for (unsigned c = 0; c < pp.numCores; ++c) {
+        for (const TraceAccess &a : spec.streams[c]) {
+            const Cycle issue = sys.cores[c].clock + a.gap;
+            sys.cores[c].clock = sys.executeAccess(c, a, issue);
+            ASSERT_FALSE(diff.diverged())
+                << s.label << " seed=" << seed << "\n"
+                << diff.report().describe();
+        }
+    }
+    ASSERT_TRUE(diff.crossCheck(sys))
+        << s.label << " seed=" << seed << "\n" << diff.report().describe();
+    ASSERT_TRUE(diff.checkTotals(sys.dump()))
+        << s.label << " seed=" << seed << "\n" << diff.report().describe();
+
+    const OracleTotals &t = diff.model().totals();
+    EXPECT_EQ(t.accesses, t.privHits + t.misses + t.upgrades) << s.label;
+    EXPECT_EQ(t.accesses, t.loads + t.stores + t.ifetches) << s.label;
+    EXPECT_EQ(t.accesses,
+              static_cast<Counter>(pp.numCores) * pp.accessesPerCore)
+        << s.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FuzzMatrix, OracleProperty, ::testing::ValuesIn(fuzzSchemes()),
+    [](const ::testing::TestParamInfo<FuzzScheme> &info) {
         return std::string(info.param.label);
     });
 

@@ -9,12 +9,30 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <iostream>
 #include <string>
 
 #include "sim/system.hh"
 
 namespace tinydir::test
 {
+
+/**
+ * Seed for randomized tests. TINYDIR_TEST_SEED in the environment
+ * overrides @p fallback (so a failure seen in CI can be replayed
+ * locally: TINYDIR_TEST_SEED=N ctest -R <test>); the chosen value is
+ * printed so every failure log names the seed that reproduces it.
+ */
+inline std::uint64_t
+testSeed(std::uint64_t fallback)
+{
+    std::uint64_t seed = fallback;
+    if (const char *env = std::getenv("TINYDIR_TEST_SEED"))
+        seed = std::strtoull(env, nullptr, 0);
+    std::cout << "[   SEED   ] TINYDIR_TEST_SEED=" << seed << std::endl;
+    return seed;
+}
 
 /** An 8-core system scaled down for directed protocol tests. */
 inline SystemConfig

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Aggregate gcov line coverage for the simulator sources (src/**).
+#
+# Usage:
+#   cmake --preset coverage && cmake --build --preset coverage
+#   ctest --preset coverage
+#   tools/coverage_report.sh [build-dir]        # default: build-cov
+#
+# Only plain `gcov` is required (no gcovr/lcov). Every .gcda in the
+# build tree is decoded with `gcov -n`; per-file "Lines executed"
+# records are filtered to this repo's src/ tree and merged taking the
+# maximum per file (headers are instrumented once per including TU, so
+# summing would double-count them).
+set -euo pipefail
+
+build=${1:-build-cov}
+repo=$(cd "$(dirname "$0")/.." && pwd)
+cd "$repo"
+
+if [ ! -d "$build" ]; then
+    echo "error: no such build dir: $build" >&2
+    echo "hint: cmake --preset coverage && cmake --build --preset coverage" >&2
+    exit 1
+fi
+if ! find "$build" -name '*.gcda' -print -quit | grep -q .; then
+    echo "error: no .gcda files under $build — run the tests first" >&2
+    echo "hint: ctest --preset coverage" >&2
+    exit 1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+find "$build" -name '*.gcda' -print0 |
+    while IFS= read -r -d '' gcda; do
+        gcov -n -o "$(dirname "$gcda")" "$gcda" 2>/dev/null || true
+    done > "$raw"
+
+awk -v repo="$repo/" '
+    /^File / {
+        f = substr($0, 7)               # strip the leading "File '\''"
+        gsub(/^\x27|\x27$/, "", f)
+        # Normalize to a repo-relative path and keep only src/**.
+        sub("^" repo, "", f)
+        keep = (f ~ /^src\//)
+        next
+    }
+    /^Lines executed:/ {
+        if (!keep) next
+        pct = $0; sub(/^Lines executed:/, "", pct); sub(/% of .*/, "", pct)
+        n = $0; sub(/.*% of /, "", n)
+        if (!(f in lines) || pct + 0 > best[f] + 0) {
+            best[f] = pct + 0
+            lines[f] = n + 0
+        }
+        keep = 0
+    }
+    END {
+        total = 0; hit = 0
+        m = 0
+        for (f in lines) order[m++] = f
+        # Insertion sort by path for stable output.
+        for (i = 1; i < m; ++i) {
+            v = order[i]
+            for (j = i - 1; j >= 0 && order[j] > v; --j)
+                order[j + 1] = order[j]
+            order[j + 1] = v
+        }
+        printf "%-52s %8s %8s\n", "file", "lines", "cover%"
+        for (i = 0; i < m; ++i) {
+            f = order[i]
+            printf "%-52s %8d %7.2f%%\n", f, lines[f], best[f]
+            total += lines[f]
+            hit += best[f] * lines[f] / 100.0
+        }
+        printf "%-52s %8d %7.2f%%\n", "TOTAL (src/)", total,
+               total ? 100.0 * hit / total : 0
+    }
+' "$raw"

@@ -1,0 +1,459 @@
+/**
+ * @file
+ * Coverage-oriented trace fuzzer with differential-oracle checking and
+ * failing-trace minimization.
+ *
+ * Default mode generates random sharing-pattern traces (src/oracle/
+ * patterns.hh) over randomized configurations (src/oracle/schemes.hh)
+ * and replays each through a real System cross-checked by the
+ * reference model. Any divergence or engine panic is minimized with
+ * ddmin (src/oracle/shrink.hh) and written as a corpus case
+ * (trace + .meta) ready for `--replay` or tests/test_corpus_replay.
+ *
+ *   fuzz_traces --runs 100 --seed 7
+ *   fuzz_traces --seconds 9                  # time-boxed smoke run
+ *   fuzz_traces --scheme tiny256spill --pattern spill_pressure
+ *   fuzz_traces --inject drop-tracker-entry  # oracle must detect it
+ *   fuzz_traces --replay tests/corpus/case.meta
+ *   fuzz_traces --emit-seed-corpus tests/corpus
+ *
+ * Exit status: 0 = all runs behaved as expected; 1 = an unexpected
+ * divergence/halt (or a missed injected fault); 2 = usage error.
+ */
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/sim_error.hh"
+#include "oracle/corpus.hh"
+#include "oracle/patterns.hh"
+#include "oracle/replay.hh"
+#include "oracle/schemes.hh"
+#include "oracle/shrink.hh"
+
+using namespace tinydir;
+
+namespace
+{
+
+struct Options
+{
+    unsigned runs = 50;
+    double seconds = 0;       //!< when > 0, time-boxes the fuzz loop
+    std::uint64_t seed = 1;
+    unsigned cores = 0;       //!< 0 = randomize per run
+    Counter accesses = 0;     //!< per core; 0 = randomize per run
+    std::string scheme;       //!< empty = randomize per run
+    std::string pattern;      //!< empty = randomize per run
+    std::optional<FaultKind> inject;
+    Counter checkPeriod = 256;
+    std::string corpusDir = ".";
+    Counter maxShrinkRuns = 800;
+    std::string replayMeta;
+    std::string emitSeedCorpusDir;
+    bool verbose = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cerr <<
+        "usage: fuzz_traces [options]\n"
+        "  --runs N              fuzz iterations (default 50)\n"
+        "  --seconds S           time-box the fuzz loop instead of --runs\n"
+        "  --seed X              base seed (default 1)\n"
+        "  --cores N             fix the core count (default: random 2/4/8)\n"
+        "  --accesses N          per-core trace length (default: random)\n"
+        "  --scheme LABEL        fix the tracking scheme (see --list)\n"
+        "  --pattern NAME        fix the sharing pattern (see --list)\n"
+        "  --inject KIND         plant a fault each run; the oracle must\n"
+        "                        detect it (flip-sharer-bit, ...)\n"
+        "  --check-period N      cross-check cadence (default 256)\n"
+        "  --corpus-dir DIR      where minimized repros are written\n"
+        "  --max-shrink-runs N   ddmin predicate budget (default 800)\n"
+        "  --replay META         replay one corpus case and verify it\n"
+        "  --emit-seed-corpus DIR  regenerate the checked-in seed corpus\n"
+        "  --list                print schemes and patterns\n"
+        "  -v                    per-run progress\n";
+    std::exit(code);
+}
+
+void
+list()
+{
+    std::cout << "schemes:";
+    for (const auto &s : fuzzSchemes())
+        std::cout << " " << s.label;
+    std::cout << "\npatterns:";
+    for (const auto &p : allPatterns())
+        std::cout << " " << p.name;
+    std::cout << "\nfaults: " << toString(FaultKind::FlipSharerBit) << " "
+              << toString(FaultKind::DropTrackerEntry) << " "
+              << toString(FaultKind::DesyncSpilledEntry) << " "
+              << toString(FaultKind::ForgeOwner) << "\n";
+}
+
+std::optional<FaultKind>
+parseFault(const std::string &s)
+{
+    for (auto k : {FaultKind::FlipSharerBit, FaultKind::DropTrackerEntry,
+                   FaultKind::DesyncSpilledEntry, FaultKind::ForgeOwner})
+        if (toString(k) == s)
+            return k;
+    return std::nullopt;
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options o;
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << argv[i] << "\n";
+            usage(2);
+        }
+        return argv[++i];
+    };
+    auto needNum = [&](int &i) -> std::uint64_t {
+        const std::string flag = argv[i];
+        const std::string v = need(i);
+        try {
+            std::size_t pos = 0;
+            const std::uint64_t n = std::stoull(v, &pos);
+            if (pos != v.size() || v[0] == '-')
+                throw std::invalid_argument(v);
+            return n;
+        } catch (const std::exception &) {
+            std::cerr << "fatal: " << flag
+                      << " expects a non-negative integer, got \"" << v
+                      << "\"\n";
+            std::exit(1);
+        }
+    };
+    auto needReal = [&](int &i) -> double {
+        const std::string flag = argv[i];
+        const std::string v = need(i);
+        try {
+            std::size_t pos = 0;
+            const double d = std::stod(v, &pos);
+            if (pos != v.size() || d < 0)
+                throw std::invalid_argument(v);
+            return d;
+        } catch (const std::exception &) {
+            std::cerr << "fatal: " << flag
+                      << " expects a non-negative number, got \"" << v
+                      << "\"\n";
+            std::exit(1);
+        }
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--runs") o.runs = needNum(i);
+        else if (a == "--seconds") o.seconds = needReal(i);
+        else if (a == "--seed") o.seed = needNum(i);
+        else if (a == "--cores") o.cores = needNum(i);
+        else if (a == "--accesses") o.accesses = needNum(i);
+        else if (a == "--scheme") o.scheme = need(i);
+        else if (a == "--pattern") o.pattern = need(i);
+        else if (a == "--inject") {
+            const std::string v = need(i);
+            o.inject = parseFault(v);
+            if (!o.inject) {
+                std::cerr << "unknown fault kind '" << v << "'\n";
+                usage(2);
+            }
+        }
+        else if (a == "--check-period") o.checkPeriod = needNum(i);
+        else if (a == "--corpus-dir") o.corpusDir = need(i);
+        else if (a == "--max-shrink-runs") o.maxShrinkRuns = needNum(i);
+        else if (a == "--replay") o.replayMeta = need(i);
+        else if (a == "--emit-seed-corpus") o.emitSeedCorpusDir = need(i);
+        else if (a == "--list") { list(); std::exit(0); }
+        else if (a == "-v") o.verbose = true;
+        else if (a == "--help" || a == "-h") usage(0);
+        else {
+            std::cerr << "unknown option '" << a << "'\n";
+            usage(2);
+        }
+    }
+    if (o.scheme.empty() == false && !findFuzzScheme(o.scheme)) {
+        std::cerr << "unknown scheme '" << o.scheme << "'\n";
+        usage(2);
+    }
+    return o;
+}
+
+/** Re-run @p spec; true when it still fails the same way. */
+bool
+sameFailure(const ReplaySpec &spec, const ReplayResult &orig,
+            const TraceStreams &streams)
+{
+    ReplaySpec cand = spec;
+    cand.streams = streams;
+    const ReplayResult r = replayWithOracle(cand);
+    if (spec.inject) {
+        // Injected-fault repro: any detection with the fault planted
+        // counts (the exact rule may legitimately shift as the trace
+        // shrinks and detection happens earlier).
+        return r.injected && r.failed();
+    }
+    if (r.status != orig.status)
+        return false;
+    return orig.status != ReplayStatus::Diverged ||
+           r.report.rule == orig.report.rule;
+}
+
+/** Shrink a failing run and write it to the corpus. */
+std::string
+shrinkAndSave(const Options &o, const ReplaySpec &spec,
+              const ReplayResult &orig, const std::string &name)
+{
+    std::cout << "  shrinking (" << flattenStreams(spec.streams).size()
+              << " accesses, budget " << o.maxShrinkRuns << " replays)...\n";
+    const ShrinkResult sh = shrinkTrace(
+        spec.streams, spec.cfg.numCores,
+        [&](const TraceStreams &s) { return sameFailure(spec, orig, s); },
+        o.maxShrinkRuns);
+    std::cout << "  shrunk " << sh.originalAccesses << " -> "
+              << sh.finalAccesses << " accesses in " << sh.predicateRuns
+              << " replays" << (sh.exhausted ? " (budget hit)" : "") << "\n";
+
+    CorpusCase c;
+    c.spec = spec;
+    c.spec.streams = sh.streams;
+    // Minimized repros re-check on every access so the divergence
+    // fires at the earliest possible point during replay.
+    c.spec.checkPeriod = 1;
+    c.expect = CorpusExpect::Detected;
+    c.rule = orig.status == ReplayStatus::Diverged ? orig.report.rule
+                                                   : "engine-halt";
+    const std::string base = o.corpusDir + "/" + name;
+    saveCorpusCase(base, c);
+    std::cout << "  wrote " << base << ".meta (+ .tdtr)\n";
+    return base;
+}
+
+void
+printFailure(const ReplayResult &r)
+{
+    if (r.status == ReplayStatus::Diverged)
+        std::cout << r.report.describe();
+    else if (r.status == ReplayStatus::EngineHalt)
+        std::cout << "engine halt: " << r.haltMessage << "\n";
+}
+
+int
+replayMode(const Options &o)
+{
+    CorpusCase c = loadCorpusCase(o.replayMeta);
+    std::cout << "replaying " << c.name << " ("
+              << flattenStreams(c.spec.streams).size() << " accesses, "
+              << toString(c.spec.cfg.tracker) << ", expect "
+              << toString(c.expect) << ")\n";
+    const ReplayResult r = replayWithOracle(c.spec);
+    std::cout << "result: " << toString(r.status);
+    if (r.injected)
+        std::cout << " (fault injected: " << r.faultNote << ")";
+    std::cout << "\n";
+    printFailure(r);
+
+    const bool ok = c.expect == CorpusExpect::Clean
+        ? !r.failed()
+        : r.failed() && (!c.spec.inject || r.injected);
+    std::cout << (ok ? "OK: matches expectation\n"
+                     : "FAIL: does not match expectation\n");
+    return ok ? 0 : 1;
+}
+
+int
+emitSeedCorpus(const Options &o)
+{
+    // Clean regression cases: one per sharing pattern over a spread of
+    // schemes (paired round-robin so every pattern and the interesting
+    // schemes are covered without a full cross product).
+    const char *schemeNames[] = {"sparse2x", "tiny32", "tiny256spill",
+                                 "mgd", "stash", "sparse2x_grain4"};
+    int rc = 0;
+    unsigned i = 0;
+    for (const auto &p : allPatterns()) {
+        const FuzzScheme *s = findFuzzScheme(schemeNames[i % 6]);
+        ++i;
+        PatternParams pp;
+        pp.numCores = 4;
+        pp.accessesPerCore = 400;
+        pp.seed = o.seed + i;
+
+        CorpusCase c;
+        c.spec.cfg = makeFuzzConfig(*s, pp.numCores, o.seed + i);
+        c.spec.streams = p.fn(pp);
+        c.spec.checkPeriod = o.checkPeriod;
+        c.expect = CorpusExpect::Clean;
+
+        const ReplayResult r = replayWithOracle(c.spec);
+        if (r.failed()) {
+            std::cout << "seed case " << p.name << "/" << s->label
+                      << " FAILED (fix before committing):\n";
+            printFailure(r);
+            rc = 1;
+            continue;
+        }
+        const std::string base =
+            o.emitSeedCorpusDir + "/clean_" + p.name + "_" + s->label;
+        saveCorpusCase(base, c);
+        std::cout << "wrote " << base << ".meta\n";
+    }
+
+    // One detected case: a real injected corruption, minimized.
+    const FuzzScheme *s = findFuzzScheme("tiny32");
+    PatternParams pp;
+    pp.numCores = 4;
+    pp.accessesPerCore = 600;
+    pp.seed = o.seed + 99;
+    ReplaySpec spec;
+    spec.cfg = makeFuzzConfig(*s, pp.numCores, pp.seed);
+    spec.streams = falseSharing(pp);
+    spec.checkPeriod = 1;
+    spec.inject = FaultKind::DropTrackerEntry;
+    const ReplayResult r = replayWithOracle(spec);
+    if (!r.injected || !r.failed()) {
+        std::cout << "injected seed case did not detect (injected="
+                  << r.injected << ", status=" << toString(r.status)
+                  << ")\n";
+        return 1;
+    }
+    Options oc = o;
+    oc.corpusDir = o.emitSeedCorpusDir;
+    shrinkAndSave(oc, spec, r,
+                  "detected_drop_tracker_entry_tiny32");
+    return rc;
+}
+
+int
+fuzzMode(const Options &o)
+{
+    Rng rng(o.seed);
+    const auto t0 = std::chrono::steady_clock::now();
+    auto elapsed = [&] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
+    unsigned ran = 0, skipped = 0;
+    for (unsigned run = 0;; ++run) {
+        if (o.seconds > 0 ? elapsed() >= o.seconds : run >= o.runs)
+            break;
+
+        // FlipSharerBit drops one core's sharer bit, which does not
+        // exist as distinct storage when several cores share a bit:
+        // on coarse-grain schemes the injection is a silent no-op, so
+        // keep that pairing out of the rotation.
+        auto schemeOk = [&](const FuzzScheme &fs) {
+            return !(o.inject == FaultKind::FlipSharerBit && fs.grain > 1);
+        };
+        const auto &schemes = fuzzSchemes();
+        const FuzzScheme *sp;
+        do {
+            sp = o.scheme.empty() ? &schemes[rng.below(schemes.size())]
+                                  : findFuzzScheme(o.scheme);
+        } while (o.scheme.empty() && !schemeOk(*sp));
+        if (!schemeOk(*sp)) {
+            std::cerr << "scheme " << sp->label << " stores sharers at "
+                         "grain " << sp->grain << "; " << toString(*o.inject)
+                      << " cannot be represented there\n";
+            return 2;
+        }
+        const FuzzScheme &s = *sp;
+        const auto &pats = allPatterns();
+        const NamedPattern &p = o.pattern.empty()
+            ? pats[rng.below(pats.size())]
+            : *[&] {
+                  for (const auto &np : pats)
+                      if (o.pattern == np.name)
+                          return &np;
+                  std::cerr << "unknown pattern '" << o.pattern << "'\n";
+                  usage(2);
+              }();
+
+        PatternParams pp;
+        static const unsigned coreChoices[] = {2, 4, 8};
+        pp.numCores = o.cores ? o.cores : coreChoices[rng.below(3)];
+        pp.accessesPerCore =
+            o.accesses ? o.accesses : 200 + rng.below(1800);
+        pp.seed = rng.next();
+
+        ReplaySpec spec;
+        spec.cfg = makeFuzzConfig(s, pp.numCores, pp.seed);
+        spec.streams = p.fn(pp);
+        spec.checkPeriod = o.checkPeriod;
+        spec.inject = o.inject;
+
+        if (o.verbose)
+            std::cout << "run " << run << ": " << s.label << " / " << p.name
+                      << " cores=" << pp.numCores << " accesses="
+                      << pp.accessesPerCore << " seed=" << pp.seed << "\n";
+
+        const ReplayResult r = replayWithOracle(spec);
+        ++ran;
+
+        if (o.inject) {
+            if (!r.injected) {
+                // This scheme/trace never grew state eligible for the
+                // fault class (e.g. a spill fault without spilling).
+                ++skipped;
+                continue;
+            }
+            if (!r.failed()) {
+                std::cout << "MISSED FAULT on run " << run << " (" << s.label
+                          << "/" << p.name << " seed=" << pp.seed
+                          << "): " << r.faultNote << "\n";
+                return 1;
+            }
+            continue; // injected and detected: expected outcome
+        }
+
+        if (r.failed()) {
+            std::cout << "FAILURE on run " << run << " (" << s.label << "/"
+                      << p.name << " cores=" << pp.numCores
+                      << " seed=" << pp.seed << ")\n";
+            printFailure(r);
+            shrinkAndSave(o, spec, r, "fuzz_repro_" + std::to_string(run));
+            return 1;
+        }
+    }
+
+    std::cout << "fuzz: " << ran << " runs clean";
+    if (o.inject)
+        std::cout << " (" << (ran - skipped) << " injected+detected, "
+                  << skipped << " ineligible)";
+    std::cout << " in " << elapsed() << "s\n";
+    if (o.inject && ran == skipped && ran > 0) {
+        std::cout << "FAIL: fault was never injectable; choose a scheme "
+                     "that supports it (e.g. --scheme tiny256spill for "
+                     "desync-spilled-entry)\n";
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options o = parseArgs(argc, argv);
+    try {
+        if (!o.replayMeta.empty())
+            return replayMode(o);
+        if (!o.emitSeedCorpusDir.empty())
+            return emitSeedCorpus(o);
+        return fuzzMode(o);
+    } catch (const SimError &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

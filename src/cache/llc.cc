@@ -52,6 +52,7 @@ Llc::Llc(const SystemConfig &cfg)
     bankFree.assign(banks_, 0);
 }
 
+// TDLINT: hot
 LlcEntry *
 Llc::findData(Loc loc, Addr block)
 {
@@ -76,6 +77,7 @@ Llc::findSpill(Loc loc, Addr block)
     return nullptr;
 }
 
+// TDLINT: hot
 Llc::Pair
 Llc::findBoth(Loc loc, Addr block)
 {
@@ -130,6 +132,7 @@ Llc::touchEntry(Loc loc, const LlcEntry *e)
     arr.touch(loc.set, w);
 }
 
+// TDLINT: hot
 Llc::AllocResult
 Llc::allocate(Loc loc, Addr block)
 {

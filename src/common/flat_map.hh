@@ -77,6 +77,7 @@ class FlatMap
     bool contains(Addr key) const { return find(key) != nullptr; }
 
     /** Value of @p key, default-constructed and inserted if absent. */
+    // TDLINT: hot-safe
     V &
     operator[](Addr key)
     {
@@ -88,7 +89,12 @@ class FlatMap
     /**
      * Insert (@p key, @p value), overwriting any existing entry.
      * @return pointer to the stored value (stable until next mutation).
+     *
+     * Steady-state allocation freedom (capacity reserve()d up front,
+     * amortized rehash only while warming) is proven dynamically by
+     * test_hotpath's counted operator new; the static walk trusts it.
      */
+    // TDLINT: hot-safe
     V *
     insert(Addr key, V value)
     {

@@ -34,6 +34,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     {
         std::lock_guard<std::mutex> guard(sinkMutex());
+        // TDLINT: allow(error-path): this is the designated panic sink
         std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file,
                      line);
     }
@@ -47,6 +48,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     {
         std::lock_guard<std::mutex> guard(sinkMutex());
+        // TDLINT: allow(error-path): this is the designated fatal sink
         std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file,
                      line);
     }
@@ -59,6 +61,7 @@ void
 warnImpl(const std::string &msg)
 {
     std::lock_guard<std::mutex> guard(sinkMutex());
+    // TDLINT: allow(error-path): this is the designated warn sink
     std::fprintf(stderr, "warn: %s\n", msg.c_str());
 }
 
@@ -66,6 +69,7 @@ void
 informImpl(const std::string &msg)
 {
     std::lock_guard<std::mutex> guard(sinkMutex());
+    // TDLINT: allow(error-path): this is the designated inform sink
     std::fprintf(stdout, "info: %s\n", msg.c_str());
 }
 

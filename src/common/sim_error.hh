@@ -21,6 +21,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "common/types.hh"
 

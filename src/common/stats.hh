@@ -12,6 +12,7 @@
 #include <map>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.hh"
@@ -45,6 +46,7 @@ class Histogram
     sample(unsigned bucket, Counter weight = 1)
     {
         if (bucket >= buckets.size())
+            // TDLINT: allow(hot-alloc): hot callers clamp bucket below the construction-time size
             buckets.resize(bucket + 1, 0);
         buckets[bucket] += weight;
     }
@@ -108,6 +110,7 @@ class Average
 class StatsDump
 {
   public:
+    // TDLINT: cold
     void
     add(const std::string &name, double value)
     {

@@ -162,6 +162,7 @@ Engine::addTraffic(MsgClass cls, unsigned bytes, Counter count)
     stats.traffic.add(cls, bytes, count);
 }
 
+// TDLINT: hot
 RequestResult
 Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
 {
@@ -522,6 +523,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
     return res;
 }
 
+// TDLINT: hot
 void
 Engine::evictionNotice(CoreId c, Addr block, MesiState st, Cycle t)
 {

@@ -134,6 +134,7 @@ envRunControls()
 [[noreturn]] static void
 cliFatal(const ConfigError &)
 {
+    // TDLINT: allow(error-path): CLI boundary; main() must not see throws
     std::exit(1);
 }
 

@@ -4,9 +4,9 @@
 #include <chrono>
 #include <cstdlib>
 #include <ios>
+#include <map>
 #include <sstream>
 #include <thread>
-#include <unordered_map>
 
 #include "common/log.hh"
 #include "common/sim_error.hh"
@@ -116,7 +116,7 @@ runMany(const std::vector<SimJob> &jobs, unsigned workers, bool strict)
 
     // Deduplicate: the first job with a given fingerprint simulates;
     // later duplicates share its result.
-    std::unordered_map<std::string, std::size_t> seen;
+    std::map<std::string, std::size_t> seen;
     std::vector<std::size_t> uniqueIdx;  // job index of each unique job
     std::vector<std::size_t> sourceOf(jobs.size()); // -> uniqueIdx slot
     uniqueIdx.reserve(jobs.size());

@@ -88,6 +88,7 @@ System::processNotices(CoreId c, const NoticeVec &notices, Cycle t)
     }
 }
 
+// TDLINT: hot
 Cycle
 System::executeAccess(CoreId c, const TraceAccess &acc, Cycle issue)
 {
@@ -283,6 +284,8 @@ System::dump() const
           static_cast<double>(es.savedBySpill.value()) / llc_acc);
 
     d.add("nack.retries", static_cast<double>(es.nackRetries.value()));
+    d.add("engine.upgrade_misses",
+          static_cast<double>(es.upgradeMisses.value()));
     d.add("fwd.owner", static_cast<double>(es.ownerForwards.value()));
     d.add("inval.messages",
           static_cast<double>(es.invalidations.value()));

@@ -14,7 +14,9 @@
 #ifndef TINYDIR_WORKLOAD_GENERATOR_HH
 #define TINYDIR_WORKLOAD_GENERATOR_HH
 
+#include <cstddef>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"

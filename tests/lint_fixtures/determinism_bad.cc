@@ -1,0 +1,25 @@
+// Fixture: every flavour of nondeterminism the check bans — libc
+// rand, wall-clock time, an unordered container, and a pointer-keyed
+// ordered map (iterates in address order).
+
+#include <ctime>
+#include <map>
+#include <unordered_map>
+
+struct Node;
+
+int
+roll()
+{
+    return rand();
+}
+
+long
+stamp()
+{
+    return time(nullptr);
+}
+
+std::unordered_map<int, int> table;
+
+std::map<Node *, int> byAddress;

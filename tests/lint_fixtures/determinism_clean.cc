@@ -1,0 +1,27 @@
+// Clean twin of determinism_bad.cc: a seeded generator, simulated
+// time, and value-keyed ordered containers.
+
+#include <cstdint>
+#include <map>
+
+struct Rng
+{
+    std::uint64_t state;
+    std::uint64_t next() { return state = state * 6364136223846793005ULL + 1; }
+};
+
+std::uint64_t simNow = 0;
+
+int
+roll(Rng &rng)
+{
+    return static_cast<int>(rng.next() & 0xff);
+}
+
+std::uint64_t
+stamp()
+{
+    return simNow;
+}
+
+std::map<std::uint64_t, int> byBlock;

@@ -1,0 +1,19 @@
+// Fixture: library-path error handling that kills the process, writes
+// raw stderr, and throws outside the SimError hierarchy.
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+void
+badFatal(int code)
+{
+    std::fprintf(stderr, "dying\n");
+    std::exit(code);
+}
+
+void
+badThrow()
+{
+    throw std::runtime_error("not a SimError");
+}

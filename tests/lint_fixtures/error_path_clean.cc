@@ -1,0 +1,28 @@
+// Clean twin of error_path_bad.cc: errors throw SimError types and a
+// bare rethrow is fine.
+
+struct SimError
+{
+    explicit SimError(const char *) {}
+};
+
+struct ConfigError : SimError
+{
+    using SimError::SimError;
+};
+
+void
+goodFatal()
+{
+    throw ConfigError("bad configuration");
+}
+
+void
+forward()
+{
+    try {
+        goodFatal();
+    } catch (...) {
+        throw;
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: header with a non-conforming include guard that uses
+// std::vector and std::uint32_t without including what it uses.
+
+#ifndef HEADER_BAD_H
+#define HEADER_BAD_H
+
+struct BadTable
+{
+    std::vector<std::uint32_t> rows;
+};
+
+#endif

@@ -1,0 +1,15 @@
+// Clean twin of header_bad.hh: conforming guard, includes what it
+// uses.
+
+#ifndef TINYDIR_HEADER_CLEAN_HH
+#define TINYDIR_HEADER_CLEAN_HH
+
+#include <cstdint>
+#include <vector>
+
+struct CleanTable
+{
+    std::vector<std::uint32_t> rows;
+};
+
+#endif // TINYDIR_HEADER_CLEAN_HH

@@ -1,0 +1,21 @@
+// Fixture: a hot-path root reaching an allocation two calls deep.
+// tdlint must flag the `new` in helper() with the path via lookup().
+
+int *
+helper()
+{
+    return new int(7);
+}
+
+int
+lookup(int x)
+{
+    return *helper() + x;
+}
+
+// TDLINT: hot
+int
+access(int x)
+{
+    return lookup(x);
+}

@@ -1,0 +1,40 @@
+// Clean twin of hot_alloc_bad.cc: the same shape, but the helper does
+// arithmetic instead of allocating, and a hot-safe container op plus a
+// cold branch sit on the path without tripping the walk.
+
+int
+helper(int x)
+{
+    return x * 2 + 1;
+}
+
+// TDLINT: hot-safe
+int *
+trustedInsert(int /*key*/)
+{
+    // A real FlatMap::insert would amortize-allocate here; hot-safe
+    // means the walk neither scans nor descends into this body.
+    static int slot;
+    return &slot;
+}
+
+// TDLINT: cold
+void
+dumpStats()
+{
+    int *p = new int(0); // never on the hot path
+    delete p;
+}
+
+int
+lookup(int x)
+{
+    return helper(x) + *trustedInsert(x);
+}
+
+// TDLINT: hot
+int
+access(int x)
+{
+    return lookup(x);
+}

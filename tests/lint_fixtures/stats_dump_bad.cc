@@ -1,0 +1,42 @@
+// Fixture: a stats struct with one counter the dump path never
+// touches. `hits` is dumped, `misses` reaches the dump through an
+// aggregation function, but `orphaned` is written and never read.
+
+struct CoreStats
+{
+    unsigned long hits = 0;
+    unsigned long misses = 0;
+    unsigned long orphaned = 0;
+};
+
+struct TotalsStats
+{
+    unsigned long total = 0;
+};
+
+TotalsStats totals;
+
+void
+aggregate(const CoreStats &cs)
+{
+    totals.total += cs.misses;
+}
+
+void
+recordHit(CoreStats &cs)
+{
+    ++cs.hits;
+}
+
+void
+noteOrphan(CoreStats &cs)
+{
+    ++cs.orphaned;
+}
+
+void
+dump(const CoreStats &cs)
+{
+    unsigned long sum = cs.hits + totals.total;
+    (void)sum;
+}

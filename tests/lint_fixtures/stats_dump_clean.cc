@@ -1,0 +1,29 @@
+// Clean twin of stats_dump_bad.cc: every counter either appears in
+// dump() directly or is flushed by an aggregation function that feeds
+// dumped state.
+
+struct CoreStats
+{
+    unsigned long hits = 0;
+    unsigned long misses = 0;
+};
+
+struct TotalsStats
+{
+    unsigned long total = 0;
+};
+
+TotalsStats totals;
+
+void
+aggregate(const CoreStats &cs)
+{
+    totals.total += cs.misses;
+}
+
+void
+dump(const CoreStats &cs)
+{
+    unsigned long sum = cs.hits + totals.total;
+    (void)sum;
+}

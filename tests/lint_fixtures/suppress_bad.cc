@@ -1,0 +1,27 @@
+// Fixture: suppression misuse. A justification-less allow, an allow
+// naming an unknown check, and an unused (but well-formed) allow must
+// each produce a lint-usage diagnostic.
+
+void
+noJustification()
+{
+    // TDLINT: allow(error-path)
+    int x = 0;
+    (void)x;
+}
+
+void
+unknownCheck()
+{
+    // TDLINT: allow(made-up-check): because
+    int x = 0;
+    (void)x;
+}
+
+void
+unusedAllow()
+{
+    // TDLINT: allow(determinism): nothing nondeterministic below
+    int x = 0;
+    (void)x;
+}

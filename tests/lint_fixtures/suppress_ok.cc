@@ -1,0 +1,18 @@
+// Fixture: well-formed suppressions, both own-line (covers the next
+// line) and end-of-line forms. Must lint clean.
+
+#include <cstdio>
+#include <cstdlib>
+
+void
+cliBoundary(int code)
+{
+    // TDLINT: allow(error-path): CLI boundary, the process must die here
+    std::exit(code);
+}
+
+void
+sink(const char *msg)
+{
+    std::fprintf(stderr, "%s\n", msg); // TDLINT: allow(error-path): designated sink
+}

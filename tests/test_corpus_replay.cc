@@ -1,6 +1,6 @@
 /**
  * @file
- * Replays every checked-in corpus case (tests/corpus/*.meta) under the
+ * Replays every checked-in corpus case (tests/corpus *.meta) under the
  * differential oracle and verifies its recorded expectation: `clean`
  * cases must pass the oracle end to end, `detected` cases (minimized
  * fault-injection repros) must still be caught. The corpus directory

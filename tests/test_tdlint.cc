@@ -1,0 +1,180 @@
+/**
+ * @file
+ * tdlint self-tests: drive the analyzer over tests/lint_fixtures/.
+ * Each check has a minimal fixture it must flag and a clean twin that
+ * must pass; the suppression grammar round-trips (a justified allow
+ * silences a real diagnostic, misuse is itself diagnosed).
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tdlint/tdlint.hh"
+
+namespace
+{
+
+using tdlint::Diagnostic;
+using tdlint::Options;
+using tdlint::Result;
+
+Result
+lintFixture(const std::string &file)
+{
+    Options o;
+    o.root = TINYDIR_LINT_FIXTURE_DIR;
+    o.files = {file};
+    return tdlint::run(o);
+}
+
+/** Count diagnostics of @p check (empty = any). */
+std::size_t
+countCheck(const Result &r, const std::string &check)
+{
+    return static_cast<std::size_t>(std::count_if(
+        r.diags.begin(), r.diags.end(), [&](const Diagnostic &d) {
+            return check.empty() || d.check == check;
+        }));
+}
+
+bool
+hasDiag(const Result &r, const std::string &check, int line)
+{
+    return std::any_of(r.diags.begin(), r.diags.end(),
+                       [&](const Diagnostic &d) {
+                           return d.check == check && d.line == line;
+                       });
+}
+
+TEST(TdlintHotAlloc, FlagsAllocationReachableFromHotRoot)
+{
+    const Result r = lintFixture("hot_alloc_bad.cc");
+    ASSERT_EQ(countCheck(r, ""), 1u);
+    EXPECT_TRUE(hasDiag(r, "hot-alloc", 7));
+    // The diagnostic names the path from the hot root.
+    EXPECT_NE(r.diags[0].message.find("access -> lookup -> helper"),
+              std::string::npos);
+}
+
+TEST(TdlintHotAlloc, CleanTwinWithHotSafeAndColdPasses)
+{
+    EXPECT_TRUE(lintFixture("hot_alloc_clean.cc").clean());
+}
+
+TEST(TdlintErrorPath, FlagsKillersRawStdioAndForeignThrows)
+{
+    const Result r = lintFixture("error_path_bad.cc");
+    EXPECT_EQ(countCheck(r, "error-path"), 3u);
+    EXPECT_TRUE(hasDiag(r, "error-path", 11)); // fprintf
+    EXPECT_TRUE(hasDiag(r, "error-path", 12)); // exit
+    EXPECT_TRUE(hasDiag(r, "error-path", 18)); // throw runtime_error
+}
+
+TEST(TdlintErrorPath, SimErrorThrowsAndRethrowsPass)
+{
+    EXPECT_TRUE(lintFixture("error_path_clean.cc").clean());
+}
+
+TEST(TdlintDeterminism, FlagsRandTimeUnorderedAndPointerKeys)
+{
+    const Result r = lintFixture("determinism_bad.cc");
+    EXPECT_EQ(countCheck(r, "determinism"), 4u);
+    EXPECT_TRUE(hasDiag(r, "determinism", 14)); // rand()
+    EXPECT_TRUE(hasDiag(r, "determinism", 20)); // time()
+    EXPECT_TRUE(hasDiag(r, "determinism", 23)); // unordered_map
+    EXPECT_TRUE(hasDiag(r, "determinism", 25)); // std::map<Node *, ...>
+}
+
+TEST(TdlintDeterminism, SeededRngAndValueKeysPass)
+{
+    EXPECT_TRUE(lintFixture("determinism_clean.cc").clean());
+}
+
+TEST(TdlintStatsDump, FlagsCounterMissingFromDumpPath)
+{
+    const Result r = lintFixture("stats_dump_bad.cc");
+    ASSERT_EQ(countCheck(r, ""), 1u);
+    EXPECT_TRUE(hasDiag(r, "stats-dump", 9)); // orphaned
+    EXPECT_NE(r.diags[0].message.find("orphaned"), std::string::npos);
+}
+
+TEST(TdlintStatsDump, DirectAndAggregatedCountersPass)
+{
+    EXPECT_TRUE(lintFixture("stats_dump_clean.cc").clean());
+}
+
+TEST(TdlintHeader, FlagsGuardAndMissingIncludes)
+{
+    const Result r = lintFixture("header_bad.hh");
+    EXPECT_EQ(countCheck(r, "header"), 3u);
+    EXPECT_TRUE(hasDiag(r, "header", 1)); // guard not TINYDIR_*_HH
+    EXPECT_TRUE(hasDiag(r, "header", 9)); // vector + cstdint
+}
+
+TEST(TdlintHeader, SelfSufficientHeaderPasses)
+{
+    EXPECT_TRUE(lintFixture("header_clean.hh").clean());
+}
+
+TEST(TdlintSuppress, JustifiedAllowsSilenceBothForms)
+{
+    // suppress_ok.cc is error_path_bad-shaped code with an own-line
+    // allow over exit() and an end-of-line allow on fprintf().
+    EXPECT_TRUE(lintFixture("suppress_ok.cc").clean());
+}
+
+TEST(TdlintSuppress, MisuseIsDiagnosed)
+{
+    const Result r = lintFixture("suppress_bad.cc");
+    EXPECT_EQ(countCheck(r, "lint-usage"), 3u);
+    EXPECT_TRUE(hasDiag(r, "lint-usage", 8));  // missing justification
+    EXPECT_TRUE(hasDiag(r, "lint-usage", 16)); // unknown check name
+    EXPECT_TRUE(hasDiag(r, "lint-usage", 24)); // unused suppression
+}
+
+TEST(TdlintCli, CheckFilterRestrictsDiagnostics)
+{
+    Options o;
+    o.root = TINYDIR_LINT_FIXTURE_DIR;
+    o.files = {"error_path_bad.cc", "determinism_bad.cc"};
+    o.checks = {"determinism"};
+    const Result r = tdlint::run(o);
+    EXPECT_EQ(countCheck(r, "determinism"), 4u);
+    EXPECT_EQ(countCheck(r, ""), 4u); // no error-path leakage
+}
+
+TEST(TdlintCli, DiagnosticsAreSortedAndFormatted)
+{
+    Options o;
+    o.root = TINYDIR_LINT_FIXTURE_DIR;
+    o.files = {"header_bad.hh", "determinism_bad.cc"};
+    const Result r = tdlint::run(o);
+    ASSERT_FALSE(r.clean());
+    EXPECT_TRUE(std::is_sorted(
+        r.diags.begin(), r.diags.end(),
+        [](const Diagnostic &a, const Diagnostic &b) {
+            return a.file != b.file ? a.file < b.file : a.line < b.line;
+        }));
+    std::string report;
+    EXPECT_EQ(tdlint::printDiagnostics(r, report), r.diags.size());
+    EXPECT_NE(report.find("determinism_bad.cc:14: [determinism]"),
+              std::string::npos);
+}
+
+TEST(TdlintRepo, WholeTreeIsClean)
+{
+    // The same invariant the `tdlint` ctest enforces, reachable from
+    // the gtest binary so a violation shows up in both places.
+    Options o;
+    o.root = TINYDIR_REPO_ROOT;
+    o.files = tdlint::defaultFileSet(o.root);
+    const tdlint::Result r = tdlint::run(o);
+    std::string report;
+    tdlint::printDiagnostics(r, report);
+    EXPECT_TRUE(r.clean()) << report;
+}
+
+} // namespace

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Single-entry CI gate. Runs, in order:
+#   1. configure + build (default preset, build/)
+#   2. ctest -L fast        (unit/integration tests, tdlint, header TUs)
+#   3. tdlint over the tree (redundant with the ctest, but surfaces
+#      diagnostics directly in the log even when ctest output is terse)
+#   4. fuzz_smoke under the asan preset (build-asan/)
+#
+# Usage: tools/ci.sh [--skip-asan]
+# Any failure stops the script (set -e); the failing stage is the last
+# banner printed.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_ASAN=0
+for arg in "$@"; do
+    case "$arg" in
+        --skip-asan) SKIP_ASAN=1 ;;
+        *) echo "usage: tools/ci.sh [--skip-asan]" >&2; exit 2 ;;
+    esac
+done
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+banner "configure + build (default)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$(nproc)"
+
+banner "ctest -L fast"
+ctest --test-dir build -L fast --output-on-failure -j "$(nproc)"
+
+banner "tdlint"
+./build/tools/tdlint --root .
+
+if [ "$SKIP_ASAN" = 0 ]; then
+    banner "fuzz_smoke (asan)"
+    cmake --preset asan >/dev/null
+    cmake --build build-asan -j "$(nproc)" --target fuzz_traces
+    ctest --test-dir build-asan -R fuzz_smoke --output-on-failure
+fi
+
+banner "CI gate passed"

@@ -1,0 +1,1595 @@
+/**
+ * @file
+ * tdlint implementation: lexer, lightweight function/call-graph model,
+ * and the five checks described in tdlint.hh.
+ *
+ * This is a token-level approximation, not a compiler frontend. The
+ * known over/under-approximations are documented in DESIGN.md
+ * ("Static analysis"); fixtures in tests/lint_fixtures pin the
+ * behaviour each check must have.
+ */
+
+#include "tdlint/tdlint.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace tdlint
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok : unsigned char
+{
+    Ident,
+    Number,
+    Str,
+    Chr,
+    Punct,
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    int line;
+};
+
+/** A parsed `// TDLINT:` directive. */
+struct Directive
+{
+    enum Kind { Hot, HotSafe, Cold, Allow, Malformed } kind = Malformed;
+    std::vector<std::string> allowChecks;
+    std::string error;   //!< for Malformed: what was wrong
+    int line = 0;
+    bool ownLine = false; //!< comment was alone on its line
+    mutable bool used = false;
+};
+
+struct SourceFile
+{
+    std::string path; //!< relative to the lint root
+    std::vector<Token> toks;
+    std::vector<Directive> directives;
+    /** Quoted includes as written (repo-relative under src/). */
+    std::vector<std::string> quotedIncludes;
+    /** Angled includes as written (std / system headers). */
+    std::vector<std::string> angledIncludes;
+    /** First #ifndef / #define pair, for the guard check. */
+    std::string guardIfndef, guardDefine;
+    bool sawPreprocessor = false;
+};
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Parse the text after "TDLINT:" into a directive. */
+Directive
+parseDirective(const std::string &body, int line, bool own_line)
+{
+    Directive d;
+    d.line = line;
+    d.ownLine = own_line;
+    std::string s = body;
+    // Trim.
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+        s.erase(s.begin());
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.pop_back();
+    if (s == "hot") {
+        d.kind = Directive::Hot;
+    } else if (s == "hot-safe") {
+        d.kind = Directive::HotSafe;
+    } else if (s == "cold") {
+        d.kind = Directive::Cold;
+    } else if (s.rfind("allow(", 0) == 0) {
+        const auto close = s.find(')');
+        if (close == std::string::npos) {
+            d.error = "allow() missing closing parenthesis";
+            return d;
+        }
+        std::string list = s.substr(6, close - 6);
+        std::string rest = s.substr(close + 1);
+        if (rest.empty() || rest[0] != ':') {
+            d.error = "allow() requires a ': <justification>' suffix";
+            return d;
+        }
+        rest.erase(rest.begin());
+        while (!rest.empty() &&
+               std::isspace(static_cast<unsigned char>(rest.front())))
+            rest.erase(rest.begin());
+        if (rest.empty()) {
+            d.error = "allow() justification must not be empty";
+            return d;
+        }
+        std::stringstream ls(list);
+        std::string item;
+        while (std::getline(ls, item, ',')) {
+            while (!item.empty() && std::isspace(
+                       static_cast<unsigned char>(item.front())))
+                item.erase(item.begin());
+            while (!item.empty() && std::isspace(
+                       static_cast<unsigned char>(item.back())))
+                item.pop_back();
+            if (item.empty())
+                continue;
+            if (std::find(allChecks().begin(), allChecks().end(), item) ==
+                allChecks().end()) {
+                d.error = "allow() names unknown check '" + item + "'";
+                return d;
+            }
+            d.allowChecks.push_back(item);
+        }
+        if (d.allowChecks.empty()) {
+            d.error = "allow() lists no checks";
+            return d;
+        }
+        d.kind = Directive::Allow;
+    } else {
+        d.error = "unknown TDLINT directive '" + s + "'";
+    }
+    return d;
+}
+
+/** Lex one file: tokens, directives, includes, guard. */
+void
+lex(const std::string &src, SourceFile &out)
+{
+    const std::size_t n = src.size();
+    std::size_t i = 0;
+    int line = 1;
+    bool tokenOnLine = false;
+    auto newline = [&]() {
+        ++line;
+        tokenOnLine = false;
+    };
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            newline();
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Preprocessor line (only at start of line logically; good
+        // enough to treat any '#' as one since '#' appears nowhere
+        // else outside strings in this codebase).
+        if (c == '#') {
+            out.sawPreprocessor = true;
+            std::size_t j = i + 1;
+            while (j < n && std::isspace(static_cast<unsigned char>(src[j])) &&
+                   src[j] != '\n')
+                ++j;
+            std::string word;
+            while (j < n && identChar(src[j]))
+                word += src[j++];
+            while (j < n && std::isspace(static_cast<unsigned char>(src[j])) &&
+                   src[j] != '\n')
+                ++j;
+            if (word == "include" && j < n) {
+                const char open = src[j];
+                const char close = open == '<' ? '>' : '"';
+                if (open == '<' || open == '"') {
+                    std::string path;
+                    ++j;
+                    while (j < n && src[j] != close && src[j] != '\n')
+                        path += src[j++];
+                    if (open == '<')
+                        out.angledIncludes.push_back(path);
+                    else
+                        out.quotedIncludes.push_back(path);
+                }
+            } else if (word == "ifndef" || word == "define") {
+                std::string sym;
+                std::size_t k = j;
+                while (k < n && identChar(src[k]))
+                    sym += src[k++];
+                if (word == "ifndef" && out.guardIfndef.empty())
+                    out.guardIfndef = sym;
+                else if (word == "define" && out.guardDefine.empty() &&
+                         !out.guardIfndef.empty())
+                    out.guardDefine = sym;
+            }
+            // Consume to end of line, honouring continuations.
+            while (i < n && src[i] != '\n') {
+                if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+                    i += 2;
+                    newline();
+                    continue;
+                }
+                ++i;
+            }
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t j = i + 2;
+            std::string text;
+            while (j < n && src[j] != '\n')
+                text += src[j++];
+            const auto pos = text.find("TDLINT:");
+            if (pos != std::string::npos) {
+                out.directives.push_back(parseDirective(
+                    text.substr(pos + 7), line, !tokenOnLine));
+            }
+            i = j;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t j = i + 2;
+            std::string text;
+            while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+                if (src[j] == '\n')
+                    newline();
+                text += src[j++];
+            }
+            const auto pos = text.find("TDLINT:");
+            if (pos != std::string::npos) {
+                // Block-comment directives attach to the comment's
+                // closing line (conservative; the repo uses //-form).
+                auto end = text.find('\n', pos);
+                out.directives.push_back(parseDirective(
+                    text.substr(pos + 7, end == std::string::npos
+                                             ? std::string::npos
+                                             : end - pos - 7),
+                    line, !tokenOnLine));
+            }
+            i = j + 2;
+            continue;
+        }
+        tokenOnLine = true;
+        if (c == '"') {
+            // Raw string?
+            bool raw = false;
+            if (i > 0 && src[i - 1] == 'R' &&
+                (i < 2 || !identChar(src[i - 2])))
+                raw = true;
+            std::size_t j = i + 1;
+            if (raw) {
+                std::string delim;
+                while (j < n && src[j] != '(')
+                    delim += src[j++];
+                const std::string closer = ")" + delim + "\"";
+                const auto endPos = src.find(closer, j);
+                for (std::size_t k = j;
+                     k < std::min(n, endPos == std::string::npos
+                                         ? n
+                                         : endPos + closer.size());
+                     ++k) {
+                    if (src[k] == '\n')
+                        newline();
+                }
+                j = endPos == std::string::npos ? n
+                                                : endPos + closer.size();
+            } else {
+                while (j < n && src[j] != '"') {
+                    if (src[j] == '\\')
+                        ++j;
+                    else if (src[j] == '\n')
+                        newline();
+                    ++j;
+                }
+                ++j;
+            }
+            out.toks.push_back({Tok::Str, "", line});
+            i = j;
+            continue;
+        }
+        if (c == '\'') {
+            std::size_t j = i + 1;
+            while (j < n && src[j] != '\'') {
+                if (src[j] == '\\')
+                    ++j;
+                ++j;
+            }
+            out.toks.push_back({Tok::Chr, "", line});
+            i = j + 1;
+            continue;
+        }
+        if (identChar(c) && !std::isdigit(static_cast<unsigned char>(c))) {
+            std::string text;
+            std::size_t j = i;
+            while (j < n && identChar(src[j]))
+                text += src[j++];
+            out.toks.push_back({Tok::Ident, text, line});
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string text;
+            std::size_t j = i;
+            while (j < n && (identChar(src[j]) || src[j] == '.' ||
+                             ((src[j] == '+' || src[j] == '-') && j > i &&
+                              (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                               src[j - 1] == 'p' || src[j - 1] == 'P'))))
+                text += src[j++];
+            out.toks.push_back({Tok::Number, text, line});
+            i = j;
+            continue;
+        }
+        // Punctuation; combine only '::' and '->' (template-angle
+        // arithmetic elsewhere wants single chars).
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            out.toks.push_back({Tok::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            out.toks.push_back({Tok::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        out.toks.push_back({Tok::Punct, std::string(1, c), line});
+        ++i;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Function / struct model
+// ---------------------------------------------------------------------------
+
+struct CallSite
+{
+    std::string name;
+    int line;
+};
+
+struct StdUse
+{
+    std::string name; //!< identifier after `std::`
+    int line;
+};
+
+struct Function
+{
+    std::string qualName;  //!< Scope::name as written
+    std::string simpleName;
+    int fileIdx = -1;
+    int startLine = 0;
+    bool hot = false;
+    bool hotSafe = false;
+    bool cold = false;
+    std::vector<CallSite> calls;
+    std::vector<StdUse> stdUses;
+    std::vector<int> newLines;      //!< lines with a `new` expression
+    std::set<std::string> identSet; //!< all identifiers in the body
+    std::set<std::string> headerIdents; //!< identifiers in the signature
+    /** `throw <Type>` sites: (type simple name, line); "" = rethrow. */
+    std::vector<std::pair<std::string, int>> throwSites;
+};
+
+struct StatsStruct
+{
+    std::string name;
+    int fileIdx = -1;
+    int line = 0;
+    /** (member name, declaration line). */
+    std::vector<std::pair<std::string, int>> members;
+};
+
+struct Model
+{
+    std::vector<SourceFile> files;
+    std::vector<Function> funcs;
+    std::vector<StatsStruct> statsStructs;
+    std::map<std::string, std::vector<int>> byName; //!< simple name -> funcs
+};
+
+const std::set<std::string> &
+keywordSet()
+{
+    static const std::set<std::string> kw = {
+        "if", "for", "while", "switch", "return", "sizeof", "alignof",
+        "catch", "static_assert", "decltype", "static_cast",
+        "dynamic_cast", "reinterpret_cast", "const_cast", "new",
+        "delete", "throw", "case", "default", "do", "else", "goto",
+        "typeid", "alignas", "noexcept", "requires", "co_await",
+        "co_return", "co_yield", "defined", "assert",
+    };
+    return kw;
+}
+
+/** Skip from an opening bracket to just past its match. */
+std::size_t
+skipBalanced(const std::vector<Token> &t, std::size_t i, const char *open,
+             const char *close)
+{
+    int depth = 0;
+    const std::size_t n = t.size();
+    for (; i < n; ++i) {
+        if (t[i].kind == Tok::Punct) {
+            if (t[i].text == open)
+                ++depth;
+            else if (t[i].text == close && --depth == 0)
+                return i + 1;
+        }
+    }
+    return n;
+}
+
+/** Scan a function body, collecting call sites and banned tokens. */
+std::size_t
+scanBody(const std::vector<Token> &t, std::size_t open, Function &fn)
+{
+    int depth = 0;
+    const std::size_t n = t.size();
+    std::size_t i = open;
+    for (; i < n; ++i) {
+        const Token &tok = t[i];
+        if (tok.kind == Tok::Punct) {
+            if (tok.text == "{")
+                ++depth;
+            else if (tok.text == "}" && --depth == 0) {
+                ++i;
+                break;
+            }
+            continue;
+        }
+        if (tok.kind != Tok::Ident)
+            continue;
+        fn.identSet.insert(tok.text);
+        if (tok.text == "new") {
+            fn.newLines.push_back(tok.line);
+            continue;
+        }
+        if (tok.text == "throw") {
+            // Extract the thrown type's simple name: the last
+            // identifier of the qualifier chain before '(' or '{'.
+            std::string type;
+            std::size_t j = i + 1;
+            while (j < n) {
+                const Token &u = t[j];
+                if (u.kind == Tok::Ident) {
+                    type = u.text;
+                    ++j;
+                    continue;
+                }
+                if (u.kind == Tok::Punct && u.text == "::") {
+                    ++j;
+                    continue;
+                }
+                break;
+            }
+            fn.throwSites.emplace_back(type, tok.line);
+            continue;
+        }
+        if (tok.text == "std" && i + 2 < n && t[i + 1].kind == Tok::Punct &&
+            t[i + 1].text == "::" && t[i + 2].kind == Tok::Ident) {
+            fn.stdUses.push_back({t[i + 2].text, t[i + 2].line});
+        }
+        if (i + 1 < n && t[i + 1].kind == Tok::Punct &&
+            t[i + 1].text == "(" && !keywordSet().count(tok.text)) {
+            fn.calls.push_back({tok.text, tok.line});
+        }
+    }
+    // Function-try-block / trailing catch clauses: consume
+    // `catch (...) { ... }` sequences that belong to this function.
+    while (i < n && t[i].kind == Tok::Ident && t[i].text == "catch") {
+        std::size_t j = i + 1;
+        if (j < n && t[j].kind == Tok::Punct && t[j].text == "(")
+            j = skipBalanced(t, j, "(", ")");
+        if (j < n && t[j].kind == Tok::Punct && t[j].text == "{") {
+            // The catch body is part of the function for call/ident
+            // purposes; recurse through the same scanner.
+            Function sub;
+            j = scanBody(t, j, sub);
+            for (const auto &c : sub.calls)
+                fn.calls.push_back(c);
+            for (const auto &s : sub.stdUses)
+                fn.stdUses.push_back(s);
+            for (int l : sub.newLines)
+                fn.newLines.push_back(l);
+            for (const auto &th : sub.throwSites)
+                fn.throwSites.push_back(th);
+            fn.identSet.insert(sub.identSet.begin(), sub.identSet.end());
+        }
+        i = j;
+    }
+    return i;
+}
+
+/** Collect member declarations of a stats struct body. */
+void
+collectMembers(const std::vector<Token> &t, std::size_t open,
+               std::size_t close, StatsStruct &ss)
+{
+    // Walk depth-1 tokens, splitting statements at ';'. Tokens inside
+    // nested braces (member function bodies, braced initializers) and
+    // parens are skipped; a statement that contained a '(' at depth 1
+    // is a function declaration/definition, not a data member.
+    std::vector<const Token *> stmt;
+    bool sawParen = false;
+    bool skip = false;
+    int depth = 0;
+    for (std::size_t i = open; i < close; ++i) {
+        const Token &tok = t[i];
+        if (tok.kind == Tok::Punct) {
+            if (tok.text == "{" || tok.text == "(") {
+                if (tok.text == "(" && depth == 0)
+                    sawParen = true;
+                ++depth;
+                continue;
+            }
+            if (tok.text == "}" || tok.text == ")") {
+                --depth;
+                continue;
+            }
+            if (depth > 0)
+                continue;
+            if (tok.text == ";") {
+                if (!skip && !sawParen && !stmt.empty()) {
+                    // Multi-declarator split at top-level commas;
+                    // angle depth guards template argument commas.
+                    int angle = 0;
+                    const Token *last = nullptr;
+                    bool afterEq = false;
+                    auto flush = [&]() {
+                        if (last)
+                            ss.members.emplace_back(last->text, last->line);
+                        last = nullptr;
+                        afterEq = false;
+                    };
+                    for (const Token *p : stmt) {
+                        if (p->kind == Tok::Punct) {
+                            if (p->text == "<")
+                                ++angle;
+                            else if (p->text == ">")
+                                --angle;
+                            else if (p->text == "," && angle == 0)
+                                flush();
+                            else if (p->text == "=")
+                                afterEq = true;
+                            continue;
+                        }
+                        if (p->kind == Tok::Ident && !afterEq)
+                            last = p;
+                    }
+                    flush();
+                }
+                stmt.clear();
+                sawParen = false;
+                skip = false;
+                continue;
+            }
+            if (tok.text == ":" && stmt.size() == 1 &&
+                stmt[0]->kind == Tok::Ident &&
+                (stmt[0]->text == "public" || stmt[0]->text == "private" ||
+                 stmt[0]->text == "protected")) {
+                stmt.clear();
+                continue;
+            }
+            stmt.push_back(&tok);
+            continue;
+        }
+        if (depth > 0)
+            continue;
+        if (tok.kind == Tok::Ident && stmt.empty() &&
+            (tok.text == "using" || tok.text == "typedef" ||
+             tok.text == "friend" || tok.text == "template" ||
+             tok.text == "static" || tok.text == "enum" ||
+             tok.text == "struct" || tok.text == "class"))
+            skip = true;
+        stmt.push_back(&tok);
+    }
+}
+
+/**
+ * Find the annotation (hot/hot-safe/cold) closest above a function
+ * definition; directives bind to definitions within 3 lines below.
+ */
+void
+applyAnnotations(const SourceFile &sf, Function &fn)
+{
+    for (const Directive &d : sf.directives) {
+        if (d.kind != Directive::Hot && d.kind != Directive::HotSafe &&
+            d.kind != Directive::Cold)
+            continue;
+        if (d.line <= fn.startLine && fn.startLine - d.line <= 3) {
+            d.used = true;
+            if (d.kind == Directive::Hot)
+                fn.hot = true;
+            else if (d.kind == Directive::HotSafe)
+                fn.hotSafe = true;
+            else
+                fn.cold = true;
+        }
+    }
+}
+
+/** Parse one file's token stream into functions and stats structs. */
+void
+parseFile(Model &m, int file_idx)
+{
+    const SourceFile &sf = m.files[file_idx];
+    const std::vector<Token> &t = sf.toks;
+    const std::size_t n = t.size();
+
+    struct Scope
+    {
+        std::string name; //!< empty for anonymous / block scopes
+        bool isClass = false;
+    };
+    std::vector<Scope> scopes;
+
+    auto qualify = [&](const std::string &name) {
+        std::string q;
+        for (const auto &s : scopes) {
+            if (!s.name.empty() && s.isClass)
+                q += s.name + "::";
+        }
+        return q + name;
+    };
+
+    std::size_t i = 0;
+    while (i < n) {
+        const Token &tok = t[i];
+        if (tok.kind == Tok::Punct) {
+            if (tok.text == "{") {
+                scopes.push_back({});
+                ++i;
+            } else if (tok.text == "}") {
+                if (!scopes.empty())
+                    scopes.pop_back();
+                ++i;
+            } else {
+                ++i;
+            }
+            continue;
+        }
+        if (tok.kind != Tok::Ident) {
+            ++i;
+            continue;
+        }
+        const std::string &kw = tok.text;
+        if (kw == "namespace") {
+            std::size_t j = i + 1;
+            std::string name;
+            if (j < n && t[j].kind == Tok::Ident)
+                name = t[j++].text;
+            while (j < n &&
+                   !(t[j].kind == Tok::Punct &&
+                     (t[j].text == "{" || t[j].text == ";")))
+                ++j;
+            if (j < n && t[j].text == "{") {
+                scopes.push_back({name, false});
+                i = j + 1;
+            } else {
+                i = j + 1;
+            }
+            continue;
+        }
+        if (kw == "class" || kw == "struct" || kw == "union" ||
+            kw == "enum") {
+            // `enum class X : base {` / `struct X : public Y {` /
+            // forward declarations / `struct X *p;` uses.
+            std::size_t j = i + 1;
+            if (j < n && t[j].kind == Tok::Ident && t[j].text == "class")
+                ++j; // enum class
+            std::string name;
+            if (j < n && t[j].kind == Tok::Ident)
+                name = t[j++].text;
+            // Find '{' or ';' at angle depth 0 (base clauses may
+            // contain templates).
+            int angle = 0;
+            while (j < n) {
+                if (t[j].kind == Tok::Punct) {
+                    if (t[j].text == "<")
+                        ++angle;
+                    else if (t[j].text == ">")
+                        --angle;
+                    else if (angle == 0 &&
+                             (t[j].text == "{" || t[j].text == ";" ||
+                              t[j].text == ")" || t[j].text == ","))
+                        break;
+                }
+                ++j;
+            }
+            if (j >= n || t[j].text != "{") {
+                // Forward declaration or `struct X` used as a type
+                // (e.g. in a parameter list): not a definition.
+                i = j + 1;
+                continue;
+            }
+            if (kw == "enum") {
+                i = skipBalanced(t, j, "{", "}");
+                continue;
+            }
+            const bool isStats =
+                !name.empty() &&
+                ((name.size() > 5 &&
+                  name.compare(name.size() - 5, 5, "Stats") == 0) ||
+                 (name.size() > 10 &&
+                  name.compare(name.size() - 10, 10, "Histograms") == 0));
+            if (isStats) {
+                StatsStruct ss;
+                ss.name = name;
+                ss.fileIdx = file_idx;
+                ss.line = tok.line;
+                const std::size_t end = skipBalanced(t, j, "{", "}") - 1;
+                collectMembers(t, j + 1, end, ss);
+                m.statsStructs.push_back(std::move(ss));
+            }
+            scopes.push_back({name, true});
+            i = j + 1;
+            continue;
+        }
+        if (kw == "template") {
+            std::size_t j = i + 1;
+            if (j < n && t[j].kind == Tok::Punct && t[j].text == "<") {
+                int angle = 0;
+                while (j < n) {
+                    if (t[j].kind == Tok::Punct) {
+                        if (t[j].text == "<")
+                            ++angle;
+                        else if (t[j].text == ">" && --angle == 0) {
+                            ++j;
+                            break;
+                        }
+                    }
+                    ++j;
+                }
+            }
+            i = j;
+            continue;
+        }
+        if ((kw == "public" || kw == "private" || kw == "protected") &&
+            i + 1 < n && t[i + 1].kind == Tok::Punct &&
+            t[i + 1].text == ":") {
+            i += 2;
+            continue;
+        }
+        if (kw == "using" || kw == "typedef") {
+            while (i < n &&
+                   !(t[i].kind == Tok::Punct && t[i].text == ";"))
+                ++i;
+            ++i;
+            continue;
+        }
+
+        // Candidate function (or variable, or statement): find the
+        // first '(' in this statement at angle depth 0.
+        std::size_t j = i;
+        int angle = 0;
+        std::size_t paren = 0;
+        bool found = false;
+        while (j < n) {
+            const Token &u = t[j];
+            if (u.kind == Tok::Punct) {
+                if (u.text == "<")
+                    ++angle;
+                else if (u.text == ">")
+                    --angle;
+                else if (u.text == ";" || u.text == "{" || u.text == "}")
+                    break;
+                else if (u.text == "(" && angle <= 0) {
+                    paren = j;
+                    found = true;
+                    break;
+                } else if (u.text == "=") {
+                    break; // variable initialization
+                }
+            }
+            ++j;
+        }
+        if (!found) {
+            // Not a function header; skip this statement. `{` starts
+            // a scope the main loop will handle.
+            if (j < n && t[j].kind == Tok::Punct && t[j].text == ";")
+                ++j;
+            i = std::max(j, i + 1);
+            continue;
+        }
+        // Name: identifier (or operator cluster) before '('.
+        std::string name;
+        int nameLine = t[paren].line;
+        std::size_t k = paren;
+        if (k > i) {
+            const Token &prev = t[k - 1];
+            if (prev.kind == Tok::Ident) {
+                name = prev.text;
+                nameLine = prev.line;
+                if (k >= 2 && t[k - 2].kind == Tok::Punct &&
+                    t[k - 2].text == "~")
+                    name = "~" + name;
+            } else if (prev.kind == Tok::Punct) {
+                // operator()/operator[]/operator++ ... walk back to
+                // the `operator` keyword.
+                std::size_t b = k - 1;
+                std::string cluster;
+                while (b > i && t[b].kind == Tok::Punct) {
+                    cluster = t[b].text + cluster;
+                    --b;
+                }
+                if (t[b].kind == Tok::Ident && t[b].text == "operator") {
+                    name = "operator" + cluster;
+                    nameLine = t[b].line;
+                }
+            }
+        }
+        if (name.empty() || keywordSet().count(name)) {
+            i = skipBalanced(t, paren, "(", ")");
+            continue;
+        }
+        // Qualifier chain before the name: A::B::name.
+        std::string qual;
+        {
+            std::size_t b = paren - 1;
+            // Step to the token before the name/operator cluster.
+            while (b > i && !(t[b].kind == Tok::Ident &&
+                              (t[b].text == name ||
+                               (name.rfind("operator", 0) == 0 &&
+                                t[b].text == "operator"))))
+                --b;
+            while (b >= 2 && t[b - 1].kind == Tok::Punct &&
+                   t[b - 1].text == "::" && t[b - 2].kind == Tok::Ident) {
+                qual = t[b - 2].text + "::" + qual;
+                b -= 2;
+            }
+        }
+        std::size_t after = skipBalanced(t, paren, "(", ")");
+        Function fn;
+        fn.fileIdx = file_idx;
+        fn.simpleName = name;
+        fn.qualName = qual.empty() ? qualify(name) : qual + name;
+        fn.startLine = t[i].line;
+        (void)nameLine;
+        for (std::size_t p = paren + 1; p + 1 < after; ++p) {
+            if (t[p].kind == Tok::Ident)
+                fn.headerIdents.insert(t[p].text);
+        }
+        // After the parameter list: qualifiers, ctor-inits, trailing
+        // return, `= default/delete`, or the body.
+        bool isDef = false;
+        bool inInit = false;
+        std::size_t q = after;
+        std::string prevText = ")";
+        while (q < n) {
+            const Token &u = t[q];
+            if (u.kind == Tok::Ident) {
+                if (u.text == "try") {
+                    ++q;
+                    prevText = "try";
+                    continue;
+                }
+                prevText = u.text;
+                ++q;
+                continue;
+            }
+            if (u.kind != Tok::Punct) {
+                prevText = "";
+                ++q;
+                continue;
+            }
+            if (u.text == ";") {
+                break; // declaration only
+            }
+            if (u.text == "=") {
+                break; // = default / = delete / = 0
+            }
+            if (u.text == "(") {
+                q = skipBalanced(t, q, "(", ")");
+                prevText = ")";
+                continue;
+            }
+            if (u.text == ":" ) {
+                inInit = true;
+                ++q;
+                prevText = ":";
+                continue;
+            }
+            if (u.text == "{") {
+                if (inInit && prevText != ")" && prevText != "}" &&
+                    prevText != "try") {
+                    // Braced member initializer inside a ctor-init
+                    // list, not the body.
+                    q = skipBalanced(t, q, "{", "}");
+                    prevText = "}";
+                    continue;
+                }
+                isDef = true;
+                break;
+            }
+            prevText = u.text;
+            ++q;
+        }
+        if (!isDef) {
+            i = q + 1;
+            continue;
+        }
+        const std::size_t bodyEnd = scanBody(t, q, fn);
+        applyAnnotations(sf, fn);
+        m.byName[fn.simpleName].push_back(static_cast<int>(m.funcs.size()));
+        m.funcs.push_back(std::move(fn));
+        i = bodyEnd;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers for checks
+// ---------------------------------------------------------------------------
+
+struct Linter
+{
+    const Options &opts;
+    Model model;
+    std::vector<Diagnostic> diags;
+
+    bool
+    checkEnabled(const std::string &c) const
+    {
+        return opts.checks.empty() ||
+               std::find(opts.checks.begin(), opts.checks.end(), c) !=
+                   opts.checks.end();
+    }
+
+    /** Is there a consumed allow(check) covering @p line of @p file? */
+    bool
+    suppressed(int file_idx, int line, const std::string &check)
+    {
+        for (const Directive &d : model.files[file_idx].directives) {
+            if (d.kind != Directive::Allow)
+                continue;
+            const bool covers =
+                d.line == line || (d.ownLine && d.line + 1 == line);
+            if (!covers)
+                continue;
+            if (std::find(d.allowChecks.begin(), d.allowChecks.end(),
+                          check) == d.allowChecks.end())
+                continue;
+            d.used = true;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    report(int file_idx, int line, const std::string &check,
+           const std::string &msg)
+    {
+        if (!checkEnabled(check))
+            return;
+        if (suppressed(file_idx, line, check))
+            return;
+        diags.push_back({model.files[file_idx].path, line, check, msg});
+    }
+
+    bool
+    isSrcFile(int file_idx) const
+    {
+        const std::string &p = model.files[file_idx].path;
+        return p.rfind("src/", 0) == 0 || p.find('/') == std::string::npos;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Check 1: hot-alloc
+// ---------------------------------------------------------------------------
+
+const std::set<std::string> &
+bannedAllocCalls()
+{
+    static const std::set<std::string> s = {
+        "malloc", "calloc", "realloc", "strdup", "strndup",
+        "aligned_alloc", "posix_memalign", "free",
+    };
+    return s;
+}
+
+/** Methods that allocate on std containers when not resolved in-repo. */
+const std::set<std::string> &
+bannedAllocMethods()
+{
+    static const std::set<std::string> s = {
+        "push_back", "emplace_back", "emplace", "resize", "reserve",
+        "assign", "append", "shrink_to_fit", "to_string", "substr",
+        "str", "push_front", "emplace_front",
+    };
+    return s;
+}
+
+const std::set<std::string> &
+bannedStdTypes()
+{
+    static const std::set<std::string> s = {
+        "vector", "string", "map", "multimap", "set", "multiset",
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset", "deque", "list", "forward_list",
+        "function", "ostringstream", "stringstream", "istringstream",
+        "make_unique", "make_shared", "to_string", "stoi", "stoul",
+        "stoull", "stod", "getline",
+    };
+    return s;
+}
+
+void
+checkHotAlloc(Linter &lt)
+{
+    Model &m = lt.model;
+    std::vector<int> parent(m.funcs.size(), -1);
+    std::vector<char> visited(m.funcs.size(), 0);
+    std::vector<int> queue;
+    for (std::size_t f = 0; f < m.funcs.size(); ++f) {
+        if (m.funcs[f].hot) {
+            queue.push_back(static_cast<int>(f));
+            visited[f] = 1;
+        }
+    }
+    auto pathOf = [&](int f) {
+        std::string path = m.funcs[f].qualName;
+        int hops = 0;
+        for (int p = parent[f]; p >= 0 && hops < 8; p = parent[p], ++hops)
+            path = m.funcs[p].qualName + " -> " + path;
+        return path;
+    };
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        const int f = queue[qi];
+        const Function &fn = m.funcs[f];
+        if (fn.hotSafe || fn.cold)
+            continue;
+        // The hot path never enters the debug/verification
+        // subsystems (observer and verifier are detached in
+        // production runs); their name-collisions with tracker
+        // methods would otherwise poison the walk.
+        const std::string &fp = m.files[fn.fileIdx].path;
+        const bool debugSubsystem =
+            fp.find("oracle/") != std::string::npos ||
+            fp.find("verify/") != std::string::npos;
+        if (debugSubsystem && !fn.hot)
+            continue;
+        for (int l : fn.newLines) {
+            lt.report(fn.fileIdx, l, "hot-alloc",
+                      "'new' on the hot path in " + fn.qualName +
+                          " (hot via " + pathOf(f) + ")");
+        }
+        for (const StdUse &u : fn.stdUses) {
+            if (bannedStdTypes().count(u.name)) {
+                lt.report(fn.fileIdx, u.line, "hot-alloc",
+                          "allocating std::" + u.name +
+                              " on the hot path in " + fn.qualName +
+                              " (hot via " + pathOf(f) + ")");
+            }
+        }
+        for (const CallSite &c : fn.calls) {
+            const auto it = m.byName.find(c.name);
+            if (it != m.byName.end()) {
+                for (int callee : it->second) {
+                    if (visited[callee])
+                        continue;
+                    visited[callee] = 1;
+                    parent[callee] = f;
+                    queue.push_back(callee);
+                }
+                continue;
+            }
+            if (bannedAllocCalls().count(c.name)) {
+                lt.report(fn.fileIdx, c.line, "hot-alloc",
+                          "call to allocator '" + c.name +
+                              "' on the hot path in " + fn.qualName +
+                              " (hot via " + pathOf(f) + ")");
+            } else if (bannedAllocMethods().count(c.name)) {
+                lt.report(fn.fileIdx, c.line, "hot-alloc",
+                          "call to potentially allocating '" + c.name +
+                              "' (unresolved in repo) on the hot path in " +
+                              fn.qualName + " (hot via " + pathOf(f) + ")");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Check 2: error-path
+// ---------------------------------------------------------------------------
+
+void
+checkErrorPath(Linter &lt)
+{
+    static const std::set<std::string> killers = {
+        "abort", "exit", "_exit", "_Exit", "quick_exit", "terminate",
+        "raise", "longjmp",
+    };
+    static const std::set<std::string> rawStdio = {
+        "fprintf", "printf", "vfprintf", "fputs", "fputc", "puts",
+        "perror",
+    };
+    static const std::set<std::string> allowedThrows = {
+        "SimError", "InternalError", "ConfigError", "InvariantViolation",
+        "SimTimeout",
+    };
+    Model &m = lt.model;
+    for (std::size_t f = 0; f < m.funcs.size(); ++f) {
+        const Function &fn = m.funcs[f];
+        if (!lt.isSrcFile(fn.fileIdx))
+            continue;
+        for (const CallSite &c : fn.calls) {
+            if (killers.count(c.name)) {
+                lt.report(fn.fileIdx, c.line, "error-path",
+                          "process-killing '" + c.name + "' in " +
+                              fn.qualName +
+                              "; library paths must throw SimError "
+                              "(panic()/fatal())");
+            } else if (rawStdio.count(c.name)) {
+                lt.report(fn.fileIdx, c.line, "error-path",
+                          "raw stdio '" + c.name + "' in " + fn.qualName +
+                              "; use warn()/inform() or take an ostream");
+            }
+        }
+        for (const auto &[type, line] : fn.throwSites) {
+            if (type.empty())
+                continue; // bare rethrow
+            if (!allowedThrows.count(type)) {
+                lt.report(fn.fileIdx, line, "error-path",
+                          "throw of non-SimError type '" + type + "' in " +
+                              fn.qualName +
+                              "; only the SimError hierarchy may cross "
+                              "library boundaries");
+            }
+        }
+        // std::cerr / std::cout writes bypass the serialized sinks.
+        for (const StdUse &u : fn.stdUses) {
+            if (u.name == "cerr" || u.name == "cout") {
+                lt.report(fn.fileIdx, u.line, "error-path",
+                          "direct std::" + u.name + " in " + fn.qualName +
+                              "; use warn()/inform() or take an ostream");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Check 3: determinism
+// ---------------------------------------------------------------------------
+
+void
+checkDeterminism(Linter &lt)
+{
+    static const std::set<std::string> bannedCalls = {
+        "rand", "srand", "rand_r", "random", "srandom", "drand48",
+        "lrand48", "time", "clock", "gettimeofday", "localtime",
+        "gmtime",
+    };
+    static const std::set<std::string> bannedIdents = {
+        "random_device", "system_clock", "unordered_map",
+        "unordered_set", "unordered_multimap", "unordered_multiset",
+    };
+    Model &m = lt.model;
+    for (std::size_t fi = 0; fi < m.files.size(); ++fi) {
+        if (!lt.isSrcFile(static_cast<int>(fi)))
+            continue;
+        const auto &t = m.files[fi].toks;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != Tok::Ident)
+                continue;
+            const std::string &name = t[i].text;
+            if (bannedIdents.count(name)) {
+                lt.report(static_cast<int>(fi), t[i].line, "determinism",
+                          name.rfind("unordered", 0) == 0
+                              ? "std::" + name +
+                                    " has nondeterministic iteration "
+                                    "order; use FlatMap or std::map"
+                              : "'" + name +
+                                    "' is nondeterministic; simulations "
+                                    "must replay bit-identically");
+                continue;
+            }
+            if (bannedCalls.count(name) && i + 1 < t.size() &&
+                t[i + 1].kind == Tok::Punct && t[i + 1].text == "(") {
+                lt.report(static_cast<int>(fi), t[i].line, "determinism",
+                          "call to '" + name +
+                              "' is nondeterministic; use the seeded "
+                              "Rng / simulated time");
+                continue;
+            }
+            // std::map< / std::set< with a pointer-typed key iterates
+            // in address order, which varies run to run.
+            if ((name == "map" || name == "set") && i >= 2 &&
+                t[i - 1].kind == Tok::Punct && t[i - 1].text == "::" &&
+                t[i - 2].kind == Tok::Ident && t[i - 2].text == "std" &&
+                i + 1 < t.size() && t[i + 1].kind == Tok::Punct &&
+                t[i + 1].text == "<") {
+                int angle = 0;
+                bool star = false;
+                for (std::size_t j = i + 1; j < t.size(); ++j) {
+                    if (t[j].kind != Tok::Punct)
+                        continue;
+                    if (t[j].text == "<")
+                        ++angle;
+                    else if (t[j].text == ">") {
+                        if (--angle == 0)
+                            break;
+                    } else if (t[j].text == "," && angle == 1) {
+                        break; // only the key type matters
+                    } else if (t[j].text == "*" && angle >= 1) {
+                        star = true;
+                    }
+                }
+                if (star) {
+                    lt.report(static_cast<int>(fi), t[i].line,
+                              "determinism",
+                              "pointer-keyed std::" + name +
+                                  " iterates in address order, which is "
+                                  "nondeterministic across runs");
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Check 4: stats-dump
+// ---------------------------------------------------------------------------
+
+void
+checkStatsDump(Linter &lt)
+{
+    Model &m = lt.model;
+    // Closure of functions reachable from any function named `dump`.
+    std::vector<char> inClosure(m.funcs.size(), 0);
+    std::vector<int> queue;
+    const auto roots = m.byName.find("dump");
+    if (roots != m.byName.end()) {
+        for (int f : roots->second) {
+            inClosure[f] = 1;
+            queue.push_back(f);
+        }
+    }
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        for (const CallSite &c : m.funcs[queue[qi]].calls) {
+            const auto it = m.byName.find(c.name);
+            if (it == m.byName.end())
+                continue;
+            for (int callee : it->second) {
+                if (!inClosure[callee]) {
+                    inClosure[callee] = 1;
+                    queue.push_back(callee);
+                }
+            }
+        }
+    }
+    // Members directly visible from the dump closure.
+    std::set<std::string> dumped;
+    for (std::size_t f = 0; f < m.funcs.size(); ++f) {
+        if (!inClosure[f])
+            continue;
+        for (const auto &ss : m.statsStructs) {
+            for (const auto &[name, line] : ss.members) {
+                if (m.funcs[f].identSet.count(name))
+                    dumped.insert(name);
+            }
+        }
+    }
+    // One-hop flow: an aggregation function that takes a stats struct
+    // as a parameter and feeds at least one dumped member forwards
+    // the members it reads (e.g. ResidencyHistograms::noteDeath
+    // flushing ResidencyStats into the dumped histograms).
+    for (const auto &ss : m.statsStructs) {
+        for (std::size_t f = 0; f < m.funcs.size(); ++f) {
+            const Function &fn = m.funcs[f];
+            if (!fn.headerIdents.count(ss.name))
+                continue;
+            bool feedsDump = false;
+            for (const std::string &d : dumped) {
+                if (fn.identSet.count(d)) {
+                    feedsDump = true;
+                    break;
+                }
+            }
+            if (!feedsDump)
+                continue;
+            for (const auto &[name, line] : ss.members) {
+                if (fn.identSet.count(name))
+                    dumped.insert(name);
+            }
+        }
+    }
+    for (const auto &ss : m.statsStructs) {
+        if (!lt.isSrcFile(ss.fileIdx))
+            continue;
+        for (const auto &[name, line] : ss.members) {
+            if (!dumped.count(name)) {
+                lt.report(ss.fileIdx, line, "stats-dump",
+                          "counter '" + ss.name + "::" + name +
+                              "' never reaches the stats dump path "
+                              "(unreachable from any dump() and not "
+                              "flushed by an aggregation function)");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Check 5: header
+// ---------------------------------------------------------------------------
+
+/** std symbol -> header that must be included for it. */
+const std::map<std::string, std::string> &
+stdHeaderMap()
+{
+    static const std::map<std::string, std::string> m = {
+        {"vector", "vector"}, {"string", "string"}, {"array", "array"},
+        {"optional", "optional"}, {"unique_ptr", "memory"},
+        {"shared_ptr", "memory"}, {"make_unique", "memory"},
+        {"make_shared", "memory"}, {"weak_ptr", "memory"},
+        {"pair", "utility"}, {"move", "utility"}, {"swap", "utility"},
+        {"forward", "utility"}, {"exchange", "utility"},
+        {"uint8_t", "cstdint"}, {"uint16_t", "cstdint"},
+        {"uint32_t", "cstdint"}, {"uint64_t", "cstdint"},
+        {"int8_t", "cstdint"}, {"int16_t", "cstdint"},
+        {"int32_t", "cstdint"}, {"int64_t", "cstdint"},
+        {"size_t", "cstddef"}, {"ptrdiff_t", "cstddef"},
+        {"byte", "cstddef"}, {"nullptr_t", "cstddef"},
+        {"map", "map"}, {"multimap", "map"}, {"set", "set"},
+        {"multiset", "set"}, {"deque", "deque"}, {"list", "list"},
+        {"function", "functional"}, {"hash", "functional"},
+        {"less", "functional"},
+        {"ostringstream", "sstream"}, {"istringstream", "sstream"},
+        {"stringstream", "sstream"},
+        {"ostream", "ostream"}, {"istream", "istream"},
+        {"ifstream", "fstream"}, {"ofstream", "fstream"},
+        {"min", "algorithm"}, {"max", "algorithm"},
+        {"sort", "algorithm"}, {"stable_sort", "algorithm"},
+        {"find_if", "algorithm"}, {"fill", "algorithm"},
+        {"copy", "algorithm"}, {"clamp", "algorithm"},
+        {"max_element", "algorithm"}, {"min_element", "algorithm"},
+        {"lower_bound", "algorithm"}, {"upper_bound", "algorithm"},
+        {"all_of", "algorithm"}, {"any_of", "algorithm"},
+        {"none_of", "algorithm"}, {"count_if", "algorithm"},
+        {"remove_if", "algorithm"}, {"nth_element", "algorithm"},
+        {"accumulate", "numeric"}, {"iota", "numeric"},
+        {"numeric_limits", "limits"},
+        {"chrono", "chrono"}, {"thread", "thread"},
+        {"mutex", "mutex"}, {"lock_guard", "mutex"},
+        {"unique_lock", "mutex"}, {"scoped_lock", "mutex"},
+        {"atomic", "atomic"}, {"condition_variable",
+        "condition_variable"},
+        {"runtime_error", "stdexcept"}, {"logic_error", "stdexcept"},
+        {"out_of_range", "stdexcept"},
+        {"invalid_argument", "stdexcept"},
+        {"exception", "exception"},
+        {"memcpy", "cstring"}, {"memset", "cstring"},
+        {"strcmp", "cstring"}, {"strlen", "cstring"},
+        {"strncmp", "cstring"},
+        {"snprintf", "cstdio"}, {"fprintf", "cstdio"},
+        {"FILE", "cstdio"},
+        {"getenv", "cstdlib"}, {"strtoull", "cstdlib"},
+        {"strtod", "cstdlib"}, {"exit", "cstdlib"},
+        {"abort", "cstdlib"},
+        {"string_view", "string_view"}, {"tuple", "tuple"},
+        {"tie", "tuple"}, {"initializer_list", "initializer_list"},
+        {"is_same", "type_traits"}, {"enable_if", "type_traits"},
+        {"decay", "type_traits"}, {"conditional", "type_traits"},
+        {"remove_reference", "type_traits"},
+        {"is_trivially_copyable", "type_traits"},
+        {"mt19937", "random"}, {"mt19937_64", "random"},
+        {"setw", "iomanip"}, {"setprecision", "iomanip"},
+        {"setfill", "iomanip"},
+        {"cout", "iostream"}, {"cerr", "iostream"},
+        {"ceil", "cmath"}, {"floor", "cmath"}, {"sqrt", "cmath"},
+        {"pow", "cmath"}, {"log2", "cmath"}, {"exp", "cmath"},
+        {"isfinite", "cmath"}, {"isnan", "cmath"}, {"fabs", "cmath"},
+        {"lround", "cmath"}, {"llround", "cmath"},
+        {"variant", "variant"}, {"bitset", "bitset"},
+        {"filesystem", "filesystem"},
+        {"from_chars", "charconv"}, {"to_chars", "charconv"},
+    };
+    return m;
+}
+
+void
+checkHeader(Linter &lt)
+{
+    Model &m = lt.model;
+    // Resolve repo-relative quoted includes: "common/types.hh" as
+    // written resolves against src/ (the library's include root).
+    std::map<std::string, int> byPath;
+    for (std::size_t fi = 0; fi < m.files.size(); ++fi)
+        byPath[m.files[fi].path] = static_cast<int>(fi);
+    auto resolve = [&](const std::string &inc) -> int {
+        auto it = byPath.find("src/" + inc);
+        if (it != byPath.end())
+            return it->second;
+        it = byPath.find(inc);
+        if (it != byPath.end())
+            return it->second;
+        return -1;
+    };
+    for (std::size_t fi = 0; fi < m.files.size(); ++fi) {
+        const SourceFile &sf = m.files[fi];
+        if (!lt.isSrcFile(static_cast<int>(fi)))
+            continue;
+        if (sf.path.size() < 3 ||
+            sf.path.compare(sf.path.size() - 3, 3, ".hh") != 0)
+            continue;
+        // (a) include guard.
+        if (sf.guardIfndef.empty() || sf.guardIfndef != sf.guardDefine) {
+            lt.report(static_cast<int>(fi), 1, "header",
+                      "missing or mismatched include guard "
+                      "(#ifndef/#define pair)");
+        } else if (sf.guardIfndef.rfind("TINYDIR_", 0) != 0 ||
+                   sf.guardIfndef.size() < 4 ||
+                   sf.guardIfndef.compare(sf.guardIfndef.size() - 3, 3,
+                                          "_HH") != 0) {
+            lt.report(static_cast<int>(fi), 1, "header",
+                      "include guard '" + sf.guardIfndef +
+                          "' does not match TINYDIR_*_HH");
+        }
+        // (b) std includes available through the repo include closure.
+        std::set<std::string> angled(sf.angledIncludes.begin(),
+                                     sf.angledIncludes.end());
+        std::set<int> seen;
+        std::vector<int> stack;
+        stack.push_back(static_cast<int>(fi));
+        seen.insert(static_cast<int>(fi));
+        while (!stack.empty()) {
+            const int cur = stack.back();
+            stack.pop_back();
+            for (const std::string &inc :
+                 m.files[cur].quotedIncludes) {
+                const int next = resolve(inc);
+                if (next < 0 || seen.count(next))
+                    continue;
+                seen.insert(next);
+                stack.push_back(next);
+                angled.insert(m.files[next].angledIncludes.begin(),
+                              m.files[next].angledIncludes.end());
+            }
+        }
+        // Collect std:: uses across the whole header token stream.
+        std::set<std::string> flagged;
+        const auto &t = sf.toks;
+        for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+            if (t[i].kind == Tok::Ident && t[i].text == "std" &&
+                t[i + 1].kind == Tok::Punct && t[i + 1].text == "::" &&
+                t[i + 2].kind == Tok::Ident) {
+                const std::string &sym = t[i + 2].text;
+                const auto need = stdHeaderMap().find(sym);
+                if (need == stdHeaderMap().end())
+                    continue;
+                if (angled.count(need->second) || flagged.count(sym))
+                    continue;
+                flagged.insert(sym);
+                lt.report(static_cast<int>(fi), t[i + 2].line, "header",
+                          "std::" + sym + " used but <" + need->second +
+                              "> is not included (directly or via "
+                              "included repo headers)");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// lint-usage: malformed / unused suppressions
+// ---------------------------------------------------------------------------
+
+void
+checkLintUsage(Linter &lt, bool all_checks_ran)
+{
+    for (std::size_t fi = 0; fi < lt.model.files.size(); ++fi) {
+        for (const Directive &d : lt.model.files[fi].directives) {
+            if (d.kind == Directive::Malformed) {
+                lt.diags.push_back({lt.model.files[fi].path, d.line,
+                                    "lint-usage", d.error});
+            } else if (all_checks_ran && !d.used) {
+                const char *what =
+                    d.kind == Directive::Allow
+                        ? "unused suppression (no diagnostic at the "
+                          "covered line; remove it)"
+                        : "annotation does not precede a function "
+                          "definition (within 3 lines)";
+                lt.diags.push_back({lt.model.files[fi].path, d.line,
+                                    "lint-usage", what});
+            }
+        }
+    }
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> &
+allChecks()
+{
+    static const std::vector<std::string> c = {
+        "hot-alloc", "error-path", "determinism", "stats-dump",
+        "header", "lint-usage",
+    };
+    return c;
+}
+
+std::vector<std::string>
+defaultFileSet(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> out;
+    const fs::path src = fs::path(root) / "src";
+    if (!fs::exists(src))
+        throw std::runtime_error("no src/ directory under " + root);
+    for (const auto &e : fs::recursive_directory_iterator(src)) {
+        if (!e.is_regular_file())
+            continue;
+        const std::string ext = e.path().extension().string();
+        if (ext != ".hh" && ext != ".cc")
+            continue;
+        out.push_back(
+            fs::relative(e.path(), fs::path(root)).generic_string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+Result
+run(const Options &opts)
+{
+    Linter lt{opts, {}, {}};
+    for (const std::string &rel : opts.files) {
+        const std::filesystem::path p =
+            std::filesystem::path(opts.root) / rel;
+        std::ifstream in(p, std::ios::binary);
+        if (!in)
+            throw std::runtime_error("cannot read " + p.string());
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        SourceFile sf;
+        sf.path = rel;
+        lex(ss.str(), sf);
+        lt.model.files.push_back(std::move(sf));
+    }
+    for (std::size_t fi = 0; fi < lt.model.files.size(); ++fi)
+        parseFile(lt.model, static_cast<int>(fi));
+
+    if (lt.checkEnabled("hot-alloc"))
+        checkHotAlloc(lt);
+    if (lt.checkEnabled("error-path"))
+        checkErrorPath(lt);
+    if (lt.checkEnabled("determinism"))
+        checkDeterminism(lt);
+    if (lt.checkEnabled("stats-dump"))
+        checkStatsDump(lt);
+    if (lt.checkEnabled("header"))
+        checkHeader(lt);
+    if (lt.checkEnabled("lint-usage"))
+        checkLintUsage(lt, opts.checks.empty());
+
+    // Deterministic report order.
+    std::stable_sort(lt.diags.begin(), lt.diags.end(),
+                     [](const Diagnostic &a, const Diagnostic &b) {
+                         if (a.file != b.file)
+                             return a.file < b.file;
+                         return a.line < b.line;
+                     });
+    Result res;
+    res.diags = std::move(lt.diags);
+    return res;
+}
+
+std::size_t
+printDiagnostics(const Result &res, std::string &out)
+{
+    std::ostringstream os;
+    for (const Diagnostic &d : res.diags) {
+        os << d.file << ':' << d.line << ": [" << d.check << "] "
+           << d.message << '\n';
+    }
+    out = os.str();
+    return res.diags.size();
+}
+
+} // namespace tdlint

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * tdlint: a project-specific static analyzer for the tinydir simulator.
+ *
+ * The repo's core invariants are enforced dynamically elsewhere (the
+ * runtime coherence verifier, the counted operator new in
+ * test_hotpath, the differential oracle). tdlint moves the same
+ * invariants to build time: a dependency-free lexer + call-graph
+ * approximation over the C++ sources, with five checks:
+ *
+ *   hot-alloc    functions reachable from a `// TDLINT: hot` root may
+ *                not allocate (no `new`/`malloc`, no allocating std
+ *                containers); `// TDLINT: hot-safe` marks structures
+ *                whose steady-state ops are proven allocation-free
+ *                dynamically (InlineVec, FlatMap).
+ *   error-path   library code under src/ must not kill or bypass the
+ *                process-wide error discipline: no abort/exit/raw
+ *                stdio, and every `throw` must be a SimError type.
+ *   determinism  no wall-clock, libc rand, unordered container, or
+ *                pointer-keyed ordered container in src/ (simulations
+ *                must replay bit-identically).
+ *   stats-dump   every member of a `*Stats` / `*Histograms` struct
+ *                must be observable from the dump path (reachable
+ *                from a function named `dump`, or flushed by an
+ *                aggregation function that feeds dumped members).
+ *   header       every header under src/ carries a TINYDIR_*_HH
+ *                include guard and includes what it uses for a
+ *                curated table of std symbols (directly or through
+ *                repo headers it includes).
+ *
+ * Suppression grammar (required justification after the colon):
+ *   // TDLINT: allow(<check>[,<check>...]): <justification>
+ * applies to its own line, and to the following line when the comment
+ * stands alone on its line. Unused or malformed suppressions are
+ * diagnostics themselves (check `lint-usage`).
+ *
+ * Annotation grammar:
+ *   // TDLINT: hot        next function is a hot-path root
+ *   // TDLINT: hot-safe   next function is trusted allocation-free in
+ *                         steady state; the hot-path walk neither
+ *                         scans nor descends into it
+ *   // TDLINT: cold       next function is never on the hot path; the
+ *                         walk does not descend into it
+ */
+
+#ifndef TINYDIR_TOOLS_TDLINT_HH
+#define TINYDIR_TOOLS_TDLINT_HH
+
+#include <string>
+#include <vector>
+
+namespace tdlint
+{
+
+/** One finding, formatted as file:line: [check] message. */
+struct Diagnostic
+{
+    std::string file; //!< path relative to the lint root
+    int line = 0;
+    std::string check;
+    std::string message;
+};
+
+/** Analyzer configuration. */
+struct Options
+{
+    /** Directory all relative paths resolve against. */
+    std::string root;
+
+    /** Repo-relative files to lint (e.g. "src/cache/llc.hh"). */
+    std::vector<std::string> files;
+
+    /** Checks to run; empty means all of them. */
+    std::vector<std::string> checks;
+};
+
+/** Analyzer outcome. */
+struct Result
+{
+    std::vector<Diagnostic> diags;
+
+    bool clean() const { return diags.empty(); }
+};
+
+/** Names of all checks, in report order. */
+const std::vector<std::string> &allChecks();
+
+/** Run the analyzer. Throws std::runtime_error on unreadable input. */
+Result run(const Options &opts);
+
+/**
+ * The default lint file set: every .hh/.cc under <root>/src, sorted
+ * for deterministic diagnostic order.
+ */
+std::vector<std::string> defaultFileSet(const std::string &root);
+
+/** Render @p diags to @p out, one line each. @return diags.size(). */
+std::size_t printDiagnostics(const Result &res, std::string &out);
+
+} // namespace tdlint
+
+#endif // TINYDIR_TOOLS_TDLINT_HH

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * tdlint CLI.
+ *
+ * Usage:
+ *   tdlint --root <dir> [--check <name>]... [file...]
+ *
+ * Files are repo-relative; with none given, every .hh/.cc under
+ * <root>/src is linted. Exit status: 0 clean, 1 findings, 2 usage or
+ * I/O error.
+ */
+
+#include "tdlint/tdlint.hh"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+int
+main(int argc, char **argv)
+{
+    tdlint::Options opts;
+    opts.root = ".";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "tdlint: --root needs a value\n");
+                return 2;
+            }
+            opts.root = argv[i];
+        } else if (arg == "--check") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "tdlint: --check needs a value\n");
+                return 2;
+            }
+            const std::string c = argv[i];
+            bool known = false;
+            for (const auto &k : tdlint::allChecks())
+                known = known || k == c;
+            if (!known) {
+                std::fprintf(stderr, "tdlint: unknown check '%s'\n",
+                             c.c_str());
+                return 2;
+            }
+            opts.checks.push_back(c);
+        } else if (arg == "--list-checks") {
+            for (const auto &k : tdlint::allChecks())
+                std::printf("%s\n", k.c_str());
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: tdlint --root <dir> [--check <name>]... "
+                "[file...]\n"
+                "Lints repo-relative files (default: src/**/*.{hh,cc}).\n"
+                "Exit: 0 clean, 1 findings, 2 usage/I-O error.\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "tdlint: unknown option '%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            opts.files.push_back(arg);
+        }
+    }
+    try {
+        if (opts.files.empty())
+            opts.files = tdlint::defaultFileSet(opts.root);
+        const tdlint::Result res = tdlint::run(opts);
+        std::string report;
+        const std::size_t n = tdlint::printDiagnostics(res, report);
+        if (n) {
+            std::fputs(report.c_str(), stderr);
+            std::fprintf(stderr, "tdlint: %zu finding%s\n", n,
+                         n == 1 ? "" : "s");
+            return 1;
+        }
+        std::printf("tdlint: clean (%zu files)\n", opts.files.size());
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "tdlint: %s\n", e.what());
+        return 2;
+    }
+}

@@ -214,9 +214,9 @@ skewLookupMops()
     return mops(mapOps, sec);
 }
 
-/** The fig10-style quick grid, timed. Returns accesses per second. */
-double
-quickGridAccessesPerSec()
+/** The fig10-style quick grid, timed. */
+ThroughputAgg
+quickGridThroughput()
 {
     BenchScale scale;
     scale.quick = true;
@@ -246,27 +246,25 @@ quickGridAccessesPerSec()
         }
     }
     const auto results = runMany(jobs, 1, false);
-    Counter accesses = 0;
-    double runSec = 0.0;
-    for (const auto &r : results) {
-        if (r.memoized || r.failed)
-            continue;
-        accesses += r.out.accesses;
-        runSec += r.out.wallSeconds;
-    }
-    return runSec > 0.0 ? static_cast<double>(accesses) / runSec : 0.0;
+    // aggregateThroughput drops memoized, failed and untimed cells —
+    // a wallSeconds == 0 cell must never contribute accesses to a
+    // quotient whose denominator does not include its time.
+    return aggregateThroughput(results);
 }
 
 /** Best of @p n timed quick grids (noise floor on loaded machines). */
-double
+ThroughputAgg
 bestQuickGrid(unsigned n)
 {
-    double best = 0.0;
+    ThroughputAgg best;
     for (unsigned i = 0; i < n; ++i) {
-        const double aps = quickGridAccessesPerSec();
+        const ThroughputAgg agg = quickGridThroughput();
         std::cerr << "# quick grid pass " << (i + 1) << "/" << n << ": "
-                  << static_cast<std::uint64_t>(aps) << " accesses/s\n";
-        best = std::max(best, aps);
+                  << static_cast<std::uint64_t>(agg.accessesPerSec())
+                  << " accesses/s (" << agg.counted << " timed cells, "
+                  << agg.skipped << " skipped)\n";
+        if (agg.accessesPerSec() > best.accessesPerSec())
+            best = agg;
     }
     return best;
 }
@@ -319,8 +317,27 @@ int
 guardMode(const std::string &baselinePath)
 {
     const double base = baselineAccessesPerSec(baselinePath);
+    // A zero/garbage baseline makes the floor 0, which every
+    // measurement — including a completely untimed one — would
+    // "pass". Refuse instead of silently disarming the gate.
+    if (!(base > 0.0)) {
+        std::cerr << "error: baseline throughput in " << baselinePath
+                  << " is zero or unparsable; the guard cannot arm — "
+                     "regenerate the baseline with bench_hotpath\n";
+        return 2;
+    }
     const double tol = perfTolerance();
-    const double now = bestQuickGrid(3);
+    const ThroughputAgg agg = bestQuickGrid(3);
+    const double now = agg.accessesPerSec();
+    // All-memoized / all-failed / clock-unresolved passes have no
+    // timed cells; that is a measurement failure, never a pass.
+    if (agg.counted == 0 || !(now > 0.0)) {
+        std::cerr << "error: quick grid produced no timed cells ("
+                  << agg.skipped
+                  << " skipped as memoized/failed/untimed); refusing "
+                     "to gate on a zero measurement\n";
+        return 1;
+    }
     const double floor = base * (1.0 - tol);
     std::cout << "baseline " << static_cast<std::uint64_t>(base)
               << " accesses/s, current "
@@ -364,8 +381,8 @@ writeMode(const std::string &outPath)
         std::cerr << "# " << b.name << ": " << v << "\n";
         table.addRow(b.name, {v});
     }
-    const double aps = bestQuickGrid(3);
-    table.addRow(e2eRow, {aps});
+    const ThroughputAgg best = bestQuickGrid(3);
+    table.addRow(e2eRow, {best.accessesPerSec()});
 
     BenchScale scale;
     scale.quick = true;
@@ -376,7 +393,14 @@ writeMode(const std::string &outPath)
     BenchTiming timing;
     timing.wallSeconds = secondsSince(t0);
     timing.jobs = 1;
-    timing.simsRun = 1;
+    // The aggregate fields mirror the best quick-grid pass (the one
+    // the e2e row reports), so the top-level sim_accesses /
+    // accesses_per_sec of the baseline record are consistent with it
+    // instead of the zeros they used to carry.
+    timing.simsRun = best.counted;
+    timing.simAccesses = best.accesses;
+    timing.runSeconds = best.runSeconds;
+    timing.simSeconds = best.runSeconds;
 
     // Fresh baseline: truncate, then reuse the TINYDIR_JSON writer.
     {

@@ -66,13 +66,44 @@ statMetric(const std::string &name)
     return [name](const RunOut &o) { return o.stats.get(name); };
 }
 
-/** Per-job controls: the scale's controls labeled with the cell. */
+/** "tiny 1/32x / ocean" -> "tiny-1-32x-ocean": filesystem-safe. */
+inline std::string
+fileSafeLabel(const std::string &label)
+{
+    std::string out;
+    out.reserve(label.size());
+    for (const char c : label) {
+        const bool keep = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '.' ||
+                          c == '_';
+        if (keep)
+            out.push_back(c);
+        else if (!out.empty() && out.back() != '-')
+            out.push_back('-');
+    }
+    while (!out.empty() && out.back() == '-')
+        out.pop_back();
+    return out;
+}
+
+/**
+ * Per-job controls: the scale's controls labeled with the cell. A
+ * bench-level --checkpoint/--resume path fans out to one file per
+ * cell (suffixed with the cell's label) so a grid's cells never
+ * clobber each other's snapshots.
+ */
 inline RunControls
 cellControls(const BenchScale &scale, const std::string &scheme,
              const std::string &app)
 {
     RunControls ctl = scale.controls;
     ctl.label = scheme.empty() ? app : scheme + " / " + app;
+    const std::string suffix = "." + fileSafeLabel(ctl.label);
+    if (!ctl.checkpointPath.empty())
+        ctl.checkpointPath += suffix;
+    if (!ctl.resumePath.empty())
+        ctl.resumePath += suffix;
     return ctl;
 }
 
@@ -84,8 +115,12 @@ cellControls(const BenchScale &scale, const std::string &scheme,
 inline std::vector<SimResult>
 runManyCli(const std::vector<SimJob> &jobs, const BenchScale &scale)
 {
+    RunManyOptions opt;
+    opt.workers = scale.jobs;
+    opt.strict = scale.strict;
+    opt.warmupSnapshotDir = scale.warmupSnapshotDir;
     try {
-        return runMany(jobs, scale.jobs, scale.strict);
+        return runMany(jobs, opt);
     } catch (const SimError &e) {
         std::cerr << "error: " << e.what() << "\n";
         std::exit(1);
@@ -109,14 +144,19 @@ recordBenchResults(const ResultTable &table, const BenchScale &scale,
                                       t0)
             .count();
     timing.jobs = scale.jobs ? scale.jobs : defaultJobCount();
+    // Throughput through the one shared aggregator: cells that were
+    // memoized, failed, or too fast for the clock contribute neither
+    // accesses nor seconds (counting untimed accesses would inflate
+    // the quotient).
+    const ThroughputAgg agg = aggregateThroughput(results);
+    timing.simAccesses = agg.accesses;
+    timing.runSeconds = agg.runSeconds;
     for (const auto &r : results) {
         if (r.memoized) {
             ++timing.simsMemoized;
         } else {
             ++timing.simsRun;
             timing.simSeconds += r.wallSeconds;
-            timing.simAccesses += r.out.accesses;
-            timing.runSeconds += r.out.wallSeconds;
         }
         if (r.failed && !r.memoized)
             timing.failures.push_back({r.error, r.dumpPath, r.timedOut});

@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "ckpt/io.hh"
 
 namespace tinydir
 {
@@ -223,6 +224,83 @@ bool
 Llc::isSampledSet(Addr block) const
 {
     return setOf(block) % sampleStride == 0;
+}
+
+namespace
+{
+
+void
+saveLlcEntry(ckpt::Writer &w, const LlcEntry &e)
+{
+    w.u64(e.tag);
+    w.b(e.valid);
+    w.b(e.dirty);
+    w.u8(static_cast<std::uint8_t>(e.meta));
+    w.u16(e.owner);
+    e.sharers.saveState(w);
+    w.u8(e.strac);
+    w.u8(e.oac);
+    w.u32(e.stats.maxSharers);
+    w.u32(e.stats.straReads);
+    w.u32(e.stats.otherAccesses);
+    w.u32(e.stats.lengthened);
+    w.u32(e.stats.lengthenedCode);
+}
+
+void
+loadLlcEntry(ckpt::Reader &r, LlcEntry &e)
+{
+    e.tag = r.u64();
+    e.valid = r.b();
+    e.dirty = r.b();
+    const std::uint8_t meta = r.u8();
+    if (meta > static_cast<std::uint8_t>(LlcMeta::Spill))
+        throw CheckpointError("checkpoint corrupt: LLC meta-state " +
+                              std::to_string(meta));
+    e.meta = static_cast<LlcMeta>(meta);
+    e.owner = r.u16();
+    e.sharers.loadState(r);
+    e.strac = r.u8();
+    e.oac = r.u8();
+    e.stats.maxSharers = r.u32();
+    e.stats.straReads = r.u32();
+    e.stats.otherAccesses = r.u32();
+    e.stats.lengthened = r.u32();
+    e.stats.lengthenedCode = r.u32();
+}
+
+} // namespace
+
+void
+Llc::saveState(ckpt::Writer &w) const
+{
+    for (const auto &arr : arrays)
+        arr.saveState(w, saveLlcEntry);
+    for (Cycle c : bankFree)
+        w.u64(c);
+    w.u64(hist.blocksAllocated);
+    hist.sharerBins.saveState(w);
+    w.u64(hist.blocksShared);
+    w.u64(hist.blocksLengthened);
+    hist.straBlocks.saveState(w);
+    hist.straAccesses.saveState(w);
+    cohDataWrites.saveState(w);
+}
+
+void
+Llc::loadState(ckpt::Reader &r)
+{
+    for (auto &arr : arrays)
+        arr.loadState(r, loadLlcEntry);
+    for (auto &c : bankFree)
+        c = r.u64();
+    hist.blocksAllocated = r.u64();
+    hist.sharerBins.loadState(r);
+    hist.blocksShared = r.u64();
+    hist.blocksLengthened = r.u64();
+    hist.straBlocks.loadState(r);
+    hist.straAccesses.loadState(r);
+    cohDataWrites.loadState(r);
 }
 
 } // namespace tinydir

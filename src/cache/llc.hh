@@ -32,6 +32,12 @@
 namespace tinydir
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Meta-state of an LLC way (paper Tables III/IV). */
 enum class LlcMeta : std::uint8_t
 {
@@ -231,6 +237,16 @@ class Llc
     bool isSampledSet(Addr block) const;
     bool isSampledSet(Loc loc) const { return loc.set % sampleStride == 0; }
 
+    /**
+     * Serialize arrays (every way's full payload incl. meta-states and
+     * replacement order), bank queues, residency histograms and the
+     * coherence-write counter (ckpt/).
+     */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Restore state written by saveState under an identical config. */
+    void loadState(ckpt::Reader &r);
+
     /** Visit every valid way (any meta-state). */
     template <typename F>
     void
@@ -240,6 +256,22 @@ class Llc
             for (std::uint64_t s = 0; s < sets; ++s) {
                 for (unsigned w = 0; w < ways; ++w) {
                     LlcEntry &e = arrays[b].way(s, w);
+                    if (e.valid)
+                        f(e);
+                }
+            }
+        }
+    }
+
+    /** Visit every valid way without mutating (read-only callers). */
+    template <typename F>
+    void
+    forEachEntry(F &&f) const
+    {
+        for (unsigned b = 0; b < banks_; ++b) {
+            for (std::uint64_t s = 0; s < sets; ++s) {
+                for (unsigned w = 0; w < ways; ++w) {
+                    const LlcEntry &e = arrays[b].way(s, w);
                     if (e.valid)
                         f(e);
                 }

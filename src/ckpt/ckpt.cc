@@ -1,0 +1,441 @@
+#include "ckpt/ckpt.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "ckpt/io.hh"
+#include "common/sharer_set.hh"
+#include "proto/mesi.hh"
+
+namespace tinydir
+{
+namespace ckpt
+{
+
+namespace
+{
+
+// -- interrupt flag --------------------------------------------------------
+
+std::atomic<bool> interruptFlag{false};
+
+void
+onSignal(int)
+{
+    // Lock-free store: the only async-signal-safe thing we do. The
+    // driver polls the flag and performs the actual checkpoint flush
+    // from normal context.
+    interruptFlag.store(true, std::memory_order_relaxed);
+}
+
+// -- config hashing --------------------------------------------------------
+
+/** Incremental FNV-1a over explicitly widened field encodings. */
+struct Fnv
+{
+    std::uint64_t h = 14695981039346656037ull;
+
+    void
+    byte(std::uint8_t b)
+    {
+        h ^= b;
+        h *= 1099511628211ull;
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (unsigned i = 0; i < 8; ++i)
+            byte(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    d(double v)
+    {
+        std::uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+};
+
+// -- section framing -------------------------------------------------------
+
+constexpr std::uint32_t
+tagOf(char a, char b, char c, char d)
+{
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+           static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+constexpr std::uint32_t tagSys = tagOf('S', 'Y', 'S', ' ');
+constexpr std::uint32_t tagTrk = tagOf('T', 'R', 'K', ' ');
+constexpr std::uint32_t tagDrv = tagOf('D', 'R', 'V', ' ');
+constexpr std::uint32_t tagStr = tagOf('S', 'T', 'R', ' ');
+constexpr std::uint32_t tagEnd = tagOf('E', 'N', 'D', ' ');
+
+/**
+ * Buffer a section's payload to learn its byte length, then emit
+ * tag + length + payload. The length is what lets an incompatible
+ * tracker section be skipped on warmup fast-forward restores.
+ */
+template <typename Fill>
+void
+emitSection(Writer &w, std::ostream &os, std::uint32_t tag, Fill &&fill)
+{
+    std::ostringstream buf;
+    Writer bw(buf);
+    fill(bw);
+    const std::string payload = buf.str();
+    w.u32(tag);
+    w.u64(payload.size());
+    os.write(payload.data(),
+             static_cast<std::streamsize>(payload.size()));
+    if (!os)
+        throw CheckpointError("checkpoint write failed (stream error / "
+                              "disk full?)");
+}
+
+/** Read a section head; the tag must match or the file is corrupt. */
+std::uint64_t
+expectSection(Reader &r, std::uint32_t tag, const char *name)
+{
+    const std::uint32_t got = r.u32();
+    if (got != tag)
+        throw CheckpointError(
+            std::string("checkpoint corrupt: expected section '") + name +
+            "', found tag 0x" + [&] {
+                std::ostringstream os;
+                os << std::hex << got;
+                return os.str();
+            }());
+    return r.u64();
+}
+
+/** A section loader must consume exactly the recorded length. */
+void
+checkSectionLen(const Reader &r, std::uint64_t before, std::uint64_t len,
+                const char *name)
+{
+    const std::uint64_t used = r.consumed() - before;
+    if (used != len)
+        throw CheckpointError(
+            std::string("checkpoint corrupt: section '") + name +
+            "' declared " + std::to_string(len) + " bytes but load used " +
+            std::to_string(used));
+}
+
+// -- warm tracker reconstruction -------------------------------------------
+
+/** Current ground-truth tracking state of @p block in the privates. */
+TrackState
+groundTruth(const System &sys, Addr block)
+{
+    SharerSet sharers;
+    for (CoreId c = 0; c < sys.cfg.numCores; ++c) {
+        const MesiState st = sys.privs[c].state(block);
+        if (st == MesiState::E || st == MesiState::M)
+            return TrackState::makeExclusive(c);
+        if (st == MesiState::S)
+            sharers.add(c);
+    }
+    if (sharers.count() > 0)
+        return TrackState::makeShared(sharers);
+    return {};
+}
+
+/**
+ * Rebuild a freshly constructed tracker's state from the restored
+ * private caches (the warmup fast-forward path: the snapshot's
+ * tracker section belongs to a different tracker configuration).
+ * Blocks the scheme cannot track (e.g. no LLC tag under tag-inclusive
+ * schemes) are back-invalidated, exactly as a cold tracker would have
+ * refused them; registration may itself evict earlier victims, so the
+ * ground truth is re-derived per block rather than precomputed.
+ */
+void
+warmReconstructTracker(System &sys)
+{
+    std::vector<Addr> blocks;
+    for (const auto &p : sys.privs)
+        p.forEachBlock(
+            [&](Addr b, MesiState) { blocks.push_back(b); });
+    std::sort(blocks.begin(), blocks.end());
+    blocks.erase(std::unique(blocks.begin(), blocks.end()),
+                 blocks.end());
+    for (Addr b : blocks) {
+        const TrackState ts = groundTruth(sys, b);
+        if (ts.invalid())
+            continue; // evicted as a victim of an earlier registration
+        if (!sys.tracker->warmRegister(b, ts, sys.engine))
+            sys.engine.backInvalidate(b, ts);
+    }
+}
+
+} // namespace
+
+// -- cooperative interruption ---------------------------------------------
+
+void
+installSignalHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onSignal;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+interruptRequested()
+{
+    return interruptFlag.load(std::memory_order_relaxed);
+}
+
+void
+clearInterrupt()
+{
+    interruptFlag.store(false, std::memory_order_relaxed);
+}
+
+void
+requestInterrupt()
+{
+    interruptFlag.store(true, std::memory_order_relaxed);
+}
+
+// -- configuration hashing -------------------------------------------------
+
+std::uint64_t
+configSignature(const SystemConfig &cfg)
+{
+    Fnv f;
+    f.u64(cfg.numCores);
+    f.u64(cfg.l1Bytes);
+    f.u64(cfg.l1Assoc);
+    f.u64(cfg.l1Latency);
+    f.u64(cfg.l2Bytes);
+    f.u64(cfg.l2Assoc);
+    f.u64(cfg.l2Latency);
+    f.u64(cfg.llcAssoc);
+    f.u64(cfg.llcTagLatency);
+    f.u64(cfg.llcDataLatency);
+    f.d(cfg.llcBlocksPerN);
+    f.u64(cfg.hopCycles);
+    f.u64(cfg.memChannels);
+    f.u64(cfg.memBanksPerChannel);
+    f.u64(cfg.dramCas);
+    f.u64(cfg.dramRcd);
+    f.u64(cfg.dramRp);
+    f.u64(cfg.dramBurst);
+    f.u64(cfg.dramRowBytes);
+    f.u64(static_cast<std::uint64_t>(cfg.tracker));
+    f.d(cfg.dirSizeFactor);
+    f.u64(cfg.dirAssoc);
+    f.u64(cfg.dirSkewed ? 1 : 0);
+    f.u64(static_cast<std::uint64_t>(cfg.tinyPolicy));
+    f.u64(cfg.tinySpill ? 1 : 0);
+    f.u64(cfg.sharerGrain);
+    f.u64(cfg.straCounterBits);
+    f.u64(cfg.gnruQuantumCycles);
+    f.u64(cfg.gnruTimerBits);
+    f.u64(cfg.spillSampledSets);
+    f.u64(cfg.spillWindowAccesses);
+    f.u64(cfg.mgdRegionBytes);
+    f.u64(cfg.seed);
+    f.u64(cfg.nackRetryCycles);
+    return f.h;
+}
+
+SystemConfig
+warmupNormalized(const SystemConfig &cfg)
+{
+    const SystemConfig defaults;
+    SystemConfig norm = cfg;
+    norm.tracker = defaults.tracker;
+    norm.dirSizeFactor = defaults.dirSizeFactor;
+    norm.dirAssoc = defaults.dirAssoc;
+    norm.dirSkewed = defaults.dirSkewed;
+    norm.tinyPolicy = defaults.tinyPolicy;
+    norm.tinySpill = defaults.tinySpill;
+    norm.sharerGrain = defaults.sharerGrain;
+    norm.straCounterBits = defaults.straCounterBits;
+    norm.gnruQuantumCycles = defaults.gnruQuantumCycles;
+    norm.gnruTimerBits = defaults.gnruTimerBits;
+    norm.spillSampledSets = defaults.spillSampledSets;
+    norm.spillWindowAccesses = defaults.spillWindowAccesses;
+    norm.mgdRegionBytes = defaults.mgdRegionBytes;
+    return norm;
+}
+
+std::uint64_t
+warmupSignature(const SystemConfig &cfg)
+{
+    return configSignature(warmupNormalized(cfg));
+}
+
+// -- save / load -----------------------------------------------------------
+
+void
+saveRun(std::ostream &os, const System &sys,
+        const std::vector<std::unique_ptr<AccessStream>> &streams,
+        const DriverProgress &progress, const std::string &profile)
+{
+    if (streams.size() != sys.cfg.numCores)
+        throw CheckpointError("cannot checkpoint: stream count " +
+                              std::to_string(streams.size()) +
+                              " != core count " +
+                              std::to_string(sys.cfg.numCores));
+    Writer w(os);
+    w.u32(fileMagic);
+    w.u32(fileVersion);
+    w.u64(configSignature(sys.cfg));
+    w.u64(warmupSignature(sys.cfg));
+    w.u32(sys.cfg.numCores);
+    w.u64(progress.accesses);
+    w.str(profile);
+    emitSection(w, os, tagSys,
+                [&](Writer &bw) { sys.saveState(bw); });
+    emitSection(w, os, tagTrk,
+                [&](Writer &bw) { sys.tracker->saveState(bw); });
+    emitSection(w, os, tagDrv,
+                [&](Writer &bw) { progress.saveState(bw); });
+    emitSection(w, os, tagStr, [&](Writer &bw) {
+        for (const auto &s : streams)
+            s->saveState(bw);
+    });
+    emitSection(w, os, tagEnd, [](Writer &) {});
+    if (!w.good())
+        throw CheckpointError("checkpoint write failed (stream error / "
+                              "disk full?)");
+}
+
+void
+saveRunFile(const std::string &path, const System &sys,
+            const std::vector<std::unique_ptr<AccessStream>> &streams,
+            const DriverProgress &progress, const std::string &profile)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os)
+            throw CheckpointError("cannot create checkpoint file: " +
+                                  tmp);
+        saveRun(os, sys, streams, progress, profile);
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw CheckpointError("cannot move checkpoint into place: " +
+                              path);
+    }
+}
+
+LoadResult
+loadRun(std::istream &is, System &sys,
+        std::vector<std::unique_ptr<AccessStream>> &streams,
+        bool allow_warmup_fallback)
+{
+    Reader r(is);
+    const std::uint32_t m = r.u32();
+    if (m != fileMagic)
+        throw CheckpointError("not a checkpoint file (bad magic)");
+    const std::uint32_t v = r.u32();
+    if (v != fileVersion)
+        throw CheckpointError(
+            "unsupported checkpoint version " + std::to_string(v) +
+            " (this build reads version " + std::to_string(fileVersion) +
+            ")");
+    const std::uint64_t full_hash = r.u64();
+    const std::uint64_t warmup_hash = r.u64();
+    const std::uint32_t num_cores = r.u32();
+
+    LoadResult out;
+    out.accessesDone = r.u64();
+    out.profile = r.str();
+    if (num_cores != sys.cfg.numCores)
+        throw CheckpointError(
+            "checkpoint was taken with " + std::to_string(num_cores) +
+            " cores, this system has " +
+            std::to_string(sys.cfg.numCores));
+    out.exact = full_hash == configSignature(sys.cfg);
+    if (!out.exact) {
+        if (!allow_warmup_fallback)
+            throw CheckpointError(
+                "checkpoint configuration hash mismatch (refusing "
+                "restore; pass the identical config, or use the warmup "
+                "fast-forward path for tracker-only differences)");
+        if (warmup_hash != warmupSignature(sys.cfg))
+            throw CheckpointError(
+                "checkpoint warmup hash mismatch: the snapshot differs "
+                "in more than tracker configuration");
+    }
+    if (streams.size() != num_cores)
+        throw CheckpointError("stream count " +
+                              std::to_string(streams.size()) +
+                              " != checkpoint core count " +
+                              std::to_string(num_cores));
+
+    std::uint64_t len = expectSection(r, tagSys, "SYS");
+    std::uint64_t before = r.consumed();
+    sys.loadState(r);
+    checkSectionLen(r, before, len, "SYS");
+
+    len = expectSection(r, tagTrk, "TRK");
+    if (out.exact) {
+        before = r.consumed();
+        sys.tracker->loadState(r);
+        checkSectionLen(r, before, len, "TRK");
+    } else {
+        r.skip(len);
+    }
+
+    len = expectSection(r, tagDrv, "DRV");
+    before = r.consumed();
+    out.progress.loadState(r);
+    checkSectionLen(r, before, len, "DRV");
+    if (out.progress.issues.size() != num_cores)
+        throw CheckpointError(
+            "checkpoint corrupt: driver progress covers " +
+            std::to_string(out.progress.issues.size()) + " cores");
+
+    len = expectSection(r, tagStr, "STR");
+    before = r.consumed();
+    for (auto &s : streams)
+        s->loadState(r);
+    checkSectionLen(r, before, len, "STR");
+
+    len = expectSection(r, tagEnd, "END");
+    if (len != 0)
+        throw CheckpointError(
+            "checkpoint corrupt: END section carries payload");
+
+    if (!out.exact) {
+        warmReconstructTracker(sys);
+        // The snapshot sits at the warmup boundary; restart the
+        // measured region so reconstruction noise is not counted.
+        sys.resetStats();
+    }
+    return out;
+}
+
+LoadResult
+loadRunFile(const std::string &path, System &sys,
+            std::vector<std::unique_ptr<AccessStream>> &streams,
+            bool allow_warmup_fallback)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        throw CheckpointError("cannot open checkpoint file: " + path);
+    return loadRun(is, sys, streams, allow_warmup_fallback);
+}
+
+} // namespace ckpt
+} // namespace tinydir

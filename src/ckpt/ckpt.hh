@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Versioned binary checkpoint/restore of a full simulation run.
+ *
+ * A checkpoint captures everything needed to continue a run with
+ * bit-identical results: the System (caches, DRAM, engine, per-core
+ * counters), the tracker, the driver's replay position and the
+ * per-core stream generator states. The file starts with a
+ * magic/version/config-hash header; restoring under a different
+ * configuration raises CheckpointError instead of corrupting state.
+ *
+ * Layout (all little-endian, via ckpt::Writer):
+ *
+ *   header:  u32 magic "TDCP" | u32 version | u64 fullConfigHash |
+ *            u64 warmupConfigHash | u32 numCores | u64 accessesDone |
+ *            str profileName
+ *   then tagged sections, each  u32 tag | u64 payloadBytes | payload:
+ *     "SYS " System::saveState
+ *     "TRK " tracker saveState (skippable: warmup fast-forward loads
+ *            under a different tracker config skip it by length and
+ *            warm-reconstruct the tracker from the private caches)
+ *     "DRV " DriverProgress::saveState
+ *     "STR " per-core AccessStream::saveState
+ *     "END " empty terminator
+ *
+ * Version policy: any change to a section's byte layout bumps
+ * `version`; old files are refused (no migration shims — checkpoints
+ * are working files, not archives).
+ *
+ * The warmup hash covers every configuration field EXCEPT the
+ * tracker-only ones, so one end-of-warmup snapshot per workload can
+ * seed every tracking scheme of a grid cell (sim/parallel.cc).
+ */
+
+#ifndef TINYDIR_CKPT_CKPT_HH
+#define TINYDIR_CKPT_CKPT_HH
+
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "core/trace.hh"
+#include "sim/driver.hh"
+#include "sim/system.hh"
+
+namespace tinydir
+{
+namespace ckpt
+{
+
+/** File magic: "TDCP" read as a little-endian u32. */
+constexpr std::uint32_t fileMagic = 0x50434454;
+
+/** Current checkpoint format version. */
+constexpr std::uint32_t fileVersion = 1;
+
+// -- cooperative interruption ---------------------------------------------
+
+/**
+ * Install SIGINT/SIGTERM handlers that set the interrupt flag polled
+ * by Driver::run (which then flushes a final checkpoint and throws
+ * SimInterrupt). Idempotent; async-signal-safe handler.
+ */
+void installSignalHandlers();
+
+/** Has an interrupt been requested (signal or requestInterrupt)? */
+bool interruptRequested();
+
+/** Clear the interrupt flag (start of a new run / tests). */
+void clearInterrupt();
+
+/** Set the interrupt flag programmatically (tests). */
+void requestInterrupt();
+
+// -- configuration hashing -------------------------------------------------
+
+/** FNV-1a hash over every SystemConfig field (order-stable). */
+std::uint64_t configSignature(const SystemConfig &cfg);
+
+/**
+ * @p cfg with every tracker-only field reset to its default, i.e. the
+ * configuration the shared warmup snapshot of a grid cell is taken
+ * under. Cache/NoC/DRAM/workload fields are untouched.
+ */
+SystemConfig warmupNormalized(const SystemConfig &cfg);
+
+/** configSignature of warmupNormalized(@p cfg). */
+std::uint64_t warmupSignature(const SystemConfig &cfg);
+
+// -- save / load -----------------------------------------------------------
+
+/** Write a full checkpoint of (@p sys, @p streams, @p progress). */
+void saveRun(std::ostream &os, const System &sys,
+             const std::vector<std::unique_ptr<AccessStream>> &streams,
+             const DriverProgress &progress, const std::string &profile);
+
+/**
+ * saveRun into @p path via a temporary file renamed into place, so a
+ * crash mid-write never leaves a truncated checkpoint at @p path.
+ */
+void saveRunFile(const std::string &path, const System &sys,
+                 const std::vector<std::unique_ptr<AccessStream>> &streams,
+                 const DriverProgress &progress,
+                 const std::string &profile);
+
+/** What loadRun restored. */
+struct LoadResult
+{
+    DriverProgress progress;
+    std::string profile;     //!< profile name recorded at save time
+    Counter accessesDone = 0;
+    /** Full config hash matched: the restore is bit-exact. */
+    bool exact = false;
+};
+
+/**
+ * Restore @p sys and @p streams from a checkpoint.
+ *
+ * Strict mode (@p allow_warmup_fallback false): the full config hash
+ * must match or CheckpointError is thrown. With the fallback enabled,
+ * a checkpoint whose warmup hash matches is accepted for a config
+ * that differs only in tracker fields: the tracker section is
+ * skipped, the tracker is warm-reconstructed from the restored
+ * private caches (untrackable blocks are back-invalidated), and the
+ * measurement counters are reset — the warmup fast-forward path.
+ */
+LoadResult loadRun(std::istream &is, System &sys,
+                   std::vector<std::unique_ptr<AccessStream>> &streams,
+                   bool allow_warmup_fallback = false);
+
+/** loadRun from @p path; CheckpointError when the file is unreadable. */
+LoadResult loadRunFile(const std::string &path, System &sys,
+                       std::vector<std::unique_ptr<AccessStream>> &streams,
+                       bool allow_warmup_fallback = false);
+
+} // namespace ckpt
+} // namespace tinydir
+
+#endif // TINYDIR_CKPT_CKPT_HH

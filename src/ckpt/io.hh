@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Binary checkpoint stream primitives.
+ *
+ * Writer/Reader serialize fixed-width little-endian scalars over
+ * std::ostream/std::istream. The encoding is deliberately dumb —
+ * explicit byte order, explicit widths, doubles bit-cast through
+ * uint64 — so checkpoint bytes are identical across hosts and a
+ * mismatch between save and load code shows up as a hard
+ * CheckpointError (short read / bad section tag) instead of silent
+ * state corruption. Every component's saveState/loadState member is
+ * written against these two types (or any type with the same u8..str
+ * surface, which is what the template members on Rng/CacheArray/...
+ * bind to).
+ */
+
+#ifndef TINYDIR_CKPT_IO_HH
+#define TINYDIR_CKPT_IO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/sim_error.hh"
+
+namespace tinydir
+{
+namespace ckpt
+{
+
+/** Little-endian scalar writer over a std::ostream. */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os) : out(os) {}
+
+    void u8(std::uint8_t v) { putBytes(&v, 1); }
+
+    void
+    u16(std::uint16_t v)
+    {
+        std::uint8_t b[2] = {static_cast<std::uint8_t>(v),
+                             static_cast<std::uint8_t>(v >> 8)};
+        putBytes(b, 2);
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        std::uint8_t b[4];
+        for (unsigned i = 0; i < 4; ++i)
+            b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        putBytes(b, 4);
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        std::uint8_t b[8];
+        for (unsigned i = 0; i < 8; ++i)
+            b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        putBytes(b, 8);
+    }
+
+    void b(bool v) { u8(v ? 1 : 0); }
+
+    void
+    d(double v)
+    {
+        std::uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    /** Length-prefixed byte string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        if (!s.empty())
+            putBytes(reinterpret_cast<const std::uint8_t *>(s.data()),
+                     s.size());
+    }
+
+    /** Flush and report whether every write reached the stream. */
+    bool
+    good()
+    {
+        out.flush();
+        return static_cast<bool>(out);
+    }
+
+  private:
+    void
+    putBytes(const std::uint8_t *p, std::size_t n)
+    {
+        out.write(reinterpret_cast<const char *>(p),
+                  static_cast<std::streamsize>(n));
+        if (!out)
+            throw CheckpointError("checkpoint write failed (stream "
+                                  "error / disk full?)");
+    }
+
+    std::ostream &out;
+};
+
+/** Little-endian scalar reader; throws CheckpointError on short read. */
+class Reader
+{
+  public:
+    explicit Reader(std::istream &is) : in(is) {}
+
+    std::uint8_t
+    u8()
+    {
+        std::uint8_t v;
+        getBytes(&v, 1);
+        return v;
+    }
+
+    std::uint16_t
+    u16()
+    {
+        std::uint8_t b[2];
+        getBytes(b, 2);
+        return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint8_t b[4];
+        getBytes(b, 4);
+        std::uint32_t v = 0;
+        for (unsigned i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(b[i]) << (8 * i);
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint8_t b[8];
+        getBytes(b, 8);
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(b[i]) << (8 * i);
+        return v;
+    }
+
+    bool
+    b()
+    {
+        const std::uint8_t v = u8();
+        if (v > 1)
+            throw CheckpointError("checkpoint corrupt: bool byte is " +
+                                  std::to_string(v));
+        return v != 0;
+    }
+
+    double
+    d()
+    {
+        const std::uint64_t bits = u64();
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        if (n > maxStringBytes)
+            throw CheckpointError(
+                "checkpoint corrupt: string length " + std::to_string(n) +
+                " exceeds sanity cap");
+        std::string s(static_cast<std::size_t>(n), '\0');
+        if (n)
+            getBytes(reinterpret_cast<std::uint8_t *>(s.data()),
+                     static_cast<std::size_t>(n));
+        return s;
+    }
+
+    /** Skip @p n payload bytes (e.g. an incompatible section). */
+    void
+    skip(std::uint64_t n)
+    {
+        in.ignore(static_cast<std::streamsize>(n));
+        if (in.gcount() != static_cast<std::streamsize>(n))
+            throw CheckpointError("checkpoint truncated: could not skip " +
+                                  std::to_string(n) + " bytes");
+        consumedBytes += n;
+    }
+
+    /**
+     * Bytes consumed so far (reads + skips). Section loaders compare
+     * deltas of this against the recorded section length, so a
+     * save/load mismatch is caught at the section that caused it.
+     */
+    std::uint64_t consumed() const { return consumedBytes; }
+
+  private:
+    /** Anything longer than this in a str() field is corruption. */
+    static constexpr std::uint64_t maxStringBytes = 1ull << 20;
+
+    void
+    getBytes(std::uint8_t *p, std::size_t n)
+    {
+        in.read(reinterpret_cast<char *>(p),
+                static_cast<std::streamsize>(n));
+        if (in.gcount() != static_cast<std::streamsize>(n))
+            throw CheckpointError(
+                "checkpoint truncated: wanted " + std::to_string(n) +
+                " more bytes");
+        consumedBytes += n;
+    }
+
+    std::istream &in;
+    std::uint64_t consumedBytes = 0;
+};
+
+} // namespace ckpt
+} // namespace tinydir
+
+#endif // TINYDIR_CKPT_IO_HH

@@ -20,6 +20,7 @@
 #ifndef TINYDIR_COMMON_FLAT_MAP_HH
 #define TINYDIR_COMMON_FLAT_MAP_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <cstddef>
 #include <utility>
@@ -164,6 +165,46 @@ class FlatMap
         for (const Slot &s : slots) {
             if (s.dist)
                 f(s.key, s.value);
+        }
+    }
+
+    /**
+     * Serialize the live entries in ascending key order (so the byte
+     * stream is deterministic even though iteration order is not);
+     * @p save_value writes one V through the ckpt::Writer-shaped sink.
+     */
+    template <typename W, typename SaveV>
+    void
+    saveState(W &w, SaveV &&save_value) const
+    {
+        std::vector<Addr> keys;
+        keys.reserve(count);
+        forEach([&](Addr k, const V &) { keys.push_back(k); });
+        std::sort(keys.begin(), keys.end());
+        w.u64(keys.size());
+        for (Addr k : keys) {
+            w.u64(k);
+            save_value(w, *find(k));
+        }
+    }
+
+    /**
+     * Restore entries written by saveState. Capacity may differ from
+     * the saving map's — iteration order is already documented as
+     * non-simulation-visible, so that difference is unobservable.
+     */
+    template <typename R, typename LoadV>
+    void
+    loadState(R &r, LoadV &&load_value)
+    {
+        clear();
+        const std::uint64_t n = r.u64();
+        reserve(static_cast<std::size_t>(n));
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Addr k = r.u64();
+            V v{};
+            load_value(r, v);
+            insert(k, std::move(v));
         }
     }
 

@@ -70,6 +70,24 @@ class Rng
     /** Bernoulli trial with probability @p p. */
     bool chance(double p) { return uniform() < p; }
 
+    /** Serialize the generator state (ckpt::Writer-shaped sink). */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        for (std::uint64_t word : state)
+            w.u64(word);
+    }
+
+    /** Restore state written by saveState (ckpt::Reader-shaped source). */
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        for (auto &word : state)
+            word = r.u64();
+    }
+
     /**
      * Zipf-like rank selection over [0, n): rank r is chosen with
      * probability proportional to 1/(r+1)^theta, approximated via

@@ -123,6 +123,24 @@ class SharerSet
         return words == o.words;
     }
 
+    /** Serialize the bitvector (ckpt::Writer-shaped sink). */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        w.u64(words[0]);
+        w.u64(words[1]);
+    }
+
+    /** Restore a bitvector written by saveState. */
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        words[0] = r.u64();
+        words[1] = r.u64();
+    }
+
   private:
     std::array<std::uint64_t, 2> words;
 };

@@ -14,6 +14,8 @@
  *   +-- InvariantViolation   coherence invariant broken (verify/);
  *   |                        carries the block and the JSON dump path
  *   +-- SimTimeout           per-job wall-clock watchdog expired
+ *   +-- CheckpointError      unreadable/incompatible checkpoint (ckpt/)
+ *   +-- SimInterrupt         cooperative SIGINT/SIGTERM stop request
  */
 
 #ifndef TINYDIR_COMMON_SIM_ERROR_HH
@@ -77,6 +79,29 @@ class SimTimeout : public SimError
     }
 
     double limitSeconds = 0.0;
+};
+
+/**
+ * A checkpoint file could not be read, failed validation (bad magic,
+ * version, or config hash), or the run it describes is incompatible
+ * with the requested restore (ckpt/).
+ */
+class CheckpointError : public SimError
+{
+  public:
+    using SimError::SimError;
+};
+
+/**
+ * The process received SIGINT/SIGTERM and the driver stopped the run
+ * cooperatively (after flushing a final checkpoint when one was
+ * requested). The grid layers treat this like any other failed cell
+ * so partial results still reach the TINYDIR_JSON flush.
+ */
+class SimInterrupt : public SimError
+{
+  public:
+    using SimError::SimError;
 };
 
 } // namespace tinydir

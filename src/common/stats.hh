@@ -8,6 +8,7 @@
 #ifndef TINYDIR_COMMON_STATS_HH
 #define TINYDIR_COMMON_STATS_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -30,6 +31,22 @@ class Scalar
     Scalar &operator+=(Counter v) { val += v; return *this; }
     void reset() { val = 0; }
     Counter value() const { return val; }
+
+    /** Serialize the counter (ckpt::Writer-shaped sink). */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        w.u64(val);
+    }
+
+    /** Restore a counter written by saveState. */
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        val = r.u64();
+    }
 
   private:
     Counter val = 0;
@@ -69,6 +86,30 @@ class Histogram
     }
 
     void reset() { for (auto &b : buckets) b = 0; }
+
+    /** Serialize bucket count and weights (ckpt::Writer-shaped sink). */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        w.u64(buckets.size());
+        for (Counter b : buckets)
+            w.u64(b);
+    }
+
+    /**
+     * Restore a histogram written by saveState. The bucket vector takes
+     * the saved size (sample()'s resize-on-demand rule would grow it to
+     * the same shape on replay anyway).
+     */
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        buckets.assign(static_cast<std::size_t>(r.u64()), 0);
+        for (auto &b : buckets)
+            b = r.u64();
+    }
 
   private:
     std::vector<Counter> buckets;

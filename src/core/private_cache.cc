@@ -2,6 +2,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "ckpt/io.hh"
 
 namespace tinydir
 {
@@ -191,6 +192,46 @@ PrivateCache::clearFlag(int level, Addr block, NoticeVec &notices)
         notices.push_back({block, fl->state});
         info.erase(block);
     }
+}
+
+void
+PrivateCache::saveState(ckpt::Writer &w) const
+{
+    const auto save_tag = [](ckpt::Writer &wr, const Entry &e) {
+        wr.u64(e.tag);
+        wr.b(e.valid);
+    };
+    l1i.saveState(w, save_tag);
+    l1d.saveState(w, save_tag);
+    l2.saveState(w, save_tag);
+    info.saveState(w, [](ckpt::Writer &wr, const Flags &fl) {
+        wr.u8(static_cast<std::uint8_t>(fl.state));
+        wr.b(fl.l1i);
+        wr.b(fl.l1d);
+        wr.b(fl.l2);
+    });
+}
+
+void
+PrivateCache::loadState(ckpt::Reader &r)
+{
+    const auto load_tag = [](ckpt::Reader &rd, Entry &e) {
+        e.tag = rd.u64();
+        e.valid = rd.b();
+    };
+    l1i.loadState(r, load_tag);
+    l1d.loadState(r, load_tag);
+    l2.loadState(r, load_tag);
+    info.loadState(r, [](ckpt::Reader &rd, Flags &fl) {
+        const std::uint8_t st = rd.u8();
+        if (st > static_cast<std::uint8_t>(MesiState::M))
+            throw CheckpointError("checkpoint corrupt: MESI state " +
+                                  std::to_string(st));
+        fl.state = static_cast<MesiState>(st);
+        fl.l1i = rd.b();
+        fl.l1d = rd.b();
+        fl.l2 = rd.b();
+    });
 }
 
 void

@@ -24,6 +24,12 @@
 namespace tinydir
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Eviction notice emitted when a block leaves the hierarchy. */
 struct EvictionNotice
 {
@@ -102,6 +108,12 @@ class PrivateCache
     {
         info.forEach([&](Addr blk, const Flags &bi) { f(blk, bi.state); });
     }
+
+    /** Serialize all three arrays plus the per-block state map (ckpt/). */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Restore state written by saveState under an identical config. */
+    void loadState(ckpt::Reader &r);
 
   private:
     struct Flags

@@ -7,11 +7,18 @@
 #ifndef TINYDIR_CORE_TRACE_HH
 #define TINYDIR_CORE_TRACE_HH
 
+#include "common/sim_error.hh"
 #include "common/types.hh"
 #include "proto/mesi.hh"
 
 namespace tinydir
 {
+
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
 
 /** One memory access of a core's instruction stream. */
 struct TraceAccess
@@ -29,6 +36,23 @@ class AccessStream
 
     /** Produce the next access; false when the stream is exhausted. */
     virtual bool next(TraceAccess &out) = 0;
+
+    /**
+     * Snapshot the stream's generation state (ckpt/). Streams that
+     * cannot be checkpointed keep the default, which refuses.
+     */
+    virtual void
+    saveState(ckpt::Writer &) const
+    {
+        throw CheckpointError("stream does not support checkpointing");
+    }
+
+    /** Restore state written by saveState. */
+    virtual void
+    loadState(ckpt::Reader &)
+    {
+        throw CheckpointError("stream does not support checkpointing");
+    }
 };
 
 } // namespace tinydir

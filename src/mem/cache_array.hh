@@ -209,6 +209,38 @@ class CacheArray
         clock = 0;
     }
 
+    /**
+     * Serialize the array payload: every entry (via @p save_entry,
+     * which writes one EntryT through the ckpt::Writer-shaped sink),
+     * the replacement stamps, the LRU clock and the Random-policy RNG.
+     * Geometry (sets/ways/policy) is construction-time configuration
+     * and is not part of the stream.
+     */
+    template <typename W, typename SaveE>
+    void
+    saveState(W &w, SaveE &&save_entry) const
+    {
+        for (const EntryT &e : entries)
+            save_entry(w, e);
+        for (std::uint64_t s : stamps)
+            w.u64(s);
+        w.u64(clock);
+        rng.saveState(w);
+    }
+
+    /** Restore an array written by saveState of identical geometry. */
+    template <typename R, typename LoadE>
+    void
+    loadState(R &r, LoadE &&load_entry)
+    {
+        for (EntryT &e : entries)
+            load_entry(r, e);
+        for (auto &s : stamps)
+            s = r.u64();
+        clock = r.u64();
+        rng.loadState(r);
+    }
+
   private:
     std::uint64_t sets;
     unsigned ways;

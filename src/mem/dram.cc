@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "ckpt/io.hh"
 
 namespace tinydir
 {
@@ -53,6 +54,36 @@ Dram::access(Addr block, Cycle now)
     // row activation/precharge overlap across banks.
     ch.busFreeAt = start + cfg.dramBurst;
     return done;
+}
+
+void
+Dram::saveState(ckpt::Writer &w) const
+{
+    for (const auto &ch : channels) {
+        w.u64(ch.busFreeAt);
+        for (const auto &b : ch.banks) {
+            w.u64(b.openRow);
+            w.u64(b.freeAt);
+        }
+    }
+    hits.saveState(w);
+    misses.saveState(w);
+    reqs.saveState(w);
+}
+
+void
+Dram::loadState(ckpt::Reader &r)
+{
+    for (auto &ch : channels) {
+        ch.busFreeAt = r.u64();
+        for (auto &b : ch.banks) {
+            b.openRow = r.u64();
+            b.freeAt = r.u64();
+        }
+    }
+    hits.loadState(r);
+    misses.loadState(r);
+    reqs.loadState(r);
 }
 
 void

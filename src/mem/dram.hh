@@ -23,6 +23,12 @@
 namespace tinydir
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Eight-channel open-page DDR3 timing model. */
 class Dram
 {
@@ -56,6 +62,12 @@ class Dram
         misses.reset();
         reqs.reset();
     }
+
+    /** Serialize open rows, busy-until times and counters (ckpt/). */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Restore state written by saveState under an identical config. */
+    void loadState(ckpt::Reader &r);
 
   private:
     struct Bank

@@ -220,6 +220,34 @@ class SkewArray
         }
     }
 
+    /**
+     * Serialize entries, stamps and the LRU clock. The H3 matrices and
+     * their transpose are derived from the construction seed and are
+     * not part of the stream.
+     */
+    template <typename W, typename SaveE>
+    void
+    saveState(W &w, SaveE &&save_entry) const
+    {
+        for (const EntryT &e : entries)
+            save_entry(w, e);
+        for (std::uint64_t s : stamps)
+            w.u64(s);
+        w.u64(clock);
+    }
+
+    /** Restore an array written by saveState of identical geometry. */
+    template <typename R, typename LoadE>
+    void
+    loadState(R &r, LoadE &&load_entry)
+    {
+        for (EntryT &e : entries)
+            load_entry(r, e);
+        for (auto &s : stamps)
+            s = r.u64();
+        clock = r.u64();
+    }
+
   private:
     std::uint64_t rows;
     unsigned ways;

@@ -97,6 +97,28 @@ class TrafficStats
         msgCount.fill(0);
     }
 
+    /** Serialize both counter arrays (ckpt::Writer-shaped sink). */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        for (Counter b : byteCount)
+            w.u64(b);
+        for (Counter m : msgCount)
+            w.u64(m);
+    }
+
+    /** Restore counters written by saveState. */
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        for (auto &b : byteCount)
+            b = r.u64();
+        for (auto &m : msgCount)
+            m = r.u64();
+    }
+
   private:
     std::array<Counter, numMsgClasses> byteCount{};
     std::array<Counter, numMsgClasses> msgCount{};

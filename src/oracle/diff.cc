@@ -176,6 +176,23 @@ OracleDiff::crossCheck(const System &sys)
     return true;
 }
 
+void
+OracleDiff::primeFromSystem(const System &sys)
+{
+    for (CoreId c = 0; c < static_cast<CoreId>(sys.privs.size()); ++c) {
+        sys.privs[c].forEachBlock([&](Addr b, MesiState st) {
+            model_.primeHolder(b, c, st);
+        });
+    }
+    // Model residency means "the block owns an LLC way that findData
+    // would return" — Normal or Corrupt, not Spill (PreEntry::None is
+    // what the engine reports for spill-only ways).
+    sys.llc.forEachEntry([&](const LlcEntry &e) {
+        if (e.isData())
+            model_.primeResident(e.tag, true);
+    });
+}
+
 bool
 OracleDiff::checkTotals(const StatsDump &d)
 {

@@ -69,6 +69,14 @@ class OracleDiff : public AccessObserver
      */
     bool checkTotals(const StatsDump &d);
 
+    /**
+     * Seed the model from a warm (e.g. checkpoint-restored) System:
+     * every private-hierarchy holder state plus LLC data residency.
+     * Lets the oracle attach mid-run; checkTotals() is not meaningful
+     * afterwards, the event checks and crossCheck() are.
+     */
+    void primeFromSystem(const System &sys);
+
     bool diverged() const { return report_.diverged; }
     const DivergenceReport &report() const { return report_; }
     const RefModel &model() const { return model_; }

@@ -46,6 +46,21 @@ RefModel::llcResident(Addr block) const
     return li != lines.end() && li->second.resident;
 }
 
+void
+RefModel::primeHolder(Addr block, CoreId core, MesiState st)
+{
+    if (st == MesiState::I)
+        lineOf(block).holders.erase(core);
+    else
+        lineOf(block).holders[core] = st;
+}
+
+void
+RefModel::primeResident(Addr block, bool resident)
+{
+    lineOf(block).resident = resident;
+}
+
 std::optional<OracleDivergence>
 RefModel::onAccess(const AccessObservation &o)
 {

@@ -91,6 +91,18 @@ class RefModel
     /** Model's MESI state of @p block at @p core (I when absent). */
     MesiState holderState(CoreId core, Addr block) const;
 
+    // -- priming (attach to a restored warm system) ---------------------
+    /**
+     * Install a holder state directly, bypassing the event stream.
+     * Used to seed the model from a checkpoint-restored System so the
+     * oracle can attach mid-run; totals are unaffected (checkTotals
+     * is not meaningful on a primed model).
+     */
+    void primeHolder(Addr block, CoreId core, MesiState st);
+
+    /** Install LLC residency directly (see primeHolder). */
+    void primeResident(Addr block, bool resident);
+
     /** Whether the model believes @p block has a live LLC data way. */
     bool llcResident(Addr block) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.hh"
+#include "ckpt/io.hh"
 
 namespace tinydir
 {
@@ -160,6 +161,54 @@ void
 Engine::addTraffic(MsgClass cls, unsigned bytes, Counter count)
 {
     stats.traffic.add(cls, bytes, count);
+}
+
+void
+Engine::saveState(ckpt::Writer &w) const
+{
+    stats.llcAccesses.saveState(w);
+    stats.llcDataMisses.saveState(w);
+    stats.llcFills.saveState(w);
+    stats.lengthenedReads.saveState(w);
+    stats.lengthenedCode.saveState(w);
+    stats.savedBySpill.saveState(w);
+    stats.nackRetries.saveState(w);
+    stats.ownerForwards.saveState(w);
+    stats.invalidations.saveState(w);
+    stats.backInvals.saveState(w);
+    stats.dirtyWritebacks.saveState(w);
+    stats.evictionNotices.saveState(w);
+    stats.upgradeMisses.saveState(w);
+    stats.traffic.saveState(w);
+    stats.latency.saveState(w);
+    busyUntil.saveState(
+        w, [](ckpt::Writer &wr, const Cycle &c) { wr.u64(c); });
+    w.u64(nextPrune);
+    w.u64(curTime);
+}
+
+void
+Engine::loadState(ckpt::Reader &r)
+{
+    stats.llcAccesses.loadState(r);
+    stats.llcDataMisses.loadState(r);
+    stats.llcFills.loadState(r);
+    stats.lengthenedReads.loadState(r);
+    stats.lengthenedCode.loadState(r);
+    stats.savedBySpill.loadState(r);
+    stats.nackRetries.loadState(r);
+    stats.ownerForwards.loadState(r);
+    stats.invalidations.loadState(r);
+    stats.backInvals.loadState(r);
+    stats.dirtyWritebacks.loadState(r);
+    stats.evictionNotices.loadState(r);
+    stats.upgradeMisses.loadState(r);
+    stats.traffic.loadState(r);
+    stats.latency.loadState(r);
+    busyUntil.loadState(
+        r, [](ckpt::Reader &rd, Cycle &c) { c = rd.u64(); });
+    nextPrune = static_cast<std::size_t>(r.u64());
+    curTime = r.u64();
 }
 
 // TDLINT: hot

@@ -159,6 +159,12 @@ class Engine : public EngineOps
     /** Live busy-window entries (tests assert this stays bounded). */
     std::size_t busyFootprint() const { return busyUntil.size(); }
 
+    /** Serialize stats, busy windows and the engine clock (ckpt/). */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Restore state written by saveState under an identical config. */
+    void loadState(ckpt::Reader &r);
+
   private:
     /** Bank queueing: returns service start, advances bank occupancy. */
     Cycle bankService(unsigned bank, Cycle arrival, Cycle busy_cycles);

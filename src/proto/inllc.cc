@@ -141,6 +141,17 @@ InLlcTracker::evictionNoticeExtraBytes(MesiState s) const
     return s == MesiState::E ? reconstructBytes(cfg.numCores) : 0;
 }
 
+bool
+InLlcTracker::warmRegister(Addr block, const TrackState &ts,
+                           EngineOps &ops)
+{
+    // Tag-inclusive tracking: a block without an LLC tag cannot be
+    // tracked at all. Let the caller back-invalidate it instead.
+    if (!llc.findData(block))
+        return false;
+    return CoherenceTracker::warmRegister(block, ts, ops);
+}
+
 // ---------------------------------------------------------------------------
 // TagExtendedTracker
 // ---------------------------------------------------------------------------
@@ -194,6 +205,16 @@ TagExtendedTracker::onLlcDataVictim(const LlcEntry &victim, EngineOps &ops)
     const TrackState ts = inllc_detail::stateOf(victim);
     if (!ts.invalid())
         ops.backInvalidate(victim.tag, ts);
+}
+
+bool
+TagExtendedTracker::warmRegister(Addr block, const TrackState &ts,
+                                 EngineOps &ops)
+{
+    // store() panics on a block with no LLC tag (tag-inclusive).
+    if (!llc.findData(block))
+        return false;
+    return CoherenceTracker::warmRegister(block, ts, ops);
 }
 
 std::uint64_t

@@ -55,6 +55,9 @@ class InLlcTracker : public CoherenceTracker
     std::uint64_t trackerSramBits() const override { return 0; }
     std::string name() const override { return "in-llc"; }
 
+    bool warmRegister(Addr block, const TrackState &ts,
+                      EngineOps &ops) override;
+
   private:
     const SystemConfig &cfg;
     Llc &llc;
@@ -74,6 +77,9 @@ class TagExtendedTracker : public CoherenceTracker
     void onLlcDataVictim(const LlcEntry &victim, EngineOps &ops) override;
     std::uint64_t trackerSramBits() const override;
     std::string name() const override { return "in-llc-tag-extended"; }
+
+    bool warmRegister(Addr block, const TrackState &ts,
+                      EngineOps &ops) override;
 
   private:
     void store(Addr block, const TrackState &ns, EngineOps &ops);

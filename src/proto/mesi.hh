@@ -15,6 +15,7 @@
 #include <string>
 
 #include "common/sharer_set.hh"
+#include "common/sim_error.hh"
 #include "common/types.hh"
 
 namespace tinydir
@@ -80,6 +81,30 @@ struct TrackState
         t.kind = Kind::Shared;
         t.sharers = s;
         return t;
+    }
+
+    /** Serialize kind/owner/sharers (ckpt/). */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        w.u8(static_cast<std::uint8_t>(kind));
+        w.u16(owner);
+        sharers.saveState(w);
+    }
+
+    /** Restore state written by saveState; validates the kind tag. */
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        const std::uint8_t k = r.u8();
+        if (k > static_cast<std::uint8_t>(Kind::Shared))
+            throw CheckpointError("checkpoint corrupt: track kind " +
+                                  std::to_string(k));
+        kind = static_cast<Kind>(k);
+        owner = r.u16();
+        sharers.loadState(r);
     }
 };
 

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "ckpt/io.hh"
 
 namespace tinydir
 {
@@ -298,6 +299,50 @@ MgdTracker::trackerSramBits() const
     // tag + grain bit + sharer vector + 2 state bits + repl bit
     const std::uint64_t entry_bits = tag_bits + 1 + cfg.numCores + 3;
     return entry_bits * rows * ways * banks;
+}
+
+void
+MgdTracker::saveState(ckpt::Writer &w) const
+{
+    const auto save_entry = [](ckpt::Writer &wr, const MgdEntry &e) {
+        wr.u64(e.tag);
+        wr.b(e.valid);
+        wr.b(e.region);
+        e.state().saveState(wr);
+    };
+    for (const auto &arr : slices)
+        arr.saveState(w, save_entry);
+    for (const auto &arr : skewSlices)
+        arr.saveState(w, save_entry);
+    blockEntries.saveState(w, [](ckpt::Writer &wr, const unsigned &n) {
+        wr.u32(n);
+    });
+    allocs.saveState(w);
+    splits.saveState(w);
+}
+
+void
+MgdTracker::loadState(ckpt::Reader &r)
+{
+    const auto load_entry = [](ckpt::Reader &rd, MgdEntry &e) {
+        e.tag = rd.u64();
+        e.valid = rd.b();
+        e.region = rd.b();
+        TrackState ts;
+        ts.loadState(rd);
+        e.kind = ts.kind;
+        e.owner = ts.owner;
+        e.sharers = ts.sharers;
+    };
+    for (auto &arr : slices)
+        arr.loadState(r, load_entry);
+    for (auto &arr : skewSlices)
+        arr.loadState(r, load_entry);
+    blockEntries.loadState(r, [](ckpt::Reader &rd, unsigned &n) {
+        n = rd.u32();
+    });
+    allocs.loadState(r);
+    splits.loadState(r);
 }
 
 std::string

@@ -59,6 +59,9 @@ class MgdTracker : public CoherenceTracker
         splits.reset();
     }
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     /** Region or block entry. */
     struct MgdEntry

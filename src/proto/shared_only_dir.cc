@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "ckpt/io.hh"
 
 namespace tinydir
 {
@@ -192,6 +193,39 @@ SharedOnlyDirTracker::trackerSramBits() const
         ceilLog2(std::max<std::uint64_t>(2, total_sets));
     const std::uint64_t entry_bits = tag_bits + cfg.numCores + 3;
     return entry_bits * sets * ways * banks;
+}
+
+void
+SharedOnlyDirTracker::saveState(ckpt::Writer &w) const
+{
+    const auto save_entry = [](ckpt::Writer &wr,
+                               const SparseDirEntry &e) {
+        e.saveState(wr);
+    };
+    for (const auto &arr : slices)
+        arr.saveState(w, save_entry);
+    for (const auto &arr : skewSlices)
+        arr.saveState(w, save_entry);
+    unbounded.saveState(w, [](ckpt::Writer &wr, const TrackState &ts) {
+        ts.saveState(wr);
+    });
+    allocs.saveState(w);
+}
+
+void
+SharedOnlyDirTracker::loadState(ckpt::Reader &r)
+{
+    const auto load_entry = [](ckpt::Reader &rd, SparseDirEntry &e) {
+        e.loadState(rd);
+    };
+    for (auto &arr : slices)
+        arr.loadState(r, load_entry);
+    for (auto &arr : skewSlices)
+        arr.loadState(r, load_entry);
+    unbounded.loadState(r, [](ckpt::Reader &rd, TrackState &ts) {
+        ts.loadState(rd);
+    });
+    allocs.loadState(r);
 }
 
 std::string

@@ -48,6 +48,9 @@ class SharedOnlyDirTracker : public CoherenceTracker
     bool debugForgeState(Addr block, const TrackState &ts) override;
     bool debugDropEntry(Addr block) override;
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     SparseDirEntry *findDir(Addr block);
     void store(Addr block, const TrackState &ns, EngineOps &ops);

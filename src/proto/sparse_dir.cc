@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "ckpt/io.hh"
 
 namespace tinydir
 {
@@ -144,6 +145,28 @@ SparseDirTracker::debugDropEntry(Addr block)
         return false;
     arr.way(set, static_cast<unsigned>(w)) = SparseDirEntry{};
     return true;
+}
+
+void
+SparseDirTracker::saveState(ckpt::Writer &w) const
+{
+    for (const auto &arr : slices) {
+        arr.saveState(w, [](ckpt::Writer &wr, const SparseDirEntry &e) {
+            e.saveState(wr);
+        });
+    }
+    allocs.saveState(w);
+}
+
+void
+SparseDirTracker::loadState(ckpt::Reader &r)
+{
+    for (auto &arr : slices) {
+        arr.loadState(r, [](ckpt::Reader &rd, SparseDirEntry &e) {
+            e.loadState(rd);
+        });
+    }
+    allocs.loadState(r);
 }
 
 std::string

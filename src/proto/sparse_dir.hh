@@ -46,6 +46,28 @@ struct SparseDirEntry
         owner = ts.owner;
         sharers = ts.sharers;
     }
+
+    /** Serialize the whole entry (ckpt/). */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        w.u64(tag);
+        w.b(valid);
+        state().saveState(w);
+    }
+
+    /** Restore state written by saveState. */
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        tag = r.u64();
+        valid = r.b();
+        TrackState ts;
+        ts.loadState(r);
+        setState(ts);
+    }
 };
 
 /** The conventional sparse directory tracker. */
@@ -69,6 +91,9 @@ class SparseDirTracker : public CoherenceTracker
     bool debugHasDirEntry(Addr block) override;
     bool debugForgeState(Addr block, const TrackState &ts) override;
     bool debugDropEntry(Addr block) override;
+
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
 
   private:
     /** Store @p ns, allocating (and possibly evicting) as needed. */

@@ -57,6 +57,44 @@ class SpillPolicy
 
     Counter windowsCompleted() const { return windows.value(); }
 
+    /** Serialize every bank's controller state (ckpt/). */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        for (const auto &st : states) {
+            w.u32(st.thresholdIdx);
+            w.d(st.delta);
+            w.u64(st.winAccesses);
+            w.u64(st.sampAccesses);
+            w.u64(st.sampMisses);
+            w.u64(st.otherAccesses);
+            w.u64(st.otherMisses);
+            w.u64(st.straReads);
+            w.u64(st.misses);
+        }
+        windows.saveState(w);
+    }
+
+    /** Restore state written by saveState. */
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        for (auto &st : states) {
+            st.thresholdIdx = r.u32();
+            st.delta = r.d();
+            st.winAccesses = r.u64();
+            st.sampAccesses = r.u64();
+            st.sampMisses = r.u64();
+            st.otherAccesses = r.u64();
+            st.otherMisses = r.u64();
+            st.straReads = r.u64();
+            st.misses = r.u64();
+        }
+        windows.loadState(r);
+    }
+
   private:
     struct BankState
     {

@@ -4,6 +4,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "ckpt/io.hh"
 
 namespace tinydir
 {
@@ -144,6 +145,36 @@ StashTracker::trackerSramBits() const
         ceilLog2(std::max<std::uint64_t>(2, total_sets));
     const std::uint64_t entry_bits = tag_bits + cfg.numCores + 3;
     return entry_bits * sets * ways * banks;
+}
+
+void
+StashTracker::saveState(ckpt::Writer &w) const
+{
+    for (const auto &arr : slices) {
+        arr.saveState(w, [](ckpt::Writer &wr, const SparseDirEntry &e) {
+            e.saveState(wr);
+        });
+    }
+    stashed.saveState(w, [](ckpt::Writer &wr, const TrackState &ts) {
+        ts.saveState(wr);
+    });
+    allocs.saveState(w);
+    bcasts.saveState(w);
+}
+
+void
+StashTracker::loadState(ckpt::Reader &r)
+{
+    for (auto &arr : slices) {
+        arr.loadState(r, [](ckpt::Reader &rd, SparseDirEntry &e) {
+            e.loadState(rd);
+        });
+    }
+    stashed.loadState(r, [](ckpt::Reader &rd, TrackState &ts) {
+        ts.loadState(rd);
+    });
+    allocs.loadState(r);
+    bcasts.loadState(r);
 }
 
 std::string

@@ -58,6 +58,9 @@ class StashTracker : public CoherenceTracker
     bool debugDropEntry(Addr block) override;
     bool isStashed(Addr block) const { return stashed.contains(block); }
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     void store(Addr block, const TrackState &ns, EngineOps &ops);
 

@@ -5,6 +5,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "ckpt/io.hh"
 #include "proto/inllc.hh"
 
 namespace tinydir
@@ -548,6 +549,71 @@ TinyDirTracker::debugDropEntry(Addr block)
         return true;
     }
     return false;
+}
+
+void
+TinyDirTracker::saveState(ckpt::Writer &w) const
+{
+    for (const auto &sl : slices) {
+        for (const auto &e : sl.entries) {
+            w.u64(e.tag);
+            w.b(e.valid);
+            e.state().saveState(w);
+            w.u8(e.strac);
+            w.u8(e.oac);
+            w.u16(e.tlast);
+            w.b(e.rbit);
+            w.b(e.epbit);
+        }
+        w.u16(sl.tcounter);
+        w.u64(sl.accA);
+        w.u64(sl.accB);
+        w.u64(sl.genRemaining);
+    }
+    w.u64(lastQuantum);
+    spill.saveState(w);
+    hits_.saveState(w);
+    allocs_.saveState(w);
+    spills_.saveState(w);
+}
+
+void
+TinyDirTracker::loadState(ckpt::Reader &r)
+{
+    for (auto &sl : slices) {
+        for (auto &e : sl.entries) {
+            e.tag = r.u64();
+            e.valid = r.b();
+            TrackState ts;
+            ts.loadState(r);
+            e.setState(ts);
+            e.strac = r.u8();
+            e.oac = r.u8();
+            e.tlast = r.u16();
+            e.rbit = r.b();
+            e.epbit = r.b();
+        }
+        sl.tcounter = r.u16();
+        sl.accA = r.u64();
+        sl.accB = r.u64();
+        sl.genRemaining = r.u64();
+    }
+    lastQuantum = r.u64();
+    spill.loadState(r);
+    hits_.loadState(r);
+    allocs_.loadState(r);
+    spills_.loadState(r);
+}
+
+bool
+TinyDirTracker::warmRegister(Addr block, const TrackState &ts,
+                             EngineOps &ops)
+{
+    // The in-LLC substrate can only track blocks with an LLC tag;
+    // update() panics otherwise. Let the caller back-invalidate.
+    if (!llc.findData(block))
+        return false;
+    return CoherenceTracker::warmRegister(block, ts, ops);
 }
 
 std::string

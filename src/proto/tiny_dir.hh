@@ -65,6 +65,11 @@ class TinyDirTracker : public CoherenceTracker
     bool debugForgeState(Addr block, const TrackState &ts) override;
     bool debugDropEntry(Addr block) override;
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+    bool warmRegister(Addr block, const TrackState &ts,
+                      EngineOps &ops) override;
+
     void
     resetStats() override
     {

@@ -25,6 +25,12 @@
 namespace tinydir
 {
 
+namespace ckpt
+{
+class Writer;
+class Reader;
+} // namespace ckpt
+
 /** Where a block's coherence tracking currently resides. */
 enum class Residence : std::uint8_t
 {
@@ -214,6 +220,44 @@ class CoherenceTracker
 
     /** Reset statistic counters after warmup (state untouched). */
     virtual void resetStats() {}
+
+    // -- checkpoint/restore (ckpt/) -------------------------------------
+
+    /**
+     * Serialize all mutable tracking state (SRAM entries, spilled
+     * maps, policy clocks, statistic counters). Stateless trackers
+     * (in-LLC schemes, whose entire state lives in LLC meta-bits that
+     * the Llc serializes itself) keep the no-op default.
+     */
+    virtual void saveState(ckpt::Writer &w) const { (void)w; }
+
+    /** Restore state written by saveState (same scheme + config). */
+    virtual void loadState(ckpt::Reader &r) { (void)r; }
+
+    /**
+     * Warmup fast-forward: register @p ts — the ground-truth private-
+     * cache state of @p block — with a freshly constructed tracker so
+     * a scheme-independent warmup snapshot can be adopted by any
+     * scheme. The default synthesizes a plausible final request and
+     * routes it through update(); schemes that can only track a block
+     * alongside a live LLC data way override this and return false
+     * when the way is missing (the reconstructor then back-invalidates
+     * the block instead, keeping coherence intact).
+     *
+     * @retval true when the block is now tracked (or legally
+     *         untrackable for this scheme, e.g. MgD region merges);
+     *         false when the caller must back-invalidate.
+     */
+    virtual bool
+    warmRegister(Addr block, const TrackState &ts, EngineOps &ops)
+    {
+        ReqCtx ctx;
+        ctx.core = ts.exclusive() ? ts.owner : ts.sharers.first();
+        ctx.type = ts.exclusive() ? ReqType::GetX : ReqType::GetS;
+        ctx.when = ops.now();
+        update(block, ts, ctx, ops);
+        return true;
+    }
 };
 
 } // namespace tinydir

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "ckpt/ckpt.hh"
 #include "common/log.hh"
 #include "common/sim_error.hh"
 
@@ -20,7 +21,8 @@ constexpr Cycle idle = ~Cycle(0);
 
 RunResult
 Driver::run(System &sys,
-            std::vector<std::unique_ptr<AccessStream>> streams)
+            std::vector<std::unique_ptr<AccessStream>> streams,
+            const DriverProgress *resume)
 {
     panic_if(streams.size() != sys.cfg.numCores,
              "stream count != core count");
@@ -34,19 +36,38 @@ Driver::run(System &sys,
     std::vector<Cycle> issues(sys.cfg.numCores, idle);
     std::vector<TraceAccess> pending(sys.cfg.numCores);
     unsigned live = 0;
-    for (CoreId c = 0; c < sys.cfg.numCores; ++c) {
-        TraceAccess acc;
-        if (streams[c] && streams[c]->next(acc)) {
-            issues[c] = sys.cores[c].clock + acc.gap;
-            pending[c] = acc;
-            ++live;
+    RunResult res;
+    if (resume) {
+        if (resume->issues.size() != issues.size())
+            throw CheckpointError(
+                "resume progress covers a different core count");
+        issues = resume->issues;
+        pending = resume->pending;
+        live = resume->live;
+        res.accesses = resume->accesses;
+    } else {
+        for (CoreId c = 0; c < sys.cfg.numCores; ++c) {
+            TraceAccess acc;
+            if (streams[c] && streams[c]->next(acc)) {
+                issues[c] = sys.cores[c].clock + acc.gap;
+                pending[c] = acc;
+                ++live;
+            }
         }
     }
 
     using Clock = std::chrono::steady_clock;
     const Clock::time_point started = Clock::now();
 
-    RunResult res;
+    const auto progress_now = [&]() {
+        DriverProgress p;
+        p.accesses = res.accesses;
+        p.live = live;
+        p.issues = issues;
+        p.pending = pending;
+        return p;
+    };
+
     const unsigned n = sys.cfg.numCores;
     while (live > 0) {
         CoreId best = 0;
@@ -61,22 +82,10 @@ Driver::run(System &sys,
             sys.executeAccess(best, pending[best], best_issue);
         sys.cores[best].clock = done;
         ++res.accesses;
-        if (warmupAccesses && res.accesses == warmupAccesses)
-            sys.resetStats();
-        if (hook && hookPeriod && res.accesses % hookPeriod == 0)
-            hook(sys, res.accesses);
-        if (timeoutSeconds > 0.0 &&
-            res.accesses % timeoutCheckPeriod == 0) {
-            const std::chrono::duration<double> elapsed =
-                Clock::now() - started;
-            if (elapsed.count() > timeoutSeconds) {
-                std::ostringstream os;
-                os << "simulation exceeded the " << timeoutSeconds
-                   << " s wall-clock limit after " << res.accesses
-                   << " accesses";
-                throw SimTimeout(os.str(), timeoutSeconds);
-            }
-        }
+        // Refill before any checkpoint work below: a snapshot must
+        // hold the NEXT pending access per core, not the one just
+        // executed, or the restore would replay it. The streams never
+        // touch the System, so the reorder is timing-invisible.
         TraceAccess acc;
         if (streams[best]->next(acc)) {
             issues[best] = done + acc.gap;
@@ -84,6 +93,43 @@ Driver::run(System &sys,
         } else {
             issues[best] = idle;
             --live;
+        }
+        if (warmupAccesses && res.accesses == warmupAccesses)
+            sys.resetStats();
+        if (hook && hookPeriod && res.accesses % hookPeriod == 0)
+            hook(sys, res.accesses);
+        if (res.accesses % timeoutCheckPeriod == 0) {
+            if (timeoutSeconds > 0.0) {
+                const std::chrono::duration<double> elapsed =
+                    Clock::now() - started;
+                if (elapsed.count() > timeoutSeconds) {
+                    std::ostringstream os;
+                    os << "simulation exceeded the " << timeoutSeconds
+                       << " s wall-clock limit after " << res.accesses
+                       << " accesses";
+                    throw SimTimeout(os.str(), timeoutSeconds);
+                }
+            }
+            if (ckpt::interruptRequested()) {
+                if (checkpointSink)
+                    checkpointSink(sys, streams, progress_now());
+                std::ostringstream os;
+                os << "interrupted after " << res.accesses
+                   << " accesses";
+                throw SimInterrupt(os.str());
+            }
+        }
+        if (checkpointEvery && checkpointSink &&
+            res.accesses % checkpointEvery == 0) {
+            checkpointSink(sys, streams, progress_now());
+        }
+        if (stopAfterAccesses && res.accesses >= stopAfterAccesses) {
+            if (checkpointSink)
+                checkpointSink(sys, streams, progress_now());
+            // Early stop: deliberately no finalize(); the run is
+            // expected to continue from the checkpoint.
+            res.execCycles = sys.execCycles();
+            return res;
         }
     }
     sys.finalize();

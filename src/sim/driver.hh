@@ -31,6 +31,61 @@ struct RunResult
     Counter accesses = 0;
 };
 
+/**
+ * The driver's replay position: the executed-access count plus the
+ * one in-flight pending access per core. Together with the System and
+ * stream states this is everything a checkpoint needs to resume a run
+ * mid-flight (ckpt/ckpt.hh).
+ */
+struct DriverProgress
+{
+    Counter accesses = 0;
+    unsigned live = 0;
+    std::vector<Cycle> issues;
+    std::vector<TraceAccess> pending;
+
+    /** Serialize the progress record (ckpt/). */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        w.u64(accesses);
+        w.u32(live);
+        w.u64(issues.size());
+        for (Cycle c : issues)
+            w.u64(c);
+        for (const TraceAccess &a : pending) {
+            w.u64(a.gap);
+            w.u8(static_cast<std::uint8_t>(a.type));
+            w.u64(a.addr);
+        }
+    }
+
+    /** Restore a record written by saveState. */
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        accesses = r.u64();
+        live = r.u32();
+        const std::uint64_t n = r.u64();
+        issues.resize(static_cast<std::size_t>(n));
+        pending.resize(static_cast<std::size_t>(n));
+        for (auto &c : issues)
+            c = r.u64();
+        for (auto &a : pending) {
+            a.gap = r.u64();
+            const std::uint8_t t = r.u8();
+            if (t > static_cast<std::uint8_t>(AccessType::Ifetch))
+                throw CheckpointError(
+                    "checkpoint corrupt: access type " +
+                    std::to_string(t));
+            a.type = static_cast<AccessType>(t);
+            a.addr = r.u64();
+        }
+    }
+};
+
 /** Replays streams to completion. */
 class Driver
 {
@@ -59,8 +114,40 @@ class Driver
     /** How often (in accesses) the wall-clock deadline is polled. */
     static constexpr Counter timeoutCheckPeriod = 4096;
 
+    /**
+     * Checkpoint sink, called with a consistent (system, streams,
+     * progress) triple every checkpointEvery accesses and once more
+     * when an interrupt is being honored. The ckpt layer installs a
+     * closure that writes the checkpoint file.
+     */
+    std::function<void(System &,
+                       const std::vector<std::unique_ptr<AccessStream>> &,
+                       const DriverProgress &)>
+        checkpointSink;
+
+    /** Invoke checkpointSink every this many accesses (0 = never). */
+    Counter checkpointEvery = 0;
+
+    /**
+     * Stop early — without finalizing the system — once this many
+     * accesses have executed (0 = run to stream exhaustion). Used by
+     * the checkpoint tests to split a run at an exact boundary.
+     */
+    Counter stopAfterAccesses = 0;
+
+    /**
+     * Replay @p streams against @p sys. When @p resume is non-null the
+     * driver starts from that recorded position instead of priming the
+     * per-core pending slots from the streams (the streams must have
+     * been restored to matching positions).
+     *
+     * Honors ckpt::interruptRequested() at timeoutCheckPeriod cadence:
+     * flushes a final checkpoint through checkpointSink and throws
+     * SimInterrupt.
+     */
     RunResult run(System &sys,
-                  std::vector<std::unique_ptr<AccessStream>> streams);
+                  std::vector<std::unique_ptr<AccessStream>> streams,
+                  const DriverProgress *resume = nullptr);
 };
 
 } // namespace tinydir

@@ -10,6 +10,7 @@
 #include <memory>
 #include <ostream>
 
+#include "ckpt/ckpt.hh"
 #include "common/log.hh"
 #include "sim/driver.hh"
 #include "sim/system.hh"
@@ -19,25 +20,70 @@
 namespace tinydir
 {
 
+std::uint64_t
+effectiveWarmupPerCore(const SystemConfig &cfg,
+                       const WorkloadProfile &prof,
+                       std::uint64_t warmup_per_core)
+{
+    // Warmup must cover the deterministic prologue (one touch of the
+    // reused footprint) plus some steady-state settling.
+    if (warmup_per_core == 0)
+        return 0;
+    auto layout = layoutFor(prof, cfg);
+    return std::max<std::uint64_t>(warmup_per_core,
+                                   maxPrologueLen(*layout) + 2000);
+}
+
 RunOut
 runOne(const SystemConfig &cfg, const WorkloadProfile &prof,
        std::uint64_t accesses_per_core,
        std::uint64_t warmup_per_core, const RunControls &ctl)
 {
     auto layout = layoutFor(prof, cfg);
-    // Warmup must cover the deterministic prologue (one touch of the
-    // reused footprint) plus some steady-state settling.
-    std::uint64_t warmup = warmup_per_core;
-    if (warmup > 0) {
-        warmup = std::max<std::uint64_t>(
-            warmup, maxPrologueLen(*layout) + 2000);
-    }
+    const std::uint64_t warmup =
+        effectiveWarmupPerCore(cfg, prof, warmup_per_core);
     auto streams = makeStreams(layout, cfg, accesses_per_core + warmup,
                                warmup > 0);
     System sys(cfg);
     Driver driver;
     driver.warmupAccesses = warmup * cfg.numCores;
     driver.timeoutSeconds = ctl.timeoutSeconds;
+    driver.stopAfterAccesses = ctl.stopAfterAccesses;
+    if (!ctl.checkpointPath.empty()) {
+        driver.checkpointEvery = ctl.checkpointEvery;
+        driver.checkpointSink =
+            [&ctl, &prof](
+                System &s,
+                const std::vector<std::unique_ptr<AccessStream>> &strs,
+                const DriverProgress &p) {
+                ckpt::saveRunFile(ctl.checkpointPath, s, strs, p,
+                                  prof.name);
+            };
+    }
+    RunOut out;
+    DriverProgress progress;
+    bool resumed = false;
+    if (!ctl.resumePath.empty() && !ctl.checkpointPath.empty() &&
+        !std::ifstream(ctl.resumePath).good()) {
+        // Checkpointed-run mode (--checkpoint + --resume together,
+        // the continue-an-interrupted-grid workflow): a cell whose
+        // checkpoint does not exist never got one — it either
+        // finished or never started before the interrupt — so it
+        // (re)runs cold. A bare --resume with a missing file stays a
+        // hard CheckpointError below (typo protection).
+        warn("no checkpoint at ", ctl.resumePath, "; ",
+             ctl.label.empty() ? "run" : ctl.label, " starts cold");
+    } else if (!ctl.resumePath.empty()) {
+        ckpt::LoadResult lr = ckpt::loadRunFile(
+            ctl.resumePath, sys, streams, ctl.resumeFastForward);
+        if (lr.profile != prof.name)
+            throw CheckpointError(
+                "checkpoint was taken on workload '" + lr.profile +
+                "', refusing restore into '" + prof.name + "'");
+        progress = std::move(lr.progress);
+        out.resumedAt = lr.accessesDone;
+        resumed = true;
+    }
     Verifier::Options vo;
     vo.dumpDir = ctl.dumpDir;
     vo.label = ctl.label;
@@ -45,7 +91,8 @@ runOne(const SystemConfig &cfg, const WorkloadProfile &prof,
     if (ctl.verifyPeriod > 0)
         verifier.attach(driver, ctl.verifyPeriod);
     const auto simStart = std::chrono::steady_clock::now();
-    const RunResult rr = driver.run(sys, std::move(streams));
+    const RunResult rr =
+        driver.run(sys, std::move(streams), resumed ? &progress : nullptr);
     const double simWall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       simStart)
@@ -54,12 +101,15 @@ runOne(const SystemConfig &cfg, const WorkloadProfile &prof,
     // hook firing) cannot slip through.
     if (ctl.verifyPeriod > 0)
         verifier.enforce(sys, rr.accesses);
-    RunOut out;
     out.totalCycles = rr.execCycles;
     out.accesses = rr.accesses;
     out.wallSeconds = simWall;
-    if (simWall > 0.0)
-        out.accessesPerSec = static_cast<double>(rr.accesses) / simWall;
+    // Throughput covers only the accesses this process executed: a
+    // resumed run did not pay for the pre-checkpoint portion.
+    if (simWall > 0.0) {
+        out.accessesPerSec =
+            static_cast<double>(rr.accesses - out.resumedAt) / simWall;
+    }
     out.stats = sys.dump();
     out.execCycles =
         static_cast<Cycle>(out.stats.get("exec_cycles"));
@@ -138,12 +188,34 @@ cliFatal(const ConfigError &)
     std::exit(1);
 }
 
+namespace
+{
+
+/** Default shared-snapshot directory for --warmup-ff without a value. */
+std::string
+defaultSnapshotDir()
+{
+    const char *t = std::getenv("TMPDIR");
+    return (t && t[0] != '\0') ? std::string(t) : std::string("/tmp");
+}
+
+} // namespace
+
 BenchScale
 parseBenchScale(int argc, char **argv)
 try {
+    // Interrupted grids should checkpoint + flush partial results
+    // instead of dying mid-write; the driver polls this flag.
+    ckpt::installSignalHandlers();
     BenchScale s;
     s.accessesPerCore = 20000;
     s.controls = envRunControls();
+    if (const char *env = std::getenv("TINYDIR_WARMUP_FF")) {
+        if (std::strcmp(env, "1") == 0)
+            s.warmupSnapshotDir = defaultSnapshotDir();
+        else if (env[0] != '\0' && std::strcmp(env, "0") != 0)
+            s.warmupSnapshotDir = env;
+    }
     bool explicit_cores = false;
     bool explicit_accesses = false;
     bool explicit_warmup = false;
@@ -185,6 +257,20 @@ try {
                 parsePositiveFlag("--jobs", a + 7));
         } else if (std::strncmp(a, "--app=", 6) == 0) {
             s.onlyApps.emplace_back(a + 6);
+        } else if (std::strncmp(a, "--checkpoint=", 13) == 0) {
+            fatal_if(a[13] == '\0', "--checkpoint expects a path");
+            s.controls.checkpointPath = a + 13;
+        } else if (std::strncmp(a, "--checkpoint-every=", 19) == 0) {
+            s.controls.checkpointEvery =
+                parsePositiveFlag("--checkpoint-every", a + 19);
+        } else if (std::strncmp(a, "--resume=", 9) == 0) {
+            fatal_if(a[9] == '\0', "--resume expects a path");
+            s.controls.resumePath = a + 9;
+        } else if (std::strcmp(a, "--warmup-ff") == 0) {
+            s.warmupSnapshotDir = defaultSnapshotDir();
+        } else if (std::strncmp(a, "--warmup-ff=", 12) == 0) {
+            fatal_if(a[12] == '\0', "--warmup-ff expects a directory");
+            s.warmupSnapshotDir = a + 12;
         } else {
             warn("ignoring unknown bench argument: ", a);
         }

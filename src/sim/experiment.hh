@@ -41,10 +41,17 @@ struct RunOut
     /**
      * Simulated accesses per host-second for this run: the simulator
      * throughput metric the perf regression guard (bench_hotpath)
-     * tracks. Derived from accesses / wallSeconds; 0 when the run was
-     * too fast for the clock to resolve.
+     * tracks. Derived from the accesses this process actually
+     * executed (accesses - resumedAt) / wallSeconds; 0 when the run
+     * was too fast for the clock to resolve.
      */
     double accessesPerSec = 0.0;
+    /**
+     * Accesses that were already executed when the run started (loaded
+     * from a checkpoint); 0 for a fresh run. accesses includes them —
+     * accesses - resumedAt is the work this process performed.
+     */
+    Counter resumedAt = 0;
     StatsDump stats;
 };
 
@@ -64,6 +71,27 @@ struct RunControls
     std::string dumpDir;
     /** Scheme/workload context for error messages and dump names. */
     std::string label;
+
+    // -- checkpoint/restore (ckpt/ckpt.hh) ------------------------------
+    /** Write a checkpoint here ("" = no checkpointing). */
+    std::string checkpointPath;
+    /** Rewrite checkpointPath every N accesses (0 = only on early
+     *  stop / interrupt). */
+    Counter checkpointEvery = 0;
+    /** Restore the run from this checkpoint before simulating. */
+    std::string resumePath;
+    /**
+     * Allow restoring a checkpoint whose configuration differs in
+     * tracker-only fields: the tracker is rebuilt from the restored
+     * caches (warmup fast-forward). Without it, any config mismatch
+     * refuses the restore with CheckpointError.
+     */
+    bool resumeFastForward = false;
+    /**
+     * Stop (without finalizing) after this many total accesses; used
+     * to cut a run at an exact boundary when generating checkpoints.
+     */
+    Counter stopAfterAccesses = 0;
 
     bool any() const { return verifyPeriod > 0 || timeoutSeconds > 0; }
 };
@@ -88,6 +116,17 @@ RunOut runOne(const SystemConfig &cfg, const WorkloadProfile &prof,
               std::uint64_t warmup_per_core = 0,
               const RunControls &ctl = {});
 
+/**
+ * The warmup length runOne() actually uses for @p warmup_per_core:
+ * extended to cover the workload's deterministic prologue plus
+ * steady-state settling (0 stays 0). Exposed so the warmup
+ * fast-forward path (sim/parallel.cc) can cut its shared snapshots at
+ * exactly the boundary runOne() will expect.
+ */
+std::uint64_t effectiveWarmupPerCore(const SystemConfig &cfg,
+                                     const WorkloadProfile &prof,
+                                     std::uint64_t warmup_per_core);
+
 /** Bench scale chosen from argv/environment. */
 struct BenchScale
 {
@@ -101,16 +140,25 @@ struct BenchScale
     /** Fail fast: abort the whole grid on the first failed cell. */
     bool strict = false;
     std::vector<std::string> onlyApps; //!< restrict workload list
-    /** Per-cell verification/watchdog controls (label set per job). */
+    /** Per-cell verification/watchdog/checkpoint controls. */
     RunControls controls;
+    /**
+     * Warmup fast-forward snapshot directory (--warmup-ff[=DIR] /
+     * TINYDIR_WARMUP_FF). Non-empty = grids snapshot each workload
+     * once at end-of-warmup and every scheme restores from it.
+     */
+    std::string warmupSnapshotDir;
 };
 
 /**
  * Parse --full / --quick / --cores=N / --accesses=N / --warmup=N /
  * --jobs=N / --app=NAME (repeatable) / --strict / --verify=N /
- * --timeout=N plus the TINYDIR_FULL / TINYDIR_QUICK / TINYDIR_JOBS /
- * TINYDIR_STRICT / TINYDIR_VERIFY / TINYDIR_TIMEOUT environment
- * variables.
+ * --timeout=N / --checkpoint=PATH / --checkpoint-every=N /
+ * --resume=PATH / --warmup-ff[=DIR] plus the TINYDIR_FULL /
+ * TINYDIR_QUICK / TINYDIR_JOBS / TINYDIR_STRICT / TINYDIR_VERIFY /
+ * TINYDIR_TIMEOUT / TINYDIR_WARMUP_FF environment variables. Also
+ * installs the SIGINT/SIGTERM handlers (ckpt/ckpt.hh) so interrupted
+ * grids flush a final checkpoint and their partial results.
  *
  * Explicit flags win over the --full/--quick presets; combining
  * --full with --quick warns and keeps --full. Numeric flags must be

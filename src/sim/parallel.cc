@@ -3,11 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <ios>
 #include <map>
 #include <sstream>
 #include <thread>
 
+#include "ckpt/ckpt.hh"
 #include "common/log.hh"
 #include "common/sim_error.hh"
 
@@ -44,6 +46,17 @@ jobFingerprint(const SimJob &job)
     // deliberately excluded so labeled duplicates still memoize.
     os << '|' << job.controls.verifyPeriod << '|'
        << job.controls.timeoutSeconds;
+    // Checkpoint controls change results (resume) or side effects
+    // (files written), so memoizing across them would be wrong.
+    // String fields are length-prefixed so adjacent paths cannot
+    // alias across the separator.
+    os << '|' << job.controls.checkpointPath.size() << ':'
+       << job.controls.checkpointPath << '|'
+       << job.controls.checkpointEvery << '|'
+       << job.controls.resumePath.size() << ':'
+       << job.controls.resumePath << '|'
+       << job.controls.resumeFastForward << '|'
+       << job.controls.stopAfterAccesses;
     return os.str();
 }
 
@@ -91,6 +104,10 @@ runTimed(const SimJob &job)
         r.failed = true;
         r.timedOut = true;
         r.error = describeJob(job) + ": " + e.what();
+    } catch (const SimInterrupt &e) {
+        r.failed = true;
+        r.interrupted = true;
+        r.error = describeJob(job) + ": " + e.what();
     } catch (const SimError &e) {
         r.failed = true;
         r.error = describeJob(job) + ": " + e.what();
@@ -105,10 +122,76 @@ runTimed(const SimJob &job)
     return r;
 }
 
+/**
+ * Run @p count indexed tasks on up to @p workers threads (a shared
+ * atomic cursor; each index is claimed exactly once).
+ */
+template <typename Body>
+void
+runPool(std::size_t count, unsigned workers, Body &&body)
+{
+    std::atomic<std::size_t> next{0};
+    auto work = [&]() {
+        for (;;) {
+            const std::size_t u = next.fetch_add(1);
+            if (u >= count)
+                return;
+            body(u);
+        }
+    };
+    workers = static_cast<unsigned>(
+        std::min<std::size_t>(workers ? workers : 1, count));
+    if (workers <= 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            pool.emplace_back(work);
+        for (auto &t : pool)
+            t.join();
+    }
+}
+
+/** One shared end-of-warmup snapshot and the cells restoring from it. */
+struct WarmGroup
+{
+    std::string path;
+    /** Generation job; cleared (prof == nullptr) when reusing a file. */
+    SimJob snapshot;
+    bool generate = false;
+    std::vector<std::size_t> members; //!< indices into the unique jobs
+};
+
 } // namespace
+
+ThroughputAgg
+aggregateThroughput(const std::vector<SimResult> &results)
+{
+    ThroughputAgg agg;
+    for (const SimResult &r : results) {
+        if (r.memoized || r.failed || !(r.out.wallSeconds > 0.0)) {
+            ++agg.skipped;
+            continue;
+        }
+        ++agg.counted;
+        agg.accesses += r.out.accesses - r.out.resumedAt;
+        agg.runSeconds += r.out.wallSeconds;
+    }
+    return agg;
+}
 
 std::vector<SimResult>
 runMany(const std::vector<SimJob> &jobs, unsigned workers, bool strict)
+{
+    RunManyOptions opt;
+    opt.workers = workers;
+    opt.strict = strict;
+    return runMany(jobs, opt);
+}
+
+std::vector<SimResult>
+runMany(const std::vector<SimJob> &jobs, const RunManyOptions &opt)
 {
     std::vector<SimResult> results(jobs.size());
     if (jobs.empty())
@@ -128,38 +211,137 @@ runMany(const std::vector<SimJob> &jobs, unsigned workers, bool strict)
         sourceOf[i] = it->second;
     }
 
-    if (workers == 0)
-        workers = defaultJobCount();
-    workers = static_cast<unsigned>(std::min<std::size_t>(
-        workers, uniqueIdx.size()));
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(opt.workers ? opt.workers
+                                          : defaultJobCount(),
+                              uniqueIdx.size()));
 
-    std::vector<SimResult> unique(uniqueIdx.size());
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> abort{false};
-    auto work = [&]() {
-        for (;;) {
-            if (strict && abort.load(std::memory_order_relaxed))
-                return;
-            const std::size_t u = next.fetch_add(1);
-            if (u >= uniqueIdx.size())
-                return;
-            unique[u] = runTimed(jobs[uniqueIdx[u]]);
-            if (unique[u].failed)
-                abort.store(true, std::memory_order_relaxed);
+    // The jobs actually executed: fast-forwarded copies when a warmup
+    // snapshot applies, the submitted jobs otherwise.
+    std::vector<SimJob> runJobs;
+    runJobs.reserve(uniqueIdx.size());
+    for (std::size_t i : uniqueIdx)
+        runJobs.push_back(jobs[i]);
+    std::vector<char> fastForwarded(uniqueIdx.size(), 0);
+
+    // -- warmup fast-forward: group cells sharing (workload, lengths,
+    //    warmup-equivalent config); each group warms up once.
+    std::vector<WarmGroup> groups;
+    if (!opt.warmupSnapshotDir.empty()) {
+        std::map<std::string, std::size_t> byKey;
+        for (std::size_t u = 0; u < runJobs.size(); ++u) {
+            const SimJob &j = runJobs[u];
+            // Cells already doing their own checkpoint/resume dance
+            // are left alone.
+            if (j.warmupPerCore == 0 || !j.controls.resumePath.empty() ||
+                !j.controls.checkpointPath.empty() ||
+                j.controls.stopAfterAccesses)
+                continue;
+            std::ostringstream key;
+            key << j.prof->name << '|' << j.accessesPerCore << '|'
+                << j.warmupPerCore << '|' << std::hex
+                << ckpt::warmupSignature(j.cfg);
+            const auto [it, inserted] =
+                byKey.emplace(key.str(), groups.size());
+            if (inserted)
+                groups.push_back({});
+            groups[it->second].members.push_back(u);
         }
-    };
-    if (workers <= 1) {
-        work();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned w = 0; w < workers; ++w)
-            pool.emplace_back(work);
-        for (auto &t : pool)
-            t.join();
+        for (WarmGroup &g : groups) {
+            if (g.members.size() < 2) {
+                g.members.clear(); // nothing to amortize
+                continue;
+            }
+            const SimJob &first = runJobs[g.members.front()];
+            const std::uint64_t warm = effectiveWarmupPerCore(
+                first.cfg, *first.prof, first.warmupPerCore);
+            if (warm == 0) {
+                g.members.clear();
+                continue;
+            }
+            std::ostringstream file;
+            file << opt.warmupSnapshotDir << "/tinydir-warm-"
+                 << first.prof->name << '-' << first.accessesPerCore
+                 << '-' << first.warmupPerCore << '-' << std::hex
+                 << ckpt::warmupSignature(first.cfg) << ".tdcp";
+            g.path = file.str();
+            // Reuse a snapshot from an earlier invocation when one is
+            // present; a stale/corrupt file fails each member's
+            // restore, which falls back to a cold run below.
+            g.generate = !static_cast<bool>(std::ifstream(g.path));
+            if (g.generate) {
+                g.snapshot = first;
+                g.snapshot.cfg = ckpt::warmupNormalized(first.cfg);
+                g.snapshot.controls.label =
+                    "warmup snapshot / " + first.prof->name;
+                g.snapshot.controls.checkpointPath = g.path;
+                g.snapshot.controls.checkpointEvery = 0;
+                g.snapshot.controls.resumePath.clear();
+                g.snapshot.controls.stopAfterAccesses =
+                    warm * g.snapshot.cfg.numCores;
+            }
+            for (std::size_t u : g.members) {
+                runJobs[u].controls.resumePath = g.path;
+                runJobs[u].controls.resumeFastForward = true;
+                fastForwarded[u] = 1;
+            }
+        }
+        // Phase 1: generate the missing snapshots (each is one warmup
+        // run under the normalized config, stopped at the boundary).
+        std::vector<std::size_t> toGen;
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            if (!groups[gi].members.empty() && groups[gi].generate)
+                toGen.push_back(gi);
+        }
+        if (!toGen.empty()) {
+            runPool(toGen.size(), workers, [&](std::size_t t) {
+                WarmGroup &g = groups[toGen[t]];
+                if (ckpt::interruptRequested())
+                    return; // members fall back / report interruption
+                const SimResult r = runTimed(g.snapshot);
+                if (r.failed) {
+                    warn("warmup snapshot generation failed, members "
+                         "run cold: ", r.error);
+                    for (std::size_t u : g.members) {
+                        runJobs[u] = jobs[uniqueIdx[u]];
+                        fastForwarded[u] = 0;
+                    }
+                }
+            });
+        }
     }
 
-    if (strict) {
+    std::vector<SimResult> unique(uniqueIdx.size());
+    std::atomic<bool> abort{false};
+    runPool(uniqueIdx.size(), workers, [&](std::size_t u) {
+        const bool interrupted = ckpt::interruptRequested();
+        if (interrupted ||
+            (opt.strict && abort.load(std::memory_order_relaxed))) {
+            // Strict mode throws below, so only the cooperative
+            // interruption path reports never-started cells.
+            if (interrupted && !opt.strict) {
+                unique[u].failed = true;
+                unique[u].interrupted = true;
+                unique[u].error = describeJob(jobs[uniqueIdx[u]]) +
+                                  ": interrupted before start";
+            }
+            return;
+        }
+        unique[u] = runTimed(runJobs[u]);
+        if (unique[u].failed && fastForwarded[u] &&
+            !unique[u].timedOut && !unique[u].interrupted) {
+            // A stale/corrupt snapshot (or any other fast-forward
+            // casualty) must not fail the cell: rerun it cold. A
+            // genuine failure reproduces there with full-run context.
+            warn("warmup fast-forward failed, rerunning cold: ",
+                 unique[u].error);
+            unique[u] = runTimed(jobs[uniqueIdx[u]]);
+        }
+        if (unique[u].failed)
+            abort.store(true, std::memory_order_relaxed);
+    });
+
+    if (opt.strict) {
         for (const SimResult &r : unique) {
             if (r.failed)
                 throw SimError("strict mode: " + r.error);
@@ -170,7 +352,14 @@ runMany(const std::vector<SimJob> &jobs, unsigned workers, bool strict)
         results[i] = unique[sourceOf[i]];
         if (uniqueIdx[sourceOf[i]] != i) {
             results[i].memoized = true;
+            // A memoized copy was neither simulated nor timed: zero
+            // the whole timing story, not just the outer wall time. A
+            // copied accessesPerSec next to a zeroed wallSeconds made
+            // the two fields mutually inconsistent and invited
+            // accesses/wallSeconds divisions by zero downstream.
             results[i].wallSeconds = 0.0;
+            results[i].out.wallSeconds = 0.0;
+            results[i].out.accessesPerSec = 0.0;
         }
     }
     return results;

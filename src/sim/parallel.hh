@@ -68,10 +68,45 @@ struct SimResult
     bool failed = false;
     /** The failure was the wall-clock watchdog (SimTimeout). */
     bool timedOut = false;
+    /**
+     * The run was cut short (or never started) because the process
+     * received SIGINT/SIGTERM; failed is also set. A final checkpoint
+     * was flushed when the job had a checkpoint path configured.
+     */
+    bool interrupted = false;
     std::string error;
     /** Invariant-violation state dump path, when one was written. */
     std::string dumpPath;
 };
+
+/**
+ * Aggregate simulator throughput over a result set. Only cells that
+ * actually executed AND were actually timed count: memoized copies
+ * (their time belongs to the source cell), failed cells, and cells
+ * whose Driver::run wall time was too short for the clock to resolve
+ * are excluded and reported in skipped. Summing the accesses of an
+ * untimed cell would divide work by a time that does not contain it,
+ * which is exactly the inconsistency the perf guard must not inherit.
+ */
+struct ThroughputAgg
+{
+    /** Accesses executed by the counted cells (resumed work only). */
+    Counter accesses = 0;
+    /** Summed time inside Driver::run for the counted cells. */
+    double runSeconds = 0.0;
+    unsigned counted = 0;
+    unsigned skipped = 0; //!< memoized / failed / untimed cells
+
+    double
+    accessesPerSec() const
+    {
+        return runSeconds > 0.0
+                   ? static_cast<double>(accesses) / runSeconds
+                   : 0.0;
+    }
+};
+
+ThroughputAgg aggregateThroughput(const std::vector<SimResult> &results);
 
 /**
  * Canonical fingerprint of a job: every SystemConfig field, the
@@ -103,6 +138,33 @@ unsigned defaultJobCount();
 std::vector<SimResult> runMany(const std::vector<SimJob> &jobs,
                                unsigned workers = 0,
                                bool strict = false);
+
+/** Full option set for runMany(). */
+struct RunManyOptions
+{
+    unsigned workers = 0; //!< 0 = defaultJobCount()
+    bool strict = false;
+    /**
+     * Warmup fast-forward: when non-empty, jobs sharing a workload,
+     * run length and warmup-compatible configuration (equal
+     * ckpt::warmupSignature) are grouped; each group generates one
+     * end-of-warmup snapshot in this directory — under the
+     * warmup-normalized (default-tracker) configuration — and every
+     * member restores from it, re-deriving its own tracker state from
+     * the restored caches. This amortizes warmup per workload instead
+     * of per cell. Cells whose configuration equals the normalized one
+     * restore bit-identically; other cells trade exact per-scheme
+     * warmup interleaving for the shared snapshot, so this is an
+     * explicit opt-in, not a default. Snapshots are reused across
+     * invocations when loadable; a member whose restore fails falls
+     * back to an ordinary cold run.
+     */
+    std::string warmupSnapshotDir;
+};
+
+/** runMany() with the full option set (fast-forward, interrupts). */
+std::vector<SimResult> runMany(const std::vector<SimJob> &jobs,
+                               const RunManyOptions &opt);
 
 } // namespace tinydir
 

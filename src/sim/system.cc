@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/log.hh"
+#include "ckpt/io.hh"
 #include "energy/energy.hh"
 #include "proto/inllc.hh"
 #include "proto/mgd.hh"
@@ -225,6 +226,46 @@ System::resetStats()
         core.misses.reset();
     }
     statsBaseCycle = execCycles();
+}
+
+void
+System::saveState(ckpt::Writer &w) const
+{
+    for (const auto &core : cores) {
+        w.u64(core.clock);
+        core.loads.saveState(w);
+        core.stores.saveState(w);
+        core.ifetches.saveState(w);
+        core.privHits.saveState(w);
+        core.upgrades.saveState(w);
+        core.misses.saveState(w);
+    }
+    for (const auto &p : privs)
+        p.saveState(w);
+    llc.saveState(w);
+    dram.saveState(w);
+    engine.saveState(w);
+    w.u64(statsBaseCycle);
+}
+
+void
+System::loadState(ckpt::Reader &r)
+{
+    for (auto &core : cores) {
+        core.clock = r.u64();
+        core.loads.loadState(r);
+        core.stores.loadState(r);
+        core.ifetches.loadState(r);
+        core.privHits.loadState(r);
+        core.upgrades.loadState(r);
+        core.misses.loadState(r);
+    }
+    for (auto &p : privs)
+        p.loadState(r);
+    llc.loadState(r);
+    dram.loadState(r);
+    engine.loadState(r);
+    statsBaseCycle = r.u64();
 }
 
 Cycle

@@ -111,8 +111,24 @@ class System
     /**
      * The most recent home transactions, oldest first (at most
      * txnLogSize). Feeds the verifier's violation dumps.
+     *
+     * Debug-only state: deliberately NOT part of saveState(), so a
+     * restored system starts with an empty ring.
      */
     std::vector<TxnRecord> recentTxns() const;
+
+    /**
+     * Serialize every stateful component except the tracker (cores,
+     * private hierarchies, LLC, DRAM, engine, warmup boundary). The
+     * tracker is written as its own checkpoint section so a warmup
+     * fast-forward restore can skip it (ckpt/ckpt.hh); the transaction
+     * debug ring is not snapshotted. Config is NOT written here; the
+     * checkpoint header guards compatibility.
+     */
+    void saveState(ckpt::Writer &w) const;
+
+    /** Restore state written by saveState under an identical config. */
+    void loadState(ckpt::Reader &r);
 
   private:
     void processNotices(CoreId c, const NoticeVec &notices, Cycle t);

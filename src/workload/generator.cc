@@ -7,6 +7,7 @@
 
 #include "common/bitops.hh"
 #include "common/log.hh"
+#include "ckpt/io.hh"
 
 namespace tinydir
 {
@@ -333,6 +334,39 @@ SyntheticStream::pickPrivate()
     const std::uint64_t phase = mainIssued / p.windowPhaseLen;
     const std::uint64_t s0 = (phase * (w / 2)) % scratch;
     return hot + (s0 + rng.below(w)) % scratch;
+}
+
+void
+SyntheticStream::saveState(ckpt::Writer &w) const
+{
+    w.u64(remaining);
+    w.u64(issued);
+    w.u64(mainIssued);
+    rng.saveState(w);
+    w.u64(streamCursor);
+    w.b(prologue);
+    w.u64(prologueCursor);
+    w.u64(proGroup);
+    w.u64(proGroupBase);
+    // winPhase/winMembers are a pure function of mainIssued and are
+    // rebuilt lazily; the Zipf samplers are pure functions of the
+    // layout. Neither is serialized.
+}
+
+void
+SyntheticStream::loadState(ckpt::Reader &r)
+{
+    remaining = r.u64();
+    issued = r.u64();
+    mainIssued = r.u64();
+    rng.loadState(r);
+    streamCursor = r.u64();
+    prologue = r.b();
+    prologueCursor = r.u64();
+    proGroup = static_cast<std::size_t>(r.u64());
+    proGroupBase = r.u64();
+    winPhase = ~0ull;
+    winMembers.clear();
 }
 
 std::shared_ptr<const SharedLayout>

@@ -85,6 +85,9 @@ class SyntheticStream : public AccessStream
     /** Prologue length of this core's stream (0 when disabled). */
     std::uint64_t prologueLen() const;
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     /** @return block number and whether the group is read-only. */
     std::pair<Addr, bool> pickShared();

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/log.hh"
+#include "ckpt/io.hh"
 
 namespace tinydir
 {
@@ -133,6 +134,33 @@ TraceFileStream::next(TraceAccess &out)
     fatal_if(!in, "truncated trace record");
     out.type = static_cast<AccessType>(t);
     return true;
+}
+
+void
+TraceFileStream::saveState(ckpt::Writer &w) const
+{
+    w.u64(remaining);
+    // tellg() is const-unfriendly; the read offset is recomputable
+    // from the record count consumed, but storing it directly keeps
+    // restore O(1). const_cast is safe: tellg does not move the get
+    // pointer.
+    auto &is = const_cast<std::ifstream &>(in);
+    const auto pos = is.tellg();
+    if (pos < 0)
+        throw CheckpointError("trace stream position unavailable");
+    w.u64(static_cast<std::uint64_t>(pos));
+}
+
+void
+TraceFileStream::loadState(ckpt::Reader &r)
+{
+    remaining = r.u64();
+    const std::uint64_t pos = r.u64();
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(pos));
+    if (!in)
+        throw CheckpointError("cannot seek trace stream to " +
+                              std::to_string(pos));
 }
 
 std::vector<std::unique_ptr<AccessStream>>

@@ -52,6 +52,9 @@ class TraceFileStream : public AccessStream
 
     bool next(TraceAccess &out) override;
 
+    void saveState(ckpt::Writer &w) const override;
+    void loadState(ckpt::Reader &r) override;
+
   private:
     std::ifstream in;
     std::uint64_t remaining;

@@ -1,0 +1,476 @@
+/**
+ * @file
+ * Checkpoint/restore tests: save -> load -> continue must be
+ * bit-identical to an uninterrupted run for every tracking scheme, a
+ * damaged or mismatched checkpoint must be refused with
+ * CheckpointError (never a silent wrong restore), and the shared
+ * warmup fast-forward grid must reproduce the per-cell measured
+ * regions while executing the warmup only once.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "ckpt/ckpt.hh"
+#include "common/sim_error.hh"
+#include "oracle/diff.hh"
+#include "sim/driver.hh"
+#include "sim/experiment.hh"
+#include "sim/parallel.hh"
+#include "sim/system.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+namespace tinydir
+{
+namespace
+{
+
+struct NamedCfg
+{
+    const char *name;
+    SystemConfig cfg;
+};
+
+/** The acceptance schemes: MESI/sparse baseline, tiny-dir, MgD. */
+std::vector<NamedCfg>
+checkpointSchemes()
+{
+    std::vector<NamedCfg> out;
+    {
+        SystemConfig cfg = SystemConfig::scaled(4);
+        cfg.tracker = TrackerKind::SparseDir;
+        cfg.dirSizeFactor = 2.0;
+        out.push_back({"mesi_sparse_2x", cfg});
+    }
+    {
+        SystemConfig cfg = SystemConfig::scaled(4);
+        cfg.tracker = TrackerKind::TinyDir;
+        cfg.dirSizeFactor = 1.0 / 32;
+        cfg.tinySpill = true; // exercise spill-buffer serialization
+        out.push_back({"tiny_dir_1_32x", cfg});
+    }
+    {
+        SystemConfig cfg = SystemConfig::scaled(4);
+        cfg.tracker = TrackerKind::Mgd;
+        out.push_back({"mgd", cfg});
+    }
+    return out;
+}
+
+/** RunOut equality on everything deterministic (not wall time). */
+void
+expectSameRun(const RunOut &a, const RunOut &b)
+{
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_EQ(a.accesses, b.accesses);
+    const auto &ia = a.stats.items();
+    const auto &ib = b.stats.items();
+    ASSERT_EQ(ia.size(), ib.size());
+    for (std::size_t i = 0; i < ia.size(); ++i) {
+        EXPECT_EQ(ia[i].first, ib[i].first);
+        EXPECT_EQ(ia[i].second, ib[i].second)
+            << "stat " << ia[i].first << " differs";
+    }
+}
+
+std::string
+tmpPath(const std::string &leaf)
+{
+    return testing::TempDir() + leaf;
+}
+
+/** Read a whole file into a byte string. */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    return os.str();
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+constexpr std::uint64_t kAccesses = 1000;
+constexpr std::uint64_t kWarmup = 300;
+
+/**
+ * Run to @p stop_after total accesses, checkpoint there, and return
+ * the file's bytes (the file itself is removed).
+ */
+std::string
+checkpointBytes(const SystemConfig &cfg, const WorkloadProfile &prof,
+                Counter stop_after)
+{
+    const std::string path = tmpPath("tinydir_ckpt_src.tdcp");
+    RunControls save;
+    save.checkpointPath = path;
+    save.stopAfterAccesses = stop_after;
+    const RunOut part = runOne(cfg, prof, kAccesses, kWarmup, save);
+    EXPECT_EQ(part.accesses, stop_after);
+    std::string bytes = slurp(path);
+    EXPECT_FALSE(bytes.empty());
+    std::remove(path.c_str());
+    return bytes;
+}
+
+/**
+ * Write @p bytes to a file and resume from it, expecting
+ * CheckpointError whose message contains @p needle.
+ */
+void
+expectRefused(const SystemConfig &cfg, const WorkloadProfile &prof,
+              const std::string &bytes, const std::string &needle)
+{
+    const std::string path = tmpPath("tinydir_ckpt_bad.tdcp");
+    spit(path, bytes);
+    RunControls load;
+    load.resumePath = path;
+    try {
+        runOne(cfg, prof, kAccesses, kWarmup, load);
+        FAIL() << "restore accepted a checkpoint that should be "
+                  "refused (" << needle << ")";
+    } catch (const CheckpointError &e) {
+        EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+            << "unexpected message: " << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SaveLoadContinueBitIdentical)
+{
+    const WorkloadProfile &prof = profileByName("compress");
+    for (const auto &scheme : checkpointSchemes()) {
+        SCOPED_TRACE(scheme.name);
+        const RunOut full = runOne(scheme.cfg, prof, kAccesses, kWarmup);
+        ASSERT_GT(full.accesses, 0u);
+        // One split inside the warmup phase, one inside the measured
+        // region: both sides of the stats-reset boundary must resume
+        // bit-identically.
+        for (const double frac : {0.45, 0.85}) {
+            SCOPED_TRACE(frac);
+            const Counter stop =
+                static_cast<Counter>(
+                    static_cast<double>(full.accesses) * frac) |
+                1; // odd: never a multiple of any internal period
+            const std::string path = tmpPath("tinydir_ckpt_bit.tdcp");
+            RunControls save;
+            save.checkpointPath = path;
+            save.stopAfterAccesses = stop;
+            const RunOut part1 =
+                runOne(scheme.cfg, prof, kAccesses, kWarmup, save);
+            EXPECT_EQ(part1.accesses, stop);
+            EXPECT_EQ(part1.resumedAt, 0u);
+
+            RunControls load;
+            load.resumePath = path;
+            const RunOut part2 =
+                runOne(scheme.cfg, prof, kAccesses, kWarmup, load);
+            EXPECT_EQ(part2.resumedAt, stop);
+            expectSameRun(part2, full);
+            std::remove(path.c_str());
+        }
+    }
+}
+
+TEST(Checkpoint, PeriodicCheckpointsDoNotPerturbAndResume)
+{
+    const SystemConfig cfg = checkpointSchemes()[0].cfg;
+    const WorkloadProfile &prof = profileByName("swaptions");
+    const RunOut full = runOne(cfg, prof, 800, 0);
+
+    const std::string path = tmpPath("tinydir_ckpt_periodic.tdcp");
+    RunControls save;
+    save.checkpointPath = path;
+    save.checkpointEvery = 512;
+    const RunOut withCkpt = runOne(cfg, prof, 800, 0, save);
+    // Periodic checkpointing must not change the simulation.
+    expectSameRun(withCkpt, full);
+
+    // The file holds the last periodic snapshot; resuming from it
+    // finishes the run with the same final state.
+    RunControls load;
+    load.resumePath = path;
+    const RunOut resumed = runOne(cfg, prof, 800, 0, load);
+    EXPECT_GT(resumed.resumedAt, 0u);
+    EXPECT_EQ(resumed.resumedAt % save.checkpointEvery, 0u);
+    expectSameRun(resumed, full);
+    std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RestoreUnderVerifyPasses)
+{
+    const WorkloadProfile &prof = profileByName("compress");
+    for (const auto &scheme : checkpointSchemes()) {
+        SCOPED_TRACE(scheme.name);
+        const RunOut full = runOne(scheme.cfg, prof, kAccesses, kWarmup);
+        const std::string path = tmpPath("tinydir_ckpt_verify.tdcp");
+        RunControls save;
+        save.checkpointPath = path;
+        save.stopAfterAccesses = full.accesses / 2;
+        runOne(scheme.cfg, prof, kAccesses, kWarmup, save);
+
+        RunControls load;
+        load.resumePath = path;
+        load.verifyPeriod = 128; // throws InvariantViolation on corruption
+        const RunOut resumed =
+            runOne(scheme.cfg, prof, kAccesses, kWarmup, load);
+        expectSameRun(resumed, full);
+        std::remove(path.c_str());
+    }
+}
+
+TEST(Checkpoint, TruncatedFileRefused)
+{
+    const SystemConfig cfg = checkpointSchemes()[0].cfg;
+    const WorkloadProfile &prof = profileByName("compress");
+    const std::string bytes = checkpointBytes(cfg, prof, 2001);
+    // Cut inside the header and inside a section payload.
+    expectRefused(cfg, prof, bytes.substr(0, 10), "truncated");
+    expectRefused(cfg, prof, bytes.substr(0, bytes.size() / 2),
+                  "truncated");
+    // An empty file is also a truncation, not a crash.
+    expectRefused(cfg, prof, std::string(), "truncated");
+}
+
+TEST(Checkpoint, BadMagicAndVersionRefused)
+{
+    const SystemConfig cfg = checkpointSchemes()[0].cfg;
+    const WorkloadProfile &prof = profileByName("compress");
+    const std::string bytes = checkpointBytes(cfg, prof, 2001);
+
+    std::string badMagic = bytes;
+    badMagic[0] = static_cast<char>(badMagic[0] ^ 0xff);
+    expectRefused(cfg, prof, badMagic, "bad magic");
+
+    std::string badVersion = bytes;
+    badVersion[4] = static_cast<char>(badVersion[4] + 1);
+    expectRefused(cfg, prof, badVersion, "unsupported checkpoint version");
+}
+
+TEST(Checkpoint, CorruptSectionTagRefused)
+{
+    const SystemConfig cfg = checkpointSchemes()[0].cfg;
+    const WorkloadProfile &prof = profileByName("compress");
+    const std::string bytes = checkpointBytes(cfg, prof, 2001);
+    // Header: magic u32, version u32, fullHash u64, warmupHash u64,
+    // numCores u32, accessesDone u64, then the length-prefixed profile
+    // name; the first section tag follows immediately.
+    const std::size_t tagOff =
+        4 + 4 + 8 + 8 + 4 + 8 + 8 + std::string("compress").size();
+    ASSERT_LT(tagOff, bytes.size());
+    std::string corrupt = bytes;
+    corrupt[tagOff] = static_cast<char>(corrupt[tagOff] ^ 0xff);
+    expectRefused(cfg, prof, corrupt, "section");
+}
+
+TEST(Checkpoint, ConfigMismatchRefused)
+{
+    const SystemConfig cfg = checkpointSchemes()[0].cfg;
+    const WorkloadProfile &prof = profileByName("compress");
+    const std::string bytes = checkpointBytes(cfg, prof, 2001);
+
+    // A non-tracker difference (the seed) is refused outright ...
+    SystemConfig otherSeed = cfg;
+    otherSeed.seed ^= 1;
+    expectRefused(otherSeed, prof, bytes, "hash mismatch");
+
+    // ... even with the warmup fallback enabled: the fallback only
+    // absorbs tracker-only differences.
+    {
+        const std::string path = tmpPath("tinydir_ckpt_seed.tdcp");
+        spit(path, bytes);
+        RunControls load;
+        load.resumePath = path;
+        load.resumeFastForward = true;
+        EXPECT_THROW(runOne(otherSeed, prof, kAccesses, kWarmup, load),
+                     CheckpointError);
+        std::remove(path.c_str());
+    }
+
+    // A tracker-only difference is refused in strict mode.
+    SystemConfig otherTracker = cfg;
+    otherTracker.tracker = TrackerKind::TinyDir;
+    otherTracker.dirSizeFactor = 1.0 / 32;
+    expectRefused(otherTracker, prof, bytes, "hash mismatch");
+}
+
+TEST(Checkpoint, WrongWorkloadRefused)
+{
+    const SystemConfig cfg = checkpointSchemes()[0].cfg;
+    const std::string bytes =
+        checkpointBytes(cfg, profileByName("compress"), 2001);
+    expectRefused(cfg, profileByName("swaptions"), bytes,
+                  "refusing restore into");
+}
+
+TEST(Checkpoint, CommittedCorruptFixtureRefused)
+{
+    // The committed fixture is a checkpoint header cut off mid-field:
+    // valid magic + version, then EOF. Guards the refusal path against
+    // regressions in the on-disk format itself.
+    const std::string path =
+        std::string(TINYDIR_CKPT_FIXTURE_DIR) + "/truncated_header.tdcp";
+    const SystemConfig cfg = checkpointSchemes()[0].cfg;
+    RunControls load;
+    load.resumePath = path;
+    EXPECT_THROW(
+        runOne(cfg, profileByName("compress"), kAccesses, kWarmup, load),
+        CheckpointError);
+}
+
+TEST(Checkpoint, MissingFileRefused)
+{
+    const SystemConfig cfg = checkpointSchemes()[0].cfg;
+    RunControls load;
+    load.resumePath = tmpPath("tinydir_ckpt_does_not_exist.tdcp");
+    try {
+        runOne(cfg, profileByName("compress"), kAccesses, kWarmup, load);
+        FAIL() << "expected CheckpointError";
+    } catch (const CheckpointError &e) {
+        EXPECT_NE(std::string(e.what()).find("cannot open"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(Checkpoint, MissingResumeColdStartsOnlyInCheckpointedMode)
+{
+    // The continue-an-interrupted-grid workflow passes --checkpoint
+    // and --resume together; a cell with no snapshot then reruns
+    // cold instead of failing the grid.
+    const SystemConfig cfg = checkpointSchemes()[0].cfg;
+    const WorkloadProfile &prof = profileByName("compress");
+    const RunOut full = runOne(cfg, prof, 400, 0);
+    RunControls both;
+    both.resumePath = tmpPath("tinydir_ckpt_absent.tdcp");
+    both.checkpointPath = tmpPath("tinydir_ckpt_new.tdcp");
+    const RunOut cold = runOne(cfg, prof, 400, 0, both);
+    EXPECT_EQ(cold.resumedAt, 0u);
+    expectSameRun(cold, full);
+    std::remove(both.checkpointPath.c_str());
+}
+
+TEST(Checkpoint, OracleCrossChecksResumedRun)
+{
+    // Attach the differential oracle to a checkpoint-restored system
+    // mid-run: the primed model must track the continued execution
+    // without divergence and the final cross-check must pass.
+    const SystemConfig cfg = SystemConfig::scaled(4);
+    const WorkloadProfile &prof = profileByName("barnes");
+    const auto layout = layoutFor(prof, cfg);
+    const std::uint64_t perCore = 1500;
+
+    std::ostringstream snap;
+    {
+        System sys(cfg);
+        auto streams = makeStreams(layout, cfg, perCore, false);
+        Driver d1;
+        d1.checkpointSink =
+            [&](System &s,
+                const std::vector<std::unique_ptr<AccessStream>> &strs,
+                const DriverProgress &p) {
+                snap.str(std::string());
+                ckpt::saveRun(snap, s, strs, p, prof.name);
+            };
+        d1.stopAfterAccesses = 2500;
+        d1.run(sys, std::move(streams));
+    }
+    ASSERT_FALSE(snap.str().empty());
+
+    System sys2(cfg);
+    auto streams2 = makeStreams(layout, cfg, perCore, false);
+    std::istringstream is(snap.str());
+    ckpt::LoadResult lr = ckpt::loadRun(is, sys2, streams2);
+    EXPECT_TRUE(lr.exact);
+    EXPECT_EQ(lr.accessesDone, 2500u);
+    EXPECT_EQ(lr.profile, prof.name);
+
+    OracleDiff diff(cfg);
+    diff.primeFromSystem(sys2);
+    sys2.setObserver(&diff);
+    Driver d2;
+    const RunResult rr = d2.run(sys2, std::move(streams2), &lr.progress);
+    EXPECT_EQ(rr.accesses, 4 * perCore);
+    EXPECT_FALSE(diff.diverged()) << diff.report().describe();
+    EXPECT_TRUE(diff.crossCheck(sys2)) << diff.report().describe();
+}
+
+TEST(WarmupFastForward, GridSharesWarmupKeepsResultsAndVerifies)
+{
+    const WorkloadProfile *prof = &profileByName("compress");
+    // The baseline cell's config IS the warmup-normalized config, so
+    // its fast-forwarded restore must be bit-exact.
+    const SystemConfig base = SystemConfig::scaled(4);
+    ASSERT_EQ(ckpt::configSignature(base), ckpt::warmupSignature(base));
+
+    SystemConfig tiny = base;
+    tiny.tracker = TrackerKind::TinyDir;
+    tiny.dirSizeFactor = 1.0 / 32;
+    tiny.tinySpill = true;
+    SystemConfig mgd = base;
+    mgd.tracker = TrackerKind::Mgd;
+
+    RunControls ctl;
+    ctl.verifyPeriod = 256; // every cell runs under the verifier
+    const std::uint64_t acc = 700, warm = 300;
+    const std::vector<SimJob> jobs = {{base, prof, acc, warm, ctl},
+                                      {tiny, prof, acc, warm, ctl},
+                                      {mgd, prof, acc, warm, ctl}};
+
+    const auto plain = runMany(jobs, 1);
+    for (const auto &r : plain) {
+        ASSERT_FALSE(r.failed) << r.error;
+        EXPECT_EQ(r.out.resumedAt, 0u);
+    }
+
+    const std::string dir = tmpPath("tinydir_ffgrid");
+    ::mkdir(dir.c_str(), 0755); // may already exist; reuse is fine
+
+    RunManyOptions opt;
+    opt.workers = 1;
+    opt.warmupSnapshotDir = dir;
+    const auto ff = runMany(jobs, opt);
+    ASSERT_EQ(ff.size(), jobs.size());
+    Counter plainExec = 0, ffExec = 0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        SCOPED_TRACE(i);
+        ASSERT_FALSE(ff[i].failed) << ff[i].error;
+        // Every cell fast-forwarded past the shared warmup ...
+        EXPECT_GT(ff[i].out.resumedAt, 0u);
+        // ... and still covers the same total trace.
+        EXPECT_EQ(ff[i].out.accesses, plain[i].out.accesses);
+        plainExec += plain[i].out.accesses;
+        ffExec += ff[i].out.accesses - ff[i].out.resumedAt;
+    }
+    // The exact-hash baseline cell restores bit-identically.
+    expectSameRun(ff[0].out, plain[0].out);
+    // Even counting the one shared snapshot generation, the grid
+    // executed measurably fewer accesses than the cold grid.
+    EXPECT_LT(ffExec + ff[0].out.resumedAt, plainExec);
+
+    // Snapshots are reused: a second fast-forwarded grid is
+    // deterministic and identical to the first.
+    const auto ff2 = runMany(jobs, opt);
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_FALSE(ff2[i].failed) << ff2[i].error;
+        expectSameRun(ff2[i].out, ff[i].out);
+    }
+}
+
+} // namespace
+} // namespace tinydir

@@ -84,6 +84,68 @@ TEST(ParallelRunner, MemoizesDuplicateJobs)
     expectSameRun(res.front().out, res.back().out);
 }
 
+TEST(ParallelRunner, MemoizedCopiesCarryNoTiming)
+{
+    // Regression: memoized copies used to zero only the outer
+    // wallSeconds while keeping the source cell's out.wallSeconds and
+    // out.accessesPerSec, so grids double-counted throughput.
+    auto jobs = matrixJobs(300, 0);
+    jobs.push_back(jobs.front());
+    const auto res = runMany(jobs, 2);
+    const SimResult &copy = res.back();
+    ASSERT_TRUE(copy.memoized);
+    EXPECT_EQ(copy.wallSeconds, 0.0);
+    EXPECT_EQ(copy.out.wallSeconds, 0.0);
+    EXPECT_EQ(copy.out.accessesPerSec, 0.0);
+    // The simulation outcome itself is still shared.
+    expectSameRun(res.front().out, copy.out);
+}
+
+TEST(ThroughputAggregation, SkipsMemoizedFailedAndUntimedCells)
+{
+    std::vector<SimResult> results(4);
+    // A properly timed cell.
+    results[0].out.accesses = 1000;
+    results[0].out.wallSeconds = 0.5;
+    // A memoized copy: its accesses were not executed here.
+    results[1].memoized = true;
+    results[1].out.accesses = 1000;
+    results[1].out.wallSeconds = 0.5;
+    // A failed cell.
+    results[2].failed = true;
+    results[2].out.accesses = 700;
+    results[2].out.wallSeconds = 0.1;
+    // A run too fast for the clock: counting its accesses would
+    // divide work by a time that does not contain it.
+    results[3].out.accesses = 500;
+    results[3].out.wallSeconds = 0.0;
+
+    const ThroughputAgg agg = aggregateThroughput(results);
+    EXPECT_EQ(agg.accesses, 1000u);
+    EXPECT_EQ(agg.runSeconds, 0.5);
+    EXPECT_EQ(agg.counted, 1u);
+    EXPECT_EQ(agg.skipped, 3u);
+    EXPECT_EQ(agg.accessesPerSec(), 2000.0);
+}
+
+TEST(ThroughputAggregation, CountsOnlyResumedWorkAndZeroIsZero)
+{
+    std::vector<SimResult> results(1);
+    results[0].out.accesses = 1000;
+    results[0].out.resumedAt = 400; // loaded from a checkpoint
+    results[0].out.wallSeconds = 0.5;
+    const ThroughputAgg agg = aggregateThroughput(results);
+    // Only the work this process performed counts.
+    EXPECT_EQ(agg.accesses, 600u);
+    EXPECT_EQ(agg.accessesPerSec(), 1200.0);
+
+    // All-skipped aggregates report zero, never a division blowup.
+    const ThroughputAgg empty = aggregateThroughput({});
+    EXPECT_EQ(empty.accesses, 0u);
+    EXPECT_EQ(empty.counted, 0u);
+    EXPECT_EQ(empty.accessesPerSec(), 0.0);
+}
+
 TEST(ParallelRunner, FingerprintSeparatesConfigsAndApps)
 {
     const auto jobs = matrixJobs(300, 0);

@@ -2,9 +2,11 @@
 # Single-entry CI gate. Runs, in order:
 #   1. configure + build (default preset, build/)
 #   2. ctest -L fast        (unit/integration tests, tdlint, header TUs)
-#   3. tdlint over the tree (redundant with the ctest, but surfaces
+#   3. ctest -L ckpt        (checkpoint save->load->continue
+#      bit-identity + warmup fast-forward equivalence)
+#   4. tdlint over the tree (redundant with the ctest, but surfaces
 #      diagnostics directly in the log even when ctest output is terse)
-#   4. fuzz_smoke under the asan preset (build-asan/)
+#   5. fuzz_smoke under the asan preset (build-asan/)
 #
 # Usage: tools/ci.sh [--skip-asan]
 # Any failure stops the script (set -e); the failing stage is the last
@@ -29,6 +31,9 @@ cmake --build build -j "$(nproc)"
 
 banner "ctest -L fast"
 ctest --test-dir build -L fast --output-on-failure -j "$(nproc)"
+
+banner "ctest -L ckpt (checkpoint bit-identity)"
+ctest --test-dir build -L ckpt --output-on-failure
 
 banner "tdlint"
 ./build/tools/tdlint --root .

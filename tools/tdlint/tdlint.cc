@@ -1109,7 +1109,7 @@ checkErrorPath(Linter &lt)
     };
     static const std::set<std::string> allowedThrows = {
         "SimError", "InternalError", "ConfigError", "InvariantViolation",
-        "SimTimeout",
+        "SimTimeout", "CheckpointError", "SimInterrupt",
     };
     Model &m = lt.model;
     for (std::size_t f = 0; f < m.funcs.size(); ++f) {

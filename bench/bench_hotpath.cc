@@ -36,6 +36,8 @@
 #include "common/flat_map.hh"
 #include "common/inline_vec.hh"
 #include "common/rng.hh"
+#include "common/time_wheel.hh"
+#include "mem/cache_array.hh"
 #include "mem/skew_array.hh"
 
 namespace
@@ -195,12 +197,8 @@ skewLookupMops()
 {
     SkewArray<SkewEntry> arr(1u << 10, 4);
     Rng rng(14);
-    for (std::uint64_t i = 0; i < 3u << 10; ++i) {
-        const Addr t = rng.below(1u << 22);
-        auto ir = arr.insert(t);
-        ir.slot->tag = t;
-        ir.slot->valid = true;
-    }
+    for (std::uint64_t i = 0; i < 3u << 10; ++i)
+        arr.insert(rng.below(1u << 22)); // insert() stamps tag/valid
     Rng probe(15);
     std::uint64_t hits = 0;
     const auto t0 = Clock::now();
@@ -210,6 +208,74 @@ skewLookupMops()
     }
     const double sec = secondsSince(t0);
     if (hits == 0xdeadbeef)
+        std::cerr << "";
+    return mops(mapOps, sec);
+}
+
+/**
+ * Busy-window expiry tracking: bucketed time wheel vs the old
+ * FlatMap periodic linear prune. Each op inserts one deadline a short
+ * latency ahead and drains everything due at the advancing clock.
+ */
+double
+timeWheelBusyMops()
+{
+    TimeWheel<Addr> wheel;
+    wheel.reserve(1u << 12);
+    Rng rng(16);
+    Cycle now = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < mapOps; ++i) {
+        now += 2;
+        wheel.insert(now + 40 + rng.below(64), rng.below(1u << 16));
+        wheel.advance(now, [](Cycle, Addr) {});
+    }
+    const double sec = secondsSince(t0);
+    return mops(mapOps, sec);
+}
+
+double
+flatMapBusyPruneMops()
+{
+    FlatMap<Cycle> m;
+    m.reserve(1u << 12);
+    Rng rng(16);
+    Cycle now = 0;
+    std::size_t next_prune = 64;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < mapOps; ++i) {
+        now += 2;
+        m[rng.below(1u << 16)] = now + 40 + rng.below(64);
+        if (m.size() >= next_prune) {
+            m.eraseIf([&](Addr, Cycle until) { return until <= now; });
+            next_prune = std::max<std::size_t>(64, 2 * m.size());
+        }
+    }
+    const double sec = secondsSince(t0);
+    if (m.size() == 0xdeadbeef)
+        std::cerr << "";
+    return mops(mapOps, sec);
+}
+
+/** SoA tag-lane victim scan (LRU min-stamp over a full 16-way set). */
+double
+soaVictimScanMops()
+{
+    CacheArray<SkewEntry> arr(256, 16, ReplPolicy::Lru);
+    Rng rng(17);
+    for (unsigned i = 0; i < 256 * 16; ++i) {
+        const std::uint64_t set = rng.below(256);
+        const unsigned w = arr.victimWay(set);
+        arr.install(set, w, rng.below(1u << 20));
+        arr.touch(set, w);
+    }
+    Rng probe(18);
+    std::uint64_t sink = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < mapOps; ++i)
+        sink += arr.victimWay(probe.below(256));
+    const double sec = secondsSince(t0);
+    if (sink == 0xdeadbeef)
         std::cerr << "";
     return mops(mapOps, sec);
 }
@@ -374,6 +440,9 @@ writeMode(const std::string &outPath)
         {"inline_vec_fill_mops", inlineVecFillMops},
         {"heap_vector_fill_mops", heapVectorFillMops},
         {"skew_lookup_mops", skewLookupMops},
+        {"time_wheel_busy_mops", timeWheelBusyMops},
+        {"flat_map_busy_prune_mops", flatMapBusyPruneMops},
+        {"soa_victim_scan_mops", soaVictimScanMops},
     };
     const auto t0 = Clock::now();
     for (const auto &b : structureBenches) {

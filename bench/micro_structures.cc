@@ -28,6 +28,7 @@
 #include "common/inline_vec.hh"
 #include "common/rng.hh"
 #include "common/sharer_set.hh"
+#include "common/time_wheel.hh"
 #include "mem/cache_array.hh"
 #include "mem/skew_array.hh"
 #include "proto/mesi.hh"
@@ -53,7 +54,7 @@ BM_CacheArrayLookup(benchmark::State &state)
     for (unsigned i = 0; i < 256 * assoc; ++i) {
         const std::uint64_t set = rng.below(256);
         const unsigned w = arr.victimWay(set);
-        arr.way(set, w) = {rng.below(1 << 20), true};
+        arr.install(set, w, rng.below(1 << 20));
     }
     for (auto _ : state) {
         benchmark::DoNotOptimize(
@@ -69,12 +70,112 @@ BM_SkewArrayInsert(benchmark::State &state)
     Rng rng(2);
     for (auto _ : state) {
         auto ir = arr.insert(rng.below(1 << 22));
-        ir.slot->tag = 1;
-        ir.slot->valid = true;
         benchmark::DoNotOptimize(ir.slot);
     }
 }
 BENCHMARK(BM_SkewArrayInsert);
+
+/**
+ * Bucketed time wheel vs FlatMap on the busyUntil expiry pattern:
+ * insert a block with a deadline a short latency ahead, then drain
+ * everything due at the advancing clock. The FlatMap variant models
+ * the old periodic linear prune (scan all keys, erase expired).
+ */
+void
+BM_TimeWheelBusyChurn(benchmark::State &state)
+{
+    TimeWheel<Addr> wheel;
+    wheel.reserve(1u << 12);
+    Rng rng(9);
+    Cycle now = 0;
+    for (auto _ : state) {
+        now += 2;
+        wheel.insert(now + 40 + rng.below(64), rng.below(1u << 16));
+        wheel.advance(now, [](Cycle, Addr p) {
+            benchmark::DoNotOptimize(p);
+        });
+    }
+}
+BENCHMARK(BM_TimeWheelBusyChurn);
+
+void
+BM_FlatMapBusyPrune(benchmark::State &state)
+{
+    FlatMap<Cycle> m;
+    m.reserve(1u << 12);
+    Rng rng(9);
+    Cycle now = 0;
+    std::size_t next_prune = 64;
+    for (auto _ : state) {
+        now += 2;
+        m[rng.below(1u << 16)] = now + 40 + rng.below(64);
+        if (m.size() >= next_prune) {
+            // The old engine idiom: full scan, erase expired entries.
+            m.eraseIf([&](Addr, Cycle until) { return until <= now; });
+            next_prune = std::max<std::size_t>(64, 2 * m.size());
+        }
+    }
+    benchmark::DoNotOptimize(m.size());
+}
+BENCHMARK(BM_FlatMapBusyPrune);
+
+/**
+ * SoA tag-lane victim scan vs an AoS reference replicating the
+ * pre-SoA layout (tag + valid + payload per element, strided scan).
+ */
+struct AosRefEntry
+{
+    Addr tag = 0;
+    bool valid = false;
+    std::uint64_t stamp = 0;
+    std::uint8_t pad[40] = {}; // LlcEntry-sized payload stride
+};
+
+void
+BM_VictimScanAos(benchmark::State &state)
+{
+    const unsigned assoc = static_cast<unsigned>(state.range(0));
+    std::vector<AosRefEntry> arr(256 * assoc);
+    Rng rng(10);
+    for (unsigned i = 0; i < 256 * assoc; ++i) {
+        arr[i].tag = rng.below(1 << 20);
+        arr[i].valid = true;
+        arr[i].stamp = rng.below(1 << 16);
+    }
+    for (auto _ : state) {
+        const std::uint64_t set = rng.below(256);
+        const AosRefEntry *base = &arr[set * assoc];
+        unsigned best = 0;
+        std::uint64_t best_stamp = ~0ull;
+        for (unsigned w = 0; w < assoc; ++w) {
+            if (!base[w].valid)
+                continue;
+            if (base[w].stamp < best_stamp) {
+                best_stamp = base[w].stamp;
+                best = w;
+            }
+        }
+        benchmark::DoNotOptimize(best);
+    }
+}
+BENCHMARK(BM_VictimScanAos)->Arg(16);
+
+void
+BM_VictimScanSoa(benchmark::State &state)
+{
+    const unsigned assoc = static_cast<unsigned>(state.range(0));
+    CacheArray<Entry> arr(256, assoc, ReplPolicy::Lru);
+    Rng rng(10);
+    for (unsigned i = 0; i < 256 * assoc; ++i) {
+        const std::uint64_t set = rng.below(256);
+        const unsigned w = arr.victimWay(set);
+        arr.install(set, w, rng.below(1 << 20));
+        arr.touch(set, w);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arr.victimWay(rng.below(256)));
+}
+BENCHMARK(BM_VictimScanSoa)->Arg(16);
 
 /**
  * FlatMap vs std::unordered_map on the busyUntil/PrivateCache::info

@@ -53,15 +53,23 @@ Llc::Llc(const SystemConfig &cfg)
     bankFree.assign(banks_, 0);
 }
 
+// The set scans below run over the array's contiguous tag lane: one
+// 64-bit compare per way (invalid ways hold a sentinel no block can
+// equal), with the 56-byte payload touched only for the at most two
+// ways whose tag matches (data + spill share a tag and differ in
+// meta). An LLC set's payload spans ~14 cache lines; its tag lane
+// spans two.
+
 // TDLINT: hot
 LlcEntry *
 Llc::findData(Loc loc, Addr block)
 {
-    LlcEntry *base = arrays[loc.bank].setBase(loc.set);
+    auto &arr = arrays[loc.bank];
+    const Addr *lane = arr.laneBase(loc.set);
+    LlcEntry *base = arr.setBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        LlcEntry &e = base[w];
-        if (e.valid && e.tag == block && e.meta != LlcMeta::Spill)
-            return &e;
+        if (lane[w] == block && base[w].meta != LlcMeta::Spill)
+            return &base[w];
     }
     return nullptr;
 }
@@ -69,11 +77,12 @@ Llc::findData(Loc loc, Addr block)
 LlcEntry *
 Llc::findSpill(Loc loc, Addr block)
 {
-    LlcEntry *base = arrays[loc.bank].setBase(loc.set);
+    auto &arr = arrays[loc.bank];
+    const Addr *lane = arr.laneBase(loc.set);
+    LlcEntry *base = arr.setBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        LlcEntry &e = base[w];
-        if (e.valid && e.tag == block && e.meta == LlcMeta::Spill)
-            return &e;
+        if (lane[w] == block && base[w].meta == LlcMeta::Spill)
+            return &base[w];
     }
     return nullptr;
 }
@@ -82,16 +91,17 @@ Llc::findSpill(Loc loc, Addr block)
 Llc::Pair
 Llc::findBoth(Loc loc, Addr block)
 {
-    LlcEntry *base = arrays[loc.bank].setBase(loc.set);
+    auto &arr = arrays[loc.bank];
+    const Addr *lane = arr.laneBase(loc.set);
+    LlcEntry *base = arr.setBase(loc.set);
     Pair p;
     for (unsigned w = 0; w < ways; ++w) {
-        LlcEntry &e = base[w];
-        if (!e.valid || e.tag != block)
+        if (lane[w] != block)
             continue;
-        if (e.meta == LlcMeta::Spill)
-            p.spill = &e;
+        if (base[w].meta == LlcMeta::Spill)
+            p.spill = &base[w];
         else
-            p.data = &e;
+            p.data = &base[w];
     }
     return p;
 }
@@ -100,10 +110,10 @@ void
 Llc::touchData(Loc loc, Addr block)
 {
     auto &arr = arrays[loc.bank];
+    const Addr *lane = arr.laneBase(loc.set);
     const LlcEntry *base = arr.setBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        const LlcEntry &e = base[w];
-        if (e.valid && e.tag == block && e.meta != LlcMeta::Spill) {
+        if (lane[w] == block && base[w].meta != LlcMeta::Spill) {
             arr.touch(loc.set, w);
             return;
         }
@@ -114,10 +124,10 @@ void
 Llc::touchSpill(Loc loc, Addr block)
 {
     auto &arr = arrays[loc.bank];
+    const Addr *lane = arr.laneBase(loc.set);
     const LlcEntry *base = arr.setBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        const LlcEntry &e = base[w];
-        if (e.valid && e.tag == block && e.meta == LlcMeta::Spill) {
+        if (lane[w] == block && base[w].meta == LlcMeta::Spill) {
             arr.touch(loc.set, w);
             return;
         }
@@ -140,18 +150,17 @@ Llc::allocate(Loc loc, Addr block)
     auto &arr = arrays[loc.bank];
     // Pin any way already holding this tag (the companion entry).
     std::uint64_t pinned = 0;
-    const LlcEntry *base = arr.setBase(loc.set);
+    const Addr *lane = arr.laneBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        const LlcEntry &e = base[w];
-        if (e.valid && e.tag == block)
+        if (lane[w] == block)
             pinned |= 1ull << w;
     }
     const unsigned w = arr.victimWay(loc.set, pinned);
-    LlcEntry &slot = arr.way(loc.set, w);
-    AllocResult res{&slot, std::nullopt};
-    if (slot.valid)
-        res.victim = slot;
-    slot = LlcEntry{};
+    AllocResult res{nullptr, std::nullopt};
+    const LlcEntry &old = arr.way(loc.set, w);
+    if (old.valid)
+        res.victim = old;
+    res.slot = &arr.install(loc.set, w, block);
     arr.touch(loc.set, w);
     return res;
 }
@@ -160,11 +169,11 @@ void
 Llc::freeSpill(Loc loc, Addr block)
 {
     auto &arr = arrays[loc.bank];
-    LlcEntry *base = arr.setBase(loc.set);
+    const Addr *lane = arr.laneBase(loc.set);
+    const LlcEntry *base = arr.setBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        LlcEntry &e = base[w];
-        if (e.valid && e.tag == block && e.meta == LlcMeta::Spill) {
-            e = LlcEntry{};
+        if (lane[w] == block && base[w].meta == LlcMeta::Spill) {
+            arr.clearWay(loc.set, w);
             arr.demote(loc.set, w);
             return;
         }
@@ -175,12 +184,12 @@ void
 Llc::freeData(Loc loc, Addr block)
 {
     auto &arr = arrays[loc.bank];
+    const Addr *lane = arr.laneBase(loc.set);
     LlcEntry *base = arr.setBase(loc.set);
     for (unsigned w = 0; w < ways; ++w) {
-        LlcEntry &e = base[w];
-        if (e.valid && e.tag == block && e.meta != LlcMeta::Spill) {
-            noteDeath(e);
-            e = LlcEntry{};
+        if (lane[w] == block && base[w].meta != LlcMeta::Spill) {
+            noteDeath(base[w]);
+            arr.clearWay(loc.set, w);
             arr.demote(loc.set, w);
             return;
         }

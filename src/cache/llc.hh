@@ -154,6 +154,13 @@ class Llc
 
     Loc locate(Addr block) const { return {bankOf(block), setOf(block)}; }
 
+    /** Hint an upcoming lookup: pull the set's tag lane into cache. */
+    void
+    prefetchSet(Loc loc) const
+    {
+        arrays[loc.bank].prefetchSet(loc.set);
+    }
+
     /** Find the data entry (Normal or Corrupt*) for a block. */
     LlcEntry *findData(Addr block) { return findData(locate(block), block); }
     LlcEntry *findData(Loc loc, Addr block);
@@ -191,8 +198,9 @@ class Llc
      * Allocate a way for a (data or spill) entry of @p block.
      * Never victimizes a way whose tag equals @p block (the companion
      * entry). The evicted entry, if any, is returned for the caller
-     * (engine/tracker) to handle. The new way is returned invalid;
-     * the caller fills it.
+     * (engine/tracker) to handle. The new way comes back with
+     * tag/valid installed (rest of the payload reset); the caller
+     * fills meta/dirty/tracking state.
      */
     struct AllocResult
     {

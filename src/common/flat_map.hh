@@ -77,6 +77,19 @@ class FlatMap
 
     bool contains(Addr key) const { return find(key) != nullptr; }
 
+    /**
+     * Hint the cache that @p key's home slot is about to be probed.
+     * Purely a performance hint (no simulation-visible effect): the
+     * batched access front-end issues these for the whole batch before
+     * the serialized lookups run, overlapping the DRAM misses.
+     */
+    void
+    prefetch(Addr key) const
+    {
+        if (!slots.empty())
+            __builtin_prefetch(&slots[homeOf(key)]);
+    }
+
     /** Value of @p key, default-constructed and inserted if absent. */
     // TDLINT: hot-safe
     V &

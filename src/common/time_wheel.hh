@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Bucketed time wheel for cycle-keyed event tracking.
+ *
+ * A fixed ring of single-cycle slots covers the horizon
+ * [now, now + span); each live cycle in that window maps to exactly
+ * one slot (slot = cycle mod span), so a slot never mixes cycles. A
+ * two-level occupancy bitmap (one bit per slot, one summary bit per
+ * 64 slots) turns "earliest pending event" into two ctz probes
+ * instead of the linear min-scans this structure replaces in the
+ * engine's busyUntil pruning and the driver's next-issue selection.
+ * Events past the horizon wait in an overflow list and migrate into
+ * the ring as the wheel turns; when the ring drains completely the
+ * wheel jumps straight to the earliest overflow cycle.
+ *
+ * Nodes come from an index-linked pool with a freelist, so the
+ * steady-state insert/pop cycle allocates nothing (the pool doubles
+ * only while the working set is still growing, the same amortization
+ * argument FlatMap makes). Pops are deterministic: strictly
+ * nondecreasing cycle, and the smallest payload first among events
+ * sharing a cycle — independent of insertion order, which is what
+ * keeps straight runs and checkpoint-restored runs bit-identical.
+ *
+ * saveState/loadState serialize the live (cycle, payload) pairs in
+ * canonical sorted order plus the current cycle, so the stream is a
+ * pure function of the logical contents (pool layout, freelist order
+ * and slot-list order never leak into checkpoint bytes).
+ */
+
+#ifndef TINYDIR_COMMON_TIME_WHEEL_HH
+#define TINYDIR_COMMON_TIME_WHEEL_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/log.hh"
+#include "common/types.hh"
+
+namespace tinydir
+{
+
+/**
+ * Time-indexed multiset of integral payloads. PayloadT must be an
+ * integral type (it is compared for deterministic same-cycle ordering
+ * and serialized through u64).
+ */
+template <typename PayloadT>
+class TimeWheel
+{
+  public:
+    /** Slots in the ring; also the horizon width in cycles. */
+    static constexpr std::uint64_t span = 4096;
+
+    struct Event
+    {
+        Cycle cycle = 0;
+        PayloadT payload{};
+    };
+
+    TimeWheel()
+        : slotHead(span, -1), occ(span / 64, 0)
+    {
+    }
+
+    /** Events currently tracked (ring + overflow). */
+    std::size_t size() const { return wheelCount + overflow.size(); }
+
+    bool empty() const { return size() == 0; }
+
+    /** Current cycle: no live event is earlier than this. */
+    Cycle now() const { return cur; }
+
+    /**
+     * Grow the node pool to at least @p n nodes up front so the
+     * steady state never triggers a doubling.
+     */
+    void
+    reserve(std::size_t n)
+    {
+        if (pool.size() < n)
+            growPool(n);
+        overflow.reserve(n);
+    }
+
+    /**
+     * Track @p payload at @p cycle. Cycles earlier than now() clamp
+     * to now() (they are already due); callers that cancel by cycle
+     * must use the clamped value.
+     */
+    void
+    insert(Cycle cycle, PayloadT payload)
+    {
+        if (cycle < cur)
+            cycle = cur;
+        if (cycle - cur >= span) {
+            spillFarFuture(cycle, payload);
+            return;
+        }
+        const std::uint64_t s = cycle & (span - 1);
+        if (freeHead < 0)
+            growPool(pool.empty() ? 64 : pool.size() * 2);
+        const std::int32_t n = freeHead;
+        freeHead = pool[n].next;
+        pool[n].cycle = cycle;
+        pool[n].payload = payload;
+        pool[n].next = slotHead[s];
+        slotHead[s] = n;
+        occ[s >> 6] |= 1ull << (s & 63);
+        summary |= 1ull << (s >> 6);
+        ++wheelCount;
+    }
+
+    /**
+     * Remove one event matching (@p cycle, @p payload) exactly.
+     * Returns false if no such event is live.
+     */
+    bool
+    cancel(Cycle cycle, PayloadT payload)
+    {
+        if (cycle >= cur && cycle - cur < span) {
+            const std::uint64_t s = cycle & (span - 1);
+            std::int32_t prev = -1;
+            for (std::int32_t n = slotHead[s]; n >= 0;
+                 prev = n, n = pool[n].next) {
+                if (pool[n].payload == payload) {
+                    unlink(s, prev, n);
+                    return true;
+                }
+            }
+            return false;
+        }
+        for (std::size_t i = 0; i < overflow.size(); ++i) {
+            if (overflow[i].cycle == cycle &&
+                overflow[i].payload == payload) {
+                overflow[i] = overflow.back();
+                overflow.pop_back();
+                recomputeOverflowMin();
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Earliest event without removing it. */
+    bool
+    peek(Event &out)
+    {
+        if (empty())
+            return false;
+        settle();
+        std::int32_t prev, n;
+        const std::uint64_t s = findEarliest(prev, n);
+        (void)s;
+        out.cycle = pool[n].cycle;
+        out.payload = pool[n].payload;
+        return true;
+    }
+
+    /** Remove and return the earliest event; advances now() to it. */
+    bool
+    pop(Event &out)
+    {
+        if (empty())
+            return false;
+        settle();
+        std::int32_t prev, n;
+        const std::uint64_t s = findEarliest(prev, n);
+        out.cycle = pool[n].cycle;
+        out.payload = pool[n].payload;
+        unlink(s, prev, n);
+        cur = out.cycle;
+        return true;
+    }
+
+    /**
+     * Pop every event with cycle <= @p to, in deterministic order,
+     * calling fn(cycle, payload) for each; now() ends at max(now(),
+     * @p to). Unlike peek(), this never moves now() past @p to, so
+     * later inserts between @p to and the next event do not clamp.
+     */
+    template <typename Fn>
+    void
+    advance(Cycle to, Fn &&fn)
+    {
+        Event ev;
+        while (!empty() && earliestCycle() <= to) {
+            pop(ev);
+            fn(ev.cycle, ev.payload);
+        }
+        if (to > cur)
+            cur = to;
+    }
+
+    /** Drop every event and reset now() to zero. */
+    void
+    clear()
+    {
+        std::fill(slotHead.begin(), slotHead.end(), -1);
+        std::fill(occ.begin(), occ.end(), 0);
+        summary = 0;
+        freeHead = -1;
+        for (std::size_t i = 0; i < pool.size(); ++i) {
+            pool[i].next = freeHead;
+            freeHead = static_cast<std::int32_t>(i);
+        }
+        overflow.clear();
+        overflowMin = ~Cycle(0);
+        wheelCount = 0;
+        cur = 0;
+    }
+
+    /**
+     * Drop every event and restart now() at @p start. Used when a
+     * wheel is rebuilt from external authoritative state (checkpoint
+     * restore) so a re-save reproduces the original stream.
+     */
+    void
+    reset(Cycle start)
+    {
+        clear();
+        cur = start;
+    }
+
+    /**
+     * Canonical serialization: now(), the live count, then every
+     * (cycle, payload) pair sorted by cycle then payload.
+     */
+    template <typename W>
+    void
+    saveState(W &w) const
+    {
+        std::vector<Event> all = liveEvents();
+        w.u64(cur);
+        w.u64(all.size());
+        for (const Event &e : all) {
+            w.u64(e.cycle);
+            w.u64(static_cast<std::uint64_t>(e.payload));
+        }
+    }
+
+    /** Restore a stream written by saveState. */
+    template <typename R>
+    void
+    loadState(R &r)
+    {
+        clear();
+        cur = r.u64();
+        const std::uint64_t n = r.u64();
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const Cycle c = r.u64();
+            const auto p = static_cast<PayloadT>(r.u64());
+            insert(c, p);
+        }
+    }
+
+    /**
+     * Earliest live cycle across ring and overflow without mutating
+     * the wheel (now() does not move); ~Cycle(0) when empty. Batch
+     * formation uses this to test the next event against a window
+     * bound before deciding to pop it.
+     */
+    Cycle
+    earliestCycle() const
+    {
+        Cycle best = ~Cycle(0);
+        if (wheelCount > 0) {
+            std::int32_t prev, n;
+            findEarliest(prev, n);
+            best = pool[n].cycle;
+        }
+        if (!overflow.empty())
+            best = std::min(best, overflowMin);
+        return best;
+    }
+
+    /** Live (cycle, payload) pairs in canonical sorted order. */
+    std::vector<Event>
+    liveEvents() const
+    {
+        std::vector<Event> all;
+        all.reserve(size());
+        for (std::uint64_t s = 0; s < span; ++s) {
+            for (std::int32_t n = slotHead[s]; n >= 0; n = pool[n].next)
+                all.push_back({pool[n].cycle, pool[n].payload});
+        }
+        all.insert(all.end(), overflow.begin(), overflow.end());
+        std::sort(all.begin(), all.end(),
+                  [](const Event &a, const Event &b) {
+                      if (a.cycle != b.cycle)
+                          return a.cycle < b.cycle;
+                      return a.payload < b.payload;
+                  });
+        return all;
+    }
+
+  private:
+    struct Node
+    {
+        Cycle cycle = 0;
+        PayloadT payload{};
+        std::int32_t next = -1;
+    };
+
+    /** Grow the pool to @p target nodes, chaining the new freelist. */
+    // TDLINT: cold
+    void
+    growPool(std::size_t target)
+    {
+        const std::size_t old = pool.size();
+        pool.resize(std::max(target, old + 1));
+        for (std::size_t i = pool.size(); i > old; --i) {
+            pool[i - 1].next = freeHead;
+            freeHead = static_cast<std::int32_t>(i - 1);
+        }
+    }
+
+    /** Park an event beyond the horizon in the overflow list. */
+    // TDLINT: cold
+    void
+    spillFarFuture(Cycle cycle, PayloadT payload)
+    {
+        overflow.push_back({cycle, payload});
+        if (cycle < overflowMin)
+            overflowMin = cycle;
+    }
+
+    // TDLINT: cold
+    void
+    recomputeOverflowMin()
+    {
+        overflowMin = ~Cycle(0);
+        for (const Event &e : overflow)
+            overflowMin = std::min(overflowMin, e.cycle);
+    }
+
+    /**
+     * Pull overflow events that now fit the horizon into the ring;
+     * if the ring is empty, first jump now() to the earliest
+     * overflow cycle so at least one event lands.
+     */
+    void
+    settle()
+    {
+        if (overflow.empty())
+            return;
+        if (wheelCount == 0 && overflowMin > cur)
+            cur = overflowMin;
+        if (overflowMin - cur >= span)
+            return;
+        migrateOverflow();
+    }
+
+    // TDLINT: cold
+    void
+    migrateOverflow()
+    {
+        std::size_t kept = 0;
+        for (std::size_t i = 0; i < overflow.size(); ++i) {
+            const Event e = overflow[i];
+            if (e.cycle - cur < span)
+                insert(e.cycle, e.payload);
+            else
+                overflow[kept++] = e;
+        }
+        overflow.resize(kept);
+        recomputeOverflowMin();
+    }
+
+    /**
+     * Locate the earliest event in the ring: first occupied slot in
+     * circular order from now()'s slot, then the smallest payload in
+     * that slot (all nodes of a slot share one cycle). Returns the
+     * slot and writes the node and its list predecessor.
+     */
+    std::uint64_t
+    findEarliest(std::int32_t &prevOut, std::int32_t &nodeOut) const
+    {
+        panic_if(wheelCount == 0, "findEarliest() on an empty wheel");
+        const std::uint64_t start = cur & (span - 1);
+        const std::uint64_t wi = start >> 6;
+        std::uint64_t s;
+        const std::uint64_t head = occ[wi] & (~0ull << (start & 63));
+        if (head) {
+            s = (wi << 6) +
+                static_cast<unsigned>(__builtin_ctzll(head));
+        } else {
+            // Summary bits for words after wi, then before wi, then
+            // wi's wrapped low bits: circular order from start.
+            const std::uint64_t later =
+                wi + 1 < span / 64 ? summary & (~0ull << (wi + 1)) : 0;
+            const std::uint64_t earlier =
+                summary & ((1ull << wi) - 1);
+            if (later || earlier) {
+                const std::uint64_t word = later ? later : earlier;
+                const std::uint64_t wj =
+                    static_cast<unsigned>(__builtin_ctzll(word));
+                s = (wj << 6) + static_cast<unsigned>(
+                                    __builtin_ctzll(occ[wj]));
+            } else {
+                const std::uint64_t mask =
+                    (start & 63) ? (1ull << (start & 63)) - 1 : 0;
+                const std::uint64_t wrap = occ[wi] & mask;
+                panic_if(wrap == 0, "occupancy bitmap out of sync");
+                s = (wi << 6) +
+                    static_cast<unsigned>(__builtin_ctzll(wrap));
+            }
+        }
+        std::int32_t prev = -1, best_prev = -1;
+        std::int32_t best = slotHead[s];
+        for (std::int32_t n = slotHead[s]; n >= 0;
+             prev = n, n = pool[n].next) {
+            if (pool[n].payload < pool[best].payload) {
+                best = n;
+                best_prev = prev;
+            }
+        }
+        prevOut = best_prev;
+        nodeOut = best;
+        return s;
+    }
+
+    /** Unlink node @p n (predecessor @p prev) from slot @p s. */
+    void
+    unlink(std::uint64_t s, std::int32_t prev, std::int32_t n)
+    {
+        if (prev < 0)
+            slotHead[s] = pool[n].next;
+        else
+            pool[prev].next = pool[n].next;
+        pool[n].next = freeHead;
+        freeHead = n;
+        --wheelCount;
+        if (slotHead[s] < 0) {
+            occ[s >> 6] &= ~(1ull << (s & 63));
+            if (occ[s >> 6] == 0)
+                summary &= ~(1ull << (s >> 6));
+        }
+    }
+
+    std::vector<std::int32_t> slotHead;
+    std::vector<Node> pool;
+    std::int32_t freeHead = -1;
+    /** One occupancy bit per slot. */
+    std::vector<std::uint64_t> occ;
+    /** One bit per occ word. */
+    std::uint64_t summary = 0;
+    std::vector<Event> overflow;
+    Cycle overflowMin = ~Cycle(0);
+    std::size_t wheelCount = 0;
+    Cycle cur = 0;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_COMMON_TIME_WHEEL_HH

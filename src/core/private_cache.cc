@@ -160,11 +160,10 @@ PrivateCache::insert(CacheArray<Entry> &arr, int level, Addr block,
 {
     const std::uint64_t set = block & (arr.numSets() - 1);
     const unsigned w = arr.victimWay(set);
-    Entry &e = arr.way(set, w);
-    if (e.valid)
-        clearFlag(level, e.tag, notices);
-    e.tag = block;
-    e.valid = true;
+    const Entry &victim = arr.way(set, w);
+    if (victim.valid)
+        clearFlag(level, victim.tag, notices);
+    arr.install(set, w, block);
     arr.touch(set, w);
 
     // Re-find: clearFlag() above may have erased an entry and shifted
@@ -240,7 +239,7 @@ PrivateCache::removeTag(CacheArray<Entry> &arr, Addr block)
     const std::uint64_t set = block & (arr.numSets() - 1);
     int w = arr.findWay(set, block);
     panic_if(w < 0, "removeTag: flag/array mismatch for block ", block);
-    arr.way(set, static_cast<unsigned>(w)) = Entry{};
+    arr.clearWay(set, static_cast<unsigned>(w));
     arr.demote(set, static_cast<unsigned>(w));
 }
 

@@ -56,6 +56,13 @@ class PrivateCache
 
     bool present(Addr block) const;
 
+    /**
+     * Host-cache hint that @p block is about to be looked up: touches
+     * the per-block state map's home slot. No simulation-visible
+     * effect; issued by the batched driver front-end.
+     */
+    void prefetch(Addr block) const { info.prefetch(block); }
+
     /** Result of a local lookup. */
     struct AccessResult
     {

@@ -6,6 +6,16 @@
  *   Addr tag;    // block number stored in the way
  *   bool valid;  // way holds a live entry
  *
+ * Storage is struct-of-arrays: beside the EntryT payload the array
+ * keeps a contiguous per-way tag lane (invalid ways hold a sentinel
+ * no real tag can equal) and a per-set valid bitmask. Tag match is a
+ * branch-free compare loop over the lane the compiler can vectorize,
+ * and "first invalid way" is a single ctz on the mask, instead of
+ * striding through payload structs. The lanes are owned by the
+ * array: tag/valid changes go through install()/clearWay() (or the
+ * caller's load path, which rebuilds the lanes); way() hands out the
+ * payload for in-place mutation of everything else.
+ *
  * The array owns replacement metadata (LRU stamps or NRU bits) beside
  * the payload so that EntryT stays a plain value type. Callers compute
  * their own set index (bank interleaving differs per structure) and use
@@ -31,20 +41,33 @@ template <typename EntryT>
 class CacheArray
 {
   public:
+    /**
+     * Tag-lane value of an invalid way. Never matched by a lookup:
+     * real tags are block numbers (physical address >> blockShift)
+     * or block numbers with low decoration bits, far below 2^64 - 1;
+     * install() rejects it outright.
+     */
+    static constexpr Addr invalidTag = ~Addr(0);
+
     CacheArray(std::uint64_t num_sets, unsigned assoc, ReplPolicy policy,
                std::uint64_t seed = 7)
         : sets(num_sets), ways(assoc), repl(policy),
-          entries(num_sets * assoc), stamps(num_sets * assoc, 0),
-          rng(seed)
+          entries(num_sets * assoc),
+          laneTags(num_sets * assoc, invalidTag), validBits(num_sets, 0),
+          stamps(num_sets * assoc, 0), rng(seed)
     {
         panic_if(num_sets == 0 || assoc == 0, "degenerate cache array");
         panic_if(assoc > 64, "associativity > 64 (pinned mask width)");
+        waysMask = ways == 64 ? ~0ull : (1ull << ways) - 1;
     }
 
     std::uint64_t numSets() const { return sets; }
     unsigned assoc() const { return ways; }
 
-    /** Direct access to a way of a set. */
+    /**
+     * Direct access to a way's payload. Contract: tag and valid are
+     * immutable through this reference — use install()/clearWay().
+     */
     EntryT &
     way(std::uint64_t set, unsigned w)
     {
@@ -59,6 +82,36 @@ class CacheArray
         return entries[set * ways + w];
     }
 
+    /**
+     * Claim a way for @p tag: the payload is reset to EntryT{}, tag
+     * and valid are stamped into both the entry and the tag lane, and
+     * the payload is returned for the caller to fill. Does not touch.
+     */
+    EntryT &
+    install(std::uint64_t set, unsigned w, Addr tag)
+    {
+        panic_if(set >= sets || w >= ways, "install() out of range");
+        panic_if(tag == invalidTag, "tag collides with lane sentinel");
+        const std::uint64_t i = set * ways + w;
+        entries[i] = EntryT{};
+        entries[i].tag = tag;
+        entries[i].valid = true;
+        laneTags[i] = tag;
+        validBits[set] |= 1ull << w;
+        return entries[i];
+    }
+
+    /** Invalidate one way (payload resets to EntryT{}). */
+    void
+    clearWay(std::uint64_t set, unsigned w)
+    {
+        panic_if(set >= sets || w >= ways, "clearWay() out of range");
+        const std::uint64_t i = set * ways + w;
+        entries[i] = EntryT{};
+        laneTags[i] = invalidTag;
+        validBits[set] &= ~(1ull << w);
+    }
+
     /** Find the way holding @p tag, or nullptr. Does not touch. */
     EntryT *
     find(std::uint64_t set, Addr tag)
@@ -71,9 +124,9 @@ class CacheArray
     int
     findWay(std::uint64_t set, Addr tag) const
     {
-        const EntryT *base = setBase(set);
+        const Addr *lane = laneBase(set);
         for (unsigned w = 0; w < ways; ++w) {
-            if (base[w].valid && base[w].tag == tag)
+            if (lane[w] == tag)
                 return static_cast<int>(w);
         }
         return -1;
@@ -81,7 +134,8 @@ class CacheArray
 
     /**
      * First way of @p set, bounds-checked once: scan loops index
-     * base[w] instead of paying way()'s range check per way.
+     * base[w] instead of paying way()'s range check per way. Same
+     * tag/valid immutability contract as way().
      */
     EntryT *
     setBase(std::uint64_t set)
@@ -95,6 +149,30 @@ class CacheArray
     {
         panic_if(set >= sets, "setBase() out of range");
         return &entries[set * ways];
+    }
+
+    /** Contiguous tag lane of @p set (invalid ways read invalidTag). */
+    const Addr *
+    laneBase(std::uint64_t set) const
+    {
+        panic_if(set >= sets, "laneBase() out of range");
+        return &laneTags[set * ways];
+    }
+
+    /** Valid bitmask of @p set (bit w set iff way w is valid). */
+    std::uint64_t
+    validMask(std::uint64_t set) const
+    {
+        panic_if(set >= sets, "validMask() out of range");
+        return validBits[set];
+    }
+
+    /** Hint an upcoming lookup in @p set: pull the tag lane in. */
+    void
+    prefetchSet(std::uint64_t set) const
+    {
+        if (set < sets)
+            __builtin_prefetch(&laneTags[set * ways]);
     }
 
     /** Record a use of a way (updates LRU stamp / clears NRU bit). */
@@ -130,27 +208,24 @@ class CacheArray
     }
 
     /**
-     * Pick a victim way: an invalid way if one exists, otherwise per
-     * the replacement policy. Bit w of @p pinned marks a way that must
-     * not be victimized (e.g. the data block a spilled tracking entry
-     * protects); the bitmask caps associativity at 64 ways.
+     * Pick a victim way: the first invalid way if one exists,
+     * otherwise per the replacement policy. Bit w of @p pinned marks
+     * a way that must not be victimized (e.g. the data block a
+     * spilled tracking entry protects); the bitmask caps
+     * associativity at 64 ways.
      */
     unsigned
     victimWay(std::uint64_t set, std::uint64_t pinned = 0)
     {
-        const EntryT *base = setBase(set);
-        if (repl != ReplPolicy::Lru) {
-            for (unsigned w = 0; w < ways; ++w) {
-                if (!base[w].valid && !((pinned >> w) & 1))
-                    return w;
-            }
-        }
+        // First unpinned invalid way, straight off the valid mask.
+        // This is the same way the old per-entry scans returned.
+        const std::uint64_t inv = ~validBits[set] & waysMask & ~pinned;
+        if (inv)
+            return static_cast<unsigned>(__builtin_ctzll(inv));
         switch (repl) {
           case ReplPolicy::Lru: {
-            // One fused pass: the first unpinned invalid way wins
-            // outright; otherwise the first way with the minimal LRU
-            // stamp — the same victim the separate invalid-then-LRU
-            // scans picked.
+            // First way holding the minimal LRU stamp among unpinned
+            // ways.
             const std::uint64_t *st = &stamps[set * ways];
             unsigned victim = 0;
             std::uint64_t best = ~0ull;
@@ -158,8 +233,6 @@ class CacheArray
             for (unsigned w = 0; w < ways; ++w) {
                 if ((pinned >> w) & 1)
                     continue;
-                if (!base[w].valid)
-                    return w;
                 if (st[w] < best || !found) {
                     best = st[w];
                     victim = w;
@@ -204,6 +277,10 @@ class CacheArray
     {
         for (auto &e : entries)
             e = EntryT{};
+        for (auto &t : laneTags)
+            t = invalidTag;
+        for (auto &v : validBits)
+            v = 0;
         for (auto &s : stamps)
             s = 0;
         clock = 0;
@@ -214,7 +291,8 @@ class CacheArray
      * which writes one EntryT through the ckpt::Writer-shaped sink),
      * the replacement stamps, the LRU clock and the Random-policy RNG.
      * Geometry (sets/ways/policy) is construction-time configuration
-     * and is not part of the stream.
+     * and is not part of the stream; the tag lanes and valid masks are
+     * derived from the entries and are rebuilt on load.
      */
     template <typename W, typename SaveE>
     void
@@ -239,13 +317,35 @@ class CacheArray
             s = r.u64();
         clock = r.u64();
         rng.loadState(r);
+        rebuildLanes();
     }
 
   private:
+    /** Recompute tag lanes and valid masks from the entry payload. */
+    void
+    rebuildLanes()
+    {
+        for (auto &v : validBits)
+            v = 0;
+        for (std::uint64_t i = 0; i < entries.size(); ++i) {
+            const EntryT &e = entries[i];
+            panic_if(e.valid && e.tag == invalidTag,
+                     "loaded entry tag collides with lane sentinel");
+            laneTags[i] = e.valid ? e.tag : invalidTag;
+            if (e.valid)
+                validBits[i / ways] |= 1ull << (i % ways);
+        }
+    }
+
     std::uint64_t sets;
     unsigned ways;
+    std::uint64_t waysMask;
     ReplPolicy repl;
     std::vector<EntryT> entries;
+    /** SoA tag lane; invalidTag where the way is invalid. */
+    std::vector<Addr> laneTags;
+    /** One valid bitmask per set. */
+    std::vector<std::uint64_t> validBits;
     /** LRU stamp (Lru) or NRU bit (Nru) per way. */
     std::vector<std::uint64_t> stamps;
     std::uint64_t clock = 0;

@@ -10,6 +10,13 @@
  * candidate evicted. This reproduces the conflict-miss reduction the
  * paper attributes to the 4-way skew-associative Z-cache organization
  * (Section I, Fig. 3; Section V-C for MgD).
+ *
+ * Like CacheArray, storage is struct-of-arrays: a contiguous tag lane
+ * (sentinel-valued where invalid) sits beside the EntryT payload so
+ * the candidate probe of find()/touch() reads one word per way. The
+ * lanes are owned by the array: insert() stamps the new tag into the
+ * claimed slot itself (callers fill only the payload), and erasure
+ * goes through clearEntry().
  */
 
 #ifndef TINYDIR_MEM_SKEW_ARRAY_HH
@@ -35,6 +42,9 @@ template <typename EntryT>
 class SkewArray
 {
   public:
+    /** Tag-lane value of an invalid slot (see CacheArray). */
+    static constexpr Addr invalidTag = ~Addr(0);
+
     SkewArray(std::uint64_t rows_per_way, unsigned num_ways,
               std::uint64_t seed = 11)
         : rows(rows_per_way), ways(num_ways)
@@ -59,6 +69,7 @@ class SkewArray
             for (unsigned w = 0; w < ways; ++w)
                 xposed[bit * ways + w] = hashes[w].row(bit);
         entries.resize(rows * ways);
+        laneTags.assign(rows * ways, invalidTag);
         stamps.assign(rows * ways, 0);
     }
 
@@ -97,6 +108,10 @@ class SkewArray
         return hashes[w](tag) & (rows - 1);
     }
 
+    /**
+     * Payload of way @p w, row @p row. Contract: tag and valid are
+     * immutable through this reference — use insert()/clearEntry().
+     */
     EntryT &
     at(unsigned w, std::uint64_t row)
     {
@@ -110,9 +125,8 @@ class SkewArray
         std::uint64_t cand[maxWays];
         rowsOf(tag, cand);
         for (unsigned w = 0; w < ways; ++w) {
-            EntryT &e = at(w, cand[w]);
-            if (e.valid && e.tag == tag)
-                return &e;
+            if (laneTags[cand[w] * ways + w] == tag)
+                return &at(w, cand[w]);
         }
         return nullptr;
     }
@@ -124,9 +138,8 @@ class SkewArray
         std::uint64_t cand[maxWays];
         rowsOf(tag, cand);
         for (unsigned w = 0; w < ways; ++w) {
-            std::uint64_t row = cand[w];
-            EntryT &e = at(w, row);
-            if (e.valid && e.tag == tag) {
+            const std::uint64_t row = cand[w];
+            if (laneTags[row * ways + w] == tag) {
                 stamps[row * ways + w] = ++clock;
                 return;
             }
@@ -134,10 +147,11 @@ class SkewArray
     }
 
     /**
-     * Make room for @p tag and return a reference to the slot to fill
-     * plus (optionally) the entry that had to be evicted. The caller
-     * fills the returned slot and handles the victim's coherence
-     * side-effects.
+     * Make room for @p tag and return the claimed slot plus
+     * (optionally) the entry that had to be evicted. The slot comes
+     * back with tag/valid already stamped (payload reset to
+     * EntryT{}); the caller fills the payload and handles the
+     * victim's coherence side-effects.
      */
     struct InsertResult
     {
@@ -148,15 +162,16 @@ class SkewArray
     InsertResult
     insert(Addr tag)
     {
+        panic_if(tag == invalidTag, "tag collides with lane sentinel");
         std::uint64_t candRows[maxWays];
         rowsOf(tag, candRows);
         // 1. Any candidate row empty?
         for (unsigned w = 0; w < ways; ++w) {
-            std::uint64_t row = candRows[w];
-            EntryT &e = at(w, row);
-            if (!e.valid) {
-                stamps[row * ways + w] = ++clock;
-                return {&e, std::nullopt};
+            const std::uint64_t row = candRows[w];
+            const std::uint64_t i = row * ways + w;
+            if (laneTags[i] == invalidTag) {
+                stamps[i] = ++clock;
+                return {&claim(i, tag), std::nullopt};
             }
         }
         // 2. Depth-1 ZCache walk: relocate one candidate to an empty
@@ -164,19 +179,20 @@ class SkewArray
         //    candidate's tag differs per way, so its alternative rows
         //    still need per-way rowOf().
         for (unsigned w = 0; w < ways; ++w) {
-            std::uint64_t row = candRows[w];
-            EntryT &cand = at(w, row);
+            const std::uint64_t row = candRows[w];
+            const std::uint64_t ci = row * ways + w;
+            EntryT &cand = entries[ci];
             for (unsigned aw = 0; aw < ways; ++aw) {
                 if (aw == w)
                     continue;
-                std::uint64_t arow = rowOf(aw, cand.tag);
-                EntryT &alt = at(aw, arow);
-                if (!alt.valid) {
-                    alt = cand;
-                    stamps[arow * ways + aw] = stamps[row * ways + w];
-                    cand = EntryT{};
-                    stamps[row * ways + w] = ++clock;
-                    return {&cand, std::nullopt};
+                const std::uint64_t arow = rowOf(aw, cand.tag);
+                const std::uint64_t ai = arow * ways + aw;
+                if (laneTags[ai] == invalidTag) {
+                    entries[ai] = cand;
+                    laneTags[ai] = cand.tag;
+                    stamps[ai] = stamps[ci];
+                    stamps[ci] = ++clock;
+                    return {&claim(ci, tag), std::nullopt};
                 }
             }
         }
@@ -192,11 +208,21 @@ class SkewArray
                 victim_row = row;
             }
         }
-        EntryT &slot = at(victim_way, victim_row);
-        std::optional<EntryT> victim = slot;
-        slot = EntryT{};
-        stamps[victim_row * ways + victim_way] = ++clock;
-        return {&slot, victim};
+        const std::uint64_t vi = victim_row * ways + victim_way;
+        std::optional<EntryT> victim = entries[vi];
+        stamps[vi] = ++clock;
+        return {&claim(vi, tag), victim};
+    }
+
+    /** Invalidate the slot @p e points into (from find()/at()). */
+    void
+    clearEntry(EntryT *e)
+    {
+        const auto i =
+            static_cast<std::uint64_t>(e - entries.data());
+        panic_if(i >= entries.size(), "clearEntry() out of range");
+        entries[i] = EntryT{};
+        laneTags[i] = invalidTag;
     }
 
     /** Invalidate everything. */
@@ -205,6 +231,7 @@ class SkewArray
     {
         for (auto &e : entries)
             e = EntryT{};
+        laneTags.assign(rows * ways, invalidTag);
         stamps.assign(rows * ways, 0);
         clock = 0;
     }
@@ -222,8 +249,8 @@ class SkewArray
 
     /**
      * Serialize entries, stamps and the LRU clock. The H3 matrices and
-     * their transpose are derived from the construction seed and are
-     * not part of the stream.
+     * their transpose are derived from the construction seed, and the
+     * tag lanes from the entries; neither is part of the stream.
      */
     template <typename W, typename SaveE>
     void
@@ -246,15 +273,34 @@ class SkewArray
         for (auto &s : stamps)
             s = r.u64();
         clock = r.u64();
+        for (std::uint64_t i = 0; i < entries.size(); ++i) {
+            panic_if(entries[i].valid && entries[i].tag == invalidTag,
+                     "loaded entry tag collides with lane sentinel");
+            laneTags[i] =
+                entries[i].valid ? entries[i].tag : invalidTag;
+        }
     }
 
   private:
+    /** Reset slot @p i and stamp @p tag into entry and lane. */
+    EntryT &
+    claim(std::uint64_t i, Addr tag)
+    {
+        entries[i] = EntryT{};
+        entries[i].tag = tag;
+        entries[i].valid = true;
+        laneTags[i] = tag;
+        return entries[i];
+    }
+
     std::uint64_t rows;
     unsigned ways;
     std::vector<H3Hash> hashes;
     //! Transposed matrices: xposed[bit * ways + w] == hashes[w].row(bit).
     std::vector<std::uint64_t> xposed;
     std::vector<EntryT> entries;
+    /** SoA tag lane; invalidTag where the slot is invalid. */
+    std::vector<Addr> laneTags;
     std::vector<std::uint64_t> stamps;
     std::uint64_t clock = 0;
 };

@@ -12,10 +12,11 @@ Engine::Engine(const SystemConfig &c, Llc &l, Mesh &m, Dram &d,
                std::vector<PrivateCache> &p)
     : cfg(c), llc(l), mesh(m), dram(d), privs(p)
 {
-    // Pre-size the busy-window map past the prune threshold so steady
-    // state never rehashes (the prune keeps the footprint near the
-    // live-window count, far below this).
+    // Pre-size the busy-window map and the expiry wheel's node pool so
+    // steady state never rehashes or allocates (expiry reaping keeps
+    // the footprint near the live-window count, far below this).
     busyUntil.reserve(256);
+    busyExpiry.reserve(256);
 }
 
 Cycle
@@ -58,8 +59,6 @@ Engine::ensureLlcData(Llc::Loc loc, Addr block, Cycle t)
     if (ar.victim)
         processVictim(*ar.victim, t);
     LlcEntry *e = ar.slot;
-    e->tag = block;
-    e->valid = true;
     e->dirty = false;
     e->meta = LlcMeta::Normal;
     ++stats.llcFills;
@@ -183,7 +182,9 @@ Engine::saveState(ckpt::Writer &w) const
     stats.latency.saveState(w);
     busyUntil.saveState(
         w, [](ckpt::Writer &wr, const Cycle &c) { wr.u64(c); });
-    w.u64(nextPrune);
+    // The wheel is rebuilt from the authoritative map on load; only
+    // its clock needs to persist (stream slot of the old nextPrune).
+    w.u64(busyExpiry.now());
     w.u64(curTime);
 }
 
@@ -207,7 +208,13 @@ Engine::loadState(ckpt::Reader &r)
     stats.latency.loadState(r);
     busyUntil.loadState(
         r, [](ckpt::Reader &rd, Cycle &c) { c = rd.u64(); });
-    nextPrune = static_cast<std::size_t>(r.u64());
+    // Rebuild the expiry wheel from the authoritative map: one
+    // reminder per live window, clock restored from the stream so a
+    // re-save reproduces identical bytes.
+    busyExpiry.reset(r.u64());
+    busyUntil.forEach([&](Addr blk, const Cycle &until) {
+        busyExpiry.insert(until, blk);
+    });
     curTime = r.u64();
 }
 
@@ -219,16 +226,18 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
     curTime = std::max(curTime, t0);
     tracker->tick(t0);
 
-    // Prune stale busy windows. Requests arrive in global time order,
+    // Reap stale busy windows. Requests arrive in global time order,
     // so any window ending at or before this request's issue time can
     // only ever hit the lazy-erase path below — dropping it early is
-    // behaviour-preserving. Threshold doubling keeps the sweep
-    // amortized-O(1) and the trigger deterministic.
-    if (busyUntil.size() >= nextPrune) {
-        busyUntil.eraseIf(
-            [&](Addr, Cycle cyc) { return cyc <= t0; });
-        nextPrune = std::max<std::size_t>(64, busyUntil.size() * 2);
-    }
+    // behaviour-preserving. The expiry wheel delivers exactly the
+    // reminders whose deadline has passed (no linear map sweeps); the
+    // map stays authoritative, so a reminder made stale by a
+    // consumed-and-recreated window is simply discarded.
+    busyExpiry.advance(t0, [&](Cycle, Addr blk) {
+        const Cycle *b = busyUntil.find(blk);
+        if (b && *b <= t0)
+            busyUntil.erase(blk);
+    });
 
     const Llc::Loc loc = llc.locate(block);
     const unsigned home = loc.bank;
@@ -386,8 +395,10 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
         res.src = DataSource::Owner;
         stats.traffic.add(MsgClass::Processor, dataBytes); // owner->req
         stats.traffic.add(MsgClass::Coherence, ctrlBytes); // busy-clear
-        busyUntil[block] =
+        const Cycle busy_end =
             at_owner + mesh.latency(nodeOfCore(o), home_node);
+        busyUntil[block] = busy_end;
+        busyExpiry.insert(busy_end, block);
 
         if (is_read) {
             auto d = privs[o].downgrade(block);
@@ -442,8 +453,10 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
                 res.done = at_sharer +
                     mesh.latency(nodeOfCore(s), req_node);
                 res.src = DataSource::Sharer;
-                busyUntil[block] = at_sharer +
+                const Cycle busy_end = at_sharer +
                     mesh.latency(nodeOfCore(s), home_node);
+                busyUntil[block] = busy_end;
+                busyExpiry.insert(busy_end, block);
                 stats.traffic.add(MsgClass::Coherence, ctrlBytes); // fwd
                 stats.traffic.add(MsgClass::Processor, dataBytes);
                 stats.traffic.add(MsgClass::Coherence, ctrlBytes); // clr

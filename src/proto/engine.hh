@@ -27,6 +27,7 @@
 
 #include "cache/llc.hh"
 #include "common/flat_map.hh"
+#include "common/time_wheel.hh"
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "core/private_cache.hh"
@@ -199,12 +200,18 @@ class Engine : public EngineOps
     /**
      * Blocks with an outstanding three-hop forward. Entries are
      * normally consumed by the next request to the block; blocks never
-     * touched again are pruned once their window can no longer matter
-     * (see request()), so the map stays bounded on long runs.
+     * touched again are reaped by the busyExpiry wheel the moment
+     * their window can no longer matter (see request()), so the map
+     * stays bounded on long runs.
      */
     FlatMap<Cycle> busyUntil;
-    /** Prune busyUntil when it reaches this size (doubles as needed). */
-    std::size_t nextPrune = 64;
+    /**
+     * Expiry reminders for busyUntil, bucketed by deadline cycle. The
+     * map stays authoritative: a popped reminder only erases its block
+     * if the live window really has expired (the entry may have been
+     * consumed and re-created with a later deadline since).
+     */
+    TimeWheel<Addr> busyExpiry;
     Cycle curTime = 0;
 };
 

@@ -75,21 +75,32 @@ void
 MgdTracker::eraseBlockEntry(Addr block)
 {
     const unsigned slice = block % banks;
-    MgdEntry *e = nullptr;
     if (skewed) {
-        e = skewSlices[slice].find(block);
-    } else {
-        const std::uint64_t set = (block / banks) & (rows - 1);
-        e = slices[slice].find(set, block);
-    }
-    if (!e || e->region)
+        MgdEntry *e = skewSlices[slice].find(block);
+        if (!e || e->region)
+            return;
+        noteBlockEntryGone(block);
+        skewSlices[slice].clearEntry(e);
         return;
+    }
+    const std::uint64_t set = (block / banks) & (rows - 1);
+    auto &arr = slices[slice];
+    const int w = arr.findWay(set, block);
+    if (w < 0 || arr.way(set, static_cast<unsigned>(w)).region)
+        return;
+    noteBlockEntryGone(block);
+    arr.clearWay(set, static_cast<unsigned>(w));
+}
+
+/** Drop @p block from the per-region block-entry census. */
+void
+MgdTracker::noteBlockEntryGone(Addr block)
+{
     const Addr region = regionOf(block);
     if (unsigned *cnt = blockEntries.find(region)) {
         if (--*cnt == 0)
             blockEntries.erase(region);
     }
-    *e = MgdEntry{};
 }
 
 void
@@ -139,8 +150,6 @@ MgdTracker::storeBlock(Addr block, const TrackState &ns, EngineOps &ops)
         auto ir = arr.insert(block);
         if (ir.victim)
             handleVictim(*ir.victim, ops);
-        ir.slot->tag = block;
-        ir.slot->valid = true;
         ir.slot->region = false;
         ir.slot->kind = ns.kind;
         ir.slot->owner = ns.owner;
@@ -153,12 +162,10 @@ MgdTracker::storeBlock(Addr block, const TrackState &ns, EngineOps &ops)
         int w = arr.findWay(set, block);
         if (w < 0) {
             const unsigned vw = arr.victimWay(set);
-            MgdEntry &v = arr.way(set, vw);
+            const MgdEntry &v = arr.way(set, vw);
             if (v.valid)
                 handleVictim(v, ops);
-            v = MgdEntry{};
-            v.tag = block;
-            v.valid = true;
+            arr.install(set, vw, block);
             w = static_cast<int>(vw);
             ++allocs;
             ++blockEntries[regionOf(block)];
@@ -183,11 +190,12 @@ MgdTracker::splitRegion(Addr region, CoreId owner, Addr except,
     const unsigned slice = region % banks;
     if (skewed) {
         if (MgdEntry *e = skewSlices[slice].find(key))
-            *e = MgdEntry{};
+            skewSlices[slice].clearEntry(e);
     } else {
         const std::uint64_t set = (region / banks) & (rows - 1);
-        if (MgdEntry *e = slices[slice].find(set, key))
-            *e = MgdEntry{};
+        const int w = slices[slice].findWay(set, key);
+        if (w >= 0)
+            slices[slice].clearWay(set, static_cast<unsigned>(w));
     }
     // Probe the owner for its cached blocks of the region: one probe,
     // one presence-bitmap reply.
@@ -244,8 +252,6 @@ MgdTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
             auto ir = skewSlices[slice].insert(key);
             if (ir.victim)
                 handleVictim(*ir.victim, ops);
-            ir.slot->tag = key;
-            ir.slot->valid = true;
             ir.slot->region = true;
             ir.slot->kind = TrackState::Kind::Exclusive;
             ir.slot->owner = ns.owner;
@@ -253,15 +259,13 @@ MgdTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
             auto &arr = slices[slice];
             const std::uint64_t set = (region / banks) & (rows - 1);
             const unsigned vw = arr.victimWay(set);
-            MgdEntry &v = arr.way(set, vw);
+            const MgdEntry &v = arr.way(set, vw);
             if (v.valid)
                 handleVictim(v, ops);
-            v = MgdEntry{};
-            v.tag = key;
-            v.valid = true;
-            v.region = true;
-            v.kind = TrackState::Kind::Exclusive;
-            v.owner = ns.owner;
+            MgdEntry &e = arr.install(set, vw, key);
+            e.region = true;
+            e.kind = TrackState::Kind::Exclusive;
+            e.owner = ns.owner;
             arr.touch(set, vw);
         }
         ++allocs;

@@ -89,6 +89,7 @@ class MgdTracker : public CoherenceTracker
     MgdEntry *findBlockEntry(Addr block);
     MgdEntry *findRegionEntry(Addr region);
     void eraseBlockEntry(Addr block);
+    void noteBlockEntryGone(Addr block);
     /** Allocate a block-grain entry; victims handled. */
     void storeBlock(Addr block, const TrackState &ns, EngineOps &ops);
     /** Handle an evicted entry (region or block). */

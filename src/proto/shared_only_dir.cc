@@ -55,14 +55,13 @@ SharedOnlyDirTracker::eraseDir(Addr block)
     const unsigned slice = block % banks;
     if (skewed) {
         if (SparseDirEntry *e = skewSlices[slice].find(block))
-            *e = SparseDirEntry{};
+            skewSlices[slice].clearEntry(e);
         return;
     }
     const std::uint64_t set = (block / banks) & (sets - 1);
     int w = slices[slice].findWay(set, block);
     if (w >= 0) {
-        slices[slice].way(set, static_cast<unsigned>(w)) =
-            SparseDirEntry{};
+        slices[slice].clearWay(set, static_cast<unsigned>(w));
         slices[slice].demote(set, static_cast<unsigned>(w));
     }
 }
@@ -105,8 +104,6 @@ SharedOnlyDirTracker::store(Addr block, const TrackState &ns,
         auto ir = arr.insert(block);
         if (ir.victim && ir.victim->valid)
             ops.backInvalidate(ir.victim->tag, ir.victim->state());
-        ir.slot->tag = block;
-        ir.slot->valid = true;
         ir.slot->setState(ns);
         ++allocs;
         return;
@@ -116,12 +113,10 @@ SharedOnlyDirTracker::store(Addr block, const TrackState &ns,
     int w = arr.findWay(set, block);
     if (w < 0) {
         const unsigned vw = arr.victimWay(set);
-        SparseDirEntry &e = arr.way(set, vw);
-        if (e.valid)
-            ops.backInvalidate(e.tag, e.state());
-        e = SparseDirEntry{};
-        e.tag = block;
-        e.valid = true;
+        const SparseDirEntry &victim = arr.way(set, vw);
+        if (victim.valid)
+            ops.backInvalidate(victim.tag, victim.state());
+        arr.install(set, vw, block);
         ++allocs;
         w = static_cast<int>(vw);
     }
@@ -177,9 +172,19 @@ SharedOnlyDirTracker::debugForgeState(Addr block, const TrackState &ts)
 bool
 SharedOnlyDirTracker::debugDropEntry(Addr block)
 {
-    if (SparseDirEntry *e = findDir(block)) {
-        *e = SparseDirEntry{};
-        return true;
+    const unsigned slice = block % banks;
+    if (skewed) {
+        if (SparseDirEntry *e = skewSlices[slice].find(block)) {
+            skewSlices[slice].clearEntry(e);
+            return true;
+        }
+    } else {
+        const std::uint64_t set = (block / banks) & (sets - 1);
+        const int w = slices[slice].findWay(set, block);
+        if (w >= 0) {
+            slices[slice].clearWay(set, static_cast<unsigned>(w));
+            return true;
+        }
     }
     return unbounded.erase(block);
 }

@@ -38,19 +38,17 @@ SparseDirTracker::store(Addr block, const TrackState &ns, EngineOps &ops)
     int w = arr.findWay(set, block);
     if (ns.invalid()) {
         if (w >= 0) {
-            arr.way(set, static_cast<unsigned>(w)) = SparseDirEntry{};
+            arr.clearWay(set, static_cast<unsigned>(w));
             arr.demote(set, static_cast<unsigned>(w));
         }
         return;
     }
     if (w < 0) {
         const unsigned vw = arr.victimWay(set);
-        SparseDirEntry &e = arr.way(set, vw);
-        if (e.valid)
-            ops.backInvalidate(e.tag, e.state());
-        e = SparseDirEntry{};
-        e.tag = block;
-        e.valid = true;
+        const SparseDirEntry &victim = arr.way(set, vw);
+        if (victim.valid)
+            ops.backInvalidate(victim.tag, victim.state());
+        arr.install(set, vw, block);
         ++allocs;
         w = static_cast<int>(vw);
     }
@@ -143,7 +141,7 @@ SparseDirTracker::debugDropEntry(Addr block)
     const int w = arr.findWay(set, block);
     if (w < 0)
         return false;
-    arr.way(set, static_cast<unsigned>(w)) = SparseDirEntry{};
+    arr.clearWay(set, static_cast<unsigned>(w));
     return true;
 }
 

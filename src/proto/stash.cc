@@ -39,26 +39,24 @@ StashTracker::store(Addr block, const TrackState &ns, EngineOps &ops)
     int w = arr.findWay(set, block);
     if (ns.invalid()) {
         if (w >= 0) {
-            arr.way(set, static_cast<unsigned>(w)) = SparseDirEntry{};
+            arr.clearWay(set, static_cast<unsigned>(w));
             arr.demote(set, static_cast<unsigned>(w));
         }
         return;
     }
     if (w < 0) {
         const unsigned vw = arr.victimWay(set);
-        SparseDirEntry &e = arr.way(set, vw);
-        if (e.valid) {
-            if (e.kind == TrackState::Kind::Exclusive) {
+        const SparseDirEntry &victim = arr.way(set, vw);
+        if (victim.valid) {
+            if (victim.kind == TrackState::Kind::Exclusive) {
                 // The Stash trick: drop tracking, keep the block
                 // cached. A later request broadcasts to recover.
-                stashed[e.tag] = e.state();
+                stashed[victim.tag] = victim.state();
             } else {
-                ops.backInvalidate(e.tag, e.state());
+                ops.backInvalidate(victim.tag, victim.state());
             }
         }
-        e = SparseDirEntry{};
-        e.tag = block;
-        e.valid = true;
+        arr.install(set, vw, block);
         ++allocs;
         w = static_cast<int>(vw);
     }
@@ -131,7 +129,7 @@ StashTracker::debugDropEntry(Addr block)
     const std::uint64_t set = (block / banks) & (sets - 1);
     const int w = arr.findWay(set, block);
     if (w >= 0) {
-        arr.way(set, static_cast<unsigned>(w)) = SparseDirEntry{};
+        arr.clearWay(set, static_cast<unsigned>(w));
         return true;
     }
     return stashed.erase(block);

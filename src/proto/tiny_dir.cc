@@ -263,8 +263,6 @@ TinyDirTracker::trySpill(Addr block, const TrackState &ns,
         }
     }
     LlcEntry *eb = ar.slot;
-    eb->tag = block;
-    eb->valid = true;
     eb->meta = LlcMeta::Spill;
     inllc_detail::encode(*eb, ns);
     eb->strac = strac;

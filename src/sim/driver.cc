@@ -7,6 +7,7 @@
 #include "ckpt/ckpt.hh"
 #include "common/log.hh"
 #include "common/sim_error.hh"
+#include "common/time_wheel.hh"
 
 namespace tinydir
 {
@@ -26,13 +27,12 @@ Driver::run(System &sys,
 {
     panic_if(streams.size() != sys.cfg.numCores,
              "stream count != core count");
-    // One pending access per core, selected by linear min-scan. The
-    // scan takes the smallest issue time and breaks ties on the lower
-    // core id — the same total order the previous binary heap used —
-    // and replaces heap push/pop churn with a branch-predictable pass
-    // over a tiny contiguous array (numCores <= 128). Issue times are
-    // kept apart from the access payloads so the scan touches only
-    // 8 bytes per core.
+    // One pending access per core. The issues[]/pending[] arrays stay
+    // authoritative (they are what checkpoints snapshot); the time
+    // wheel below is a derived index over issues[] that yields the
+    // smallest issue time with ties broken on the lower core id — the
+    // same total order the previous linear min-scan (and the binary
+    // heap before it) used.
     std::vector<Cycle> issues(sys.cfg.numCores, idle);
     std::vector<TraceAccess> pending(sys.cfg.numCores);
     unsigned live = 0;
@@ -68,16 +68,55 @@ Driver::run(System &sys,
         return p;
     };
 
+    // Batched front-end over a bucketed time wheel. The wheel holds
+    // one (issue cycle, core) event per live stream; its pop order —
+    // earliest cycle first, lowest core id on ties — is exactly the
+    // total order the per-access linear min-scan used. Each batch
+    // pulls every access issuing within one L1 latency of the
+    // earliest: executeAccess never completes before issue +
+    // l1Latency (the L1 lookup precedes everything), so a refill
+    // lands at or beyond the window end — strictly after every batch
+    // member — and can never preempt or tie one. Batch members get
+    // their address-decompose + lookup-structure prefetches issued
+    // together before the serialized retires; stats stay
+    // bit-identical to the one-at-a-time order.
     const unsigned n = sys.cfg.numCores;
+    const Cycle window = sys.cfg.l1Latency;
+    TimeWheel<CoreId> nextIssue;
+    nextIssue.reserve(n);
+    for (CoreId c = 0; c < n; ++c) {
+        if (issues[c] != idle)
+            nextIssue.insert(issues[c], c);
+    }
+    std::vector<CoreId> batch(n);
+    unsigned batchLen = 0;
+    unsigned batchPos = 0;
     while (live > 0) {
-        CoreId best = 0;
-        Cycle best_issue = idle;
-        for (CoreId c = 0; c < n; ++c) {
-            if (issues[c] < best_issue) {
-                best_issue = issues[c];
-                best = c;
+        if (batchPos >= batchLen) {
+            TimeWheel<CoreId>::Event ev;
+            const bool got = nextIssue.pop(ev);
+            panic_if(!got, "issue wheel empty with live streams");
+            batch[0] = ev.payload;
+            batchLen = 1;
+            // Window of zero (degenerate zero-latency L1 config): a
+            // refill could tie a member, so keep batches at size one.
+            if (window > 0) {
+                const Cycle limit = ev.cycle + window;
+                while (nextIssue.earliestCycle() < limit) {
+                    nextIssue.pop(ev);
+                    batch[batchLen++] = ev.payload;
+                }
+            }
+            batchPos = 0;
+            // Warm the host caches for the members queued behind the
+            // first; their lookups run after it retires.
+            for (unsigned i = 1; i < batchLen; ++i) {
+                const CoreId c = batch[i];
+                sys.prefetchAccess(c, pending[c].addr);
             }
         }
+        const CoreId best = batch[batchPos++];
+        const Cycle best_issue = issues[best];
         const Cycle done =
             sys.executeAccess(best, pending[best], best_issue);
         sys.cores[best].clock = done;
@@ -90,6 +129,7 @@ Driver::run(System &sys,
         if (streams[best]->next(acc)) {
             issues[best] = done + acc.gap;
             pending[best] = acc;
+            nextIssue.insert(issues[best], best);
         } else {
             issues[best] = idle;
             --live;

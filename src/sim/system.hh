@@ -59,6 +59,27 @@ class System
      */
     Cycle executeAccess(CoreId c, const TraceAccess &acc, Cycle issue);
 
+    /**
+     * Warm the caches for an access about to execute: decompose the
+     * address, touch core @p c's private-hierarchy lookup structure
+     * and the home LLC set's tag lane. Purely a host-side performance
+     * hint issued by the batched driver front-end for every member of
+     * a batch before the serialized executeAccess calls run; it has no
+     * simulation-visible effect.
+     *
+     * Hot-annotated: it runs once per batched access, so the tdlint
+     * allocation-freedom walk must cover it and everything it calls
+     * (FlatMap::prefetch, Llc::locate/prefetchSet).
+     */
+    // TDLINT: hot
+    void
+    prefetchAccess(CoreId c, Addr addr) const
+    {
+        const Addr block = blockNumber(addr);
+        privs[c].prefetch(block);
+        llc.prefetchSet(llc.locate(block));
+    }
+
     /** Flush residual residency statistics (end of simulation). */
     void finalize();
 

@@ -19,6 +19,53 @@ struct Entry
 
 } // namespace
 
+/**
+ * The SoA tag lane and valid masks must mirror the entry payload
+ * exactly through any mix of install / clearWay / victim churn —
+ * lookups and victim scans read only the lane, so a divergence would
+ * silently change simulation results.
+ */
+void
+expectLanesMatch(const CacheArray<Entry> &arr)
+{
+    for (std::uint64_t s = 0; s < arr.numSets(); ++s) {
+        const Addr *lane = arr.laneBase(s);
+        const std::uint64_t mask = arr.validMask(s);
+        for (unsigned w = 0; w < arr.assoc(); ++w) {
+            const Entry &e = arr.way(s, w);
+            EXPECT_EQ(lane[w],
+                      e.valid ? e.tag : CacheArray<Entry>::invalidTag)
+                << "set " << s << " way " << w;
+            EXPECT_EQ((mask >> w) & 1, e.valid ? 1u : 0u)
+                << "set " << s << " way " << w;
+            if (e.valid) {
+                EXPECT_EQ(arr.findWay(s, e.tag), static_cast<int>(w));
+            }
+        }
+    }
+}
+
+TEST(CacheArray, SoALaneMatchesEntries)
+{
+    CacheArray<Entry> arr(8, 4, ReplPolicy::Lru);
+    // Deterministic churn: installs into victim ways, periodic
+    // touches and explicit invalidations.
+    for (Addr tag = 1; tag <= 200; ++tag) {
+        const std::uint64_t set = (tag * 7) % 8;
+        const unsigned w = arr.victimWay(set);
+        arr.install(set, w, tag);
+        arr.touch(set, w);
+        if (tag % 5 == 0)
+            arr.touch(set, arr.assoc() - 1 - w % arr.assoc());
+        if (tag % 11 == 0)
+            arr.clearWay((tag * 3) % 8, static_cast<unsigned>(tag % 4));
+    }
+    expectLanesMatch(arr);
+    arr.reset();
+    expectLanesMatch(arr);
+    EXPECT_EQ(arr.validMask(0), 0u);
+}
+
 TEST(CacheArray, FindMissOnEmpty)
 {
     CacheArray<Entry> arr(4, 2, ReplPolicy::Lru);
@@ -30,7 +77,7 @@ TEST(CacheArray, InsertAndFind)
 {
     CacheArray<Entry> arr(4, 2, ReplPolicy::Lru);
     unsigned w = arr.victimWay(1);
-    arr.way(1, w) = {100, true};
+    arr.install(1, w, 100);
     arr.touch(1, w);
     ASSERT_NE(arr.find(1, 100), nullptr);
     EXPECT_EQ(arr.find(0, 100), nullptr); // wrong set
@@ -40,7 +87,7 @@ TEST(CacheArray, VictimPrefersInvalid)
 {
     CacheArray<Entry> arr(1, 4, ReplPolicy::Lru);
     for (unsigned w = 0; w < 3; ++w) {
-        arr.way(0, w) = {w + 10, true};
+        arr.install(0, w, w + 10);
         arr.touch(0, w);
     }
     EXPECT_EQ(arr.victimWay(0), 3u);
@@ -50,7 +97,7 @@ TEST(CacheArray, LruEvictsOldest)
 {
     CacheArray<Entry> arr(1, 4, ReplPolicy::Lru);
     for (unsigned w = 0; w < 4; ++w) {
-        arr.way(0, w) = {w + 10, true};
+        arr.install(0, w, w + 10);
         arr.touch(0, w);
     }
     // Refresh way 0; oldest is now way 1.
@@ -64,7 +111,7 @@ TEST(CacheArray, DemoteMakesVictim)
 {
     CacheArray<Entry> arr(1, 4, ReplPolicy::Lru);
     for (unsigned w = 0; w < 4; ++w) {
-        arr.way(0, w) = {w + 10, true};
+        arr.install(0, w, w + 10);
         arr.touch(0, w);
     }
     arr.demote(0, 3);
@@ -75,7 +122,7 @@ TEST(CacheArray, NruTwoPassBehaviour)
 {
     CacheArray<Entry> arr(1, 4, ReplPolicy::Nru);
     for (unsigned w = 0; w < 4; ++w) {
-        arr.way(0, w) = {w + 10, true};
+        arr.install(0, w, w + 10);
         arr.touch(0, w); // all recently used
     }
     // All NRU bits clear: the array resets them and picks way 0.
@@ -90,7 +137,7 @@ TEST(CacheArray, PinnedWaysAreNeverVictims)
 {
     CacheArray<Entry> arr(1, 4, ReplPolicy::Lru);
     for (unsigned w = 0; w < 4; ++w) {
-        arr.way(0, w) = {w + 10, true};
+        arr.install(0, w, w + 10);
         arr.touch(0, w);
     }
     const std::uint64_t pinned = 0b0011; // ways 0 and 1
@@ -104,7 +151,7 @@ TEST(CacheArray, RandomVictimRespectsPins)
 {
     CacheArray<Entry> arr(1, 4, ReplPolicy::Random);
     for (unsigned w = 0; w < 4; ++w)
-        arr.way(0, w) = {w + 10, true};
+        arr.install(0, w, w + 10);
     const std::uint64_t pinned = 0b1101; // all but way 1
     for (int i = 0; i < 32; ++i)
         EXPECT_EQ(arr.victimWay(0, pinned), 1u);
@@ -113,7 +160,7 @@ TEST(CacheArray, RandomVictimRespectsPins)
 TEST(CacheArray, ResetInvalidatesAll)
 {
     CacheArray<Entry> arr(2, 2, ReplPolicy::Lru);
-    arr.way(0, 0) = {42, true};
+    arr.install(0, 0, 42);
     arr.reset();
     EXPECT_EQ(arr.find(0, 42), nullptr);
 }
@@ -130,7 +177,7 @@ TEST_P(CacheArrayAssoc, WorkingSetBoundedByAssoc)
     for (Addr t = 0; t < 100; ++t) {
         if (arr.findWay(0, t) < 0) {
             unsigned w = arr.victimWay(0);
-            arr.way(0, w) = {t, true};
+            arr.install(0, w, t);
         }
         arr.touch(0, static_cast<unsigned>(arr.findWay(0, t)));
     }

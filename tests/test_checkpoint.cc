@@ -39,7 +39,7 @@ struct NamedCfg
     SystemConfig cfg;
 };
 
-/** The acceptance schemes: MESI/sparse baseline, tiny-dir, MgD. */
+/** All seven tracking schemes; each serializes different state. */
 std::vector<NamedCfg>
 checkpointSchemes()
 {
@@ -52,6 +52,22 @@ checkpointSchemes()
     }
     {
         SystemConfig cfg = SystemConfig::scaled(4);
+        cfg.tracker = TrackerKind::SharedOnlyDir;
+        cfg.dirSizeFactor = 1.0 / 64;
+        out.push_back({"shared_only", cfg});
+    }
+    {
+        SystemConfig cfg = SystemConfig::scaled(4);
+        cfg.tracker = TrackerKind::InLlcTagExtended;
+        out.push_back({"inllc_tag_extended", cfg});
+    }
+    {
+        SystemConfig cfg = SystemConfig::scaled(4);
+        cfg.tracker = TrackerKind::InLlc;
+        out.push_back({"inllc", cfg});
+    }
+    {
+        SystemConfig cfg = SystemConfig::scaled(4);
         cfg.tracker = TrackerKind::TinyDir;
         cfg.dirSizeFactor = 1.0 / 32;
         cfg.tinySpill = true; // exercise spill-buffer serialization
@@ -61,6 +77,12 @@ checkpointSchemes()
         SystemConfig cfg = SystemConfig::scaled(4);
         cfg.tracker = TrackerKind::Mgd;
         out.push_back({"mgd", cfg});
+    }
+    {
+        SystemConfig cfg = SystemConfig::scaled(4);
+        cfg.tracker = TrackerKind::Stash;
+        cfg.dirSizeFactor = 1.0 / 2048;
+        out.push_back({"stash", cfg});
     }
     return out;
 }
@@ -231,6 +253,50 @@ TEST(Checkpoint, RestoreUnderVerifyPasses)
             runOne(scheme.cfg, prof, kAccesses, kWarmup, load);
         expectSameRun(resumed, full);
         std::remove(path.c_str());
+    }
+}
+
+TEST(Checkpoint, ResaveAfterLoadIsByteIdentical)
+{
+    // The engine persists only its busy-expiry time wheel's position
+    // and rebuilds the wheel contents from the authoritative busyUntil
+    // map on load. A re-save taken immediately after a load must
+    // reproduce the original byte stream exactly — wheel position
+    // included — or restores would not be transparent to later
+    // checkpoints. barnes is shared-heavy, so the snapshot lands with
+    // three-hop reminders actually live in the wheel.
+    const WorkloadProfile &prof = profileByName("barnes");
+    for (const auto &scheme : checkpointSchemes()) {
+        SCOPED_TRACE(scheme.name);
+        const auto layout = layoutFor(prof, scheme.cfg);
+        const std::uint64_t perCore = 1200;
+
+        std::ostringstream snap;
+        {
+            System sys(scheme.cfg);
+            auto streams = makeStreams(layout, scheme.cfg, perCore, false);
+            Driver d;
+            d.checkpointSink =
+                [&](System &s,
+                    const std::vector<std::unique_ptr<AccessStream>> &strs,
+                    const DriverProgress &p) {
+                    snap.str(std::string());
+                    ckpt::saveRun(snap, s, strs, p, prof.name);
+                };
+            d.stopAfterAccesses = 1601; // odd: mid-burst, wheel non-trivial
+            d.run(sys, std::move(streams));
+        }
+        ASSERT_FALSE(snap.str().empty());
+
+        System sys2(scheme.cfg);
+        auto streams2 = makeStreams(layout, scheme.cfg, perCore, false);
+        std::istringstream is(snap.str());
+        ckpt::LoadResult lr = ckpt::loadRun(is, sys2, streams2);
+        EXPECT_TRUE(lr.exact);
+
+        std::ostringstream resnap;
+        ckpt::saveRun(resnap, sys2, streams2, lr.progress, prof.name);
+        EXPECT_EQ(snap.str(), resnap.str());
     }
 }
 

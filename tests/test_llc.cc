@@ -19,9 +19,7 @@ smallCfg()
 LlcEntry *
 fillData(Llc &llc, Addr block, bool dirty = false)
 {
-    auto ar = llc.allocate(block);
-    ar.slot->tag = block;
-    ar.slot->valid = true;
+    auto ar = llc.allocate(block); // tag/valid installed by allocate()
     ar.slot->dirty = dirty;
     ar.slot->meta = LlcMeta::Normal;
     return ar.slot;
@@ -66,8 +64,6 @@ TEST(Llc, FindDataVsSpill)
     EXPECT_EQ(llc.findSpill(100), nullptr);
     // Add a spill entry with the same tag in the same set.
     auto ar = llc.allocate(100);
-    ar.slot->tag = 100;
-    ar.slot->valid = true;
     ar.slot->meta = LlcMeta::Spill;
     ASSERT_NE(llc.findSpill(100), nullptr);
     ASSERT_NE(llc.findData(100), nullptr);
@@ -87,8 +83,6 @@ TEST(Llc, AllocateNeverEvictsCompanionTag)
     auto ar = llc.allocate(b);
     ASSERT_TRUE(ar.victim.has_value());
     EXPECT_NE(ar.victim->tag, b);
-    ar.slot->tag = b;
-    ar.slot->valid = true;
     ar.slot->meta = LlcMeta::Spill;
     EXPECT_NE(llc.findData(b), nullptr);
     EXPECT_NE(llc.findSpill(b), nullptr);
@@ -101,8 +95,6 @@ TEST(Llc, SpillEvictedBeforeDataUnderLru)
     const Addr b = 16;
     fillData(llc, b);
     auto ar = llc.allocate(b);
-    ar.slot->tag = b;
-    ar.slot->valid = true;
     ar.slot->meta = LlcMeta::Spill;
     // Apply the ordering rule on every access: E_B then B.
     llc.touchSpill(b);
@@ -121,8 +113,6 @@ TEST(Llc, SpillEvictedBeforeDataUnderLru)
             EXPECT_TRUE(spill_died)
                 << "data block died before its spilled entry";
         }
-        ar2.slot->tag = sameSet(llc, b, i);
-        ar2.slot->valid = true;
         ar2.slot->meta = LlcMeta::Normal;
     }
     EXPECT_TRUE(spill_died);
@@ -134,8 +124,6 @@ TEST(Llc, FreeSpillAndFreeData)
     Llc llc(cfg);
     fillData(llc, 9);
     auto ar = llc.allocate(9);
-    ar.slot->tag = 9;
-    ar.slot->valid = true;
     ar.slot->meta = LlcMeta::Spill;
     llc.freeSpill(9);
     EXPECT_EQ(llc.findSpill(9), nullptr);

@@ -63,9 +63,7 @@ TEST(SkewArray, InsertFindTouch)
     auto ir = arr.insert(0x1234);
     ASSERT_NE(ir.slot, nullptr);
     EXPECT_FALSE(ir.victim.has_value());
-    ir.slot->tag = 0x1234;
-    ir.slot->valid = true;
-    ir.slot->payload = 99;
+    ir.slot->payload = 99; // tag/valid installed by insert()
     Entry *e = arr.find(0x1234);
     ASSERT_NE(e, nullptr);
     EXPECT_EQ(e->payload, 99);
@@ -83,8 +81,6 @@ TEST(SkewArray, HoldsFullCapacityWithoutConflicts)
         auto ir = arr.insert(t * 977);
         if (ir.victim)
             ++evictions;
-        ir.slot->tag = t * 977;
-        ir.slot->valid = true;
     }
     EXPECT_LE(evictions, 6u);
 }
@@ -101,8 +97,6 @@ TEST(SkewArray, EvictionReturnsValidVictim)
             EXPECT_TRUE(ir.victim->valid);
             EXPECT_TRUE(inserted.count(ir.victim->tag));
         }
-        ir.slot->tag = t;
-        ir.slot->valid = true;
         inserted.insert(t);
     }
     EXPECT_GT(victims, 25u); // must be evicting heavily at 10x capacity
@@ -125,8 +119,6 @@ TEST(SkewArray, ConflictReliefBeatsSetAssociative)
         auto ir = arr.insert(t * 64); // same low bits
         if (ir.victim)
             ++evictions;
-        ir.slot->tag = t * 64;
-        ir.slot->valid = true;
     }
     // A 4-way set-associative array indexed by low bits would have
     // evicted 28 of these; skewing must keep most.
@@ -137,8 +129,7 @@ TEST(SkewArray, ResetClears)
 {
     SkewArray<Entry> arr(8, 2);
     auto ir = arr.insert(7);
-    ir.slot->tag = 7;
-    ir.slot->valid = true;
+    ASSERT_NE(ir.slot, nullptr);
     arr.reset();
     EXPECT_EQ(arr.find(7), nullptr);
 }

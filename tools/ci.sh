@@ -7,8 +7,12 @@
 #   4. tdlint over the tree (redundant with the ctest, but surfaces
 #      diagnostics directly in the log even when ctest output is terse)
 #   5. fuzz_smoke under the asan preset (build-asan/)
+#   6. perf: bench_perf_smoke under the release-perf preset
+#      (build-perf/). Re-measures the quick-grid throughput and fails
+#      if it regresses more than TINYDIR_PERF_TOL (default 20%) below
+#      the committed BENCH_hotpath.json baseline.
 #
-# Usage: tools/ci.sh [--skip-asan]
+# Usage: tools/ci.sh [--skip-asan] [--skip-perf]
 # Any failure stops the script (set -e); the failing stage is the last
 # banner printed.
 
@@ -16,10 +20,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_ASAN=0
+SKIP_PERF=0
 for arg in "$@"; do
     case "$arg" in
         --skip-asan) SKIP_ASAN=1 ;;
-        *) echo "usage: tools/ci.sh [--skip-asan]" >&2; exit 2 ;;
+        --skip-perf) SKIP_PERF=1 ;;
+        *) echo "usage: tools/ci.sh [--skip-asan] [--skip-perf]" >&2
+           exit 2 ;;
     esac
 done
 
@@ -43,6 +50,16 @@ if [ "$SKIP_ASAN" = 0 ]; then
     cmake --preset asan >/dev/null
     cmake --build build-asan -j "$(nproc)" --target fuzz_traces
     ctest --test-dir build-asan -R fuzz_smoke --output-on-failure
+fi
+
+if [ "$SKIP_PERF" = 0 ]; then
+    banner "perf (release-perf, tolerance ${TINYDIR_PERF_TOL:-0.20})"
+    cmake --preset release-perf >/dev/null
+    cmake --build build-perf -j "$(nproc)" --target bench_hotpath
+    # The guard re-runs the quick grid and compares accesses/sec with
+    # the committed baseline; TINYDIR_PERF_TOL is read by the binary.
+    ctest --test-dir build-perf -R '^bench_perf_smoke$' \
+        --output-on-failure
 fi
 
 banner "CI gate passed"

@@ -29,6 +29,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -280,16 +281,23 @@ soaVictimScanMops()
     return mops(mapOps, sec);
 }
 
-/** The fig10-style quick grid, timed. */
+/**
+ * The fig10-style quick grid, timed. @p simThreads / @p epoch select
+ * the sharded engine per simulation (1/0 = the serial driver); see
+ * the threads-scaling rows in writeMode().
+ */
 ThroughputAgg
-quickGridThroughput()
+quickGridThroughput(unsigned simThreads = 1, Cycle epoch = 0,
+                    unsigned cores = 8)
 {
     BenchScale scale;
     scale.quick = true;
-    scale.cores = 8;
+    scale.cores = cores;
     scale.accessesPerCore = 2000;
     scale.warmupPerCore = 1000;
     scale.jobs = 1;
+    scale.controls.simThreads = simThreads;
+    scale.controls.simEpoch = epoch;
     SystemConfig base = sparseCfg(scale, 2.0);
     std::vector<Scheme> schemes{
         {"DSTRA", tinyCfg(scale, 1.0 / 32, TinyPolicy::Dstra, false)},
@@ -320,12 +328,16 @@ quickGridThroughput()
 
 /** Best of @p n timed quick grids (noise floor on loaded machines). */
 ThroughputAgg
-bestQuickGrid(unsigned n)
+bestQuickGrid(unsigned n, unsigned simThreads = 1, Cycle epoch = 0,
+              unsigned cores = 8)
 {
     ThroughputAgg best;
     for (unsigned i = 0; i < n; ++i) {
-        const ThroughputAgg agg = quickGridThroughput();
-        std::cerr << "# quick grid pass " << (i + 1) << "/" << n << ": "
+        const ThroughputAgg agg =
+            quickGridThroughput(simThreads, epoch, cores);
+        std::cerr << "# quick grid pass " << (i + 1) << "/" << n << " ("
+                  << cores << " cores, threads=" << simThreads
+                  << ", epoch=" << epoch << "): "
                   << static_cast<std::uint64_t>(agg.accessesPerSec())
                   << " accesses/s (" << agg.counted << " timed cells, "
                   << agg.skipped << " skipped)\n";
@@ -333,6 +345,44 @@ bestQuickGrid(unsigned n)
             best = agg;
     }
     return best;
+}
+
+/**
+ * One 512-core cell under the relaxed sharded engine and a wall-clock
+ * watchdog: the scale target the parallel engine exists for. Returns
+ * simulated accesses per host second (0 when the watchdog fired).
+ */
+double
+cores512CellAccessesPerSec()
+{
+    BenchScale scale;
+    scale.quick = true;
+    scale.cores = 512;
+    scale.accessesPerCore = 200;
+    scale.warmupPerCore = 100;
+    const SystemConfig cfg = sparseCfg(scale, 2.0);
+    const WorkloadProfile &prof = profileByName("barnes");
+    RunControls ctl;
+    ctl.label = "cores512 / barnes";
+    ctl.timeoutSeconds = 600.0;
+    ctl.simThreads = 2;
+    ctl.simEpoch = 4096;
+    try {
+        const RunOut out =
+            runOne(cfg, prof, scale.accessesPerCore,
+                   scale.warmupPerCore, ctl);
+        std::cerr << "# cores512 cell: " << out.accesses
+                  << " accesses, "
+                  << static_cast<std::uint64_t>(out.accessesPerSec)
+                  << "/s, threads=" << out.simThreads << ", epochs="
+                  << out.epochs << ", max skew " << out.maxObservedSkew
+                  << "\n";
+        return out.accessesPerSec;
+    } catch (const SimError &e) {
+        std::cerr << "warn: cores512 cell failed (" << e.what()
+                  << "); recording 0\n";
+        return 0.0;
+    }
 }
 
 constexpr const char *e2eRow = "quick_grid_accesses_per_sec";
@@ -452,6 +502,28 @@ writeMode(const std::string &outPath)
     }
     const ThroughputAgg best = bestQuickGrid(3);
     table.addRow(e2eRow, {best.accessesPerSec()});
+
+    // Threads-scaling rows: the same quick grid on the sharded
+    // engine, exact (lockstep, bit-identical) and relaxed (4096-cycle
+    // epochs). Absolute speedup is host-dependent — host_cpus records
+    // how many CPUs these numbers had to work with (a 1-CPU container
+    // cannot show parallel speedup, only overhead).
+    table.addRow("host_cpus",
+                 {static_cast<double>(
+                     std::thread::hardware_concurrency())});
+    table.addRow("quick_grid_accesses_per_sec_t2_exact",
+                 {bestQuickGrid(2, 2, 0).accessesPerSec()});
+    table.addRow("quick_grid_accesses_per_sec_t2_epoch4096",
+                 {bestQuickGrid(2, 2, 4096).accessesPerSec()});
+    table.addRow("quick_grid_accesses_per_sec_t4_epoch4096",
+                 {bestQuickGrid(2, 4, 4096).accessesPerSec()});
+
+    // Scale rows: the 64-core grid (serial reference for the scaling
+    // study) and the first 512-core cell (relaxed engine + watchdog).
+    table.addRow("grid64_accesses_per_sec",
+                 {bestQuickGrid(1, 2, 4096, 64).accessesPerSec()});
+    table.addRow("cores512_accesses_per_sec",
+                 {cores512CellAccessesPerSec()});
 
     BenchScale scale;
     scale.quick = true;

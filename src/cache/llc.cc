@@ -199,8 +199,17 @@ Llc::freeData(Loc loc, Addr block)
 void
 Llc::noteDeath(const LlcEntry &e)
 {
-    if (e.valid && e.meta != LlcMeta::Spill)
-        hist.noteDeath(e.stats);
+    if (e.valid && e.meta != LlcMeta::Spill) {
+        // The histograms aggregate across banks, so deaths processed
+        // by concurrent shard engines must serialize here (serial runs
+        // have no mutex installed and pay only the branch).
+        if (statsMu) {
+            std::lock_guard<std::mutex> g(*statsMu);
+            hist.noteDeath(e.stats);
+        } else {
+            hist.noteDeath(e.stats);
+        }
+    }
 }
 
 void

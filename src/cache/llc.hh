@@ -19,6 +19,7 @@
 #ifndef TINYDIR_CACHE_LLC_HH
 #define TINYDIR_CACHE_LLC_HH
 
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -241,6 +242,31 @@ class Llc
     /** Count of data-array writes for coherence-state updates. */
     Scalar cohDataWrites;
 
+    /**
+     * Count one coherence-state data write. Trackers call this instead
+     * of touching cohDataWrites directly: the counter is shared across
+     * banks, so concurrent shard engines need the stats mutex even
+     * though each only writes blocks of its own banks.
+     */
+    void
+    noteCohDataWrite()
+    {
+        if (statsMu) {
+            std::lock_guard<std::mutex> g(*statsMu);
+            ++cohDataWrites;
+        } else {
+            ++cohDataWrites;
+        }
+    }
+
+    /**
+     * Serialize cross-bank measurement state (residency histograms and
+     * cohDataWrites) for parallel shards; nullptr (default) = serial,
+     * no locking. Policy state needs no lock: each shard engine only
+     * touches ways of its own banks.
+     */
+    void setStatsMutex(std::mutex *mu) { statsMu = mu; }
+
     /** Whether @p block maps to a sampled no-spill set (Section IV-B2). */
     bool isSampledSet(Addr block) const;
     bool isSampledSet(Loc loc) const { return loc.set % sampleStride == 0; }
@@ -295,6 +321,7 @@ class Llc
     std::vector<CacheArray<LlcEntry>> arrays;
     std::vector<Cycle> bankFree;
     ResidencyHistograms hist;
+    std::mutex *statsMu = nullptr;
 };
 
 } // namespace tinydir

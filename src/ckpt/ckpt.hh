@@ -55,8 +55,8 @@ namespace ckpt
 /** File magic: "TDCP" read as a little-endian u32. */
 constexpr std::uint32_t fileMagic = 0x50434454;
 
-/** Current checkpoint format version. */
-constexpr std::uint32_t fileVersion = 1;
+/** Current checkpoint format version (2: 512-core sharer vectors). */
+constexpr std::uint32_t fileVersion = 2;
 
 // -- cooperative interruption ---------------------------------------------
 

@@ -4,7 +4,7 @@
  *
  * Every directory organization in the paper uses a full-map bitvector
  * per tracking entry (Section I-A); this type provides that bitvector
- * for up to maxCores (128) cores with cheap set algebra.
+ * for up to maxCores cores with cheap set algebra.
  */
 
 #ifndef TINYDIR_COMMON_SHARER_SET_HH
@@ -24,7 +24,7 @@ namespace tinydir
 class SharerSet
 {
   public:
-    SharerSet() : words{0, 0} {}
+    SharerSet() : words{} {}
 
     /** Construct a singleton set. */
     static SharerSet
@@ -56,15 +56,24 @@ class SharerSet
         return (words[c >> 6] >> (c & 63)) & 1;
     }
 
-    void clear() { words = {0, 0}; }
+    void clear() { words = {}; }
 
-    bool empty() const { return (words[0] | words[1]) == 0; }
+    bool
+    empty() const
+    {
+        std::uint64_t acc = 0;
+        for (std::uint64_t w : words)
+            acc |= w;
+        return acc == 0;
+    }
 
     unsigned
     count() const
     {
-        return static_cast<unsigned>(std::popcount(words[0]) +
-                                     std::popcount(words[1]));
+        unsigned n = 0;
+        for (std::uint64_t w : words)
+            n += static_cast<unsigned>(std::popcount(w));
+        return n;
     }
 
     /**
@@ -74,10 +83,11 @@ class SharerSet
     CoreId
     first() const
     {
-        if (words[0])
-            return static_cast<CoreId>(std::countr_zero(words[0]));
-        if (words[1])
-            return static_cast<CoreId>(64 + std::countr_zero(words[1]));
+        for (unsigned w = 0; w < kWords; ++w) {
+            if (words[w])
+                return static_cast<CoreId>(
+                    w * 64 + std::countr_zero(words[w]));
+        }
         return invalidCore;
     }
 
@@ -107,7 +117,7 @@ class SharerSet
     void
     forEach(F &&f) const
     {
-        for (unsigned w = 0; w < 2; ++w) {
+        for (unsigned w = 0; w < kWords; ++w) {
             std::uint64_t bits = words[w];
             while (bits) {
                 unsigned b = static_cast<unsigned>(std::countr_zero(bits));
@@ -128,8 +138,8 @@ class SharerSet
     void
     saveState(W &w) const
     {
-        w.u64(words[0]);
-        w.u64(words[1]);
+        for (std::uint64_t word : words)
+            w.u64(word);
     }
 
     /** Restore a bitvector written by saveState. */
@@ -137,12 +147,13 @@ class SharerSet
     void
     loadState(R &r)
     {
-        words[0] = r.u64();
-        words[1] = r.u64();
+        for (std::uint64_t &word : words)
+            word = r.u64();
     }
 
   private:
-    std::array<std::uint64_t, 2> words;
+    static constexpr unsigned kWords = (maxCores + 63) / 64;
+    std::array<std::uint64_t, kWords> words;
 };
 
 } // namespace tinydir

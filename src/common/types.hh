@@ -31,7 +31,7 @@ constexpr CoreId invalidCore = std::numeric_limits<CoreId>::max();
 constexpr Addr invalidAddr = std::numeric_limits<Addr>::max();
 
 /** Maximum number of cores supported by the fixed-width sharer vector. */
-constexpr unsigned maxCores = 128;
+constexpr unsigned maxCores = 512;
 
 /** Cache block size in bytes (Table I). */
 constexpr unsigned blockBytes = 64;

@@ -97,6 +97,16 @@ class TrafficStats
         msgCount.fill(0);
     }
 
+    /** Fold another counter set into this one (shard-stat merge). */
+    void
+    merge(const TrafficStats &o)
+    {
+        for (unsigned i = 0; i < numMsgClasses; ++i) {
+            byteCount[i] += o.byteCount[i];
+            msgCount[i] += o.msgCount[i];
+        }
+    }
+
     /** Serialize both counter arrays (ckpt::Writer-shaped sink). */
     template <typename W>
     void

@@ -34,7 +34,11 @@ Engine::dramTrip(Addr block, unsigned home_node, Cycle miss_at)
     const unsigned mn = mesh.memNode(ch);
     const Cycle at_mem = miss_at + mesh.latency(home_node, mn);
     stats.traffic.add(MsgClass::Processor, ctrlBytes); // read command
-    const Cycle mem_done = dram.access(block, at_mem);
+    Cycle mem_done;
+    {
+        auto dg = dramGuard();
+        mem_done = dram.access(block, at_mem);
+    }
     stats.traffic.add(MsgClass::Processor, dataBytes); // data return
     return mem_done + mesh.latency(mn, home_node);
 }
@@ -46,7 +50,10 @@ Engine::writebackToMemory(Addr block, Cycle t)
     const unsigned mn = mesh.memNode(ch);
     const unsigned home_node = llc.bankOf(block);
     stats.traffic.add(MsgClass::Writeback, dataBytes);
-    dram.access(block, t + mesh.latency(home_node, mn));
+    {
+        auto dg = dramGuard();
+        dram.access(block, t + mesh.latency(home_node, mn));
+    }
     ++stats.dirtyWritebacks;
 }
 
@@ -111,6 +118,7 @@ Engine::backInvalidateTo(Addr block, const TrackState &ts, DirtyDest dest)
     ++stats.backInvals;
     bool dirty = false;
     auto inval_one = [&](CoreId s) {
+        auto g = privGuard(s);
         auto r = privs[s].invalidate(block);
         if (!r.wasPresent)
             return;
@@ -133,12 +141,12 @@ Engine::backInvalidateTo(Addr block, const TrackState &ts, DirtyDest dest)
             } else {
                 // No (usable) LLC tag; send the data to memory rather
                 // than allocating mid-transaction.
-                writebackToMemory(block, curTime);
+                writebackToMemory(block, *timeRef);
             }
             break;
           }
           case DirtyDest::Memory:
-            writebackToMemory(block, curTime);
+            writebackToMemory(block, *timeRef);
             break;
           case DirtyDest::Discard:
             break;
@@ -185,7 +193,7 @@ Engine::saveState(ckpt::Writer &w) const
     // The wheel is rebuilt from the authoritative map on load; only
     // its clock needs to persist (stream slot of the old nextPrune).
     w.u64(busyExpiry.now());
-    w.u64(curTime);
+    w.u64(*timeRef);
 }
 
 void
@@ -215,7 +223,7 @@ Engine::loadState(ckpt::Reader &r)
     busyUntil.forEach([&](Addr blk, const Cycle &until) {
         busyExpiry.insert(until, blk);
     });
-    curTime = r.u64();
+    *timeRef = r.u64();
 }
 
 // TDLINT: hot
@@ -223,7 +231,7 @@ RequestResult
 Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
 {
     panic_if(tracker == nullptr, "engine has no tracker");
-    curTime = std::max(curTime, t0);
+    *timeRef = std::max(*timeRef, t0);
     tracker->tick(t0);
 
     // Reap stale busy windows. Requests arrive in global time order,
@@ -273,9 +281,38 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
     if (v.ts.exclusive() && v.ts.owner == c) {
         // Region-grain tracking (MgD) can name the requester itself as
         // the owner of a block it does not cache; serve as untracked.
-        panic_if(!tracker->coarseGrain(),
-                 "exact tracker says requester owns the missing block");
+        // Relaxed epochs reach the same shape for exact trackers when
+        // the requester's eviction notice is still in a mailbox.
+        if (relaxed && !tracker->coarseGrain())
+            ++relax.softenedRequests;
+        else
+            panic_if(!tracker->coarseGrain(),
+                     "exact tracker says requester owns the missing block");
         v = TrackerView{};
+    }
+    // Relaxed-skew softening of view/request mismatches. Every case is
+    // a request that crossed an in-flight eviction notice or remote
+    // grant inside the skew window; the serial engine (and exact
+    // lockstep) treats each as a hard protocol violation.
+    if (relaxed) {
+        if (v.ts.kind == TrackState::Kind::Invalid &&
+            type == ReqType::Upg) {
+            // Upgrade of a block whose last sharer notice already
+            // landed: re-shape into a plain write miss.
+            type = ReqType::GetX;
+            ++relax.softenedRequests;
+        } else if (v.ts.kind == TrackState::Kind::Exclusive &&
+                   type == ReqType::Upg) {
+            // The requester's S copy was invalidated in flight and
+            // another core took ownership: a GetX does the right thing.
+            type = ReqType::GetX;
+            ++relax.softenedRequests;
+        } else if (v.ts.kind == TrackState::Kind::Shared &&
+                   type == ReqType::Upg && !v.ts.sharers.contains(c)) {
+            // Upgrade from a core the tracker no longer lists: proceed
+            // as an upgrade anyway (grants M, invalidates the rest).
+            ++relax.softenedRequests;
+        }
     }
     auto [data, spill] = llc.findBoth(loc, block);
     // LRU ordering rule of Section IV-B1: E_B to MRU, then B.
@@ -302,9 +339,22 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
     switch (v.ts.kind) {
       case TrackState::Kind::Invalid: {
         panic_if(type == ReqType::Upg, "upgrade of untracked block");
-        if (data) {
-            panic_if(data->isCorrupt(),
-                     "corrupt LLC entry with no tracking state");
+        if (data && data->isCorrupt()) {
+            // The tracker's view already dropped the block (its last
+            // notice is sitting in a mailbox) but the data ways still
+            // carry tracking bits: the data is unusable, so take a
+            // plain DRAM trip. tracker->update() below re-establishes
+            // tracking state over the entry.
+            panic_if(!relaxed, "corrupt LLC entry with no tracking state");
+            ++relax.softenedRequests;
+            missed = true;
+            ++stats.llcDataMisses;
+            const Cycle start = bankService(home, arrival, tag_lat);
+            const Cycle back =
+                dramTrip(block, home_node, start + tag_lat);
+            res.done = back + data_lat + mesh.latency(home_node, req_node);
+            res.src = DataSource::Dram;
+        } else if (data) {
             const Cycle start =
                 bankService(home, arrival, tag_lat + data_lat);
             res.done = start + tag_lat + data_lat +
@@ -356,7 +406,12 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
         ++stats.ownerForwards;
         stats.traffic.add(MsgClass::Coherence, ctrlBytes); // forward
 
-        if (!privs[o].present(block)) {
+        bool owner_present;
+        {
+            auto g = privGuard(o);
+            owner_present = privs[o].present(block);
+        }
+        if (!owner_present) {
             // Region-grain false positive (MgD): the region owner does
             // not actually cache this block; home supplies it.
             stats.traffic.add(MsgClass::Coherence, ctrlBytes); // miss rep
@@ -401,7 +456,10 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
         busyExpiry.insert(busy_end, block);
 
         if (is_read) {
-            auto d = privs[o].downgrade(block);
+            auto d = [&] {
+                auto g = privGuard(o);
+                return privs[o].downgrade(block);
+            }();
             if (d.wasDirty) {
                 // Sharing writeback to the home LLC.
                 stats.traffic.add(MsgClass::Coherence, dataBytes);
@@ -415,7 +473,10 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
             ns = TrackState::makeShared(sh);
             res.grant = MesiState::S;
         } else { // GetX
-            privs[o].invalidate(block);
+            {
+                auto g = privGuard(o);
+                privs[o].invalidate(block);
+            }
             ++stats.invalidations;
             ns = TrackState::makeExclusive(c);
             res.grant = MesiState::M;
@@ -437,12 +498,32 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
             // With exact tracking a sharer can never re-request; a
             // coarse sharer vector may list the requester's
             // groupmates conservatively, which is harmless on the
-            // two-hop path below.
-            panic_if(sh.contains(c) && cfg.sharerGrain == 1,
-                     "sharer re-requesting read");
-            if (v.where == Residence::LlcCorrupt) {
+            // two-hop path below. Relaxed skew re-creates the shape
+            // when the requester's own PutS is still in flight.
+            if (relaxed && sh.contains(c) && cfg.sharerGrain == 1)
+                ++relax.softenedRequests;
+            else
+                panic_if(sh.contains(c) && cfg.sharerGrain == 1,
+                         "sharer re-requesting read");
+            const CoreId fwd_sharer = sh.electNear(c, cfg.numCores);
+            if (relaxed && v.where == Residence::LlcCorrupt &&
+                fwd_sharer == invalidCore) {
+                // Stale singleton sharer (the requester itself) on a
+                // corrupt entry: no core can supply the data, so take
+                // a plain DRAM trip instead of the three-hop forward.
+                ++relax.softenedRequests;
+                missed = true;
+                ++stats.llcDataMisses;
+                const Cycle start = bankService(home, arrival, tag_lat);
+                const Cycle back =
+                    dramTrip(block, home_node, start + tag_lat);
+                res.done = back + data_lat +
+                    mesh.latency(home_node, req_node);
+                res.src = DataSource::Dram;
+                stats.traffic.add(MsgClass::Processor, dataBytes);
+            } else if (v.where == Residence::LlcCorrupt) {
                 // The three-hop lengthened path (Section III-C).
-                const CoreId s = sh.electNear(c, cfg.numCores);
+                const CoreId s = fwd_sharer;
                 panic_if(s == invalidCore, "shared with no sharers");
                 const Cycle start =
                     bankService(home, arrival, tag_lat + data_lat + 1);
@@ -503,9 +584,13 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
             // GetX or Upg: invalidate every other sharer; acks are
             // collected at the requester (sequential consistency).
             const bool upg = type == ReqType::Upg;
-            panic_if(upg && !sh.contains(c), "upgrade from non-sharer");
-            panic_if(!upg && sh.contains(c) && cfg.sharerGrain == 1,
-                     "GetX from current sharer (should be Upg)");
+            panic_if(!relaxed && upg && !sh.contains(c),
+                     "upgrade from non-sharer");
+            if (relaxed && !upg && sh.contains(c) && cfg.sharerGrain == 1)
+                ++relax.softenedRequests;
+            else
+                panic_if(!upg && sh.contains(c) && cfg.sharerGrain == 1,
+                         "GetX from current sharer (should be Upg)");
             const bool corrupt_like =
                 v.where == Residence::LlcCorrupt ||
                 v.where == Residence::LlcSpill;
@@ -522,7 +607,10 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
             sh.forEach([&](CoreId s) {
                 if (s == c)
                     return;
-                privs[s].invalidate(block);
+                {
+                    auto g = privGuard(s);
+                    privs[s].invalidate(block);
+                }
                 ++count;
                 stats.traffic.add(MsgClass::Coherence, ctrlBytes);
                 stats.traffic.add(MsgClass::Coherence,
@@ -581,7 +669,7 @@ Engine::request(CoreId c, Addr block, ReqType type, Cycle t0)
     tracker->onLlcAccess(block, missed, stra_read);
     stats.recordLatency(res.done - t0);
 
-    curTime = std::max(curTime, res.done);
+    *timeRef = std::max(*timeRef, res.done);
     return res;
 }
 
@@ -591,18 +679,31 @@ Engine::evictionNotice(CoreId c, Addr block, MesiState st, Cycle t)
 {
     panic_if(tracker == nullptr, "engine has no tracker");
     panic_if(st == MesiState::I, "eviction notice with I state");
-    curTime = std::max(curTime, t);
+    *timeRef = std::max(*timeRef, t);
     tracker->tick(t);
-    ++stats.evictionNotices;
 
+    // Under relaxed epochs a notice can arrive after the tracker has
+    // already moved past the evicting core's view of the block (the
+    // race it lost is sitting in a mailbox). Such stale notices are
+    // dropped whole — no stats, no traffic, no tracker update — and
+    // counted so the divergence is observable.
     TrackerView v = tracker->view(block);
     TrackState ns = v.ts;
     switch (v.ts.kind) {
       case TrackState::Kind::Exclusive:
+        if (relaxed && v.ts.owner != c) {
+            ++relax.staleNotices;
+            return;
+        }
         panic_if(v.ts.owner != c, "eviction notice from non-owner");
         ns = TrackState{};
         break;
       case TrackState::Kind::Shared:
+        if (relaxed &&
+            (!v.ts.sharers.contains(c) || st != MesiState::S)) {
+            ++relax.staleNotices;
+            return;
+        }
         panic_if(!v.ts.sharers.contains(c),
                  "eviction notice from non-sharer");
         panic_if(st != MesiState::S, "non-S eviction of shared block");
@@ -612,9 +713,15 @@ Engine::evictionNotice(CoreId c, Addr block, MesiState st, Cycle t)
         break;
       case TrackState::Kind::Invalid:
         // Region-grain (MgD) private blocks are not block-tracked;
-        // the tracker handles the notice below.
+        // the tracker handles the notice below. An exact tracker with
+        // no record only sees this shape under relaxed skew.
+        if (relaxed && !tracker->coarseGrain()) {
+            ++relax.staleNotices;
+            return;
+        }
         break;
     }
+    ++stats.evictionNotices;
 
     const unsigned extra = tracker->evictionNoticeExtraBytes(st);
     if (st == MesiState::M)
@@ -627,9 +734,17 @@ Engine::evictionNotice(CoreId c, Addr block, MesiState st, Cycle t)
 
     if (st == MesiState::M) {
         LlcEntry *e = ensureLlcData(block, t);
-        panic_if(e->isCorrupt(),
-                 "PutM left a corrupt LLC entry behind");
-        e->dirty = true;
+        if (relaxed && e->isCorrupt()) {
+            // A concurrent transaction corrupted the entry while this
+            // PutM was in flight; route the dirty data to memory
+            // instead of marking a corrupt way dirty.
+            writebackToMemory(block, t);
+            ++relax.staleNotices;
+        } else {
+            panic_if(e->isCorrupt(),
+                     "PutM left a corrupt LLC entry behind");
+            e->dirty = true;
+        }
     }
 }
 

@@ -23,6 +23,7 @@
 #define TINYDIR_PROTO_ENGINE_HH
 
 #include <algorithm>
+#include <mutex>
 #include <vector>
 
 #include "cache/llc.hh"
@@ -72,6 +73,34 @@ struct EngineStats
             static_cast<unsigned>(std::min<Cycle>(lat / 32, 31)));
     }
 
+    /**
+     * Fold another engine's counters into this one (parallel-shard
+     * join). Plain sums: stats are associative, so per-shard deltas
+     * can be flushed into the system engine at any barrier.
+     */
+    void
+    merge(const EngineStats &o)
+    {
+        llcAccesses += o.llcAccesses.value();
+        llcDataMisses += o.llcDataMisses.value();
+        llcFills += o.llcFills.value();
+        lengthenedReads += o.lengthenedReads.value();
+        lengthenedCode += o.lengthenedCode.value();
+        savedBySpill += o.savedBySpill.value();
+        nackRetries += o.nackRetries.value();
+        ownerForwards += o.ownerForwards.value();
+        invalidations += o.invalidations.value();
+        backInvals += o.backInvals.value();
+        dirtyWritebacks += o.dirtyWritebacks.value();
+        evictionNotices += o.evictionNotices.value();
+        upgradeMisses += o.upgradeMisses.value();
+        traffic.merge(o.traffic);
+        for (unsigned b = 0; b < o.latency.size(); ++b) {
+            if (o.latency.bucket(b))
+                latency.sample(b, o.latency.bucket(b));
+        }
+    }
+
     void
     reset()
     {
@@ -110,6 +139,28 @@ enum class DirtyDest : std::uint8_t
     Discard, //!< drop (tests only)
 };
 
+/**
+ * Relaxed-epoch softening counters (sim/shard.hh). Deliberately NOT
+ * an `*Stats` struct: these never enter StatsDump or checkpoints —
+ * they count protocol races that only exist under bounded clock skew,
+ * and are all zero in serial and exact-lockstep runs. The parallel
+ * driver aggregates them into its telemetry at every fold.
+ */
+struct RelaxCounters
+{
+    /** Stale eviction notices dropped (the evictor lost a race). */
+    Counter staleNotices = 0;
+    /** Requests whose tracker view was softened (e.g. Upg -> GetX). */
+    Counter softenedRequests = 0;
+
+    void
+    merge(const RelaxCounters &o)
+    {
+        staleNotices += o.staleNotices;
+        softenedRequests += o.softenedRequests;
+    }
+};
+
 /** The shared home controller. */
 class Engine : public EngineOps
 {
@@ -139,7 +190,14 @@ class Engine : public EngineOps
     void reconstructTraffic(Addr block, const TrackState &ts) override;
     void addTraffic(MsgClass cls, unsigned bytes,
                     Counter count = 1) override;
-    Cycle now() const override { return curTime; }
+    Cycle now() const override { return *timeRef; }
+
+    bool
+    privPresent(CoreId c, Addr block) override
+    {
+        auto g = privGuard(c);
+        return privs[c].present(block);
+    }
 
     void
     noteLlcDataDeath(Addr block) override
@@ -154,8 +212,111 @@ class Engine : public EngineOps
 
     EngineStats stats;
 
+    /** Softening counters (relaxed parallel mode only; else zero). */
+    RelaxCounters relax;
+
     /** Mesh node of a core (1:1 core/bank/node mapping). */
     unsigned nodeOfCore(CoreId c) const { return c; }
+
+    // -- parallel-shard support (sim/shard.hh) --------------------------
+    //
+    // A sharded run instantiates one Engine per home shard over the
+    // SAME Llc/Mesh/Dram/privs components. Each shard engine owns the
+    // busy windows and statistic deltas of its banks; the system's
+    // engine stays the canonical fold target so dump()/saveState()
+    // see exactly the serial layout.
+
+    /**
+     * Relaxed-epoch mode: soften the staleness panics that bounded
+     * clock skew makes reachable (an eviction notice racing a remote
+     * grant, an upgrade whose sharer entry was invalidated in flight).
+     * Off (the default) every such event stays a hard panic.
+     */
+    void setRelaxed(bool r) { relaxed = r; }
+
+    /**
+     * Share this engine's transaction clock with @p master (exact
+     * lockstep mode): every shard engine then advances the single
+     * clock the serial engine would have, which keeps DRAM writeback
+     * timestamps — and therefore checkpoint bytes — bit-identical.
+     */
+    void shareTimeWith(Engine &master) { timeRef = master.timeRef; }
+
+    /**
+     * Per-core private-hierarchy locks (array of numCores mutexes;
+     * nullptr = serial, no locking). Taken leaf-order: the engine only
+     * acquires them while holding its home lock, never the reverse.
+     */
+    void setPrivLocks(std::mutex *mus) { privMus = mus; }
+
+    /** Serialize DRAM channel/row state across shards (nullptr = off). */
+    void setDramMutex(std::mutex *mu) { dramMu = mu; }
+
+    /**
+     * Reap every busy window expired by @p to, advancing the expiry
+     * wheel clock to @p to. The fold sequence runs this on every shard
+     * engine with the global maximum so the merged busyUntil map holds
+     * exactly the entries the serial engine would (serial reaping is
+     * global on every request; shard reaping is per-home and lags).
+     */
+    void
+    drainExpiredTo(Cycle to)
+    {
+        busyExpiry.advance(to, [&](Cycle, Addr blk) {
+            const Cycle *b = busyUntil.find(blk);
+            if (b && *b <= to)
+                busyUntil.erase(blk);
+        });
+    }
+
+    /** Expiry-wheel clock (fold computes the global maximum of these). */
+    Cycle expiryClock() const { return busyExpiry.now(); }
+
+    /**
+     * Fold @p o's statistic deltas into this engine and zero them in
+     * @p o (sums are associative, so folds can happen at any barrier).
+     * Also maxes the transaction clock.
+     */
+    void
+    absorbStatsFrom(Engine &o)
+    {
+        stats.merge(o.stats);
+        o.stats.reset();
+        relax.merge(o.relax);
+        o.relax = RelaxCounters{};
+        *timeRef = std::max(*timeRef, *o.timeRef);
+    }
+
+    /** Move @p o's busy windows into this engine (checkpoint fold). */
+    void
+    absorbBusyFrom(Engine &o)
+    {
+        o.busyUntil.forEach([&](Addr blk, const Cycle &until) {
+            busyUntil[blk] = until;
+            busyExpiry.insert(until, blk);
+        });
+        o.busyUntil.clear();
+        o.busyExpiry.clear();
+    }
+
+    /**
+     * Inverse of absorbBusyFrom: hand each busy window back to its
+     * home shard engine (@p engineOf maps a block to it) after a
+     * mid-run checkpoint, so future NACK checks consult the map that
+     * actually serves the block.
+     */
+    template <typename F>
+    void
+    redistributeBusy(F &&engineOf)
+    {
+        busyUntil.forEach([&](Addr blk, const Cycle &until) {
+            Engine &e = engineOf(blk);
+            e.busyUntil[blk] = until;
+            e.busyExpiry.insert(until, blk);
+        });
+        busyUntil.clear();
+        busyExpiry.clear();
+    }
 
     /** Live busy-window entries (tests assert this stays bounded). */
     std::size_t busyFootprint() const { return busyUntil.size(); }
@@ -167,6 +328,36 @@ class Engine : public EngineOps
     void loadState(ckpt::Reader &r);
 
   private:
+    /**
+     * Scoped lock over an optional mutex: no-op when the pointer is
+     * null (the serial configuration), so the plain hot path only
+     * pays a branch.
+     */
+    struct OptLock
+    {
+        std::mutex *m;
+        explicit OptLock(std::mutex *mm) : m(mm)
+        {
+            if (m)
+                m->lock();
+        }
+        ~OptLock()
+        {
+            if (m)
+                m->unlock();
+        }
+        OptLock(const OptLock &) = delete;
+        OptLock &operator=(const OptLock &) = delete;
+    };
+
+    OptLock
+    privGuard(CoreId c)
+    {
+        return OptLock(privMus ? &privMus[c] : nullptr);
+    }
+
+    OptLock dramGuard() { return OptLock(dramMu); }
+
     /** Bank queueing: returns service start, advances bank occupancy. */
     Cycle bankService(unsigned bank, Cycle arrival, Cycle busy_cycles);
 
@@ -213,6 +404,22 @@ class Engine : public EngineOps
      */
     TimeWheel<Addr> busyExpiry;
     Cycle curTime = 0;
+
+    /**
+     * The transaction clock actually used: &curTime normally; exact
+     * lockstep points every shard engine at the system engine's cell
+     * (shareTimeWith) so writeback timestamps match serial execution.
+     */
+    Cycle *timeRef = &curTime;
+
+    /** Relaxed-epoch staleness softening (sim/shard.hh). */
+    bool relaxed = false;
+
+    /** Per-core private-cache locks (parallel mode; null = serial). */
+    std::mutex *privMus = nullptr;
+
+    /** DRAM serialization (parallel mode; null = serial). */
+    std::mutex *dramMu = nullptr;
 };
 
 } // namespace tinydir

@@ -91,7 +91,7 @@ InLlcTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
     e->meta = ns.exclusive() ? LlcMeta::CorruptExcl
                              : LlcMeta::CorruptShared;
     inllc_detail::encode(*e, ns);
-    ++llc.cohDataWrites;
+    llc.noteCohDataWrite();
 }
 
 void
@@ -112,13 +112,13 @@ InLlcTracker::evictionUpdate(Addr block, const TrackState &ns,
         // PutE carried the bits in the notice; PutM carries full data.
         e->meta = LlcMeta::Normal;
         inllc_detail::encode(*e, ns);
-        ++llc.cohDataWrites; // data-array write to restore the bits
+        llc.noteCohDataWrite(); // data-array write to restore the bits
         return;
     }
     panic_if(!ns.shared(), "notice left in-LLC block exclusively owned");
     e->meta = LlcMeta::CorruptShared;
     inllc_detail::encode(*e, ns);
-    ++llc.cohDataWrites;
+    llc.noteCohDataWrite();
 }
 
 void

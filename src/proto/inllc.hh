@@ -58,6 +58,9 @@ class InLlcTracker : public CoherenceTracker
     bool warmRegister(Addr block, const TrackState &ts,
                       EngineOps &ops) override;
 
+    /** All state lives in per-bank LLC ways: shard-concurrency safe. */
+    bool shardSafe() const override { return true; }
+
   private:
     const SystemConfig &cfg;
     Llc &llc;
@@ -80,6 +83,9 @@ class TagExtendedTracker : public CoherenceTracker
 
     bool warmRegister(Addr block, const TrackState &ts,
                       EngineOps &ops) override;
+
+    /** All state lives in per-bank LLC ways: shard-concurrency safe. */
+    bool shardSafe() const override { return true; }
 
   private:
     void store(Addr block, const TrackState &ns, EngineOps &ops);

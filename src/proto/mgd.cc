@@ -114,7 +114,7 @@ MgdTracker::handleVictim(const MgdEntry &victim, EngineOps &ops)
         const Addr base = region * regionBlocks;
         for (unsigned i = 0; i < regionBlocks; ++i) {
             const Addr b = base + i;
-            if (privs[victim.owner].present(b)) {
+            if (ops.privPresent(victim.owner, b)) {
                 ops.backInvalidate(
                     b, TrackState::makeExclusive(victim.owner));
             }
@@ -205,7 +205,7 @@ MgdTracker::splitRegion(Addr region, CoreId owner, Addr except,
     const Addr base = region * regionBlocks;
     for (unsigned i = 0; i < regionBlocks; ++i) {
         const Addr b = base + i;
-        if (b == except || !privs[owner].present(b))
+        if (b == except || !ops.privPresent(owner, b))
             continue;
         storeBlock(b, TrackState::makeExclusive(owner), ops);
     }

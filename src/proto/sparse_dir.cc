@@ -18,6 +18,7 @@ SparseDirTracker::SparseDirTracker(const SystemConfig &c)
     slices.reserve(banks);
     for (unsigned b = 0; b < banks; ++b)
         slices.emplace_back(sets, ways, ReplPolicy::Nru, c.seed + 50 + b);
+    sliceAllocs.resize(banks);
 }
 
 TrackerView
@@ -49,7 +50,7 @@ SparseDirTracker::store(Addr block, const TrackState &ns, EngineOps &ops)
         if (victim.valid)
             ops.backInvalidate(victim.tag, victim.state());
         arr.install(set, vw, block);
-        ++allocs;
+        ++sliceAllocs[block % banks];
         w = static_cast<int>(vw);
     }
     SparseDirEntry &e = arr.way(set, static_cast<unsigned>(w));
@@ -153,7 +154,9 @@ SparseDirTracker::saveState(ckpt::Writer &w) const
             e.saveState(wr);
         });
     }
-    allocs.saveState(w);
+    // Stream layout unchanged from the single-counter era: the slices'
+    // sum is what dump() reports and what a restore needs.
+    w.u64(dirAllocs());
 }
 
 void
@@ -164,7 +167,9 @@ SparseDirTracker::loadState(ckpt::Reader &r)
             e.loadState(rd);
         });
     }
-    allocs.loadState(r);
+    for (Scalar &s : sliceAllocs)
+        s.reset();
+    sliceAllocs[0] += r.u64();
 }
 
 std::string

@@ -85,8 +85,28 @@ class SparseDirTracker : public CoherenceTracker
     std::uint64_t trackerSramBits() const override;
     std::string name() const override;
 
-    Counter dirAllocs() const override { return allocs.value(); }
-    void resetStats() override { allocs.reset(); }
+    Counter
+    dirAllocs() const override
+    {
+        Counter total = 0;
+        for (const Scalar &s : sliceAllocs)
+            total += s.value();
+        return total;
+    }
+
+    void
+    resetStats() override
+    {
+        for (Scalar &s : sliceAllocs)
+            s.reset();
+    }
+
+    /**
+     * All state (slices, alloc counters) is indexed by `block % banks`
+     * with no cross-slice structures: safe for concurrent shard
+     * engines holding distinct home locks.
+     */
+    bool shardSafe() const override { return true; }
 
     bool debugHasDirEntry(Addr block) override;
     bool debugForgeState(Addr block, const TrackState &ts) override;
@@ -107,7 +127,8 @@ class SparseDirTracker : public CoherenceTracker
     std::uint64_t sets;
     unsigned ways;
     std::vector<CacheArray<SparseDirEntry>> slices;
-    Scalar allocs;
+    /** Allocation counters, one per slice (see shardSafe()). */
+    std::vector<Scalar> sliceAllocs;
 };
 
 } // namespace tinydir

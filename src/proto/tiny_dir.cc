@@ -192,7 +192,7 @@ TinyDirTracker::reconstruct(Addr block, EngineOps &ops)
     de->sharers.clear();
     de->strac = 0;
     de->oac = 0;
-    ++llc.cohDataWrites;
+    llc.noteCohDataWrite();
 }
 
 void
@@ -214,7 +214,7 @@ TinyDirTracker::transferOut(const TinyEntry &victim, EngineOps &ops)
         inllc_detail::encode(*de, ts);
         de->strac = victim.strac;
         de->oac = victim.oac;
-        ++llc.cohDataWrites;
+        llc.noteCohDataWrite();
         return;
     }
     // Rare: the data block is no longer in the LLC (Section IV).
@@ -267,7 +267,7 @@ TinyDirTracker::trySpill(Addr block, const TrackState &ns,
     inllc_detail::encode(*eb, ns);
     eb->strac = strac;
     eb->oac = oac;
-    ++llc.cohDataWrites;
+    llc.noteCohDataWrite();
     // Ordering rule: E_B to MRU first, then B.
     llc.touchEntry(loc, eb);
     llc.touchEntry(loc, de);
@@ -370,7 +370,7 @@ TinyDirTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
             inllc_detail::encode(*sp, ns);
             sp->strac = strac;
             sp->oac = oac;
-            ++llc.cohDataWrites;
+            llc.noteCohDataWrite();
         } else {
             // Read-exclusive/upgrade: E_B is invalidated and the state
             // moves to B, which becomes corrupted exclusive (IV-B1).
@@ -381,7 +381,7 @@ TinyDirTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
             inllc_detail::encode(*de, ns);
             de->strac = strac;
             de->oac = oac;
-            ++llc.cohDataWrites;
+            llc.noteCohDataWrite();
         }
         return;
     }
@@ -410,7 +410,7 @@ TinyDirTracker::update(Addr block, const TrackState &ns, const ReqCtx &ctx,
     inllc_detail::encode(*de, ns);
     de->strac = strac;
     de->oac = oac;
-    ++llc.cohDataWrites;
+    llc.noteCohDataWrite();
 }
 
 void
@@ -434,7 +434,7 @@ TinyDirTracker::evictionUpdate(Addr block, const TrackState &ns,
         } else {
             panic_if(!ns.shared(), "spilled entry left non-shared");
             inllc_detail::encode(*sp, ns);
-            ++llc.cohDataWrites;
+            llc.noteCohDataWrite();
         }
         return;
     }
@@ -450,13 +450,13 @@ TinyDirTracker::evictionUpdate(Addr block, const TrackState &ns,
         de->sharers.clear();
         de->strac = 0;
         de->oac = 0;
-        ++llc.cohDataWrites;
+        llc.noteCohDataWrite();
         return;
     }
     panic_if(!ns.shared(), "notice left corrupted block exclusive");
     de->meta = LlcMeta::CorruptShared;
     inllc_detail::encode(*de, ns);
-    ++llc.cohDataWrites;
+    llc.noteCohDataWrite();
 }
 
 void
@@ -479,7 +479,7 @@ TinyDirTracker::onLlcSpillVictim(const LlcEntry &victim, EngineOps &ops)
         inllc_detail::encode(*de, ts);
         de->strac = victim.strac;
         de->oac = victim.oac;
-        ++llc.cohDataWrites;
+        llc.noteCohDataWrite();
         return;
     }
     ops.backInvalidate(victim.tag, ts);

@@ -82,6 +82,15 @@ class EngineOps
     virtual Cycle now() const = 0;
 
     /**
+     * Probe core @p c's private hierarchy for @p block under the
+     * engine's private-cache locking discipline. Trackers must use
+     * this instead of touching the hierarchies directly: in parallel
+     * runs a concurrent worker may be mutating them under the per-core
+     * lock the engine holds here.
+     */
+    virtual bool privPresent(CoreId c, Addr block) = 0;
+
+    /**
      * A tracker dispatched an LLC data victim itself (spill-allocation
      * evictions, which bypass the engine's processVictim). The engine
      * relays this to the installed AccessObserver so the differential
@@ -182,6 +191,17 @@ class CoherenceTracker
      * requested block, and may even be the requester itself.
      */
     virtual bool coarseGrain() const { return false; }
+
+    /**
+     * True when the tracker's state is sliced by LLC bank (`block %
+     * banks`) with no cross-slice structures, so concurrent shard
+     * engines holding distinct home locks never touch the same
+     * tracker state. Trackers returning false (tiny directory's
+     * global gNRU clock and region structures, MgD's region map,
+     * Stash) are serialized behind a single home lock by the parallel
+     * driver — hits still run concurrently, home transactions do not.
+     */
+    virtual bool shardSafe() const { return false; }
 
     // -- verification / fault-injection hooks (debug only) --------------
     // Used by verify/verifier.hh (residence mutual-exclusion checks)

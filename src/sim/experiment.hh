@@ -53,6 +53,23 @@ struct RunOut
      */
     Counter resumedAt = 0;
     StatsDump stats;
+
+    // -- parallel-engine telemetry (sim/shard.hh) -----------------------
+    // Host-side execution facts, deliberately NOT part of stats:
+    // TINYDIR_JSON output must be identical across thread counts.
+
+    /** Worker threads the run actually used (1 = serial driver). */
+    unsigned simThreads = 1;
+    /** Relaxed-epoch barriers crossed (0 in serial/exact runs). */
+    Counter epochs = 0;
+    /** Largest (issue - epoch start) observed; < epoch by design. */
+    Cycle maxObservedSkew = 0;
+    /** Eviction notices routed through cross-shard mailboxes. */
+    Counter crossShardNotices = 0;
+    /** Requests softened by the relaxed protocol (skew races). */
+    Counter softenedRequests = 0;
+    /** Stale eviction notices dropped by the relaxed protocol. */
+    Counter staleNotices = 0;
 };
 
 /**
@@ -92,6 +109,22 @@ struct RunControls
      * to cut a run at an exact boundary when generating checkpoints.
      */
     Counter stopAfterAccesses = 0;
+
+    // -- parallel engine (sim/shard.hh) ---------------------------------
+    /**
+     * Simulation worker threads for ONE run (distinct from
+     * BenchScale::jobs, which parallelizes across independent runs).
+     * 1 = the serial driver.
+     */
+    unsigned simThreads = 1;
+    /**
+     * Relaxed-lockstep epoch window in cycles; 0 = exact lockstep
+     * (bit-identical to serial for every tracker). Positive values
+     * trade exactness for speed with divergence bounded by the skew
+     * window; periodic verification is then skipped with a warning
+     * (the invariants legitimately wobble within an epoch).
+     */
+    Cycle simEpoch = 0;
 
     bool any() const { return verifyPeriod > 0 || timeoutSeconds > 0; }
 };
@@ -154,9 +187,12 @@ struct BenchScale
  * Parse --full / --quick / --cores=N / --accesses=N / --warmup=N /
  * --jobs=N / --app=NAME (repeatable) / --strict / --verify=N /
  * --timeout=N / --checkpoint=PATH / --checkpoint-every=N /
- * --resume=PATH / --warmup-ff[=DIR] plus the TINYDIR_FULL /
- * TINYDIR_QUICK / TINYDIR_JOBS / TINYDIR_STRICT / TINYDIR_VERIFY /
- * TINYDIR_TIMEOUT / TINYDIR_WARMUP_FF environment variables. Also
+ * --resume=PATH / --warmup-ff[=DIR] / --threads=N (per-run simulation
+ * worker threads) / --epoch=N (relaxed-lockstep window in cycles,
+ * 0 = exact) plus the TINYDIR_FULL / TINYDIR_QUICK / TINYDIR_JOBS /
+ * TINYDIR_STRICT / TINYDIR_VERIFY / TINYDIR_TIMEOUT /
+ * TINYDIR_WARMUP_FF / TINYDIR_THREADS / TINYDIR_EPOCH environment
+ * variables. Also
  * installs the SIGINT/SIGTERM handlers (ckpt/ckpt.hh) so interrupted
  * grids flush a final checkpoint and their partial results.
  *

@@ -1,0 +1,916 @@
+/**
+ * @file
+ * ParallelDriver implementation: the exact-lockstep baton loop and the
+ * relaxed-epoch worker pool described in shard.hh.
+ *
+ * Both modes route every access through System::accessFlow with an
+ * execution context that supplies real locks and shard routing, so the
+ * MESI flow is literally the serial one. The difference is purely in
+ * scheduling:
+ *
+ *  - exact: one global issue wheel, one baton mutex, full serial
+ *    bookkeeping per access. Identical (cycle, core) retire order to
+ *    the serial driver, hence bit-identical stats and checkpoints.
+ *
+ *  - relaxed: per-worker issue wheels over contiguous core ranges;
+ *    workers drain their wheels up to the epoch edge, then meet at a
+ *    barrier where the LAST arriver (the leader) drains the cross-
+ *    shard notice mailboxes in deterministic (receiver, sender) order,
+ *    folds shard statistics, and services warmup/hook/checkpoint/
+ *    timeout/interrupt duties before opening the next window.
+ *
+ * Fold discipline: sys.engine stays the canonical statistics and
+ * busy-window holder. Every barrier (and every exact-mode service
+ * point) absorbs the shard engines' statistic deltas into it; busy
+ * windows are folded only around checkpoints and at the end of the
+ * run, because moving them is what makes saved state independent of
+ * the thread count (the serialized engine section then matches a
+ * serial run byte for byte in exact mode).
+ */
+
+#include "sim/shard.hh"
+
+#include <chrono>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "ckpt/ckpt.hh"
+#include "common/log.hh"
+#include "common/sim_error.hh"
+#include "common/time_wheel.hh"
+
+namespace tinydir
+{
+
+namespace
+{
+
+/** Sentinel issue time of an exhausted stream (same as sim/driver.cc). */
+constexpr Cycle idle = ~Cycle(0);
+
+/**
+ * Reusable barrier whose last arriver runs a leader function under the
+ * barrier mutex before releasing the generation. The mutex acquire/
+ * release pairs give every worker a happens-before edge over whatever
+ * the leader (and every other worker, transitively through earlier
+ * generations) wrote — which is what lets the leader read worker-
+ * published progress, and workers read leader-published epoch state,
+ * through plain non-atomic fields.
+ */
+class EpochBarrier
+{
+  public:
+    explicit EpochBarrier(unsigned n) : total(n) {}
+
+    template <typename Fn>
+    void
+    arrive(Fn &&leader)
+    {
+        std::unique_lock<std::mutex> lk(mu);
+        if (++arrived == total) {
+            leader();
+            arrived = 0;
+            ++generation;
+            cv.notify_all();
+        } else {
+            const std::uint64_t gen = generation;
+            cv.wait(lk, [&] { return generation != gen; });
+        }
+    }
+
+  private:
+    std::mutex mu;
+    std::condition_variable cv;
+    const unsigned total;
+    unsigned arrived = 0;
+    std::uint64_t generation = 0;
+};
+
+/** Per-worker mutable state, padded so workers never share a line. */
+struct alignas(64) WorkerSlot
+{
+    CoreId coreBegin = 0;
+    CoreId coreEnd = 0;
+    /** Issue wheel over this worker's cores (relaxed mode only). */
+    TimeWheel<CoreId> wheel;
+    /** Accesses this worker retired so far. */
+    Counter retired = 0;
+    /** Streams of this worker's cores that are still live. */
+    unsigned live = 0;
+    /** Published before each barrier: earliest pending issue (idle
+     *  when none), and the largest (issue - epoch start) seen. */
+    Cycle earliest = idle;
+    Cycle maxSkew = 0;
+    /** Mailbox telemetry, accumulated from the execution context. */
+    Counter crossNotices = 0;
+    Counter fallbacks = 0;
+};
+
+/** Everything the workers and the leader share. */
+struct Runtime
+{
+    System &sys;
+    unsigned threads;
+    unsigned shards;
+
+    std::vector<std::unique_ptr<Engine>> eng;
+    std::vector<std::mutex> homeMu;
+    std::unique_ptr<std::mutex[]> privMu;
+    std::mutex dramMu;
+    std::mutex llcStatsMu;
+    /** Exact mode: the one-access-at-a-time global baton. */
+    std::mutex batonMu;
+
+    /** Per-(sender, receiver) notice rings; index src*threads + dst. */
+    std::vector<NoticeMailbox> mbx;
+
+    std::vector<WorkerSlot> slots;
+
+    /** Replay position (driver.cc layout; exact mode mutates it under
+     *  the baton, relaxed workers each own their cores' entries). */
+    std::vector<Cycle> issues;
+    std::vector<TraceAccess> pending;
+    Counter accesses = 0;
+    unsigned live = 0;
+
+    /** First error wins; abort makes everyone drain to the exit. */
+    std::mutex errMu;
+    std::exception_ptr err;
+    std::atomic<bool> abort{false};
+
+    /** Leader/baton-published run control (read after barrier/baton). */
+    bool finished = false;
+    bool finalizeAtEnd = true;
+    /** Relaxed mode: the open epoch window [epochStart, epochEnd). */
+    Cycle epochStart = 0;
+    Cycle epochEnd = 0;
+
+    Runtime(System &s, unsigned t, unsigned sh)
+        : sys(s), threads(t), shards(sh), homeMu(sh),
+          privMu(new std::mutex[s.cfg.numCores]), slots(t),
+          issues(s.cfg.numCores, idle), pending(s.cfg.numCores)
+    {
+    }
+
+    unsigned shardOf(Addr block) const
+    {
+        return sys.llc.bankOf(block) % shards;
+    }
+
+    unsigned workerOfShard(unsigned s) const { return s % threads; }
+
+    Engine &engineOf(Addr block) { return *eng[shardOf(block)]; }
+
+    NoticeMailbox &mailbox(unsigned src, unsigned dst)
+    {
+        return mbx[src * threads + dst];
+    }
+
+    void
+    storeError(std::exception_ptr e)
+    {
+        std::lock_guard<std::mutex> g(errMu);
+        if (!err)
+            err = e;
+        abort.store(true, std::memory_order_release);
+    }
+
+    // -- fold / unfold -----------------------------------------------------
+
+    /** Absorb every shard engine's statistic deltas into sys.engine. */
+    void
+    foldStats()
+    {
+        for (auto &e : eng)
+            sys.engine.absorbStatsFrom(*e);
+    }
+
+    /**
+     * Move every busy window into sys.engine and advance every expiry
+     * wheel to the global maximum clock, reaping entries the serial
+     * engine would have reaped by now. Returns that clock so the
+     * inverse can restore it. Quiescence required (barrier or baton).
+     */
+    Cycle
+    foldBusy()
+    {
+        Cycle tmax = sys.engine.expiryClock();
+        for (auto &e : eng)
+            tmax = std::max(tmax, e->expiryClock());
+        sys.engine.drainExpiredTo(tmax);
+        for (auto &e : eng) {
+            e->drainExpiredTo(tmax);
+            sys.engine.absorbBusyFrom(*e);
+        }
+        return tmax;
+    }
+
+    /**
+     * Inverse of foldBusy after a mid-run checkpoint: hand the windows
+     * back to their home shards, then re-advance every wheel to @p
+     * tmax — absorb/redistribute rebuild the wheels from scratch
+     * (clock zero), and a later fold must not see a clock regression
+     * (the saved wheel clock would diverge from a serial run's).
+     */
+    void
+    unfoldBusy(Cycle tmax)
+    {
+        sys.engine.redistributeBusy(
+            [&](Addr blk) -> Engine & { return engineOf(blk); });
+        sys.engine.drainExpiredTo(tmax);
+        for (auto &e : eng)
+            e->drainExpiredTo(tmax);
+    }
+
+    /** Initial scatter (fresh run or checkpoint resume). */
+    void
+    scatterInitial()
+    {
+        const Cycle t0 = sys.engine.expiryClock();
+        unfoldBusy(t0);
+    }
+};
+
+/** Install the LLC statistics mutex for the run; always restore. */
+class LlcStatsLockGuard
+{
+  public:
+    LlcStatsLockGuard(Llc &l, std::mutex &mu) : llc(l)
+    {
+        llc.setStatsMutex(&mu);
+    }
+    ~LlcStatsLockGuard() { llc.setStatsMutex(nullptr); }
+
+  private:
+    Llc &llc;
+};
+
+/**
+ * Exact-lockstep execution context. All execution is serialized by the
+ * baton, but the locks stay in place so the code path (and therefore
+ * the locking bugs) are the same ones the relaxed mode exercises. The
+ * home lock is held as a member unique_lock: a protocol panic between
+ * request() and finishRequest() then releases it on unwind instead of
+ * deadlocking the other workers on their way to the exit.
+ */
+struct ExactExec
+{
+    Runtime &rt;
+    NoticeVec buf;
+    std::unique_lock<std::mutex> homeLk;
+    std::unique_lock<std::mutex> privLk;
+    static constexpr bool debugTxn = true;
+
+    explicit ExactExec(Runtime &r) : rt(r) {}
+
+    NoticeVec &scratch() { return buf; }
+
+    void
+    lockPriv(CoreId c)
+    {
+        privLk = std::unique_lock<std::mutex>(rt.privMu[c]);
+    }
+
+    void unlockPriv(CoreId) { privLk.unlock(); }
+
+    RequestResult
+    request(CoreId c, Addr block, ReqType type, Cycle at)
+    {
+        const unsigned s = rt.shardOf(block);
+        homeLk = std::unique_lock<std::mutex>(rt.homeMu[s]);
+        return rt.eng[s]->request(c, block, type, at);
+    }
+
+    void finishRequest(Addr) { homeLk.unlock(); }
+
+    void
+    notice(CoreId c, Addr block, MesiState st, Cycle t)
+    {
+        rt.sys.noteNoticeDebug(c, block, st, t);
+        const unsigned s = rt.shardOf(block);
+        std::lock_guard<std::mutex> g(rt.homeMu[s]);
+        rt.eng[s]->evictionNotice(c, block, st, t);
+    }
+};
+
+/**
+ * Relaxed-epoch execution context for worker @p self. Same-shard
+ * eviction notices are delivered inline under the home lock; remote
+ * ones ride the (self, owner) mailbox and are drained by the barrier
+ * leader — unless the ring is full, in which case the sender delivers
+ * inline (out of deterministic drain order, but counted, and legal:
+ * notices are dispatched holding no other lock).
+ */
+struct RelaxedExec
+{
+    Runtime &rt;
+    unsigned self;
+    Counter crossNotices = 0;
+    Counter fallbacks = 0;
+    NoticeVec buf;
+    std::unique_lock<std::mutex> homeLk;
+    std::unique_lock<std::mutex> privLk;
+    static constexpr bool debugTxn = false;
+
+    RelaxedExec(Runtime &r, unsigned w) : rt(r), self(w) {}
+
+    NoticeVec &scratch() { return buf; }
+
+    void
+    lockPriv(CoreId c)
+    {
+        privLk = std::unique_lock<std::mutex>(rt.privMu[c]);
+    }
+
+    void unlockPriv(CoreId) { privLk.unlock(); }
+
+    RequestResult
+    request(CoreId c, Addr block, ReqType type, Cycle at)
+    {
+        const unsigned s = rt.shardOf(block);
+        homeLk = std::unique_lock<std::mutex>(rt.homeMu[s]);
+        return rt.eng[s]->request(c, block, type, at);
+    }
+
+    void finishRequest(Addr) { homeLk.unlock(); }
+
+    void
+    notice(CoreId c, Addr block, MesiState st, Cycle t)
+    {
+        const unsigned s = rt.shardOf(block);
+        const unsigned owner = rt.workerOfShard(s);
+        if (owner != self) {
+            ++crossNotices;
+            if (rt.mailbox(self, owner).push({c, block, st, t}))
+                return;
+            ++fallbacks;
+        }
+        std::lock_guard<std::mutex> g(rt.homeMu[s]);
+        rt.eng[s]->evictionNotice(c, block, st, t);
+    }
+};
+
+/**
+ * The exact-lockstep loop body: one access of serial-driver
+ * bookkeeping, executed with the baton held. Mirrors sim/driver.cc
+ * line for line (minus the host-prefetch batching, which never
+ * affected retire order) so the access count at which every side
+ * effect fires — warmup reset, hook, timeout poll, checkpoint — is
+ * the serial one exactly.
+ */
+class ExactLoop
+{
+  public:
+    ExactLoop(Runtime &r, ParallelDriver &d,
+              std::vector<std::unique_ptr<AccessStream>> &s,
+              std::chrono::steady_clock::time_point start)
+        : rt(r), drv(d), streams(s), started(start)
+    {
+        wheel.reserve(rt.sys.cfg.numCores);
+        for (CoreId c = 0; c < rt.sys.cfg.numCores; ++c) {
+            if (rt.issues[c] != idle)
+                wheel.insert(rt.issues[c], c);
+        }
+    }
+
+    ExactLoop(const ExactLoop &) = delete;
+    ExactLoop &operator=(const ExactLoop &) = delete;
+
+    /** Run one worker until the run finishes or aborts. */
+    void
+    work()
+    {
+        while (true) {
+            std::lock_guard<std::mutex> baton(rt.batonMu);
+            if (rt.finished || rt.abort.load(std::memory_order_acquire))
+                return;
+            step();
+        }
+    }
+
+  private:
+    DriverProgress
+    progressNow() const
+    {
+        DriverProgress p;
+        p.accesses = rt.accesses;
+        p.live = rt.live;
+        p.issues = rt.issues;
+        p.pending = rt.pending;
+        return p;
+    }
+
+    void
+    checkpoint()
+    {
+        rt.foldStats();
+        const Cycle tmax = rt.foldBusy();
+        drv.checkpointSink(rt.sys, streams, progressNow());
+        rt.unfoldBusy(tmax);
+    }
+
+    void
+    step()
+    {
+        if (rt.live == 0) {
+            rt.finished = true;
+            return;
+        }
+        TimeWheel<CoreId>::Event ev;
+        const bool got = wheel.pop(ev);
+        panic_if(!got, "issue wheel empty with live streams");
+        const CoreId best = ev.payload;
+        const Cycle best_issue = rt.issues[best];
+        const Cycle done =
+            rt.sys.accessFlow(ex, best, rt.pending[best], best_issue);
+        rt.sys.cores[best].clock = done;
+        ++rt.accesses;
+        TraceAccess acc;
+        if (streams[best]->next(acc)) {
+            rt.issues[best] = done + acc.gap;
+            rt.pending[best] = acc;
+            wheel.insert(rt.issues[best], best);
+        } else {
+            rt.issues[best] = idle;
+            --rt.live;
+        }
+        if (drv.warmupAccesses && rt.accesses == drv.warmupAccesses) {
+            rt.foldStats();
+            rt.sys.resetStats();
+        }
+        if (drv.hook && drv.hookPeriod &&
+            rt.accesses % drv.hookPeriod == 0) {
+            rt.foldStats();
+            drv.hook(rt.sys, rt.accesses);
+        }
+        if (rt.accesses % ParallelDriver::timeoutCheckPeriod == 0) {
+            if (drv.timeoutSeconds > 0.0) {
+                // TDLINT: allow(parallel): host watchdog only.
+                const auto hostNow = std::chrono::steady_clock::now();
+                const std::chrono::duration<double> elapsed =
+                    hostNow - started;
+                if (elapsed.count() > drv.timeoutSeconds) {
+                    std::ostringstream os;
+                    os << "simulation exceeded the "
+                       << drv.timeoutSeconds
+                       << " s wall-clock limit after " << rt.accesses
+                       << " accesses";
+                    throw SimTimeout(os.str(), drv.timeoutSeconds);
+                }
+            }
+            if (ckpt::interruptRequested()) {
+                if (drv.checkpointSink)
+                    checkpoint();
+                std::ostringstream os;
+                os << "interrupted after " << rt.accesses
+                   << " accesses";
+                throw SimInterrupt(os.str());
+            }
+        }
+        if (drv.checkpointEvery && drv.checkpointSink &&
+            rt.accesses % drv.checkpointEvery == 0) {
+            checkpoint();
+        }
+        if (drv.stopAfterAccesses &&
+            rt.accesses >= drv.stopAfterAccesses) {
+            if (drv.checkpointSink)
+                checkpoint();
+            rt.finalizeAtEnd = false;
+            rt.finished = true;
+        }
+        if (rt.live == 0)
+            rt.finished = true;
+    }
+
+    Runtime &rt;
+    ParallelDriver &drv;
+    std::vector<std::unique_ptr<AccessStream>> &streams;
+    /** Issue wheel shared by all workers; only touched under baton. */
+    TimeWheel<CoreId> wheel;
+    /** Reusable execution context; only touched under baton. */
+    ExactExec ex{rt};
+    const std::chrono::steady_clock::time_point started;
+};
+
+/**
+ * The relaxed-epoch machinery: per-worker window loops plus the
+ * barrier leader's bookkeeping. Warmup, hooks and checkpoints fire at
+ * the first barrier at or past their access marks instead of at exact
+ * counts — the overshoot is bounded by one epoch of execution.
+ */
+class RelaxedLoop
+{
+  public:
+    RelaxedLoop(Runtime &r, ParallelDriver &d,
+                std::vector<std::unique_ptr<AccessStream>> &s,
+                std::chrono::steady_clock::time_point start)
+        : rt(r), drv(d), streams(s), barrier(r.threads), started(start)
+    {
+        // Marks: the next access count at which each periodic duty is
+        // due. A resumed run re-derives them from the restored count.
+        warmupDone =
+            !drv.warmupAccesses || rt.accesses >= drv.warmupAccesses;
+        nextHook = nextMark(drv.hookPeriod);
+        nextCkpt = nextMark(drv.checkpointEvery);
+        rt.epochStart = initialEpochStart();
+        rt.epochEnd = rt.epochStart + drv.epochCycles;
+    }
+
+    void
+    work(unsigned w)
+    {
+        WorkerSlot &slot = rt.slots[w];
+        RelaxedExec ex(rt, w);
+        Cycle winStart = rt.epochStart;
+        Cycle winEnd = rt.epochEnd;
+        while (true) {
+            if (!rt.abort.load(std::memory_order_acquire)) {
+                try {
+                    window(ex, slot, winStart, winEnd);
+                } catch (...) {
+                    rt.storeError(std::current_exception());
+                }
+            }
+            slot.earliest = slot.wheel.earliestCycle();
+            slot.crossNotices = ex.crossNotices;
+            slot.fallbacks = ex.fallbacks;
+            barrier.arrive([this] { lead(); });
+            if (rt.finished)
+                return;
+            winStart = rt.epochStart;
+            winEnd = rt.epochEnd;
+        }
+    }
+
+  private:
+    Counter
+    nextMark(Counter period) const
+    {
+        if (!period)
+            return 0;
+        return (rt.accesses / period + 1) * period;
+    }
+
+    /** First epoch boundary at or below the earliest pending issue. */
+    Cycle
+    initialEpochStart() const
+    {
+        Cycle min_issue = idle;
+        for (Cycle c : rt.issues)
+            min_issue = std::min(min_issue, c);
+        if (min_issue == idle)
+            return 0;
+        return (min_issue / drv.epochCycles) * drv.epochCycles;
+    }
+
+    /**
+     * Drain the worker's issue wheel up to the epoch edge. The abort
+     * flag is polled every 1024 retires so a peer's failure (or a
+     * leader-detected interrupt) stops a long window promptly.
+     */
+    void
+    window(RelaxedExec &ex, WorkerSlot &slot, Cycle winStart,
+           Cycle winEnd)
+    {
+        TimeWheel<CoreId>::Event ev;
+        Counter n = 0;
+        while (slot.wheel.earliestCycle() < winEnd) {
+            slot.wheel.pop(ev);
+            const CoreId c = ev.payload;
+            const Cycle issue = rt.issues[c];
+            slot.maxSkew = std::max(slot.maxSkew, issue - winStart);
+            const Cycle done =
+                rt.sys.accessFlow(ex, c, rt.pending[c], issue);
+            rt.sys.cores[c].clock = done;
+            ++slot.retired;
+            TraceAccess acc;
+            if (streams[c]->next(acc)) {
+                rt.issues[c] = done + acc.gap;
+                rt.pending[c] = acc;
+                slot.wheel.insert(rt.issues[c], c);
+            } else {
+                rt.issues[c] = idle;
+                --slot.live;
+            }
+            if ((++n & 1023) == 0) {
+                if (rt.abort.load(std::memory_order_acquire))
+                    break;
+                // The count in the message is as of the last barrier
+                // (reading peers' live counters here would race).
+                if (drv.timeoutSeconds > 0.0)
+                    checkTimeout(rt.accesses);
+            }
+        }
+    }
+
+    /** Throw SimTimeout when the watchdog deadline has passed. */
+    void
+    checkTimeout(Counter accessesSoFar) const
+    {
+        // TDLINT: allow(parallel): host watchdog only.
+        const auto hostNow = std::chrono::steady_clock::now();
+        const std::chrono::duration<double> elapsed = hostNow - started;
+        if (elapsed.count() <= drv.timeoutSeconds)
+            return;
+        std::ostringstream os;
+        os << "simulation exceeded the " << drv.timeoutSeconds
+           << " s wall-clock limit after " << accessesSoFar
+           << " accesses";
+        throw SimTimeout(os.str(), drv.timeoutSeconds);
+    }
+
+    /**
+     * Deliver every mailboxed notice in (receiver, sender) order. All
+     * workers are parked at the barrier, so the shard engines are
+     * quiescent and no home lock is needed; the barrier mutex carries
+     * the memory ordering.
+     */
+    void
+    drainMailboxes()
+    {
+        ShardNotice n;
+        for (unsigned dst = 0; dst < rt.threads; ++dst) {
+            for (unsigned src = 0; src < rt.threads; ++src) {
+                NoticeMailbox &m = rt.mailbox(src, dst);
+                while (m.pop(n)) {
+                    rt.engineOf(n.block).evictionNotice(
+                        n.core, n.block, n.state, n.when);
+                }
+            }
+        }
+    }
+
+    void
+    checkpoint()
+    {
+        const Cycle tmax = rt.foldBusy();
+        DriverProgress p;
+        p.accesses = rt.accesses;
+        p.live = rt.live;
+        p.issues = rt.issues;
+        p.pending = rt.pending;
+        drv.checkpointSink(rt.sys, streams, p);
+        rt.unfoldBusy(tmax);
+    }
+
+    /** Barrier leader: runs with every worker parked. */
+    void
+    lead()
+    {
+        ++epochs;
+        drainMailboxes();
+        rt.foldStats();
+        rt.accesses = baseAccesses;
+        rt.live = 0;
+        for (const WorkerSlot &s : rt.slots) {
+            rt.accesses += s.retired;
+            rt.live += s.live;
+        }
+
+        if (rt.abort.load(std::memory_order_acquire)) {
+            rt.finished = true;
+            return;
+        }
+        // Epochs with few retires may never hit the workers' polled
+        // timeout check; the barrier backstops it.
+        if (drv.timeoutSeconds > 0.0) {
+            try {
+                checkTimeout(rt.accesses);
+            } catch (...) {
+                rt.storeError(std::current_exception());
+                rt.finished = true;
+                return;
+            }
+        }
+        if (!warmupDone && rt.accesses >= drv.warmupAccesses) {
+            rt.sys.resetStats();
+            warmupDone = true;
+        }
+        if (drv.hook && nextHook && rt.accesses >= nextHook) {
+            drv.hook(rt.sys, rt.accesses);
+            nextHook = nextMark(drv.hookPeriod);
+        }
+        if (ckpt::interruptRequested()) {
+            if (drv.checkpointSink)
+                checkpoint();
+            std::ostringstream os;
+            os << "interrupted after " << rt.accesses << " accesses";
+            rt.storeError(
+                std::make_exception_ptr(SimInterrupt(os.str())));
+            rt.finished = true;
+            return;
+        }
+        if (drv.checkpointEvery && drv.checkpointSink && nextCkpt &&
+            rt.accesses >= nextCkpt) {
+            checkpoint();
+            nextCkpt = nextMark(drv.checkpointEvery);
+        }
+        if (drv.stopAfterAccesses &&
+            rt.accesses >= drv.stopAfterAccesses) {
+            if (drv.checkpointSink)
+                checkpoint();
+            rt.finalizeAtEnd = false;
+            rt.finished = true;
+            return;
+        }
+        Cycle min_issue = idle;
+        for (const WorkerSlot &s : rt.slots)
+            min_issue = std::min(min_issue, s.earliest);
+        if (rt.live == 0 || min_issue == idle) {
+            rt.finished = true;
+            return;
+        }
+        // Skip-ahead: when every stream's next issue is far in the
+        // future (long gaps), jump straight to its epoch instead of
+        // turning empty windows.
+        const Cycle e = drv.epochCycles;
+        rt.epochStart = std::max(rt.epochEnd, (min_issue / e) * e);
+        rt.epochEnd = rt.epochStart + e;
+    }
+
+  public:
+    /** Accesses retired before this run started (checkpoint resume). */
+    Counter baseAccesses = 0;
+    Counter epochs = 0;
+
+  private:
+    Runtime &rt;
+    ParallelDriver &drv;
+    std::vector<std::unique_ptr<AccessStream>> &streams;
+    EpochBarrier barrier;
+    const std::chrono::steady_clock::time_point started;
+    bool warmupDone = true;
+    Counter nextHook = 0;
+    Counter nextCkpt = 0;
+};
+
+} // namespace
+
+RunResult
+ParallelDriver::run(System &sys,
+                    std::vector<std::unique_ptr<AccessStream>> streams,
+                    const DriverProgress *resume)
+{
+    panic_if(streams.size() != sys.cfg.numCores,
+             "stream count != core count");
+    const unsigned t =
+        std::min<unsigned>(std::max(1u, threads), sys.cfg.numCores);
+    if (t <= 1) {
+        // Serial: hand everything to the untouched Driver. The only
+        // drop-off is that telemetry stays empty (no shards).
+        Driver d;
+        d.hook = hook;
+        d.hookPeriod = hookPeriod;
+        d.warmupAccesses = warmupAccesses;
+        d.timeoutSeconds = timeoutSeconds;
+        d.checkpointSink = checkpointSink;
+        d.checkpointEvery = checkpointEvery;
+        d.stopAfterAccesses = stopAfterAccesses;
+        tele = ShardTelemetry{};
+        tele.shards = 1;
+        return d.run(sys, std::move(streams), resume);
+    }
+
+    const bool exact = epochCycles == 0;
+    panic_if(!exact && sys.observerPtr(),
+             "relaxed epochs cannot feed an access observer; "
+             "use --epoch=0 (exact lockstep) for verified runs");
+
+    // Shard count: one home engine per worker when the tracker's
+    // state is bank-sliced; otherwise a single home shard serializes
+    // every home transaction (private-cache hits still run in
+    // parallel) behind one lock.
+    const unsigned sh = sys.tracker->shardSafe()
+        ? std::min(t, sys.llc.numBanks())
+        : 1;
+
+    Runtime rt(sys, t, sh);
+    for (unsigned s = 0; s < sh; ++s) {
+        auto e = std::make_unique<Engine>(sys.cfg, sys.llc, sys.mesh,
+                                          sys.dram, sys.privs);
+        e->setTracker(sys.tracker.get());
+        e->setPrivLocks(rt.privMu.get());
+        e->setDramMutex(&rt.dramMu);
+        if (exact) {
+            e->shareTimeWith(sys.engine);
+            e->setObserver(sys.observerPtr());
+        } else {
+            e->setRelaxed(true);
+        }
+        rt.eng.push_back(std::move(e));
+    }
+    if (!exact)
+        rt.mbx = std::vector<NoticeMailbox>(t * t);
+
+    // Prime the replay position (driver.cc semantics).
+    RunResult res;
+    if (resume) {
+        if (resume->issues.size() != rt.issues.size())
+            throw CheckpointError(
+                "resume progress covers a different core count");
+        rt.issues = resume->issues;
+        rt.pending = resume->pending;
+        rt.live = resume->live;
+        rt.accesses = resume->accesses;
+    } else {
+        for (CoreId c = 0; c < sys.cfg.numCores; ++c) {
+            TraceAccess acc;
+            if (streams[c] && streams[c]->next(acc)) {
+                rt.issues[c] = sys.cores[c].clock + acc.gap;
+                rt.pending[c] = acc;
+                ++rt.live;
+            }
+        }
+    }
+
+    // Contiguous core ranges per worker; relaxed workers also build
+    // their private issue wheels here.
+    const unsigned n = sys.cfg.numCores;
+    for (unsigned w = 0; w < t; ++w) {
+        WorkerSlot &slot = rt.slots[w];
+        slot.coreBegin = static_cast<CoreId>(w * n / t);
+        slot.coreEnd = static_cast<CoreId>((w + 1) * n / t);
+        for (CoreId c = slot.coreBegin; c < slot.coreEnd; ++c) {
+            if (rt.issues[c] != idle) {
+                slot.wheel.insert(rt.issues[c], c);
+                ++slot.live;
+            }
+        }
+    }
+
+    sys.engine.relax = RelaxCounters{};
+    rt.scatterInitial();
+    LlcStatsLockGuard llcGuard(sys.llc, rt.llcStatsMu);
+
+    // TDLINT: allow(parallel): host watchdog; never feeds simulated state.
+    const auto started = std::chrono::steady_clock::now();
+
+    tele = ShardTelemetry{};
+    tele.shards = sh;
+
+    Counter relaxedEpochs = 0;
+    {
+        std::unique_ptr<ExactLoop> exLoop;
+        std::unique_ptr<RelaxedLoop> rxLoop;
+        if (exact) {
+            exLoop =
+                std::make_unique<ExactLoop>(rt, *this, streams, started);
+        } else {
+            rxLoop = std::make_unique<RelaxedLoop>(rt, *this, streams,
+                                                   started);
+            rxLoop->baseAccesses = rt.accesses;
+        }
+        std::vector<std::thread> pool;
+        pool.reserve(t);
+        for (unsigned w = 0; w < t; ++w) {
+            pool.emplace_back([&, w] {
+                if (exact) {
+                    try {
+                        exLoop->work();
+                    } catch (...) {
+                        rt.storeError(std::current_exception());
+                    }
+                } else {
+                    // Relaxed workers catch per-window; work() itself
+                    // must keep arriving at barriers after a failure.
+                    rxLoop->work(w);
+                }
+            });
+        }
+        for (auto &th : pool)
+            th.join();
+        if (rxLoop)
+            relaxedEpochs = rxLoop->epochs;
+    }
+
+    // Quiescent now. Fold everything back so sys.engine holds the
+    // canonical state even when we are about to rethrow (post-mortem
+    // dumps then see a coherent system).
+    rt.foldStats();
+    rt.foldBusy();
+
+    tele.epochs = relaxedEpochs;
+    for (const WorkerSlot &s : rt.slots) {
+        tele.maxObservedSkew = std::max(tele.maxObservedSkew, s.maxSkew);
+        tele.crossShardNotices += s.crossNotices;
+        tele.mailboxFallbacks += s.fallbacks;
+    }
+    tele.staleNotices = sys.engine.relax.staleNotices;
+    tele.softenedRequests = sys.engine.relax.softenedRequests;
+
+    if (rt.err)
+        std::rethrow_exception(rt.err);
+
+    res.accesses = rt.accesses;
+    if (rt.finalizeAtEnd)
+        sys.finalize();
+    res.execCycles = sys.execCycles();
+    return res;
+}
+
+} // namespace tinydir

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Sharded parallel simulation driver.
+ *
+ * The system is partitioned by LLC bank / address home: shard s owns
+ * every block whose home bank satisfies `bank % shards == s`, and one
+ * Engine instance per shard serves its banks' home transactions over
+ * the SAME Llc/Mesh/Dram/private-cache components. Cores are split in
+ * contiguous ranges over a pool of worker threads.
+ *
+ * Two synchronization modes, selected by epochCycles:
+ *
+ *  - epochCycles == 0 (exact lockstep): every worker pulls from ONE
+ *    global issue wheel under a single baton mutex, so accesses retire
+ *    in exactly the serial driver's (cycle, core) order with full
+ *    mutual exclusion. Stats and checkpoint bytes are bit-identical to
+ *    the serial engine by construction, for every tracker. This mode
+ *    buys correctness, not speed.
+ *
+ *  - epochCycles == E > 0 (relaxed lockstep): each worker advances its
+ *    own cores freely within the epoch window [T, T+E) — the maximum
+ *    clock skew between concurrently executing accesses is therefore
+ *    structurally < E — with a barrier at epoch edges. Cross-shard
+ *    eviction notices travel through per-(worker,worker) lock-free
+ *    SPSC mailboxes drained deterministically at the barrier; requests
+ *    to remote homes execute synchronously under the home shard's
+ *    mutex (a request's completion time feeds the issuing core's
+ *    clock, so it cannot be deferred). Protocol races that the skew
+ *    makes possible are softened by the engines (Engine::setRelaxed)
+ *    and counted in the telemetry; stats are approximate with a
+ *    divergence bounded by the skew window.
+ *
+ * Lock order (cycle-free): baton (exact only) -> home-shard mutex ->
+ * per-core private-hierarchy mutex -> DRAM mutex. Eviction notices are
+ * dispatched holding no locks.
+ */
+
+#ifndef TINYDIR_SIM_SHARD_HH
+#define TINYDIR_SIM_SHARD_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "sim/driver.hh"
+
+namespace tinydir
+{
+
+/**
+ * One cross-shard eviction notice in flight between two workers.
+ */
+struct ShardNotice
+{
+    CoreId core = invalidCore;
+    Addr block = 0;
+    MesiState state = MesiState::I;
+    Cycle when = 0;
+};
+
+/**
+ * Single-producer single-consumer lock-free ring carrying cross-shard
+ * eviction notices between one (sender, receiver) worker pair. A full
+ * ring makes push() fail; the sender then processes the notice inline
+ * under the destination home mutex (legal — notices are dispatched
+ * holding no locks) and counts the fallback.
+ */
+class NoticeMailbox
+{
+  public:
+    static constexpr std::size_t capacity = 1024; // power of two
+
+    bool
+    push(const ShardNotice &n)
+    {
+        const std::uint64_t t = tail.load(std::memory_order_relaxed);
+        const std::uint64_t h = head.load(std::memory_order_acquire);
+        if (t - h == capacity)
+            return false;
+        ring[t & (capacity - 1)] = n;
+        tail.store(t + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    pop(ShardNotice &n)
+    {
+        const std::uint64_t h = head.load(std::memory_order_relaxed);
+        const std::uint64_t t = tail.load(std::memory_order_acquire);
+        if (h == t)
+            return false;
+        n = ring[h & (capacity - 1)];
+        head.store(h + 1, std::memory_order_release);
+        return true;
+    }
+
+    bool
+    empty() const
+    {
+        return head.load(std::memory_order_acquire) ==
+            tail.load(std::memory_order_acquire);
+    }
+
+  private:
+    alignas(64) std::atomic<std::uint64_t> head{0};
+    alignas(64) std::atomic<std::uint64_t> tail{0};
+    std::array<ShardNotice, capacity> ring{};
+};
+
+/**
+ * Parallel-run telemetry. Never part of StatsDump or checkpoints: it
+ * describes the host-side execution, not the simulated machine, and
+ * TINYDIR_JSON must stay identical across thread counts.
+ */
+struct ShardTelemetry
+{
+    unsigned shards = 0;        //!< home shards (1 when tracker unsafe)
+    Counter epochs = 0;         //!< barriers crossed (relaxed mode)
+    Cycle maxObservedSkew = 0;  //!< max (issue - epoch start) seen
+    Counter crossShardNotices = 0; //!< notices routed via mailboxes
+    Counter mailboxFallbacks = 0;  //!< ring-full inline deliveries
+    Counter staleNotices = 0;      //!< dropped by relaxed softening
+    Counter softenedRequests = 0;  //!< view mismatches softened
+};
+
+/**
+ * Drop-in parallel counterpart of Driver: same knobs, same RunResult,
+ * same checkpoint sink contract, plus the thread/epoch configuration.
+ * threads == 1 delegates to the serial Driver outright.
+ */
+class ParallelDriver
+{
+  public:
+    /** Periodic hook; exact mode honors the serial cadence exactly,
+     *  relaxed mode calls it at the first barrier past each multiple. */
+    std::function<void(System &, Counter)> hook;
+    Counter hookPeriod = 0;
+
+    Counter warmupAccesses = 0;
+
+    double timeoutSeconds = 0.0;
+    static constexpr Counter timeoutCheckPeriod = 4096;
+
+    std::function<void(System &,
+                       const std::vector<std::unique_ptr<AccessStream>> &,
+                       const DriverProgress &)>
+        checkpointSink;
+    Counter checkpointEvery = 0;
+
+    /** Exact mode stops at the exact count; relaxed mode stops at the
+     *  first barrier past it (the overshoot stays within one epoch). */
+    Counter stopAfterAccesses = 0;
+
+    /** Worker threads (1 = serial Driver). */
+    unsigned threads = 1;
+
+    /** Epoch window in cycles; 0 = exact lockstep. */
+    Cycle epochCycles = 0;
+
+    /**
+     * Replay @p streams against @p sys on the worker pool. Shard state
+     * is folded back into the system engine before every checkpoint
+     * and at the end of the run, so serialized state always has the
+     * serial single-engine layout (thread-count-independent restores).
+     */
+    RunResult run(System &sys,
+                  std::vector<std::unique_ptr<AccessStream>> streams,
+                  const DriverProgress *resume = nullptr);
+
+    /** Telemetry of the last run() call. */
+    const ShardTelemetry &telemetry() const { return tele; }
+
+  private:
+    ShardTelemetry tele;
+};
+
+} // namespace tinydir
+
+#endif // TINYDIR_SIM_SHARD_HH

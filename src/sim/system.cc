@@ -78,120 +78,49 @@ System::recentTxns() const
     return out;
 }
 
-void
-System::processNotices(CoreId c, const NoticeVec &notices, Cycle t)
+namespace
 {
-    for (const auto &n : notices) {
-        noteTxn({t, c, n.block, ReqType::GetS, true, n.state});
-        if (observer)
-            observer->onNotice(c, n.block, n.state);
-        engine.evictionNotice(c, n.block, n.state, t);
+
+/**
+ * Single-threaded execution context: no locks, the system engine,
+ * direct notice delivery. accessFlow instantiated with this context is
+ * the exact flow executeAccess has always run.
+ */
+struct SerialExec
+{
+    System &sys;
+    NoticeVec &buf;
+
+    static constexpr bool debugTxn = true;
+
+    NoticeVec &scratch() { return buf; }
+    void lockPriv(CoreId) {}
+    void unlockPriv(CoreId) {}
+
+    RequestResult
+    request(CoreId c, Addr block, ReqType type, Cycle at)
+    {
+        return sys.engine.request(c, block, type, at);
     }
-}
+
+    void finishRequest(Addr) {}
+
+    void
+    notice(CoreId c, Addr block, MesiState st, Cycle t)
+    {
+        sys.noteNoticeDebug(c, block, st, t);
+        sys.engine.evictionNotice(c, block, st, t);
+    }
+};
+
+} // namespace
 
 // TDLINT: hot
 Cycle
 System::executeAccess(CoreId c, const TraceAccess &acc, Cycle issue)
 {
-    panic_if(c >= cfg.numCores, "bad core id");
-    const Addr block = blockNumber(acc.addr);
-    Core &core = cores[c];
-    switch (acc.type) {
-      case AccessType::Load: ++core.loads; break;
-      case AccessType::Store: ++core.stores; break;
-      case AccessType::Ifetch: ++core.ifetches; break;
-    }
-
-    noticeScratch.clear();
-    auto ar = privs[c].access(block, acc.type, noticeScratch);
-    if (!noticeScratch.empty())
-        processNotices(c, noticeScratch, issue);
-
-    // Observer emissions: completions of purely local accesses and of
-    // home transactions. Cold lambdas; with no observer installed the
-    // only cost on the access path is the null checks below.
-    auto emitLocal = [&](MesiState st, Cycle done) {
-        AccessObservation o;
-        o.core = c;
-        o.block = block;
-        o.type = acc.type;
-        o.privPresent = true;
-        o.privState = st;
-        o.issue = issue;
-        o.done = done;
-        observer->onAccess(o);
-    };
-    auto emitReq = [&](bool present, MesiState st, ReqType rt,
-                       const RequestResult &rr) {
-        AccessObservation o;
-        o.core = c;
-        o.block = block;
-        o.type = acc.type;
-        o.privPresent = present;
-        o.privState = st;
-        o.requested = true;
-        o.req = rt;
-        o.grant = rr.grant;
-        o.src = rr.src;
-        o.pre = rr.pre;
-        o.issue = issue;
-        o.done = rr.done;
-        observer->onAccess(o);
-    };
-
-    if (ar.present) {
-        if (acc.type == AccessType::Store) {
-            switch (ar.state) {
-              case MesiState::M:
-                ++core.privHits;
-                if (observer)
-                    emitLocal(MesiState::M, issue + ar.latency);
-                return issue + ar.latency;
-              case MesiState::E:
-                // Silent E->M upgrade; the home keeps seeing
-                // "exclusively owned".
-                privs[c].setState(block, MesiState::M);
-                ++core.privHits;
-                if (observer)
-                    emitLocal(MesiState::E, issue + ar.latency);
-                return issue + ar.latency;
-              case MesiState::S: {
-                ++core.upgrades;
-                noteTxn({issue + ar.latency, c, block, ReqType::Upg,
-                         false, MesiState::I});
-                auto rr = engine.request(c, block, ReqType::Upg,
-                                         issue + ar.latency);
-                privs[c].setState(block, MesiState::M);
-                if (observer)
-                    emitReq(true, MesiState::S, ReqType::Upg, rr);
-                return rr.done;
-              }
-              default:
-                panic("present block in I state");
-            }
-        }
-        ++core.privHits;
-        if (observer)
-            emitLocal(ar.state, issue + ar.latency);
-        return issue + ar.latency;
-    }
-
-    ++core.misses;
-    ReqType rt;
-    switch (acc.type) {
-      case AccessType::Load: rt = ReqType::GetS; break;
-      case AccessType::Store: rt = ReqType::GetX; break;
-      default: rt = ReqType::GetSI; break;
-    }
-    noteTxn({issue + ar.latency, c, block, rt, false, MesiState::I});
-    auto rr = engine.request(c, block, rt, issue + ar.latency);
-    noticeScratch.clear();
-    privs[c].fill(block, rr.grant, acc.type, noticeScratch);
-    if (!noticeScratch.empty())
-        processNotices(c, noticeScratch, rr.done);
-    if (observer)
-        emitReq(false, MesiState::I, rt, rr);
-    return rr.done;
+    SerialExec ex{*this, noticeScratch};
+    return accessFlow(ex, c, acc, issue);
 }
 
 void

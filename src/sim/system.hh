@@ -19,6 +19,7 @@
 
 #include "cache/llc.hh"
 #include "common/config.hh"
+#include "common/log.hh"
 #include "common/stats.hh"
 #include "core/core.hh"
 #include "core/private_cache.hh"
@@ -58,6 +59,178 @@ class System
      * @return absolute completion time (>= issue).
      */
     Cycle executeAccess(CoreId c, const TraceAccess &acc, Cycle issue);
+
+    /**
+     * The one MESI access flow, parameterized over an execution
+     * context that supplies locking, engine routing and notice
+     * delivery. The serial executeAccess() instantiates it with no-op
+     * locks and the system engine; the parallel driver (sim/shard.hh)
+     * instantiates it with shard-routing contexts. Keeping a single
+     * flow is what makes "exact lockstep reproduces serial stats
+     * bit-identically" a structural property instead of a test hope.
+     *
+     * The Ex contract:
+     *  - `NoticeVec &scratch()`: per-context notice buffer;
+     *  - `lockPriv(c)/unlockPriv(c)`: core @p c's private-hierarchy
+     *    lock (no-ops when single-threaded);
+     *  - `request(...)`: route to the home engine. On return the home
+     *    lock is STILL HELD (so the grant and the private fill below
+     *    are atomic against other cores' forwards to this block);
+     *  - `finishRequest(block)`: release that home lock;
+     *  - `notice(c, block, st, t)`: deliver an eviction notice to the
+     *    block's home (same shard: inline; cross-shard: mailbox);
+     *  - `static constexpr bool debugTxn`: emit txn-ring entries and
+     *    observer events (single-threaded contexts only).
+     *
+     * Lock order is always priv -> release -> home -> priv: the flow
+     * never takes a home lock while holding a priv lock.
+     */
+    // TDLINT: hot
+    template <typename Ex>
+    Cycle
+    accessFlow(Ex &ex, CoreId c, const TraceAccess &acc, Cycle issue)
+    {
+        panic_if(c >= cfg.numCores, "bad core id");
+        const Addr block = blockNumber(acc.addr);
+        Core &core = cores[c];
+        switch (acc.type) {
+          case AccessType::Load: ++core.loads; break;
+          case AccessType::Store: ++core.stores; break;
+          case AccessType::Ifetch: ++core.ifetches; break;
+        }
+
+        NoticeVec &scratch = ex.scratch();
+        scratch.clear();
+        ex.lockPriv(c);
+        const auto ar = privs[c].access(block, acc.type, scratch);
+        // Silent E->M upgrade under the same lock hold as the probe;
+        // the home keeps seeing "exclusively owned". Commutes with the
+        // (different-block) refill notices dispatched below.
+        const bool silent_em = ar.present &&
+            acc.type == AccessType::Store && ar.state == MesiState::E;
+        if (silent_em)
+            privs[c].setState(block, MesiState::M);
+        ex.unlockPriv(c);
+        for (const auto &n : scratch)
+            ex.notice(c, n.block, n.state, issue);
+
+        // Observer emissions: completions of purely local accesses and
+        // of home transactions. Cold lambdas; with no observer
+        // installed the only cost on the access path is the null
+        // checks below.
+        auto emitLocal = [&](MesiState st, Cycle done) {
+            AccessObservation o;
+            o.core = c;
+            o.block = block;
+            o.type = acc.type;
+            o.privPresent = true;
+            o.privState = st;
+            o.issue = issue;
+            o.done = done;
+            observer->onAccess(o);
+        };
+        auto emitReq = [&](bool present, MesiState st, ReqType rt,
+                           const RequestResult &rr) {
+            AccessObservation o;
+            o.core = c;
+            o.block = block;
+            o.type = acc.type;
+            o.privPresent = present;
+            o.privState = st;
+            o.requested = true;
+            o.req = rt;
+            o.grant = rr.grant;
+            o.src = rr.src;
+            o.pre = rr.pre;
+            o.issue = issue;
+            o.done = rr.done;
+            observer->onAccess(o);
+        };
+
+        if (ar.present) {
+            if (acc.type == AccessType::Store &&
+                ar.state == MesiState::S) {
+                ++core.upgrades;
+                if constexpr (Ex::debugTxn) {
+                    noteTxn({issue + ar.latency, c, block, ReqType::Upg,
+                             false, MesiState::I});
+                }
+                auto rr = ex.request(c, block, ReqType::Upg,
+                                     issue + ar.latency);
+                ex.lockPriv(c);
+                scratch.clear();
+                bool filled = false;
+                if (privs[c].present(block)) {
+                    privs[c].setState(block, MesiState::M);
+                } else {
+                    // Relaxed epochs only: the S copy was invalidated
+                    // while the (softened) upgrade was in flight at the
+                    // home; install the granted M copy instead.
+                    privs[c].fill(block, rr.grant, acc.type, scratch);
+                    filled = true;
+                }
+                ex.unlockPriv(c);
+                ex.finishRequest(block);
+                if (filled) {
+                    for (const auto &n : scratch)
+                        ex.notice(c, n.block, n.state, rr.done);
+                }
+                if constexpr (Ex::debugTxn) {
+                    if (observer)
+                        emitReq(true, MesiState::S, ReqType::Upg, rr);
+                }
+                return rr.done;
+            }
+            panic_if(acc.type == AccessType::Store &&
+                     ar.state == MesiState::I,
+                     "present block in I state");
+            ++core.privHits;
+            if constexpr (Ex::debugTxn) {
+                if (observer)
+                    emitLocal(silent_em ? MesiState::E : ar.state,
+                              issue + ar.latency);
+            }
+            return issue + ar.latency;
+        }
+
+        ++core.misses;
+        ReqType rt;
+        switch (acc.type) {
+          case AccessType::Load: rt = ReqType::GetS; break;
+          case AccessType::Store: rt = ReqType::GetX; break;
+          default: rt = ReqType::GetSI; break;
+        }
+        if constexpr (Ex::debugTxn) {
+            noteTxn({issue + ar.latency, c, block, rt, false,
+                     MesiState::I});
+        }
+        auto rr = ex.request(c, block, rt, issue + ar.latency);
+        ex.lockPriv(c);
+        scratch.clear();
+        privs[c].fill(block, rr.grant, acc.type, scratch);
+        ex.unlockPriv(c);
+        ex.finishRequest(block);
+        for (const auto &n : scratch)
+            ex.notice(c, n.block, n.state, rr.done);
+        if constexpr (Ex::debugTxn) {
+            if (observer)
+                emitReq(false, MesiState::I, rt, rr);
+        }
+        return rr.done;
+    }
+
+    /**
+     * Debug half of a notice dispatch (txn ring + observer event);
+     * execution contexts call this right before routing the notice to
+     * the home engine. Single-threaded contexts only.
+     */
+    void
+    noteNoticeDebug(CoreId c, Addr block, MesiState st, Cycle t)
+    {
+        noteTxn({t, c, block, ReqType::GetS, true, st});
+        if (observer)
+            observer->onNotice(c, block, st);
+    }
 
     /**
      * Warm the caches for an access about to execute: decompose the
@@ -108,6 +281,13 @@ class System
     }
 
     /**
+     * The installed observer (nullptr when none). The parallel driver
+     * wires exact-lockstep shard engines to it so the observer event
+     * stream matches serial execution; relaxed mode refuses observers.
+     */
+    AccessObserver *observerPtr() const { return observer; }
+
+    /**
      * Verify global coherence invariants against the ground truth of
      * the private hierarchies: single-owner for E/M, exact sharer
      * sets, and no untracked cached blocks (modulo the coarse-grain
@@ -152,8 +332,6 @@ class System
     void loadState(ckpt::Reader &r);
 
   private:
-    void processNotices(CoreId c, const NoticeVec &notices, Cycle t);
-
     void noteTxn(const TxnRecord &r);
 
     /** Reusable eviction-notice scratch; keeps accesses heap-free. */

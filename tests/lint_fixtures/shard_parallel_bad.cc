@@ -1,0 +1,23 @@
+// Fixture for the parallel check: sharded-engine code (file name
+// contains "shard") that reads a host clock, consults worker-thread
+// identity, and keeps cross-shard state in an unordered container —
+// each one lets host scheduling leak into simulated state.
+
+#include <chrono>
+#include <thread>
+#include <unordered_map>
+
+unsigned long long
+epochDeadline()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return static_cast<unsigned long long>(t.time_since_epoch().count());
+}
+
+unsigned
+pickWorker()
+{
+    return std::thread::hardware_concurrency();
+}
+
+std::unordered_map<int, int> pendingByShard;

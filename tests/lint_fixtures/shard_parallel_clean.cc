@@ -1,0 +1,32 @@
+// Clean twin of shard_parallel_bad.cc: epoch deadlines in simulated
+// cycles, worker count from configuration, ordered cross-shard state,
+// a justified watchdog suppression, and time_point plumbing (carrying
+// a sampled value is fine; only clock *reads* are flagged).
+
+#include <chrono>
+#include <map>
+
+unsigned long long simClock = 0;
+constexpr unsigned long long epochCycles = 4096;
+
+unsigned long long
+epochDeadline()
+{
+    return (simClock / epochCycles + 1) * epochCycles;
+}
+
+unsigned
+pickWorker(unsigned configuredThreads, unsigned shard)
+{
+    return shard % configuredThreads;
+}
+
+std::map<int, int> pendingByShard;
+
+double
+watchdogElapsed(std::chrono::steady_clock::time_point started)
+{
+    // TDLINT: allow(parallel): host watchdog; never feeds simulated state.
+    const auto hostNow = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(hostNow - started).count();
+}

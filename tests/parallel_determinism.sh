@@ -1,0 +1,49 @@
+#!/bin/sh
+# Determinism across thread counts, at grid scale: run the fig10 quick
+# grid repeatedly — serial twice (replay determinism), then under the
+# exact-lockstep parallel engine at 2 and 8 threads — and require the
+# TINYDIR_JSON records to be byte-identical once the timing-only
+# fields (wall_seconds, sim_seconds, accesses_per_sec, jobs) are
+# stripped. This is the same gate the unit matrix enforces per scheme,
+# applied to a real bench binary end to end.
+set -eu
+
+BIN="${TINYDIR_BENCH_DIR:?TINYDIR_BENCH_DIR not set}/fig10_tiny_32"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+strip_timing() {
+    sed -E 's/"wall_seconds":[^,]*,//;
+            s/"sim_seconds":[^,]*,//;
+            s/"accesses_per_sec":[^,]*,//;
+            s/"jobs":[0-9]+,//' "$1" > "$2"
+}
+
+TINYDIR_JSON="$WORK/serial_a.json" "$BIN" --quick --app=barnes \
+    > /dev/null
+TINYDIR_JSON="$WORK/serial_b.json" "$BIN" --quick --app=barnes \
+    > /dev/null
+TINYDIR_JSON="$WORK/t2.json" "$BIN" --quick --app=barnes --threads=2 \
+    > /dev/null
+TINYDIR_JSON="$WORK/t8.json" "$BIN" --quick --app=barnes --threads=8 \
+    > /dev/null
+
+for f in serial_a serial_b t2 t8; do
+    strip_timing "$WORK/$f.json" "$WORK/$f.norm"
+done
+
+fail=0
+if ! cmp -s "$WORK/serial_a.norm" "$WORK/serial_b.norm"; then
+    echo "FAIL: repeated serial runs diverged"
+    diff "$WORK/serial_a.norm" "$WORK/serial_b.norm" || true
+    fail=1
+fi
+for t in t2 t8; do
+    if ! cmp -s "$WORK/serial_a.norm" "$WORK/$t.norm"; then
+        echo "FAIL: --threads=${t#t} diverged from the serial grid"
+        diff "$WORK/serial_a.norm" "$WORK/$t.norm" || true
+        fail=1
+    fi
+done
+[ "$fail" -eq 0 ] && echo "PASS: grid JSON identical across thread counts"
+exit "$fail"

@@ -16,6 +16,7 @@
 #include <sstream>
 #include <string>
 #include <sys/stat.h>
+#include <unistd.h>
 #include <vector>
 
 #include "ckpt/ckpt.hh"
@@ -107,7 +108,9 @@ expectSameRun(const RunOut &a, const RunOut &b)
 std::string
 tmpPath(const std::string &leaf)
 {
-    return testing::TempDir() + leaf;
+    // ctest runs each gtest case as its own process, possibly in
+    // parallel; a fixed leaf name would race across processes.
+    return testing::TempDir() + std::to_string(::getpid()) + "_" + leaf;
 }
 
 /** Read a whole file into a byte string. */

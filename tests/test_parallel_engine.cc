@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Sharded parallel engine tests: the ParallelDriver run differentially
+ * against the serial Driver over the full fuzz-scheme matrix and the
+ * oracle's sharing-pattern generators.
+ *
+ * Exact mode (epoch = 0) must be bit-identical to serial — per-scheme
+ * stats, hook cadence, warmup reset and checkpoint bytes — for every
+ * thread count. Relaxed mode (epoch > 0) must complete every access,
+ * keep the observed skew strictly inside the epoch window, and stay
+ * within a loose divergence envelope. The ParallelTsan.* cases are the
+ * small contention-heavy subset the tsan-parallel ctest replays under
+ * ThreadSanitizer.
+ */
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/ckpt.hh"
+#include "ckpt/io.hh"
+#include "common/sim_error.hh"
+#include "oracle/diff.hh"
+#include "oracle/patterns.hh"
+#include "oracle/schemes.hh"
+#include "sim/driver.hh"
+#include "sim/shard.hh"
+#include "sim/system.hh"
+
+namespace tinydir
+{
+namespace
+{
+
+/** Replays one pre-generated per-core trace (checkpointable). */
+class VectorStream : public AccessStream
+{
+  public:
+    explicit VectorStream(std::vector<TraceAccess> t) : trace(std::move(t))
+    {
+    }
+
+    bool
+    next(TraceAccess &out) override
+    {
+        if (pos >= trace.size())
+            return false;
+        out = trace[pos++];
+        return true;
+    }
+
+    void saveState(ckpt::Writer &w) const override { w.u64(pos); }
+
+    void
+    loadState(ckpt::Reader &r) override
+    {
+        pos = static_cast<std::size_t>(r.u64());
+    }
+
+  private:
+    std::vector<TraceAccess> trace;
+    std::size_t pos = 0;
+};
+
+std::vector<std::unique_ptr<AccessStream>>
+wrap(const TraceStreams &ts)
+{
+    std::vector<std::unique_ptr<AccessStream>> out;
+    out.reserve(ts.size());
+    for (const auto &t : ts)
+        out.push_back(std::make_unique<VectorStream>(t));
+    return out;
+}
+
+/** Everything one differential run produces. */
+struct DiffRun
+{
+    RunResult res;
+    StatsDump stats;
+    ShardTelemetry tele; //!< zero-initialized for serial runs
+    double wallSeconds = 0.0;
+};
+
+DiffRun
+runSerial(const SystemConfig &cfg, const TraceStreams &ts,
+          Counter warmup = 0)
+{
+    System sys(cfg);
+    Driver d;
+    d.warmupAccesses = warmup;
+    DiffRun out;
+    out.res = d.run(sys, wrap(ts));
+    out.stats = sys.dump();
+    return out;
+}
+
+DiffRun
+runSharded(const SystemConfig &cfg, const TraceStreams &ts,
+           unsigned threads, Cycle epoch, Counter warmup = 0)
+{
+    System sys(cfg);
+    ParallelDriver d;
+    d.threads = threads;
+    d.epochCycles = epoch;
+    d.warmupAccesses = warmup;
+    DiffRun out;
+    const auto t0 = std::chrono::steady_clock::now();
+    out.res = d.run(sys, wrap(ts));
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    out.stats = sys.dump();
+    out.tele = d.telemetry();
+    return out;
+}
+
+/**
+ * First-divergence latch, OracleDiff style: stop at the first stat
+ * that differs and name it, so a regression reports the earliest
+ * observable divergence instead of a wall of failures.
+ */
+void
+expectIdenticalStats(const DiffRun &serial, const DiffRun &sharded,
+                     const std::string &context)
+{
+    ASSERT_EQ(serial.res.accesses, sharded.res.accesses) << context;
+    ASSERT_EQ(serial.res.execCycles, sharded.res.execCycles) << context;
+    const auto &a = serial.stats.items();
+    const auto &b = sharded.stats.items();
+    ASSERT_EQ(a.size(), b.size()) << context;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].first, b[i].first) << context;
+        ASSERT_EQ(a[i].second, b[i].second)
+            << context << ": first divergence at stat '" << a[i].first
+            << "' (" << i + 1 << " of " << a.size() << ")";
+    }
+}
+
+constexpr std::uint64_t kSeed = 7;
+
+PatternParams
+smallParams()
+{
+    PatternParams p;
+    p.numCores = 4;
+    p.accessesPerCore = 500;
+    p.seed = kSeed;
+    return p;
+}
+
+/** Trackers whose home state is per-slice (shardable homes). */
+bool
+expectedShardSafe(TrackerKind k)
+{
+    return k == TrackerKind::SparseDir || k == TrackerKind::InLlc ||
+        k == TrackerKind::InLlcTagExtended;
+}
+
+// -- exact mode: bit-identical to serial ------------------------------------
+
+TEST(ParallelExact, BitIdenticalAcrossSchemesAndPatterns)
+{
+    const PatternParams p = smallParams();
+    for (const FuzzScheme &s : fuzzSchemes()) {
+        const SystemConfig cfg = makeFuzzConfig(s, p.numCores, kSeed);
+        for (const NamedPattern &pat : allPatterns()) {
+            const TraceStreams ts = pat.fn(p);
+            const DiffRun ser = runSerial(cfg, ts);
+            const DiffRun par = runSharded(cfg, ts, 2, 0);
+            expectIdenticalStats(ser, par,
+                                 std::string(s.label) + "/" + pat.name +
+                                     "/threads=2");
+            if (HasFatalFailure())
+                return; // latch: report the first divergence only
+        }
+    }
+}
+
+TEST(ParallelExact, BitIdenticalAtEightThreads)
+{
+    const PatternParams p = smallParams();
+    for (const FuzzScheme &s : fuzzSchemes()) {
+        const SystemConfig cfg = makeFuzzConfig(s, p.numCores, kSeed);
+        const TraceStreams ts = randomMix(p);
+        const DiffRun ser = runSerial(cfg, ts);
+        const DiffRun par = runSharded(cfg, ts, 8, 0);
+        expectIdenticalStats(ser, par,
+                             std::string(s.label) +
+                                 "/randomMix/threads=8");
+        if (HasFatalFailure())
+            return;
+    }
+}
+
+TEST(ParallelExact, WarmupResetMatchesSerial)
+{
+    // 777 is deliberately odd: the reset lands mid-burst, so any
+    // cadence drift between the drivers shifts the measured region.
+    const PatternParams p = smallParams();
+    const SystemConfig cfg =
+        makeFuzzConfig(*findFuzzScheme("tiny32spill"), p.numCores, kSeed);
+    const TraceStreams ts = migratory(p);
+    const DiffRun ser = runSerial(cfg, ts, 777);
+    const DiffRun par = runSharded(cfg, ts, 2, 0, 777);
+    expectIdenticalStats(ser, par, "tiny32spill/migratory/warmup=777");
+}
+
+TEST(ParallelExact, HookCadenceMatchesSerial)
+{
+    const PatternParams p = smallParams();
+    const SystemConfig cfg =
+        makeFuzzConfig(*findFuzzScheme("sparse2x"), p.numCores, kSeed);
+    const TraceStreams ts = producerConsumer(p);
+
+    auto collect = [&](auto &d) {
+        std::vector<Counter> at;
+        d.hookPeriod = 321;
+        d.hook = [&at](System &, Counter n) { at.push_back(n); };
+        System sys(cfg);
+        d.run(sys, wrap(ts));
+        return at;
+    };
+    Driver ser;
+    ParallelDriver par;
+    par.threads = 2;
+    par.epochCycles = 0;
+    const std::vector<Counter> a = collect(ser);
+    const std::vector<Counter> b = collect(par);
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(ParallelExact, ShardCountFollowsTrackerSafety)
+{
+    const PatternParams p = smallParams();
+    const TraceStreams ts = falseSharing(p);
+    for (const char *label : {"sparse2x", "inllc", "tagext", "tiny32",
+                              "mgd", "stash", "sharedonly"}) {
+        const FuzzScheme &s = *findFuzzScheme(label);
+        const SystemConfig cfg = makeFuzzConfig(s, p.numCores, kSeed);
+        const DiffRun par = runSharded(cfg, ts, 4, 0);
+        if (expectedShardSafe(s.kind))
+            EXPECT_GE(par.tele.shards, 2u) << label;
+        else
+            EXPECT_EQ(par.tele.shards, 1u) << label;
+    }
+}
+
+// -- checkpoint bytes: thread-count independent -----------------------------
+
+std::string
+checkpointBytesAt(const SystemConfig &cfg, const TraceStreams &ts,
+                  unsigned threads, Counter stopAfter)
+{
+    std::string bytes;
+    const auto sink =
+        [&bytes](System &s,
+                 const std::vector<std::unique_ptr<AccessStream>> &strs,
+                 const DriverProgress &prog) {
+            std::ostringstream os;
+            ckpt::saveRun(os, s, strs, prog, "parallel-diff");
+            bytes = os.str();
+        };
+    System sys(cfg);
+    if (threads <= 1) {
+        Driver d;
+        d.stopAfterAccesses = stopAfter;
+        d.checkpointSink = sink;
+        d.run(sys, wrap(ts));
+    } else {
+        ParallelDriver d;
+        d.threads = threads;
+        d.epochCycles = 0;
+        d.stopAfterAccesses = stopAfter;
+        d.checkpointSink = sink;
+        d.run(sys, wrap(ts));
+    }
+    return bytes;
+}
+
+TEST(ParallelCheckpoint, BytesIdenticalAcrossThreadCounts)
+{
+    PatternParams p = smallParams();
+    p.accessesPerCore = 400;
+    const TraceStreams ts = randomMix(p);
+    for (const FuzzScheme &s : fuzzSchemes()) {
+        SCOPED_TRACE(s.label);
+        const SystemConfig cfg = makeFuzzConfig(s, p.numCores, kSeed);
+        // 1001 is odd: the cut lands mid-burst with the wheel non-empty.
+        const std::string ser = checkpointBytesAt(cfg, ts, 1, 1001);
+        ASSERT_FALSE(ser.empty());
+        EXPECT_EQ(ser, checkpointBytesAt(cfg, ts, 2, 1001));
+        EXPECT_EQ(ser, checkpointBytesAt(cfg, ts, 8, 1001));
+    }
+}
+
+TEST(ParallelCheckpoint, ParallelSaveResumesUnderSerialDriver)
+{
+    PatternParams p = smallParams();
+    const SystemConfig cfg =
+        makeFuzzConfig(*findFuzzScheme("sparse2x"), p.numCores, kSeed);
+    const TraceStreams ts = setConflict(p);
+
+    const DiffRun whole = runSerial(cfg, ts);
+    const std::string snap = checkpointBytesAt(cfg, ts, 8, 1001);
+    ASSERT_FALSE(snap.empty());
+
+    System sys2(cfg);
+    auto streams2 = wrap(ts);
+    std::istringstream is(snap);
+    const ckpt::LoadResult lr = ckpt::loadRun(is, sys2, streams2);
+    EXPECT_TRUE(lr.exact);
+
+    Driver cont;
+    DiffRun resumed;
+    resumed.res = cont.run(sys2, std::move(streams2), &lr.progress);
+    resumed.stats = sys2.dump();
+    expectIdenticalStats(whole, resumed, "resume-after-parallel-save");
+}
+
+// -- relaxed mode: bounded approximation ------------------------------------
+
+TEST(ParallelRelaxed, CompletesWithSkewInsideEpochWindow)
+{
+    PatternParams p = smallParams();
+    p.accessesPerCore = 2000;
+    const TraceStreams ts = randomMix(p);
+    for (const char *label : {"sparse2x", "tiny32spill"}) {
+        SCOPED_TRACE(label);
+        const SystemConfig cfg =
+            makeFuzzConfig(*findFuzzScheme(label), p.numCores, kSeed);
+        const DiffRun ser = runSerial(cfg, ts);
+        const DiffRun par = runSharded(cfg, ts, 2, 2048);
+
+        // Every access retires exactly once regardless of skew.
+        EXPECT_EQ(par.res.accesses, ser.res.accesses);
+        EXPECT_GT(par.tele.epochs, 0u);
+        EXPECT_LT(par.tele.maxObservedSkew, 2048u);
+
+        // Same stats schema, loose divergence envelope on timing.
+        const auto &a = ser.stats.items();
+        const auto &b = par.stats.items();
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i)
+            EXPECT_EQ(a[i].first, b[i].first);
+        EXPECT_GT(par.res.execCycles, ser.res.execCycles / 3);
+        EXPECT_LT(par.res.execCycles, ser.res.execCycles * 3);
+    }
+}
+
+TEST(ParallelRelaxed, EpochAblationSkewBoundAndThroughput)
+{
+    PatternParams p = smallParams();
+    p.accessesPerCore = 2000;
+    const TraceStreams ts = randomMix(p);
+    const SystemConfig cfg =
+        makeFuzzConfig(*findFuzzScheme("sparse2x"), p.numCores, kSeed);
+
+    std::vector<double> rate;
+    for (const Cycle epoch : {Cycle(256), Cycle(1024), Cycle(4096)}) {
+        SCOPED_TRACE(epoch);
+        const DiffRun par = runSharded(cfg, ts, 2, epoch);
+        EXPECT_LT(par.tele.maxObservedSkew, epoch);
+        EXPECT_GT(par.tele.epochs, 0u);
+        rate.push_back(par.wallSeconds > 0.0
+                           ? static_cast<double>(par.res.accesses) /
+                               par.wallSeconds
+                           : 0.0);
+    }
+    // Longer epochs mean fewer barriers, so throughput should not
+    // collapse as the window grows. Lenient (4x) on purpose: tiny
+    // traces on a loaded or single-CPU host are noisy.
+    for (std::size_t i = 1; i < rate.size(); ++i) {
+        if (rate[i] > 0.0 && rate[i - 1] > 0.0) {
+            EXPECT_GT(rate[i], rate[i - 1] / 4.0);
+        }
+    }
+}
+
+TEST(ParallelRelaxed, ObserverIsRejected)
+{
+    const PatternParams p = smallParams();
+    const SystemConfig cfg =
+        makeFuzzConfig(*findFuzzScheme("sparse2x"), p.numCores, kSeed);
+    System sys(cfg);
+    OracleDiff diff(cfg);
+    sys.setObserver(&diff);
+    ParallelDriver d;
+    d.threads = 2;
+    d.epochCycles = 1024;
+    EXPECT_THROW(d.run(sys, wrap(falseSharing(p))), SimError);
+}
+
+// -- TSAN subset: contention-heavy smokes for the tsan-parallel ctest -------
+
+TEST(ParallelTsan, ExactContention)
+{
+    const PatternParams p = smallParams();
+    const SystemConfig cfg =
+        makeFuzzConfig(*findFuzzScheme("sparse2x"), p.numCores, kSeed);
+    const TraceStreams ts = falseSharing(p);
+    const DiffRun ser = runSerial(cfg, ts);
+    const DiffRun par = runSharded(cfg, ts, 4, 0);
+    expectIdenticalStats(ser, par, "tsan/exact/falseSharing");
+}
+
+TEST(ParallelTsan, RelaxedMailboxTraffic)
+{
+    // Tiny private caches + wide exclusive footprint maximize
+    // cross-shard eviction notices through the mailboxes.
+    PatternParams p = smallParams();
+    p.accessesPerCore = 1500;
+    const SystemConfig cfg =
+        makeFuzzConfig(*findFuzzScheme("inllc"), p.numCores, kSeed);
+    const DiffRun par = runSharded(cfg, spillPressure(p), 4, 512);
+    EXPECT_EQ(par.res.accesses,
+              Counter(p.numCores) * p.accessesPerCore);
+    EXPECT_LT(par.tele.maxObservedSkew, 512u);
+}
+
+TEST(ParallelTsan, RelaxedSingleShardTracker)
+{
+    // A non-shardable tracker still runs its cores in parallel; all
+    // home traffic contends on the single home mutex.
+    PatternParams p = smallParams();
+    p.accessesPerCore = 1500;
+    const SystemConfig cfg =
+        makeFuzzConfig(*findFuzzScheme("tiny32"), p.numCores, kSeed);
+    const DiffRun par = runSharded(cfg, randomMix(p), 4, 1024);
+    EXPECT_EQ(par.tele.shards, 1u);
+    EXPECT_EQ(par.res.accesses,
+              Counter(p.numCores) * p.accessesPerCore);
+}
+
+} // namespace
+} // namespace tinydir

@@ -93,6 +93,31 @@ TEST(TdlintDeterminism, SeededRngAndValueKeysPass)
     EXPECT_TRUE(lintFixture("determinism_clean.cc").clean());
 }
 
+TEST(TdlintParallel, FlagsClockReadsThreadIdentityAndUnordered)
+{
+    const Result r = lintFixture("shard_parallel_bad.cc");
+    EXPECT_EQ(countCheck(r, "parallel"), 3u);
+    EXPECT_TRUE(hasDiag(r, "parallel", 13)); // steady_clock::now()
+    EXPECT_TRUE(hasDiag(r, "parallel", 20)); // hardware_concurrency
+    EXPECT_TRUE(hasDiag(r, "parallel", 23)); // unordered_map
+    // The repo-wide determinism check independently flags the
+    // unordered container; the parallel check is additive.
+    EXPECT_TRUE(hasDiag(r, "determinism", 23));
+}
+
+TEST(TdlintParallel, SimulatedTimeOrderedStateAndWatchdogAllowPass)
+{
+    EXPECT_TRUE(lintFixture("shard_parallel_clean.cc").clean());
+}
+
+TEST(TdlintParallel, OnlyShardAndMailboxPathsAreCovered)
+{
+    // determinism_bad.cc is not sharded-engine code: its unordered
+    // container draws the determinism diagnostic only.
+    const Result r = lintFixture("determinism_bad.cc");
+    EXPECT_EQ(countCheck(r, "parallel"), 0u);
+}
+
 TEST(TdlintStatsDump, FlagsCounterMissingFromDumpPath)
 {
     const Result r = lintFixture("stats_dump_bad.cc");

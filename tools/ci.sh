@@ -4,15 +4,19 @@
 #   2. ctest -L fast        (unit/integration tests, tdlint, header TUs)
 #   3. ctest -L ckpt        (checkpoint save->load->continue
 #      bit-identity + warmup fast-forward equivalence)
-#   4. tdlint over the tree (redundant with the ctest, but surfaces
+#   4. ctest -L parallel    (sharded-engine differential matrix +
+#      grid-scale thread-count determinism)
+#   5. tdlint over the tree (redundant with the ctest, but surfaces
 #      diagnostics directly in the log even when ctest output is terse)
-#   5. fuzz_smoke under the asan preset (build-asan/)
-#   6. perf: bench_perf_smoke under the release-perf preset
+#   6. fuzz_smoke under the asan preset (build-asan/)
+#   7. tsan-parallel: the contention-heavy ParallelTsan.* subset under
+#      the tsan preset (build-tsan/)
+#   8. perf: bench_perf_smoke under the release-perf preset
 #      (build-perf/). Re-measures the quick-grid throughput and fails
 #      if it regresses more than TINYDIR_PERF_TOL (default 20%) below
 #      the committed BENCH_hotpath.json baseline.
 #
-# Usage: tools/ci.sh [--skip-asan] [--skip-perf]
+# Usage: tools/ci.sh [--skip-asan] [--skip-tsan] [--skip-perf]
 # Any failure stops the script (set -e); the failing stage is the last
 # banner printed.
 
@@ -20,12 +24,15 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_ASAN=0
+SKIP_TSAN=0
 SKIP_PERF=0
 for arg in "$@"; do
     case "$arg" in
         --skip-asan) SKIP_ASAN=1 ;;
+        --skip-tsan) SKIP_TSAN=1 ;;
         --skip-perf) SKIP_PERF=1 ;;
-        *) echo "usage: tools/ci.sh [--skip-asan] [--skip-perf]" >&2
+        *) echo "usage: tools/ci.sh [--skip-asan] [--skip-tsan]" \
+                "[--skip-perf]" >&2
            exit 2 ;;
     esac
 done
@@ -42,6 +49,9 @@ ctest --test-dir build -L fast --output-on-failure -j "$(nproc)"
 banner "ctest -L ckpt (checkpoint bit-identity)"
 ctest --test-dir build -L ckpt --output-on-failure
 
+banner "ctest -L parallel (sharded engine vs serial oracle)"
+ctest --test-dir build -L parallel --output-on-failure
+
 banner "tdlint"
 ./build/tools/tdlint --root .
 
@@ -50,6 +60,13 @@ if [ "$SKIP_ASAN" = 0 ]; then
     cmake --preset asan >/dev/null
     cmake --build build-asan -j "$(nproc)" --target fuzz_traces
     ctest --test-dir build-asan -R fuzz_smoke --output-on-failure
+fi
+
+if [ "$SKIP_TSAN" = 0 ]; then
+    banner "tsan-parallel (ThreadSanitizer over the sharded engine)"
+    cmake --preset tsan >/dev/null
+    cmake --build build-tsan -j "$(nproc)" --target tinydir_tests
+    ctest --test-dir build-tsan -L tsan-parallel --output-on-failure
 fi
 
 if [ "$SKIP_PERF" = 0 ]; then

@@ -1231,6 +1231,80 @@ checkDeterminism(Linter &lt)
 }
 
 // ---------------------------------------------------------------------------
+// Check: parallel (sharded-engine hygiene)
+// ---------------------------------------------------------------------------
+
+/**
+ * Files implementing the sharded parallel engine (path contains
+ * "shard" or "mailbox") run simulation state on worker threads, so
+ * they get rules stricter than the repo-wide determinism check: no
+ * host-clock reads (any <chrono> clock, not just system_clock), no
+ * worker-thread identity, and no unordered containers. Any of these
+ * lets host scheduling leak into simulated state and breaks the
+ * bit-identical-across-thread-counts guarantee. The one legitimate
+ * exception — the wall-clock watchdog, which observes but never feeds
+ * the simulation — carries a justified allow(parallel).
+ */
+void
+checkParallel(Linter &lt)
+{
+    static const std::set<std::string> clockIdents = {
+        "steady_clock", "system_clock", "high_resolution_clock",
+    };
+    static const std::set<std::string> identityIdents = {
+        "this_thread", "get_id", "hardware_concurrency",
+        "pthread_self", "gettid",
+    };
+    static const std::set<std::string> unorderedIdents = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset",
+    };
+    Model &m = lt.model;
+    for (std::size_t fi = 0; fi < m.files.size(); ++fi) {
+        if (!lt.isSrcFile(static_cast<int>(fi)))
+            continue;
+        const std::string &path = m.files[fi].path;
+        if (path.find("shard") == std::string::npos &&
+            path.find("mailbox") == std::string::npos)
+            continue;
+        const auto &t = m.files[fi].toks;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != Tok::Ident)
+                continue;
+            const std::string &name = t[i].text;
+            // Clock *reads* only (clock::now()): time_point plumbing
+            // that merely carries a previously sampled value is fine.
+            if (clockIdents.count(name) && i + 2 < t.size() &&
+                t[i + 1].kind == Tok::Punct && t[i + 1].text == "::" &&
+                t[i + 2].kind == Tok::Ident && t[i + 2].text == "now") {
+                lt.report(static_cast<int>(fi), t[i].line, "parallel",
+                          "'" + name +
+                              "::now()' in sharded-engine code; host "
+                              "clocks must never feed simulated state "
+                              "(epoch windows count simulated cycles)");
+                continue;
+            }
+            if (identityIdents.count(name)) {
+                lt.report(static_cast<int>(fi), t[i].line, "parallel",
+                          "'" + name +
+                              "' in sharded-engine code; worker "
+                              "identity must not influence results "
+                              "(drain mailboxes in fixed (dst, src) "
+                              "order, not arrival order)");
+                continue;
+            }
+            if (unorderedIdents.count(name)) {
+                lt.report(static_cast<int>(fi), t[i].line, "parallel",
+                          "std::" + name +
+                              " in sharded-engine code: cross-thread "
+                              "fold order must be deterministic; use "
+                              "FlatMap or std::map");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Check 4: stats-dump
 // ---------------------------------------------------------------------------
 
@@ -1508,8 +1582,8 @@ const std::vector<std::string> &
 allChecks()
 {
     static const std::vector<std::string> c = {
-        "hot-alloc", "error-path", "determinism", "stats-dump",
-        "header", "lint-usage",
+        "hot-alloc", "error-path", "determinism", "parallel",
+        "stats-dump", "header", "lint-usage",
     };
     return c;
 }
@@ -1561,6 +1635,8 @@ run(const Options &opts)
         checkErrorPath(lt);
     if (lt.checkEnabled("determinism"))
         checkDeterminism(lt);
+    if (lt.checkEnabled("parallel"))
+        checkParallel(lt);
     if (lt.checkEnabled("stats-dump"))
         checkStatsDump(lt);
     if (lt.checkEnabled("header"))

@@ -6,7 +6,7 @@
  * runtime coherence verifier, the counted operator new in
  * test_hotpath, the differential oracle). tdlint moves the same
  * invariants to build time: a dependency-free lexer + call-graph
- * approximation over the C++ sources, with five checks:
+ * approximation over the C++ sources, with six checks:
  *
  *   hot-alloc    functions reachable from a `// TDLINT: hot` root may
  *                not allocate (no `new`/`malloc`, no allocating std
@@ -19,6 +19,12 @@
  *   determinism  no wall-clock, libc rand, unordered container, or
  *                pointer-keyed ordered container in src/ (simulations
  *                must replay bit-identically).
+ *   parallel     sharded-engine files (path contains "shard" or
+ *                "mailbox") additionally ban every <chrono> clock
+ *                read, worker-thread identity, and unordered
+ *                containers: host scheduling must never leak into
+ *                simulated state, so parallel runs stay bit-identical
+ *                across thread counts.
  *   stats-dump   every member of a `*Stats` / `*Histograms` struct
  *                must be observable from the dump path (reachable
  *                from a function named `dump`, or flushed by an
